@@ -1,0 +1,82 @@
+// Parameter-sensitivity ablations for the pipeline's key thresholds, run on
+// workload W1 (high memory):
+//
+//   * correlation-clustering threshold (Step 3)
+//   * validation minimum reward (Step 2)
+//   * leap-filter keep ratio (Step 1)
+//   * feature-space window sizes
+//
+// Expected shape: results are stable across a wide band around the defaults;
+// extreme settings degrade either conciseness (thresholds too permissive) or
+// recall of the ground truth (too aggressive).
+
+#include "bench_util.h"
+
+#include "ml/metrics.h"
+
+using namespace exstream;
+using namespace exstream::bench;
+
+namespace {
+
+void Report(const WorkloadRun& run, const char* setting, double value,
+            const ExplainOptions& options) {
+  ExplanationEngine engine = run.MakeExplanationEngine(options);
+  auto report = CheckResult(engine.Explain(run.annotation), "explain");
+  printf("  %-28s %8.2f   consistency=%.3f  size=%zu  (leap=%zu valid=%zu)\n",
+         setting, value,
+         ExplanationConsistency(report.SelectedFeatureNames(), run.ground_truth),
+         report.final_features.size(), report.after_leap.size(),
+         report.after_validation.size());
+}
+
+}  // namespace
+
+int main() {
+  auto run = BuildRun(HadoopWorkloads()[0]);  // W1
+  printf("Parameter ablations on %s\n", run->def.name.c_str());
+
+  printf("\ncorrelation threshold (Step 3, default 0.8):\n");
+  for (const double t : {0.5, 0.7, 0.8, 0.9, 0.99}) {
+    ExplainOptions options = run->DefaultExplainOptions();
+    options.correlation.threshold = t;
+    Report(*run, "correlation", t, options);
+  }
+
+  printf("\nvalidation min reward (Step 2, default 0.5):\n");
+  for (const double t : {0.2, 0.4, 0.5, 0.7, 0.9}) {
+    ExplainOptions options = run->DefaultExplainOptions();
+    options.validation_min_reward = t;
+    Report(*run, "validation-min-reward", t, options);
+  }
+
+  printf("\nleap keep ratio (Step 1, default 0.7):\n");
+  for (const double t : {0.3, 0.5, 0.7, 0.9, 0.97}) {
+    ExplainOptions options = run->DefaultExplainOptions();
+    options.leap.keep_ratio = t;
+    Report(*run, "leap-keep-ratio", t, options);
+  }
+
+  printf("\nsmoothing windows (default {10, 30}):\n");
+  const std::vector<std::vector<Timestamp>> window_sets = {
+      {5}, {10}, {30}, {10, 30}, {10, 30, 60}};
+  for (const auto& windows : window_sets) {
+    ExplainOptions options = run->DefaultExplainOptions();
+    options.feature_space.windows = windows;
+    std::string label = "windows={";
+    for (size_t i = 0; i < windows.size(); ++i) {
+      if (i > 0) label += ",";
+      label += std::to_string(windows[i]);
+    }
+    label += "}";
+    Report(*run, label.c_str(), static_cast<double>(windows.size()), options);
+  }
+
+  printf("\nlabeling cut threshold (Step 2, default 0.35):\n");
+  for (const double t : {0.2, 0.3, 0.35, 0.45, 0.6}) {
+    ExplainOptions options = run->DefaultExplainOptions();
+    options.labeling.cut_threshold = t;
+    Report(*run, "labeling-cut", t, options);
+  }
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Ablation study of the explanation pipeline (the design choices DESIGN.md
+// calls out): what each stage contributes to consistency and conciseness.
+//
+// Variants per workload:
+//   full            : leap + validation + clustering (XStream-cluster)
+//   no-clustering   : Step 3 off (paper's plain "XStream")
+//   no-validation   : Step 2 off — false positives (uptime, task counters)
+//                     survive and poison the explanation
+//   rank-only       : Steps 2+3 off — raw reward-leap output
+//
+// Expected shape: consistency degrades monotonically as stages are removed,
+// and explanation size grows.
+
+#include "bench_util.h"
+
+#include "ml/metrics.h"
+
+using namespace exstream;
+using namespace exstream::bench;
+
+namespace {
+
+struct Variant {
+  const char* name;
+  bool validation;
+  bool clustering;
+};
+
+constexpr Variant kVariants[] = {
+    {"full", true, true},
+    {"no-clustering", true, false},
+    {"no-validation", false, true},
+    {"rank-only", false, false},
+};
+
+}  // namespace
+
+int main() {
+  const std::vector<WorkloadDef> defs = HadoopWorkloads();
+
+  printf("Pipeline ablation: consistency (F-measure) / explanation size\n\n");
+  printf("%-34s", "workload");
+  for (const Variant& v : kVariants) printf(" %20s", v.name);
+  printf("\n");
+
+  std::vector<double> mean_consistency(std::size(kVariants), 0.0);
+  std::vector<double> mean_size(std::size(kVariants), 0.0);
+
+  for (const WorkloadDef& def : defs) {
+    fprintf(stderr, "[bench] %s ...\n", def.name.c_str());
+    auto run = BuildRun(def);
+    printf("%-34s", def.name.c_str());
+    for (size_t vi = 0; vi < std::size(kVariants); ++vi) {
+      ExplainOptions options = run->DefaultExplainOptions();
+      options.enable_validation = kVariants[vi].validation;
+      options.enable_clustering = kVariants[vi].clustering;
+      ExplanationEngine engine = run->MakeExplanationEngine(options);
+      auto report = CheckResult(engine.Explain(run->annotation), "explain");
+      // Clustered variants are scored cluster-aware (as in Fig. 14); plain
+      // variants by direct feature match.
+      const double consistency =
+          kVariants[vi].clustering
+              ? ClusterAwareConsistency(report, run->ground_truth)
+              : ExplanationConsistency(report.SelectedFeatureNames(),
+                                       run->ground_truth);
+      mean_consistency[vi] += consistency;
+      mean_size[vi] += static_cast<double>(report.final_features.size());
+      printf("      %6.3f / %5zu", consistency, report.final_features.size());
+    }
+    printf("\n");
+  }
+
+  printf("%-34s", "mean");
+  for (size_t vi = 0; vi < std::size(kVariants); ++vi) {
+    printf("      %6.3f / %5.1f",
+           mean_consistency[vi] / static_cast<double>(defs.size()),
+           mean_size[vi] / static_cast<double>(defs.size()));
+  }
+  printf("\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Reproduces Appendix A's negative result on real workload data: the
+// penalized-optimization formulation (Function 8) of minimum-explanation
+// finding degenerates to thresholding the per-feature distance, so it can
+// neither enforce conciseness nor avoid redundant correlated features —
+// "those optimizations either cannot find optimal solution or the results
+// are equal to uninteresting thresholds."
+
+#include "bench_util.h"
+
+#include "explain/reward.h"
+#include "features/builder.h"
+#include "ml/metrics.h"
+#include "ml/penalized_selection.h"
+
+using namespace exstream;
+using namespace exstream::bench;
+
+int main() {
+  auto run = BuildRun(HadoopWorkloads()[0]);  // W1: high memory
+  const auto specs = GenerateFeatureSpecs(*run->registry, run->FeatureSpace());
+  FeatureBuilder builder(run->archive.get());
+  auto ranked =
+      CheckResult(ComputeFeatureRewards(builder, specs, run->annotation.abnormal.range,
+                                        run->annotation.reference.range),
+                  "rewards");
+
+  std::vector<double> distances;
+  std::vector<std::string> names;
+  for (const RankedFeature& f : ranked) {
+    distances.push_back(f.reward());
+    names.push_back(f.spec.Name());
+  }
+
+  printf("Appendix A reproduction: penalized optimization (Function 8) on the\n"
+         "entropy distances of workload W1 (%zu features)\n\n",
+         distances.size());
+  printf("%8s %8s %12s %12s %14s\n", "lambda1", "lambda2", "threshold",
+         "#selected", "consistency");
+  for (const auto& [l1, l2] : std::vector<std::pair<double, double>>{
+           {0.2, 0.1}, {0.5, 0.25}, {0.81, 0.3}, {0.95, 0.05}, {1.2, 0.25}}) {
+    auto sel = CheckResult(PenalizedSelectionClosedForm(distances, l1, l2),
+                           "closed form");
+    std::vector<std::string> selected;
+    for (size_t i = 0; i < sel.size(); ++i) {
+      if (sel[i]) selected.push_back(names[i]);
+    }
+    printf("%8.2f %8.2f %12.3f %12zu %14.3f\n", l1, l2, std::sqrt(l1 - l2),
+           selected.size(),
+           ExplanationConsistency(selected, run->ground_truth));
+  }
+
+  printf("\nWhatever the lambdas, the 'optimal' selection is exactly\n"
+         "{ f : D(f) > sqrt(lambda1 - lambda2) } — a plain threshold with no\n"
+         "conciseness pressure and no handling of correlated features, which is\n"
+         "why the paper develops the Sec. 5 heuristic pipeline instead.\n");
+
+  // Sanity: brute force on the top 16 features agrees with the closed form.
+  std::vector<double> top(distances.begin(),
+                          distances.begin() + std::min<size_t>(16, distances.size()));
+  auto closed = CheckResult(PenalizedSelectionClosedForm(top, 0.81, 0.3), "closed");
+  auto brute = CheckResult(PenalizedSelectionBruteForce(top, 0.81, 0.3), "brute");
+  printf("\nbrute-force optimum == closed form on top-16 features: %s\n",
+         closed == brute ? "yes" : "NO (bug!)");
+  return 0;
+}

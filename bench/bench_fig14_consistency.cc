@@ -1,0 +1,40 @@
+// Reproduces Fig. 14: consistency comparison on the 8 Hadoop workloads.
+//
+// Consistency = F-measure of each method's selected features against the
+// expert ground truth (Sec. 6.2). Expected shape: XStream-cluster >= XStream
+// >> logistic regression, decision tree, majority voting, data fusion.
+
+#include "bench_util.h"
+
+using namespace exstream;
+using namespace exstream::bench;
+
+int main() {
+  const std::vector<WorkloadDef> defs = HadoopWorkloads();
+  const std::vector<MethodComparison> comparisons = CompareAll(defs);
+
+  PrintMethodTable("Figure 14: consistency (F-measure vs ground truth)", "%18.3f",
+                   defs, comparisons,
+                   [](const MethodResult& r) { return r.consistency; });
+
+  // The paper's headline: XStream outperforms the alternatives on average.
+  double xs = 0.0;
+  double best_other = 0.0;
+  for (const auto& cmp : comparisons) {
+    xs += FindMethod(cmp, kMethodXStreamCluster).consistency;
+    double other = 0.0;
+    for (const char* m : {kMethodLogReg, kMethodDTree, kMethodVote, kMethodFusion}) {
+      other = std::max(other, FindMethod(cmp, m).consistency);
+    }
+    best_other += other;
+  }
+  xs /= static_cast<double>(comparisons.size());
+  best_other /= static_cast<double>(comparisons.size());
+  printf("\nmean XStream-cluster consistency : %.3f\n", xs);
+  printf("mean best-alternative consistency: %.3f\n", best_other);
+  if (best_other > 0) {
+    printf("improvement                      : %+.0f%%\n",
+           (xs / best_other - 1.0) * 100.0);
+  }
+  return 0;
+}

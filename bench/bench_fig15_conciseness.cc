@@ -1,0 +1,39 @@
+// Reproduces Fig. 15: conciseness comparison (number of selected features,
+// paper plots it in log scale) on the 8 Hadoop workloads.
+//
+// Expected shape: |XStream-cluster| ~ |clustered ground truth| (a few),
+// decision tree < 10, logistic regression ~tens, majority voting and data
+// fusion = |feature space|.
+
+#include "bench_util.h"
+
+using namespace exstream;
+using namespace exstream::bench;
+
+int main() {
+  const std::vector<WorkloadDef> defs = HadoopWorkloads();
+  const std::vector<MethodComparison> comparisons = CompareAll(defs);
+
+  PrintMethodTable("Figure 15: conciseness (#selected features)", "%18.0f", defs,
+                   comparisons, [](const MethodResult& r) {
+                     return static_cast<double>(r.explanation_size);
+                   });
+
+  printf("\n%-34s %14s %22s %14s\n", "workload", "ground truth",
+         "ground truth cluster", "feature space");
+  for (size_t w = 0; w < defs.size(); ++w) {
+    printf("%-34s %14zu %22zu %14zu\n", defs[w].name.c_str(),
+           comparisons[w].ground_truth_size, comparisons[w].ground_truth_clusters,
+           comparisons[w].feature_space_size);
+  }
+
+  double reduction = 0.0;
+  for (const auto& cmp : comparisons) {
+    const auto& xs = FindMethod(cmp, kMethodXStreamCluster);
+    reduction += 1.0 - static_cast<double>(xs.explanation_size) /
+                           static_cast<double>(cmp.feature_space_size);
+  }
+  printf("\nmean feature reduction by XStream-cluster: %.1f%%\n",
+         100.0 * reduction / static_cast<double>(comparisons.size()));
+  return 0;
+}

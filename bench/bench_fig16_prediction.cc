@@ -1,0 +1,32 @@
+// Reproduces Fig. 16: prediction power comparison on the 8 Hadoop workloads.
+//
+// Each method is trained on the annotated anomaly and evaluated (F-measure)
+// on a held-out anomalous job of the same type. Expected shape: XStream,
+// logistic regression, and decision tree all high (mostly > 0.9); XStream
+// within a few percent of the best.
+
+#include "bench_util.h"
+
+using namespace exstream;
+using namespace exstream::bench;
+
+int main() {
+  const std::vector<WorkloadDef> defs = HadoopWorkloads();
+  const std::vector<MethodComparison> comparisons = CompareAll(defs);
+
+  PrintMethodTable("Figure 16: prediction power (F-measure on held-out data)",
+                   "%18.3f", defs, comparisons,
+                   [](const MethodResult& r) { return r.prediction_f1; });
+
+  const std::vector<std::string> methods = {
+      kMethodXStream, kMethodXStreamCluster, kMethodLogReg,
+      kMethodDTree,   kMethodVote,           kMethodFusion};
+  printf("\nmean prediction F-measure per method:\n");
+  for (const auto& m : methods) {
+    double mean = 0.0;
+    for (const auto& cmp : comparisons) mean += FindMethod(cmp, m).prediction_f1;
+    printf("  %-20s %.3f\n", m.c_str(),
+           mean / static_cast<double>(comparisons.size()));
+  }
+  return 0;
+}

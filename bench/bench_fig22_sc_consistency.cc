@@ -1,0 +1,19 @@
+// Reproduces Fig. 22: supply-chain use case, consistency comparison over the
+// six Appendix-D workloads (3 missing-monitoring + 3 sub-par-material).
+//
+// Expected shape: XStream(-cluster) far above the baselines on every
+// workload.
+
+#include "bench_util.h"
+
+using namespace exstream;
+using namespace exstream::bench;
+
+int main() {
+  const std::vector<WorkloadDef> defs = SupplyChainWorkloads();
+  const std::vector<MethodComparison> comparisons = CompareAll(defs);
+  PrintMethodTable(
+      "Figure 22: supply chain consistency (F-measure vs ground truth)", "%18.3f",
+      defs, comparisons, [](const MethodResult& r) { return r.consistency; });
+  return 0;
+}

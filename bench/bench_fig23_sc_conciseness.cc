@@ -1,0 +1,24 @@
+// Reproduces Fig. 23: supply-chain use case, conciseness comparison.
+//
+// Expected shape: |XStream-cluster| tracks the ground-truth size (1-3
+// features); majority voting / data fusion use the whole feature space.
+
+#include "bench_util.h"
+
+using namespace exstream;
+using namespace exstream::bench;
+
+int main() {
+  const std::vector<WorkloadDef> defs = SupplyChainWorkloads();
+  const std::vector<MethodComparison> comparisons = CompareAll(defs);
+  PrintMethodTable("Figure 23: supply chain conciseness (#selected features)",
+                   "%18.0f", defs, comparisons, [](const MethodResult& r) {
+                     return static_cast<double>(r.explanation_size);
+                   });
+  printf("\n%-34s %14s %14s\n", "workload", "ground truth", "feature space");
+  for (size_t w = 0; w < defs.size(); ++w) {
+    printf("%-34s %14zu %14zu\n", defs[w].name.c_str(),
+           comparisons[w].ground_truth_size, comparisons[w].feature_space_size);
+  }
+  return 0;
+}

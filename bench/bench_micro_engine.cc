@@ -1,0 +1,141 @@
+// Microbenchmarks (google-benchmark) for the performance-critical substrate:
+// CEP event processing with growing query counts, archive append/scan,
+// sliding-window aggregation, the entropy distance, and end-to-end feature
+// reward computation.
+
+#include <benchmark/benchmark.h>
+
+#include "archive/archive.h"
+#include "cep/engine.h"
+#include "common/rng.h"
+#include "explain/reward.h"
+#include "features/builder.h"
+#include "features/feature_space.h"
+#include "sim/hadoop_sim.h"
+#include "ts/aggregate.h"
+#include "ts/entropy_distance.h"
+
+namespace exstream {
+namespace {
+
+constexpr char kQ1[] =
+    "PATTERN SEQ(JobStart a, DataIO+ b[], JobEnd c) WHERE [jobId] "
+    "RETURN (b[i].timestamp, a.jobId, sum(b[1..i].dataSize))";
+
+// Shared simulated stream, built once.
+struct SharedStream {
+  EventTypeRegistry registry;
+  std::vector<Event> events;
+
+  SharedStream() {
+    (void)HadoopClusterSim::RegisterEventTypes(&registry);
+    HadoopSimConfig config;
+    config.num_nodes = 4;
+    config.seed = 7;
+    HadoopClusterSim sim(config, &registry);
+    HadoopJobConfig job;
+    job.job_id = "job-0";
+    job.program = "bench";
+    job.dataset = "bench";
+    sim.AddJob(job);
+    VectorSink sink;
+    (void)sim.Run(&sink);
+    events = sink.TakeEvents();
+  }
+};
+
+SharedStream& Stream() {
+  static SharedStream* stream = new SharedStream();
+  return *stream;
+}
+
+void BM_CepEngineThroughput(benchmark::State& state) {
+  SharedStream& s = Stream();
+  CepEngine engine(&s.registry);
+  for (int64_t q = 0; q < state.range(0); ++q) {
+    (void)engine.AddQueryText(kQ1, "q" + std::to_string(q));
+  }
+  for (auto _ : state) {
+    for (const Event& e : s.events) engine.OnEvent(e);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(s.events.size()));
+}
+BENCHMARK(BM_CepEngineThroughput)->Arg(1)->Arg(16)->Arg(256)->Arg(2000);
+
+void BM_ArchiveAppend(benchmark::State& state) {
+  SharedStream& s = Stream();
+  for (auto _ : state) {
+    EventArchive archive(&s.registry);
+    for (const Event& e : s.events) archive.OnEvent(e);
+    benchmark::DoNotOptimize(archive.TotalEvents());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(s.events.size()));
+}
+BENCHMARK(BM_ArchiveAppend);
+
+void BM_ArchiveScan(benchmark::State& state) {
+  SharedStream& s = Stream();
+  EventArchive archive(&s.registry);
+  for (const Event& e : s.events) archive.OnEvent(e);
+  const EventTypeId mem = s.registry.IdOf("MemUsage").ValueOrDie();
+  for (auto _ : state) {
+    auto result = archive.Scan(mem, TimeInterval{100, 400});
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_ArchiveScan);
+
+void BM_WindowAggregate(benchmark::State& state) {
+  Rng rng(3);
+  TimeSeries series;
+  for (Timestamp t = 0; t < state.range(0); ++t) {
+    (void)series.Append(t, rng.Gaussian(0, 1));
+  }
+  for (auto _ : state) {
+    auto result = ApplyWindowAggregate(series, AggregateKind::kMean, 10);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_WindowAggregate)->Arg(1000)->Arg(100000);
+
+void BM_EntropyDistance(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<double> abnormal;
+  std::vector<double> reference;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    abnormal.push_back(rng.Gaussian(0, 1));
+    reference.push_back(rng.Gaussian(1.5, 1));
+  }
+  for (auto _ : state) {
+    auto result = ComputeEntropyDistance(abnormal, reference);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          2 * state.range(0));
+}
+BENCHMARK(BM_EntropyDistance)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_FeatureRewards(benchmark::State& state) {
+  SharedStream& s = Stream();
+  EventArchive archive(&s.registry);
+  for (const Event& e : s.events) archive.OnEvent(e);
+  FeatureBuilder builder(&archive);
+  const auto specs = GenerateFeatureSpecs(s.registry);
+  for (auto _ : state) {
+    auto ranked = ComputeFeatureRewards(builder, specs, TimeInterval{60, 300},
+                                        TimeInterval{300, 480});
+    benchmark::DoNotOptimize(ranked);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(specs.size()));
+}
+BENCHMARK(BM_FeatureRewards);
+
+}  // namespace
+}  // namespace exstream
+
+BENCHMARK_MAIN();

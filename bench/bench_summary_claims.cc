@@ -1,0 +1,76 @@
+// Reproduces the Sec. 6.2 "Summary" aggregate claims across both use cases:
+//
+//  * consistency: XStream outperforms the alternatives (paper: +3201% avg)
+//  * conciseness: XStream reduces ~90.5% of features on average
+//  * prediction: XStream within a few percent of logistic regression, above
+//    majority voting / fusion / decision tree
+//
+// Absolute percentages depend on the substrate; the directional claims are
+// what this bench verifies.
+
+#include "bench_util.h"
+
+using namespace exstream;
+using namespace exstream::bench;
+
+namespace {
+
+struct Aggregate {
+  double consistency = 0.0;
+  double conciseness_reduction = 0.0;
+  double prediction = 0.0;
+};
+
+}  // namespace
+
+int main() {
+  std::vector<WorkloadDef> defs = HadoopWorkloads();
+  for (const WorkloadDef& d : SupplyChainWorkloads()) defs.push_back(d);
+  const std::vector<MethodComparison> comparisons = CompareAll(defs);
+
+  const std::vector<std::string> methods = {
+      kMethodXStream, kMethodXStreamCluster, kMethodLogReg,
+      kMethodDTree,   kMethodVote,           kMethodFusion};
+  std::vector<Aggregate> agg(methods.size());
+  for (const auto& cmp : comparisons) {
+    for (size_t m = 0; m < methods.size(); ++m) {
+      const MethodResult& r = FindMethod(cmp, methods[m]);
+      agg[m].consistency += r.consistency;
+      agg[m].conciseness_reduction +=
+          1.0 - static_cast<double>(r.explanation_size) /
+                    static_cast<double>(cmp.feature_space_size);
+      agg[m].prediction += r.prediction_f1;
+    }
+  }
+  const double n = static_cast<double>(comparisons.size());
+
+  printf("Section 6.2 summary claims (all %zu workloads: 8 Hadoop + 6 supply "
+         "chain)\n\n",
+         comparisons.size());
+  printf("%-20s %12s %22s %12s\n", "method", "consistency", "feature reduction",
+         "prediction");
+  for (size_t m = 0; m < methods.size(); ++m) {
+    printf("%-20s %12.3f %21.1f%% %12.3f\n", methods[m].c_str(),
+           agg[m].consistency / n, 100.0 * agg[m].conciseness_reduction / n,
+           agg[m].prediction / n);
+  }
+
+  const double xs_cons = agg[1].consistency / n;
+  double others_cons = 0.0;
+  for (size_t m : {size_t{2}, size_t{3}, size_t{4}, size_t{5}}) {
+    others_cons += agg[m].consistency / n;
+  }
+  others_cons /= 4.0;
+  printf("\nclaim 1 (consistency): XStream-cluster %.3f vs alternative mean %.3f "
+         "-> %+.0f%%\n",
+         xs_cons, others_cons,
+         others_cons > 0 ? (xs_cons / others_cons - 1.0) * 100.0 : 0.0);
+  printf("claim 2 (conciseness): XStream-cluster removes %.1f%% of the feature "
+         "space on average\n",
+         100.0 * agg[1].conciseness_reduction / n);
+  printf("claim 3 (prediction): XStream-cluster %.3f vs logistic regression "
+         "%.3f (delta %+.1f%%)\n",
+         agg[1].prediction / n, agg[2].prediction / n,
+         (agg[1].prediction / n - agg[2].prediction / n) * 100.0);
+  return 0;
+}

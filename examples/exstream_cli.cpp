@@ -1,0 +1,282 @@
+// exstream_cli: a command-line driver for the full system over user data.
+//
+//   exstream_cli --demo
+//       writes a demo schema + CSV event log (from the Hadoop simulator) to
+//       /tmp and runs the complete monitor -> annotate -> explain flow on it.
+//
+//   exstream_cli --schema schema.txt --events events.csv --query query.sase
+//                [--column NAME] [--list-partitions]
+//                [--chart PARTITION]
+//                [--explain PARTITION:LO:HI --reference PARTITION:LO:HI]
+//
+// Schema file: one event type per line, `TypeName attr:type attr:type ...`
+// where type is int64|double|string. Event CSV: see src/io/csv.h.
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "common/strings.h"
+#include "explain/engine.h"
+#include "explain/explanation_io.h"
+#include "io/csv.h"
+#include "sim/workloads.h"
+#include "viz/ascii_chart.h"
+#include "xstream/system.h"
+
+using namespace exstream;
+
+namespace {
+
+Result<EventTypeRegistry> LoadSchemaFile(const std::string& path) {
+  FILE* f = fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open schema file " + path);
+  std::string text;
+  char buf[1 << 14];
+  size_t n;
+  while ((n = fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  fclose(f);
+
+  EventTypeRegistry registry;
+  for (const std::string& raw_line : SplitAndTrim(text, '\n')) {
+    const std::string line(TrimWhitespace(raw_line));
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<std::string> parts = SplitAndTrim(line, ' ');
+    std::vector<AttributeDef> attrs;
+    for (size_t i = 1; i < parts.size(); ++i) {
+      if (parts[i].empty()) continue;
+      const auto kv = SplitAndTrim(parts[i], ':');
+      if (kv.size() != 2) {
+        return Status::ParseError("bad attribute spec '" + parts[i] + "'");
+      }
+      AttributeDef attr;
+      attr.name = kv[0];
+      if (kv[1] == "int64") {
+        attr.type = ValueType::kInt64;
+      } else if (kv[1] == "double") {
+        attr.type = ValueType::kDouble;
+      } else if (kv[1] == "string") {
+        attr.type = ValueType::kString;
+      } else {
+        return Status::ParseError("unknown type '" + kv[1] + "'");
+      }
+      attrs.push_back(std::move(attr));
+    }
+    EXSTREAM_RETURN_NOT_OK(registry.Register(EventSchema(parts[0], attrs)).status());
+  }
+  return registry;
+}
+
+Result<std::string> ReadTextFile(const std::string& path) {
+  FILE* f = fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  std::string text;
+  char buf[1 << 14];
+  size_t n;
+  while ((n = fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  fclose(f);
+  return text;
+}
+
+// "partition:lo:hi" -> IntervalRef.
+Result<IntervalRef> ParseIntervalArg(const std::string& arg,
+                                     const std::string& query_name) {
+  const auto parts = SplitAndTrim(arg, ':');
+  if (parts.size() != 3) {
+    return Status::InvalidArgument("expected PARTITION:LO:HI, got '" + arg + "'");
+  }
+  IntervalRef ref;
+  ref.query = query_name;
+  ref.partition = parts[0];
+  ref.range.lower = static_cast<Timestamp>(strtoll(parts[1].c_str(), nullptr, 10));
+  ref.range.upper = static_cast<Timestamp>(strtoll(parts[2].c_str(), nullptr, 10));
+  if (ref.range.upper <= ref.range.lower) {
+    return Status::InvalidArgument("empty interval in '" + arg + "'");
+  }
+  return ref;
+}
+
+// Writes the demo schema/events/query trio and returns their paths.
+Result<std::array<std::string, 3>> WriteDemoFiles() {
+  auto run_result = BuildWorkloadRun(HadoopWorkloads()[0]);
+  EXSTREAM_RETURN_NOT_OK(run_result.status());
+  const WorkloadRun& run = **run_result;
+
+  // Schema file.
+  std::string schema_text;
+  for (const EventSchema& schema : run.registry->schemas()) {
+    schema_text += schema.name();
+    for (const AttributeDef& attr : schema.attributes()) {
+      schema_text += " " + attr.name + ":" +
+                     std::string(ValueTypeToString(attr.type));
+    }
+    schema_text += "\n";
+  }
+  const std::string schema_path = "/tmp/exstream_demo_schema.txt";
+  FILE* sf = fopen(schema_path.c_str(), "wb");
+  if (sf == nullptr) return Status::IOError("cannot write " + schema_path);
+  fwrite(schema_text.data(), 1, schema_text.size(), sf);
+  fclose(sf);
+
+  // Event CSV from the archive.
+  EXSTREAM_ASSIGN_OR_RETURN(
+      auto grouped, run.archive->ScanAll(TimeInterval{0, Timestamp{1} << 62}));
+  std::vector<Event> events;
+  for (auto& per_type : grouped) {
+    events.insert(events.end(), per_type.begin(), per_type.end());
+  }
+  VectorEventSource source(std::move(events));
+  source.SortByTime();
+  const std::string events_path = "/tmp/exstream_demo_events.csv";
+  EXSTREAM_RETURN_NOT_OK(
+      WriteCsvEventsFile(events_path, source.events(), *run.registry));
+
+  // Query file.
+  const std::string query_path = "/tmp/exstream_demo_query.sase";
+  const std::string query_text =
+      run.engine->compiled(run.monitor_query).query().ToString() + "\n";
+  FILE* qf = fopen(query_path.c_str(), "wb");
+  if (qf == nullptr) return Status::IOError("cannot write " + query_path);
+  fwrite(query_text.data(), 1, query_text.size(), qf);
+  fclose(qf);
+
+  fprintf(stderr, "demo files written:\n  %s\n  %s\n  %s\n", schema_path.c_str(),
+          events_path.c_str(), query_path.c_str());
+  return std::array<std::string, 3>{schema_path, events_path, query_path};
+}
+
+int Run(int argc, char** argv) {
+  std::map<std::string, std::string> args;
+  bool demo = argc <= 1;  // bare invocation runs the self-contained demo
+  bool list_partitions = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--demo") {
+      demo = true;
+    } else if (arg == "--list-partitions") {
+      list_partitions = true;
+    } else if (StartsWith(arg, "--") && i + 1 < argc) {
+      args[arg.substr(2)] = argv[++i];
+    } else {
+      fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  if (demo) {
+    auto paths = WriteDemoFiles();
+    if (!paths.ok()) {
+      fprintf(stderr, "%s\n", paths.status().ToString().c_str());
+      return 1;
+    }
+    args["schema"] = (*paths)[0];
+    args["events"] = (*paths)[1];
+    args["query"] = (*paths)[2];
+    if (args.count("explain") == 0) {
+      args["explain"] = "job-anomaly:3060:3360";
+      args["reference"] = "job-anomaly:3420:3641";
+      args["chart"] = "job-anomaly";
+    }
+  }
+  if (args.count("schema") + args.count("events") + args.count("query") < 3) {
+    fprintf(stderr,
+            "usage: exstream_cli --demo | --schema F --events F --query F\n"
+            "       [--column NAME] [--list-partitions] [--chart PARTITION]\n"
+            "       [--explain P:LO:HI --reference P:LO:HI]\n");
+    return 2;
+  }
+
+  auto registry = LoadSchemaFile(args["schema"]);
+  if (!registry.ok()) {
+    fprintf(stderr, "%s\n", registry.status().ToString().c_str());
+    return 1;
+  }
+  auto query_text = ReadTextFile(args["query"]);
+  if (!query_text.ok()) {
+    fprintf(stderr, "%s\n", query_text.status().ToString().c_str());
+    return 1;
+  }
+
+  XStreamSystem system(&*registry);
+  auto qid = system.AddQuery(*query_text, "Q");
+  if (!qid.ok()) {
+    fprintf(stderr, "query error: %s\n", qid.status().ToString().c_str());
+    return 1;
+  }
+
+  auto parsed = ReadCsvEventsFile(args["events"], *registry);
+  if (!parsed.ok()) {
+    fprintf(stderr, "event load error: %s\n", parsed.status().ToString().c_str());
+    return 1;
+  }
+  VectorEventSource source(std::move(parsed->events));
+  source.SortByTime();
+  source.Replay(&system);
+  printf("ingested %zu events; %zu match rows\n", source.size(),
+         system.engine().match_table(*qid).TotalRows());
+
+  const MatchTable& matches = system.engine().match_table(*qid);
+  const std::string column =
+      args.count("column") ? args["column"] : matches.column_names().back();
+
+  if (list_partitions || args.count("chart") || args.count("explain")) {
+    if (system.IndexPartitions(*qid, {{"source", args["events"]}}).ok() &&
+        list_partitions) {
+      printf("\npartitions:\n");
+      for (const std::string& p : matches.Partitions()) {
+        printf("  %-24s %6zu rows%s\n", p.c_str(), matches.NumRows(p),
+               matches.IsComplete(p) ? "  (complete)" : "");
+      }
+    }
+  }
+
+  if (args.count("chart")) {
+    auto series = matches.ExtractSeries(args["chart"], column);
+    if (!series.ok()) {
+      fprintf(stderr, "%s\n", series.status().ToString().c_str());
+      return 1;
+    }
+    printf("\n%s / %s:\n%s", args["chart"].c_str(), column.c_str(),
+           RenderSeries(*series).c_str());
+  }
+
+  if (args.count("explain")) {
+    if (args.count("reference") == 0) {
+      fprintf(stderr, "--explain needs --reference\n");
+      return 2;
+    }
+    AnomalyAnnotation annotation;
+    auto abnormal = ParseIntervalArg(args["explain"], "Q");
+    auto reference = ParseIntervalArg(args["reference"], "Q");
+    if (!abnormal.ok() || !reference.ok()) {
+      fprintf(stderr, "bad interval argument\n");
+      return 2;
+    }
+    annotation.abnormal = *abnormal;
+    annotation.reference = *reference;
+    auto report = system.Explain(annotation, *qid, column);
+    if (!report.ok()) {
+      fprintf(stderr, "explain error: %s\n", report.status().ToString().c_str());
+      return 1;
+    }
+    printf("\nEXPLANATION (%zu of %zu features, %.2f s):\n  %s\n",
+           report->final_features.size(), report->ranked.size(),
+           report->duration_seconds, report->explanation.ToString().c_str());
+    if (args.count("save-rule")) {
+      const Status saved =
+          SaveExplanationFile(args["save-rule"], report->explanation);
+      if (!saved.ok()) {
+        fprintf(stderr, "%s\n", saved.ToString().c_str());
+        return 1;
+      }
+      printf("rule saved to %s (reload with LoadExplanationFile)\n",
+             args["save-rule"].c_str());
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

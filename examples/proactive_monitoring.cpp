@@ -1,0 +1,85 @@
+// Proactive monitoring (paper Sec. 1: "based on the explanation enable a user
+// action to prevent or remedy the effect of an anomaly" — "the explanation
+// can be encoded into the system for proactive monitoring for similar
+// anomalies in the future").
+//
+// Steps:
+//  1. Learn an explanation from an annotated high-memory anomaly.
+//  2. Encode the explanation's CNF as a live detector over windowed features.
+//  3. Replay a fresh cluster run containing another high-memory interference
+//     and show the detector raising an alarm while the anomaly is active.
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "features/builder.h"
+#include "sim/workloads.h"
+
+using namespace exstream;
+
+int main() {
+  // 1. Learn the explanation from workload W1's annotation.
+  auto run_result = BuildWorkloadRun(HadoopWorkloads()[0]);
+  if (!run_result.ok()) {
+    fprintf(stderr, "build failed: %s\n", run_result.status().ToString().c_str());
+    return 1;
+  }
+  const WorkloadRun& run = **run_result;
+  ExplanationEngine engine = run.MakeExplanationEngine(run.DefaultExplainOptions());
+  auto report = engine.Explain(run.annotation);
+  if (!report.ok() || report->explanation.empty()) {
+    fprintf(stderr, "no explanation learned\n");
+    return 1;
+  }
+  const Explanation& rule = report->explanation;
+  printf("learned rule: %s\n\n", rule.ToString().c_str());
+
+  // 2.+3. Replay the *test* job (a second, unseen anomaly of the same type)
+  // and evaluate the rule over a sliding window of features.
+  const auto& test = run.test_annotation;
+  FeatureBuilder builder(run.archive.get());
+
+  // The features the rule references.
+  std::vector<FeatureSpec> specs;
+  const auto all_specs = GenerateFeatureSpecs(*run.registry, run.FeatureSpace());
+  for (const std::string& name : rule.FeatureNames()) {
+    auto spec = FindSpecByName(all_specs, name);
+    if (spec.ok()) specs.push_back(*spec);
+  }
+
+  const Timestamp job_start = test.abnormal.range.lower - 60;
+  const Timestamp job_end = test.reference.range.upper;
+  const Timestamp window = 30;
+
+  printf("%10s %10s   %s\n", "t", "alarm", "(anomaly truly active in [60, 360])");
+  int alarms_during = 0;
+  int alarms_outside = 0;
+  for (Timestamp t = job_start + window; t <= job_end; t += window) {
+    auto features = builder.Build(specs, {t - window, t});
+    if (!features.ok()) continue;
+    std::map<std::string, double> values;
+    for (const Feature& f : *features) {
+      if (f.series.empty()) continue;
+      double mean = 0;
+      for (double v : f.series.values()) mean += v;
+      values[f.spec.Name()] = mean / static_cast<double>(f.series.size());
+    }
+    const bool alarm = rule.Eval(values);
+    const bool truly_anomalous =
+        t > test.abnormal.range.lower && t <= test.abnormal.range.upper + window;
+    if (alarm && truly_anomalous) ++alarms_during;
+    if (alarm && !truly_anomalous) ++alarms_outside;
+    printf("%10lld %10s   %s\n", static_cast<long long>(t - job_start),
+           alarm ? "ALARM" : "-", truly_anomalous ? "<- anomaly window" : "");
+  }
+  printf("\nalarms during the unseen anomaly : %d\n", alarms_during);
+  printf("false alarms outside              : %d\n", alarms_outside);
+  if (alarms_during == 0) {
+    fprintf(stderr, "proactive rule failed to fire\n");
+    return 1;
+  }
+  printf("\nThe explanation generalizes: it detects the *next* occurrence of the\n"
+         "same anomaly type without any new annotation (proactive monitoring).\n");
+  return 0;
+}

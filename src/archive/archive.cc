@@ -1,0 +1,117 @@
+#include "archive/archive.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace exstream {
+
+EventArchive::EventArchive(const EventTypeRegistry* registry, ArchiveOptions options)
+    : registry_(registry), options_(std::move(options)) {
+  chunks_.resize(registry_->size());
+  resident_sealed_.assign(registry_->size(), 0);
+  spill_cursor_.assign(registry_->size(), 0);
+  for (size_t t = 0; t < registry_->size(); ++t) {
+    chunks_[t].emplace_back(static_cast<EventTypeId>(t), options_.chunk_capacity);
+  }
+}
+
+void EventArchive::OnEvent(const Event& event) {
+  const Status st = Append(event);
+  if (!st.ok()) {
+    ++append_errors_;
+    EXSTREAM_LOG(Warn) << "archive append failed: " << st.ToString();
+  }
+}
+
+Status EventArchive::Append(const Event& event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return AppendLocked(event);
+}
+
+Status EventArchive::AppendLocked(const Event& event) {
+  if (event.type >= chunks_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("event type %u not registered", event.type));
+  }
+  auto& list = chunks_[event.type];
+  if (list.back().full()) {
+    list.back().Seal();
+    ++resident_sealed_[event.type];
+    list.emplace_back(event.type, options_.chunk_capacity);
+    EXSTREAM_RETURN_NOT_OK(MaybeSpillLocked(event.type));
+  }
+  return list.back().Append(event);
+}
+
+Status EventArchive::MaybeSpillLocked(EventTypeId type) {
+  if (!options_.spill_dir.has_value()) return Status::OK();
+  while (resident_sealed_[type] > options_.max_resident_chunks) {
+    auto& list = chunks_[type];
+    size_t& cursor = spill_cursor_[type];
+    while (cursor < list.size() && (list[cursor].spilled() || !list[cursor].sealed())) {
+      ++cursor;
+    }
+    if (cursor >= list.size()) break;
+    const std::string path = StrFormat("%s/type%u_chunk%zu_%zu.bin",
+                                       options_.spill_dir->c_str(), type, cursor,
+                                       spill_file_seq_++);
+    EXSTREAM_RETURN_NOT_OK(list[cursor].SpillTo(path));
+    --resident_sealed_[type];
+  }
+  return Status::OK();
+}
+
+Result<std::vector<Event>> EventArchive::Scan(EventTypeId type,
+                                              const TimeInterval& interval) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (type >= chunks_.size()) {
+    return Status::InvalidArgument(StrFormat("event type %u not registered", type));
+  }
+  std::vector<Event> out;
+  for (const Chunk& chunk : chunks_[type]) {
+    if (!chunk.Overlaps(interval)) continue;  // the time-range index at work
+    EXSTREAM_ASSIGN_OR_RETURN(std::vector<Event> events, chunk.Load());
+    for (Event& e : events) {
+      if (interval.Contains(e.ts)) out.push_back(std::move(e));
+    }
+  }
+  return out;
+}
+
+Result<std::vector<std::vector<Event>>> EventArchive::ScanAll(
+    const TimeInterval& interval) const {
+  std::vector<std::vector<Event>> out;
+  out.reserve(chunks_.size());
+  for (size_t t = 0; t < chunks_.size(); ++t) {
+    EXSTREAM_ASSIGN_OR_RETURN(std::vector<Event> events,
+                              Scan(static_cast<EventTypeId>(t), interval));
+    out.push_back(std::move(events));
+  }
+  return out;
+}
+
+size_t EventArchive::CountEvents(EventTypeId type) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (type >= chunks_.size()) return 0;
+  size_t n = 0;
+  for (const Chunk& c : chunks_[type]) n += c.size();
+  return n;
+}
+
+size_t EventArchive::TotalEvents() const {
+  size_t n = 0;
+  for (size_t t = 0; t < chunks_.size(); ++t) {
+    n += CountEvents(static_cast<EventTypeId>(t));
+  }
+  return n;
+}
+
+size_t EventArchive::NumChunks(EventTypeId type) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (type >= chunks_.size()) return 0;
+  return chunks_[type].size();
+}
+
+}  // namespace exstream

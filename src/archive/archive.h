@@ -1,0 +1,83 @@
+// EventArchive: the archive module of the XStream architecture (Fig. 18/19a).
+//
+// Stores all input-stream events, partitioned by event type into bounded
+// chunks with a per-chunk time-range index, so that explanation analysis can
+// read back exactly the events of an annotated interval without scanning
+// unrelated data. Sealed chunks can be spilled to disk and reloaded lazily.
+
+#pragma once
+
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "archive/chunk.h"
+#include "common/result.h"
+#include "event/event.h"
+#include "event/registry.h"
+#include "event/stream.h"
+
+namespace exstream {
+
+/// \brief Configuration for the archive.
+struct ArchiveOptions {
+  /// Events per chunk; the paper's index-size vs read-amplification tradeoff.
+  size_t chunk_capacity = 4096;
+  /// If set, sealed chunks beyond `max_resident_chunks` spill here.
+  std::optional<std::string> spill_dir;
+  /// Resident sealed-chunk budget per event type before spilling (FIFO).
+  size_t max_resident_chunks = 64;
+};
+
+/// \brief Chunked, time-indexed store of all archived events.
+///
+/// Thread-safe: the CEP data source appends from the ingest thread while the
+/// explanation engine scans from worker threads.
+class EventArchive : public EventSink {
+ public:
+  EventArchive(const EventTypeRegistry* registry, ArchiveOptions options = {});
+
+  /// EventSink: archives one event. Errors are counted and logged, not thrown.
+  void OnEvent(const Event& event) override;
+
+  /// Appends with error reporting (preferred in non-streaming code).
+  Status Append(const Event& event);
+
+  /// \brief All events of `type` with ts in [interval.lower, interval.upper],
+  /// in time order.
+  Result<std::vector<Event>> Scan(EventTypeId type, const TimeInterval& interval) const;
+
+  /// \brief Scan across every event type; results grouped by type id.
+  Result<std::vector<std::vector<Event>>> ScanAll(const TimeInterval& interval) const;
+
+  /// Total archived events of a type.
+  size_t CountEvents(EventTypeId type) const;
+
+  /// Total archived events.
+  size_t TotalEvents() const;
+
+  /// Number of chunks (resident + spilled) for a type.
+  size_t NumChunks(EventTypeId type) const;
+
+  /// Number of append errors swallowed by OnEvent (out-of-order etc.).
+  size_t append_errors() const { return append_errors_; }
+
+  const EventTypeRegistry& registry() const { return *registry_; }
+
+ private:
+  Status AppendLocked(const Event& event);
+  Status MaybeSpillLocked(EventTypeId type);
+
+  const EventTypeRegistry* registry_;  // not owned
+  ArchiveOptions options_;
+  mutable std::mutex mu_;
+  // chunks_[type] is the ordered chunk list of that event type.
+  std::vector<std::vector<Chunk>> chunks_;
+  std::vector<size_t> resident_sealed_;  // per type, count of unspilled sealed chunks
+  std::vector<size_t> spill_cursor_;     // per type, next chunk index to spill
+  size_t append_errors_ = 0;
+  size_t spill_file_seq_ = 0;
+};
+
+}  // namespace exstream

@@ -1,0 +1,41 @@
+#include "archive/chunk.h"
+
+#include "archive/serialization.h"
+#include "common/strings.h"
+
+namespace exstream {
+
+Status Chunk::Append(const Event& event) {
+  if (sealed_) return Status::Internal("append to sealed chunk");
+  if (event.type != type_) {
+    return Status::InvalidArgument("event type does not match chunk type");
+  }
+  if (count_ > 0 && event.ts < max_ts_) {
+    return Status::InvalidArgument(
+        StrFormat("out-of-order event ts %lld < chunk max %lld",
+                  static_cast<long long>(event.ts), static_cast<long long>(max_ts_)));
+  }
+  if (count_ == 0) min_ts_ = event.ts;
+  max_ts_ = event.ts;
+  events_.push_back(event);
+  ++count_;
+  return Status::OK();
+}
+
+Status Chunk::SpillTo(const std::string& path) {
+  if (!sealed_) return Status::Internal("spill of unsealed chunk");
+  if (spilled_) return Status::OK();
+  EXSTREAM_RETURN_NOT_OK(WriteEventsFile(path, events_));
+  spill_path_ = path;
+  spilled_ = true;
+  events_.clear();
+  events_.shrink_to_fit();
+  return Status::OK();
+}
+
+Result<std::vector<Event>> Chunk::Load() const {
+  if (!spilled_) return events_;
+  return ReadEventsFile(spill_path_);
+}
+
+}  // namespace exstream

@@ -1,0 +1,66 @@
+// Chunk: a bounded run of same-type events, the archive's storage unit
+// (Appendix B: "events of the same type are chopped into smaller chunk files
+// on disk; an index of the time range for each chunk is built").
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "event/event.h"
+
+namespace exstream {
+
+/// \brief A contiguous, time-ordered run of events of one type.
+///
+/// A chunk is open while events accumulate, sealed once it reaches the
+/// configured capacity, and may then be spilled to a binary file. Spilled
+/// chunks keep their time range in memory (the index entry) and reload their
+/// events on demand.
+class Chunk {
+ public:
+  Chunk(EventTypeId type, size_t capacity) : type_(type), capacity_(capacity) {}
+
+  EventTypeId type() const { return type_; }
+  size_t size() const { return count_; }
+  bool sealed() const { return sealed_; }
+  bool spilled() const { return spilled_; }
+  bool full() const { return count_ >= capacity_; }
+
+  Timestamp min_ts() const { return min_ts_; }
+  Timestamp max_ts() const { return max_ts_; }
+
+  /// True if the chunk's time range intersects [interval.lower, interval.upper].
+  bool Overlaps(const TimeInterval& interval) const {
+    return count_ > 0 && min_ts_ <= interval.upper && max_ts_ >= interval.lower;
+  }
+
+  /// Appends an event (same type, non-decreasing ts). Fails when sealed.
+  Status Append(const Event& event);
+
+  /// Marks the chunk immutable.
+  void Seal() { sealed_ = true; }
+
+  /// Writes events to `path` and drops the in-memory copy. Requires sealed.
+  Status SpillTo(const std::string& path);
+
+  /// Events of the chunk; reloads from the spill file if necessary.
+  Result<std::vector<Event>> Load() const;
+
+  /// In-memory events (empty if spilled). Use Load() for uniform access.
+  const std::vector<Event>& resident_events() const { return events_; }
+
+ private:
+  EventTypeId type_;
+  size_t capacity_;
+  std::vector<Event> events_;
+  size_t count_ = 0;
+  Timestamp min_ts_ = 0;
+  Timestamp max_ts_ = 0;
+  bool sealed_ = false;
+  bool spilled_ = false;
+  std::string spill_path_;
+};
+
+}  // namespace exstream

@@ -1,0 +1,154 @@
+#include "archive/serialization.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace exstream {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x45585331;  // "EXS1"
+
+void PutU8(std::string* out, uint8_t v) { out->push_back(static_cast<char>(v)); }
+
+template <typename T>
+void PutPod(std::string* out, T v) {
+  char buf[sizeof(T)];
+  std::memcpy(buf, &v, sizeof(T));
+  out->append(buf, sizeof(T));
+}
+
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  template <typename T>
+  Result<T> Get() {
+    if (pos_ + sizeof(T) > data_.size()) {
+      return Status::IOError("truncated event buffer");
+    }
+    T v;
+    std::memcpy(&v, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  Result<std::string> GetBytes(size_t n) {
+    if (pos_ + n > data_.size()) return Status::IOError("truncated string payload");
+    std::string s(data_.substr(pos_, n));
+    pos_ += n;
+    return s;
+  }
+
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string SerializeEvents(const std::vector<Event>& events) {
+  std::string out;
+  PutPod<uint32_t>(&out, kMagic);
+  PutPod<uint32_t>(&out, static_cast<uint32_t>(events.size()));
+  for (const Event& e : events) {
+    PutPod<int64_t>(&out, e.ts);
+    PutPod<uint32_t>(&out, e.type);
+    PutPod<uint16_t>(&out, static_cast<uint16_t>(e.values.size()));
+    for (const Value& v : e.values) {
+      PutU8(&out, static_cast<uint8_t>(v.type()));
+      switch (v.type()) {
+        case ValueType::kInt64:
+          PutPod<int64_t>(&out, v.AsInt64());
+          break;
+        case ValueType::kDouble:
+          PutPod<double>(&out, v.AsDouble());
+          break;
+        case ValueType::kString: {
+          const std::string& s = v.AsString();
+          PutPod<uint32_t>(&out, static_cast<uint32_t>(s.size()));
+          out.append(s);
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Result<std::vector<Event>> DeserializeEvents(std::string_view data) {
+  Reader r(data);
+  EXSTREAM_ASSIGN_OR_RETURN(const uint32_t magic, r.Get<uint32_t>());
+  if (magic != kMagic) return Status::IOError("bad event buffer magic");
+  EXSTREAM_ASSIGN_OR_RETURN(const uint32_t count, r.Get<uint32_t>());
+  std::vector<Event> events;
+  events.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    Event e;
+    EXSTREAM_ASSIGN_OR_RETURN(e.ts, r.Get<int64_t>());
+    EXSTREAM_ASSIGN_OR_RETURN(e.type, r.Get<uint32_t>());
+    EXSTREAM_ASSIGN_OR_RETURN(const uint16_t nvals, r.Get<uint16_t>());
+    e.values.reserve(nvals);
+    for (uint16_t j = 0; j < nvals; ++j) {
+      EXSTREAM_ASSIGN_OR_RETURN(const uint8_t tag, r.Get<uint8_t>());
+      switch (static_cast<ValueType>(tag)) {
+        case ValueType::kInt64: {
+          EXSTREAM_ASSIGN_OR_RETURN(const int64_t v, r.Get<int64_t>());
+          e.values.emplace_back(v);
+          break;
+        }
+        case ValueType::kDouble: {
+          EXSTREAM_ASSIGN_OR_RETURN(const double v, r.Get<double>());
+          e.values.emplace_back(v);
+          break;
+        }
+        case ValueType::kString: {
+          EXSTREAM_ASSIGN_OR_RETURN(const uint32_t len, r.Get<uint32_t>());
+          EXSTREAM_ASSIGN_OR_RETURN(std::string s, r.GetBytes(len));
+          e.values.emplace_back(std::move(s));
+          break;
+        }
+        default:
+          return Status::IOError(StrFormat("bad value tag %u", tag));
+      }
+    }
+    events.push_back(std::move(e));
+  }
+  if (!r.AtEnd()) return Status::IOError("trailing bytes in event buffer");
+  return events;
+}
+
+Status WriteEventsFile(const std::string& path, const std::vector<Event>& events) {
+  const std::string data = SerializeEvents(events);
+  const std::string tmp = path + ".tmp";
+  FILE* f = fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot open " + tmp);
+  const size_t written = fwrite(data.data(), 1, data.size(), f);
+  fclose(f);
+  if (written != data.size()) {
+    remove(tmp.c_str());
+    return Status::IOError("short write to " + tmp);
+  }
+  if (rename(tmp.c_str(), path.c_str()) != 0) {
+    remove(tmp.c_str());
+    return Status::IOError("cannot rename " + tmp + " to " + path);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<Event>> ReadEventsFile(const std::string& path) {
+  FILE* f = fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  std::string data;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = fread(buf, 1, sizeof(buf), f)) > 0) data.append(buf, n);
+  fclose(f);
+  return DeserializeEvents(data);
+}
+
+}  // namespace exstream

@@ -1,0 +1,30 @@
+// Binary (de)serialization of event vectors for archive spill files.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "event/event.h"
+
+namespace exstream {
+
+/// \brief Serializes events into a compact binary buffer.
+///
+/// Layout: u32 magic, u32 count, then per event: i64 ts, u32 type,
+/// u16 value count, per value: u8 tag + payload (i64 / f64 / u32-length
+/// prefixed bytes).
+std::string SerializeEvents(const std::vector<Event>& events);
+
+/// \brief Parses a buffer produced by SerializeEvents.
+Result<std::vector<Event>> DeserializeEvents(std::string_view data);
+
+/// \brief Writes the serialized form of `events` to `path` (atomically via a
+/// temp file + rename).
+Status WriteEventsFile(const std::string& path, const std::vector<Event>& events);
+
+/// \brief Reads an events file written by WriteEventsFile.
+Result<std::vector<Event>> ReadEventsFile(const std::string& path);
+
+}  // namespace exstream

@@ -1,0 +1,68 @@
+#include "cep/engine.h"
+
+#include "query/parser.h"
+
+namespace exstream {
+
+Result<QueryId> CepEngine::AddQuery(const Query& query) {
+  EXSTREAM_ASSIGN_OR_RETURN(CompiledQuery cq, CompiledQuery::Compile(query, registry_));
+  const QueryId id = static_cast<QueryId>(queries_.size());
+  queries_.push_back(std::make_unique<QueryState>(std::move(cq)));
+  return id;
+}
+
+Result<QueryId> CepEngine::AddQueryText(std::string_view text, std::string name) {
+  EXSTREAM_ASSIGN_OR_RETURN(Query q, ParseQuery(text, std::move(name)));
+  return AddQuery(q);
+}
+
+Result<QueryId> CepEngine::QueryIdByName(std::string_view name) const {
+  for (size_t i = 0; i < queries_.size(); ++i) {
+    if (queries_[i]->compiled.query().name == name) {
+      return static_cast<QueryId>(i);
+    }
+  }
+  return Status::NotFound("no query named '" + std::string(name) + "'");
+}
+
+void CepEngine::OnEvent(const Event& event) {
+  ++events_processed_;
+  for (size_t qi = 0; qi < queries_.size(); ++qi) {
+    QueryState& qs = *queries_[qi];
+    if (!qs.compiled.IsRelevantType(event.type)) continue;
+
+    // Partition key: the value of the bracketed attribute in this event's
+    // schema (components of one query may place it at different indices).
+    std::string partition;
+    if (!qs.compiled.query().partition_attribute.empty()) {
+      bool found = false;
+      for (const CompiledComponent& comp : qs.compiled.components()) {
+        if (comp.type == event.type && comp.partition_attr.has_value()) {
+          partition = event.values[*comp.partition_attr].ToString();
+          found = true;
+          break;
+        }
+      }
+      if (!found) continue;  // event type matches but carries no partition key
+    }
+
+    auto [it, inserted] = qs.runs.try_emplace(partition, &qs.compiled);
+    RunStepResult step = it->second.OnEvent(event);
+    if (step.emitted_row) {
+      qs.matches.Append(partition, step.row);
+      if (callback_) {
+        callback_(MatchNotification{static_cast<QueryId>(qi), partition, step.row,
+                                    step.match_complete});
+      }
+    }
+    if (step.match_complete) {
+      qs.matches.MarkComplete(partition);
+      if (callback_ && !step.emitted_row) {
+        callback_(MatchNotification{static_cast<QueryId>(qi), partition, MatchRow{},
+                                    true});
+      }
+    }
+  }
+}
+
+}  // namespace exstream

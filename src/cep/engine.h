@@ -1,0 +1,80 @@
+// CepEngine: the multi-query CEP evaluator at the core of the monitoring
+// system (Fig. 1c / Fig. 18).
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cep/match_table.h"
+#include "cep/nfa.h"
+#include "common/result.h"
+#include "event/registry.h"
+#include "event/stream.h"
+
+namespace exstream {
+
+using QueryId = uint32_t;
+
+/// \brief A match-row notification delivered to the engine's callback.
+struct MatchNotification {
+  QueryId query = 0;
+  std::string partition;
+  MatchRow row;
+  bool complete = false;  ///< the full pattern completed with this event
+};
+
+/// \brief Evaluates many SASE queries over one event stream.
+///
+/// Each query maintains one QueryRun per partition value (the bracketed
+/// equivalence attribute). Events irrelevant to a query (by type) are skipped
+/// via a per-query type bitmap, so thousands of concurrent queries stay cheap
+/// per event (the Fig. 20 scenario).
+class CepEngine : public EventSink {
+ public:
+  explicit CepEngine(const EventTypeRegistry* registry) : registry_(registry) {}
+
+  /// Compiles and registers a query; returns its id.
+  Result<QueryId> AddQuery(const Query& query);
+
+  /// Parses, compiles, and registers a query given in Fig. 3 syntax.
+  Result<QueryId> AddQueryText(std::string_view text, std::string name);
+
+  /// EventSink: feeds one event through every relevant query.
+  void OnEvent(const Event& event) override;
+
+  size_t num_queries() const { return queries_.size(); }
+  uint64_t events_processed() const { return events_processed_; }
+
+  const CompiledQuery& compiled(QueryId id) const { return queries_[id]->compiled; }
+  const MatchTable& match_table(QueryId id) const { return queries_[id]->matches; }
+  MatchTable& mutable_match_table(QueryId id) { return queries_[id]->matches; }
+
+  /// Lookup by query name; NotFound if absent.
+  Result<QueryId> QueryIdByName(std::string_view name) const;
+
+  /// Registers a callback invoked on every emitted match row.
+  void SetMatchCallback(std::function<void(const MatchNotification&)> cb) {
+    callback_ = std::move(cb);
+  }
+
+ private:
+  struct QueryState {
+    CompiledQuery compiled;
+    MatchTable matches;
+    std::unordered_map<std::string, QueryRun> runs;
+
+    QueryState(CompiledQuery cq)
+        : compiled(std::move(cq)), matches(compiled.OutputColumns()) {}
+  };
+
+  const EventTypeRegistry* registry_;  // not owned
+  std::vector<std::unique_ptr<QueryState>> queries_;
+  std::function<void(const MatchNotification&)> callback_;
+  uint64_t events_processed_ = 0;
+};
+
+}  // namespace exstream

@@ -1,0 +1,75 @@
+#include "cep/match_table.h"
+
+#include "common/strings.h"
+
+namespace exstream {
+
+Result<size_t> MatchTable::ColumnIndex(std::string_view name) const {
+  for (size_t i = 0; i < column_names_.size(); ++i) {
+    if (column_names_[i] == name) return i;
+  }
+  return Status::NotFound(StrFormat("no match column '%.*s'",
+                                    static_cast<int>(name.size()), name.data()));
+}
+
+void MatchTable::Append(const std::string& partition, MatchRow row) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rows_[partition].push_back(std::move(row));
+}
+
+void MatchTable::MarkComplete(const std::string& partition) {
+  std::lock_guard<std::mutex> lock(mu_);
+  complete_[partition] = true;
+}
+
+bool MatchTable::IsComplete(const std::string& partition) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = complete_.find(partition);
+  return it != complete_.end() && it->second;
+}
+
+std::vector<std::string> MatchTable::Partitions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(rows_.size());
+  for (const auto& [k, _] : rows_) out.push_back(k);
+  return out;
+}
+
+std::vector<MatchRow> MatchTable::Rows(const std::string& partition) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = rows_.find(partition);
+  if (it == rows_.end()) return {};
+  return it->second;
+}
+
+size_t MatchTable::NumRows(const std::string& partition) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = rows_.find(partition);
+  return it == rows_.end() ? 0 : it->second.size();
+}
+
+size_t MatchTable::TotalRows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& [_, v] : rows_) n += v.size();
+  return n;
+}
+
+Result<TimeSeries> MatchTable::ExtractSeries(const std::string& partition,
+                                             std::string_view column) const {
+  EXSTREAM_ASSIGN_OR_RETURN(const size_t col, ColumnIndex(column));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = rows_.find(partition);
+  if (it == rows_.end()) {
+    return Status::NotFound("no match rows for partition '" + partition + "'");
+  }
+  TimeSeries out;
+  for (const MatchRow& row : it->second) {
+    if (col >= row.values.size()) continue;
+    EXSTREAM_RETURN_NOT_OK(out.Append(row.ts, row.values[col].AsDouble()));
+  }
+  return out;
+}
+
+}  // namespace exstream

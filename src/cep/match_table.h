@@ -1,0 +1,66 @@
+// MatchTable: the relational table T_MQ of returned match events (Sec. 2.1).
+//
+// "All returned events of M_Q are stored in a relational table T_MQ, and the
+//  data to be visualized for a particular partition is specified as
+//  pi_{t,attr_i}(sigma_{partitionAttribute=v}(M))."
+
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "event/event.h"
+#include "ts/time_series.h"
+
+namespace exstream {
+
+/// \brief One returned match event: timestamp plus derived attribute values
+/// in RETURN-clause order.
+struct MatchRow {
+  Timestamp ts = 0;
+  std::vector<Value> values;
+};
+
+/// \brief All match rows of one query, grouped by partition value.
+///
+/// Thread-safe; the visualization/bench side reads while the engine appends.
+class MatchTable {
+ public:
+  explicit MatchTable(std::vector<std::string> column_names)
+      : column_names_(std::move(column_names)) {}
+
+  const std::vector<std::string>& column_names() const { return column_names_; }
+
+  Result<size_t> ColumnIndex(std::string_view name) const;
+
+  void Append(const std::string& partition, MatchRow row);
+
+  /// Marks a partition's pattern match as completed (JobEnd seen).
+  void MarkComplete(const std::string& partition);
+  bool IsComplete(const std::string& partition) const;
+
+  /// Partition keys present in the table, sorted.
+  std::vector<std::string> Partitions() const;
+
+  /// Rows of one partition in arrival order (copy; the engine keeps writing).
+  std::vector<MatchRow> Rows(const std::string& partition) const;
+
+  size_t NumRows(const std::string& partition) const;
+  size_t TotalRows() const;
+
+  /// \brief pi_{t,column}(sigma_{partition=v}): the visualization series for
+  /// one derived attribute of one partition (e.g. Fig. 1's queuing size).
+  Result<TimeSeries> ExtractSeries(const std::string& partition,
+                                   std::string_view column) const;
+
+ private:
+  std::vector<std::string> column_names_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::vector<MatchRow>> rows_;
+  std::map<std::string, bool> complete_;
+};
+
+}  // namespace exstream

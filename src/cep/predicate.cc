@@ -1,0 +1,48 @@
+#include "cep/predicate.h"
+
+namespace exstream {
+
+Value RefValue(const CompiledRef& ref, const Event& event) {
+  if (ref.is_timestamp) return Value(static_cast<int64_t>(event.ts));
+  return event.values[ref.attr_index];
+}
+
+double RefValueAsDouble(const CompiledRef& ref, const Event& event) {
+  if (ref.is_timestamp) return static_cast<double>(event.ts);
+  return event.values[ref.attr_index].AsDouble();
+}
+
+bool CompiledPredicate::Eval(const Event& candidate,
+                             const std::vector<Event>& bound) const {
+  const Value lhs_val = RefValue(lhs, candidate);
+  Value rhs_val;
+  if (rhs_constant.has_value()) {
+    rhs_val = *rhs_constant;
+  } else {
+    const Event& other = bound[rhs_ref->component];
+    rhs_val = RefValue(*rhs_ref, other);
+  }
+  // String-vs-string compares lexicographically; numeric-vs-numeric as
+  // doubles. A type mismatch fails the predicate rather than erroring out of
+  // the hot path — monitoring should not stall on one malformed event.
+  auto cmp = lhs_val.Compare(rhs_val);
+  if (!cmp.ok()) return false;
+  const int c = *cmp;
+  switch (op) {
+    case CompareOp::kGt:
+      return c > 0;
+    case CompareOp::kGe:
+      return c >= 0;
+    case CompareOp::kEq:
+      return c == 0;
+    case CompareOp::kLe:
+      return c <= 0;
+    case CompareOp::kLt:
+      return c < 0;
+    case CompareOp::kNe:
+      return c != 0;
+  }
+  return false;
+}
+
+}  // namespace exstream

@@ -1,0 +1,44 @@
+// Compiled WHERE-clause predicates: schema-resolved, ready for evaluation.
+
+#pragma once
+
+#include <optional>
+
+#include "common/result.h"
+#include "event/event.h"
+#include "event/registry.h"
+#include "query/ast.h"
+
+namespace exstream {
+
+/// \brief A schema-resolved reference to one side of a predicate.
+struct CompiledRef {
+  size_t component = 0;  ///< which pattern component the variable binds
+  bool is_timestamp = false;
+  size_t attr_index = 0;  ///< valid when !is_timestamp
+};
+
+/// \brief A predicate compiled against the pattern's schemas.
+///
+/// `component` (of lhs) determines when the predicate fires: it is evaluated
+/// on each event the component attempts to match, with earlier components'
+/// bound events available for attribute-to-attribute comparisons.
+struct CompiledPredicate {
+  CompiledRef lhs;
+  CompareOp op = CompareOp::kEq;
+  std::optional<Value> rhs_constant;
+  std::optional<CompiledRef> rhs_ref;  ///< must bind an earlier component
+
+  /// Evaluates against the candidate event and previously bound events.
+  ///
+  /// \param candidate the event the lhs component is trying to match
+  /// \param bound earlier components' matched events, indexed by component
+  ///        (entries for unmatched components are ignored)
+  bool Eval(const Event& candidate, const std::vector<Event>& bound) const;
+};
+
+/// \brief Reads the referenced value out of an event.
+double RefValueAsDouble(const CompiledRef& ref, const Event& event);
+Value RefValue(const CompiledRef& ref, const Event& event);
+
+}  // namespace exstream

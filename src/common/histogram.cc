@@ -1,0 +1,66 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/strings.h"
+
+namespace exstream {
+
+Histogram::Histogram(double lo, double hi, size_t buckets)
+    : lo_(lo),
+      hi_(hi),
+      width_((hi - lo) / static_cast<double>(buckets > 0 ? buckets : 1)),
+      bins_(buckets + 2, 0),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {}
+
+void Histogram::Add(double v) {
+  ++count_;
+  sum_ += v;
+  min_ = std::min(min_, v);
+  max_ = std::max(max_, v);
+  size_t idx;
+  if (v < lo_) {
+    idx = 0;
+  } else if (v >= hi_) {
+    idx = bins_.size() - 1;
+  } else {
+    idx = 1 + static_cast<size_t>((v - lo_) / width_);
+    idx = std::min(idx, bins_.size() - 2);
+  }
+  ++bins_[idx];
+  samples_above_hint_.push_back(v);
+}
+
+double Histogram::ApproxPercentile(double p) const {
+  if (count_ == 0) return 0.0;
+  const uint64_t target =
+      static_cast<uint64_t>(std::ceil(p / 100.0 * static_cast<double>(count_)));
+  uint64_t acc = 0;
+  for (size_t i = 0; i < bins_.size(); ++i) {
+    acc += bins_[i];
+    if (acc >= target) {
+      if (i == 0) return lo_;
+      if (i == bins_.size() - 1) return max_;
+      return lo_ + (static_cast<double>(i - 1) + 0.5) * width_;
+    }
+  }
+  return max_;
+}
+
+double Histogram::FractionAbove(double threshold) const {
+  if (samples_above_hint_.empty()) return 0.0;
+  const auto n = std::count_if(samples_above_hint_.begin(), samples_above_hint_.end(),
+                               [&](double v) { return v > threshold; });
+  return static_cast<double>(n) / static_cast<double>(samples_above_hint_.size());
+}
+
+std::string Histogram::Summary() const {
+  return StrFormat("n=%llu mean=%.4g p50=%.4g p99=%.4g max=%.4g",
+                   static_cast<unsigned long long>(count_), mean(),
+                   ApproxPercentile(50), ApproxPercentile(99), max_);
+}
+
+}  // namespace exstream

@@ -1,0 +1,41 @@
+// Minimal leveled logging to stderr.
+
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace exstream {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// \brief Sets the global minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log line; flushes on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace exstream
+
+#define EXSTREAM_LOG(level)                                            \
+  ::exstream::internal::LogMessage(::exstream::LogLevel::k##level, __FILE__, \
+                                   __LINE__)

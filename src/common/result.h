@@ -1,0 +1,59 @@
+// Result<T>: value-or-Status, the return type of fallible factory functions.
+
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace exstream {
+
+/// \brief Holds either a value of type T or an error Status.
+///
+/// Mirrors arrow::Result. Construct from a T (implicitly OK) or from a
+/// non-OK Status. Accessing the value of an errored Result aborts in debug
+/// builds (assert); callers must check ok() first or use the
+/// EXSTREAM_ASSIGN_OR_RETURN macro.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value: OK result.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a (non-OK) status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  const Status& status() const { return status_; }
+
+  const T& ValueOrDie() const {
+    assert(ok());
+    return *value_;
+  }
+  T& ValueOrDie() {
+    assert(ok());
+    return *value_;
+  }
+
+  /// Moves the value out; Result must be OK.
+  T MoveValue() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const { return ValueOrDie(); }
+  T& operator*() { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace exstream

@@ -1,0 +1,51 @@
+// Deterministic random number generation for simulators and benchmarks.
+
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace exstream {
+
+/// \brief Seedable RNG wrapper with the distributions the simulators need.
+///
+/// All randomness in EXstream flows through explicitly seeded Rng instances so
+/// that every experiment table is reproducible run-to-run.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : gen_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(gen_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return std::uniform_int_distribution<int64_t>(lo, hi)(gen_);
+  }
+
+  /// Gaussian with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(gen_);
+  }
+
+  /// Exponential with the given rate (events per unit time).
+  double Exponential(double rate) {
+    return std::exponential_distribution<double>(rate)(gen_);
+  }
+
+  /// Bernoulli draw.
+  bool Chance(double p) { return std::bernoulli_distribution(p)(gen_); }
+
+  /// Forks a derived, independent RNG; used to give each simulated node or
+  /// job its own stream without coupling their draw sequences.
+  Rng Fork() { return Rng(gen_()); }
+
+  std::mt19937_64& gen() { return gen_; }
+
+ private:
+  std::mt19937_64 gen_;
+};
+
+}  // namespace exstream

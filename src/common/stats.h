@@ -1,0 +1,36 @@
+// Descriptive statistics over double vectors.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace exstream {
+
+/// \brief Arithmetic mean; 0 for empty input.
+double Mean(const std::vector<double>& xs);
+
+/// \brief Population standard deviation; 0 for fewer than 2 points.
+double StdDev(const std::vector<double>& xs);
+
+/// \brief Minimum; +inf for empty input.
+double Min(const std::vector<double>& xs);
+
+/// \brief Maximum; -inf for empty input.
+double Max(const std::vector<double>& xs);
+
+/// \brief Sum of the values.
+double Sum(const std::vector<double>& xs);
+
+/// \brief Linear-interpolated percentile, p in [0,100]; 0 for empty input.
+double Percentile(std::vector<double> xs, double p);
+
+/// \brief Pearson correlation coefficient of two equal-length vectors.
+///
+/// Returns 0 when either side has zero variance or lengths mismatch.
+double PearsonCorrelation(const std::vector<double>& a, const std::vector<double>& b);
+
+/// \brief Harmonic mean of precision and recall; 0 when both are 0.
+double FMeasure(double precision, double recall);
+
+}  // namespace exstream

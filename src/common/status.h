@@ -1,0 +1,113 @@
+// Status: the error-handling primitive used throughout EXstream.
+//
+// Follows the Arrow/RocksDB convention: functions that can fail return a
+// Status (or Result<T>, see result.h) instead of throwing. A Status is cheap
+// to copy in the OK case (no allocation) and carries a code plus a message
+// otherwise.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace exstream {
+
+/// \brief Error categories used across the library.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kIOError = 5,
+  kParseError = 6,
+  kNotImplemented = 7,
+  kInternal = 8,
+};
+
+/// \brief Human-readable name of a status code (e.g. "Invalid argument").
+std::string_view StatusCodeToString(StatusCode code);
+
+/// \brief Operation outcome: OK or an error code with a message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string msg) {
+    if (code != StatusCode::kOk) {
+      state_ = std::make_shared<State>(State{code, std::move(msg)});
+    }
+  }
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ ? state_->msg : kEmpty;
+  }
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsParseError() const { return code() == StatusCode::kParseError; }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+
+  /// \brief "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  std::shared_ptr<const State> state_;  // nullptr <=> OK
+};
+
+}  // namespace exstream
+
+/// Propagates a non-OK Status to the caller.
+#define EXSTREAM_RETURN_NOT_OK(expr)                \
+  do {                                              \
+    ::exstream::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                      \
+  } while (0)
+
+/// Evaluates a Result<T> expression and assigns its value, or propagates.
+#define EXSTREAM_ASSIGN_OR_RETURN_IMPL(name, lhs, rexpr) \
+  auto name = (rexpr);                                   \
+  if (!name.ok()) return name.status();                  \
+  lhs = std::move(name).MoveValue();
+
+#define EXSTREAM_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define EXSTREAM_ASSIGN_OR_RETURN_NAME(a, b) EXSTREAM_ASSIGN_OR_RETURN_CONCAT(a, b)
+#define EXSTREAM_ASSIGN_OR_RETURN(lhs, rexpr) \
+  EXSTREAM_ASSIGN_OR_RETURN_IMPL(             \
+      EXSTREAM_ASSIGN_OR_RETURN_NAME(_result_, __LINE__), lhs, rexpr)

@@ -1,0 +1,32 @@
+// Small string utilities shared across modules.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace exstream {
+
+/// \brief Splits `s` on `sep`, trimming ASCII whitespace from each piece.
+std::vector<std::string> SplitAndTrim(std::string_view s, char sep);
+
+/// \brief Removes leading and trailing ASCII whitespace.
+std::string_view TrimWhitespace(std::string_view s);
+
+/// \brief Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// \brief True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// \brief Lowercases ASCII characters.
+std::string ToLower(std::string_view s);
+
+/// \brief Joins the pieces with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// \brief printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace exstream

@@ -1,0 +1,46 @@
+// Fixed-size thread pool used by the multi-query CEP engine and the
+// explanation engine's background analysis (Appendix B/C).
+
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace exstream {
+
+/// \brief A fixed-size pool of worker threads executing queued tasks FIFO.
+class ThreadPool {
+ public:
+  /// \param num_threads worker count; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; returns a future for its completion.
+  std::future<void> Submit(std::function<void()> fn);
+
+  /// Blocks until every queued task has finished.
+  void WaitIdle();
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::vector<std::thread> threads_;
+  size_t active_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace exstream

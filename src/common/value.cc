@@ -1,0 +1,73 @@
+#include "common/value.h"
+
+#include <cmath>
+#include <limits>
+
+namespace exstream {
+
+std::string_view ValueTypeToString(ValueType t) {
+  switch (t) {
+    case ValueType::kInt64:
+      return "int64";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+int64_t Value::AsInt64() const {
+  if (const auto* i = std::get_if<int64_t>(&v_)) return *i;
+  if (const auto* d = std::get_if<double>(&v_)) return static_cast<int64_t>(*d);
+  return 0;
+}
+
+double Value::AsDouble() const {
+  if (const auto* i = std::get_if<int64_t>(&v_)) return static_cast<double>(*i);
+  if (const auto* d = std::get_if<double>(&v_)) return *d;
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+const std::string& Value::AsString() const {
+  static const std::string kEmpty;
+  if (const auto* s = std::get_if<std::string>(&v_)) return *s;
+  return kEmpty;
+}
+
+Result<int> Value::Compare(const Value& other) const {
+  if (is_string() != other.is_string()) {
+    return Status::InvalidArgument("cannot compare string with numeric value");
+  }
+  if (is_string()) {
+    const int c = AsString().compare(other.AsString());
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  const double a = AsDouble();
+  const double b = other.AsDouble();
+  if (a < b) return -1;
+  if (a > b) return 1;
+  return 0;
+}
+
+bool Value::operator==(const Value& other) const {
+  auto cmp = Compare(other);
+  return cmp.ok() && *cmp == 0;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kInt64:
+      return std::to_string(std::get<int64_t>(v_));
+    case ValueType::kDouble: {
+      char buf[64];
+      snprintf(buf, sizeof(buf), "%g", std::get<double>(v_));
+      return buf;
+    }
+    case ValueType::kString:
+      return std::get<std::string>(v_);
+  }
+  return {};
+}
+
+}  // namespace exstream

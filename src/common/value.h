@@ -1,0 +1,69 @@
+// Value: the dynamically-typed attribute value carried by events.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/result.h"
+
+namespace exstream {
+
+/// \brief Attribute value types supported by event schemas.
+enum class ValueType : uint8_t {
+  kInt64 = 0,
+  kDouble = 1,
+  kString = 2,
+};
+
+std::string_view ValueTypeToString(ValueType t);
+
+/// \brief A dynamically typed value: int64, double, or string.
+///
+/// Numeric values coerce to double via AsDouble() so that any numeric
+/// attribute can feed a time series. Comparisons between two numerics compare
+/// as double; strings compare lexicographically; comparing a string against
+/// a numeric is an error surfaced through Compare()'s Result.
+class Value {
+ public:
+  Value() : v_(int64_t{0}) {}
+  Value(int64_t v) : v_(v) {}               // NOLINT(runtime/explicit)
+  Value(int v) : v_(int64_t{v}) {}          // NOLINT(runtime/explicit)
+  Value(double v) : v_(v) {}                // NOLINT(runtime/explicit)
+  Value(std::string v) : v_(std::move(v)) {}  // NOLINT(runtime/explicit)
+  Value(const char* v) : v_(std::string(v)) {}  // NOLINT(runtime/explicit)
+
+  ValueType type() const {
+    switch (v_.index()) {
+      case 0:
+        return ValueType::kInt64;
+      case 1:
+        return ValueType::kDouble;
+      default:
+        return ValueType::kString;
+    }
+  }
+
+  bool is_numeric() const { return v_.index() <= 1; }
+  bool is_string() const { return v_.index() == 2; }
+
+  int64_t AsInt64() const;
+  /// Numeric view of the value; strings yield NaN.
+  double AsDouble() const;
+  const std::string& AsString() const;
+
+  /// \brief Three-way comparison: negative / zero / positive.
+  ///
+  /// Errors when comparing a string with a numeric.
+  Result<int> Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const;
+
+  std::string ToString() const;
+
+ private:
+  std::variant<int64_t, double, std::string> v_;
+};
+
+}  // namespace exstream

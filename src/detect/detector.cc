@@ -1,0 +1,292 @@
+#include "detect/detector.h"
+
+#include <algorithm>
+
+#include "common/stats.h"
+#include "explain/labeling.h"
+
+namespace exstream {
+
+AnomalyAnnotation DetectedAnomaly::ToAnnotation(const std::string& query_name) const {
+  AnomalyAnnotation out;
+  out.abnormal = {query_name, abnormal_region, partition};
+  out.reference = {query_name, reference_region, reference_partition};
+  return out;
+}
+
+AnomalyDetector::AnomalyDetector(const PartitionTable* partitions,
+                                 SeriesProvider series_provider,
+                                 DetectorOptions options)
+    : partitions_(partitions),
+      series_provider_(std::move(series_provider)),
+      options_(options) {}
+
+Result<std::vector<std::pair<PartitionRecord, TimeSeries>>>
+AnomalyDetector::LoadFamily(const PartitionRecord& seed) const {
+  std::vector<std::pair<PartitionRecord, TimeSeries>> family;
+  std::vector<PartitionRecord> records = {seed};
+  for (PartitionRecord& rec : partitions_->FindRelated(seed)) {
+    records.push_back(std::move(rec));
+  }
+  for (const PartitionRecord& rec : records) {
+    auto series = series_provider_(rec.query_name, rec.partition);
+    if (!series.ok() || series->empty()) continue;
+    family.emplace_back(rec, std::move(*series));
+  }
+  if (family.size() < 3) {
+    return Status::InvalidArgument(
+        "anomaly detection needs at least 3 comparable partitions");
+  }
+  return family;
+}
+
+namespace {
+
+// Detection distance between two interval series: a deviation in EITHER the
+// value distribution OR the event frequency marks an anomaly, so take the
+// max of the two components (the labeling distance averages them, which
+// caps single-component deviations at the component's weight).
+double DetectionDistance(const TimeSeries& a, const TimeSeries& b,
+                         const LabelingOptions& options) {
+  LabelingOptions value_only = options;
+  value_only.entropy_weight = 1.0;
+  value_only.frequency_weight = 0.0;
+  LabelingOptions freq_only = options;
+  freq_only.entropy_weight = 0.0;
+  freq_only.frequency_weight = 1.0;
+  return std::max(IntervalDistance(a, b, value_only),
+                  IntervalDistance(a, b, freq_only));
+}
+
+// The k-th point-aligned chunk of a series: points with index in
+// [k*n/segments, (k+1)*n/segments). Point-based alignment (the paper's
+// Fig. 11(b)) is what makes a locally slowed partition comparable to a normal
+// one: the i-th match point corresponds to the same amount of monitored work
+// in both, so values align and the slowdown surfaces purely as a frequency
+// drop in the affected chunks.
+TimeSeries PointChunk(const TimeSeries& s, size_t k, size_t segments) {
+  TimeSeries out;
+  if (s.empty()) return out;
+  const size_t lo = k * s.size() / segments;
+  const size_t hi = std::min(s.size(), (k + 1) * s.size() / segments);
+  for (size_t i = lo; i < hi; ++i) (void)out.Append(s.time(i), s.value(i));
+  return out;
+}
+
+// Distances between point-aligned chunks of two monitored series, under the
+// exact component weights in `options` (pass entropy-only or frequency-only
+// weights to isolate one component).
+std::vector<double> SegmentDistances(const TimeSeries& a, const TimeSeries& b,
+                                     size_t segments,
+                                     const LabelingOptions& options) {
+  if (a.empty() || b.empty()) return std::vector<double>(segments, 1.0);
+  std::vector<double> out(segments, 0.0);
+  for (size_t k = 0; k < segments; ++k) {
+    out[k] = IntervalDistance(PointChunk(a, k, segments),
+                              PointChunk(b, k, segments), options);
+  }
+  return out;
+}
+
+// Component-maxed chunk distances (for outlier scoring).
+std::vector<double> MaxedSegmentDistances(const TimeSeries& a, const TimeSeries& b,
+                                          size_t segments,
+                                          const LabelingOptions& options) {
+  if (a.empty() || b.empty()) return std::vector<double>(segments, 1.0);
+  std::vector<double> out(segments, 0.0);
+  for (size_t k = 0; k < segments; ++k) {
+    out[k] = DetectionDistance(PointChunk(a, k, segments),
+                               PointChunk(b, k, segments), options);
+  }
+  return out;
+}
+
+// Pairwise partition distance: the worst aligned segment. A localized
+// deviation (the usual anomaly shape) would be diluted by a whole-series
+// comparison, but dominates the aligned segment it lives in.
+double PairDistance(const TimeSeries& a, const TimeSeries& b, size_t segments,
+                    const LabelingOptions& options) {
+  const std::vector<double> d = MaxedSegmentDistances(a, b, segments, options);
+  return d.empty() ? 1.0 : *std::max_element(d.begin(), d.end());
+}
+
+}  // namespace
+
+Result<std::vector<std::pair<std::string, double>>> AnomalyDetector::Scores(
+    const PartitionRecord& seed) const {
+  EXSTREAM_ASSIGN_OR_RETURN(const auto family, LoadFamily(seed));
+  const size_t n = family.size();
+  const size_t segments = std::max<size_t>(2, options_.scoring_segments);
+  std::vector<std::vector<double>> dist(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const double d = PairDistance(family[i].second, family[j].second, segments,
+                                    options_.distance);
+      dist[i][j] = d;
+      dist[j][i] = d;
+    }
+  }
+  std::vector<std::pair<std::string, double>> scores;
+  scores.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<double> others;
+    for (size_t j = 0; j < n; ++j) {
+      if (j != i) others.push_back(dist[i][j]);
+    }
+    scores.emplace_back(family[i].first.partition, Percentile(others, 50));
+  }
+  return scores;
+}
+
+Result<std::vector<DetectedAnomaly>> AnomalyDetector::Detect(
+    const PartitionRecord& seed) const {
+  EXSTREAM_ASSIGN_OR_RETURN(const auto family, LoadFamily(seed));
+  EXSTREAM_ASSIGN_OR_RETURN(const auto scores, Scores(seed));
+
+  // Partition indices of normal members (for nearest-normal lookup). A
+  // member is an outlier only if it clears both the absolute floor and the
+  // family-relative bar.
+  std::vector<double> all_scores;
+  all_scores.reserve(scores.size());
+  for (const auto& [_, s] : scores) all_scores.push_back(s);
+  const double median_score = Percentile(all_scores, 50);
+  std::vector<size_t> normal_idx;
+  std::vector<size_t> outlier_idx;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    const bool outlier = scores[i].second > options_.outlier_threshold &&
+                         scores[i].second > options_.median_ratio * median_score;
+    (outlier ? outlier_idx : normal_idx).push_back(i);
+  }
+  std::vector<DetectedAnomaly> out;
+  if (outlier_idx.empty() || normal_idx.empty()) return out;
+
+  for (const size_t oi : outlier_idx) {
+    const TimeSeries& o_series = family[oi].second;
+    const PartitionRecord& o_rec = family[oi].first;
+
+    // Nearest normal member by pairwise distance.
+    const size_t segments = std::max<size_t>(2, options_.localization_segments);
+    size_t best = normal_idx[0];
+    double best_d = 2.0;
+    for (const size_t ni : normal_idx) {
+      const double d =
+          PairDistance(o_series, family[ni].second, segments, options_.distance);
+      if (d < best_d) {
+        best_d = d;
+        best = ni;
+      }
+    }
+    const TimeSeries& n_series = family[best].second;
+    const PartitionRecord& n_rec = family[best].first;
+
+    // Localize against the nearest normal, per distance component: a slowed
+    // region shows as a frequency drop localized at the cause, while monitored
+    // *values* often stay perturbed long after (aftereffects of the delay).
+    // Each component gets a per-chunk baseline from normal-vs-normal pairs so
+    // family-intrinsic jitter does not count as deviation; the final region
+    // is the most compact non-empty component signal.
+    const Timestamp o_start = o_series.start_time();
+    const Timestamp o_span = std::max<Timestamp>(1, o_series.end_time() - o_start);
+
+    LabelingOptions value_only = options_.distance;
+    value_only.entropy_weight = 1.0;
+    value_only.frequency_weight = 0.0;
+    LabelingOptions freq_only = options_.distance;
+    freq_only.entropy_weight = 0.0;
+    freq_only.frequency_weight = 1.0;
+
+    auto deviating_run = [&](const LabelingOptions& component)
+        -> std::pair<size_t, size_t> {  // (start, len); len 0 = none
+      const std::vector<double> seg_dist =
+          SegmentDistances(o_series, n_series, segments, component);
+      std::vector<double> baseline(segments, 0.0);
+      if (normal_idx.size() >= 2) {
+        std::vector<std::vector<double>> per_segment(segments);
+        for (size_t a = 0; a < normal_idx.size(); ++a) {
+          for (size_t b = a + 1; b < normal_idx.size(); ++b) {
+            const std::vector<double> d =
+                SegmentDistances(family[normal_idx[a]].second,
+                                 family[normal_idx[b]].second, segments, component);
+            for (size_t k = 0; k < segments; ++k) per_segment[k].push_back(d[k]);
+          }
+        }
+        for (size_t k = 0; k < segments; ++k) {
+          baseline[k] = Percentile(per_segment[k], 50);
+        }
+      }
+      size_t best_start = 0;
+      size_t best_len = 0;
+      size_t cur_start = 0;
+      size_t cur_len = 0;
+      for (size_t k = 0; k <= segments; ++k) {
+        const bool dev =
+            k < segments &&
+            seg_dist[k] > std::max(options_.segment_threshold, 1.5 * baseline[k]);
+        if (dev) {
+          if (cur_len == 0) cur_start = k;
+          ++cur_len;
+        } else {
+          if (cur_len > best_len) {
+            best_len = cur_len;
+            best_start = cur_start;
+          }
+          cur_len = 0;
+        }
+      }
+      return {best_start, best_len};
+    };
+
+    const auto freq_run = deviating_run(freq_only);
+    const auto value_run = deviating_run(value_only);
+    std::pair<size_t, size_t> run;
+    if (freq_run.second > 0 && value_run.second > 0) {
+      run = freq_run.second <= value_run.second ? freq_run : value_run;
+    } else if (freq_run.second > 0) {
+      run = freq_run;
+    } else if (value_run.second > 0) {
+      run = value_run;
+    } else {
+      run = {0, segments};  // globally odd but no localized region: take all
+    }
+    const size_t best_start = run.first;
+    const size_t best_len = run.second;
+
+    DetectedAnomaly anomaly;
+    anomaly.partition = o_rec.partition;
+    anomaly.score = scores[oi].second;
+    const TimeSeries first_chunk = PointChunk(o_series, best_start, segments);
+    const TimeSeries last_chunk =
+        PointChunk(o_series, best_start + best_len - 1, segments);
+    anomaly.abnormal_region = {
+        first_chunk.empty() ? o_start : first_chunk.start_time(),
+        last_chunk.empty() ? o_series.end_time() : last_chunk.end_time()};
+
+    // Reference: prefer the non-deviating remainder of the same partition
+    // (the Fig. 4 shape) when it is substantial; otherwise use the nearest
+    // normal partition (the paper's cross-partition reference annotation).
+    const Timestamp min_ref_len = static_cast<Timestamp>(
+        options_.min_reference_fraction * static_cast<double>(o_span));
+    const Timestamp tail_len = o_series.end_time() - anomaly.abnormal_region.upper;
+    const Timestamp head_len = anomaly.abnormal_region.lower - o_start;
+    if (tail_len >= min_ref_len) {
+      anomaly.reference_partition = o_rec.partition;
+      anomaly.reference_region = {anomaly.abnormal_region.upper + 1,
+                                  o_series.end_time()};
+    } else if (head_len >= min_ref_len) {
+      anomaly.reference_partition = o_rec.partition;
+      anomaly.reference_region = {o_start, anomaly.abnormal_region.lower - 1};
+    } else {
+      anomaly.reference_partition = n_rec.partition;
+      anomaly.reference_region = {n_series.start_time(), n_series.end_time()};
+    }
+    out.push_back(std::move(anomaly));
+  }
+
+  std::sort(out.begin(), out.end(),
+            [](const DetectedAnomaly& a, const DetectedAnomaly& b) {
+              return a.score > b.score;
+            });
+  return out;
+}
+
+}  // namespace exstream

@@ -1,0 +1,88 @@
+// Automatic anomaly recognition — the proactive-monitoring extension the
+// paper names as future work (Sec. 8: "automatic recognition and explanation
+// of anomalous behaviors").
+//
+// Given the family of partitions produced by one monitoring query (e.g. all
+// runs of the same Hadoop program on the same dataset), the detector scores
+// how far each partition's monitored series deviates from the family
+// consensus, flags outliers, localizes the deviating region, and emits a
+// ready-to-explain AnomalyAnnotation — replacing the human annotation step of
+// the core pipeline.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "explain/annotation.h"
+#include "explain/engine.h"
+#include "explain/partition_table.h"
+
+namespace exstream {
+
+struct DetectorOptions {
+  /// A partition is an outlier when its median distance to the rest of the
+  /// family exceeds this (IntervalDistance is in [0,1]) ...
+  double outlier_threshold = 0.5;
+  /// ... AND exceeds `median_ratio` times the family's median score. The
+  /// relative test adapts to the family's intrinsic noise level (queue curves
+  /// of identical jobs still differ segment-by-segment).
+  double median_ratio = 1.4;
+  /// Coarse segment count used for outlier scoring: slices must stay large
+  /// enough that the entropy distance between two *normal* slices is low.
+  size_t scoring_segments = 8;
+  /// Finer segment count used to localize the deviating region of a partition
+  /// already known to be an outlier.
+  size_t localization_segments = 16;
+  /// A segment deviates when its distance to the aligned normal segment
+  /// exceeds this.
+  double segment_threshold = 0.5;
+  /// The same-partition remainder is used as the reference interval only when
+  /// it covers at least this fraction of the partition's span; otherwise the
+  /// nearest normal partition serves as reference (the paper's cross-partition
+  /// reference annotation).
+  double min_reference_fraction = 0.3;
+  /// Labeling weights reused for the interval distance.
+  LabelingOptions distance;
+};
+
+/// \brief One automatically detected anomaly.
+struct DetectedAnomaly {
+  std::string partition;
+  double score = 0.0;                ///< median distance to the family
+  TimeInterval abnormal_region;      ///< localized deviating time range
+  TimeInterval reference_region;     ///< non-deviating range of a normal peer
+  std::string reference_partition;   ///< the nearest normal family member
+
+  /// Converts to the annotation format the ExplanationEngine consumes.
+  AnomalyAnnotation ToAnnotation(const std::string& query_name) const;
+};
+
+/// \brief Scores a partition family and reports outliers.
+class AnomalyDetector {
+ public:
+  AnomalyDetector(const PartitionTable* partitions, SeriesProvider series_provider,
+                  DetectorOptions options = {});
+
+  /// \brief Detects anomalous partitions among `seed` and its related
+  /// partitions (same query + dimensions).
+  ///
+  /// Requires at least 3 family members (a lone pair cannot distinguish
+  /// which side is anomalous).
+  Result<std::vector<DetectedAnomaly>> Detect(const PartitionRecord& seed) const;
+
+  /// \brief Per-partition deviation scores (diagnostics / dashboards).
+  Result<std::vector<std::pair<std::string, double>>> Scores(
+      const PartitionRecord& seed) const;
+
+ private:
+  Result<std::vector<std::pair<PartitionRecord, TimeSeries>>> LoadFamily(
+      const PartitionRecord& seed) const;
+
+  const PartitionTable* partitions_;  // not owned
+  SeriesProvider series_provider_;
+  DetectorOptions options_;
+};
+
+}  // namespace exstream

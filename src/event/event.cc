@@ -1,0 +1,6 @@
+#include "event/event.h"
+
+// Event is a plain aggregate; all behaviour lives in headers. This file exists
+// to anchor the translation unit for the module.
+
+namespace exstream {}  // namespace exstream

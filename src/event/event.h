@@ -1,0 +1,45 @@
+// Event: a timestamped tuple of attribute values belonging to an event type.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace exstream {
+
+/// Logical time; the simulators use seconds since epoch/job start.
+using Timestamp = int64_t;
+
+/// Identifies a registered event type (index into the EventTypeRegistry).
+using EventTypeId = uint32_t;
+
+inline constexpr EventTypeId kInvalidEventType = static_cast<EventTypeId>(-1);
+
+/// \brief Closed time interval [lower, upper] used for annotations and
+/// archive scans.
+struct TimeInterval {
+  Timestamp lower = 0;
+  Timestamp upper = 0;
+
+  bool Contains(Timestamp t) const { return t >= lower && t <= upper; }
+  Timestamp Length() const { return upper - lower; }
+  bool operator==(const TimeInterval&) const = default;
+};
+
+/// \brief A single event: type id, timestamp, and schema-ordered values.
+struct Event {
+  EventTypeId type = kInvalidEventType;
+  Timestamp ts = 0;
+  std::vector<Value> values;
+
+  Event() = default;
+  Event(EventTypeId type_id, Timestamp timestamp, std::vector<Value> vals)
+      : type(type_id), ts(timestamp), values(std::move(vals)) {}
+
+  const Value& value(size_t idx) const { return values[idx]; }
+};
+
+}  // namespace exstream

@@ -1,0 +1,32 @@
+#include "event/registry.h"
+
+#include "common/strings.h"
+
+namespace exstream {
+
+Result<EventTypeId> EventTypeRegistry::Register(EventSchema schema) {
+  auto it = by_name_.find(schema.name());
+  if (it != by_name_.end()) {
+    return Status::AlreadyExists(
+        StrFormat("event type '%s' already registered", schema.name().c_str()));
+  }
+  const EventTypeId id = static_cast<EventTypeId>(schemas_.size());
+  by_name_.emplace(schema.name(), id);
+  schemas_.push_back(std::move(schema));
+  return id;
+}
+
+Result<EventTypeId> EventTypeRegistry::IdOf(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  if (it == by_name_.end()) {
+    return Status::NotFound(StrFormat("unknown event type '%.*s'",
+                                      static_cast<int>(name.size()), name.data()));
+  }
+  return it->second;
+}
+
+bool EventTypeRegistry::Contains(std::string_view name) const {
+  return by_name_.count(std::string(name)) > 0;
+}
+
+}  // namespace exstream

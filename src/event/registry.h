@@ -1,0 +1,41 @@
+// EventTypeRegistry: maps event type names to ids and schemas.
+
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "event/event.h"
+#include "event/schema.h"
+
+namespace exstream {
+
+/// \brief Registry of all event types known to a data source (paper: the set
+/// E = {E1..En} of Sec. 2.1).
+///
+/// Ids are dense indices assigned at registration, so per-type state elsewhere
+/// (archive chunk lists, NFA edges) can be stored in flat vectors.
+class EventTypeRegistry {
+ public:
+  /// Registers a schema; fails if the name is taken.
+  Result<EventTypeId> Register(EventSchema schema);
+
+  Result<EventTypeId> IdOf(std::string_view name) const;
+  bool Contains(std::string_view name) const;
+
+  /// Schema lookup by id; id must come from this registry.
+  const EventSchema& schema(EventTypeId id) const { return schemas_[id]; }
+
+  size_t size() const { return schemas_.size(); }
+
+  /// All registered schemas, indexed by EventTypeId.
+  const std::vector<EventSchema>& schemas() const { return schemas_; }
+
+ private:
+  std::vector<EventSchema> schemas_;
+  std::unordered_map<std::string, EventTypeId> by_name_;
+};
+
+}  // namespace exstream

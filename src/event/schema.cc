@@ -1,0 +1,52 @@
+#include "event/schema.h"
+
+#include "common/strings.h"
+
+namespace exstream {
+
+Result<size_t> EventSchema::AttributeIndex(std::string_view attr_name) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == attr_name) return i;
+  }
+  return Status::NotFound(StrFormat("attribute '%.*s' not in schema '%s'",
+                                    static_cast<int>(attr_name.size()),
+                                    attr_name.data(), name_.c_str()));
+}
+
+bool EventSchema::HasAttribute(std::string_view attr_name) const {
+  return AttributeIndex(attr_name).ok();
+}
+
+Status EventSchema::ValidateRow(const std::vector<Value>& values) const {
+  if (values.size() != attributes_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("schema '%s' expects %zu attributes, got %zu", name_.c_str(),
+                  attributes_.size(), values.size()));
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    const ValueType declared = attributes_[i].type;
+    const ValueType actual = values[i].type();
+    const bool numeric_ok =
+        declared == ValueType::kDouble && actual == ValueType::kInt64;
+    if (actual != declared && !numeric_ok) {
+      return Status::InvalidArgument(StrFormat(
+          "schema '%s' attribute '%s' expects %s, got %s", name_.c_str(),
+          attributes_[i].name.c_str(),
+          std::string(ValueTypeToString(declared)).c_str(),
+          std::string(ValueTypeToString(actual)).c_str()));
+    }
+  }
+  return Status::OK();
+}
+
+std::string EventSchema::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(attributes_.size() + 1);
+  parts.push_back("timestamp");
+  for (const auto& a : attributes_) {
+    parts.push_back(a.name + ":" + std::string(ValueTypeToString(a.type)));
+  }
+  return name_ + "(" + Join(parts, ", ") + ")";
+}
+
+}  // namespace exstream

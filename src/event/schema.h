@@ -1,0 +1,56 @@
+// Event schemas: named, typed attribute lists (paper Fig. 2).
+//
+// Every event carries an implicit `timestamp` plus the attributes declared by
+// its type's schema, e.g.
+//   DataIO: (timestamp, eventType, eventId, jobId, taskId, attemptId,
+//            clusterNodeNumber, dataSize)
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+
+namespace exstream {
+
+/// \brief One attribute of an event schema.
+struct AttributeDef {
+  std::string name;
+  ValueType type = ValueType::kDouble;
+};
+
+/// \brief The schema of an event type: its name and attribute list.
+///
+/// The timestamp is not part of the attribute list; it is a first-class field
+/// of every Event. Attribute order defines the layout of Event::values.
+class EventSchema {
+ public:
+  EventSchema() = default;
+  EventSchema(std::string name, std::vector<AttributeDef> attributes)
+      : name_(std::move(name)), attributes_(std::move(attributes)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<AttributeDef>& attributes() const { return attributes_; }
+  size_t num_attributes() const { return attributes_.size(); }
+
+  /// \brief Index of the attribute with the given name.
+  Result<size_t> AttributeIndex(std::string_view attr_name) const;
+
+  /// \brief True if an attribute with this name exists.
+  bool HasAttribute(std::string_view attr_name) const;
+
+  /// \brief Validates a value row against the schema (arity and types;
+  /// int64 values are accepted where double is declared).
+  Status ValidateRow(const std::vector<Value>& values) const;
+
+  std::string ToString() const;
+
+ private:
+  std::string name_;
+  std::vector<AttributeDef> attributes_;
+};
+
+}  // namespace exstream

@@ -1,0 +1,17 @@
+#include "event/stream.h"
+
+#include <algorithm>
+
+namespace exstream {
+
+void VectorEventSource::SortByTime() {
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const Event& a, const Event& b) { return a.ts < b.ts; });
+}
+
+void VectorEventSource::Replay(EventSink* sink) const {
+  for (const Event& e : events_) sink->OnEvent(e);
+  sink->OnStreamEnd();
+}
+
+}  // namespace exstream

@@ -1,0 +1,88 @@
+// Event stream plumbing: sinks, fan-out, and buffered sources.
+//
+// The data-source module of the architecture (Fig. 18) is a fan-out: events
+// from simulators or replayed archives are pushed to any number of sinks
+// (the CEP engine, the archive, test recorders).
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "event/event.h"
+
+namespace exstream {
+
+/// \brief Consumer of an ordered event stream.
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+
+  /// Called once per event in timestamp order.
+  virtual void OnEvent(const Event& event) = 0;
+
+  /// Called when the producing source has no further events.
+  virtual void OnStreamEnd() {}
+};
+
+/// \brief EventSink adapter around a std::function.
+class CallbackSink : public EventSink {
+ public:
+  explicit CallbackSink(std::function<void(const Event&)> fn) : fn_(std::move(fn)) {}
+  void OnEvent(const Event& event) override { fn_(event); }
+
+ private:
+  std::function<void(const Event&)> fn_;
+};
+
+/// \brief Broadcasts each event to every attached sink, in attach order.
+class FanOutSink : public EventSink {
+ public:
+  void Attach(EventSink* sink) { sinks_.push_back(sink); }
+
+  void OnEvent(const Event& event) override {
+    for (EventSink* s : sinks_) s->OnEvent(event);
+  }
+  void OnStreamEnd() override {
+    for (EventSink* s : sinks_) s->OnStreamEnd();
+  }
+
+ private:
+  std::vector<EventSink*> sinks_;  // not owned
+};
+
+/// \brief Collects events into a vector (testing / replay).
+class VectorSink : public EventSink {
+ public:
+  void OnEvent(const Event& event) override { events_.push_back(event); }
+  const std::vector<Event>& events() const { return events_; }
+  std::vector<Event> TakeEvents() { return std::move(events_); }
+
+ private:
+  std::vector<Event> events_;
+};
+
+/// \brief Replays a pre-built event vector into a sink.
+///
+/// Events are expected to be in non-decreasing timestamp order; SortByTime()
+/// establishes that order (stable, so equal-timestamp events keep their
+/// generation order).
+class VectorEventSource {
+ public:
+  explicit VectorEventSource(std::vector<Event> events) : events_(std::move(events)) {}
+
+  /// Stable-sorts the buffered events by timestamp.
+  void SortByTime();
+
+  /// Pushes every event into `sink`, then signals end-of-stream.
+  void Replay(EventSink* sink) const;
+
+  const std::vector<Event>& events() const { return events_; }
+  size_t size() const { return events_.size(); }
+
+ private:
+  std::vector<Event> events_;
+};
+
+}  // namespace exstream

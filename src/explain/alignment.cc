@@ -1,0 +1,92 @@
+#include "explain/alignment.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace exstream {
+
+std::string_view AlignmentModeToString(AlignmentMode mode) {
+  switch (mode) {
+    case AlignmentMode::kTemporal:
+      return "temporal";
+    case AlignmentMode::kPointBased:
+      return "point-based";
+  }
+  return "?";
+}
+
+AlignmentMode ChooseAlignmentMode(const PartitionRecord& annotated,
+                                  const PartitionRecord& related) {
+  const double pa = static_cast<double>(annotated.num_points);
+  const double pr = static_cast<double>(related.num_points);
+  const double da = static_cast<double>(annotated.Duration());
+  const double dr = static_cast<double>(related.Duration());
+  const double rel_points =
+      std::max(pa, pr) > 0 ? std::fabs(pa - pr) / std::max(pa, pr) : 1.0;
+  const double rel_duration =
+      std::max(da, dr) > 0 ? std::fabs(da - dr) / std::max(da, dr) : 1.0;
+  return rel_points < rel_duration ? AlignmentMode::kPointBased
+                                   : AlignmentMode::kTemporal;
+}
+
+namespace {
+
+// Fraction of `series` points with timestamp <= t.
+double PointFraction(const TimeSeries& series, Timestamp t) {
+  if (series.empty()) return 0.0;
+  const auto& times = series.times();
+  const size_t idx = static_cast<size_t>(
+      std::upper_bound(times.begin(), times.end(), t) - times.begin());
+  return static_cast<double>(idx) / static_cast<double>(times.size());
+}
+
+// Timestamp at the given point fraction of `series`.
+Timestamp TimeAtPointFraction(const TimeSeries& series, double frac) {
+  if (series.empty()) return 0;
+  const double pos = frac * static_cast<double>(series.size());
+  size_t idx = static_cast<size_t>(std::llround(pos));
+  if (idx > 0) --idx;  // fraction f covers the first f*N points
+  idx = std::min(idx, series.size() - 1);
+  return series.time(idx);
+}
+
+}  // namespace
+
+Result<AlignedInterval> AlignAnnotation(const PartitionRecord& annotated,
+                                        const TimeSeries& annotated_series,
+                                        const TimeInterval& annotated_range,
+                                        const PartitionRecord& related,
+                                        const TimeSeries& related_series) {
+  if (annotated.Duration() <= 0) {
+    return Status::InvalidArgument("annotated partition has no duration");
+  }
+  AlignedInterval out;
+  out.mode = ChooseAlignmentMode(annotated, related);
+
+  if (out.mode == AlignmentMode::kTemporal) {
+    const double d = static_cast<double>(annotated.Duration());
+    const double lo_frac =
+        static_cast<double>(annotated_range.lower - annotated.start_ts) / d;
+    const double hi_frac =
+        static_cast<double>(annotated_range.upper - annotated.start_ts) / d;
+    const double rd = static_cast<double>(related.Duration());
+    out.range.lower =
+        related.start_ts + static_cast<Timestamp>(std::llround(lo_frac * rd));
+    out.range.upper =
+        related.start_ts + static_cast<Timestamp>(std::llround(hi_frac * rd));
+  } else {
+    if (annotated_series.empty() || related_series.empty()) {
+      return Status::InvalidArgument("point-based alignment needs both series");
+    }
+    // Map the interval's point-coverage fractions onto the related series.
+    const double lo_frac = PointFraction(annotated_series, annotated_range.lower - 1);
+    const double hi_frac = PointFraction(annotated_series, annotated_range.upper);
+    out.range.lower = lo_frac <= 0.0 ? related_series.start_time()
+                                     : TimeAtPointFraction(related_series, lo_frac) + 1;
+    out.range.upper = TimeAtPointFraction(related_series, hi_frac);
+    if (out.range.upper < out.range.lower) out.range.upper = out.range.lower;
+  }
+  return out;
+}
+
+}  // namespace exstream

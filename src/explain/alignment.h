@@ -1,0 +1,54 @@
+// Partition alignment (paper Sec. 5.2, Fig. 11): maps an annotated interval
+// onto a related partition, either by temporal fraction or by data-point
+// fraction, choosing the mode under which the two partitions are most
+// comparable.
+
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "explain/partition_table.h"
+#include "ts/time_series.h"
+
+namespace exstream {
+
+/// \brief The two alignment modes of Fig. 11.
+enum class AlignmentMode : uint8_t {
+  kTemporal = 0,  ///< map by fraction of the partition's temporal length
+  kPointBased,    ///< map by fraction of the partition's data points
+};
+
+std::string_view AlignmentModeToString(AlignmentMode mode);
+
+/// \brief An annotation interval mapped onto a related partition.
+struct AlignedInterval {
+  TimeInterval range;  ///< absolute time range within the related partition
+  AlignmentMode mode = AlignmentMode::kTemporal;
+};
+
+/// \brief Chooses the alignment mode for a (annotated, related) partition
+/// pair: the mode whose measure (points vs duration) differs least,
+/// relatively, between the two partitions.
+///
+/// Paper example: "if a related partition has 10% more points, but is 50%
+/// longer in time, point-based alignment is preferred."
+AlignmentMode ChooseAlignmentMode(const PartitionRecord& annotated,
+                                  const PartitionRecord& related);
+
+/// \brief Maps `annotated_range` onto the related partition.
+///
+/// \param annotated the annotated partition's record
+/// \param annotated_series the annotated partition's monitored series (for
+///        point counting)
+/// \param annotated_range the annotation (absolute time in the annotated
+///        partition)
+/// \param related the related partition's record
+/// \param related_series the related partition's monitored series
+Result<AlignedInterval> AlignAnnotation(const PartitionRecord& annotated,
+                                        const TimeSeries& annotated_series,
+                                        const TimeInterval& annotated_range,
+                                        const PartitionRecord& related,
+                                        const TimeSeries& related_series);
+
+}  // namespace exstream

@@ -1,0 +1,17 @@
+#include "explain/annotation.h"
+
+#include "common/strings.h"
+
+namespace exstream {
+
+std::string IntervalRef::ToString() const {
+  return StrFormat("(%s, [%lld, %lld], %s)", query.c_str(),
+                   static_cast<long long>(range.lower),
+                   static_cast<long long>(range.upper), partition.c_str());
+}
+
+std::string AnomalyAnnotation::ToString() const {
+  return "I_A=" + abnormal.ToString() + " I_R=" + reference.ToString();
+}
+
+}  // namespace exstream

@@ -1,0 +1,31 @@
+// User annotations: the abnormal interval I_A and reference interval I_R
+// drawn on the monitoring dashboard (paper Sec. 2.1, Fig. 4).
+
+#pragma once
+
+#include <string>
+
+#include "event/event.h"
+
+namespace exstream {
+
+/// \brief An annotated interval: I = (Q, [lower, upper], P) — query, time
+/// range, and the partition (e.g. a Hadoop jobId) it refers to.
+struct IntervalRef {
+  std::string query;      ///< query name (Q)
+  TimeInterval range;     ///< [lower, upper]
+  std::string partition;  ///< partition value (P)
+
+  std::string ToString() const;
+};
+
+/// \brief A complete anomaly annotation: the abnormal interval and the
+/// reference interval (possibly on a different partition).
+struct AnomalyAnnotation {
+  IntervalRef abnormal;   ///< I_A
+  IntervalRef reference;  ///< I_R
+
+  std::string ToString() const;
+};
+
+}  // namespace exstream

@@ -1,0 +1,74 @@
+#include "explain/correlation_filter.h"
+
+#include <cmath>
+
+#include "common/stats.h"
+#include "ts/clustering.h"
+
+namespace exstream {
+
+namespace {
+
+// Concatenated, per-interval-resampled value vector of a feature.
+std::vector<double> AlignedValues(const RankedFeature& f, size_t points) {
+  std::vector<double> out;
+  const TimeSeries a = f.abnormal_series.Resample(points);
+  const TimeSeries r = f.reference_series.Resample(points);
+  out.reserve(a.size() + r.size());
+  out.insert(out.end(), a.values().begin(), a.values().end());
+  out.insert(out.end(), r.values().begin(), r.values().end());
+  out.resize(2 * points, 0.0);  // uniform length even for empty series
+  return out;
+}
+
+}  // namespace
+
+CorrelationFilterResult CorrelationClusterFilter(
+    const std::vector<RankedFeature>& features, const CorrelationFilterOptions& options) {
+  CorrelationFilterResult result;
+  const size_t n = features.size();
+  if (n == 0) return result;
+
+  std::vector<std::vector<double>> aligned;
+  aligned.reserve(n);
+  for (const RankedFeature& f : features) {
+    aligned.push_back(AlignedValues(f, options.resample_points));
+  }
+
+  std::vector<std::pair<size_t, size_t>> edges;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (std::fabs(PearsonCorrelation(aligned[i], aligned[j])) >= options.threshold) {
+        edges.emplace_back(i, j);
+      }
+    }
+  }
+  const ClusteringResult comps = ConnectedComponents(n, edges);
+  result.cluster_labels = comps.labels;
+  result.num_clusters = comps.num_clusters;
+
+  // Representative per cluster: highest reward; reward ties break toward the
+  // feature with more samples (more statistical evidence behind the same
+  // perfect separation), then toward the higher-ranked feature.
+  std::vector<int> rep(static_cast<size_t>(comps.num_clusters), -1);
+  for (size_t i = 0; i < n; ++i) {
+    int& r = rep[static_cast<size_t>(comps.labels[i])];
+    if (r < 0) {
+      r = static_cast<int>(i);
+      continue;
+    }
+    const RankedFeature& cur = features[static_cast<size_t>(r)];
+    const RankedFeature& cand = features[i];
+    const bool better =
+        cand.reward() > cur.reward() + 1e-12 ||
+        (std::fabs(cand.reward() - cur.reward()) <= 1e-12 &&
+         FeatureSupport(cand) > FeatureSupport(cur));
+    if (better) r = static_cast<int>(i);
+  }
+  for (int r : rep) {
+    if (r >= 0) result.representatives.push_back(features[static_cast<size_t>(r)]);
+  }
+  return result;
+}
+
+}  // namespace exstream

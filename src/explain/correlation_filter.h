@@ -1,0 +1,40 @@
+// Step 3: filtering by correlation clustering (paper Sec. 5.3).
+//
+// "We represent a feature as a node; two nodes are connected if the pairwise
+//  correlation of the two features exceeds a threshold. We treat each
+//  connected component as a cluster, and select only one representative
+//  feature from each cluster."
+
+#pragma once
+
+#include <vector>
+
+#include "explain/reward.h"
+
+namespace exstream {
+
+struct CorrelationFilterOptions {
+  /// |Pearson| at or above which two features are connected.
+  double threshold = 0.8;
+  /// Resampling resolution for aligning heterogeneous series.
+  size_t resample_points = 64;
+};
+
+/// \brief Result of correlation clustering: the chosen representatives plus
+/// the cluster structure (for conciseness accounting, Fig. 15's "ground truth
+/// cluster" series).
+struct CorrelationFilterResult {
+  std::vector<RankedFeature> representatives;
+  std::vector<int> cluster_labels;  ///< per input feature
+  int num_clusters = 0;
+};
+
+/// \brief Clusters correlated features and keeps one representative (the
+/// highest-reward member) per cluster. Correlation is measured on the
+/// concatenated (abnormal ++ reference) resampled series, so features that
+/// respond to the same underlying signal in both intervals collapse.
+CorrelationFilterResult CorrelationClusterFilter(
+    const std::vector<RankedFeature>& features,
+    const CorrelationFilterOptions& options = {});
+
+}  // namespace exstream

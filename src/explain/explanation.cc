@@ -1,0 +1,62 @@
+#include "explain/explanation.h"
+
+#include "common/strings.h"
+
+namespace exstream {
+
+bool RangePredicate::Eval(double value) const {
+  if (has_lower && value < lower) return false;
+  if (has_upper && value > upper) return false;
+  return has_lower || has_upper;  // an unbounded predicate asserts nothing
+}
+
+std::string RangePredicate::ToString() const {
+  if (has_lower && has_upper) {
+    return StrFormat("(%s >= %.10g AND %s <= %.10g)", feature.c_str(), lower,
+                     feature.c_str(), upper);
+  }
+  if (has_upper) return StrFormat("%s <= %.10g", feature.c_str(), upper);
+  if (has_lower) return StrFormat("%s >= %.10g", feature.c_str(), lower);
+  return "true";
+}
+
+bool ExplanationClause::Eval(double value) const {
+  for (const RangePredicate& p : disjuncts) {
+    if (p.Eval(value)) return true;
+  }
+  return false;
+}
+
+std::string ExplanationClause::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(disjuncts.size());
+  for (const RangePredicate& p : disjuncts) parts.push_back(p.ToString());
+  if (parts.size() == 1) return parts[0];
+  return "(" + Join(parts, " OR ") + ")";
+}
+
+std::vector<std::string> Explanation::FeatureNames() const {
+  std::vector<std::string> out;
+  out.reserve(clauses_.size());
+  for (const auto& c : clauses_) out.push_back(c.feature);
+  return out;
+}
+
+bool Explanation::Eval(const std::map<std::string, double>& values) const {
+  if (clauses_.empty()) return false;
+  for (const ExplanationClause& c : clauses_) {
+    auto it = values.find(c.feature);
+    if (it == values.end() || !c.Eval(it->second)) return false;
+  }
+  return true;
+}
+
+std::string Explanation::ToString() const {
+  if (clauses_.empty()) return "(empty explanation)";
+  std::vector<std::string> parts;
+  parts.reserve(clauses_.size());
+  for (const auto& c : clauses_) parts.push_back(c.ToString());
+  return Join(parts, " AND ");
+}
+
+}  // namespace exstream

@@ -1,0 +1,68 @@
+// Explanations (paper Def. 2.1): boolean CNF over range predicates.
+//
+// "An explanation is a boolean expression in Conjunctive Normal Form. It
+//  contains a conjunction of clauses, each clause is a disjunction of
+//  predicates, and each predicate is of the form {v o c}."
+//
+// Each clause is built from one selected feature's abnormal value ranges
+// (Sec. 5.4); a doubly-bounded range renders as the paper does, e.g.
+// `(f >= 30 AND f <= 50)` inside a disjunction.
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace exstream {
+
+/// \brief One range predicate on a feature value.
+struct RangePredicate {
+  std::string feature;  ///< canonical feature name
+  bool has_lower = false;
+  bool has_upper = false;
+  double lower = 0.0;
+  double upper = 0.0;
+
+  bool Eval(double value) const;
+  std::string ToString() const;
+};
+
+/// \brief A disjunction of range predicates over the same feature.
+struct ExplanationClause {
+  std::string feature;
+  std::vector<RangePredicate> disjuncts;
+
+  bool Eval(double value) const;
+  std::string ToString() const;
+};
+
+/// \brief A CNF explanation: the conjunction of per-feature clauses.
+class Explanation {
+ public:
+  void AddClause(ExplanationClause clause) { clauses_.push_back(std::move(clause)); }
+
+  const std::vector<ExplanationClause>& clauses() const { return clauses_; }
+  size_t NumFeatures() const { return clauses_.size(); }
+  bool empty() const { return clauses_.empty(); }
+
+  /// Names of the features used by the explanation.
+  std::vector<std::string> FeatureNames() const;
+
+  /// \brief Truth value on a feature-name -> value assignment.
+  ///
+  /// Features missing from the assignment make their clause false (the
+  /// explanation asserts a condition we cannot confirm).
+  bool Eval(const std::map<std::string, double>& values) const;
+
+  /// Human-readable CNF, e.g.
+  /// "(MemUsage.memFree.mean@10 <= 1978482) AND (...)".
+  std::string ToString() const;
+
+ private:
+  std::vector<ExplanationClause> clauses_;
+};
+
+}  // namespace exstream

@@ -1,0 +1,208 @@
+#include "explain/explanation_io.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace exstream {
+
+namespace {
+
+// Tokens: "(", ")", and whitespace-delimited words.
+std::vector<std::string> TokenizeCnf(std::string_view text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  auto flush = [&] {
+    if (!current.empty()) {
+      tokens.push_back(std::move(current));
+      current.clear();
+    }
+  };
+  for (const char c : text) {
+    if (c == '(' || c == ')') {
+      flush();
+      tokens.push_back(std::string(1, c));
+    } else if (isspace(static_cast<unsigned char>(c))) {
+      flush();
+    } else {
+      current += c;
+    }
+  }
+  flush();
+  return tokens;
+}
+
+class CnfParser {
+ public:
+  explicit CnfParser(std::vector<std::string> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Explanation> Parse() {
+    Explanation out;
+    if (tokens_.empty()) return out;
+    for (;;) {
+      EXSTREAM_ASSIGN_OR_RETURN(ExplanationClause clause, ParseClause());
+      out.AddClause(std::move(clause));
+      if (AtEnd()) break;
+      EXSTREAM_RETURN_NOT_OK(Expect("AND"));
+    }
+    return out;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= tokens_.size(); }
+
+  const std::string& Cur() const {
+    static const std::string kEnd = "<end>";
+    return AtEnd() ? kEnd : tokens_[pos_];
+  }
+
+  bool Accept(const std::string& tok) {
+    if (Cur() == tok) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(const std::string& tok) {
+    if (!Accept(tok)) {
+      return Status::ParseError(StrFormat("expected '%s', got '%s' (token %zu)",
+                                          tok.c_str(), Cur().c_str(), pos_));
+    }
+    return Status::OK();
+  }
+
+  Result<double> ParseNumber() {
+    char* end = nullptr;
+    const double v = strtod(Cur().c_str(), &end);
+    if (end == Cur().c_str() || *end != '\0') {
+      return Status::ParseError("expected a number, got '" + Cur() + "'");
+    }
+    ++pos_;
+    return v;
+  }
+
+  Result<std::string> ParseName() {
+    const std::string& tok = Cur();
+    if (tok == "(" || tok == ")" || tok == "AND" || tok == "OR" || tok == "<=" ||
+        tok == ">=" || AtEnd()) {
+      return Status::ParseError("expected a feature name, got '" + tok + "'");
+    }
+    ++pos_;
+    return tok;
+  }
+
+  // `f <= c` or `f >= c`.
+  Result<RangePredicate> ParseSimplePredicate() {
+    RangePredicate pred;
+    EXSTREAM_ASSIGN_OR_RETURN(pred.feature, ParseName());
+    if (Accept("<=")) {
+      pred.has_upper = true;
+      EXSTREAM_ASSIGN_OR_RETURN(pred.upper, ParseNumber());
+    } else if (Accept(">=")) {
+      pred.has_lower = true;
+      EXSTREAM_ASSIGN_OR_RETURN(pred.lower, ParseNumber());
+    } else {
+      return Status::ParseError("expected '<=' or '>=', got '" + Cur() + "'");
+    }
+    return pred;
+  }
+
+  // Either a simple predicate or "(f >= c1 AND f <= c2)".
+  Result<RangePredicate> ParsePredicateAtom() {
+    if (!Accept("(")) return ParseSimplePredicate();
+    EXSTREAM_ASSIGN_OR_RETURN(RangePredicate lo, ParseSimplePredicate());
+    EXSTREAM_RETURN_NOT_OK(Expect("AND"));
+    EXSTREAM_ASSIGN_OR_RETURN(RangePredicate hi, ParseSimplePredicate());
+    EXSTREAM_RETURN_NOT_OK(Expect(")"));
+    return MergeBounds(lo, hi);
+  }
+
+  static Result<RangePredicate> MergeBounds(const RangePredicate& a,
+                                            const RangePredicate& b) {
+    if (a.feature != b.feature) {
+      return Status::ParseError("bounded range must constrain one feature, got '" +
+                                a.feature + "' and '" + b.feature + "'");
+    }
+    if (!(a.has_lower && b.has_upper) && !(a.has_upper && b.has_lower)) {
+      return Status::ParseError("bounded range needs one lower and one upper bound");
+    }
+    RangePredicate out;
+    out.feature = a.feature;
+    out.has_lower = true;
+    out.has_upper = true;
+    out.lower = a.has_lower ? a.lower : b.lower;
+    out.upper = a.has_upper ? a.upper : b.upper;
+    return out;
+  }
+
+  Result<ExplanationClause> ParseClause() {
+    ExplanationClause clause;
+    if (!Accept("(")) {
+      EXSTREAM_ASSIGN_OR_RETURN(RangePredicate pred, ParseSimplePredicate());
+      clause.feature = pred.feature;
+      clause.disjuncts.push_back(std::move(pred));
+      return clause;
+    }
+    // After "(": either a bounded range (pred AND pred), a disjunction
+    // (atom OR atom ...), or a lone parenthesized predicate.
+    EXSTREAM_ASSIGN_OR_RETURN(RangePredicate first, ParsePredicateAtom());
+    if (Accept("AND")) {
+      EXSTREAM_ASSIGN_OR_RETURN(RangePredicate second, ParseSimplePredicate());
+      EXSTREAM_RETURN_NOT_OK(Expect(")"));
+      EXSTREAM_ASSIGN_OR_RETURN(RangePredicate merged, MergeBounds(first, second));
+      clause.feature = merged.feature;
+      clause.disjuncts.push_back(std::move(merged));
+      return clause;
+    }
+    clause.disjuncts.push_back(first);
+    while (Accept("OR")) {
+      EXSTREAM_ASSIGN_OR_RETURN(RangePredicate pred, ParsePredicateAtom());
+      if (pred.feature != first.feature) {
+        return Status::ParseError(
+            "a clause's disjuncts must constrain one feature");
+      }
+      clause.disjuncts.push_back(std::move(pred));
+    }
+    EXSTREAM_RETURN_NOT_OK(Expect(")"));
+    clause.feature = first.feature;
+    return clause;
+  }
+
+  std::vector<std::string> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Explanation> ParseExplanation(std::string_view text) {
+  const std::string_view trimmed = TrimWhitespace(text);
+  if (trimmed.empty() || trimmed == "(empty explanation)") return Explanation();
+  CnfParser parser(TokenizeCnf(trimmed));
+  return parser.Parse();
+}
+
+Status SaveExplanationFile(const std::string& path, const Explanation& explanation) {
+  FILE* f = fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  const std::string text = explanation.ToString() + "\n";
+  const size_t written = fwrite(text.data(), 1, text.size(), f);
+  fclose(f);
+  if (written != text.size()) return Status::IOError("short write to " + path);
+  return Status::OK();
+}
+
+Result<Explanation> LoadExplanationFile(const std::string& path) {
+  FILE* f = fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  std::string text;
+  char buf[1 << 12];
+  size_t n;
+  while ((n = fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  fclose(f);
+  return ParseExplanation(text);
+}
+
+}  // namespace exstream

@@ -1,0 +1,32 @@
+// Persistence of explanations: the canonical CNF text produced by
+// Explanation::ToString() round-trips through ParseExplanation(), so a rule
+// learned once can be saved and re-loaded for proactive monitoring ("the
+// explanation can be encoded into the system for proactive monitoring for
+// similar anomalies in the future", Sec. 1.2).
+
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "explain/explanation.h"
+
+namespace exstream {
+
+/// \brief Parses the textual CNF produced by Explanation::ToString().
+///
+/// Accepted forms, per clause (clauses joined by top-level AND):
+///   f <= c
+///   f >= c
+///   (f >= c1 AND f <= c2)                       -- doubly bounded range
+///   (p1 OR p2 OR ...)                            -- disjunction of the above
+/// "(empty explanation)" parses to an empty Explanation.
+Result<Explanation> ParseExplanation(std::string_view text);
+
+/// \brief Writes `explanation.ToString()` (plus a trailing newline) to `path`.
+Status SaveExplanationFile(const std::string& path, const Explanation& explanation);
+
+/// \brief Reads and parses an explanation file written by SaveExplanationFile.
+Result<Explanation> LoadExplanationFile(const std::string& path);
+
+}  // namespace exstream

@@ -1,0 +1,20 @@
+#include "explain/leap_filter.h"
+
+namespace exstream {
+
+std::vector<RankedFeature> RewardLeapFilter(const std::vector<RankedFeature>& ranked,
+                                            const LeapFilterOptions& options) {
+  std::vector<RankedFeature> out;
+  for (size_t i = 0; i < ranked.size() && out.size() < options.max_keep; ++i) {
+    const double r = ranked[i].reward();
+    if (r < options.min_reward) break;  // absolute floor
+    if (i > 0) {
+      const double prev = ranked[i - 1].reward();
+      if (prev > 0 && r < options.keep_ratio * prev) break;  // the leap
+    }
+    out.push_back(ranked[i]);
+  }
+  return out;
+}
+
+}  // namespace exstream

@@ -1,0 +1,31 @@
+// Step 1: reward-leap filtering (paper Sec. 5.1).
+//
+// "Sharp changes in the reward between successive features in the ranking
+//  indicate a semantic change: features that rank below a sharp drop are
+//  unlikely to contribute to an explanation."
+
+#pragma once
+
+#include <vector>
+
+#include "explain/reward.h"
+
+namespace exstream {
+
+struct LeapFilterOptions {
+  /// A successive pair (r_i, r_{i+1}) is a "leap" when
+  /// r_{i+1} < keep_ratio * r_i; the list is cut at the first leap.
+  double keep_ratio = 0.7;
+  /// Features with reward below this floor are dropped regardless.
+  double min_reward = 0.5;
+  /// Upper bound on the number of surviving features.
+  size_t max_keep = 64;
+};
+
+/// \brief Cuts a reward-descending ranking at the first sharp drop.
+///
+/// Input must be sorted by reward descending (ComputeFeatureRewards output).
+std::vector<RankedFeature> RewardLeapFilter(const std::vector<RankedFeature>& ranked,
+                                            const LeapFilterOptions& options = {});
+
+}  // namespace exstream

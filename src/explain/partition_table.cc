@@ -1,0 +1,40 @@
+#include "explain/partition_table.h"
+
+namespace exstream {
+
+void PartitionTable::Upsert(PartitionRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto key = std::make_pair(record.query_name, record.partition);
+  records_[key] = std::move(record);
+}
+
+Result<PartitionRecord> PartitionTable::Get(const std::string& query_name,
+                                            const std::string& partition) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = records_.find(std::make_pair(query_name, partition));
+  if (it == records_.end()) {
+    return Status::NotFound("no partition record for (" + query_name + ", " +
+                            partition + ")");
+  }
+  return it->second;
+}
+
+std::vector<PartitionRecord> PartitionTable::FindRelated(
+    const PartitionRecord& record) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<PartitionRecord> out;
+  for (const auto& [key, rec] : records_) {
+    if (rec.query_name != record.query_name) continue;
+    if (rec.partition == record.partition) continue;
+    if (rec.dimensions != record.dimensions) continue;
+    out.push_back(rec);
+  }
+  return out;
+}
+
+size_t PartitionTable::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
+}
+
+}  // namespace exstream

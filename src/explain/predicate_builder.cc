@@ -1,0 +1,35 @@
+#include "explain/predicate_builder.h"
+
+namespace exstream {
+
+Result<ExplanationClause> BuildClause(const RankedFeature& feature) {
+  ExplanationClause clause;
+  clause.feature = feature.spec.Name();
+  const std::vector<AbnormalRange> ranges = ExtractAbnormalRanges(feature.entropy);
+  for (const AbnormalRange& r : ranges) {
+    RangePredicate pred;
+    pred.feature = clause.feature;
+    pred.has_lower = r.has_lower;
+    pred.has_upper = r.has_upper;
+    pred.lower = r.lower;
+    pred.upper = r.upper;
+    clause.disjuncts.push_back(std::move(pred));
+  }
+  if (clause.disjuncts.empty()) {
+    return Status::InvalidArgument("feature '" + clause.feature +
+                                   "' has no abnormal-only value range");
+  }
+  return clause;
+}
+
+Result<Explanation> BuildExplanation(const std::vector<RankedFeature>& features) {
+  Explanation out;
+  for (const RankedFeature& f : features) {
+    auto clause = BuildClause(f);
+    if (!clause.ok()) continue;  // fully mixed feature: no usable predicate
+    out.AddClause(std::move(clause).MoveValue());
+  }
+  return out;
+}
+
+}  // namespace exstream

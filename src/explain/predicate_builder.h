@@ -1,0 +1,25 @@
+// Building final explanations from selected features (paper Sec. 5.4).
+
+#pragma once
+
+#include "common/result.h"
+#include "explain/explanation.h"
+#include "explain/reward.h"
+
+namespace exstream {
+
+/// \brief Builds the clause for one selected feature from the abnormal value
+/// ranges of its entropy segmentation.
+///
+/// "If a feature offers perfect separation there is one boundary and only one
+///  predicate is built ... if a feature has more than one abnormal interval,
+///  then multiple predicates are built" joined by disjunction.
+Result<ExplanationClause> BuildClause(const RankedFeature& feature);
+
+/// \brief Builds the CNF explanation for the final selected features.
+///
+/// Features whose segmentation yields no abnormal-only range (fully mixed)
+/// contribute no clause.
+Result<Explanation> BuildExplanation(const std::vector<RankedFeature>& features);
+
+}  // namespace exstream

@@ -1,0 +1,44 @@
+#include "explain/reward.h"
+
+#include <algorithm>
+
+namespace exstream {
+
+std::vector<RankedFeature> RankFeatures(const std::vector<Feature>& abnormal,
+                                        const std::vector<Feature>& reference,
+                                        size_t min_support) {
+  std::vector<RankedFeature> out;
+  const size_t n = std::min(abnormal.size(), reference.size());
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    RankedFeature rf;
+    rf.spec = abnormal[i].spec;
+    rf.abnormal_series = abnormal[i].series;
+    rf.reference_series = reference[i].series;
+    if (rf.abnormal_series.size() >= min_support &&
+        rf.reference_series.size() >= min_support) {
+      rf.entropy = ComputeEntropyDistance(rf.abnormal_series, rf.reference_series);
+    }
+    out.push_back(std::move(rf));
+  }
+  // Reward descending; ties break toward larger sample support (a perfect
+  // separation over 400 points is stronger evidence than one over 40), then
+  // stably toward spec order for determinism.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const RankedFeature& a, const RankedFeature& b) {
+                     if (a.reward() != b.reward()) return a.reward() > b.reward();
+                     return FeatureSupport(a) > FeatureSupport(b);
+                   });
+  return out;
+}
+
+Result<std::vector<RankedFeature>> ComputeFeatureRewards(
+    const FeatureBuilder& builder, const std::vector<FeatureSpec>& specs,
+    const TimeInterval& abnormal, const TimeInterval& reference,
+    size_t min_support) {
+  EXSTREAM_ASSIGN_OR_RETURN(std::vector<Feature> fa, builder.Build(specs, abnormal));
+  EXSTREAM_ASSIGN_OR_RETURN(std::vector<Feature> fr, builder.Build(specs, reference));
+  return RankFeatures(fa, fr, min_support);
+}
+
+}  // namespace exstream

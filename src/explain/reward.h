@@ -1,0 +1,47 @@
+// Single-feature reward computation over annotated intervals (Sec. 4).
+
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+#include "features/builder.h"
+#include "features/feature.h"
+#include "ts/entropy_distance.h"
+
+namespace exstream {
+
+/// \brief A feature with its interval series and entropy-distance reward.
+struct RankedFeature {
+  FeatureSpec spec;
+  TimeSeries abnormal_series;
+  TimeSeries reference_series;
+  EntropyDistanceResult entropy;
+
+  /// The single-feature reward D(f) of Eq. 4.
+  double reward() const { return entropy.distance; }
+};
+
+/// \brief Materializes every spec over both annotated intervals, computes
+/// entropy rewards, and returns features sorted by reward descending
+/// (stable: spec order breaks ties deterministically).
+///
+/// \param min_support features with fewer samples than this in either
+///        interval get reward 0 — a 3-point "perfect separation" is noise,
+///        not signal
+Result<std::vector<RankedFeature>> ComputeFeatureRewards(
+    const FeatureBuilder& builder, const std::vector<FeatureSpec>& specs,
+    const TimeInterval& abnormal, const TimeInterval& reference,
+    size_t min_support = 5);
+
+/// \brief Reward computation on pre-built, aligned feature vectors.
+std::vector<RankedFeature> RankFeatures(const std::vector<Feature>& abnormal,
+                                        const std::vector<Feature>& reference,
+                                        size_t min_support = 5);
+
+/// \brief Total sample count of a ranked feature (both intervals).
+inline size_t FeatureSupport(const RankedFeature& f) {
+  return f.abnormal_series.size() + f.reference_series.size();
+}
+
+}  // namespace exstream

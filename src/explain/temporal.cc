@@ -1,0 +1,100 @@
+#include "explain/temporal.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stats.h"
+
+namespace exstream {
+
+namespace {
+
+// Resamples `s` to the grid [lo, hi] with `points` samples, optionally
+// differencing.
+std::vector<double> GridValues(const TimeSeries& s, Timestamp lo, Timestamp hi,
+                               size_t points, bool differences, Timestamp shift) {
+  std::vector<double> out;
+  out.reserve(points);
+  if (s.empty() || points < 2 || hi <= lo) return out;
+  for (size_t i = 0; i < points; ++i) {
+    const double frac = static_cast<double>(i) / static_cast<double>(points - 1);
+    const Timestamp t = lo + static_cast<Timestamp>(
+                                 frac * static_cast<double>(hi - lo));
+    out.push_back(s.InterpolateAt(t - shift));
+  }
+  if (differences) {
+    for (size_t i = out.size(); i-- > 1;) out[i] -= out[i - 1];
+    out.erase(out.begin());
+  }
+  return out;
+}
+
+}  // namespace
+
+double LaggedCorrelation(const TimeSeries& feature, const TimeSeries& target,
+                         Timestamp lag, const TemporalOptions& options) {
+  if (feature.size() < 2 || target.size() < 2) return 0.0;
+  const Timestamp lo = std::max(feature.start_time(), target.start_time());
+  const Timestamp hi = std::min(feature.end_time(), target.end_time());
+  if (hi <= lo) return 0.0;
+  // Shifting the feature by +lag means comparing feature(t - lag) with
+  // target(t): the feature's past against the target's present.
+  const std::vector<double> f =
+      GridValues(feature, lo, hi, options.points, options.use_differences, lag);
+  const std::vector<double> g =
+      GridValues(target, lo, hi, options.points, options.use_differences, 0);
+  return PearsonCorrelation(f, g);
+}
+
+std::vector<LagCorrelation> LagSweep(const TimeSeries& feature,
+                                     const TimeSeries& target,
+                                     const TemporalOptions& options) {
+  std::vector<LagCorrelation> out;
+  const Timestamp step = std::max<Timestamp>(1, options.lag_step);
+  for (Timestamp lag = -options.max_lag; lag <= options.max_lag; lag += step) {
+    out.push_back({lag, LaggedCorrelation(feature, target, lag, options)});
+  }
+  return out;
+}
+
+LagCorrelation BestLag(const TimeSeries& feature, const TimeSeries& target,
+                       const TemporalOptions& options) {
+  LagCorrelation best;
+  for (const LagCorrelation& lc : LagSweep(feature, target, options)) {
+    if (std::fabs(lc.correlation) > std::fabs(best.correlation)) best = lc;
+  }
+  return best;
+}
+
+double LeadScore(const TimeSeries& feature, const TimeSeries& monitored,
+                 const TemporalOptions& options) {
+  double best_lead = 0.0;
+  double best_trail = 0.0;
+  for (const LagCorrelation& lc : LagSweep(feature, monitored, options)) {
+    const double strength = std::fabs(lc.correlation);
+    if (lc.lag >= 0) {
+      best_lead = std::max(best_lead, strength);
+    } else {
+      best_trail = std::max(best_trail, strength);
+    }
+  }
+  return best_lead - best_trail;
+}
+
+std::vector<std::pair<RankedFeature, double>> RankByLeadScore(
+    const std::vector<RankedFeature>& features, const TimeSeries& monitored,
+    const TemporalOptions& options) {
+  std::vector<std::pair<RankedFeature, double>> out;
+  out.reserve(features.size());
+  for (const RankedFeature& f : features) {
+    // Lead analysis runs on the abnormal-interval series, where the causal
+    // timing lives.
+    out.emplace_back(f, LeadScore(f.abnormal_series, monitored, options));
+  }
+  std::stable_sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.second > b.second;
+  });
+  return out;
+}
+
+}  // namespace exstream

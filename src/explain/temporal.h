@@ -1,0 +1,67 @@
+// Temporal-correlation analysis — the paper's first future-work item
+// (Sec. 8: "our future work will address temporal correlation in discovering
+// explanations").
+//
+// A feature that *leads* the monitored anomaly (its change precedes the
+// monitored series' change) is a stronger causal candidate than one that
+// merely co-occurs or lags. These utilities measure lagged cross-correlation
+// between a candidate feature and the monitored series, on differenced
+// (change) signals so level offsets do not dominate, and summarize the lead
+// relationship.
+
+#pragma once
+
+#include <vector>
+
+#include "explain/reward.h"
+#include "ts/time_series.h"
+
+namespace exstream {
+
+/// \brief One (lag, correlation) sample of a lag sweep.
+struct LagCorrelation {
+  Timestamp lag = 0;          ///< shift applied to the feature (time units)
+  double correlation = 0.0;   ///< Pearson on the differenced, aligned series
+};
+
+struct TemporalOptions {
+  /// Lags swept: -max_lag .. +max_lag in steps of `lag_step`.
+  Timestamp max_lag = 60;
+  Timestamp lag_step = 10;
+  /// Common resampling grid resolution.
+  size_t points = 128;
+  /// Analyze differenced series (changes) instead of levels.
+  bool use_differences = true;
+};
+
+/// \brief Correlation between `feature` shifted by `lag` and `target`, on a
+/// common time grid. A positive lag moves the feature forward in time, so a
+/// high correlation at positive lag means the feature's behaviour *precedes*
+/// the target's.
+double LaggedCorrelation(const TimeSeries& feature, const TimeSeries& target,
+                         Timestamp lag, const TemporalOptions& options = {});
+
+/// \brief Full sweep over the configured lag range.
+std::vector<LagCorrelation> LagSweep(const TimeSeries& feature,
+                                     const TimeSeries& target,
+                                     const TemporalOptions& options = {});
+
+/// \brief The lag with the highest |correlation| in the sweep.
+LagCorrelation BestLag(const TimeSeries& feature, const TimeSeries& target,
+                       const TemporalOptions& options = {});
+
+/// \brief Lead score of a candidate explanation feature against the
+/// monitored series: best |correlation| at non-negative lags minus best at
+/// negative lags. Positive values mean the feature leads (explains), negative
+/// values mean it trails (symptom/aftereffect).
+double LeadScore(const TimeSeries& feature, const TimeSeries& monitored,
+                 const TemporalOptions& options = {});
+
+/// \brief Annotates ranked features with their lead score against the
+/// monitored series, sorted by score descending. Does not alter the Sec. 5
+/// pipeline; exposed as an additional analysis (the future-work hook).
+std::vector<std::pair<RankedFeature, double>> RankByLeadScore(
+    const std::vector<RankedFeature>& features, const TimeSeries& monitored,
+    const TemporalOptions& options = {});
+
+}  // namespace exstream

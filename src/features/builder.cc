@@ -1,0 +1,90 @@
+#include "features/builder.h"
+
+#include <map>
+
+namespace exstream {
+
+namespace {
+
+// Builds the raw (type, attribute) series from a scanned event vector.
+TimeSeries RawSeries(const std::vector<Event>& events, size_t attr_index) {
+  TimeSeries out;
+  for (const Event& e : events) {
+    if (attr_index >= e.values.size()) continue;
+    // Append drops NaN; out-of-order cannot occur because Scan returns
+    // time-ordered events.
+    (void)out.Append(e.ts, e.values[attr_index].AsDouble());
+  }
+  return out;
+}
+
+// Count (frequency) features are defined over the *query interval*, not the
+// series' own span: a window with no events is a real observation (count 0).
+// This is what lets a fully silent sensor (the supply-chain "missing
+// monitoring" anomaly) produce a maximally separating frequency feature
+// instead of an empty series.
+Result<TimeSeries> CountOverInterval(const TimeSeries& raw, Timestamp window,
+                                     const TimeInterval& interval) {
+  if (window <= 0) return Status::InvalidArgument("window must be positive");
+  TimeSeries out;
+  const auto& times = raw.times();
+  size_t idx = 0;
+  for (Timestamp wstart = interval.lower; wstart <= interval.upper; wstart += window) {
+    const Timestamp wend = wstart + window;
+    while (idx < times.size() && times[idx] < wstart) ++idx;
+    size_t hi = idx;
+    while (hi < times.size() && times[hi] < wend) ++hi;
+    EXSTREAM_RETURN_NOT_OK(out.Append(wend, static_cast<double>(hi - idx)));
+    idx = hi;
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<Feature>> FeatureBuilder::Build(const std::vector<FeatureSpec>& specs,
+                                                   const TimeInterval& interval) const {
+  // Scan each referenced event type once.
+  std::map<EventTypeId, std::vector<Event>> scans;
+  for (const FeatureSpec& s : specs) {
+    if (scans.count(s.type) == 0) {
+      EXSTREAM_ASSIGN_OR_RETURN(std::vector<Event> events,
+                                archive_->Scan(s.type, interval));
+      scans.emplace(s.type, std::move(events));
+    }
+  }
+  // Derive each (type, attr) raw series once.
+  std::map<std::pair<EventTypeId, size_t>, TimeSeries> raws;
+  for (const FeatureSpec& s : specs) {
+    const auto key = std::make_pair(s.type, s.attr_index);
+    if (raws.count(key) == 0) {
+      raws.emplace(key, RawSeries(scans.at(s.type), s.attr_index));
+    }
+  }
+
+  std::vector<Feature> out;
+  out.reserve(specs.size());
+  for (const FeatureSpec& s : specs) {
+    const TimeSeries& raw = raws.at(std::make_pair(s.type, s.attr_index));
+    Feature f;
+    f.spec = s;
+    if (s.agg == AggregateKind::kRaw) {
+      f.series = raw;
+    } else if (s.agg == AggregateKind::kCount) {
+      EXSTREAM_ASSIGN_OR_RETURN(f.series, CountOverInterval(raw, s.window, interval));
+    } else {
+      EXSTREAM_ASSIGN_OR_RETURN(f.series, ApplyWindowAggregate(raw, s.agg, s.window));
+    }
+    out.push_back(std::move(f));
+  }
+  return out;
+}
+
+Result<Feature> FeatureBuilder::BuildOne(const FeatureSpec& spec,
+                                         const TimeInterval& interval) const {
+  EXSTREAM_ASSIGN_OR_RETURN(std::vector<Feature> feats,
+                            Build(std::vector<FeatureSpec>{spec}, interval));
+  return std::move(feats.front());
+}
+
+}  // namespace exstream

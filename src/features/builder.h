@@ -1,0 +1,38 @@
+// FeatureBuilder: materializes features over an interval from the archive
+// (the "feature generation" stage of the explanation module, Fig. 19b).
+
+#pragma once
+
+#include <vector>
+
+#include "archive/archive.h"
+#include "common/result.h"
+#include "features/feature.h"
+
+namespace exstream {
+
+/// \brief Builds feature time series by replaying archived events.
+///
+/// Events of each (type, attribute) pair are scanned once per interval and
+/// shared across all aggregates/windows derived from that pair, so the
+/// archive read amplification is independent of the feature-space size.
+class FeatureBuilder {
+ public:
+  explicit FeatureBuilder(const EventArchive* archive) : archive_(archive) {}
+
+  /// \brief Materializes each spec over `interval`.
+  ///
+  /// Features whose underlying attribute produced no samples in the interval
+  /// are still returned (with an empty series); downstream reward computation
+  /// treats empty-vs-nonempty contrast via count features.
+  Result<std::vector<Feature>> Build(const std::vector<FeatureSpec>& specs,
+                                     const TimeInterval& interval) const;
+
+  /// \brief Materializes one spec over `interval`.
+  Result<Feature> BuildOne(const FeatureSpec& spec, const TimeInterval& interval) const;
+
+ private:
+  const EventArchive* archive_;  // not owned
+};
+
+}  // namespace exstream

@@ -1,0 +1,16 @@
+#include "features/feature.h"
+
+#include "common/strings.h"
+
+namespace exstream {
+
+std::string FeatureSpec::Name() const {
+  std::string name = event_type_name + "." + attribute_name + "." +
+                     std::string(AggregateKindToString(agg));
+  if (agg != AggregateKind::kRaw && window > 0) {
+    name += StrFormat("@%lld", static_cast<long long>(window));
+  }
+  return name;
+}
+
+}  // namespace exstream

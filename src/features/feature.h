@@ -1,0 +1,45 @@
+// Features: measurable properties derived from archived event streams
+// (paper Sec. 3).
+//
+// A raw feature is the time series of one numeric attribute of one event type
+// within an interval. Smoothed features apply a windowed aggregate on top
+// (e.g. MemUsage.memFree with kMean over 10s windows ~ the paper's
+// "MemFreeMean").
+
+#pragma once
+
+#include <string>
+
+#include "event/event.h"
+#include "ts/aggregate.h"
+#include "ts/time_series.h"
+
+namespace exstream {
+
+/// \brief Identifies one feature: (event type, attribute, aggregate, window).
+struct FeatureSpec {
+  EventTypeId type = kInvalidEventType;
+  size_t attr_index = 0;
+  std::string event_type_name;
+  std::string attribute_name;
+  AggregateKind agg = AggregateKind::kRaw;
+  Timestamp window = 0;  ///< aggregate window length; 0 for raw features
+
+  /// Canonical name, e.g. "MemUsage.memFree.mean@10" or "DataIO.dataSize.raw".
+  std::string Name() const;
+
+  bool operator==(const FeatureSpec& other) const {
+    return type == other.type && attr_index == other.attr_index &&
+           event_type_name == other.event_type_name &&
+           attribute_name == other.attribute_name && agg == other.agg &&
+           window == other.window;
+  }
+};
+
+/// \brief A feature materialized over one interval.
+struct Feature {
+  FeatureSpec spec;
+  TimeSeries series;
+};
+
+}  // namespace exstream

@@ -1,0 +1,60 @@
+#include "features/feature_space.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace exstream {
+
+std::vector<FeatureSpec> GenerateFeatureSpecs(const EventTypeRegistry& registry,
+                                              const FeatureSpaceOptions& options) {
+  std::vector<FeatureSpec> specs;
+  for (EventTypeId t = 0; t < registry.size(); ++t) {
+    const EventSchema& schema = registry.schema(t);
+    if (std::find(options.exclude_event_types.begin(),
+                  options.exclude_event_types.end(),
+                  schema.name()) != options.exclude_event_types.end()) {
+      continue;
+    }
+    for (size_t a = 0; a < schema.num_attributes(); ++a) {
+      const AttributeDef& attr = schema.attributes()[a];
+      if (attr.type == ValueType::kString) continue;  // only numeric features
+      if (std::find(options.exclude_attributes.begin(),
+                    options.exclude_attributes.end(),
+                    attr.name) != options.exclude_attributes.end()) {
+        continue;
+      }
+      FeatureSpec base;
+      base.type = t;
+      base.attr_index = a;
+      base.event_type_name = schema.name();
+      base.attribute_name = attr.name;
+      if (options.include_raw) {
+        FeatureSpec raw = base;
+        raw.agg = AggregateKind::kRaw;
+        raw.window = 0;
+        specs.push_back(raw);
+      }
+      for (const Timestamp w : options.windows) {
+        for (const AggregateKind agg : options.aggregates) {
+          FeatureSpec s = base;
+          s.agg = agg;
+          s.window = w;
+          specs.push_back(s);
+        }
+      }
+    }
+  }
+  return specs;
+}
+
+Result<FeatureSpec> FindSpecByName(const std::vector<FeatureSpec>& specs,
+                                   std::string_view name) {
+  for (const FeatureSpec& s : specs) {
+    if (s.Name() == name) return s;
+  }
+  return Status::NotFound(StrFormat("no feature spec named '%.*s'",
+                                    static_cast<int>(name.size()), name.data()));
+}
+
+}  // namespace exstream

@@ -1,0 +1,47 @@
+// Sufficient feature space generation (paper Sec. 3).
+//
+// "Our system includes a module that automatically transforms raw data
+//  streams into a richer feature space F to enable explanations."
+//
+// For every numeric attribute of every registered event type we emit the raw
+// feature plus one smoothed feature per (aggregate, window) combination. The
+// architecture is open: callers add aggregate kinds and window sizes through
+// FeatureSpaceOptions.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "event/registry.h"
+#include "features/feature.h"
+
+namespace exstream {
+
+/// \brief Controls which features GenerateFeatureSpecs produces.
+struct FeatureSpaceOptions {
+  /// Window lengths (time units) for smoothed features.
+  std::vector<Timestamp> windows = {10, 30};
+  /// Aggregates applied per window. The paper's generated features are means
+  /// ("...Mean") and frequencies ("...Frequency"); sum/min/max/stddev remain
+  /// available for callers that opt in.
+  std::vector<AggregateKind> aggregates = {AggregateKind::kMean, AggregateKind::kCount};
+  /// Also include the raw (unsmoothed) series as features.
+  bool include_raw = true;
+  /// Attribute names excluded everywhere (identifiers carry no signal and
+  /// would show up as false positives).
+  std::vector<std::string> exclude_attributes = {"eventId", "eventType"};
+  /// Event type names to skip entirely (e.g. the monitored query's own
+  /// output type when it should not explain itself).
+  std::vector<std::string> exclude_event_types;
+};
+
+/// \brief Enumerates the feature space F for all types in `registry`.
+std::vector<FeatureSpec> GenerateFeatureSpecs(const EventTypeRegistry& registry,
+                                              const FeatureSpaceOptions& options = {});
+
+/// \brief Finds a spec by canonical name in a spec list.
+Result<FeatureSpec> FindSpecByName(const std::vector<FeatureSpec>& specs,
+                                   std::string_view name);
+
+}  // namespace exstream

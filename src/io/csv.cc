@@ -1,0 +1,204 @@
+#include "io/csv.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace exstream {
+
+namespace {
+
+// Splits one CSV line honoring double-quoted fields with "" escapes.
+Result<std::vector<std::string>> SplitCsvLine(std::string_view line, char delimiter,
+                                              size_t line_no) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == delimiter) {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else if (c != '\r') {
+      current += c;
+    }
+  }
+  if (in_quotes) {
+    return Status::ParseError(StrFormat("line %zu: unterminated quote", line_no));
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+// Quotes a field if it contains the delimiter, quotes, or newlines.
+std::string QuoteField(const std::string& field, char delimiter) {
+  if (field.find(delimiter) == std::string::npos &&
+      field.find('"') == std::string::npos &&
+      field.find('\n') == std::string::npos) {
+    return field;
+  }
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+Result<Value> ParseField(const std::string& field, ValueType type, size_t line_no,
+                         const std::string& attr) {
+  char* end = nullptr;
+  switch (type) {
+    case ValueType::kInt64: {
+      const long long v = strtoll(field.c_str(), &end, 10);
+      if (end == field.c_str() || *end != '\0') {
+        return Status::ParseError(StrFormat("line %zu: attribute '%s' expects an "
+                                            "integer, got '%s'",
+                                            line_no, attr.c_str(), field.c_str()));
+      }
+      return Value(static_cast<int64_t>(v));
+    }
+    case ValueType::kDouble: {
+      const double v = strtod(field.c_str(), &end);
+      if (end == field.c_str() || *end != '\0') {
+        return Status::ParseError(StrFormat("line %zu: attribute '%s' expects a "
+                                            "number, got '%s'",
+                                            line_no, attr.c_str(), field.c_str()));
+      }
+      return Value(v);
+    }
+    case ValueType::kString:
+      return Value(field);
+  }
+  return Status::Internal("unknown value type");
+}
+
+}  // namespace
+
+Result<CsvParseResult> ParseCsvEvents(std::string_view text,
+                                      const EventTypeRegistry& registry,
+                                      const CsvOptions& options) {
+  CsvParseResult result;
+  size_t line_no = 0;
+  size_t start = 0;
+  bool header_pending = options.has_header;
+  while (start <= text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view line = text.substr(start, end - start);
+    start = end + 1;
+    ++line_no;
+    if (TrimWhitespace(line).empty()) {
+      if (end == text.size()) break;
+      continue;
+    }
+    if (header_pending) {
+      header_pending = false;
+      if (end == text.size()) break;
+      continue;
+    }
+    EXSTREAM_ASSIGN_OR_RETURN(const std::vector<std::string> fields,
+                              SplitCsvLine(line, options.delimiter, line_no));
+    if (fields.size() < 2) {
+      return Status::ParseError(
+          StrFormat("line %zu: need at least eventType and timestamp", line_no));
+    }
+    auto type_id = registry.IdOf(fields[0]);
+    if (!type_id.ok()) {
+      if (options.strict) {
+        return Status::ParseError(
+            StrFormat("line %zu: unknown event type '%s'", line_no,
+                      fields[0].c_str()));
+      }
+      ++result.skipped_rows;
+      if (end == text.size()) break;
+      continue;
+    }
+    const EventSchema& schema = registry.schema(*type_id);
+    if (fields.size() != schema.num_attributes() + 2) {
+      return Status::ParseError(StrFormat(
+          "line %zu: type '%s' expects %zu attribute columns, got %zu", line_no,
+          fields[0].c_str(), schema.num_attributes(), fields.size() - 2));
+    }
+    char* ts_end = nullptr;
+    const long long ts = strtoll(fields[1].c_str(), &ts_end, 10);
+    if (ts_end == fields[1].c_str() || *ts_end != '\0') {
+      return Status::ParseError(
+          StrFormat("line %zu: bad timestamp '%s'", line_no, fields[1].c_str()));
+    }
+    Event event;
+    event.type = *type_id;
+    event.ts = static_cast<Timestamp>(ts);
+    event.values.reserve(schema.num_attributes());
+    for (size_t a = 0; a < schema.num_attributes(); ++a) {
+      const AttributeDef& attr = schema.attributes()[a];
+      EXSTREAM_ASSIGN_OR_RETURN(Value v,
+                                ParseField(fields[a + 2], attr.type, line_no,
+                                           attr.name));
+      event.values.push_back(std::move(v));
+    }
+    result.events.push_back(std::move(event));
+    if (end == text.size()) break;
+  }
+  return result;
+}
+
+Result<CsvParseResult> ReadCsvEventsFile(const std::string& path,
+                                         const EventTypeRegistry& registry,
+                                         const CsvOptions& options) {
+  FILE* f = fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  std::string text;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  fclose(f);
+  return ParseCsvEvents(text, registry, options);
+}
+
+std::string FormatCsvEvents(const std::vector<Event>& events,
+                            const EventTypeRegistry& registry,
+                            const CsvOptions& options) {
+  std::string out;
+  for (const Event& e : events) {
+    const EventSchema& schema = registry.schema(e.type);
+    out += schema.name();
+    out += options.delimiter;
+    out += StrFormat("%lld", static_cast<long long>(e.ts));
+    for (size_t a = 0; a < e.values.size(); ++a) {
+      out += options.delimiter;
+      out += QuoteField(e.values[a].ToString(), options.delimiter);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Status WriteCsvEventsFile(const std::string& path, const std::vector<Event>& events,
+                          const EventTypeRegistry& registry,
+                          const CsvOptions& options) {
+  const std::string data = FormatCsvEvents(events, registry, options);
+  FILE* f = fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  const size_t written = fwrite(data.data(), 1, data.size(), f);
+  fclose(f);
+  if (written != data.size()) return Status::IOError("short write to " + path);
+  return Status::OK();
+}
+
+}  // namespace exstream

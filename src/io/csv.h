@@ -1,0 +1,58 @@
+// CSV ingestion and export of event streams.
+//
+// Row format:  eventType,timestamp,<attribute values in schema order>
+//
+// This is the practical data-source adapter (Fig. 18's gateway): users export
+// their monitoring logs (Hadoop events, Ganglia metrics, sensor readings) as
+// CSV and replay them through the engine and archive. Values are parsed
+// according to the declared schema types; string values may be double-quoted
+// with "" escaping.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "event/event.h"
+#include "event/registry.h"
+#include "event/stream.h"
+
+namespace exstream {
+
+struct CsvOptions {
+  char delimiter = ',';
+  /// Skip the first non-empty line.
+  bool has_header = false;
+  /// Reject rows whose type is not registered (otherwise they are skipped
+  /// and counted).
+  bool strict = true;
+};
+
+/// \brief Result of a parse: the events plus per-row diagnostics.
+struct CsvParseResult {
+  std::vector<Event> events;
+  size_t skipped_rows = 0;  ///< unknown-type rows skipped in non-strict mode
+};
+
+/// \brief Parses CSV text into events, validating against the registry.
+Result<CsvParseResult> ParseCsvEvents(std::string_view text,
+                                      const EventTypeRegistry& registry,
+                                      const CsvOptions& options = {});
+
+/// \brief Reads and parses a CSV file.
+Result<CsvParseResult> ReadCsvEventsFile(const std::string& path,
+                                         const EventTypeRegistry& registry,
+                                         const CsvOptions& options = {});
+
+/// \brief Serializes events to CSV (round-trips through ParseCsvEvents).
+std::string FormatCsvEvents(const std::vector<Event>& events,
+                            const EventTypeRegistry& registry,
+                            const CsvOptions& options = {});
+
+/// \brief Writes events to a CSV file.
+Status WriteCsvEventsFile(const std::string& path, const std::vector<Event>& events,
+                          const EventTypeRegistry& registry,
+                          const CsvOptions& options = {});
+
+}  // namespace exstream

@@ -1,0 +1,94 @@
+#include "ml/data_fusion.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stats.h"
+#include "ml/metrics.h"
+#include "ts/clustering.h"
+
+namespace exstream {
+
+Result<DataFusion> DataFusion::Fit(const Dataset& train, DataFusionOptions options) {
+  if (train.num_rows() == 0) {
+    return Status::InvalidArgument("cannot fit data fusion on empty data");
+  }
+  DataFusion model;
+  model.feature_names_ = train.feature_names;
+  model.stumps_ = FitAllStumps(train);
+  const size_t d = model.stumps_.size();
+
+  // Per-source precision/recall on training data.
+  std::vector<double> true_pos_rate(d, 0.5);   // P(vote=1 | abnormal)   (recall)
+  std::vector<double> false_pos_rate(d, 0.5);  // P(vote=1 | normal)
+  size_t n_pos = 0;
+  for (int y : train.labels) n_pos += static_cast<size_t>(y);
+  const size_t n_neg = train.num_rows() - n_pos;
+
+  std::vector<std::vector<int>> votes(d, std::vector<int>(train.num_rows(), 0));
+  for (size_t f = 0; f < d; ++f) {
+    size_t tp = 0;
+    size_t fp = 0;
+    for (size_t i = 0; i < train.num_rows(); ++i) {
+      const int v = model.stumps_[f].PredictRow(train.rows[i]);
+      votes[f][i] = v;
+      if (v == 1 && train.labels[i] == 1) ++tp;
+      if (v == 1 && train.labels[i] == 0) ++fp;
+    }
+    if (n_pos > 0) true_pos_rate[f] = static_cast<double>(tp) / static_cast<double>(n_pos);
+    if (n_neg > 0) false_pos_rate[f] = static_cast<double>(fp) / static_cast<double>(n_neg);
+  }
+
+  // Correlation discount: sources whose vote columns are highly correlated
+  // share one "effective" vote, so each member's weight is divided by its
+  // cluster size.
+  std::vector<std::pair<size_t, size_t>> edges;
+  for (size_t a = 0; a < d; ++a) {
+    std::vector<double> va(votes[a].begin(), votes[a].end());
+    for (size_t b = a + 1; b < d; ++b) {
+      std::vector<double> vb(votes[b].begin(), votes[b].end());
+      if (std::fabs(PearsonCorrelation(va, vb)) >= options.correlation_threshold) {
+        edges.emplace_back(a, b);
+      }
+    }
+  }
+  const ClusteringResult comps = ConnectedComponents(d, edges);
+  std::vector<size_t> cluster_size(static_cast<size_t>(comps.num_clusters), 0);
+  for (int c : comps.labels) ++cluster_size[static_cast<size_t>(c)];
+
+  const double clamp = options.probability_clamp;
+  auto clamped = [&](double p) { return std::clamp(p, 1.0 - clamp, clamp); };
+
+  model.weight_vote_.resize(d);
+  model.weight_no_vote_.resize(d);
+  for (size_t f = 0; f < d; ++f) {
+    const double tpr = clamped(true_pos_rate[f]);
+    const double fpr = clamped(false_pos_rate[f]);
+    const double discount =
+        1.0 / static_cast<double>(cluster_size[static_cast<size_t>(comps.labels[f])]);
+    // Naive-Bayes log-likelihood ratios for a positive and a negative vote.
+    model.weight_vote_[f] = discount * std::log(tpr / fpr);
+    model.weight_no_vote_[f] = discount * std::log((1.0 - tpr) / (1.0 - fpr));
+  }
+  const double p_prior =
+      clamped(static_cast<double>(n_pos) / static_cast<double>(train.num_rows()));
+  model.prior_log_odds_ = std::log(p_prior / (1.0 - p_prior));
+  return model;
+}
+
+int DataFusion::PredictRow(const std::vector<double>& row) const {
+  double log_odds = prior_log_odds_;
+  for (size_t f = 0; f < stumps_.size(); ++f) {
+    log_odds += stumps_[f].PredictRow(row) == 1 ? weight_vote_[f] : weight_no_vote_[f];
+  }
+  return log_odds >= 0.0 ? 1 : 0;
+}
+
+std::vector<int> DataFusion::Predict(const Dataset& data) const {
+  std::vector<int> out;
+  out.reserve(data.num_rows());
+  for (const auto& row : data.rows) out.push_back(PredictRow(row));
+  return out;
+}
+
+}  // namespace exstream

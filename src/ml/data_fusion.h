@@ -1,0 +1,49 @@
+// Data fusion baseline [21] (paper Sec. 6.1): "fuses the prediction result
+// from each feature based on their precision, recall and correlations."
+//
+// Each feature's stump acts as a source; sources vote with Bayesian log-odds
+// weights derived from their training precision/recall, and correlated
+// sources are discounted so a cluster of near-duplicate features does not
+// dominate the fused posterior (the correlation handling of Pochampally et
+// al.).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "ml/stump.h"
+
+namespace exstream {
+
+struct DataFusionOptions {
+  /// |Pearson| at or above which two feature columns count as correlated.
+  double correlation_threshold = 0.9;
+  /// Clamp for estimated precision/recall to keep log-odds finite.
+  double probability_clamp = 0.99;
+};
+
+/// \brief Precision/recall-weighted fusion of per-feature stump votes.
+class DataFusion {
+ public:
+  static Result<DataFusion> Fit(const Dataset& train, DataFusionOptions options = {});
+
+  int PredictRow(const std::vector<double>& row) const;
+  std::vector<int> Predict(const Dataset& data) const;
+
+  /// All features (fusion weights them but never drops them).
+  std::vector<std::string> SelectedFeatures() const { return feature_names_; }
+
+  /// The fused log-odds contribution weights (diagnostics).
+  const std::vector<double>& vote_weights() const { return weight_vote_; }
+
+ private:
+  std::vector<std::string> feature_names_;
+  std::vector<DecisionStump> stumps_;
+  std::vector<double> weight_vote_;     ///< log-odds weight for an abnormal vote
+  std::vector<double> weight_no_vote_;  ///< log-odds weight for a normal vote
+  double prior_log_odds_ = 0.0;
+};
+
+}  // namespace exstream

@@ -1,0 +1,117 @@
+#include "ml/dataset.h"
+
+#include <cmath>
+
+#include "common/stats.h"
+#include "common/strings.h"
+
+namespace exstream {
+
+void Standardizer::FitTransform(Dataset* data) {
+  const size_t nf = data->num_features();
+  mean.assign(nf, 0.0);
+  stddev.assign(nf, 0.0);
+  std::vector<double> col;
+  col.reserve(data->num_rows());
+  for (size_t f = 0; f < nf; ++f) {
+    col.clear();
+    for (const auto& row : data->rows) col.push_back(row[f]);
+    mean[f] = Mean(col);
+    stddev[f] = StdDev(col);
+  }
+  Transform(data);
+}
+
+void Standardizer::Transform(Dataset* data) const {
+  for (auto& row : data->rows) row = TransformRow(row);
+}
+
+std::vector<double> Standardizer::TransformRow(const std::vector<double>& row) const {
+  std::vector<double> out(row.size(), 0.0);
+  for (size_t f = 0; f < row.size() && f < mean.size(); ++f) {
+    out[f] = stddev[f] > 0 ? (row[f] - mean[f]) / stddev[f] : 0.0;
+  }
+  return out;
+}
+
+namespace {
+
+// Appends rows sampled from one interval's feature set.
+void SampleRows(const std::vector<Feature>& features, size_t samples, int label,
+                Dataset* out) {
+  // The sampling span is the union of the feature series' spans.
+  Timestamp lo = 0;
+  Timestamp hi = 0;
+  bool have_span = false;
+  for (const Feature& f : features) {
+    if (f.series.empty()) continue;
+    if (!have_span) {
+      lo = f.series.start_time();
+      hi = f.series.end_time();
+      have_span = true;
+    } else {
+      lo = std::min(lo, f.series.start_time());
+      hi = std::max(hi, f.series.end_time());
+    }
+  }
+  if (!have_span || samples == 0) return;
+  for (size_t i = 0; i < samples; ++i) {
+    const double frac =
+        samples == 1 ? 0.0 : static_cast<double>(i) / static_cast<double>(samples - 1);
+    const Timestamp t = lo + static_cast<Timestamp>(
+                                 std::llround(frac * static_cast<double>(hi - lo)));
+    std::vector<double> row;
+    row.reserve(features.size());
+    for (const Feature& f : features) {
+      row.push_back(f.series.empty() ? 0.0 : f.series.InterpolateAt(t));
+    }
+    out->rows.push_back(std::move(row));
+    out->labels.push_back(label);
+  }
+}
+
+}  // namespace
+
+Result<Dataset> BuildDataset(const std::vector<Feature>& abnormal,
+                             const std::vector<Feature>& reference,
+                             size_t samples_per_interval) {
+  if (abnormal.size() != reference.size()) {
+    return Status::InvalidArgument(
+        StrFormat("feature count mismatch: %zu abnormal vs %zu reference",
+                  abnormal.size(), reference.size()));
+  }
+  Dataset out;
+  out.feature_names.reserve(abnormal.size());
+  for (size_t i = 0; i < abnormal.size(); ++i) {
+    if (!(abnormal[i].spec == reference[i].spec)) {
+      return Status::InvalidArgument("feature specs must align across intervals");
+    }
+    out.feature_names.push_back(abnormal[i].spec.Name());
+  }
+  SampleRows(abnormal, samples_per_interval, 1, &out);
+  SampleRows(reference, samples_per_interval, 0, &out);
+  return out;
+}
+
+void SplitDataset(const Dataset& data, size_t test_every_k, Dataset* train,
+                  Dataset* test) {
+  train->feature_names = data.feature_names;
+  test->feature_names = data.feature_names;
+  train->rows.clear();
+  train->labels.clear();
+  test->rows.clear();
+  test->labels.clear();
+  size_t per_class_count[2] = {0, 0};
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    const int label = data.labels[i];
+    Dataset* dst =
+        (test_every_k > 0 && per_class_count[label] % test_every_k == test_every_k - 1)
+            ? test
+            : train;
+    dst->rows.push_back(data.rows[i]);
+    dst->labels.push_back(label);
+    ++per_class_count[label];
+  }
+}
+
+}  // namespace exstream

@@ -1,0 +1,55 @@
+// Dataset assembly: turning per-interval feature series into labeled
+// training examples for the baseline prediction techniques (Sec. 2.2).
+//
+// The two annotated intervals (abnormal I_A, reference I_R) are sampled at
+// regular time points; each sample is a dense row of feature values obtained
+// by interpolating every feature's series at that time.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "features/feature.h"
+
+namespace exstream {
+
+/// \brief A dense labeled dataset (label 1 = abnormal, 0 = reference).
+struct Dataset {
+  std::vector<std::string> feature_names;
+  std::vector<std::vector<double>> rows;  ///< rows x features
+  std::vector<int> labels;                ///< 0/1 per row
+
+  size_t num_rows() const { return rows.size(); }
+  size_t num_features() const { return feature_names.size(); }
+};
+
+/// \brief Per-feature standardization parameters fitted on a dataset.
+struct Standardizer {
+  std::vector<double> mean;
+  std::vector<double> stddev;
+
+  /// Fits on `data` and transforms it in place.
+  void FitTransform(Dataset* data);
+  /// Applies previously fitted parameters (test data).
+  void Transform(Dataset* data) const;
+  /// Applies to a single row.
+  std::vector<double> TransformRow(const std::vector<double>& row) const;
+};
+
+/// \brief Builds a labeled dataset from matched abnormal/reference features.
+///
+/// \param abnormal features materialized over I_A
+/// \param reference features materialized over I_R (same specs, same order)
+/// \param samples_per_interval time points sampled per interval
+Result<Dataset> BuildDataset(const std::vector<Feature>& abnormal,
+                             const std::vector<Feature>& reference,
+                             size_t samples_per_interval = 64);
+
+/// \brief Deterministic row-level split for holdout evaluation: every k-th
+/// row (per class) goes to the test set.
+void SplitDataset(const Dataset& data, size_t test_every_k, Dataset* train,
+                  Dataset* test);
+
+}  // namespace exstream

@@ -1,0 +1,170 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace exstream {
+
+namespace {
+
+// Gini impurity of a (n0, n1) label count pair.
+double Gini(size_t n0, size_t n1) {
+  const double n = static_cast<double>(n0 + n1);
+  if (n == 0) return 0.0;
+  const double p0 = static_cast<double>(n0) / n;
+  const double p1 = static_cast<double>(n1) / n;
+  return 1.0 - p0 * p0 - p1 * p1;
+}
+
+struct BestSplit {
+  bool found = false;
+  size_t feature = 0;
+  double threshold = 0.0;
+  double gain = 0.0;
+};
+
+BestSplit FindBestSplit(const Dataset& data, const std::vector<size_t>& indices) {
+  BestSplit best;
+  size_t total1 = 0;
+  for (size_t i : indices) total1 += static_cast<size_t>(data.labels[i]);
+  const size_t total0 = indices.size() - total1;
+  const double parent_gini = Gini(total0, total1);
+  if (parent_gini == 0.0) return best;
+
+  std::vector<std::pair<double, int>> sorted;
+  sorted.reserve(indices.size());
+  for (size_t f = 0; f < data.num_features(); ++f) {
+    sorted.clear();
+    for (size_t i : indices) sorted.emplace_back(data.rows[i][f], data.labels[i]);
+    std::sort(sorted.begin(), sorted.end());
+    size_t left0 = 0;
+    size_t left1 = 0;
+    for (size_t k = 1; k < sorted.size(); ++k) {
+      if (sorted[k - 1].second == 1) {
+        ++left1;
+      } else {
+        ++left0;
+      }
+      if (sorted[k].first == sorted[k - 1].first) continue;
+      const size_t right0 = total0 - left0;
+      const size_t right1 = total1 - left1;
+      const double nl = static_cast<double>(left0 + left1);
+      const double nr = static_cast<double>(right0 + right1);
+      const double n = nl + nr;
+      const double child =
+          (nl / n) * Gini(left0, left1) + (nr / n) * Gini(right0, right1);
+      const double gain = parent_gini - child;
+      if (gain > best.gain) {
+        best.found = true;
+        best.feature = f;
+        best.threshold = (sorted[k - 1].first + sorted[k].first) / 2.0;
+        best.gain = gain;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::unique_ptr<DecisionTree::Node> DecisionTree::BuildNode(
+    const Dataset& data, const std::vector<size_t>& indices, size_t depth,
+    const DecisionTreeOptions& options) {
+  auto node = std::make_unique<Node>();
+  size_t n1 = 0;
+  for (size_t i : indices) n1 += static_cast<size_t>(data.labels[i]);
+  node->prediction = n1 * 2 >= indices.size() ? 1 : 0;
+
+  if (depth >= options.max_depth || indices.size() < options.min_samples_split) {
+    return node;
+  }
+  const BestSplit split = FindBestSplit(data, indices);
+  if (!split.found || split.gain < options.min_gini_gain) return node;
+
+  std::vector<size_t> left_idx;
+  std::vector<size_t> right_idx;
+  for (size_t i : indices) {
+    if (data.rows[i][split.feature] < split.threshold) {
+      left_idx.push_back(i);
+    } else {
+      right_idx.push_back(i);
+    }
+  }
+  if (left_idx.empty() || right_idx.empty()) return node;
+
+  node->leaf = false;
+  node->feature = split.feature;
+  node->threshold = split.threshold;
+  node->left = BuildNode(data, left_idx, depth + 1, options);
+  node->right = BuildNode(data, right_idx, depth + 1, options);
+  return node;
+}
+
+Result<DecisionTree> DecisionTree::Fit(const Dataset& train,
+                                       DecisionTreeOptions options) {
+  if (train.num_rows() == 0) {
+    return Status::InvalidArgument("cannot fit decision tree on empty data");
+  }
+  DecisionTree tree;
+  tree.feature_names_ = train.feature_names;
+  std::vector<size_t> indices(train.num_rows());
+  for (size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  tree.root_ = tree.BuildNode(train, indices, 0, options);
+  return tree;
+}
+
+int DecisionTree::PredictRow(const std::vector<double>& row) const {
+  const Node* node = root_.get();
+  while (node != nullptr && !node->leaf) {
+    node = row[node->feature] < node->threshold ? node->left.get() : node->right.get();
+  }
+  return node != nullptr ? node->prediction : 0;
+}
+
+std::vector<int> DecisionTree::Predict(const Dataset& data) const {
+  std::vector<int> out;
+  out.reserve(data.num_rows());
+  for (const auto& row : data.rows) out.push_back(PredictRow(row));
+  return out;
+}
+
+void DecisionTree::CollectFeatures(const Node* node,
+                                   std::vector<std::string>* out) const {
+  if (node == nullptr || node->leaf) return;
+  const std::string& name = feature_names_[node->feature];
+  if (std::find(out->begin(), out->end(), name) == out->end()) out->push_back(name);
+  CollectFeatures(node->left.get(), out);
+  CollectFeatures(node->right.get(), out);
+}
+
+std::vector<std::string> DecisionTree::SelectedFeatures() const {
+  std::vector<std::string> out;
+  CollectFeatures(root_.get(), &out);
+  return out;
+}
+
+size_t DecisionTree::NumSplits() const { return SelectedFeatures().size(); }
+
+void DecisionTree::Print(const Node* node, int indent, std::string* out) const {
+  if (node == nullptr) return;
+  const std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  if (node->leaf) {
+    *out += pad + (node->prediction == 1 ? "Abnormal" : "Normal") + "\n";
+    return;
+  }
+  *out += pad + StrFormat("%s < %.6g ?", feature_names_[node->feature].c_str(),
+                          node->threshold) +
+          "\n";
+  Print(node->left.get(), indent + 1, out);
+  Print(node->right.get(), indent + 1, out);
+}
+
+std::string DecisionTree::ToString() const {
+  std::string out;
+  Print(root_.get(), 0, &out);
+  return out;
+}
+
+}  // namespace exstream

@@ -1,0 +1,59 @@
+// CART decision tree baseline [2] (paper Sec. 2.2, Fig. 6).
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "ml/dataset.h"
+
+namespace exstream {
+
+/// \brief Training options for the decision tree.
+struct DecisionTreeOptions {
+  size_t max_depth = 4;
+  size_t min_samples_split = 8;
+  double min_gini_gain = 1e-4;
+};
+
+/// \brief A binary CART tree with axis-aligned threshold splits.
+class DecisionTree {
+ public:
+  static Result<DecisionTree> Fit(const Dataset& train, DecisionTreeOptions options = {});
+
+  int PredictRow(const std::vector<double>& row) const;
+  std::vector<int> Predict(const Dataset& data) const;
+
+  /// Unique split features in top-down, left-to-right order — the model's
+  /// "selected features" (Fig. 6 uses 3 internal nodes).
+  std::vector<std::string> SelectedFeatures() const;
+
+  /// Number of internal nodes.
+  size_t NumSplits() const;
+
+  /// Pretty-prints the tree (Fig. 6 rendering in examples/benches).
+  std::string ToString() const;
+
+ private:
+  struct Node {
+    bool leaf = true;
+    int prediction = 0;
+    size_t feature = 0;
+    double threshold = 0.0;
+    std::unique_ptr<Node> left;   // feature < threshold
+    std::unique_ptr<Node> right;  // feature >= threshold
+  };
+
+  std::unique_ptr<Node> BuildNode(const Dataset& data,
+                                  const std::vector<size_t>& indices, size_t depth,
+                                  const DecisionTreeOptions& options);
+  void CollectFeatures(const Node* node, std::vector<std::string>* out) const;
+  void Print(const Node* node, int indent, std::string* out) const;
+
+  std::unique_ptr<Node> root_;
+  std::vector<std::string> feature_names_;
+};
+
+}  // namespace exstream

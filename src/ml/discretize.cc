@@ -1,0 +1,146 @@
+#include "ml/discretize.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace exstream {
+
+namespace {
+
+double Log2(double x) { return std::log(x) / std::log(2.0); }
+
+// Class entropy of a (n0, n1) count pair.
+double ClassEntropy(size_t n0, size_t n1) {
+  const double n = static_cast<double>(n0 + n1);
+  if (n == 0) return 0.0;
+  double h = 0.0;
+  for (size_t c : {n0, n1}) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) / n;
+    h -= p * Log2(p);
+  }
+  return h;
+}
+
+// Number of distinct classes present.
+int NumClasses(size_t n0, size_t n1) { return (n0 > 0 ? 1 : 0) + (n1 > 0 ? 1 : 0); }
+
+struct Sample {
+  double value;
+  int label;
+};
+
+// Recursive MDL splitting on [begin, end) of the sorted sample array.
+void SplitRecursive(const std::vector<Sample>& samples, size_t begin, size_t end,
+                    int remaining_cuts, std::vector<double>* cuts) {
+  const size_t n = end - begin;
+  if (n < 4 || remaining_cuts <= 0) return;
+
+  size_t total1 = 0;
+  for (size_t i = begin; i < end; ++i) total1 += static_cast<size_t>(samples[i].label);
+  const size_t total0 = n - total1;
+  const double h_all = ClassEntropy(total0, total1);
+  if (h_all == 0.0) return;  // pure already
+
+  // Scan candidate boundaries (between distinct values) for the best
+  // information gain.
+  double best_gain = -1.0;
+  size_t best_idx = 0;  // split between best_idx-1 and best_idx
+  double best_h1 = 0.0;
+  double best_h2 = 0.0;
+  size_t best_left0 = 0;
+  size_t best_left1 = 0;
+
+  size_t left0 = 0;
+  size_t left1 = 0;
+  for (size_t i = begin + 1; i < end; ++i) {
+    if (samples[i - 1].label == 1) {
+      ++left1;
+    } else {
+      ++left0;
+    }
+    if (samples[i].value == samples[i - 1].value) continue;
+    const size_t right0 = total0 - left0;
+    const size_t right1 = total1 - left1;
+    const double h1 = ClassEntropy(left0, left1);
+    const double h2 = ClassEntropy(right0, right1);
+    const double nleft = static_cast<double>(left0 + left1);
+    const double nright = static_cast<double>(right0 + right1);
+    const double h_split =
+        (nleft * h1 + nright * h2) / static_cast<double>(n);
+    const double gain = h_all - h_split;
+    if (gain > best_gain) {
+      best_gain = gain;
+      best_idx = i;
+      best_h1 = h1;
+      best_h2 = h2;
+      best_left0 = left0;
+      best_left1 = left1;
+    }
+  }
+  if (best_gain <= 0.0) return;
+
+  // Fayyad-Irani MDL acceptance criterion.
+  const int k = NumClasses(total0, total1);
+  const int k1 = NumClasses(best_left0, best_left1);
+  const int k2 = NumClasses(total0 - best_left0, total1 - best_left1);
+  const double delta = Log2(std::pow(3.0, k) - 2.0) -
+                       (static_cast<double>(k) * h_all -
+                        static_cast<double>(k1) * best_h1 -
+                        static_cast<double>(k2) * best_h2);
+  const double threshold =
+      (Log2(static_cast<double>(n) - 1.0) + delta) / static_cast<double>(n);
+  if (best_gain <= threshold) return;
+
+  const double cut = (samples[best_idx - 1].value + samples[best_idx].value) / 2.0;
+  cuts->push_back(cut);
+  SplitRecursive(samples, begin, best_idx, remaining_cuts - 1, cuts);
+  SplitRecursive(samples, best_idx, end, remaining_cuts - 1, cuts);
+}
+
+}  // namespace
+
+std::vector<int> EqualWidthBins(const std::vector<double>& values, int bins) {
+  std::vector<int> out(values.size(), 0);
+  if (values.empty() || bins <= 1) return out;
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (double v : values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  if (!(hi > lo)) return out;
+  const double width = (hi - lo) / static_cast<double>(bins);
+  for (size_t i = 0; i < values.size(); ++i) {
+    int b = static_cast<int>((values[i] - lo) / width);
+    out[i] = std::clamp(b, 0, bins - 1);
+  }
+  return out;
+}
+
+std::vector<double> FayyadIraniCuts(const std::vector<double>& values,
+                                    const std::vector<int>& labels, int max_cuts) {
+  std::vector<Sample> samples;
+  const size_t n = std::min(values.size(), labels.size());
+  samples.reserve(n);
+  for (size_t i = 0; i < n; ++i) samples.push_back({values[i], labels[i]});
+  std::sort(samples.begin(), samples.end(),
+            [](const Sample& a, const Sample& b) { return a.value < b.value; });
+  std::vector<double> cuts;
+  SplitRecursive(samples, 0, samples.size(), max_cuts, &cuts);
+  std::sort(cuts.begin(), cuts.end());
+  return cuts;
+}
+
+std::vector<int> ApplyCuts(const std::vector<double>& values,
+                           const std::vector<double>& cuts) {
+  std::vector<int> out(values.size(), 0);
+  for (size_t i = 0; i < values.size(); ++i) {
+    out[i] = static_cast<int>(
+        std::upper_bound(cuts.begin(), cuts.end(), values[i]) - cuts.begin());
+  }
+  return out;
+}
+
+}  // namespace exstream

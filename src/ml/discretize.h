@@ -1,0 +1,32 @@
+// Discretization of continuous features, used by mutual information and
+// cited as the inspiration for the entropy distance (Fayyad & Irani [11]).
+
+#pragma once
+
+#include <vector>
+
+namespace exstream {
+
+/// \brief Equal-width binning into `bins` buckets over [min, max].
+///
+/// Returns per-value bin indices in [0, bins). Constant inputs map to bin 0.
+std::vector<int> EqualWidthBins(const std::vector<double>& values, int bins);
+
+/// \brief Entropy-based (Fayyad-Irani) recursive binary discretization.
+///
+/// Finds cut points that minimize the class-information entropy of the
+/// partition, recursing while the MDL criterion accepts the split.
+///
+/// \param values the continuous feature values
+/// \param labels 0/1 class labels, same length
+/// \param max_cuts hard recursion bound
+/// \return sorted cut points (possibly empty when no split is accepted)
+std::vector<double> FayyadIraniCuts(const std::vector<double>& values,
+                                    const std::vector<int>& labels,
+                                    int max_cuts = 8);
+
+/// \brief Assigns each value the index of its interval among sorted cuts.
+std::vector<int> ApplyCuts(const std::vector<double>& values,
+                           const std::vector<double>& cuts);
+
+}  // namespace exstream

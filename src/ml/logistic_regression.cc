@@ -1,0 +1,121 @@
+#include "ml/logistic_regression.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace exstream {
+
+namespace {
+
+double Sigmoid(double z) {
+  if (z >= 0) {
+    const double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+}  // namespace
+
+Result<LogisticRegression> LogisticRegression::Fit(const Dataset& train,
+                                                   LogisticRegressionOptions options) {
+  if (train.num_rows() == 0) {
+    return Status::InvalidArgument("cannot fit logistic regression on empty data");
+  }
+  LogisticRegression model;
+  model.feature_names_ = train.feature_names;
+
+  Dataset data = train;
+  model.standardizer_.FitTransform(&data);
+
+  const size_t n = data.num_rows();
+  const size_t d = data.num_features();
+  model.weights_.assign(d, 0.0);
+  model.bias_ = 0.0;
+
+  std::vector<double> grad(d, 0.0);
+  double prev_loss = std::numeric_limits<double>::infinity();
+
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    std::fill(grad.begin(), grad.end(), 0.0);
+    double grad_bias = 0.0;
+    double loss = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double z = model.bias_;
+      const auto& row = data.rows[i];
+      for (size_t f = 0; f < d; ++f) z += model.weights_[f] * row[f];
+      const double p = Sigmoid(z);
+      const double y = static_cast<double>(data.labels[i]);
+      const double err = p - y;
+      for (size_t f = 0; f < d; ++f) grad[f] += err * row[f];
+      grad_bias += err;
+      // Numerically-safe log loss.
+      loss += y > 0.5 ? -std::log(std::max(p, 1e-15))
+                      : -std::log(std::max(1.0 - p, 1e-15));
+    }
+    const double inv_n = 1.0 / static_cast<double>(n);
+    loss *= inv_n;
+    for (size_t f = 0; f < d; ++f) {
+      loss += 0.5 * options.l2 * model.weights_[f] * model.weights_[f] +
+              options.l1 * std::fabs(model.weights_[f]);
+    }
+
+    // Gradient step on the smooth part (log loss + L2), then the proximal
+    // (soft-threshold) step for L1.
+    for (size_t f = 0; f < d; ++f) {
+      double w = model.weights_[f] -
+                 options.learning_rate * (grad[f] * inv_n + options.l2 * model.weights_[f]);
+      const double shrink = options.learning_rate * options.l1;
+      if (w > shrink) {
+        w -= shrink;
+      } else if (w < -shrink) {
+        w += shrink;
+      } else {
+        w = 0.0;
+      }
+      model.weights_[f] = w;
+    }
+    model.bias_ -= options.learning_rate * grad_bias * inv_n;
+
+    model.final_loss_ = loss;
+    if (std::fabs(prev_loss - loss) < options.tolerance) break;
+    prev_loss = loss;
+  }
+  return model;
+}
+
+double LogisticRegression::PredictProbability(const std::vector<double>& row) const {
+  const std::vector<double> x = standardizer_.TransformRow(row);
+  double z = bias_;
+  for (size_t f = 0; f < x.size() && f < weights_.size(); ++f) z += weights_[f] * x[f];
+  return Sigmoid(z);
+}
+
+std::vector<int> LogisticRegression::Predict(const Dataset& data) const {
+  std::vector<int> out;
+  out.reserve(data.num_rows());
+  for (const auto& row : data.rows) {
+    out.push_back(PredictProbability(row) >= 0.5 ? 1 : 0);
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> LogisticRegression::RankedWeights() const {
+  std::vector<std::pair<std::string, double>> out;
+  for (size_t f = 0; f < weights_.size(); ++f) {
+    if (weights_[f] != 0.0) out.emplace_back(feature_names_[f], weights_[f]);
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return std::fabs(a.second) > std::fabs(b.second);
+  });
+  return out;
+}
+
+std::vector<std::string> LogisticRegression::SelectedFeatures() const {
+  std::vector<std::string> out;
+  for (const auto& [name, _] : RankedWeights()) out.push_back(name);
+  return out;
+}
+
+}  // namespace exstream

@@ -1,0 +1,30 @@
+#include "ml/majority_vote.h"
+
+namespace exstream {
+
+Result<MajorityVote> MajorityVote::Fit(const Dataset& train) {
+  if (train.num_rows() == 0) {
+    return Status::InvalidArgument("cannot fit majority vote on empty data");
+  }
+  MajorityVote model;
+  model.feature_names_ = train.feature_names;
+  model.stumps_ = FitAllStumps(train);
+  return model;
+}
+
+int MajorityVote::PredictRow(const std::vector<double>& row) const {
+  size_t votes_abnormal = 0;
+  for (const DecisionStump& s : stumps_) {
+    votes_abnormal += static_cast<size_t>(s.PredictRow(row));
+  }
+  return votes_abnormal * 2 >= stumps_.size() ? 1 : 0;
+}
+
+std::vector<int> MajorityVote::Predict(const Dataset& data) const {
+  std::vector<int> out;
+  out.reserve(data.num_rows());
+  for (const auto& row : data.rows) out.push_back(PredictRow(row));
+  return out;
+}
+
+}  // namespace exstream

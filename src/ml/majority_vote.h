@@ -1,0 +1,36 @@
+// Majority voting baseline [17] (paper Sec. 6.1): "treats features equally
+// and uses the label which counts the most as the prediction result."
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "ml/stump.h"
+
+namespace exstream {
+
+/// \brief Majority vote over one decision stump per feature.
+///
+/// Does not select features — every feature votes — so its "explanation" is
+/// the whole feature space (which is exactly why its consistency and
+/// conciseness are poor in Fig. 14/15).
+class MajorityVote {
+ public:
+  static Result<MajorityVote> Fit(const Dataset& train);
+
+  int PredictRow(const std::vector<double>& row) const;
+  std::vector<int> Predict(const Dataset& data) const;
+
+  /// All features (the method has no selection step).
+  std::vector<std::string> SelectedFeatures() const { return feature_names_; }
+
+  const std::vector<DecisionStump>& stumps() const { return stumps_; }
+
+ private:
+  std::vector<std::string> feature_names_;
+  std::vector<DecisionStump> stumps_;
+};
+
+}  // namespace exstream

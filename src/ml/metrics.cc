@@ -1,0 +1,87 @@
+#include "ml/metrics.h"
+
+#include "common/stats.h"
+
+namespace exstream {
+
+double ConfusionCounts::Precision() const {
+  return (tp + fp) > 0 ? static_cast<double>(tp) / static_cast<double>(tp + fp) : 0.0;
+}
+
+double ConfusionCounts::Recall() const {
+  return (tp + fn) > 0 ? static_cast<double>(tp) / static_cast<double>(tp + fn) : 0.0;
+}
+
+double ConfusionCounts::F1() const { return FMeasure(Precision(), Recall()); }
+
+double ConfusionCounts::Accuracy() const {
+  const size_t total = tp + fp + tn + fn;
+  return total > 0 ? static_cast<double>(tp + tn) / static_cast<double>(total) : 0.0;
+}
+
+ConfusionCounts EvaluatePredictions(const std::vector<int>& labels,
+                                    const std::vector<int>& predictions) {
+  ConfusionCounts c;
+  const size_t n = std::min(labels.size(), predictions.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (labels[i] == 1) {
+      if (predictions[i] == 1) {
+        ++c.tp;
+      } else {
+        ++c.fn;
+      }
+    } else {
+      if (predictions[i] == 1) {
+        ++c.fp;
+      } else {
+        ++c.tn;
+      }
+    }
+  }
+  return c;
+}
+
+bool SameUnderlyingSignal(const std::string& a, const std::string& b) {
+  // Canonical names are "EventType.attribute.aggregate[@window]"; the signal
+  // identity is the first two dot-separated pieces.
+  auto signal_prefix = [](const std::string& name) {
+    const size_t first = name.find('.');
+    if (first == std::string::npos) return name;
+    const size_t second = name.find('.', first + 1);
+    if (second == std::string::npos) return name;
+    return name.substr(0, second);
+  };
+  return signal_prefix(a) == signal_prefix(b);
+}
+
+double ExplanationConsistency(const std::vector<std::string>& selected,
+                              const std::vector<std::string>& ground_truth) {
+  if (selected.empty() && ground_truth.empty()) return 1.0;
+  if (selected.empty() || ground_truth.empty()) return 0.0;
+
+  size_t matched_selected = 0;
+  for (const std::string& s : selected) {
+    for (const std::string& g : ground_truth) {
+      if (SameUnderlyingSignal(s, g)) {
+        ++matched_selected;
+        break;
+      }
+    }
+  }
+  size_t covered_truth = 0;
+  for (const std::string& g : ground_truth) {
+    for (const std::string& s : selected) {
+      if (SameUnderlyingSignal(s, g)) {
+        ++covered_truth;
+        break;
+      }
+    }
+  }
+  const double precision =
+      static_cast<double>(matched_selected) / static_cast<double>(selected.size());
+  const double recall =
+      static_cast<double>(covered_truth) / static_cast<double>(ground_truth.size());
+  return FMeasure(precision, recall);
+}
+
+}  // namespace exstream

@@ -1,0 +1,43 @@
+// Evaluation metrics: prediction quality and explanation consistency.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ml/dataset.h"
+
+namespace exstream {
+
+/// \brief Binary confusion counts (positive class = abnormal = 1).
+struct ConfusionCounts {
+  size_t tp = 0;
+  size_t fp = 0;
+  size_t tn = 0;
+  size_t fn = 0;
+
+  double Precision() const;
+  double Recall() const;
+  double F1() const;
+  double Accuracy() const;
+};
+
+/// \brief Scores predictions against labels.
+ConfusionCounts EvaluatePredictions(const std::vector<int>& labels,
+                                    const std::vector<int>& predictions);
+
+/// \brief Consistency metric (Sec. 6.2, Fig. 14): the F-measure of the
+/// selected explanation features against the expert ground-truth features.
+///
+/// A selected feature counts as a true positive if its name matches a ground
+/// truth name exactly, OR if it is correlated-equivalent: same event type and
+/// attribute with a different aggregate/window (the paper's expert names
+/// "free memory size"; any smoothing of it is the same signal).
+double ExplanationConsistency(const std::vector<std::string>& selected,
+                              const std::vector<std::string>& ground_truth);
+
+/// \brief True if two canonical feature names refer to the same underlying
+/// signal (same "EventType.attribute." prefix).
+bool SameUnderlyingSignal(const std::string& a, const std::string& b);
+
+}  // namespace exstream

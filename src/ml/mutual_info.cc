@@ -1,0 +1,170 @@
+#include "ml/mutual_info.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <numeric>
+#include <random>
+#include <unordered_map>
+
+#include "ml/discretize.h"
+
+namespace exstream {
+
+namespace {
+
+double Log2(double x) { return std::log(x) / std::log(2.0); }
+
+// MI between an integer-keyed composite variable and the binary label.
+double MiFromKeys(const std::vector<uint64_t>& keys, const std::vector<int>& labels) {
+  const size_t n = std::min(keys.size(), labels.size());
+  if (n == 0) return 0.0;
+  std::unordered_map<uint64_t, std::array<size_t, 2>> joint;
+  size_t label_count[2] = {0, 0};
+  for (size_t i = 0; i < n; ++i) {
+    auto& cell = joint[keys[i]];
+    ++cell[static_cast<size_t>(labels[i])];
+    ++label_count[static_cast<size_t>(labels[i])];
+  }
+  const double dn = static_cast<double>(n);
+  double mi = 0.0;
+  for (const auto& [_, counts] : joint) {
+    const double px = static_cast<double>(counts[0] + counts[1]) / dn;
+    for (int y = 0; y < 2; ++y) {
+      if (counts[y] == 0 || label_count[y] == 0) continue;
+      const double pxy = static_cast<double>(counts[y]) / dn;
+      const double py = static_cast<double>(label_count[y]) / dn;
+      mi += pxy * Log2(pxy / (px * py));
+    }
+  }
+  return std::max(0.0, mi);
+}
+
+// Combines per-feature bin ids into composite keys with FNV-style mixing.
+std::vector<uint64_t> CompositeKeys(const std::vector<const std::vector<int>*>& features,
+                                    size_t n) {
+  std::vector<uint64_t> keys(n, 1469598103934665603ull);
+  for (const auto* f : features) {
+    for (size_t i = 0; i < n && i < f->size(); ++i) {
+      keys[i] ^= static_cast<uint64_t>((*f)[i]) + 0x9e3779b97f4a7c15ull;
+      keys[i] *= 1099511628211ull;
+    }
+  }
+  return keys;
+}
+
+}  // namespace
+
+double MutualInformation(const std::vector<int>& feature,
+                         const std::vector<int>& labels) {
+  std::vector<uint64_t> keys(feature.size());
+  for (size_t i = 0; i < feature.size(); ++i) keys[i] = static_cast<uint64_t>(feature[i]);
+  return MiFromKeys(keys, labels);
+}
+
+double JointMutualInformation(const std::vector<const std::vector<int>*>& features,
+                              const std::vector<int>& labels) {
+  if (features.empty()) return 0.0;
+  return MiFromKeys(CompositeKeys(features, labels.size()), labels);
+}
+
+std::string_view MiStrategyToString(MiStrategy s) {
+  switch (s) {
+    case MiStrategy::kGreedyFirstTie:
+      return "greedy(first-tie)";
+    case MiStrategy::kGreedyLastTie:
+      return "greedy(last-tie)";
+    case MiStrategy::kSingleMiRank:
+      return "single-MI-rank";
+    case MiStrategy::kRandom:
+      return "random";
+    case MiStrategy::kReverseRank:
+      return "reverse-rank";
+  }
+  return "?";
+}
+
+MiGainCurve ComputeMiGainCurve(const Dataset& data, MiStrategy strategy,
+                               MiCurveOptions options) {
+  MiGainCurve curve;
+  curve.strategy = strategy;
+  const size_t d = data.num_features();
+  if (d == 0 || data.num_rows() == 0) return curve;
+
+  // Discretize every feature column once.
+  std::vector<std::vector<int>> binned(d);
+  std::vector<double> column(data.num_rows());
+  for (size_t f = 0; f < d; ++f) {
+    for (size_t i = 0; i < data.num_rows(); ++i) column[i] = data.rows[i][f];
+    binned[f] = EqualWidthBins(column, options.bins);
+  }
+
+  const size_t limit = std::min(options.max_features, d);
+  std::vector<size_t> order;
+
+  const bool greedy = strategy == MiStrategy::kGreedyFirstTie ||
+                      strategy == MiStrategy::kGreedyLastTie;
+  if (greedy) {
+    std::vector<bool> used(d, false);
+    std::vector<const std::vector<int>*> selected;
+    for (size_t step = 0; step < limit; ++step) {
+      double best_mi = -1.0;
+      size_t best_f = d;
+      for (size_t f = 0; f < d; ++f) {
+        if (used[f]) continue;
+        selected.push_back(&binned[f]);
+        const double mi = JointMutualInformation(selected, data.labels);
+        selected.pop_back();
+        const bool better =
+            mi > best_mi + 1e-12 ||
+            (std::fabs(mi - best_mi) <= 1e-12 &&
+             strategy == MiStrategy::kGreedyLastTie);
+        if (better) {
+          best_mi = mi;
+          best_f = f;
+        }
+      }
+      if (best_f == d) break;
+      used[best_f] = true;
+      order.push_back(best_f);
+      selected.push_back(&binned[best_f]);
+    }
+  } else {
+    std::vector<size_t> idx(d);
+    std::iota(idx.begin(), idx.end(), size_t{0});
+    if (strategy == MiStrategy::kRandom) {
+      std::mt19937_64 gen(options.random_seed);
+      std::shuffle(idx.begin(), idx.end(), gen);
+    } else {
+      std::vector<double> single(d);
+      for (size_t f = 0; f < d; ++f) single[f] = MutualInformation(binned[f], data.labels);
+      std::stable_sort(idx.begin(), idx.end(), [&](size_t a, size_t b) {
+        return strategy == MiStrategy::kReverseRank ? single[a] < single[b]
+                                                    : single[a] > single[b];
+      });
+    }
+    idx.resize(limit);
+    order = idx;
+  }
+
+  std::vector<const std::vector<int>*> selected;
+  for (size_t f : order) {
+    selected.push_back(&binned[f]);
+    curve.order.push_back(data.feature_names[f]);
+    curve.accumulated_mi.push_back(JointMutualInformation(selected, data.labels));
+  }
+  return curve;
+}
+
+size_t LevelOffIndex(const MiGainCurve& curve, double epsilon) {
+  const auto& mi = curve.accumulated_mi;
+  if (mi.empty()) return 0;
+  size_t level_off = mi.size();
+  for (size_t i = mi.size(); i-- > 1;) {
+    if (mi[i] - mi[i - 1] > epsilon) break;
+    level_off = i;
+  }
+  return level_off;
+}
+
+}  // namespace exstream

@@ -1,0 +1,55 @@
+#include "ml/penalized_selection.h"
+
+#include "common/strings.h"
+
+namespace exstream {
+
+double PenalizedObjective(const std::vector<double>& distances,
+                          const std::vector<bool>& selection, double lambda1,
+                          double lambda2) {
+  double value = 0.0;
+  for (size_t i = 0; i < distances.size() && i < selection.size(); ++i) {
+    if (!selection[i]) continue;
+    value += distances[i] * distances[i] - lambda1 + lambda2;
+  }
+  return value;
+}
+
+Result<std::vector<bool>> PenalizedSelectionClosedForm(
+    const std::vector<double>& distances, double lambda1, double lambda2) {
+  if (!(lambda1 > lambda2) || lambda2 < 0) {
+    return Status::InvalidArgument("requires lambda1 > lambda2 >= 0");
+  }
+  std::vector<bool> selection(distances.size(), false);
+  const double threshold = lambda1 - lambda2;
+  for (size_t i = 0; i < distances.size(); ++i) {
+    selection[i] = distances[i] * distances[i] > threshold;
+  }
+  return selection;
+}
+
+Result<std::vector<bool>> PenalizedSelectionBruteForce(
+    const std::vector<double>& distances, double lambda1, double lambda2) {
+  if (!(lambda1 > lambda2) || lambda2 < 0) {
+    return Status::InvalidArgument("requires lambda1 > lambda2 >= 0");
+  }
+  const size_t n = distances.size();
+  if (n > 20) {
+    return Status::InvalidArgument(
+        StrFormat("brute force limited to 20 features, got %zu", n));
+  }
+  std::vector<bool> best(n, false);
+  double best_value = 0.0;  // the empty selection scores 0
+  for (uint64_t mask = 1; mask < (uint64_t{1} << n); ++mask) {
+    std::vector<bool> selection(n, false);
+    for (size_t i = 0; i < n; ++i) selection[i] = (mask >> i) & 1;
+    const double value = PenalizedObjective(distances, selection, lambda1, lambda2);
+    if (value > best_value) {
+      best_value = value;
+      best = selection;
+    }
+  }
+  return best;
+}
+
+}  // namespace exstream

@@ -1,0 +1,50 @@
+// Appendix A: "Other ways of finding minimum explanations" — the paper's
+// negative result, reproduced.
+//
+// Before settling on the heuristic pipeline, the authors tried formulating
+// feature selection as penalized optimization over selection vectors Theta:
+//
+//   Function 5:  argmax ||Theta (V_C0 - V_C1)||_2^2 - lambda ||Theta||_1
+//     is CONVEX (proved via Jensen's inequality), so maximizing it greedily
+//     only finds boundary points — useless for subset selection.
+//
+//   Function 8:  argmax ||Theta d||_2^2 - lambda1 ||Theta||_2^2
+//                                      + lambda2 ||Theta||_1   (lambda1 > lambda2)
+//     its maximizer is exactly { i : d_i^2 > lambda1 - lambda2 } — i.e. the
+//     "optimization" degenerates to thresholding the per-feature distance,
+//     "equal to uninteresting thresholds".
+//
+// This module implements Function 8's closed-form maximizer plus a
+// brute-force optimizer over all selection vectors, so the degeneracy can be
+// verified mechanically (see penalized_selection_test.cc and
+// bench_appendix_a).
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+
+namespace exstream {
+
+/// \brief Objective value of Function 8 for a 0/1 selection over per-feature
+/// distances d: sum(sel_i * d_i^2) - lambda1 * |sel| + lambda2 * |sel|
+/// (for 0/1 selection vectors, ||Theta||_2^2 == ||Theta||_1 == |sel|).
+double PenalizedObjective(const std::vector<double>& distances,
+                          const std::vector<bool>& selection, double lambda1,
+                          double lambda2);
+
+/// \brief The closed-form maximizer of Function 8: selects exactly the
+/// features with d_i^2 > lambda1 - lambda2.
+///
+/// Requires lambda1 > lambda2 >= 0 (the paper's constraint).
+Result<std::vector<bool>> PenalizedSelectionClosedForm(
+    const std::vector<double>& distances, double lambda1, double lambda2);
+
+/// \brief Exhaustive maximization of Function 8 over all 2^n selections
+/// (n <= 20). Exists to demonstrate that the optimum equals the closed form.
+Result<std::vector<bool>> PenalizedSelectionBruteForce(
+    const std::vector<double>& distances, double lambda1, double lambda2);
+
+}  // namespace exstream

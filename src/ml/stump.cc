@@ -1,0 +1,69 @@
+#include "ml/stump.h"
+
+#include <algorithm>
+
+namespace exstream {
+
+DecisionStump FitStump(const Dataset& data, size_t feature) {
+  DecisionStump best;
+  best.feature = feature;
+  const size_t n = data.num_rows();
+  if (n == 0) return best;
+
+  std::vector<std::pair<double, int>> sorted;
+  sorted.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    sorted.emplace_back(data.rows[i][feature], data.labels[i]);
+  }
+  std::sort(sorted.begin(), sorted.end());
+
+  size_t total1 = 0;
+  for (const auto& [_, y] : sorted) total1 += static_cast<size_t>(y);
+  const size_t total0 = n - total1;
+
+  // For threshold t between positions k-1 and k:
+  //   polarity +1 predicts 1 for values >= t: correct = (1s at >= k) + (0s at < k)
+  //   polarity -1 predicts 1 for values <= t: correct = (1s at < k) + (0s at >= k)
+  size_t left1 = 0;  // label-1 count among sorted[0..k)
+  double best_acc = -1.0;
+  for (size_t k = 1; k < n; ++k) {
+    if (sorted[k - 1].second == 1) ++left1;
+    if (sorted[k].first == sorted[k - 1].first) continue;
+    const size_t left0 = k - left1;
+    const size_t right1 = total1 - left1;
+    const size_t right0 = total0 - left0;
+    const double threshold = (sorted[k - 1].first + sorted[k].first) / 2.0;
+
+    const double acc_pos =
+        static_cast<double>(right1 + left0) / static_cast<double>(n);
+    const double acc_neg =
+        static_cast<double>(left1 + right0) / static_cast<double>(n);
+    if (acc_pos > best_acc) {
+      best_acc = acc_pos;
+      best.threshold = threshold;
+      best.polarity = 1;
+    }
+    if (acc_neg > best_acc) {
+      best_acc = acc_neg;
+      best.threshold = threshold;
+      best.polarity = -1;
+    }
+  }
+  if (best_acc < 0) {
+    // Constant feature: majority-class stump.
+    best.threshold = sorted.front().first;
+    best.polarity = total1 >= total0 ? 1 : -1;
+    best_acc = static_cast<double>(std::max(total0, total1)) / static_cast<double>(n);
+  }
+  best.train_accuracy = best_acc;
+  return best;
+}
+
+std::vector<DecisionStump> FitAllStumps(const Dataset& data) {
+  std::vector<DecisionStump> out;
+  out.reserve(data.num_features());
+  for (size_t f = 0; f < data.num_features(); ++f) out.push_back(FitStump(data, f));
+  return out;
+}
+
+}  // namespace exstream

@@ -1,0 +1,35 @@
+// Decision stumps: one-feature threshold classifiers shared by the majority
+// voting [17] and data fusion [21] baselines, which "make full use of every
+// feature" (Sec. 6.1).
+
+#pragma once
+
+#include <vector>
+
+#include "ml/dataset.h"
+
+namespace exstream {
+
+/// \brief A single-feature threshold classifier.
+///
+/// Predicts abnormal (1) when `polarity * value >= polarity * threshold`.
+struct DecisionStump {
+  size_t feature = 0;
+  double threshold = 0.0;
+  int polarity = 1;  ///< +1: high values abnormal; -1: low values abnormal
+  double train_accuracy = 0.5;
+
+  int PredictRow(const std::vector<double>& row) const {
+    const double v = row[feature];
+    return (polarity > 0 ? v >= threshold : v <= threshold) ? 1 : 0;
+  }
+};
+
+/// \brief Fits the best stump for one feature by scanning all candidate
+/// thresholds (midpoints between consecutive distinct sorted values).
+DecisionStump FitStump(const Dataset& data, size_t feature);
+
+/// \brief Fits one stump per feature.
+std::vector<DecisionStump> FitAllStumps(const Dataset& data);
+
+}  // namespace exstream

@@ -1,0 +1,122 @@
+#include "query/ast.h"
+
+#include "common/strings.h"
+
+namespace exstream {
+
+std::string_view CompareOpToString(CompareOp op) {
+  switch (op) {
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kNe:
+      return "!=";
+  }
+  return "?";
+}
+
+bool EvalCompare(double lhs, CompareOp op, double rhs) {
+  switch (op) {
+    case CompareOp::kGt:
+      return lhs > rhs;
+    case CompareOp::kGe:
+      return lhs >= rhs;
+    case CompareOp::kEq:
+      return lhs == rhs;
+    case CompareOp::kLe:
+      return lhs <= rhs;
+    case CompareOp::kLt:
+      return lhs < rhs;
+    case CompareOp::kNe:
+      return lhs != rhs;
+  }
+  return false;
+}
+
+std::string AttrRef::ToString() const {
+  switch (index) {
+    case KleeneIndex::kNone:
+      return variable + "." + attribute;
+    case KleeneIndex::kCurrent:
+      return variable + "[i]." + attribute;
+    case KleeneIndex::kRange:
+      return variable + "[1..i]." + attribute;
+  }
+  return {};
+}
+
+std::string QueryPredicate::ToString() const {
+  std::string rhs = rhs_constant.has_value() ? rhs_constant->ToString()
+                                             : rhs_attr->ToString();
+  return lhs.ToString() + " " + std::string(CompareOpToString(op)) + " " + rhs;
+}
+
+std::string_view ReturnAggToString(ReturnAgg agg) {
+  switch (agg) {
+    case ReturnAgg::kNone:
+      return "";
+    case ReturnAgg::kSum:
+      return "sum";
+    case ReturnAgg::kCount:
+      return "count";
+    case ReturnAgg::kAvg:
+      return "avg";
+    case ReturnAgg::kMin:
+      return "min";
+    case ReturnAgg::kMax:
+      return "max";
+  }
+  return "";
+}
+
+std::string ReturnItem::OutputName() const {
+  if (!alias.empty()) return alias;
+  if (agg == ReturnAgg::kNone) return ref.attribute;
+  return std::string(ReturnAggToString(agg)) + "_" + ref.attribute;
+}
+
+std::string ReturnItem::ToString() const {
+  if (agg == ReturnAgg::kNone) return ref.ToString();
+  return std::string(ReturnAggToString(agg)) + "(" + ref.ToString() + ")";
+}
+
+std::string QueryComponent::ToString() const {
+  return std::string(negated ? "!" : "") + event_type + (kleene ? "+ " : " ") +
+         variable + (kleene ? "[]" : "");
+}
+
+std::optional<size_t> Query::KleeneComponentIndex() const {
+  for (size_t i = 0; i < components.size(); ++i) {
+    if (components[i].kleene) return i;
+  }
+  return std::nullopt;
+}
+
+std::string Query::ToString() const {
+  std::vector<std::string> comps;
+  comps.reserve(components.size());
+  for (const auto& c : components) comps.push_back(c.ToString());
+
+  std::string out = "PATTERN SEQ(" + Join(comps, ", ") + ")";
+  std::vector<std::string> where;
+  if (!partition_attribute.empty()) where.push_back("[" + partition_attribute + "]");
+  for (const auto& p : predicates) where.push_back(p.ToString());
+  if (!where.empty()) out += "\nWHERE " + Join(where, " AND ");
+  if (within > 0) out += StrFormat("\nWITHIN %lld", static_cast<long long>(within));
+  if (!return_items.empty()) {
+    std::vector<std::string> rets;
+    rets.reserve(return_items.size());
+    for (const auto& r : return_items) rets.push_back(r.ToString());
+    out += "\nRETURN (" + Join(rets, ", ") + ")";
+  }
+  return out;
+}
+
+}  // namespace exstream

@@ -1,0 +1,103 @@
+// Abstract syntax of SASE monitoring queries (paper Fig. 3).
+//
+//   PATTERN SEQ(JobStart a, DataIO+ b[], JobEnd c)
+//   WHERE [jobId] AND b.dataSize > 0
+//   RETURN (b[i].timestamp, a.jobId, sum(b[1..i].dataSize))
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+#include "event/event.h"
+
+namespace exstream {
+
+/// \brief Comparison operators allowed in predicates and explanations
+/// (Def. 2.1 uses >, >=, =, <=, <; != is accepted for completeness).
+enum class CompareOp : uint8_t { kGt, kGe, kEq, kLe, kLt, kNe };
+
+std::string_view CompareOpToString(CompareOp op);
+
+/// \brief Evaluates `lhs op rhs` on doubles.
+bool EvalCompare(double lhs, CompareOp op, double rhs);
+
+/// \brief How a kleene variable is indexed in an attribute reference.
+enum class KleeneIndex : uint8_t {
+  kNone = 0,  ///< plain `a.attr` on a single-event variable
+  kCurrent,   ///< `b[i].attr` — the most recent kleene element
+  kRange,     ///< `b[1..i].attr` — all kleene elements so far (aggregates)
+};
+
+/// \brief Reference to an attribute of a pattern variable.
+///
+/// `attribute == "timestamp"` refers to the event's timestamp field.
+struct AttrRef {
+  std::string variable;
+  std::string attribute;
+  KleeneIndex index = KleeneIndex::kNone;
+
+  std::string ToString() const;
+};
+
+/// \brief A WHERE-clause predicate: `var.attr op constant` or
+/// `var.attr op var2.attr2`.
+struct QueryPredicate {
+  AttrRef lhs;
+  CompareOp op = CompareOp::kEq;
+  // Exactly one of the two is active.
+  std::optional<Value> rhs_constant;
+  std::optional<AttrRef> rhs_attr;
+
+  std::string ToString() const;
+};
+
+/// \brief Aggregate functions usable in RETURN expressions.
+enum class ReturnAgg : uint8_t { kNone = 0, kSum, kCount, kAvg, kMin, kMax };
+
+std::string_view ReturnAggToString(ReturnAgg agg);
+
+/// \brief One RETURN expression: an attribute reference, optionally wrapped in
+/// a running aggregate over a kleene range.
+struct ReturnItem {
+  ReturnAgg agg = ReturnAgg::kNone;
+  AttrRef ref;
+  std::string alias;  ///< output attribute name; derived if empty
+
+  /// Output column name: alias, or derived like "sum_dataSize".
+  std::string OutputName() const;
+  std::string ToString() const;
+};
+
+/// \brief One SEQ component: a single event, a kleene-plus of events, or a
+/// negated component (SASE's `!B b`: no matching B may occur between the
+/// surrounding positive components).
+struct QueryComponent {
+  std::string event_type;
+  std::string variable;
+  bool kleene = false;
+  bool negated = false;
+
+  std::string ToString() const;
+};
+
+/// \brief A full SASE query.
+struct Query {
+  std::string name;  ///< query id used by the engine and the partition table
+  std::vector<QueryComponent> components;
+  std::string partition_attribute;  ///< the bracketed equivalence attribute
+  std::vector<QueryPredicate> predicates;
+  std::vector<ReturnItem> return_items;
+  /// WITHIN clause: maximum time span of a match; 0 means unbounded.
+  Timestamp within = 0;
+
+  /// Index of the (sole) kleene component, or nullopt.
+  std::optional<size_t> KleeneComponentIndex() const;
+
+  /// Round-trips to the Fig. 3 concrete syntax.
+  std::string ToString() const;
+};
+
+}  // namespace exstream

@@ -1,0 +1,131 @@
+#include "query/lexer.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace exstream {
+
+Result<std::vector<Token>> Tokenize(std::string_view input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+  auto push = [&](TokenKind kind, std::string text, size_t off) {
+    tokens.push_back(Token{kind, std::move(text), off});
+  };
+
+  while (i < n) {
+    const char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    const size_t start = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(input[j])) ||
+                       input[j] == '_')) {
+        ++j;
+      }
+      push(TokenKind::kIdent, std::string(input.substr(i, j - i)), start);
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && i + 1 < n && std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      size_t j = i + 1;
+      bool saw_dot = false;
+      while (j < n) {
+        if (std::isdigit(static_cast<unsigned char>(input[j]))) {
+          ++j;
+        } else if (input[j] == '.' && !saw_dot && j + 1 < n &&
+                   std::isdigit(static_cast<unsigned char>(input[j + 1]))) {
+          // A dot is part of the number only when followed by a digit and we
+          // have not consumed one yet; "1..i" stays three tokens.
+          saw_dot = true;
+          ++j;
+        } else {
+          break;
+        }
+      }
+      push(TokenKind::kNumber, std::string(input.substr(i, j - i)), start);
+      i = j;
+      continue;
+    }
+    if (c == '\'' || c == '"') {
+      size_t j = i + 1;
+      while (j < n && input[j] != c) ++j;
+      if (j >= n) {
+        return Status::ParseError(StrFormat("unterminated string at offset %zu", start));
+      }
+      push(TokenKind::kString, std::string(input.substr(i + 1, j - i - 1)), start);
+      i = j + 1;
+      continue;
+    }
+    switch (c) {
+      case '(':
+        push(TokenKind::kLParen, "(", start);
+        ++i;
+        continue;
+      case ')':
+        push(TokenKind::kRParen, ")", start);
+        ++i;
+        continue;
+      case '[':
+        push(TokenKind::kLBracket, "[", start);
+        ++i;
+        continue;
+      case ']':
+        push(TokenKind::kRBracket, "]", start);
+        ++i;
+        continue;
+      case ',':
+        push(TokenKind::kComma, ",", start);
+        ++i;
+        continue;
+      case '+':
+        push(TokenKind::kPlus, "+", start);
+        ++i;
+        continue;
+      case '.':
+        if (i + 1 < n && input[i + 1] == '.') {
+          push(TokenKind::kDotDot, "..", start);
+          i += 2;
+        } else {
+          push(TokenKind::kDot, ".", start);
+          ++i;
+        }
+        continue;
+      case '>':
+      case '<':
+        if (i + 1 < n && input[i + 1] == '=') {
+          push(TokenKind::kOp, std::string(input.substr(i, 2)), start);
+          i += 2;
+        } else {
+          push(TokenKind::kOp, std::string(1, c), start);
+          ++i;
+        }
+        continue;
+      case '=':
+        push(TokenKind::kOp, "=", start);
+        ++i;
+        continue;
+      case '!':
+        if (i + 1 < n && input[i + 1] == '=') {
+          push(TokenKind::kOp, "!=", start);
+          i += 2;
+        } else {
+          push(TokenKind::kBang, "!", start);
+          ++i;
+        }
+        continue;
+      default:
+        return Status::ParseError(
+            StrFormat("unexpected character '%c' at offset %zu", c, start));
+    }
+  }
+  push(TokenKind::kEnd, "", n);
+  return tokens;
+}
+
+}  // namespace exstream

@@ -1,0 +1,39 @@
+// Tokenizer for the SASE query syntax.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace exstream {
+
+enum class TokenKind : uint8_t {
+  kIdent,     ///< identifiers and keywords (keywords resolved by the parser)
+  kNumber,    ///< integer or decimal literal
+  kString,    ///< single- or double-quoted literal
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kComma,
+  kDot,
+  kDotDot,    ///< ".." in kleene ranges b[1..i]
+  kPlus,
+  kBang,      ///< "!" prefix of a negated component
+  kOp,        ///< > >= = <= < !=
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  size_t offset = 0;  ///< byte offset in the input, for error messages
+};
+
+/// \brief Tokenizes a query string. Fails on unknown characters or unclosed
+/// string literals.
+Result<std::vector<Token>> Tokenize(std::string_view input);
+
+}  // namespace exstream

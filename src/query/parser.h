@@ -1,0 +1,31 @@
+// Recursive-descent parser for SASE queries (Fig. 3 syntax).
+
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "query/ast.h"
+
+namespace exstream {
+
+/// \brief Parses the Fig. 3 concrete syntax into a Query.
+///
+/// Accepted grammar (keywords case-insensitive):
+///
+///   query      := "PATTERN" "SEQ" "(" component ("," component)* ")"
+///                 ["WHERE" where_item ("AND" where_item)*]
+///                 ["WITHIN" integer]
+///                 ["RETURN" "(" return_item ("," return_item)* ")"]
+///   component  := TypeName ["+"] Var ["[" "]"]
+///   where_item := "[" AttrName "]"                      -- partition attribute
+///               | attr_ref op (number | string | attr_ref)
+///   attr_ref   := Var ["[" ("i" | number ".." "i") "]"] "." AttrName
+///   return_item:= attr_ref | agg "(" attr_ref ")"
+///   agg        := "sum" | "count" | "avg" | "min" | "max"
+///
+/// \param text the query text
+/// \param name the query id recorded in Query::name
+Result<Query> ParseQuery(std::string_view text, std::string name = "");
+
+}  // namespace exstream

@@ -1,0 +1,99 @@
+// Hadoop cluster simulator: the substitute for the paper's 30-node production
+// cluster (see DESIGN.md, substitution table).
+//
+// Emits the event types of Fig. 2 (JobStart, JobEnd, DataIO) plus shuffle
+// events (MapStart/MapFinish/PullStart/PullFinish) and Ganglia-style node
+// metrics (CpuUsage, MemUsage, DiskUsage, NetUsage). Supports the four
+// anomaly injectors of Sec. 6.1: high memory, high CPU, busy disk, busy
+// network — each shifts the relevant node metrics AND slows the interfered
+// job, reproducing the Fig. 1(b) "slow queuing growth" signature.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "event/registry.h"
+#include "event/stream.h"
+
+namespace exstream {
+
+/// \brief The four injected anomaly types of Fig. 13.
+enum class AnomalyType : uint8_t {
+  kNone = 0,
+  kHighMemory,
+  kHighCpu,
+  kBusyDisk,
+  kBusyNetwork,
+};
+
+std::string_view AnomalyTypeToString(AnomalyType type);
+
+/// \brief Ground-truth signals (EventType.attribute prefixes) an expert would
+/// name for each anomaly type — the consistency reference of Fig. 14.
+std::vector<std::string> AnomalyGroundTruthSignals(AnomalyType type);
+
+/// \brief One interfering program run (Sec. 6.1: "running additional programs
+/// to interfere with resource consumption").
+struct AnomalySpec {
+  AnomalyType type = AnomalyType::kNone;
+  Timestamp start = 0;
+  Timestamp end = 0;
+  double severity = 1.0;          ///< scales both the metric shift and slowdown
+  std::vector<int> nodes;         ///< affected nodes; empty = all nodes
+};
+
+/// \brief Configuration of one simulated MapReduce job.
+struct HadoopJobConfig {
+  std::string job_id;
+  std::string program;   ///< e.g. "WC-frequent-users" (partition dimension)
+  std::string dataset;   ///< e.g. "worldcup" (partition dimension)
+  Timestamp start_time = 0;
+  int num_mappers = 20;
+  int num_reducers = 8;
+  double total_map_output_mb = 400.0;  ///< total intermediate data volume
+  Timestamp map_phase_duration = 400;  ///< nominal seconds of map work
+  Timestamp reducer_start_delay = 120; ///< reducers start after this delay
+};
+
+/// \brief Cluster-level configuration.
+struct HadoopSimConfig {
+  int num_nodes = 8;
+  Timestamp metric_period = 5;  ///< node-metric sampling period (seconds)
+  Timestamp duration = 0;       ///< 0 = run until all jobs finish
+  uint64_t seed = 42;
+};
+
+/// \brief Generates the full event stream of a simulated cluster run.
+class HadoopClusterSim {
+ public:
+  /// Registers the simulator's event types (idempotent per registry).
+  static Status RegisterEventTypes(EventTypeRegistry* registry);
+
+  HadoopClusterSim(HadoopSimConfig config, const EventTypeRegistry* registry);
+
+  void AddJob(HadoopJobConfig job) { jobs_.push_back(std::move(job)); }
+  void AddAnomaly(AnomalySpec anomaly) { anomalies_.push_back(std::move(anomaly)); }
+
+  /// \brief Runs the simulation, pushing all events to `sink` in time order.
+  ///
+  /// Returns the per-job completion times (jobId -> JobEnd timestamp).
+  Result<std::vector<std::pair<std::string, Timestamp>>> Run(EventSink* sink);
+
+ private:
+  /// Combined slowdown factor (>= 1) a job on all nodes experiences at `t`.
+  double SlowdownAt(Timestamp t) const;
+
+  /// Anomaly-induced shift of a node metric at time t (0 when unaffected).
+  double AnomalyShift(AnomalyType relevant, int node, Timestamp t,
+                      double magnitude) const;
+
+  HadoopSimConfig config_;
+  const EventTypeRegistry* registry_;  // not owned
+  std::vector<HadoopJobConfig> jobs_;
+  std::vector<AnomalySpec> anomalies_;
+};
+
+}  // namespace exstream

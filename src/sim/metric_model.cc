@@ -1,0 +1,15 @@
+#include "sim/metric_model.h"
+
+#include <algorithm>
+
+namespace exstream {
+
+double MetricModel::Step(double target_shift) {
+  const double target = config_.baseline + target_shift;
+  value_ += config_.reversion * (target - value_) +
+            rng_->Gaussian(0.0, config_.noise);
+  value_ = std::clamp(value_, config_.min_value, config_.max_value);
+  return value_;
+}
+
+}  // namespace exstream

@@ -1,0 +1,46 @@
+// Mean-reverting stochastic metric model for simulated node metrics.
+//
+// Real Ganglia metrics (free memory, idle CPU, network bytes) hover around an
+// operating point with autocorrelated noise and shift when something happens
+// on the node. An Ornstein-Uhlenbeck-style discrete process captures exactly
+// that: x_{t+1} = x_t + theta*(mu - x_t) + sigma*N(0,1), clamped to a range,
+// with the target mu movable by anomaly injectors.
+
+#pragma once
+
+#include "common/rng.h"
+
+namespace exstream {
+
+/// \brief Configuration of one simulated metric.
+struct MetricModelConfig {
+  double baseline = 0.0;      ///< normal operating point (mu)
+  double noise = 1.0;         ///< per-step noise sigma
+  double reversion = 0.25;    ///< mean-reversion strength theta in (0,1]
+  double min_value = 0.0;     ///< hard clamp
+  double max_value = 1e18;    ///< hard clamp
+};
+
+/// \brief One mean-reverting metric instance.
+class MetricModel {
+ public:
+  MetricModel(MetricModelConfig config, Rng* rng)
+      : config_(config), rng_(rng), value_(config.baseline) {}
+
+  /// Advances one step toward the current target and returns the new value.
+  ///
+  /// \param target_shift additive displacement of the operating point, used
+  ///        by anomaly injectors (e.g. -0.8 * memTotal while a memory hog
+  ///        runs); 0 during normal operation.
+  double Step(double target_shift = 0.0);
+
+  double value() const { return value_; }
+  const MetricModelConfig& config() const { return config_; }
+
+ private:
+  MetricModelConfig config_;
+  Rng* rng_;  // not owned
+  double value_;
+};
+
+}  // namespace exstream

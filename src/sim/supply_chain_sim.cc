@@ -1,0 +1,167 @@
+#include "sim/supply_chain_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "sim/metric_model.h"
+
+namespace exstream {
+
+std::string_view ScAnomalyTypeToString(ScAnomalyType type) {
+  switch (type) {
+    case ScAnomalyType::kMissingMonitoring:
+      return "missing-monitoring";
+    case ScAnomalyType::kSubParMaterial:
+      return "sub-par-material";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string SensorTypeName(int k) { return StrFormat("Sensor%02d", k); }
+std::string MachineTypeName(int k) { return StrFormat("Material%02d", k); }
+
+}  // namespace
+
+std::vector<std::string> ScGroundTruthSignals(const ScAnomalySpec& spec) {
+  std::vector<std::string> out;
+  for (int k : spec.targets) {
+    if (spec.type == ScAnomalyType::kMissingMonitoring) {
+      out.push_back(SensorTypeName(k) + ".value");
+    } else {
+      out.push_back(MachineTypeName(k) + ".quality");
+    }
+  }
+  return out;
+}
+
+Status SupplyChainSim::RegisterEventTypes(EventTypeRegistry* registry,
+                                          const SupplyChainConfig& config) {
+  if (registry->Contains("ProductStart")) return Status::OK();  // idempotent
+  const ValueType kD = ValueType::kDouble;
+  const ValueType kS = ValueType::kString;
+
+  EXSTREAM_RETURN_NOT_OK(
+      registry->Register(EventSchema("ProductStart", {{"productId", kS}})).status());
+  EXSTREAM_RETURN_NOT_OK(
+      registry->Register(EventSchema("ProductEnd", {{"productId", kS}})).status());
+  EXSTREAM_RETURN_NOT_OK(
+      registry
+          ->Register(EventSchema("ProductProgress",
+                                 {{"productId", kS}, {"quality", kD}}))
+          .status());
+  for (int k = 0; k < config.num_sensors; ++k) {
+    EXSTREAM_RETURN_NOT_OK(
+        registry->Register(EventSchema(SensorTypeName(k), {{"value", kD}})).status());
+  }
+  for (int k = 0; k < config.num_machines; ++k) {
+    EXSTREAM_RETURN_NOT_OK(
+        registry
+            ->Register(EventSchema(MachineTypeName(k),
+                                   {{"productId", kS}, {"quality", kD}}))
+            .status());
+  }
+  return Status::OK();
+}
+
+SupplyChainSim::SupplyChainSim(SupplyChainConfig config,
+                               const EventTypeRegistry* registry)
+    : config_(config), registry_(registry) {}
+
+Result<std::vector<ProductWindow>> SupplyChainSim::Run(EventSink* sink) {
+  Rng rng(config_.seed);
+  std::vector<Event> events;
+
+  // Product windows laid out back to back.
+  std::vector<ProductWindow> products;
+  Timestamp t = 0;
+  for (int p = 0; p < config_.num_products; ++p) {
+    ProductWindow w;
+    w.product_id = StrFormat("product-%03d", p);
+    w.start = t;
+    w.end = t + config_.product_duration;
+    products.push_back(w);
+    t = w.end + config_.product_gap;
+  }
+  const Timestamp horizon = t;
+
+  auto anomaly_for = [&](int product_index,
+                         ScAnomalyType type) -> const ScAnomalySpec* {
+    for (const ScAnomalySpec& a : anomalies_) {
+      if (a.product_index == product_index && a.type == type) return &a;
+    }
+    return nullptr;
+  };
+  auto product_at = [&](Timestamp ts) -> int {
+    for (size_t p = 0; p < products.size(); ++p) {
+      if (ts >= products[p].start && ts <= products[p].end) return static_cast<int>(p);
+    }
+    return -1;
+  };
+
+  // ---- Sensors: fixed-rate monitoring -------------------------------------
+  for (int k = 0; k < config_.num_sensors; ++k) {
+    Rng srng = rng.Fork();
+    const EventTypeId type = registry_->IdOf(SensorTypeName(k)).ValueOrDie();
+    // Each sensor has its own operating point (e.g. temperature, humidity).
+    MetricModel model({20.0 + static_cast<double>(k % 10) * 3.0, 0.5, 0.3, -1e9, 1e9},
+                      &srng);
+    for (Timestamp ts = 0; ts <= horizon; ts += config_.sensor_period) {
+      const int p = product_at(ts);
+      if (p >= 0) {
+        const ScAnomalySpec* a = anomaly_for(p, ScAnomalyType::kMissingMonitoring);
+        if (a != nullptr &&
+            std::find(a->targets.begin(), a->targets.end(), k) != a->targets.end()) {
+          model.Step();  // the world evolves; the sensor just fails to report
+          continue;
+        }
+      }
+      events.emplace_back(type, ts, std::vector<Value>{Value(model.Step())});
+    }
+  }
+
+  // ---- Machines: variable-rate material records ---------------------------
+  const EventTypeId t_progress = registry_->IdOf("ProductProgress").ValueOrDie();
+  const EventTypeId t_start = registry_->IdOf("ProductStart").ValueOrDie();
+  const EventTypeId t_end = registry_->IdOf("ProductEnd").ValueOrDie();
+
+  for (size_t p = 0; p < products.size(); ++p) {
+    const ProductWindow& w = products[p];
+    events.emplace_back(t_start, w.start, std::vector<Value>{Value(w.product_id)});
+    events.emplace_back(t_end, w.end, std::vector<Value>{Value(w.product_id)});
+
+    const ScAnomalySpec* subpar =
+        anomaly_for(static_cast<int>(p), ScAnomalyType::kSubParMaterial);
+
+    for (int k = 0; k < config_.num_machines; ++k) {
+      Rng mrng = rng.Fork();
+      const EventTypeId type = registry_->IdOf(MachineTypeName(k)).ValueOrDie();
+      const bool is_subpar =
+          subpar != nullptr && std::find(subpar->targets.begin(), subpar->targets.end(),
+                                         k) != subpar->targets.end();
+      double ts = static_cast<double>(w.start) +
+                  mrng.Exponential(1.0 / config_.material_mean_interval);
+      while (ts < static_cast<double>(w.end)) {
+        const double mean =
+            is_subpar ? config_.subpar_quality_mean : config_.quality_mean;
+        const double quality = mrng.Gaussian(mean, config_.quality_noise);
+        const Timestamp its = static_cast<Timestamp>(std::llround(ts));
+        events.emplace_back(type, its,
+                            std::vector<Value>{Value(w.product_id), Value(quality)});
+        events.emplace_back(t_progress, its,
+                            std::vector<Value>{Value(w.product_id), Value(quality)});
+        ts += mrng.Exponential(1.0 / config_.material_mean_interval);
+      }
+    }
+  }
+
+  VectorEventSource source(std::move(events));
+  source.SortByTime();
+  source.Replay(sink);
+  return products;
+}
+
+}  // namespace exstream

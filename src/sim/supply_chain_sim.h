@@ -1,0 +1,88 @@
+// Supply-chain manufacturing simulator (paper Appendix D, Table 1).
+//
+// Two event categories:
+//  * Monitoring: per-sensor fixed-rate environmental measurements
+//    (Sensor<k> events with a `value` attribute).
+//  * Materials:  per-machine variable-rate material quality records
+//    (Material<k> events with `productId` and `quality`), plus a generic
+//    ProductProgress stream consumed by the monitoring CEP query.
+//
+// Anomalies (Appendix D.2):
+//  * Missing monitoring — selected sensors stop reporting during a product's
+//    manufacturing window (their count/frequency features drop to zero).
+//  * Sub-par material — selected machines emit quality below the valid bar.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "event/registry.h"
+#include "event/stream.h"
+
+namespace exstream {
+
+/// \brief Supply-chain anomaly categories (the two use cases of Appendix D).
+enum class ScAnomalyType : uint8_t {
+  kMissingMonitoring = 0,
+  kSubParMaterial,
+};
+
+std::string_view ScAnomalyTypeToString(ScAnomalyType type);
+
+/// \brief An injected manufacturing defect.
+struct ScAnomalySpec {
+  ScAnomalyType type = ScAnomalyType::kMissingMonitoring;
+  int product_index = 0;      ///< which product is affected
+  std::vector<int> targets;   ///< sensor indices or machine indices
+};
+
+/// \brief Simulator configuration (Table 1 scaled down; counts configurable).
+struct SupplyChainConfig {
+  int num_sensors = 16;
+  int num_machines = 16;
+  int num_products = 6;
+  Timestamp product_duration = 600;  ///< manufacturing window per product
+  Timestamp product_gap = 60;        ///< idle time between products
+  Timestamp sensor_period = 10;      ///< fixed monitoring rate
+  double material_mean_interval = 20.0;  ///< variable (exponential) rate
+  double quality_mean = 80.0;
+  double quality_noise = 3.0;
+  double quality_bar = 70.0;         ///< values >= bar satisfy the standard
+  double subpar_quality_mean = 55.0;
+  uint64_t seed = 17;
+};
+
+/// \brief A simulated product's manufacturing window.
+struct ProductWindow {
+  std::string product_id;
+  Timestamp start = 0;
+  Timestamp end = 0;
+};
+
+/// \brief Ground-truth signals for one supply-chain anomaly.
+std::vector<std::string> ScGroundTruthSignals(const ScAnomalySpec& spec);
+
+/// \brief Generates the event stream of a manufacturing run.
+class SupplyChainSim {
+ public:
+  /// Registers ProductStart/ProductEnd/ProductProgress plus the per-sensor
+  /// and per-machine event types implied by `config`.
+  static Status RegisterEventTypes(EventTypeRegistry* registry,
+                                   const SupplyChainConfig& config);
+
+  SupplyChainSim(SupplyChainConfig config, const EventTypeRegistry* registry);
+
+  void AddAnomaly(ScAnomalySpec spec) { anomalies_.push_back(std::move(spec)); }
+
+  /// Runs the simulation; returns the product windows in order.
+  Result<std::vector<ProductWindow>> Run(EventSink* sink);
+
+ private:
+  SupplyChainConfig config_;
+  const EventTypeRegistry* registry_;  // not owned
+  std::vector<ScAnomalySpec> anomalies_;
+};
+
+}  // namespace exstream

@@ -1,0 +1,280 @@
+#include "sim/workloads.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/strings.h"
+#include "event/stream.h"
+
+namespace exstream {
+
+namespace {
+
+constexpr char kHadoopQueryName[] = "Q1";
+constexpr char kHadoopQueryText[] =
+    "PATTERN SEQ(JobStart a, DataIO+ b[], JobEnd c) "
+    "WHERE [jobId] "
+    "RETURN (b[i].timestamp, a.jobId, sum(b[1..i].dataSize))";
+constexpr char kHadoopColumn[] = "sum_dataSize";
+
+constexpr char kScQueryName[] = "Qsc";
+constexpr char kScQueryText[] =
+    "PATTERN SEQ(ProductStart a, ProductProgress+ b[], ProductEnd c) "
+    "WHERE [productId] "
+    "RETURN (b[i].timestamp, a.productId, avg(b[1..i].quality))";
+constexpr char kScColumn[] = "avg_quality";
+
+// Fills the partition table from the monitoring query's match table.
+void IndexPartitions(const CepEngine& engine, QueryId query,
+                     const std::string& query_name,
+                     const std::map<std::string, std::string>& dimensions,
+                     PartitionTable* table) {
+  const MatchTable& matches = engine.match_table(query);
+  for (const std::string& partition : matches.Partitions()) {
+    const std::vector<MatchRow> rows = matches.Rows(partition);
+    if (rows.empty()) continue;
+    PartitionRecord rec;
+    rec.query_name = query_name;
+    rec.partition = partition;
+    rec.dimensions = dimensions;
+    rec.start_ts = rows.front().ts;
+    rec.end_ts = rows.back().ts;
+    rec.num_points = rows.size();
+    table->Upsert(std::move(rec));
+  }
+}
+
+Result<std::unique_ptr<WorkloadRun>> BuildHadoopRun(const WorkloadDef& def,
+                                                    const WorkloadRunOptions& options) {
+  auto run = std::make_unique<WorkloadRun>();
+  run->def = def;
+  run->registry = std::make_unique<EventTypeRegistry>();
+  EXSTREAM_RETURN_NOT_OK(HadoopClusterSim::RegisterEventTypes(run->registry.get()));
+  run->archive = std::make_unique<EventArchive>(run->registry.get());
+  run->engine = std::make_unique<CepEngine>(run->registry.get());
+  EXSTREAM_ASSIGN_OR_RETURN(
+      run->monitor_query,
+      run->engine->AddQueryText(kHadoopQueryText, kHadoopQueryName));
+  run->monitor_query_name = kHadoopQueryName;
+  run->monitor_column = kHadoopColumn;
+
+  HadoopSimConfig sim_config;
+  sim_config.num_nodes = options.num_nodes;
+  sim_config.seed = options.seed + static_cast<uint64_t>(def.id) * 1000003;
+  HadoopClusterSim sim(sim_config, run->registry.get());
+
+  auto make_job = [&](const std::string& id, Timestamp start) {
+    HadoopJobConfig job;
+    job.job_id = id;
+    job.program = def.program;
+    job.dataset = def.dataset;
+    job.start_time = start;
+    return job;
+  };
+
+  Timestamp t = 0;
+  for (int i = 0; i < options.num_normal_jobs; ++i) {
+    sim.AddJob(make_job(StrFormat("job-%03d", i), t));
+    t += options.job_spacing;
+  }
+  const Timestamp train_start = t;
+  sim.AddJob(make_job("job-anomaly", train_start));
+  t += options.job_spacing;
+  const Timestamp test_start = t;
+  sim.AddJob(make_job("job-anomaly-test", test_start));
+
+  // The interfering program runs during the early-to-middle phase of each
+  // anomalous job (paper Sec. 6.1).
+  for (const Timestamp start : {train_start, test_start}) {
+    AnomalySpec anomaly;
+    anomaly.type = def.hadoop_anomaly;
+    anomaly.start = start + 60;
+    anomaly.end = start + 360;
+    anomaly.severity = 1.0;
+    sim.AddAnomaly(anomaly);
+  }
+
+  FanOutSink fanout;
+  fanout.Attach(run->archive.get());
+  fanout.Attach(run->engine.get());
+  EXSTREAM_ASSIGN_OR_RETURN(const auto completions, sim.Run(&fanout));
+
+  run->partitions = std::make_unique<PartitionTable>();
+  IndexPartitions(*run->engine, run->monitor_query, run->monitor_query_name,
+                  {{"program", def.program}, {"dataset", def.dataset}},
+                  run->partitions.get());
+
+  auto job_end = [&](const std::string& id) -> Timestamp {
+    for (const auto& [job, end] : completions) {
+      if (job == id) return end;
+    }
+    return 0;
+  };
+
+  auto annotate = [&](const std::string& job, Timestamp start) {
+    AnomalyAnnotation a;
+    a.abnormal = {kHadoopQueryName, {start + 60, start + 360}, job};
+    a.reference = {kHadoopQueryName, {start + 420, job_end(job)}, job};
+    return a;
+  };
+  run->annotation = annotate("job-anomaly", train_start);
+  run->test_annotation = annotate("job-anomaly-test", test_start);
+  run->ground_truth = AnomalyGroundTruthSignals(def.hadoop_anomaly);
+  return run;
+}
+
+Result<std::unique_ptr<WorkloadRun>> BuildSupplyChainRun(
+    const WorkloadDef& def, const WorkloadRunOptions& options) {
+  auto run = std::make_unique<WorkloadRun>();
+  run->def = def;
+  run->registry = std::make_unique<EventTypeRegistry>();
+
+  SupplyChainConfig config;
+  config.num_sensors = options.sc_num_sensors;
+  config.num_machines = options.sc_num_machines;
+  config.num_products = options.sc_num_products;
+  config.seed = options.seed + static_cast<uint64_t>(def.id) * 7919;
+  EXSTREAM_RETURN_NOT_OK(
+      SupplyChainSim::RegisterEventTypes(run->registry.get(), config));
+
+  run->archive = std::make_unique<EventArchive>(run->registry.get());
+  run->engine = std::make_unique<CepEngine>(run->registry.get());
+  EXSTREAM_ASSIGN_OR_RETURN(run->monitor_query,
+                            run->engine->AddQueryText(kScQueryText, kScQueryName));
+  run->monitor_query_name = kScQueryName;
+  run->monitor_column = kScColumn;
+
+  SupplyChainSim sim(config, run->registry.get());
+  const int train_product = 2;
+  const int test_product = 4;
+  for (const int product : {train_product, test_product}) {
+    ScAnomalySpec spec;
+    spec.type = def.sc_anomaly;
+    spec.product_index = product;
+    spec.targets = def.sc_targets;
+    sim.AddAnomaly(spec);
+  }
+
+  FanOutSink fanout;
+  fanout.Attach(run->archive.get());
+  fanout.Attach(run->engine.get());
+  EXSTREAM_ASSIGN_OR_RETURN(const std::vector<ProductWindow> products,
+                            sim.Run(&fanout));
+
+  run->partitions = std::make_unique<PartitionTable>();
+  IndexPartitions(*run->engine, run->monitor_query, run->monitor_query_name,
+                  {{"line", "assembly-1"}}, run->partitions.get());
+
+  auto annotate = [&](int abnormal_product, int reference_product) {
+    const ProductWindow& a = products[static_cast<size_t>(abnormal_product)];
+    const ProductWindow& r = products[static_cast<size_t>(reference_product)];
+    AnomalyAnnotation out;
+    out.abnormal = {kScQueryName, {a.start, a.end}, a.product_id};
+    out.reference = {kScQueryName, {r.start, r.end}, r.product_id};
+    return out;
+  };
+  run->annotation = annotate(train_product, 1);
+  run->test_annotation = annotate(test_product, 3);
+
+  ScAnomalySpec truth_spec;
+  truth_spec.type = def.sc_anomaly;
+  truth_spec.targets = def.sc_targets;
+  run->ground_truth = ScGroundTruthSignals(truth_spec);
+  return run;
+}
+
+}  // namespace
+
+std::vector<WorkloadDef> HadoopWorkloads() {
+  std::vector<WorkloadDef> out;
+  auto add = [&](int id, AnomalyType anomaly, const char* program,
+                 const char* dataset) {
+    WorkloadDef def;
+    def.id = id;
+    def.hadoop_anomaly = anomaly;
+    def.program = program;
+    def.dataset = dataset;
+    def.name = StrFormat("W%d %s %s", id,
+                         std::string(AnomalyTypeToString(anomaly)).c_str(), program);
+    out.push_back(std::move(def));
+  };
+  // Fig. 13: the 8 (anomaly, Hadoop workload) combinations.
+  add(1, AnomalyType::kHighMemory, "WC-frequent-users", "worldcup");
+  add(2, AnomalyType::kHighMemory, "WC-sessions", "worldcup");
+  add(3, AnomalyType::kBusyDisk, "WC-frequent-users", "worldcup");
+  add(4, AnomalyType::kHighCpu, "WC-frequent-users", "worldcup");
+  add(5, AnomalyType::kHighCpu, "WC-sessions", "worldcup");
+  add(6, AnomalyType::kHighCpu, "Twitter-trigram", "twitter");
+  add(7, AnomalyType::kBusyNetwork, "WC-sessions", "worldcup");
+  add(8, AnomalyType::kBusyNetwork, "Twitter-trigram", "twitter");
+  return out;
+}
+
+std::vector<WorkloadDef> SupplyChainWorkloads() {
+  std::vector<WorkloadDef> out;
+  auto add = [&](int id, ScAnomalyType anomaly, std::vector<int> targets) {
+    WorkloadDef def;
+    def.id = id;
+    def.is_supply_chain = true;
+    def.sc_anomaly = anomaly;
+    def.sc_targets = std::move(targets);
+    def.name = StrFormat("SC%d %s (%zu targets)", id,
+                         std::string(ScAnomalyTypeToString(anomaly)).c_str(),
+                         def.sc_targets.size());
+    out.push_back(std::move(def));
+  };
+  // Appendix D.3: "the first three use cases are about missing monitoring,
+  // and the last three use cases are about sub-par materials."
+  add(1, ScAnomalyType::kMissingMonitoring, {0, 1});
+  add(2, ScAnomalyType::kMissingMonitoring, {2});
+  add(3, ScAnomalyType::kMissingMonitoring, {3, 4, 5});
+  add(4, ScAnomalyType::kSubParMaterial, {0});
+  add(5, ScAnomalyType::kSubParMaterial, {1, 2});
+  add(6, ScAnomalyType::kSubParMaterial, {3});
+  return out;
+}
+
+Result<std::unique_ptr<WorkloadRun>> BuildWorkloadRun(const WorkloadDef& def,
+                                                      WorkloadRunOptions options) {
+  if (def.is_supply_chain) return BuildSupplyChainRun(def, options);
+  return BuildHadoopRun(def, options);
+}
+
+SeriesProvider WorkloadRun::MakeSeriesProvider() const {
+  const CepEngine* engine_ptr = engine.get();
+  const QueryId query = monitor_query;
+  const std::string query_name = monitor_query_name;
+  const std::string column = monitor_column;
+  return [engine_ptr, query, query_name, column](
+             const std::string& q, const std::string& partition) -> Result<TimeSeries> {
+    if (q != query_name) {
+      return Status::NotFound("no monitored series for query '" + q + "'");
+    }
+    return engine_ptr->match_table(query).ExtractSeries(partition, column);
+  };
+}
+
+FeatureSpaceOptions WorkloadRun::FeatureSpace() const {
+  FeatureSpaceOptions opts;
+  if (def.is_supply_chain) {
+    opts.windows = {30, 60};
+    // The monitored query's own input stream should not explain itself.
+    opts.exclude_event_types = {"ProductProgress", "ProductStart", "ProductEnd"};
+  } else {
+    opts.windows = {10, 30};
+  }
+  return opts;
+}
+
+ExplainOptions WorkloadRun::DefaultExplainOptions() const {
+  ExplainOptions opts;
+  opts.feature_space = FeatureSpace();
+  return opts;
+}
+
+ExplanationEngine WorkloadRun::MakeExplanationEngine(ExplainOptions options) const {
+  return ExplanationEngine(archive.get(), partitions.get(), MakeSeriesProvider(),
+                           std::move(options));
+}
+
+}  // namespace exstream

@@ -1,0 +1,90 @@
+// Workload harnesses: one-call construction of a full monitoring + archive +
+// annotation scenario for each evaluation workload (Fig. 13 and Appendix D).
+//
+// A WorkloadRun owns the registry, archive, CEP engine, and partition table
+// produced by simulating a workload, plus the train/test anomaly annotations
+// and the expert ground-truth feature signals. Benches, tests, and examples
+// all consume this one structure.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "archive/archive.h"
+#include "cep/engine.h"
+#include "explain/annotation.h"
+#include "explain/engine.h"
+#include "explain/partition_table.h"
+#include "features/feature_space.h"
+#include "sim/hadoop_sim.h"
+#include "sim/supply_chain_sim.h"
+
+namespace exstream {
+
+/// \brief One row of Fig. 13 (Hadoop) or the Appendix-D table (supply chain).
+struct WorkloadDef {
+  int id = 0;
+  std::string name;
+  // Hadoop workloads
+  AnomalyType hadoop_anomaly = AnomalyType::kNone;
+  std::string program;
+  std::string dataset;
+  // Supply-chain workloads
+  bool is_supply_chain = false;
+  ScAnomalyType sc_anomaly = ScAnomalyType::kMissingMonitoring;
+  std::vector<int> sc_targets;
+};
+
+/// \brief The 8 Hadoop workloads of Fig. 13.
+std::vector<WorkloadDef> HadoopWorkloads();
+
+/// \brief The 6 supply-chain workloads of Appendix D.3.
+std::vector<WorkloadDef> SupplyChainWorkloads();
+
+/// \brief Scale knobs for workload construction.
+struct WorkloadRunOptions {
+  uint64_t seed = 42;
+  int num_nodes = 6;           ///< Hadoop cluster size
+  int num_normal_jobs = 4;     ///< related partitions for Step-2 validation
+  Timestamp job_spacing = 750; ///< seconds between job submissions
+  int sc_num_sensors = 12;     ///< supply-chain scale
+  int sc_num_machines = 12;
+  int sc_num_products = 6;
+};
+
+/// \brief A fully constructed monitoring scenario.
+struct WorkloadRun {
+  WorkloadDef def;
+  std::unique_ptr<EventTypeRegistry> registry;
+  std::unique_ptr<EventArchive> archive;
+  std::unique_ptr<CepEngine> engine;
+  std::unique_ptr<PartitionTable> partitions;
+
+  QueryId monitor_query = 0;
+  std::string monitor_query_name;
+  std::string monitor_column;  ///< visualized derived attribute
+
+  AnomalyAnnotation annotation;       ///< the training annotation
+  AnomalyAnnotation test_annotation;  ///< held-out anomaly for prediction power
+  std::vector<std::string> ground_truth;  ///< expert signals ("Type.attr")
+
+  /// Monitored-series accessor backed by the engine's match table.
+  SeriesProvider MakeSeriesProvider() const;
+
+  /// Feature-space options appropriate for this scenario.
+  FeatureSpaceOptions FeatureSpace() const;
+
+  /// Constructs an ExplanationEngine over this run's archive/partitions.
+  ExplanationEngine MakeExplanationEngine(ExplainOptions options) const;
+
+  /// Default pipeline options for this scenario (feature space pre-filled).
+  ExplainOptions DefaultExplainOptions() const;
+};
+
+/// \brief Builds, simulates, and indexes one workload.
+Result<std::unique_ptr<WorkloadRun>> BuildWorkloadRun(const WorkloadDef& def,
+                                                      WorkloadRunOptions options = {});
+
+}  // namespace exstream

@@ -1,0 +1,116 @@
+#include "ts/aggregate.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stats.h"
+#include "common/strings.h"
+
+namespace exstream {
+
+std::string_view AggregateKindToString(AggregateKind kind) {
+  switch (kind) {
+    case AggregateKind::kRaw:
+      return "raw";
+    case AggregateKind::kMean:
+      return "mean";
+    case AggregateKind::kSum:
+      return "sum";
+    case AggregateKind::kCount:
+      return "count";
+    case AggregateKind::kMin:
+      return "min";
+    case AggregateKind::kMax:
+      return "max";
+    case AggregateKind::kStdDev:
+      return "stddev";
+  }
+  return "unknown";
+}
+
+Result<AggregateKind> AggregateKindFromString(std::string_view name) {
+  for (AggregateKind k :
+       {AggregateKind::kRaw, AggregateKind::kMean, AggregateKind::kSum,
+        AggregateKind::kCount, AggregateKind::kMin, AggregateKind::kMax,
+        AggregateKind::kStdDev}) {
+    if (EqualsIgnoreCase(name, AggregateKindToString(k))) return k;
+  }
+  return Status::InvalidArgument(StrFormat("unknown aggregate kind '%.*s'",
+                                           static_cast<int>(name.size()), name.data()));
+}
+
+Result<TimeSeries> ApplyWindowAggregate(const TimeSeries& series, AggregateKind kind,
+                                        Timestamp window, Timestamp slide) {
+  if (kind == AggregateKind::kRaw) return series;
+  if (window <= 0) return Status::InvalidArgument("window must be positive");
+  if (slide == 0) slide = window;
+  if (slide < 0) return Status::InvalidArgument("slide must be positive");
+
+  TimeSeries out;
+  if (series.empty()) return out;
+
+  const Timestamp start = series.start_time();
+  const Timestamp end = series.end_time();
+  const auto& times = series.times();
+  const auto& values = series.values();
+
+  size_t lo_idx = 0;
+  for (Timestamp wstart = start; wstart <= end; wstart += slide) {
+    const Timestamp wend = wstart + window;
+    // Advance lo_idx to the first sample >= wstart. Windows share a slide
+    // origin, so lo_idx only moves forward when slide >= window; recompute
+    // via binary search for overlapping windows.
+    size_t lo;
+    if (slide >= window) {
+      while (lo_idx < times.size() && times[lo_idx] < wstart) ++lo_idx;
+      lo = lo_idx;
+    } else {
+      lo = static_cast<size_t>(
+          std::lower_bound(times.begin(), times.end(), wstart) - times.begin());
+    }
+    size_t hi = lo;
+    while (hi < times.size() && times[hi] < wend) ++hi;
+
+    const size_t n = hi - lo;
+    if (n == 0 && kind != AggregateKind::kCount) continue;
+
+    double agg = 0.0;
+    switch (kind) {
+      case AggregateKind::kCount:
+        agg = static_cast<double>(n);
+        break;
+      case AggregateKind::kMean: {
+        double s = 0.0;
+        for (size_t i = lo; i < hi; ++i) s += values[i];
+        agg = s / static_cast<double>(n);
+        break;
+      }
+      case AggregateKind::kSum: {
+        for (size_t i = lo; i < hi; ++i) agg += values[i];
+        break;
+      }
+      case AggregateKind::kMin: {
+        agg = values[lo];
+        for (size_t i = lo + 1; i < hi; ++i) agg = std::min(agg, values[i]);
+        break;
+      }
+      case AggregateKind::kMax: {
+        agg = values[lo];
+        for (size_t i = lo + 1; i < hi; ++i) agg = std::max(agg, values[i]);
+        break;
+      }
+      case AggregateKind::kStdDev: {
+        std::vector<double> w(values.begin() + static_cast<long>(lo),
+                              values.begin() + static_cast<long>(hi));
+        agg = StdDev(w);
+        break;
+      }
+      case AggregateKind::kRaw:
+        break;  // unreachable
+    }
+    EXSTREAM_RETURN_NOT_OK(out.Append(wend, agg));
+  }
+  return out;
+}
+
+}  // namespace exstream

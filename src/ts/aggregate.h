@@ -1,0 +1,47 @@
+// Sliding-window aggregation: raw features -> smoothed features (Sec. 3).
+//
+// "We apply sliding windows over the time series features and over each
+//  window, aggregate functions including count and avg to generate new time
+//  series features." The architecture is open: new aggregate kinds plug into
+//  the switch in ApplyWindowAggregate and the registry in feature_space.cc.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "ts/time_series.h"
+
+namespace exstream {
+
+/// \brief Aggregate functions applicable over a sliding window.
+enum class AggregateKind : uint8_t {
+  kRaw = 0,    ///< identity: the raw time series itself
+  kMean,       ///< average of values in the window (paper's "...Mean")
+  kSum,        ///< sum of values in the window
+  kCount,      ///< number of events in the window (paper's "...Frequency")
+  kMin,        ///< minimum value in the window
+  kMax,        ///< maximum value in the window
+  kStdDev,     ///< standard deviation of values in the window
+};
+
+std::string_view AggregateKindToString(AggregateKind kind);
+Result<AggregateKind> AggregateKindFromString(std::string_view name);
+
+/// \brief Applies `kind` over tumbling-aligned sliding windows of length
+/// `window` time units advancing by `slide` units.
+///
+/// Each output sample is stamped with the window's end time. Windows with no
+/// input samples produce no output (except kCount, which emits 0 so that
+/// frequency features capture silence — e.g. a sensor that stops reporting,
+/// the supply-chain "missing monitoring" anomaly).
+///
+/// \param series input samples (any density)
+/// \param kind the aggregate to apply
+/// \param window window length in time units (> 0)
+/// \param slide slide step in time units (> 0, defaults to window)
+Result<TimeSeries> ApplyWindowAggregate(const TimeSeries& series, AggregateKind kind,
+                                        Timestamp window, Timestamp slide = 0);
+
+}  // namespace exstream

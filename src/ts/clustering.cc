@@ -1,0 +1,119 @@
+#include "ts/clustering.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/strings.h"
+
+namespace exstream {
+
+namespace {
+
+// Distance between two clusters under the given linkage.
+double ClusterDistance(const std::vector<std::vector<double>>& d,
+                       const std::vector<size_t>& a, const std::vector<size_t>& b,
+                       Linkage linkage) {
+  double best = linkage == Linkage::kComplete ? 0.0
+                                              : std::numeric_limits<double>::infinity();
+  double sum = 0.0;
+  for (size_t i : a) {
+    for (size_t j : b) {
+      const double dij = d[i][j];
+      switch (linkage) {
+        case Linkage::kSingle:
+          best = std::min(best, dij);
+          break;
+        case Linkage::kComplete:
+          best = std::max(best, dij);
+          break;
+        case Linkage::kAverage:
+          sum += dij;
+          break;
+      }
+    }
+  }
+  if (linkage == Linkage::kAverage) {
+    return sum / static_cast<double>(a.size() * b.size());
+  }
+  return best;
+}
+
+}  // namespace
+
+Result<ClusteringResult> AgglomerativeCluster(
+    const std::vector<std::vector<double>>& distance, double cut_threshold,
+    Linkage linkage) {
+  const size_t n = distance.size();
+  for (const auto& row : distance) {
+    if (row.size() != n) {
+      return Status::InvalidArgument("distance matrix must be square");
+    }
+  }
+  ClusteringResult out;
+  if (n == 0) return out;
+
+  // Active clusters as member index lists. O(n^3) worst case, fine for the
+  // interval/feature counts this is applied to (tens to low hundreds).
+  std::vector<std::vector<size_t>> clusters(n);
+  for (size_t i = 0; i < n; ++i) clusters[i] = {i};
+
+  for (;;) {
+    double best = std::numeric_limits<double>::infinity();
+    size_t bi = 0;
+    size_t bj = 0;
+    for (size_t i = 0; i < clusters.size(); ++i) {
+      for (size_t j = i + 1; j < clusters.size(); ++j) {
+        const double dij = ClusterDistance(distance, clusters[i], clusters[j], linkage);
+        if (dij < best) {
+          best = dij;
+          bi = i;
+          bj = j;
+        }
+      }
+    }
+    if (clusters.size() <= 1 || best > cut_threshold) break;
+    clusters[bi].insert(clusters[bi].end(), clusters[bj].begin(), clusters[bj].end());
+    clusters.erase(clusters.begin() + static_cast<long>(bj));
+  }
+
+  out.labels.assign(n, -1);
+  out.num_clusters = static_cast<int>(clusters.size());
+  for (size_t c = 0; c < clusters.size(); ++c) {
+    for (size_t i : clusters[c]) out.labels[i] = static_cast<int>(c);
+  }
+  return out;
+}
+
+ClusteringResult ConnectedComponents(
+    size_t n, const std::vector<std::pair<size_t, size_t>>& edges) {
+  // Union-find with path compression.
+  std::vector<size_t> parent(n);
+  std::iota(parent.begin(), parent.end(), size_t{0});
+  auto find = [&](size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (const auto& [a, b] : edges) {
+    if (a >= n || b >= n) continue;
+    const size_t ra = find(a);
+    const size_t rb = find(b);
+    if (ra != rb) parent[ra] = rb;
+  }
+  ClusteringResult out;
+  out.labels.assign(n, -1);
+  std::vector<int> root_label(n, -1);
+  int next = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const size_t r = find(i);
+    if (root_label[r] < 0) root_label[r] = next++;
+    out.labels[i] = root_label[r];
+  }
+  out.num_clusters = next;
+  return out;
+}
+
+}  // namespace exstream

@@ -1,0 +1,51 @@
+// Agglomerative hierarchical clustering and graph components.
+//
+// Used by (a) interval labeling in the false-positive filter (Sec. 5.2):
+// aligned intervals are clustered and intervals that land in the annotated
+// anomaly's cluster inherit the "abnormal" label; and (b) correlation
+// clustering of surviving features (Sec. 5.3), where the correlation graph's
+// connected components form the clusters.
+
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace exstream {
+
+/// \brief Linkage criterion for agglomerative clustering.
+enum class Linkage : uint8_t {
+  kSingle = 0,   ///< min pairwise distance between clusters
+  kComplete,     ///< max pairwise distance
+  kAverage,      ///< mean pairwise distance
+};
+
+/// \brief Output of AgglomerativeCluster: per-item cluster labels in
+/// [0, num_clusters).
+struct ClusteringResult {
+  std::vector<int> labels;
+  int num_clusters = 0;
+};
+
+/// \brief Agglomerative clustering over a full symmetric distance matrix.
+///
+/// Merging proceeds greedily on the smallest inter-cluster distance and stops
+/// when the smallest remaining distance exceeds `cut_threshold`.
+///
+/// \param distance n x n symmetric matrix with zero diagonal
+/// \param cut_threshold stop merging beyond this linkage distance
+/// \param linkage linkage criterion (default average, as used by labeling)
+Result<ClusteringResult> AgglomerativeCluster(
+    const std::vector<std::vector<double>>& distance, double cut_threshold,
+    Linkage linkage = Linkage::kAverage);
+
+/// \brief Connected components of an undirected graph on n nodes.
+///
+/// \return per-node component labels in [0, num_components)
+ClusteringResult ConnectedComponents(size_t n,
+                                     const std::vector<std::pair<size_t, size_t>>& edges);
+
+}  // namespace exstream

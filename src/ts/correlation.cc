@@ -1,0 +1,14 @@
+#include "ts/correlation.h"
+
+#include "common/stats.h"
+
+namespace exstream {
+
+double AlignedCorrelation(const TimeSeries& a, const TimeSeries& b, size_t points) {
+  if (a.size() < 2 || b.size() < 2 || points < 2) return 0.0;
+  const TimeSeries ra = a.Resample(points);
+  const TimeSeries rb = b.Resample(points);
+  return PearsonCorrelation(ra.values(), rb.values());
+}
+
+}  // namespace exstream

@@ -1,0 +1,21 @@
+// Feature-to-feature correlation used by Step 3 filtering (Sec. 5.3).
+
+#pragma once
+
+#include <cstddef>
+
+#include "ts/time_series.h"
+
+namespace exstream {
+
+/// \brief Pearson correlation of two series after resampling each to
+/// `points` equally spaced samples over its own span.
+///
+/// Features built over the same annotated intervals share (approximately) the
+/// same span, so resampling aligns them temporally even when their native
+/// sampling rates differ (e.g. a raw metric vs a windowed aggregate).
+/// Returns 0 when either series has < 2 points or no variance.
+double AlignedCorrelation(const TimeSeries& a, const TimeSeries& b,
+                          size_t points = 64);
+
+}  // namespace exstream

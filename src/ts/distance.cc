@@ -1,0 +1,247 @@
+#include "ts/distance.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stats.h"
+#include "common/strings.h"
+
+namespace exstream {
+
+namespace {
+
+// Returns the values of `s`, optionally z-normalized, truncated by uniform
+// subsampling to at most max_points.
+std::vector<double> PrepareValues(const TimeSeries& s, bool z_normalize,
+                                  size_t max_points) {
+  std::vector<double> v = z_normalize ? s.ZNormalizedValues() : s.values();
+  if (max_points > 0 && v.size() > max_points) {
+    std::vector<double> down;
+    down.reserve(max_points);
+    const double step = static_cast<double>(v.size() - 1) /
+                        static_cast<double>(max_points - 1);
+    for (size_t i = 0; i < max_points; ++i) {
+      down.push_back(v[static_cast<size_t>(std::llround(step * static_cast<double>(i)))]);
+    }
+    v = std::move(down);
+  }
+  return v;
+}
+
+// Combined standard deviation of both value sets (for EDR/LCSS epsilon).
+double CombinedStdDev(const std::vector<double>& a, const std::vector<double>& b) {
+  std::vector<double> all;
+  all.reserve(a.size() + b.size());
+  all.insert(all.end(), a.begin(), a.end());
+  all.insert(all.end(), b.begin(), b.end());
+  return StdDev(all);
+}
+
+class LockStepDistance : public TimeSeriesDistance {
+ public:
+  LockStepDistance(std::string name, double p, bool mean_normalized,
+                   DistanceOptions opts)
+      : name_(std::move(name)), p_(p), mean_normalized_(mean_normalized), opts_(opts) {}
+
+  std::string name() const override { return name_; }
+
+  double Distance(const TimeSeries& a, const TimeSeries& b) const override {
+    if (a.empty() && b.empty()) return 0.0;
+    if (a.empty() || b.empty()) return std::numeric_limits<double>::infinity();
+    TimeSeries ra = a.Resample(opts_.resample_points);
+    TimeSeries rb = b.Resample(opts_.resample_points);
+    std::vector<double> va = opts_.z_normalize ? ra.ZNormalizedValues() : ra.values();
+    std::vector<double> vb = opts_.z_normalize ? rb.ZNormalizedValues() : rb.values();
+    double acc = 0.0;
+    for (size_t i = 0; i < va.size(); ++i) {
+      acc += std::pow(std::fabs(va[i] - vb[i]), p_);
+    }
+    double d = std::pow(acc, 1.0 / p_);
+    if (mean_normalized_) d /= static_cast<double>(va.size());
+    return d;
+  }
+
+ private:
+  std::string name_;
+  double p_;
+  bool mean_normalized_;
+  DistanceOptions opts_;
+};
+
+class DtwDistance : public TimeSeriesDistance {
+ public:
+  explicit DtwDistance(DistanceOptions opts) : opts_(opts) {}
+  std::string name() const override { return "dtw"; }
+
+  double Distance(const TimeSeries& a, const TimeSeries& b) const override {
+    const auto va = PrepareValues(a, opts_.z_normalize, opts_.max_elastic_points);
+    const auto vb = PrepareValues(b, opts_.z_normalize, opts_.max_elastic_points);
+    if (va.empty() && vb.empty()) return 0.0;
+    if (va.empty() || vb.empty()) return std::numeric_limits<double>::infinity();
+    const size_t n = va.size();
+    const size_t m = vb.size();
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    std::vector<double> prev(m + 1, kInf);
+    std::vector<double> cur(m + 1, kInf);
+    prev[0] = 0.0;
+    for (size_t i = 1; i <= n; ++i) {
+      cur.assign(m + 1, kInf);
+      for (size_t j = 1; j <= m; ++j) {
+        const double cost = std::fabs(va[i - 1] - vb[j - 1]);
+        cur[j] = cost + std::min({prev[j], cur[j - 1], prev[j - 1]});
+      }
+      std::swap(prev, cur);
+    }
+    // Normalize by the warping-path length bound so series of different
+    // lengths remain comparable.
+    return prev[m] / static_cast<double>(n + m);
+  }
+
+ private:
+  DistanceOptions opts_;
+};
+
+class EdrDistance : public TimeSeriesDistance {
+ public:
+  explicit EdrDistance(DistanceOptions opts) : opts_(opts) {}
+  std::string name() const override { return "edr"; }
+
+  double Distance(const TimeSeries& a, const TimeSeries& b) const override {
+    const auto va = PrepareValues(a, opts_.z_normalize, opts_.max_elastic_points);
+    const auto vb = PrepareValues(b, opts_.z_normalize, opts_.max_elastic_points);
+    if (va.empty() && vb.empty()) return 0.0;
+    const size_t n = va.size();
+    const size_t m = vb.size();
+    if (n == 0 || m == 0) return 1.0;
+    const double eps = opts_.epsilon_fraction * std::max(1e-12, CombinedStdDev(va, vb));
+    std::vector<int> prev(m + 1);
+    std::vector<int> cur(m + 1);
+    for (size_t j = 0; j <= m; ++j) prev[j] = static_cast<int>(j);
+    for (size_t i = 1; i <= n; ++i) {
+      cur[0] = static_cast<int>(i);
+      for (size_t j = 1; j <= m; ++j) {
+        const int match = std::fabs(va[i - 1] - vb[j - 1]) <= eps ? 0 : 1;
+        cur[j] = std::min({prev[j - 1] + match, prev[j] + 1, cur[j - 1] + 1});
+      }
+      std::swap(prev, cur);
+    }
+    return static_cast<double>(prev[m]) / static_cast<double>(std::max(n, m));
+  }
+
+ private:
+  DistanceOptions opts_;
+};
+
+class ErpDistance : public TimeSeriesDistance {
+ public:
+  explicit ErpDistance(DistanceOptions opts) : opts_(opts) {}
+  std::string name() const override { return "erp"; }
+
+  double Distance(const TimeSeries& a, const TimeSeries& b) const override {
+    const auto va = PrepareValues(a, opts_.z_normalize, opts_.max_elastic_points);
+    const auto vb = PrepareValues(b, opts_.z_normalize, opts_.max_elastic_points);
+    if (va.empty() && vb.empty()) return 0.0;
+    const size_t n = va.size();
+    const size_t m = vb.size();
+    constexpr double kGap = 0.0;  // the standard ERP reference value
+    std::vector<double> prev(m + 1, 0.0);
+    std::vector<double> cur(m + 1, 0.0);
+    for (size_t j = 1; j <= m; ++j) prev[j] = prev[j - 1] + std::fabs(vb[j - 1] - kGap);
+    for (size_t i = 1; i <= n; ++i) {
+      cur[0] = prev[0] + std::fabs(va[i - 1] - kGap);
+      for (size_t j = 1; j <= m; ++j) {
+        cur[j] = std::min({prev[j - 1] + std::fabs(va[i - 1] - vb[j - 1]),
+                           prev[j] + std::fabs(va[i - 1] - kGap),
+                           cur[j - 1] + std::fabs(vb[j - 1] - kGap)});
+      }
+      std::swap(prev, cur);
+    }
+    return prev[m] / static_cast<double>(std::max<size_t>(1, n + m));
+  }
+
+ private:
+  DistanceOptions opts_;
+};
+
+class LcssDistance : public TimeSeriesDistance {
+ public:
+  explicit LcssDistance(DistanceOptions opts) : opts_(opts) {}
+  std::string name() const override { return "lcss"; }
+
+  double Distance(const TimeSeries& a, const TimeSeries& b) const override {
+    const auto va = PrepareValues(a, opts_.z_normalize, opts_.max_elastic_points);
+    const auto vb = PrepareValues(b, opts_.z_normalize, opts_.max_elastic_points);
+    if (va.empty() && vb.empty()) return 0.0;
+    const size_t n = va.size();
+    const size_t m = vb.size();
+    if (n == 0 || m == 0) return 1.0;
+    const double eps = opts_.epsilon_fraction * std::max(1e-12, CombinedStdDev(va, vb));
+    std::vector<int> prev(m + 1, 0);
+    std::vector<int> cur(m + 1, 0);
+    for (size_t i = 1; i <= n; ++i) {
+      cur[0] = 0;
+      for (size_t j = 1; j <= m; ++j) {
+        if (std::fabs(va[i - 1] - vb[j - 1]) <= eps) {
+          cur[j] = prev[j - 1] + 1;
+        } else {
+          cur[j] = std::max(prev[j], cur[j - 1]);
+        }
+      }
+      std::swap(prev, cur);
+    }
+    const double sim =
+        static_cast<double>(prev[m]) / static_cast<double>(std::min(n, m));
+    return 1.0 - sim;
+  }
+
+ private:
+  DistanceOptions opts_;
+};
+
+}  // namespace
+
+std::unique_ptr<TimeSeriesDistance> MakeManhattanDistance(DistanceOptions opts) {
+  return std::make_unique<LockStepDistance>("manhattan", 1.0, false, opts);
+}
+std::unique_ptr<TimeSeriesDistance> MakeEuclideanDistance(DistanceOptions opts) {
+  return std::make_unique<LockStepDistance>("euclidean", 2.0, false, opts);
+}
+std::unique_ptr<TimeSeriesDistance> MakeLpDistance(double p, DistanceOptions opts) {
+  return std::make_unique<LockStepDistance>(StrFormat("l%.3g", p), p, false, opts);
+}
+std::unique_ptr<TimeSeriesDistance> MakeDissimDistance(DistanceOptions opts) {
+  // DISSIM integrates point-wise distance over time; on resampled series this
+  // is the mean-normalized L1.
+  return std::make_unique<LockStepDistance>("dissim", 1.0, true, opts);
+}
+std::unique_ptr<TimeSeriesDistance> MakeDtwDistance(DistanceOptions opts) {
+  return std::make_unique<DtwDistance>(opts);
+}
+std::unique_ptr<TimeSeriesDistance> MakeEdrDistance(DistanceOptions opts) {
+  return std::make_unique<EdrDistance>(opts);
+}
+std::unique_ptr<TimeSeriesDistance> MakeErpDistance(DistanceOptions opts) {
+  return std::make_unique<ErpDistance>(opts);
+}
+std::unique_ptr<TimeSeriesDistance> MakeLcssDistance(DistanceOptions opts) {
+  return std::make_unique<LcssDistance>(opts);
+}
+
+Result<std::unique_ptr<TimeSeriesDistance>> MakeDistanceByName(std::string_view name,
+                                                               DistanceOptions opts) {
+  if (EqualsIgnoreCase(name, "manhattan")) return MakeManhattanDistance(opts);
+  if (EqualsIgnoreCase(name, "euclidean")) return MakeEuclideanDistance(opts);
+  if (EqualsIgnoreCase(name, "dissim")) return MakeDissimDistance(opts);
+  if (EqualsIgnoreCase(name, "dtw")) return MakeDtwDistance(opts);
+  if (EqualsIgnoreCase(name, "edr")) return MakeEdrDistance(opts);
+  if (EqualsIgnoreCase(name, "erp")) return MakeErpDistance(opts);
+  if (EqualsIgnoreCase(name, "lcss")) return MakeLcssDistance(opts);
+  return Status::InvalidArgument(StrFormat("unknown distance '%.*s'",
+                                           static_cast<int>(name.size()), name.data()));
+}
+
+std::vector<std::string> BaselineDistanceNames() {
+  return {"manhattan", "euclidean", "dtw", "edr", "erp", "lcss"};
+}
+
+}  // namespace exstream

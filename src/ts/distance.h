@@ -1,0 +1,76 @@
+// Baseline time-series distance functions (Sec. 4.2, Fig. 17).
+//
+// Lock-step measures: Manhattan (L1), Euclidean (L2), general Lp, DISSIM.
+// Elastic measures: DTW, EDR, ERP, LCSS.
+//
+// These exist to be compared against the entropy-based distance
+// (entropy_distance.h); the paper shows they rank ground-truth features
+// poorly because they attend to sequence microstructure rather than value
+// separation.
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "ts/time_series.h"
+
+namespace exstream {
+
+/// \brief Interface for a distance between two time series.
+///
+/// All implementations are symmetric and non-negative; a larger value means
+/// the two series are more different (so, when one series comes from the
+/// abnormal interval and the other from the reference, larger = more
+/// explaining power under that metric).
+class TimeSeriesDistance {
+ public:
+  virtual ~TimeSeriesDistance() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Distance between the two series; 0 for two empty series.
+  virtual double Distance(const TimeSeries& a, const TimeSeries& b) const = 0;
+};
+
+/// Options shared by the baseline distances.
+struct DistanceOptions {
+  /// Lock-step measures resample both series to this many points.
+  size_t resample_points = 128;
+  /// Elastic measures cap input length at this many points (O(n^2) DP).
+  size_t max_elastic_points = 256;
+  /// EDR/LCSS matching tolerance, as a fraction of the combined stddev.
+  double epsilon_fraction = 0.25;
+  /// Z-normalize values before measuring (recommended when ranking features
+  /// with heterogeneous scales).
+  bool z_normalize = true;
+};
+
+/// \brief L1 (Manhattan) lock-step distance.
+std::unique_ptr<TimeSeriesDistance> MakeManhattanDistance(DistanceOptions opts = {});
+/// \brief L2 (Euclidean) lock-step distance [10].
+std::unique_ptr<TimeSeriesDistance> MakeEuclideanDistance(DistanceOptions opts = {});
+/// \brief General Lp lock-step distance.
+std::unique_ptr<TimeSeriesDistance> MakeLpDistance(double p, DistanceOptions opts = {});
+/// \brief DISSIM approximation: average point-wise distance over the overlap.
+std::unique_ptr<TimeSeriesDistance> MakeDissimDistance(DistanceOptions opts = {});
+/// \brief Dynamic Time Warping.
+std::unique_ptr<TimeSeriesDistance> MakeDtwDistance(DistanceOptions opts = {});
+/// \brief Edit Distance on Real sequences (tolerance-matched edit distance).
+std::unique_ptr<TimeSeriesDistance> MakeEdrDistance(DistanceOptions opts = {});
+/// \brief Edit distance with Real Penalty (metric edit distance, gap = 0).
+std::unique_ptr<TimeSeriesDistance> MakeErpDistance(DistanceOptions opts = {});
+/// \brief 1 - normalized Longest Common SubSequence similarity.
+std::unique_ptr<TimeSeriesDistance> MakeLcssDistance(DistanceOptions opts = {});
+
+/// \brief Factory by name: manhattan, euclidean, dissim, dtw, edr, erp, lcss.
+Result<std::unique_ptr<TimeSeriesDistance>> MakeDistanceByName(
+    std::string_view name, DistanceOptions opts = {});
+
+/// \brief The baseline names compared in Fig. 17 (excluding "entropy").
+std::vector<std::string> BaselineDistanceNames();
+
+}  // namespace exstream

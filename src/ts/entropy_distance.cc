@@ -1,0 +1,174 @@
+#include "ts/entropy_distance.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace exstream {
+
+namespace {
+
+constexpr double kLog2 = 0.6931471805599453;  // ln(2)
+
+// p * log2(1/p), with the 0 * log(1/0) = 0 convention.
+double PLog(double p) {
+  if (p <= 0.0) return 0.0;
+  return -p * std::log(p) / kLog2;
+}
+
+// Entropy contribution of the worst-case (uniform interleaving) ordering of a
+// mixed segment: the minority class spreads as singletons, splitting the
+// majority class into as-even-as-possible chunks (paper: 3N+2A ->
+// (N,A,N,A,N)). Sub-segment probabilities are relative to the whole feature's
+// point count, consistent with Eq. 2.
+double WorstCaseMixedEntropy(size_t abnormal, size_t reference, size_t total_points) {
+  const size_t minority = std::min(abnormal, reference);
+  const size_t majority = std::max(abnormal, reference);
+  const double total = static_cast<double>(total_points);
+  double h = 0.0;
+  // Minority singletons.
+  h += static_cast<double>(minority) * PLog(1.0 / total);
+  // Majority chunks: if counts are equal, strict alternation gives `minority`
+  // majority chunks of size 1; otherwise minority singletons cut the majority
+  // into minority + 1 chunks.
+  const size_t chunks = (majority == minority) ? minority : minority + 1;
+  if (chunks == 0) return h;
+  const size_t base = majority / chunks;
+  const size_t extra = majority % chunks;  // first `extra` chunks get one more
+  for (size_t i = 0; i < chunks; ++i) {
+    const size_t sz = base + (i < extra ? 1 : 0);
+    if (sz > 0) h += PLog(static_cast<double>(sz) / total);
+  }
+  return h;
+}
+
+}  // namespace
+
+std::string_view SegmentClassToString(SegmentClass c) {
+  switch (c) {
+    case SegmentClass::kAbnormalOnly:
+      return "abnormal";
+    case SegmentClass::kReferenceOnly:
+      return "reference";
+    case SegmentClass::kMixed:
+      return "mixed";
+  }
+  return "unknown";
+}
+
+EntropyDistanceResult ComputeEntropyDistance(
+    const std::vector<double>& abnormal_values,
+    const std::vector<double>& reference_values) {
+  EntropyDistanceResult out;
+  out.abnormal_count = abnormal_values.size();
+  out.reference_count = reference_values.size();
+  const size_t total = out.abnormal_count + out.reference_count;
+  if (out.abnormal_count == 0 || out.reference_count == 0) {
+    // No contrast between classes; reward is zero by definition.
+    return out;
+  }
+
+  // Class entropy (Eq. 1).
+  const double pa = static_cast<double>(out.abnormal_count) / static_cast<double>(total);
+  const double pr = static_cast<double>(out.reference_count) / static_cast<double>(total);
+  out.class_entropy = PLog(pa) + PLog(pr);
+
+  // Merge-sort the two value sets, tagging each point with its class.
+  struct Point {
+    double value;
+    bool abnormal;
+  };
+  std::vector<Point> points;
+  points.reserve(total);
+  for (double v : abnormal_values) points.push_back({v, true});
+  for (double v : reference_values) points.push_back({v, false});
+  std::sort(points.begin(), points.end(),
+            [](const Point& a, const Point& b) { return a.value < b.value; });
+
+  // Group equal values: a distinct value owned by both classes is mixed.
+  struct Group {
+    double value;
+    size_t abnormal;
+    size_t reference;
+    SegmentClass cls() const {
+      if (abnormal > 0 && reference > 0) return SegmentClass::kMixed;
+      return abnormal > 0 ? SegmentClass::kAbnormalOnly : SegmentClass::kReferenceOnly;
+    }
+  };
+  std::vector<Group> groups;
+  for (const Point& p : points) {
+    if (!groups.empty() && groups.back().value == p.value) {
+      if (p.abnormal) {
+        ++groups.back().abnormal;
+      } else {
+        ++groups.back().reference;
+      }
+    } else {
+      groups.push_back({p.value, p.abnormal ? size_t{1} : size_t{0},
+                        p.abnormal ? size_t{0} : size_t{1}});
+    }
+  }
+
+  // Merge consecutive groups with the same ownership into maximal segments.
+  for (const Group& g : groups) {
+    const SegmentClass cls = g.cls();
+    if (!out.segments.empty() && out.segments.back().cls == cls) {
+      Segment& s = out.segments.back();
+      s.max_value = g.value;
+      s.abnormal_points += g.abnormal;
+      s.reference_points += g.reference;
+    } else {
+      out.segments.push_back(Segment{cls, g.value, g.value, g.abnormal, g.reference});
+    }
+  }
+
+  // Segmentation entropy (Eq. 2) and mixed-segment penalties (Eq. 3).
+  double h_seg = 0.0;
+  double penalty = 0.0;
+  for (const Segment& s : out.segments) {
+    h_seg += PLog(static_cast<double>(s.TotalPoints()) / static_cast<double>(total));
+    if (s.cls == SegmentClass::kMixed) {
+      penalty += WorstCaseMixedEntropy(s.abnormal_points, s.reference_points, total);
+    }
+  }
+  out.segmentation_entropy = h_seg;
+  out.regularized_entropy = h_seg + penalty;
+
+  // Distance (Eq. 4). H+ >= H_class always holds for non-degenerate inputs;
+  // clamp defensively for floating-point wiggle.
+  out.distance = out.regularized_entropy > 0.0
+                     ? std::min(1.0, out.class_entropy / out.regularized_entropy)
+                     : 0.0;
+  return out;
+}
+
+EntropyDistanceResult ComputeEntropyDistance(const TimeSeries& abnormal,
+                                             const TimeSeries& reference) {
+  return ComputeEntropyDistance(abnormal.values(), reference.values());
+}
+
+std::vector<AbnormalRange> ExtractAbnormalRanges(const EntropyDistanceResult& result,
+                                                 double min_fraction,
+                                                 size_t min_points) {
+  std::vector<AbnormalRange> ranges;
+  const auto& segs = result.segments;
+  const size_t required = std::max(
+      min_points, static_cast<size_t>(min_fraction *
+                                      static_cast<double>(result.abnormal_count)));
+  for (size_t i = 0; i < segs.size(); ++i) {
+    if (segs[i].cls != SegmentClass::kAbnormalOnly) continue;
+    if (segs[i].abnormal_points < required) continue;  // noise blip
+    AbnormalRange r;
+    if (i > 0) {
+      r.has_lower = true;
+      r.lower = (segs[i - 1].max_value + segs[i].min_value) / 2.0;
+    }
+    if (i + 1 < segs.size()) {
+      r.has_upper = true;
+      r.upper = (segs[i].max_value + segs[i + 1].min_value) / 2.0;
+    }
+    ranges.push_back(r);
+  }
+  return ranges;
+}
+
+}  // namespace exstream

@@ -1,0 +1,106 @@
+#include "viz/ascii_chart.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace exstream {
+
+namespace {
+
+// Plot grid (height rows x width cols) for the resampled series; returns the
+// row index (0 = top) for each column, or -1 for no point.
+std::vector<int> ColumnRows(const TimeSeries& resampled, size_t height) {
+  std::vector<int> rows(resampled.size(), -1);
+  if (resampled.empty()) return rows;
+  double lo = resampled.value(0);
+  double hi = lo;
+  for (double v : resampled.values()) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  const double span = hi - lo;
+  for (size_t c = 0; c < resampled.size(); ++c) {
+    const double frac = span > 0 ? (resampled.value(c) - lo) / span : 0.5;
+    const int row = static_cast<int>(std::lround(
+        (1.0 - frac) * static_cast<double>(height - 1)));
+    rows[c] = std::clamp(row, 0, static_cast<int>(height) - 1);
+  }
+  return rows;
+}
+
+}  // namespace
+
+std::string RenderSeries(const TimeSeries& series, const ChartOptions& options) {
+  return RenderAnnotatedSeries(series, {}, options);
+}
+
+std::string RenderAnnotatedSeries(const TimeSeries& series,
+                                  const std::vector<TimeInterval>& annotations,
+                                  const ChartOptions& options, char highlight_mark) {
+  const size_t width = std::max<size_t>(options.width, 8);
+  const size_t height = std::max<size_t>(options.height, 3);
+  const TimeSeries resampled = series.Resample(width);
+  const std::vector<int> rows = ColumnRows(resampled, height);
+
+  std::vector<std::string> grid(height, std::string(width, ' '));
+  for (size_t c = 0; c < rows.size(); ++c) {
+    if (rows[c] >= 0) grid[static_cast<size_t>(rows[c])][c] = options.mark;
+  }
+  // Annotation highlights along the bottom row.
+  std::string baseline(width, ' ');
+  for (size_t c = 0; c < resampled.size(); ++c) {
+    const Timestamp t = resampled.time(c);
+    for (const TimeInterval& iv : annotations) {
+      if (iv.Contains(t)) baseline[c] = highlight_mark;
+    }
+  }
+
+  double lo = 0;
+  double hi = 0;
+  if (!resampled.empty()) {
+    lo = *std::min_element(resampled.values().begin(), resampled.values().end());
+    hi = *std::max_element(resampled.values().begin(), resampled.values().end());
+  }
+
+  std::string out;
+  if (options.show_axes) {
+    out += StrFormat("%10.4g +", hi);
+    out += grid[0] + "\n";
+    for (size_t r = 1; r < height; ++r) {
+      out += std::string(10, ' ') + (r + 1 == height ? "+" : "|") + grid[r] + "\n";
+    }
+    out += StrFormat("%10.4g  ", lo);
+    out += baseline + "\n";
+    if (!resampled.empty()) {
+      out += std::string(11, ' ') +
+             StrFormat("t: [%lld .. %lld]\n",
+                       static_cast<long long>(resampled.start_time()),
+                       static_cast<long long>(resampled.end_time()));
+    }
+  } else {
+    for (const std::string& row : grid) out += row + "\n";
+    if (!annotations.empty()) out += baseline + "\n";
+  }
+  return out;
+}
+
+std::string RenderSparkline(const TimeSeries& series, size_t width) {
+  static const char* kLevels[] = {"▁", "▂", "▃", "▄",
+                                  "▅", "▆", "▇", "█"};
+  if (series.empty() || width == 0) return "";
+  const TimeSeries resampled = series.Resample(width);
+  double lo = *std::min_element(resampled.values().begin(), resampled.values().end());
+  double hi = *std::max_element(resampled.values().begin(), resampled.values().end());
+  const double span = hi - lo;
+  std::string out;
+  for (double v : resampled.values()) {
+    const double frac = span > 0 ? (v - lo) / span : 0.5;
+    const int level = std::clamp(static_cast<int>(frac * 7.999), 0, 7);
+    out += kLevels[level];
+  }
+  return out;
+}
+
+}  // namespace exstream

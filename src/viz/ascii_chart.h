@@ -1,0 +1,38 @@
+// Text rendering of monitored series — the visualization module of the
+// architecture (Fig. 18) for terminal dashboards, examples, and benches.
+
+#pragma once
+
+#include <string>
+
+#include "event/event.h"
+#include "ts/time_series.h"
+
+namespace exstream {
+
+/// \brief Rendering options for RenderSeries.
+struct ChartOptions {
+  size_t width = 72;      ///< character columns of the plot area
+  size_t height = 12;     ///< character rows of the plot area
+  char mark = '*';        ///< data-point glyph
+  bool show_axes = true;  ///< draw the frame and min/max labels
+};
+
+/// \brief Renders a time series as an ASCII chart (time on X, value on Y).
+///
+/// The series is resampled to the chart width; an empty series renders an
+/// empty frame. Returns a multi-line string ending in '\n'.
+std::string RenderSeries(const TimeSeries& series, const ChartOptions& options = {});
+
+/// \brief Renders a series with one or more highlighted time intervals (the
+/// annotation rectangles of Fig. 4): columns inside an interval use
+/// `highlight_mark` on the baseline row.
+std::string RenderAnnotatedSeries(const TimeSeries& series,
+                                  const std::vector<TimeInterval>& annotations,
+                                  const ChartOptions& options = {},
+                                  char highlight_mark = '#');
+
+/// \brief One-line sparkline using block glyphs (8 levels), `width` columns.
+std::string RenderSparkline(const TimeSeries& series, size_t width = 60);
+
+}  // namespace exstream

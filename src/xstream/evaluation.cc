@@ -1,0 +1,218 @@
+#include "xstream/evaluation.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+#include "common/stats.h"
+#include "explain/correlation_filter.h"
+#include "ml/data_fusion.h"
+#include "ml/decision_tree.h"
+#include "ml/logistic_regression.h"
+#include "ml/majority_vote.h"
+#include "ml/metrics.h"
+
+namespace exstream {
+
+namespace {
+
+// Builds the labeled dataset for one annotation (train or test).
+Result<Dataset> DatasetForAnnotation(const FeatureBuilder& builder,
+                                     const std::vector<FeatureSpec>& specs,
+                                     const AnomalyAnnotation& annotation) {
+  EXSTREAM_ASSIGN_OR_RETURN(std::vector<Feature> abnormal,
+                            builder.Build(specs, annotation.abnormal.range));
+  EXSTREAM_ASSIGN_OR_RETURN(std::vector<Feature> reference,
+                            builder.Build(specs, annotation.reference.range));
+  return BuildDataset(abnormal, reference, /*samples_per_interval=*/64);
+}
+
+// Evaluates an explanation as a predictor over a labeled dataset.
+double ExplanationPredictionF1(const Explanation& explanation, const Dataset& test) {
+  std::vector<int> predictions;
+  predictions.reserve(test.num_rows());
+  std::map<std::string, double> row_values;
+  for (const auto& row : test.rows) {
+    row_values.clear();
+    for (size_t f = 0; f < test.num_features(); ++f) {
+      row_values[test.feature_names[f]] = row[f];
+    }
+    predictions.push_back(explanation.Eval(row_values) ? 1 : 0);
+  }
+  return EvaluatePredictions(test.labels, predictions).F1();
+}
+
+// Number of correlation clusters among the ground-truth signals, for the
+// Fig. 15 "ground truth cluster" series: materialize one representative
+// feature per signal over the annotated intervals and cluster them.
+Result<size_t> GroundTruthClusters(const WorkloadRun& run,
+                                   const std::vector<RankedFeature>& ranked) {
+  std::vector<RankedFeature> truth_features;
+  for (const std::string& signal : run.ground_truth) {
+    for (const RankedFeature& f : ranked) {
+      if (SameUnderlyingSignal(f.spec.Name(), signal)) {
+        truth_features.push_back(f);
+        break;  // ranked is reward-sorted: first match is the best aggregate
+      }
+    }
+  }
+  if (truth_features.empty()) return size_t{0};
+  const CorrelationFilterResult clusters = CorrelationClusterFilter(truth_features);
+  return static_cast<size_t>(clusters.num_clusters);
+}
+
+}  // namespace
+
+// Cluster-aware consistency for XStream-cluster (Fig. 14): Step 3 keeps one
+// representative per correlation cluster, so a representative "covers" any
+// ground-truth feature living in its cluster — the same equivalence Fig. 15
+// applies when it compares explanation sizes against the *clustered* ground
+// truth.
+double ClusterAwareConsistency(const ExplanationReport& report,
+                               const std::vector<std::string>& ground_truth) {
+  if (report.final_features.empty() || ground_truth.empty()) {
+    return report.final_features.empty() && ground_truth.empty() ? 1.0 : 0.0;
+  }
+  const auto& features = report.after_validation;
+  const auto& labels = report.clustering.cluster_labels;
+
+  // Clusters that contain at least one ground-truth-signal feature.
+  std::vector<int> truth_clusters;
+  for (size_t i = 0; i < features.size() && i < labels.size(); ++i) {
+    for (const std::string& g : ground_truth) {
+      if (SameUnderlyingSignal(features[i].spec.Name(), g)) {
+        truth_clusters.push_back(labels[i]);
+        break;
+      }
+    }
+  }
+  auto is_truth_cluster = [&](int c) {
+    return std::find(truth_clusters.begin(), truth_clusters.end(), c) !=
+           truth_clusters.end();
+  };
+
+  // Precision: selected representatives whose cluster holds a truth feature.
+  size_t tp_selected = 0;
+  for (const RankedFeature& rep : report.final_features) {
+    for (size_t i = 0; i < features.size(); ++i) {
+      if (features[i].spec.Name() == rep.spec.Name()) {
+        if (is_truth_cluster(labels[i])) ++tp_selected;
+        break;
+      }
+    }
+  }
+  // Recall: truth signals whose cluster got a selected representative. Step 3
+  // selects one representative per cluster, so a truth signal is covered iff
+  // it survived into after_validation at all.
+  size_t covered = 0;
+  for (const std::string& g : ground_truth) {
+    for (size_t i = 0; i < features.size() && i < labels.size(); ++i) {
+      if (SameUnderlyingSignal(features[i].spec.Name(), g)) {
+        ++covered;
+        break;
+      }
+    }
+  }
+  const double precision = static_cast<double>(tp_selected) /
+                           static_cast<double>(report.final_features.size());
+  const double recall =
+      static_cast<double>(covered) / static_cast<double>(ground_truth.size());
+  return FMeasure(precision, recall);
+}
+
+namespace {
+
+MethodResult ScoreMethod(const std::string& name, std::vector<std::string> selected,
+                         double prediction_f1,
+                         const std::vector<std::string>& ground_truth) {
+  MethodResult r;
+  r.method = name;
+  r.selected = std::move(selected);
+  r.explanation_size = r.selected.size();
+  r.consistency = ExplanationConsistency(r.selected, ground_truth);
+  r.prediction_f1 = prediction_f1;
+  return r;
+}
+
+}  // namespace
+
+Result<MethodComparison> CompareMethods(const WorkloadRun& run) {
+  MethodComparison out;
+
+  const FeatureSpaceOptions fs_options = run.FeatureSpace();
+  const std::vector<FeatureSpec> specs =
+      GenerateFeatureSpecs(*run.registry, fs_options);
+  out.feature_space_size = specs.size();
+  out.ground_truth_size = run.ground_truth.size();
+
+  FeatureBuilder builder(run.archive.get());
+  EXSTREAM_ASSIGN_OR_RETURN(Dataset train,
+                            DatasetForAnnotation(builder, specs, run.annotation));
+  EXSTREAM_ASSIGN_OR_RETURN(Dataset test,
+                            DatasetForAnnotation(builder, specs, run.test_annotation));
+
+  // --- XStream (no Step-3 clustering) and XStream-cluster (full) -----------
+  for (const bool clustering : {false, true}) {
+    ExplainOptions options = run.DefaultExplainOptions();
+    options.enable_clustering = clustering;
+    ExplanationEngine engine = run.MakeExplanationEngine(options);
+    EXSTREAM_ASSIGN_OR_RETURN(ExplanationReport report, engine.Explain(run.annotation));
+    const double f1 = ExplanationPredictionF1(report.explanation, test);
+    MethodResult result = ScoreMethod(
+        clustering ? kMethodXStreamCluster : kMethodXStream,
+        report.SelectedFeatureNames(), f1, run.ground_truth);
+    if (clustering) {
+      result.consistency = ClusterAwareConsistency(report, run.ground_truth);
+    } else {
+      EXSTREAM_ASSIGN_OR_RETURN(out.ground_truth_clusters,
+                                GroundTruthClusters(run, report.ranked));
+    }
+    out.results.push_back(std::move(result));
+  }
+
+  // --- Logistic regression --------------------------------------------------
+  {
+    EXSTREAM_ASSIGN_OR_RETURN(const LogisticRegression model,
+                              LogisticRegression::Fit(train));
+    const double f1 = EvaluatePredictions(test.labels, model.Predict(test)).F1();
+    out.results.push_back(
+        ScoreMethod(kMethodLogReg, model.SelectedFeatures(), f1, run.ground_truth));
+  }
+
+  // --- Decision tree ---------------------------------------------------------
+  {
+    EXSTREAM_ASSIGN_OR_RETURN(const DecisionTree model, DecisionTree::Fit(train));
+    const double f1 = EvaluatePredictions(test.labels, model.Predict(test)).F1();
+    out.results.push_back(
+        ScoreMethod(kMethodDTree, model.SelectedFeatures(), f1, run.ground_truth));
+  }
+
+  // --- Majority voting -------------------------------------------------------
+  {
+    EXSTREAM_ASSIGN_OR_RETURN(const MajorityVote model, MajorityVote::Fit(train));
+    const double f1 = EvaluatePredictions(test.labels, model.Predict(test)).F1();
+    out.results.push_back(
+        ScoreMethod(kMethodVote, model.SelectedFeatures(), f1, run.ground_truth));
+  }
+
+  // --- Data fusion -----------------------------------------------------------
+  {
+    EXSTREAM_ASSIGN_OR_RETURN(const DataFusion model, DataFusion::Fit(train));
+    const double f1 = EvaluatePredictions(test.labels, model.Predict(test)).F1();
+    out.results.push_back(
+        ScoreMethod(kMethodFusion, model.SelectedFeatures(), f1, run.ground_truth));
+  }
+
+  return out;
+}
+
+const MethodResult& FindMethod(const MethodComparison& cmp, const std::string& name) {
+  for (const MethodResult& r : cmp.results) {
+    if (r.method == name) return r;
+  }
+  assert(false && "unknown method name");
+  static const MethodResult kEmpty;
+  return kEmpty;
+}
+
+}  // namespace exstream

@@ -1,0 +1,58 @@
+// Method-comparison evaluation shared by the Fig. 14/15/16 (Hadoop) and
+// Fig. 22/23/24 (supply chain) benchmark harnesses.
+//
+// Runs XStream (without Step 3), XStream-cluster (full pipeline), logistic
+// regression, decision tree, majority voting, and data fusion on one
+// workload, measuring consistency, conciseness, and prediction power exactly
+// as Sec. 6.2 defines them.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sim/workloads.h"
+
+namespace exstream {
+
+/// \brief One method's scores on one workload.
+struct MethodResult {
+  std::string method;
+  std::vector<std::string> selected;  ///< selected/explanation features
+  size_t explanation_size = 0;        ///< conciseness, Fig. 15 (|selected|)
+  double consistency = 0.0;           ///< F-measure vs ground truth, Fig. 14
+  double prediction_f1 = 0.0;         ///< F-measure on held-out data, Fig. 16
+};
+
+/// \brief All methods' scores plus workload-level context.
+struct MethodComparison {
+  std::vector<MethodResult> results;
+  size_t feature_space_size = 0;
+  size_t ground_truth_size = 0;
+  size_t ground_truth_clusters = 0;  ///< Fig. 15's "ground truth cluster" bar
+};
+
+/// Canonical method names, in the order benches print them.
+inline constexpr const char* kMethodXStream = "XStream";
+inline constexpr const char* kMethodXStreamCluster = "XStream-cluster";
+inline constexpr const char* kMethodLogReg = "logistic-regression";
+inline constexpr const char* kMethodDTree = "decision-tree";
+inline constexpr const char* kMethodVote = "majority-voting";
+inline constexpr const char* kMethodFusion = "data-fusion";
+
+/// \brief Runs every method on the workload's train annotation and scores it
+/// on the held-out test annotation.
+Result<MethodComparison> CompareMethods(const WorkloadRun& run);
+
+/// \brief Finds a MethodResult by name; dies if absent (bench-side helper).
+const MethodResult& FindMethod(const MethodComparison& cmp, const std::string& name);
+
+/// \brief Cluster-aware consistency for explanations produced with Step 3
+/// enabled: a selected representative covers any ground-truth feature living
+/// in its correlation cluster (the same equivalence Fig. 15 applies when it
+/// compares sizes against the clustered ground truth).
+double ClusterAwareConsistency(const ExplanationReport& report,
+                               const std::vector<std::string>& ground_truth);
+
+}  // namespace exstream

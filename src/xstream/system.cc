@@ -1,0 +1,83 @@
+#include "xstream/system.h"
+
+#include "common/stopwatch.h"
+
+namespace exstream {
+
+XStreamSystem::XStreamSystem(const EventTypeRegistry* registry, XStreamConfig config)
+    : registry_(registry),
+      config_(std::move(config)),
+      archive_(registry, config_.archive),
+      engine_(registry),
+      idle_latency_(0.0, config_.latency_histogram_max, 64),
+      busy_latency_(0.0, config_.latency_histogram_max, 64) {}
+
+Result<QueryId> XStreamSystem::AddQuery(std::string_view text, std::string name) {
+  return engine_.AddQueryText(text, std::move(name));
+}
+
+void XStreamSystem::OnEvent(const Event& event) {
+  Stopwatch timer;
+  engine_.OnEvent(event);
+  archive_.OnEvent(event);
+  const double elapsed = timer.ElapsedSeconds();
+  if (explanation_active_.load(std::memory_order_relaxed)) {
+    busy_latency_.Add(elapsed);
+  } else {
+    idle_latency_.Add(elapsed);
+  }
+}
+
+Status XStreamSystem::IndexPartitions(QueryId query,
+                                      std::map<std::string, std::string> dimensions) {
+  const MatchTable& matches = engine_.match_table(query);
+  const std::string& query_name = engine_.compiled(query).query().name;
+  for (const std::string& partition : matches.Partitions()) {
+    const std::vector<MatchRow> rows = matches.Rows(partition);
+    if (rows.empty()) continue;
+    PartitionRecord rec;
+    rec.query_name = query_name;
+    rec.partition = partition;
+    rec.dimensions = dimensions;
+    rec.start_ts = rows.front().ts;
+    rec.end_ts = rows.back().ts;
+    rec.num_points = rows.size();
+    partitions_.Upsert(std::move(rec));
+  }
+  return Status::OK();
+}
+
+SeriesProvider XStreamSystem::MakeSeriesProvider(QueryId query,
+                                                 std::string column) const {
+  const CepEngine* engine_ptr = &engine_;
+  const std::string query_name = engine_.compiled(query).query().name;
+  return [engine_ptr, query, query_name, column](
+             const std::string& q, const std::string& partition) -> Result<TimeSeries> {
+    if (q != query_name) {
+      return Status::NotFound("no monitored series for query '" + q + "'");
+    }
+    return engine_ptr->match_table(query).ExtractSeries(partition, column);
+  };
+}
+
+Result<ExplanationReport> XStreamSystem::Explain(const AnomalyAnnotation& annotation,
+                                                 QueryId monitor_query,
+                                                 const std::string& column) {
+  ExplanationEngine explainer(&archive_, &partitions_,
+                              MakeSeriesProvider(monitor_query, column),
+                              config_.explain);
+  explanation_active_.store(true);
+  auto result = explainer.Explain(annotation);
+  explanation_active_.store(false);
+  return result;
+}
+
+std::future<Result<ExplanationReport>> XStreamSystem::ExplainAsync(
+    const AnomalyAnnotation& annotation, QueryId monitor_query,
+    const std::string& column) {
+  return std::async(std::launch::async, [this, annotation, monitor_query, column] {
+    return Explain(annotation, monitor_query, column);
+  });
+}
+
+}  // namespace exstream

@@ -1,0 +1,90 @@
+// XStreamSystem: the integrated architecture of Fig. 1(c) / Fig. 18.
+//
+//   data source -> CEP engine -> visualization (match tables)
+//                -> archive  -> explanation engine (triggered by annotation)
+//
+// Events stream through OnEvent into both the CEP engine and the archive;
+// per-event processing latency is tracked so the Appendix-C efficiency
+// experiments can quantify how much a concurrently running explanation
+// analysis delays monitoring.
+
+#pragma once
+
+#include <future>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "archive/archive.h"
+#include "cep/engine.h"
+#include "common/histogram.h"
+#include "explain/engine.h"
+#include "explain/partition_table.h"
+#include "event/stream.h"
+
+namespace exstream {
+
+/// \brief System-level configuration.
+struct XStreamConfig {
+  ArchiveOptions archive;
+  ExplainOptions explain;
+  /// Latency histogram range (seconds).
+  double latency_histogram_max = 0.1;
+};
+
+/// \brief The full CEP-monitoring + explanation system.
+class XStreamSystem : public EventSink {
+ public:
+  XStreamSystem(const EventTypeRegistry* registry, XStreamConfig config = {});
+
+  /// Registers a monitoring query (Fig. 3 syntax).
+  Result<QueryId> AddQuery(std::string_view text, std::string name);
+
+  /// EventSink: routes one event through the engine and the archive,
+  /// recording its processing latency.
+  void OnEvent(const Event& event) override;
+
+  CepEngine& engine() { return engine_; }
+  const CepEngine& engine() const { return engine_; }
+  EventArchive& archive() { return archive_; }
+  PartitionTable& partitions() { return partitions_; }
+
+  /// Rebuilds partition-table records from a query's match table.
+  Status IndexPartitions(QueryId query, std::map<std::string, std::string> dimensions);
+
+  /// Monitored-series provider over one query's match table.
+  SeriesProvider MakeSeriesProvider(QueryId query, std::string column) const;
+
+  /// \brief Runs the explanation pipeline synchronously.
+  ///
+  /// \param annotation the user's I_A / I_R annotation
+  /// \param monitor_query the query whose visualization was annotated
+  /// \param column the visualized derived attribute
+  Result<ExplanationReport> Explain(const AnomalyAnnotation& annotation,
+                                    QueryId monitor_query, const std::string& column);
+
+  /// Same, on a background thread — monitoring keeps running (Appendix C).
+  std::future<Result<ExplanationReport>> ExplainAsync(
+      const AnomalyAnnotation& annotation, QueryId monitor_query,
+      const std::string& column);
+
+  /// True while a background explanation is executing.
+  bool explanation_active() const { return explanation_active_.load(); }
+
+  /// Per-event processing latency while no explanation was running.
+  const Histogram& idle_latency() const { return idle_latency_; }
+  /// Per-event processing latency while an explanation was running.
+  const Histogram& busy_latency() const { return busy_latency_; }
+
+ private:
+  const EventTypeRegistry* registry_;  // not owned
+  XStreamConfig config_;
+  EventArchive archive_;
+  CepEngine engine_;
+  PartitionTable partitions_;
+  std::atomic<bool> explanation_active_{false};
+  Histogram idle_latency_;
+  Histogram busy_latency_;
+};
+
+}  // namespace exstream

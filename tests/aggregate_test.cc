@@ -1,0 +1,146 @@
+#include "ts/aggregate.h"
+
+#include <gtest/gtest.h>
+
+namespace exstream {
+namespace {
+
+TimeSeries Ramp(Timestamp start, Timestamp end, Timestamp step = 1) {
+  TimeSeries s;
+  for (Timestamp t = start; t < end; t += step) {
+    (void)s.Append(t, static_cast<double>(t));
+  }
+  return s;
+}
+
+TEST(AggregateTest, KindStringsRoundTrip) {
+  for (AggregateKind k : {AggregateKind::kRaw, AggregateKind::kMean,
+                          AggregateKind::kSum, AggregateKind::kCount,
+                          AggregateKind::kMin, AggregateKind::kMax,
+                          AggregateKind::kStdDev}) {
+    auto parsed = AggregateKindFromString(AggregateKindToString(k));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, k);
+  }
+  EXPECT_FALSE(AggregateKindFromString("bogus").ok());
+}
+
+TEST(AggregateTest, RawIsIdentity) {
+  const TimeSeries s = Ramp(0, 5);
+  auto out = ApplyWindowAggregate(s, AggregateKind::kRaw, 10);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), s.size());
+}
+
+TEST(AggregateTest, TumblingMean) {
+  // Values 0..9 at t=0..9; window 5 -> [0,5): mean 2, [5,10): mean 7.
+  const TimeSeries s = Ramp(0, 10);
+  auto out = ApplyWindowAggregate(s, AggregateKind::kMean, 5);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 2u);
+  EXPECT_DOUBLE_EQ(out->value(0), 2.0);
+  EXPECT_DOUBLE_EQ(out->value(1), 7.0);
+  EXPECT_EQ(out->time(0), 5);   // stamped with window end
+  EXPECT_EQ(out->time(1), 10);
+}
+
+TEST(AggregateTest, CountAndSum) {
+  const TimeSeries s = Ramp(0, 10);
+  auto count = ApplyWindowAggregate(s, AggregateKind::kCount, 5);
+  ASSERT_TRUE(count.ok());
+  EXPECT_DOUBLE_EQ(count->value(0), 5.0);
+  auto sum = ApplyWindowAggregate(s, AggregateKind::kSum, 5);
+  ASSERT_TRUE(sum.ok());
+  EXPECT_DOUBLE_EQ(sum->value(0), 0 + 1 + 2 + 3 + 4);
+  EXPECT_DOUBLE_EQ(sum->value(1), 5 + 6 + 7 + 8 + 9);
+}
+
+TEST(AggregateTest, MinMaxStdDev) {
+  TimeSeries s;
+  for (Timestamp t = 0; t < 4; ++t) (void)s.Append(t, t == 2 ? -5.0 : 3.0);
+  auto mn = ApplyWindowAggregate(s, AggregateKind::kMin, 10);
+  auto mx = ApplyWindowAggregate(s, AggregateKind::kMax, 10);
+  ASSERT_TRUE(mn.ok());
+  ASSERT_TRUE(mx.ok());
+  EXPECT_DOUBLE_EQ(mn->value(0), -5.0);
+  EXPECT_DOUBLE_EQ(mx->value(0), 3.0);
+  auto sd = ApplyWindowAggregate(s, AggregateKind::kStdDev, 10);
+  ASSERT_TRUE(sd.ok());
+  EXPECT_GT(sd->value(0), 0.0);
+}
+
+TEST(AggregateTest, SlidingWindowsOverlap) {
+  // Window 4, slide 2 over t=0..7 -> windows [0,4),[2,6),[4,8),[6,10) ...
+  const TimeSeries s = Ramp(0, 8);
+  auto out = ApplyWindowAggregate(s, AggregateKind::kCount, 4, 2);
+  ASSERT_TRUE(out.ok());
+  ASSERT_GE(out->size(), 3u);
+  EXPECT_DOUBLE_EQ(out->value(0), 4.0);
+  EXPECT_DOUBLE_EQ(out->value(1), 4.0);
+}
+
+TEST(AggregateTest, SparseInputSkipsEmptyWindowsExceptCount) {
+  TimeSeries s;
+  (void)s.Append(0, 1.0);
+  (void)s.Append(100, 2.0);
+  auto mean = ApplyWindowAggregate(s, AggregateKind::kMean, 10);
+  ASSERT_TRUE(mean.ok());
+  EXPECT_EQ(mean->size(), 2u);  // only the two non-empty windows
+  auto count = ApplyWindowAggregate(s, AggregateKind::kCount, 10);
+  ASSERT_TRUE(count.ok());
+  EXPECT_GT(count->size(), 2u);  // zero-count windows included
+  EXPECT_DOUBLE_EQ(count->value(1), 0.0);
+}
+
+TEST(AggregateTest, InvalidWindowRejected) {
+  const TimeSeries s = Ramp(0, 4);
+  EXPECT_FALSE(ApplyWindowAggregate(s, AggregateKind::kMean, 0).ok());
+  EXPECT_FALSE(ApplyWindowAggregate(s, AggregateKind::kMean, 5, -1).ok());
+}
+
+TEST(AggregateTest, EmptyInputYieldsEmptyOutput) {
+  auto out = ApplyWindowAggregate(TimeSeries(), AggregateKind::kMean, 5);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->empty());
+}
+
+// Parameterized: for every aggregate kind, a constant series aggregates to
+// predictable values in every window.
+class AggregateKindTest : public ::testing::TestWithParam<AggregateKind> {};
+
+TEST_P(AggregateKindTest, ConstantSeries) {
+  TimeSeries s;
+  for (Timestamp t = 0; t < 20; ++t) (void)s.Append(t, 7.0);
+  auto out = ApplyWindowAggregate(s, GetParam(), 5);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 4u);
+  for (size_t i = 0; i < out->size(); ++i) {
+    switch (GetParam()) {
+      case AggregateKind::kMean:
+      case AggregateKind::kMin:
+      case AggregateKind::kMax:
+        EXPECT_DOUBLE_EQ(out->value(i), 7.0);
+        break;
+      case AggregateKind::kSum:
+        EXPECT_DOUBLE_EQ(out->value(i), 35.0);
+        break;
+      case AggregateKind::kCount:
+        EXPECT_DOUBLE_EQ(out->value(i), 5.0);
+        break;
+      case AggregateKind::kStdDev:
+        EXPECT_DOUBLE_EQ(out->value(i), 0.0);
+        break;
+      case AggregateKind::kRaw:
+        break;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, AggregateKindTest,
+                         ::testing::Values(AggregateKind::kMean, AggregateKind::kSum,
+                                           AggregateKind::kCount, AggregateKind::kMin,
+                                           AggregateKind::kMax,
+                                           AggregateKind::kStdDev));
+
+}  // namespace
+}  // namespace exstream

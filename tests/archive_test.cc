@@ -1,0 +1,168 @@
+#include "archive/archive.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "archive/serialization.h"
+#include "common/rng.h"
+
+namespace exstream {
+namespace {
+
+class ArchiveTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(registry_.Register(EventSchema("A", {{"x", ValueType::kDouble}})).ok());
+    ASSERT_TRUE(registry_.Register(EventSchema("B", {{"y", ValueType::kInt64}})).ok());
+  }
+
+  Event MakeA(Timestamp ts, double x) { return Event(0, ts, {Value(x)}); }
+  Event MakeB(Timestamp ts, int64_t y) { return Event(1, ts, {Value(y)}); }
+
+  EventTypeRegistry registry_;
+};
+
+TEST_F(ArchiveTest, AppendAndScan) {
+  EventArchive archive(&registry_);
+  for (Timestamp t = 0; t < 100; ++t) {
+    ASSERT_TRUE(archive.Append(MakeA(t, t * 1.0)).ok());
+  }
+  auto events = archive.Scan(0, {10, 19});
+  ASSERT_TRUE(events.ok());
+  ASSERT_EQ(events->size(), 10u);
+  EXPECT_EQ((*events)[0].ts, 10);
+  EXPECT_EQ((*events)[9].ts, 19);
+}
+
+TEST_F(ArchiveTest, ScanRespectsType) {
+  EventArchive archive(&registry_);
+  ASSERT_TRUE(archive.Append(MakeA(1, 1)).ok());
+  ASSERT_TRUE(archive.Append(MakeB(1, 2)).ok());
+  auto a = archive.Scan(0, {0, 10});
+  auto b = archive.Scan(1, {0, 10});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->size(), 1u);
+  EXPECT_EQ(b->size(), 1u);
+  EXPECT_EQ((*b)[0].values[0].AsInt64(), 2);
+}
+
+TEST_F(ArchiveTest, ChunkBoundaries) {
+  ArchiveOptions options;
+  options.chunk_capacity = 16;
+  EventArchive archive(&registry_, options);
+  for (Timestamp t = 0; t < 100; ++t) {
+    ASSERT_TRUE(archive.Append(MakeA(t, 0)).ok());
+  }
+  EXPECT_EQ(archive.CountEvents(0), 100u);
+  EXPECT_EQ(archive.NumChunks(0), 100u / 16 + 1);
+  // A scan crossing several chunk boundaries returns all matching events.
+  auto events = archive.Scan(0, {10, 60});
+  ASSERT_TRUE(events.ok());
+  EXPECT_EQ(events->size(), 51u);
+}
+
+TEST_F(ArchiveTest, OutOfOrderEventCountsAsError) {
+  EventArchive archive(&registry_);
+  ASSERT_TRUE(archive.Append(MakeA(10, 0)).ok());
+  EXPECT_FALSE(archive.Append(MakeA(5, 0)).ok());
+  archive.OnEvent(MakeA(3, 0));  // swallowed, counted
+  EXPECT_EQ(archive.append_errors(), 1u);
+}
+
+TEST_F(ArchiveTest, UnknownTypeRejected) {
+  EventArchive archive(&registry_);
+  Event bogus(57, 0, {});
+  EXPECT_FALSE(archive.Append(bogus).ok());
+  EXPECT_FALSE(archive.Scan(57, {0, 1}).ok());
+}
+
+TEST_F(ArchiveTest, ScanAllGroupsByType) {
+  EventArchive archive(&registry_);
+  ASSERT_TRUE(archive.Append(MakeA(1, 0)).ok());
+  ASSERT_TRUE(archive.Append(MakeB(2, 0)).ok());
+  auto all = archive.ScanAll({0, 10});
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->size(), 2u);
+  EXPECT_EQ((*all)[0].size(), 1u);
+  EXPECT_EQ((*all)[1].size(), 1u);
+  EXPECT_EQ(archive.TotalEvents(), 2u);
+}
+
+TEST_F(ArchiveTest, SpillToDiskAndReload) {
+  char tmpl[] = "/tmp/exstream_spill_XXXXXX";
+  ASSERT_NE(mkdtemp(tmpl), nullptr);
+  ArchiveOptions options;
+  options.chunk_capacity = 8;
+  options.spill_dir = std::string(tmpl);
+  options.max_resident_chunks = 2;
+  EventArchive archive(&registry_, options);
+  for (Timestamp t = 0; t < 200; ++t) {
+    ASSERT_TRUE(archive.Append(MakeA(t, t * 0.5)).ok());
+  }
+  // Scans transparently reload spilled chunks.
+  auto events = archive.Scan(0, {0, 199});
+  ASSERT_TRUE(events.ok());
+  ASSERT_EQ(events->size(), 200u);
+  EXPECT_DOUBLE_EQ((*events)[100].values[0].AsDouble(), 50.0);
+}
+
+TEST(SerializationTest, RoundTripAllTypes) {
+  std::vector<Event> events;
+  events.emplace_back(0, 10,
+                      std::vector<Value>{Value(int64_t{-3}), Value(2.75),
+                                         Value("hello world")});
+  events.emplace_back(5, 20, std::vector<Value>{});
+  const std::string data = SerializeEvents(events);
+  auto parsed = DeserializeEvents(data);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ((*parsed)[0].type, 0u);
+  EXPECT_EQ((*parsed)[0].ts, 10);
+  EXPECT_EQ((*parsed)[0].values[0].AsInt64(), -3);
+  EXPECT_DOUBLE_EQ((*parsed)[0].values[1].AsDouble(), 2.75);
+  EXPECT_EQ((*parsed)[0].values[2].AsString(), "hello world");
+  EXPECT_EQ((*parsed)[1].type, 5u);
+  EXPECT_TRUE((*parsed)[1].values.empty());
+}
+
+TEST(SerializationTest, CorruptionDetected) {
+  std::vector<Event> events;
+  events.emplace_back(0, 1, std::vector<Value>{Value(1.0)});
+  std::string data = SerializeEvents(events);
+  // Bad magic.
+  std::string bad_magic = data;
+  bad_magic[0] = 'x';
+  EXPECT_FALSE(DeserializeEvents(bad_magic).ok());
+  // Truncation.
+  EXPECT_FALSE(DeserializeEvents(std::string_view(data).substr(0, data.size() - 3)).ok());
+  // Trailing garbage.
+  EXPECT_FALSE(DeserializeEvents(data + "zz").ok());
+}
+
+TEST(SerializationTest, FileRoundTrip) {
+  char tmpl[] = "/tmp/exstream_file_XXXXXX";
+  ASSERT_NE(mkdtemp(tmpl), nullptr);
+  const std::string path = std::string(tmpl) + "/events.bin";
+  std::vector<Event> events;
+  Rng rng(9);
+  for (Timestamp t = 0; t < 64; ++t) {
+    events.emplace_back(0, t, std::vector<Value>{Value(rng.Gaussian(0, 1))});
+  }
+  ASSERT_TRUE(WriteEventsFile(path, events).ok());
+  auto loaded = ReadEventsFile(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), 64u);
+  for (size_t i = 0; i < 64; ++i) {
+    EXPECT_DOUBLE_EQ((*loaded)[i].values[0].AsDouble(),
+                     events[i].values[0].AsDouble());
+  }
+}
+
+TEST(SerializationTest, MissingFileErrors) {
+  EXPECT_TRUE(ReadEventsFile("/nonexistent/path.bin").status().IsIOError());
+}
+
+}  // namespace
+}  // namespace exstream

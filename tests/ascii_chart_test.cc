@@ -1,0 +1,90 @@
+#include "viz/ascii_chart.h"
+
+#include <gtest/gtest.h>
+
+namespace exstream {
+namespace {
+
+TimeSeries Ramp(size_t n) {
+  TimeSeries s;
+  for (size_t i = 0; i < n; ++i) {
+    (void)s.Append(static_cast<Timestamp>(i * 10), static_cast<double>(i));
+  }
+  return s;
+}
+
+TEST(AsciiChartTest, RendersFrameAndLabels) {
+  ChartOptions options;
+  options.width = 20;
+  options.height = 5;
+  const std::string chart = RenderSeries(Ramp(50), options);
+  // Max label on the first line, min on the last value line.
+  EXPECT_NE(chart.find("49"), std::string::npos);
+  EXPECT_NE(chart.find("0"), std::string::npos);
+  EXPECT_NE(chart.find("t: [0 .. 490]"), std::string::npos);
+  // Ramp: the first column's mark is at the bottom row, the last at the top.
+  const size_t first_line_end = chart.find('\n');
+  const std::string top = chart.substr(0, first_line_end);
+  EXPECT_EQ(top.back(), '*');  // top-right: maximum of an increasing ramp
+}
+
+TEST(AsciiChartTest, EmptySeriesRendersEmptyFrame) {
+  const std::string chart = RenderSeries(TimeSeries());
+  EXPECT_FALSE(chart.empty());
+  EXPECT_EQ(chart.find('*'), std::string::npos);
+}
+
+TEST(AsciiChartTest, ConstantSeriesCentersPoints) {
+  TimeSeries s;
+  for (int i = 0; i < 10; ++i) (void)s.Append(i, 5.0);
+  ChartOptions options;
+  options.width = 10;
+  options.height = 5;
+  options.show_axes = false;
+  const std::string chart = RenderSeries(s, options);
+  // All marks on one (middle) row.
+  size_t rows_with_marks = 0;
+  size_t pos = 0;
+  for (size_t line = 0; line < 5; ++line) {
+    const size_t end = chart.find('\n', pos);
+    if (chart.substr(pos, end - pos).find('*') != std::string::npos) {
+      ++rows_with_marks;
+    }
+    pos = end + 1;
+  }
+  EXPECT_EQ(rows_with_marks, 1u);
+}
+
+TEST(AsciiChartTest, AnnotationHighlightsColumns) {
+  ChartOptions options;
+  options.width = 20;
+  options.height = 4;
+  const std::string chart =
+      RenderAnnotatedSeries(Ramp(50), {{100, 200}}, options, '#');
+  EXPECT_NE(chart.find('#'), std::string::npos);
+  // The highlight covers roughly (200-100)/490 of 20 columns ~ 4-5 cells.
+  const size_t count = static_cast<size_t>(
+      std::count(chart.begin(), chart.end(), '#'));
+  EXPECT_GE(count, 3u);
+  EXPECT_LE(count, 7u);
+}
+
+TEST(AsciiChartTest, SparklineLevels) {
+  const std::string spark = RenderSparkline(Ramp(100), 8);
+  EXPECT_FALSE(spark.empty());
+  // Starts at the lowest glyph and ends at the highest.
+  EXPECT_EQ(spark.substr(0, 3), "▁");
+  EXPECT_EQ(spark.substr(spark.size() - 3), "█");
+  EXPECT_TRUE(RenderSparkline(TimeSeries(), 8).empty());
+}
+
+TEST(AsciiChartTest, MinimumDimensionsClamped) {
+  ChartOptions options;
+  options.width = 1;
+  options.height = 1;
+  const std::string chart = RenderSeries(Ramp(5), options);
+  EXPECT_FALSE(chart.empty());  // clamped to a sane minimum, no crash
+}
+
+}  // namespace
+}  // namespace exstream

@@ -1,0 +1,245 @@
+#include "cep/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "query/parser.h"
+
+namespace exstream {
+namespace {
+
+class CepEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(registry_
+                    .Register(EventSchema("JobStart", {{"jobId", ValueType::kString},
+                                                       {"node", ValueType::kInt64}}))
+                    .ok());
+    ASSERT_TRUE(registry_
+                    .Register(EventSchema("DataIO", {{"jobId", ValueType::kString},
+                                                     {"size", ValueType::kDouble}}))
+                    .ok());
+    ASSERT_TRUE(registry_
+                    .Register(EventSchema("JobEnd", {{"jobId", ValueType::kString}}))
+                    .ok());
+  }
+
+  Event Start(Timestamp ts, const char* job, int64_t node = 0) {
+    return Event(0, ts, {Value(job), Value(node)});
+  }
+  Event Io(Timestamp ts, const char* job, double size) {
+    return Event(1, ts, {Value(job), Value(size)});
+  }
+  Event End(Timestamp ts, const char* job) { return Event(2, ts, {Value(job)}); }
+
+  EventTypeRegistry registry_;
+};
+
+constexpr char kQueueQuery[] =
+    "PATTERN SEQ(JobStart a, DataIO+ b[], JobEnd c) WHERE [jobId] "
+    "RETURN (b[i].timestamp, a.jobId, sum(b[1..i].size))";
+
+TEST_F(CepEngineTest, RunningSumPerKleeneEvent) {
+  CepEngine engine(&registry_);
+  auto qid = engine.AddQueryText(kQueueQuery, "Q");
+  ASSERT_TRUE(qid.ok()) << qid.status().ToString();
+
+  engine.OnEvent(Start(0, "j1"));
+  engine.OnEvent(Io(1, "j1", 10));
+  engine.OnEvent(Io(2, "j1", 5));
+  engine.OnEvent(Io(3, "j1", -8));
+  engine.OnEvent(End(4, "j1"));
+
+  const MatchTable& table = engine.match_table(*qid);
+  auto rows = table.Rows("j1");
+  ASSERT_EQ(rows.size(), 3u);  // one row per DataIO event
+  EXPECT_DOUBLE_EQ(rows[0].values[2].AsDouble(), 10.0);
+  EXPECT_DOUBLE_EQ(rows[1].values[2].AsDouble(), 15.0);
+  EXPECT_DOUBLE_EQ(rows[2].values[2].AsDouble(), 7.0);
+  EXPECT_TRUE(table.IsComplete("j1"));
+}
+
+TEST_F(CepEngineTest, PartitionsIsolated) {
+  CepEngine engine(&registry_);
+  auto qid = engine.AddQueryText(kQueueQuery, "Q");
+  ASSERT_TRUE(qid.ok());
+
+  engine.OnEvent(Start(0, "j1"));
+  engine.OnEvent(Start(0, "j2"));
+  engine.OnEvent(Io(1, "j1", 10));
+  engine.OnEvent(Io(1, "j2", 99));
+  engine.OnEvent(End(2, "j1"));
+
+  const MatchTable& table = engine.match_table(*qid);
+  ASSERT_EQ(table.Rows("j1").size(), 1u);
+  ASSERT_EQ(table.Rows("j2").size(), 1u);
+  EXPECT_DOUBLE_EQ(table.Rows("j2")[0].values[2].AsDouble(), 99.0);
+  EXPECT_TRUE(table.IsComplete("j1"));
+  EXPECT_FALSE(table.IsComplete("j2"));
+}
+
+TEST_F(CepEngineTest, KleeneRequiresAtLeastOneEvent) {
+  CepEngine engine(&registry_);
+  auto qid = engine.AddQueryText(kQueueQuery, "Q");
+  ASSERT_TRUE(qid.ok());
+  // JobEnd directly after JobStart: the kleene-plus is unsatisfied, so the
+  // pattern must not complete.
+  engine.OnEvent(Start(0, "j1"));
+  engine.OnEvent(End(1, "j1"));
+  EXPECT_FALSE(engine.match_table(*qid).IsComplete("j1"));
+  // A full match afterwards still works (run was not corrupted).
+  engine.OnEvent(Io(2, "j1", 1));
+  engine.OnEvent(End(3, "j1"));
+  EXPECT_TRUE(engine.match_table(*qid).IsComplete("j1"));
+}
+
+TEST_F(CepEngineTest, SkipTillNextMatchIgnoresIrrelevantEvents) {
+  CepEngine engine(&registry_);
+  auto qid = engine.AddQueryText(kQueueQuery, "Q");
+  ASSERT_TRUE(qid.ok());
+  // A second JobStart mid-pattern is ignored (skip-till-next-match).
+  engine.OnEvent(Start(0, "j1"));
+  engine.OnEvent(Io(1, "j1", 3));
+  engine.OnEvent(Start(2, "j1"));
+  engine.OnEvent(Io(3, "j1", 4));
+  engine.OnEvent(End(4, "j1"));
+  auto rows = engine.match_table(*qid).Rows("j1");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(rows[1].values[2].AsDouble(), 7.0);
+}
+
+TEST_F(CepEngineTest, ConstantPredicateFiltersKleeneEvents) {
+  CepEngine engine(&registry_);
+  auto qid = engine.AddQueryText(
+      "PATTERN SEQ(JobStart a, DataIO+ b[], JobEnd c) WHERE [jobId] AND "
+      "b.size > 0 RETURN (b[i].timestamp, sum(b[1..i].size))",
+      "Q");
+  ASSERT_TRUE(qid.ok()) << qid.status().ToString();
+  engine.OnEvent(Start(0, "j1"));
+  engine.OnEvent(Io(1, "j1", 10));
+  engine.OnEvent(Io(2, "j1", -5));  // filtered out
+  engine.OnEvent(Io(3, "j1", 2));
+  engine.OnEvent(End(4, "j1"));
+  auto rows = engine.match_table(*qid).Rows("j1");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(rows[1].values[1].AsDouble(), 12.0);
+}
+
+TEST_F(CepEngineTest, AttrToAttrPredicate) {
+  CepEngine engine(&registry_);
+  // Only accept DataIO whose size is greater than the start node id.
+  auto qid = engine.AddQueryText(
+      "PATTERN SEQ(JobStart a, DataIO+ b[], JobEnd c) WHERE [jobId] AND "
+      "b.size > a.node RETURN (b[i].timestamp, count(b[1..i].size))",
+      "Q");
+  ASSERT_TRUE(qid.ok()) << qid.status().ToString();
+  engine.OnEvent(Start(0, "j1", 5));
+  engine.OnEvent(Io(1, "j1", 3));   // 3 <= 5 -> rejected
+  engine.OnEvent(Io(2, "j1", 8));   // accepted
+  engine.OnEvent(End(3, "j1"));
+  auto rows = engine.match_table(*qid).Rows("j1");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].values[1].AsInt64(), 1);
+}
+
+TEST_F(CepEngineTest, AggregateKinds) {
+  CepEngine engine(&registry_);
+  auto qid = engine.AddQueryText(
+      "PATTERN SEQ(JobStart a, DataIO+ b[], JobEnd c) WHERE [jobId] RETURN "
+      "(b[i].timestamp, sum(b[1..i].size), count(b[1..i].size), "
+      "avg(b[1..i].size), min(b[1..i].size), max(b[1..i].size))",
+      "Q");
+  ASSERT_TRUE(qid.ok()) << qid.status().ToString();
+  engine.OnEvent(Start(0, "j1"));
+  engine.OnEvent(Io(1, "j1", 4));
+  engine.OnEvent(Io(2, "j1", -2));
+  engine.OnEvent(Io(3, "j1", 10));
+  engine.OnEvent(End(4, "j1"));
+  auto rows = engine.match_table(*qid).Rows("j1");
+  ASSERT_EQ(rows.size(), 3u);
+  const MatchRow& last = rows[2];
+  EXPECT_DOUBLE_EQ(last.values[1].AsDouble(), 12.0);  // sum
+  EXPECT_EQ(last.values[2].AsInt64(), 3);             // count
+  EXPECT_DOUBLE_EQ(last.values[3].AsDouble(), 4.0);   // avg
+  EXPECT_DOUBLE_EQ(last.values[4].AsDouble(), -2.0);  // min
+  EXPECT_DOUBLE_EQ(last.values[5].AsDouble(), 10.0);  // max
+}
+
+TEST_F(CepEngineTest, SingleEventPatternEmitsOnCompletion) {
+  CepEngine engine(&registry_);
+  auto qid = engine.AddQueryText(
+      "PATTERN SEQ(JobStart a, JobEnd b) WHERE [jobId] RETURN (a.jobId)", "Q");
+  ASSERT_TRUE(qid.ok()) << qid.status().ToString();
+  engine.OnEvent(Start(0, "j1"));
+  engine.OnEvent(End(5, "j1"));
+  auto rows = engine.match_table(*qid).Rows("j1");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].ts, 5);
+  EXPECT_EQ(rows[0].values[0].AsString(), "j1");
+}
+
+TEST_F(CepEngineTest, MatchCallbackInvoked) {
+  CepEngine engine(&registry_);
+  auto qid = engine.AddQueryText(kQueueQuery, "Q");
+  ASSERT_TRUE(qid.ok());
+  std::vector<MatchNotification> notifications;
+  engine.SetMatchCallback(
+      [&](const MatchNotification& n) { notifications.push_back(n); });
+  engine.OnEvent(Start(0, "j1"));
+  engine.OnEvent(Io(1, "j1", 1));
+  engine.OnEvent(End(2, "j1"));
+  ASSERT_EQ(notifications.size(), 2u);  // one row + one completion signal
+  EXPECT_FALSE(notifications[0].complete);
+  EXPECT_TRUE(notifications[1].complete);
+  EXPECT_EQ(notifications[0].partition, "j1");
+}
+
+TEST_F(CepEngineTest, CompileErrors) {
+  CepEngine engine(&registry_);
+  // Unknown event type.
+  EXPECT_FALSE(engine.AddQueryText("PATTERN SEQ(Nope a)", "Q").ok());
+  // Unknown attribute.
+  EXPECT_FALSE(
+      engine.AddQueryText("PATTERN SEQ(JobStart a) RETURN (a.nope)", "Q").ok());
+  // Partition attribute missing from a component's schema.
+  EXPECT_FALSE(
+      engine.AddQueryText("PATTERN SEQ(JobStart a, JobEnd b) WHERE [node]", "Q")
+          .ok());
+  // Aggregate over a non-kleene variable.
+  EXPECT_FALSE(engine
+                   .AddQueryText(
+                       "PATTERN SEQ(JobStart a, JobEnd b) RETURN (sum(a.node))", "Q")
+                   .ok());
+  // rhs referencing a later variable.
+  EXPECT_FALSE(engine
+                   .AddQueryText(
+                       "PATTERN SEQ(JobStart a, JobEnd b) WHERE a.jobId = b.jobId",
+                       "Q")
+                   .ok());
+}
+
+TEST_F(CepEngineTest, QueryIdByName) {
+  CepEngine engine(&registry_);
+  ASSERT_TRUE(engine.AddQueryText(kQueueQuery, "alpha").ok());
+  ASSERT_TRUE(engine.AddQueryText(kQueueQuery, "beta").ok());
+  EXPECT_EQ(*engine.QueryIdByName("beta"), 1u);
+  EXPECT_TRUE(engine.QueryIdByName("gamma").status().IsNotFound());
+  EXPECT_EQ(engine.num_queries(), 2u);
+}
+
+TEST_F(CepEngineTest, MatchTableSeriesExtraction) {
+  CepEngine engine(&registry_);
+  auto qid = engine.AddQueryText(kQueueQuery, "Q");
+  ASSERT_TRUE(qid.ok());
+  engine.OnEvent(Start(0, "j1"));
+  for (Timestamp t = 1; t <= 5; ++t) engine.OnEvent(Io(t, "j1", 2));
+  engine.OnEvent(End(6, "j1"));
+  auto series = engine.match_table(*qid).ExtractSeries("j1", "sum_size");
+  ASSERT_TRUE(series.ok()) << series.status().ToString();
+  ASSERT_EQ(series->size(), 5u);
+  EXPECT_DOUBLE_EQ(series->value(4), 10.0);
+  EXPECT_FALSE(engine.match_table(*qid).ExtractSeries("j1", "nope").ok());
+  EXPECT_FALSE(engine.match_table(*qid).ExtractSeries("nope", "sum_size").ok());
+}
+
+}  // namespace
+}  // namespace exstream

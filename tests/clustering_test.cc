@@ -1,0 +1,119 @@
+#include "ts/clustering.h"
+
+#include <gtest/gtest.h>
+
+#include "ts/correlation.h"
+#include "ts/time_series.h"
+
+namespace exstream {
+namespace {
+
+std::vector<std::vector<double>> MatrixOf(std::initializer_list<std::vector<double>> rows) {
+  return {rows};
+}
+
+TEST(ClusteringTest, TwoObviousClusters) {
+  // Items 0,1 close; items 2,3 close; the pairs far apart.
+  const auto dist = MatrixOf({{0.0, 0.1, 0.9, 0.95},
+                              {0.1, 0.0, 0.92, 0.9},
+                              {0.9, 0.92, 0.0, 0.05},
+                              {0.95, 0.9, 0.05, 0.0}});
+  auto result = AgglomerativeCluster(dist, 0.5);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_clusters, 2);
+  EXPECT_EQ(result->labels[0], result->labels[1]);
+  EXPECT_EQ(result->labels[2], result->labels[3]);
+  EXPECT_NE(result->labels[0], result->labels[2]);
+}
+
+TEST(ClusteringTest, ThresholdZeroKeepsSingletons) {
+  const auto dist = MatrixOf({{0.0, 0.2}, {0.2, 0.0}});
+  auto result = AgglomerativeCluster(dist, 0.1);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_clusters, 2);
+}
+
+TEST(ClusteringTest, LargeThresholdMergesAll) {
+  const auto dist = MatrixOf({{0.0, 0.4, 0.8}, {0.4, 0.0, 0.6}, {0.8, 0.6, 0.0}});
+  auto result = AgglomerativeCluster(dist, 10.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_clusters, 1);
+}
+
+TEST(ClusteringTest, LinkageMatters) {
+  // A chain 0-1-2: single linkage merges everything at 0.3; complete linkage
+  // keeps 0 and 2 apart (their distance is 0.9 > cut).
+  const auto dist = MatrixOf({{0.0, 0.3, 0.9}, {0.3, 0.0, 0.3}, {0.9, 0.3, 0.0}});
+  auto single = AgglomerativeCluster(dist, 0.5, Linkage::kSingle);
+  auto complete = AgglomerativeCluster(dist, 0.5, Linkage::kComplete);
+  ASSERT_TRUE(single.ok());
+  ASSERT_TRUE(complete.ok());
+  EXPECT_EQ(single->num_clusters, 1);
+  EXPECT_EQ(complete->num_clusters, 2);
+}
+
+TEST(ClusteringTest, EmptyAndSingleton) {
+  auto empty = AgglomerativeCluster({}, 0.5);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty->num_clusters, 0);
+  auto one = AgglomerativeCluster(MatrixOf({{0.0}}), 0.5);
+  ASSERT_TRUE(one.ok());
+  EXPECT_EQ(one->num_clusters, 1);
+}
+
+TEST(ClusteringTest, NonSquareRejected) {
+  std::vector<std::vector<double>> bad = {{0.0, 1.0}, {1.0}};
+  EXPECT_FALSE(AgglomerativeCluster(bad, 0.5).ok());
+}
+
+TEST(ConnectedComponentsTest, Basics) {
+  // 0-1, 1-2 chain; 3 isolated.
+  const auto result = ConnectedComponents(4, {{0, 1}, {1, 2}});
+  EXPECT_EQ(result.num_clusters, 2);
+  EXPECT_EQ(result.labels[0], result.labels[1]);
+  EXPECT_EQ(result.labels[1], result.labels[2]);
+  EXPECT_NE(result.labels[3], result.labels[0]);
+}
+
+TEST(ConnectedComponentsTest, NoEdges) {
+  const auto result = ConnectedComponents(3, {});
+  EXPECT_EQ(result.num_clusters, 3);
+}
+
+TEST(ConnectedComponentsTest, OutOfRangeEdgesIgnored) {
+  const auto result = ConnectedComponents(2, {{0, 5}, {0, 1}});
+  EXPECT_EQ(result.num_clusters, 1);
+}
+
+TEST(CorrelationTest, AlignedCorrelationOnMatchingShapes) {
+  TimeSeries a;
+  TimeSeries b;
+  for (Timestamp t = 0; t < 50; ++t) {
+    (void)a.Append(t, static_cast<double>(t));
+    // Same shape on a different time base and scale.
+    (void)b.Append(t * 10, static_cast<double>(t) * 3 + 7);
+  }
+  EXPECT_NEAR(AlignedCorrelation(a, b), 1.0, 1e-3);
+}
+
+TEST(CorrelationTest, AntiCorrelated) {
+  TimeSeries a;
+  TimeSeries b;
+  for (Timestamp t = 0; t < 50; ++t) {
+    (void)a.Append(t, static_cast<double>(t));
+    (void)b.Append(t, -static_cast<double>(t));
+  }
+  EXPECT_NEAR(AlignedCorrelation(a, b), -1.0, 1e-6);
+}
+
+TEST(CorrelationTest, DegenerateInputs) {
+  TimeSeries a;
+  (void)a.Append(0, 1.0);
+  TimeSeries b;
+  for (Timestamp t = 0; t < 10; ++t) (void)b.Append(t, t);
+  EXPECT_DOUBLE_EQ(AlignedCorrelation(a, b), 0.0);  // too short
+  EXPECT_DOUBLE_EQ(AlignedCorrelation(TimeSeries(), b), 0.0);
+}
+
+}  // namespace
+}  // namespace exstream

@@ -1,0 +1,111 @@
+#include "explain/correlation_filter.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace exstream {
+namespace {
+
+// A ranked feature whose series follow the given generator.
+RankedFeature MakeFeature(const char* attr, double scale, double offset,
+                          double noise_sd, uint64_t seed, size_t support = 40) {
+  Rng rng(seed);
+  RankedFeature f;
+  f.spec.event_type_name = "T";
+  f.spec.attribute_name = attr;
+  f.spec.agg = AggregateKind::kRaw;
+  std::vector<double> av;
+  std::vector<double> rv;
+  for (size_t i = 0; i < support; ++i) {
+    // Abnormal: rising ramp; reference: flat. Shared shape across features up
+    // to scale/offset/noise.
+    const double a = scale * static_cast<double>(i) + offset + rng.Gaussian(0, noise_sd);
+    const double r = offset + 100 * scale + rng.Gaussian(0, noise_sd);
+    (void)f.abnormal_series.Append(static_cast<Timestamp>(i), a);
+    (void)f.reference_series.Append(static_cast<Timestamp>(i), r);
+    av.push_back(a);
+    rv.push_back(r);
+  }
+  f.entropy = ComputeEntropyDistance(av, rv);
+  return f;
+}
+
+// A feature with an independent random walk (uncorrelated with the ramps).
+RankedFeature NoiseFeature(const char* attr, uint64_t seed) {
+  Rng rng(seed);
+  RankedFeature f;
+  f.spec.event_type_name = "T";
+  f.spec.attribute_name = attr;
+  std::vector<double> av;
+  std::vector<double> rv;
+  double v = 0;
+  for (size_t i = 0; i < 40; ++i) {
+    v += rng.Gaussian(0, 1);
+    (void)f.abnormal_series.Append(static_cast<Timestamp>(i), v);
+    av.push_back(v);
+    const double r = rng.Gaussian(0, 1);
+    (void)f.reference_series.Append(static_cast<Timestamp>(i), r);
+    rv.push_back(r);
+  }
+  f.entropy = ComputeEntropyDistance(av, rv);
+  return f;
+}
+
+TEST(CorrelationFilterTest, CorrelatedFeaturesCollapse) {
+  std::vector<RankedFeature> features = {
+      MakeFeature("a", 1.0, 0.0, 0.1, 1),
+      MakeFeature("b", 2.0, 5.0, 0.1, 2),   // scaled copy: correlated
+      NoiseFeature("c", 3),
+  };
+  const auto result = CorrelationClusterFilter(features);
+  EXPECT_EQ(result.num_clusters, 2);
+  EXPECT_EQ(result.representatives.size(), 2u);
+  EXPECT_EQ(result.cluster_labels[0], result.cluster_labels[1]);
+  EXPECT_NE(result.cluster_labels[0], result.cluster_labels[2]);
+}
+
+TEST(CorrelationFilterTest, RepresentativeHasHighestReward) {
+  RankedFeature strong = MakeFeature("strong", 1.0, 0.0, 0.01, 4);
+  RankedFeature weak = MakeFeature("weak", 1.0, 0.0, 0.01, 5);
+  weak.entropy.distance = strong.entropy.distance * 0.5;  // force lower reward
+  const auto result = CorrelationClusterFilter({weak, strong});
+  ASSERT_EQ(result.representatives.size(), 1u);
+  EXPECT_EQ(result.representatives[0].spec.attribute_name, "strong");
+}
+
+TEST(CorrelationFilterTest, RewardTieBreaksOnSupport) {
+  RankedFeature small = MakeFeature("small", 1.0, 0.0, 0.01, 6, /*support=*/10);
+  RankedFeature big = MakeFeature("big", 1.0, 0.0, 0.01, 7, /*support=*/80);
+  small.entropy.distance = 1.0;
+  big.entropy.distance = 1.0;
+  const auto result = CorrelationClusterFilter({small, big});
+  ASSERT_EQ(result.representatives.size(), 1u);
+  EXPECT_EQ(result.representatives[0].spec.attribute_name, "big");
+}
+
+TEST(CorrelationFilterTest, ThresholdControlsMerging) {
+  std::vector<RankedFeature> features = {MakeFeature("a", 1.0, 0.0, 2.0, 8),
+                                         MakeFeature("b", 1.0, 0.0, 2.0, 9)};
+  CorrelationFilterOptions loose;
+  loose.threshold = 0.5;
+  CorrelationFilterOptions strict;
+  strict.threshold = 0.9999;
+  EXPECT_LE(CorrelationClusterFilter(features, loose).num_clusters, 2);
+  EXPECT_EQ(CorrelationClusterFilter(features, strict).num_clusters, 2);
+}
+
+TEST(CorrelationFilterTest, EmptyInput) {
+  const auto result = CorrelationClusterFilter({});
+  EXPECT_EQ(result.num_clusters, 0);
+  EXPECT_TRUE(result.representatives.empty());
+}
+
+TEST(CorrelationFilterTest, SingleFeatureSingleton) {
+  const auto result = CorrelationClusterFilter({MakeFeature("a", 1.0, 0.0, 0.1, 10)});
+  EXPECT_EQ(result.num_clusters, 1);
+  ASSERT_EQ(result.representatives.size(), 1u);
+}
+
+}  // namespace
+}  // namespace exstream

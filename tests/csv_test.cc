@@ -1,0 +1,121 @@
+#include "io/csv.h"
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+namespace exstream {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(registry_
+                    .Register(EventSchema("Cpu", {{"node", ValueType::kInt64},
+                                                  {"usage", ValueType::kDouble}}))
+                    .ok());
+    ASSERT_TRUE(registry_
+                    .Register(EventSchema("Log", {{"msg", ValueType::kString}}))
+                    .ok());
+  }
+
+  EventTypeRegistry registry_;
+};
+
+TEST_F(CsvTest, ParsesTypedRows) {
+  const char* text =
+      "Cpu,10,3,55.5\n"
+      "Log,11,hello\n"
+      "Cpu,12,4,60\n";
+  auto parsed = ParseCsvEvents(text, registry_);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->events.size(), 3u);
+  const Event& cpu = parsed->events[0];
+  EXPECT_EQ(cpu.ts, 10);
+  EXPECT_EQ(cpu.values[0].AsInt64(), 3);
+  EXPECT_DOUBLE_EQ(cpu.values[1].AsDouble(), 55.5);
+  EXPECT_EQ(parsed->events[1].values[0].AsString(), "hello");
+}
+
+TEST_F(CsvTest, QuotedStringsWithEscapes) {
+  const char* text = "Log,5,\"a, \"\"quoted\"\" value\"\n";
+  auto parsed = ParseCsvEvents(text, registry_);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->events[0].values[0].AsString(), "a, \"quoted\" value");
+}
+
+TEST_F(CsvTest, HeaderSkippedWhenConfigured) {
+  const char* text =
+      "eventType,timestamp,msg\n"
+      "Log,1,x\n";
+  CsvOptions options;
+  options.has_header = true;
+  auto parsed = ParseCsvEvents(text, registry_, options);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->events.size(), 1u);
+}
+
+TEST_F(CsvTest, BlankLinesIgnored) {
+  auto parsed = ParseCsvEvents("\nLog,1,a\n\n\nLog,2,b\n", registry_);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->events.size(), 2u);
+}
+
+TEST_F(CsvTest, ErrorsAreDiagnosedWithLineNumbers) {
+  // Unknown type (strict).
+  auto unknown = ParseCsvEvents("Nope,1,2\n", registry_);
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_NE(unknown.status().message().find("line 1"), std::string::npos);
+  // Arity mismatch.
+  EXPECT_FALSE(ParseCsvEvents("Cpu,1,2\n", registry_).ok());
+  // Bad number.
+  EXPECT_FALSE(ParseCsvEvents("Cpu,1,x,2\n", registry_).ok());
+  // Bad timestamp.
+  EXPECT_FALSE(ParseCsvEvents("Cpu,abc,1,2\n", registry_).ok());
+  // Too few columns.
+  EXPECT_FALSE(ParseCsvEvents("Cpu\n", registry_).ok());
+  // Unterminated quote.
+  EXPECT_FALSE(ParseCsvEvents("Log,1,\"oops\n", registry_).ok());
+}
+
+TEST_F(CsvTest, NonStrictSkipsUnknownTypes) {
+  CsvOptions options;
+  options.strict = false;
+  auto parsed = ParseCsvEvents("Nope,1,2\nLog,2,ok\n", registry_, options);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->events.size(), 1u);
+  EXPECT_EQ(parsed->skipped_rows, 1u);
+}
+
+TEST_F(CsvTest, RoundTrip) {
+  std::vector<Event> events;
+  events.emplace_back(0, 7,
+                      std::vector<Value>{Value(int64_t{1}), Value(2.25)});
+  events.emplace_back(1, 8, std::vector<Value>{Value("tricky, \"msg\"")});
+  const std::string csv = FormatCsvEvents(events, registry_);
+  auto parsed = ParseCsvEvents(csv, registry_);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->events.size(), 2u);
+  EXPECT_DOUBLE_EQ(parsed->events[0].values[1].AsDouble(), 2.25);
+  EXPECT_EQ(parsed->events[1].values[0].AsString(), "tricky, \"msg\"");
+}
+
+TEST_F(CsvTest, FileRoundTrip) {
+  char tmpl[] = "/tmp/exstream_csv_XXXXXX";
+  ASSERT_NE(mkdtemp(tmpl), nullptr);
+  const std::string path = std::string(tmpl) + "/events.csv";
+  std::vector<Event> events;
+  for (Timestamp t = 0; t < 32; ++t) {
+    events.emplace_back(0, t,
+                        std::vector<Value>{Value(t % 4), Value(t * 1.5)});
+  }
+  ASSERT_TRUE(WriteCsvEventsFile(path, events, registry_).ok());
+  auto parsed = ReadCsvEventsFile(path, registry_);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->events.size(), 32u);
+  EXPECT_DOUBLE_EQ(parsed->events[31].values[1].AsDouble(), 46.5);
+  EXPECT_TRUE(ReadCsvEventsFile("/no/such/file.csv", registry_).status().IsIOError());
+}
+
+}  // namespace
+}  // namespace exstream

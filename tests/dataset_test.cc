@@ -1,0 +1,97 @@
+#include "ml/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace exstream {
+namespace {
+
+Feature MakeFeature(const char* type, const char* attr, std::vector<double> values,
+                    Timestamp start = 0) {
+  Feature f;
+  f.spec.event_type_name = type;
+  f.spec.attribute_name = attr;
+  f.spec.agg = AggregateKind::kRaw;
+  for (size_t i = 0; i < values.size(); ++i) {
+    (void)f.series.Append(start + static_cast<Timestamp>(i), values[i]);
+  }
+  return f;
+}
+
+TEST(DatasetTest, BuildBalancedRows) {
+  std::vector<Feature> abnormal = {MakeFeature("M", "x", {1, 1, 1, 1})};
+  std::vector<Feature> reference = {MakeFeature("M", "x", {9, 9, 9, 9}, 100)};
+  auto data = BuildDataset(abnormal, reference, 8);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->num_rows(), 16u);
+  EXPECT_EQ(data->num_features(), 1u);
+  size_t positives = 0;
+  for (int y : data->labels) positives += static_cast<size_t>(y);
+  EXPECT_EQ(positives, 8u);
+  EXPECT_EQ(data->feature_names[0], "M.x.raw");
+  // Abnormal rows sample the abnormal values.
+  EXPECT_DOUBLE_EQ(data->rows[0][0], 1.0);
+  EXPECT_DOUBLE_EQ(data->rows[8][0], 9.0);
+}
+
+TEST(DatasetTest, MismatchedSpecsRejected) {
+  std::vector<Feature> abnormal = {MakeFeature("M", "x", {1})};
+  std::vector<Feature> reference = {MakeFeature("M", "y", {2})};
+  EXPECT_FALSE(BuildDataset(abnormal, reference, 4).ok());
+  std::vector<Feature> fewer;
+  EXPECT_FALSE(BuildDataset(abnormal, fewer, 4).ok());
+}
+
+TEST(DatasetTest, EmptyFeatureContributesZeros) {
+  std::vector<Feature> abnormal = {MakeFeature("M", "x", {5, 5}),
+                                   MakeFeature("M", "y", {})};
+  std::vector<Feature> reference = {MakeFeature("M", "x", {7, 7}, 10),
+                                    MakeFeature("M", "y", {}, 10)};
+  auto data = BuildDataset(abnormal, reference, 4);
+  ASSERT_TRUE(data.ok());
+  for (const auto& row : data->rows) EXPECT_DOUBLE_EQ(row[1], 0.0);
+}
+
+TEST(DatasetTest, StandardizerZeroMeansUnitVariance) {
+  Dataset data;
+  data.feature_names = {"a", "b"};
+  data.rows = {{1, 100}, {2, 200}, {3, 300}, {4, 400}};
+  data.labels = {0, 0, 1, 1};
+  Standardizer st;
+  st.FitTransform(&data);
+  double mean_a = 0;
+  for (const auto& row : data.rows) mean_a += row[0];
+  EXPECT_NEAR(mean_a / 4.0, 0.0, 1e-12);
+  // Transform of a new row uses the fitted parameters.
+  const auto transformed = st.TransformRow({2.5, 250});
+  EXPECT_NEAR(transformed[0], 0.0, 1e-12);
+}
+
+TEST(DatasetTest, StandardizerConstantColumnMapsToZero) {
+  Dataset data;
+  data.feature_names = {"c"};
+  data.rows = {{5}, {5}, {5}};
+  data.labels = {0, 1, 0};
+  Standardizer st;
+  st.FitTransform(&data);
+  for (const auto& row : data.rows) EXPECT_DOUBLE_EQ(row[0], 0.0);
+}
+
+TEST(DatasetTest, SplitKeepsClassBalanceDeterministically) {
+  Dataset data;
+  data.feature_names = {"f"};
+  for (int i = 0; i < 20; ++i) {
+    data.rows.push_back({static_cast<double>(i)});
+    data.labels.push_back(i < 10 ? 0 : 1);
+  }
+  Dataset train;
+  Dataset test;
+  SplitDataset(data, 5, &train, &test);
+  EXPECT_EQ(train.num_rows(), 16u);
+  EXPECT_EQ(test.num_rows(), 4u);
+  size_t test_pos = 0;
+  for (int y : test.labels) test_pos += static_cast<size_t>(y);
+  EXPECT_EQ(test_pos, 2u);  // 2 of each class held out
+}
+
+}  // namespace
+}  // namespace exstream

@@ -1,0 +1,112 @@
+#include "ml/decision_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ml/metrics.h"
+
+namespace exstream {
+namespace {
+
+TEST(DecisionTreeTest, SingleSplitSeparableData) {
+  Dataset data;
+  data.feature_names = {"x", "noise"};
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    const int y = i % 2;
+    data.rows.push_back({y == 1 ? 10.0 + rng.Uniform(0, 1) : rng.Uniform(0, 1),
+                         rng.Gaussian(0, 1)});
+    data.labels.push_back(y);
+  }
+  auto tree = DecisionTree::Fit(data);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->NumSplits(), 1u);
+  EXPECT_EQ(tree->SelectedFeatures(), std::vector<std::string>{"x"});
+  const auto preds = tree->Predict(data);
+  EXPECT_DOUBLE_EQ(EvaluatePredictions(data.labels, preds).F1(), 1.0);
+}
+
+TEST(DecisionTreeTest, LearnsAxisAlignedXor) {
+  // XOR over two features needs depth 2 and both features.
+  Dataset data;
+  data.feature_names = {"a", "b"};
+  Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const double a = rng.Chance(0.5) ? 1.0 : 0.0;
+    const double b = rng.Chance(0.5) ? 1.0 : 0.0;
+    data.rows.push_back({a + rng.Gaussian(0, 0.05), b + rng.Gaussian(0, 0.05)});
+    data.labels.push_back(static_cast<int>(a) ^ static_cast<int>(b));
+  }
+  auto tree = DecisionTree::Fit(data);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->SelectedFeatures().size(), 2u);
+  const auto preds = tree->Predict(data);
+  EXPECT_GE(EvaluatePredictions(data.labels, preds).F1(), 0.98);
+}
+
+TEST(DecisionTreeTest, DepthLimitRespected) {
+  Dataset data;
+  data.feature_names = {"a", "b"};
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const double a = rng.Chance(0.5) ? 1.0 : 0.0;
+    const double b = rng.Chance(0.5) ? 1.0 : 0.0;
+    data.rows.push_back({a, b});
+    data.labels.push_back(static_cast<int>(a) ^ static_cast<int>(b));
+  }
+  DecisionTreeOptions options;
+  options.max_depth = 1;  // cannot express XOR
+  auto tree = DecisionTree::Fit(data, options);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_LE(tree->NumSplits(), 1u);
+}
+
+TEST(DecisionTreeTest, PureDataYieldsLeaf) {
+  Dataset data;
+  data.feature_names = {"x"};
+  for (int i = 0; i < 20; ++i) {
+    data.rows.push_back({static_cast<double>(i)});
+    data.labels.push_back(1);
+  }
+  auto tree = DecisionTree::Fit(data);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->NumSplits(), 0u);
+  EXPECT_EQ(tree->PredictRow({3.0}), 1);
+}
+
+TEST(DecisionTreeTest, ToStringShowsStructure) {
+  Dataset data;
+  data.feature_names = {"x"};
+  for (int i = 0; i < 40; ++i) {
+    data.rows.push_back({static_cast<double>(i)});
+    data.labels.push_back(i < 20 ? 0 : 1);
+  }
+  auto tree = DecisionTree::Fit(data);
+  ASSERT_TRUE(tree.ok());
+  const std::string s = tree->ToString();
+  EXPECT_NE(s.find("x <"), std::string::npos);
+  EXPECT_NE(s.find("Abnormal"), std::string::npos);
+  EXPECT_NE(s.find("Normal"), std::string::npos);
+}
+
+TEST(DecisionTreeTest, MinSamplesStopsSplitting) {
+  Dataset data;
+  data.feature_names = {"x"};
+  for (int i = 0; i < 6; ++i) {
+    data.rows.push_back({static_cast<double>(i)});
+    data.labels.push_back(i < 3 ? 0 : 1);
+  }
+  DecisionTreeOptions options;
+  options.min_samples_split = 100;
+  auto tree = DecisionTree::Fit(data, options);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->NumSplits(), 0u);
+}
+
+TEST(DecisionTreeTest, EmptyDataRejected) {
+  Dataset empty;
+  EXPECT_FALSE(DecisionTree::Fit(empty).ok());
+}
+
+}  // namespace
+}  // namespace exstream

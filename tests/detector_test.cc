@@ -1,0 +1,166 @@
+#include "detect/detector.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ml/metrics.h"
+#include "sim/workloads.h"
+
+namespace exstream {
+namespace {
+
+// --- Synthetic fixture: a family of flat series with one deviating member --
+
+struct SyntheticFamily {
+  PartitionTable table;
+  std::map<std::string, TimeSeries> series;
+
+  SeriesProvider Provider() {
+    auto* series_map = &series;
+    return [series_map](const std::string&,
+                        const std::string& partition) -> Result<TimeSeries> {
+      auto it = series_map->find(partition);
+      if (it == series_map->end()) return Status::NotFound("no series");
+      return it->second;
+    };
+  }
+};
+
+// Partition `name` covering [start, start+600]; values `level` except an
+// optional deviation in the middle third.
+void AddPartition(SyntheticFamily* family, const std::string& name, Timestamp start,
+                  double level, double deviation, uint64_t seed) {
+  Rng rng(seed);
+  TimeSeries s;
+  for (Timestamp t = 0; t <= 600; t += 5) {
+    const bool mid = t >= 200 && t < 400;
+    (void)s.Append(start + t,
+                   level + (mid ? deviation : 0.0) + rng.Gaussian(0, 0.3));
+  }
+  PartitionRecord rec;
+  rec.query_name = "Q";
+  rec.partition = name;
+  rec.dimensions = {{"program", "p"}};
+  rec.start_ts = start;
+  rec.end_ts = start + 600;
+  rec.num_points = s.size();
+  family->table.Upsert(rec);
+  family->series[name] = std::move(s);
+}
+
+TEST(DetectorTest, FlagsTheDeviatingPartition) {
+  SyntheticFamily family;
+  AddPartition(&family, "n1", 0, 10, 0, 1);
+  AddPartition(&family, "n2", 1000, 10, 0, 2);
+  AddPartition(&family, "n3", 2000, 10, 0, 3);
+  AddPartition(&family, "odd", 3000, 10, 40, 4);  // deviates in the middle
+
+  AnomalyDetector detector(&family.table, family.Provider());
+  auto seed = family.table.Get("Q", "n1");
+  ASSERT_TRUE(seed.ok());
+  auto anomalies = detector.Detect(*seed);
+  ASSERT_TRUE(anomalies.ok()) << anomalies.status().ToString();
+  ASSERT_EQ(anomalies->size(), 1u);
+  const DetectedAnomaly& a = (*anomalies)[0];
+  EXPECT_EQ(a.partition, "odd");
+  EXPECT_GT(a.score, 0.45);
+  // Localized roughly to the middle third [3200, 3400].
+  EXPECT_NEAR(static_cast<double>(a.abnormal_region.lower), 3200, 80);
+  EXPECT_NEAR(static_cast<double>(a.abnormal_region.upper), 3400, 80);
+  // Reference is the tail of the same partition.
+  EXPECT_EQ(a.reference_partition, "odd");
+  EXPECT_GT(a.reference_region.lower, a.abnormal_region.upper);
+}
+
+TEST(DetectorTest, AllNormalFamilyYieldsNothing) {
+  SyntheticFamily family;
+  AddPartition(&family, "n1", 0, 10, 0, 1);
+  AddPartition(&family, "n2", 1000, 10, 0, 2);
+  AddPartition(&family, "n3", 2000, 10, 0, 3);
+  AnomalyDetector detector(&family.table, family.Provider());
+  auto anomalies = detector.Detect(*family.table.Get("Q", "n1"));
+  ASSERT_TRUE(anomalies.ok());
+  EXPECT_TRUE(anomalies->empty());
+}
+
+TEST(DetectorTest, TooSmallFamilyRejected) {
+  SyntheticFamily family;
+  AddPartition(&family, "n1", 0, 10, 0, 1);
+  AddPartition(&family, "n2", 1000, 10, 0, 2);
+  AnomalyDetector detector(&family.table, family.Provider());
+  EXPECT_FALSE(detector.Detect(*family.table.Get("Q", "n1")).ok());
+}
+
+TEST(DetectorTest, ScoresOrderedByDeviation) {
+  SyntheticFamily family;
+  AddPartition(&family, "n1", 0, 10, 0, 1);
+  AddPartition(&family, "n2", 1000, 10, 0, 2);
+  AddPartition(&family, "n3", 2000, 10, 0, 3);
+  AddPartition(&family, "odd", 3000, 10, 40, 4);
+  AnomalyDetector detector(&family.table, family.Provider());
+  auto scores = detector.Scores(*family.table.Get("Q", "n1"));
+  ASSERT_TRUE(scores.ok());
+  double odd_score = 0;
+  double max_normal = 0;
+  for (const auto& [name, score] : *scores) {
+    if (name == "odd") {
+      odd_score = score;
+    } else {
+      max_normal = std::max(max_normal, score);
+    }
+  }
+  EXPECT_GT(odd_score, max_normal);
+}
+
+TEST(DetectorTest, AnnotationConversion) {
+  DetectedAnomaly a;
+  a.partition = "p1";
+  a.abnormal_region = {10, 20};
+  a.reference_partition = "p2";
+  a.reference_region = {30, 40};
+  const AnomalyAnnotation ann = a.ToAnnotation("Q9");
+  EXPECT_EQ(ann.abnormal.query, "Q9");
+  EXPECT_EQ(ann.abnormal.partition, "p1");
+  EXPECT_EQ(ann.reference.partition, "p2");
+  EXPECT_EQ(ann.abnormal.range.lower, 10);
+}
+
+// --- End-to-end: detect + explain with zero human input -------------------
+
+TEST(DetectorTest, EndToEndAutoExplainHadoopAnomaly) {
+  WorkloadRunOptions options;
+  options.num_nodes = 4;
+  options.num_normal_jobs = 3;
+  auto run = BuildWorkloadRun(HadoopWorkloads()[0], options);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+
+  AnomalyDetector detector((*run)->partitions.get(), (*run)->MakeSeriesProvider());
+  auto seed = (*run)->partitions->Get("Q1", "job-000");
+  ASSERT_TRUE(seed.ok());
+  auto anomalies = detector.Detect(*seed);
+  ASSERT_TRUE(anomalies.ok()) << anomalies.status().ToString();
+  ASSERT_GE(anomalies->size(), 1u);
+
+  // The flagged partitions must be the two anomalous jobs.
+  for (const auto& a : *anomalies) {
+    EXPECT_TRUE(a.partition == "job-anomaly" || a.partition == "job-anomaly-test")
+        << a.partition;
+  }
+
+  // Auto-explain the top detection; consistency against ground truth.
+  ExplanationEngine engine =
+      (*run)->MakeExplanationEngine((*run)->DefaultExplainOptions());
+  auto report = engine.Explain((*anomalies)[0].ToAnnotation("Q1"));
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_FALSE(report->final_features.empty());
+  bool covers_truth = false;
+  for (const auto& name : report->SelectedFeatureNames()) {
+    for (const auto& g : (*run)->ground_truth) {
+      if (SameUnderlyingSignal(name, g)) covers_truth = true;
+    }
+  }
+  EXPECT_TRUE(covers_truth);
+}
+
+}  // namespace
+}  // namespace exstream

@@ -1,0 +1,90 @@
+#include "ml/discretize.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace exstream {
+namespace {
+
+TEST(EqualWidthTest, BinsSpanRange) {
+  const std::vector<double> values = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  const auto bins = EqualWidthBins(values, 5);
+  EXPECT_EQ(bins.front(), 0);
+  EXPECT_EQ(bins.back(), 4);
+  for (int b : bins) {
+    EXPECT_GE(b, 0);
+    EXPECT_LT(b, 5);
+  }
+}
+
+TEST(EqualWidthTest, ConstantInputAllZero) {
+  const auto bins = EqualWidthBins({3, 3, 3}, 4);
+  for (int b : bins) EXPECT_EQ(b, 0);
+}
+
+TEST(EqualWidthTest, DegenerateArgs) {
+  EXPECT_TRUE(EqualWidthBins({}, 4).empty());
+  const auto one_bin = EqualWidthBins({1, 2, 3}, 1);
+  for (int b : one_bin) EXPECT_EQ(b, 0);
+}
+
+TEST(FayyadIraniTest, CleanSplitFound) {
+  // Class 0 lives below 10, class 1 above: one cut near 10.
+  std::vector<double> values;
+  std::vector<int> labels;
+  for (int i = 0; i < 30; ++i) {
+    values.push_back(i);
+    labels.push_back(i < 15 ? 0 : 1);
+  }
+  const auto cuts = FayyadIraniCuts(values, labels);
+  ASSERT_EQ(cuts.size(), 1u);
+  EXPECT_NEAR(cuts[0], 14.5, 1e-9);
+}
+
+TEST(FayyadIraniTest, NoSplitOnRandomLabels) {
+  Rng rng(11);
+  std::vector<double> values;
+  std::vector<int> labels;
+  for (int i = 0; i < 60; ++i) {
+    values.push_back(rng.Uniform(0, 1));
+    labels.push_back(rng.Chance(0.5) ? 1 : 0);
+  }
+  // MDL should reject most splits on pure noise.
+  EXPECT_LE(FayyadIraniCuts(values, labels).size(), 2u);
+}
+
+TEST(FayyadIraniTest, TwoIntervalsOfAbnormal) {
+  // Abnormal at both extremes -> two cuts (the paper's multi-range feature).
+  std::vector<double> values;
+  std::vector<int> labels;
+  for (int i = 0; i < 60; ++i) {
+    values.push_back(i);
+    labels.push_back((i < 20 || i >= 40) ? 1 : 0);
+  }
+  const auto cuts = FayyadIraniCuts(values, labels);
+  ASSERT_EQ(cuts.size(), 2u);
+  EXPECT_NEAR(cuts[0], 19.5, 1e-9);
+  EXPECT_NEAR(cuts[1], 39.5, 1e-9);
+}
+
+TEST(FayyadIraniTest, PureClassNoCuts) {
+  EXPECT_TRUE(FayyadIraniCuts({1, 2, 3, 4, 5, 6}, {1, 1, 1, 1, 1, 1}).empty());
+}
+
+TEST(ApplyCutsTest, IntervalIndices) {
+  const std::vector<double> cuts = {10.0, 20.0};
+  const auto bins = ApplyCuts({5, 10, 15, 25}, cuts);
+  EXPECT_EQ(bins[0], 0);
+  EXPECT_EQ(bins[1], 1);  // a value equal to a cut belongs to the upper bin
+  EXPECT_EQ(bins[2], 1);
+  EXPECT_EQ(bins[3], 2);
+}
+
+TEST(ApplyCutsTest, NoCutsSingleBin) {
+  const auto bins = ApplyCuts({1, 2, 3}, {});
+  for (int b : bins) EXPECT_EQ(b, 0);
+}
+
+}  // namespace
+}  // namespace exstream

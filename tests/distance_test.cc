@@ -1,0 +1,175 @@
+#include "ts/distance.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ts/entropy_distance.h"
+
+namespace exstream {
+namespace {
+
+TimeSeries Series(std::vector<double> values) {
+  TimeSeries s;
+  for (size_t i = 0; i < values.size(); ++i) {
+    (void)s.Append(static_cast<Timestamp>(i), values[i]);
+  }
+  return s;
+}
+
+DistanceOptions RawOptions() {
+  DistanceOptions opts;
+  opts.z_normalize = false;  // compare raw values in unit tests
+  opts.resample_points = 16;
+  return opts;
+}
+
+TEST(DistanceTest, FactoryByName) {
+  for (const std::string& name : BaselineDistanceNames()) {
+    auto d = MakeDistanceByName(name);
+    ASSERT_TRUE(d.ok()) << name;
+    EXPECT_EQ((*d)->name(), name);
+  }
+  EXPECT_TRUE(MakeDistanceByName("dissim").ok());
+  EXPECT_FALSE(MakeDistanceByName("bogus").ok());
+}
+
+TEST(DistanceTest, IdenticalSeriesScoreZero) {
+  const TimeSeries s = Series({1, 2, 3, 4, 5, 4, 3, 2});
+  for (const std::string& name : BaselineDistanceNames()) {
+    auto d = MakeDistanceByName(name, RawOptions());
+    ASSERT_TRUE(d.ok());
+    EXPECT_NEAR((*d)->Distance(s, s), 0.0, 1e-9) << name;
+  }
+}
+
+TEST(DistanceTest, Symmetry) {
+  Rng rng(3);
+  std::vector<double> va;
+  std::vector<double> vb;
+  for (int i = 0; i < 40; ++i) {
+    va.push_back(rng.Gaussian(0, 1));
+    vb.push_back(rng.Gaussian(0.5, 1.2));
+  }
+  const TimeSeries a = Series(va);
+  const TimeSeries b = Series(vb);
+  for (const std::string& name : BaselineDistanceNames()) {
+    auto d = MakeDistanceByName(name, RawOptions());
+    ASSERT_TRUE(d.ok());
+    EXPECT_NEAR((*d)->Distance(a, b), (*d)->Distance(b, a), 1e-9) << name;
+  }
+}
+
+TEST(DistanceTest, ManhattanAndEuclideanKnownValues) {
+  // Constant series 0 vs constant 1, resampled to 16 points.
+  const TimeSeries zeros = Series(std::vector<double>(16, 0.0));
+  const TimeSeries ones = Series(std::vector<double>(16, 1.0));
+  auto l1 = MakeManhattanDistance(RawOptions());
+  auto l2 = MakeEuclideanDistance(RawOptions());
+  EXPECT_NEAR(l1->Distance(zeros, ones), 16.0, 1e-9);
+  EXPECT_NEAR(l2->Distance(zeros, ones), 4.0, 1e-9);  // sqrt(16)
+}
+
+TEST(DistanceTest, DtwHandlesTimeShift) {
+  // A shifted copy of a pattern: DTW warps it back (small distance), while
+  // the lock-step L1 sees the misalignment (larger distance).
+  std::vector<double> base = {0, 0, 0, 5, 9, 5, 0, 0, 0, 0, 0, 0};
+  std::vector<double> shifted = {0, 0, 0, 0, 0, 0, 5, 9, 5, 0, 0, 0};
+  const TimeSeries a = Series(base);
+  const TimeSeries b = Series(shifted);
+  DistanceOptions opts = RawOptions();
+  opts.resample_points = base.size();
+  const double dtw = MakeDtwDistance(opts)->Distance(a, b);
+  const double l1 = MakeManhattanDistance(opts)->Distance(a, b);
+  EXPECT_LT(dtw * static_cast<double>(base.size()), l1);
+}
+
+TEST(DistanceTest, LcssPerfectMatchAndMismatch) {
+  const TimeSeries a = Series({1, 2, 3, 4});
+  const TimeSeries far = Series({100, 200, 300, 400});
+  DistanceOptions opts = RawOptions();
+  auto lcss = MakeLcssDistance(opts);
+  EXPECT_NEAR(lcss->Distance(a, a), 0.0, 1e-9);
+  EXPECT_NEAR(lcss->Distance(a, far), 1.0, 1e-9);  // nothing matches
+}
+
+TEST(DistanceTest, EdrCountsMismatchedElements) {
+  const TimeSeries a = Series({1, 1, 1, 1});
+  const TimeSeries b = Series({1, 1, 50, 1});
+  auto edr = MakeEdrDistance(RawOptions());
+  const double d = edr->Distance(a, b);
+  EXPECT_GT(d, 0.0);
+  EXPECT_LE(d, 0.5);
+}
+
+TEST(DistanceTest, ErpAccumulatesGapPenalty) {
+  const TimeSeries a = Series({2, 2, 2});
+  const TimeSeries b = Series({2, 2, 2, 2, 2, 2});
+  auto erp = MakeErpDistance(RawOptions());
+  EXPECT_GT(erp->Distance(a, b), 0.0);  // extra elements pay |v - gap|
+}
+
+TEST(DistanceTest, EmptySeriesConventions) {
+  const TimeSeries empty;
+  const TimeSeries s = Series({1, 2});
+  auto l2 = MakeEuclideanDistance(RawOptions());
+  EXPECT_DOUBLE_EQ(l2->Distance(empty, empty), 0.0);
+  EXPECT_TRUE(std::isinf(l2->Distance(empty, s)));
+}
+
+TEST(DistanceTest, PaperLockStepLimitation) {
+  // Sec. 4.2: lock-step distances cannot distinguish (TS1,TS2) from
+  // (TS3,TS4), but the entropy distance can.
+  const TimeSeries ts1 = Series({1, 1, 1});
+  const TimeSeries ts2 = Series({0, 0, 0});
+  const TimeSeries ts3 = Series({1, 0, 1});
+  const TimeSeries ts4 = Series({0, 1, 0});
+  auto l1 = MakeManhattanDistance(RawOptions());
+  EXPECT_NEAR(l1->Distance(ts1, ts2), l1->Distance(ts3, ts4), 1e-9);
+  const double e12 = ComputeEntropyDistance(ts1, ts2).distance;
+  const double e34 = ComputeEntropyDistance(ts3, ts4).distance;
+  EXPECT_GT(e12, e34);
+}
+
+TEST(DistanceTest, ElasticLengthCapRespected) {
+  // Very long series must still complete quickly via downsampling.
+  Rng rng(5);
+  std::vector<double> big;
+  for (int i = 0; i < 5000; ++i) big.push_back(rng.Gaussian(0, 1));
+  const TimeSeries a = Series(big);
+  DistanceOptions opts;
+  opts.max_elastic_points = 64;
+  auto dtw = MakeDtwDistance(opts);
+  const double d = dtw->Distance(a, a);
+  EXPECT_NEAR(d, 0.0, 1e-9);
+}
+
+// All named distances remain finite and non-negative on random inputs.
+class DistancePropertyTest
+    : public ::testing::TestWithParam<std::tuple<std::string, uint64_t>> {};
+
+TEST_P(DistancePropertyTest, FiniteNonNegative) {
+  const auto& [name, seed] = GetParam();
+  Rng rng(seed);
+  std::vector<double> va;
+  std::vector<double> vb;
+  const int na = 5 + static_cast<int>(rng.UniformInt(0, 60));
+  const int nb = 5 + static_cast<int>(rng.UniformInt(0, 60));
+  for (int i = 0; i < na; ++i) va.push_back(rng.Gaussian(0, 3));
+  for (int i = 0; i < nb; ++i) vb.push_back(rng.Gaussian(1, 3));
+  auto d = MakeDistanceByName(name);
+  ASSERT_TRUE(d.ok());
+  const double dist = (*d)->Distance(Series(va), Series(vb));
+  EXPECT_TRUE(std::isfinite(dist)) << name;
+  EXPECT_GE(dist, 0.0) << name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDistances, DistancePropertyTest,
+    ::testing::Combine(::testing::Values("manhattan", "euclidean", "dissim", "dtw",
+                                         "edr", "erp", "lcss"),
+                       ::testing::Values(uint64_t{1}, uint64_t{2}, uint64_t{3})));
+
+}  // namespace
+}  // namespace exstream

@@ -1,0 +1,102 @@
+// Tests of the method-comparison evaluation shared by the Fig. 14-16/22-24
+// benches, plus a parameterized end-to-end sweep across every paper workload.
+
+#include "xstream/evaluation.h"
+
+#include <gtest/gtest.h>
+
+namespace exstream {
+namespace {
+
+WorkloadRunOptions FastOptions() {
+  WorkloadRunOptions options;
+  options.num_nodes = 4;
+  options.num_normal_jobs = 2;
+  options.sc_num_sensors = 6;
+  options.sc_num_machines = 6;
+  return options;
+}
+
+TEST(EvaluationTest, AllMethodsScored) {
+  auto run = BuildWorkloadRun(HadoopWorkloads()[0], FastOptions());
+  ASSERT_TRUE(run.ok());
+  auto cmp = CompareMethods(**run);
+  ASSERT_TRUE(cmp.ok()) << cmp.status().ToString();
+  ASSERT_EQ(cmp->results.size(), 6u);
+  for (const char* m : {kMethodXStream, kMethodXStreamCluster, kMethodLogReg,
+                        kMethodDTree, kMethodVote, kMethodFusion}) {
+    const MethodResult& r = FindMethod(*cmp, m);
+    EXPECT_EQ(r.method, m);
+    EXPECT_GE(r.prediction_f1, 0.0);
+    EXPECT_LE(r.prediction_f1, 1.0);
+    EXPECT_GE(r.consistency, 0.0);
+    EXPECT_LE(r.consistency, 1.0);
+  }
+  EXPECT_GT(cmp->feature_space_size, 100u);
+  EXPECT_GE(cmp->ground_truth_size, 2u);
+  EXPECT_GE(cmp->ground_truth_clusters, 1u);
+}
+
+TEST(EvaluationTest, VotingAndFusionNeverSelect) {
+  auto run = BuildWorkloadRun(HadoopWorkloads()[0], FastOptions());
+  ASSERT_TRUE(run.ok());
+  auto cmp = CompareMethods(**run);
+  ASSERT_TRUE(cmp.ok());
+  EXPECT_EQ(FindMethod(*cmp, kMethodVote).explanation_size, cmp->feature_space_size);
+  EXPECT_EQ(FindMethod(*cmp, kMethodFusion).explanation_size,
+            cmp->feature_space_size);
+}
+
+TEST(EvaluationTest, XStreamClusterDominatesBaselinesOnConsistency) {
+  auto run = BuildWorkloadRun(HadoopWorkloads()[0], FastOptions());
+  ASSERT_TRUE(run.ok());
+  auto cmp = CompareMethods(**run);
+  ASSERT_TRUE(cmp.ok());
+  const double xs = FindMethod(*cmp, kMethodXStreamCluster).consistency;
+  for (const char* m : {kMethodLogReg, kMethodDTree, kMethodVote, kMethodFusion}) {
+    EXPECT_GT(xs, FindMethod(*cmp, m).consistency) << m;
+  }
+  // And it is concise.
+  EXPECT_LE(FindMethod(*cmp, kMethodXStreamCluster).explanation_size, 4u);
+}
+
+// The paper's headline claims must hold on every workload of both use cases
+// (the bench binaries print the full tables; this guards the shape in CI).
+class WorkloadSweepTest : public ::testing::TestWithParam<WorkloadDef> {};
+
+TEST_P(WorkloadSweepTest, XStreamClusterConsistentAndConcise) {
+  auto run = BuildWorkloadRun(GetParam(), FastOptions());
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  ExplainOptions options = (*run)->DefaultExplainOptions();
+  ExplanationEngine engine = (*run)->MakeExplanationEngine(options);
+  auto report = engine.Explain((*run)->annotation);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  // Concise: a handful of features at most.
+  EXPECT_GE(report->final_features.size(), 1u);
+  EXPECT_LE(report->final_features.size(), 5u);
+  // Consistent: cluster-aware F-measure against ground truth is high.
+  EXPECT_GE(ClusterAwareConsistency(*report, (*run)->ground_truth), 0.65)
+      << GetParam().name;
+  // And the CNF is non-trivial.
+  EXPECT_FALSE(report->explanation.empty());
+}
+
+std::vector<WorkloadDef> AllWorkloads() {
+  std::vector<WorkloadDef> all = HadoopWorkloads();
+  for (const WorkloadDef& d : SupplyChainWorkloads()) all.push_back(d);
+  return all;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadSweepTest,
+                         ::testing::ValuesIn(AllWorkloads()),
+                         [](const ::testing::TestParamInfo<WorkloadDef>& info) {
+                           std::string name = info.param.name;
+                           for (char& c : name) {
+                             if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace exstream

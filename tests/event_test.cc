@@ -1,0 +1,131 @@
+#include "event/event.h"
+
+#include <gtest/gtest.h>
+
+#include "event/registry.h"
+#include "event/schema.h"
+#include "event/stream.h"
+
+namespace exstream {
+namespace {
+
+EventSchema CpuSchema() {
+  return EventSchema("CpuUsage", {{"node", ValueType::kInt64},
+                                  {"usage", ValueType::kDouble}});
+}
+
+TEST(SchemaTest, AttributeLookup) {
+  const EventSchema schema = CpuSchema();
+  EXPECT_EQ(schema.name(), "CpuUsage");
+  EXPECT_EQ(schema.num_attributes(), 2u);
+  ASSERT_TRUE(schema.AttributeIndex("usage").ok());
+  EXPECT_EQ(*schema.AttributeIndex("usage"), 1u);
+  EXPECT_TRUE(schema.HasAttribute("node"));
+  EXPECT_FALSE(schema.HasAttribute("nonexistent"));
+  EXPECT_TRUE(schema.AttributeIndex("nonexistent").status().IsNotFound());
+}
+
+TEST(SchemaTest, ValidateRow) {
+  const EventSchema schema = CpuSchema();
+  EXPECT_TRUE(schema.ValidateRow({Value(int64_t{1}), Value(0.5)}).ok());
+  // int64 accepted where double declared.
+  EXPECT_TRUE(schema.ValidateRow({Value(int64_t{1}), Value(int64_t{1})}).ok());
+  // Wrong arity.
+  EXPECT_FALSE(schema.ValidateRow({Value(int64_t{1})}).ok());
+  // Wrong type.
+  EXPECT_FALSE(schema.ValidateRow({Value("x"), Value(0.5)}).ok());
+}
+
+TEST(SchemaTest, ToStringListsAttributes) {
+  EXPECT_EQ(CpuSchema().ToString(), "CpuUsage(timestamp, node:int64, usage:double)");
+}
+
+TEST(RegistryTest, RegisterAndLookup) {
+  EventTypeRegistry registry;
+  auto id = registry.Register(CpuSchema());
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*id, 0u);
+  EXPECT_TRUE(registry.Contains("CpuUsage"));
+  EXPECT_EQ(*registry.IdOf("CpuUsage"), 0u);
+  EXPECT_EQ(registry.schema(0).name(), "CpuUsage");
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(RegistryTest, DuplicateRejected) {
+  EventTypeRegistry registry;
+  ASSERT_TRUE(registry.Register(CpuSchema()).ok());
+  EXPECT_EQ(registry.Register(CpuSchema()).status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(RegistryTest, UnknownLookupFails) {
+  EventTypeRegistry registry;
+  EXPECT_TRUE(registry.IdOf("Nope").status().IsNotFound());
+  EXPECT_FALSE(registry.Contains("Nope"));
+}
+
+TEST(RegistryTest, DenseIds) {
+  EventTypeRegistry registry;
+  EXPECT_EQ(*registry.Register(EventSchema("A", {})), 0u);
+  EXPECT_EQ(*registry.Register(EventSchema("B", {})), 1u);
+  EXPECT_EQ(*registry.Register(EventSchema("C", {})), 2u);
+}
+
+TEST(TimeIntervalTest, ContainsAndLength) {
+  const TimeInterval iv{10, 20};
+  EXPECT_TRUE(iv.Contains(10));
+  EXPECT_TRUE(iv.Contains(20));
+  EXPECT_TRUE(iv.Contains(15));
+  EXPECT_FALSE(iv.Contains(9));
+  EXPECT_FALSE(iv.Contains(21));
+  EXPECT_EQ(iv.Length(), 10);
+}
+
+TEST(StreamTest, FanOutDeliversToAllSinks) {
+  VectorSink a;
+  VectorSink b;
+  FanOutSink fan;
+  fan.Attach(&a);
+  fan.Attach(&b);
+  fan.OnEvent(Event(0, 1, {Value(int64_t{1})}));
+  fan.OnEvent(Event(0, 2, {Value(int64_t{2})}));
+  EXPECT_EQ(a.events().size(), 2u);
+  EXPECT_EQ(b.events().size(), 2u);
+  EXPECT_EQ(b.events()[1].ts, 2);
+}
+
+TEST(StreamTest, CallbackSink) {
+  int count = 0;
+  CallbackSink sink([&count](const Event&) { ++count; });
+  sink.OnEvent(Event(0, 1, {}));
+  sink.OnEvent(Event(0, 2, {}));
+  EXPECT_EQ(count, 2);
+}
+
+TEST(StreamTest, VectorSourceSortsAndReplays) {
+  std::vector<Event> events;
+  events.emplace_back(0, 30, std::vector<Value>{});
+  events.emplace_back(1, 10, std::vector<Value>{});
+  events.emplace_back(0, 20, std::vector<Value>{});
+  VectorEventSource source(std::move(events));
+  source.SortByTime();
+  VectorSink sink;
+  source.Replay(&sink);
+  ASSERT_EQ(sink.events().size(), 3u);
+  EXPECT_EQ(sink.events()[0].ts, 10);
+  EXPECT_EQ(sink.events()[1].ts, 20);
+  EXPECT_EQ(sink.events()[2].ts, 30);
+}
+
+TEST(StreamTest, StableSortKeepsGenerationOrderForTies) {
+  std::vector<Event> events;
+  events.emplace_back(0, 5, std::vector<Value>{Value(int64_t{1})});
+  events.emplace_back(1, 5, std::vector<Value>{Value(int64_t{2})});
+  VectorEventSource source(std::move(events));
+  source.SortByTime();
+  EXPECT_EQ(source.events()[0].values[0].AsInt64(), 1);
+  EXPECT_EQ(source.events()[1].values[0].AsInt64(), 2);
+}
+
+}  // namespace
+}  // namespace exstream

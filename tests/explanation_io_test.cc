@@ -1,0 +1,139 @@
+#include "explain/explanation_io.h"
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+namespace exstream {
+namespace {
+
+RangePredicate Upper(const char* f, double c) {
+  RangePredicate p;
+  p.feature = f;
+  p.has_upper = true;
+  p.upper = c;
+  return p;
+}
+
+RangePredicate Lower(const char* f, double c) {
+  RangePredicate p;
+  p.feature = f;
+  p.has_lower = true;
+  p.lower = c;
+  return p;
+}
+
+RangePredicate Both(const char* f, double lo, double hi) {
+  RangePredicate p;
+  p.feature = f;
+  p.has_lower = true;
+  p.lower = lo;
+  p.has_upper = true;
+  p.upper = hi;
+  return p;
+}
+
+Explanation Example21() {
+  // Example 2.1: MemFreeMean < c1 AND SwapFreeMean < c2.
+  Explanation exp;
+  ExplanationClause mem;
+  mem.feature = "MemUsage.memFree.mean@10";
+  mem.disjuncts = {Upper("MemUsage.memFree.mean@10", 1978482)};
+  ExplanationClause swap;
+  swap.feature = "MemUsage.swapFree.mean@10";
+  swap.disjuncts = {Upper("MemUsage.swapFree.mean@10", 361462)};
+  exp.AddClause(mem);
+  exp.AddClause(swap);
+  return exp;
+}
+
+// Round-trip equality via behavioral checks (predicate structure).
+void ExpectSameStructure(const Explanation& a, const Explanation& b) {
+  ASSERT_EQ(a.clauses().size(), b.clauses().size());
+  for (size_t c = 0; c < a.clauses().size(); ++c) {
+    const auto& ca = a.clauses()[c];
+    const auto& cb = b.clauses()[c];
+    EXPECT_EQ(ca.feature, cb.feature);
+    ASSERT_EQ(ca.disjuncts.size(), cb.disjuncts.size());
+    for (size_t d = 0; d < ca.disjuncts.size(); ++d) {
+      EXPECT_EQ(ca.disjuncts[d].has_lower, cb.disjuncts[d].has_lower);
+      EXPECT_EQ(ca.disjuncts[d].has_upper, cb.disjuncts[d].has_upper);
+      if (ca.disjuncts[d].has_lower) {
+        EXPECT_NEAR(ca.disjuncts[d].lower, cb.disjuncts[d].lower,
+                    1e-6 * std::abs(ca.disjuncts[d].lower) + 1e-9);
+      }
+      if (ca.disjuncts[d].has_upper) {
+        EXPECT_NEAR(ca.disjuncts[d].upper, cb.disjuncts[d].upper,
+                    1e-6 * std::abs(ca.disjuncts[d].upper) + 1e-9);
+      }
+    }
+  }
+}
+
+TEST(ExplanationIoTest, RoundTripsExample21) {
+  const Explanation original = Example21();
+  auto parsed = ParseExplanation(original.ToString());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ExpectSameStructure(original, *parsed);
+}
+
+TEST(ExplanationIoTest, RoundTripsDisjunctionsAndBoundedRanges) {
+  // The paper's multi-range form: f2 <= 20 OR (f2 >= 30 AND f2 <= 50),
+  // conjoined with a lone bounded range and a lower bound.
+  Explanation original;
+  ExplanationClause multi;
+  multi.feature = "f2";
+  multi.disjuncts = {Upper("f2", 20), Both("f2", 30, 50)};
+  ExplanationClause bounded;
+  bounded.feature = "g";
+  bounded.disjuncts = {Both("g", 1.5, 2.5)};
+  ExplanationClause low;
+  low.feature = "h";
+  low.disjuncts = {Lower("h", -3.25)};
+  original.AddClause(multi);
+  original.AddClause(bounded);
+  original.AddClause(low);
+
+  auto parsed = ParseExplanation(original.ToString());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString()
+                           << "\ntext: " << original.ToString();
+  ExpectSameStructure(original, *parsed);
+  // Behavior preserved too.
+  for (double v : {10.0, 25.0, 40.0, 60.0}) {
+    EXPECT_EQ(original.clauses()[0].Eval(v), parsed->clauses()[0].Eval(v)) << v;
+  }
+}
+
+TEST(ExplanationIoTest, EmptyForms) {
+  auto empty = ParseExplanation("(empty explanation)");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+  auto blank = ParseExplanation("   \n");
+  ASSERT_TRUE(blank.ok());
+  EXPECT_TRUE(blank->empty());
+}
+
+TEST(ExplanationIoTest, ParseErrors) {
+  EXPECT_FALSE(ParseExplanation("f <=").ok());               // missing number
+  EXPECT_FALSE(ParseExplanation("f == 3").ok());             // bad operator
+  EXPECT_FALSE(ParseExplanation("(f >= 1 AND g <= 2)").ok());  // mixed features
+  EXPECT_FALSE(ParseExplanation("(f <= 1 OR g <= 2)").ok());   // mixed disjuncts
+  EXPECT_FALSE(ParseExplanation("(f <= 1").ok());            // unbalanced paren
+  EXPECT_FALSE(ParseExplanation("f <= 1 AND").ok());         // dangling AND
+  EXPECT_FALSE(ParseExplanation("(f >= 1 AND f >= 2)").ok());  // two lower bounds
+}
+
+TEST(ExplanationIoTest, FileRoundTrip) {
+  char tmpl[] = "/tmp/exstream_rule_XXXXXX";
+  ASSERT_NE(mkdtemp(tmpl), nullptr);
+  const std::string path = std::string(tmpl) + "/rule.cnf";
+  const Explanation original = Example21();
+  ASSERT_TRUE(SaveExplanationFile(path, original).ok());
+  auto loaded = LoadExplanationFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectSameStructure(original, *loaded);
+  EXPECT_TRUE(LoadExplanationFile("/no/such/rule.cnf").status().IsIOError());
+}
+
+}  // namespace
+}  // namespace exstream

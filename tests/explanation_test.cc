@@ -1,0 +1,173 @@
+#include "explain/explanation.h"
+
+#include <gtest/gtest.h>
+
+#include "explain/predicate_builder.h"
+#include "explain/reward.h"
+
+namespace exstream {
+namespace {
+
+TEST(RangePredicateTest, EvalSemantics) {
+  RangePredicate upper;
+  upper.feature = "f";
+  upper.has_upper = true;
+  upper.upper = 10;
+  EXPECT_TRUE(upper.Eval(5));
+  EXPECT_TRUE(upper.Eval(10));
+  EXPECT_FALSE(upper.Eval(11));
+
+  RangePredicate both;
+  both.feature = "f";
+  both.has_lower = true;
+  both.lower = 3;
+  both.has_upper = true;
+  both.upper = 7;
+  EXPECT_TRUE(both.Eval(5));
+  EXPECT_FALSE(both.Eval(2));
+  EXPECT_FALSE(both.Eval(8));
+
+  RangePredicate unbounded;  // asserts nothing -> never satisfied
+  EXPECT_FALSE(unbounded.Eval(5));
+}
+
+TEST(RangePredicateTest, ToStringForms) {
+  RangePredicate p;
+  p.feature = "Mem.free.raw";
+  p.has_upper = true;
+  p.upper = 1978482;
+  EXPECT_EQ(p.ToString(), "Mem.free.raw <= 1978482");
+  p.has_lower = true;
+  p.lower = 5;
+  EXPECT_NE(p.ToString().find("AND"), std::string::npos);
+}
+
+TEST(ExplanationClauseTest, DisjunctionSemantics) {
+  // The paper's example: f <= 20 OR (f >= 30 AND f <= 50).
+  ExplanationClause clause;
+  clause.feature = "f2";
+  RangePredicate low;
+  low.feature = "f2";
+  low.has_upper = true;
+  low.upper = 20;
+  RangePredicate mid;
+  mid.feature = "f2";
+  mid.has_lower = true;
+  mid.lower = 30;
+  mid.has_upper = true;
+  mid.upper = 50;
+  clause.disjuncts = {low, mid};
+  EXPECT_TRUE(clause.Eval(10));
+  EXPECT_FALSE(clause.Eval(25));
+  EXPECT_TRUE(clause.Eval(40));
+  EXPECT_FALSE(clause.Eval(60));
+  EXPECT_NE(clause.ToString().find(" OR "), std::string::npos);
+}
+
+TEST(ExplanationTest, ConjunctionAcrossFeatures) {
+  // Example 2.1: MemFree < c1 AND SwapFree < c2.
+  Explanation exp;
+  ExplanationClause mem;
+  mem.feature = "MemUsage.memFree.mean@10";
+  RangePredicate p1;
+  p1.feature = mem.feature;
+  p1.has_upper = true;
+  p1.upper = 1978482;
+  mem.disjuncts = {p1};
+  ExplanationClause swap;
+  swap.feature = "MemUsage.swapFree.mean@10";
+  RangePredicate p2;
+  p2.feature = swap.feature;
+  p2.has_upper = true;
+  p2.upper = 361462;
+  swap.disjuncts = {p2};
+  exp.AddClause(mem);
+  exp.AddClause(swap);
+
+  EXPECT_EQ(exp.NumFeatures(), 2u);
+  EXPECT_TRUE(exp.Eval({{mem.feature, 1.5e6}, {swap.feature, 3e5}}));
+  EXPECT_FALSE(exp.Eval({{mem.feature, 1.5e6}, {swap.feature, 9e5}}));
+  // Missing feature makes the clause false.
+  EXPECT_FALSE(exp.Eval({{mem.feature, 1.5e6}}));
+  const std::string s = exp.ToString();
+  EXPECT_NE(s.find(" AND "), std::string::npos);
+}
+
+TEST(ExplanationTest, EmptyExplanationNeverFires) {
+  Explanation exp;
+  EXPECT_TRUE(exp.empty());
+  EXPECT_FALSE(exp.Eval({{"f", 1.0}}));
+  EXPECT_EQ(exp.ToString(), "(empty explanation)");
+}
+
+RankedFeature FeatureWith(std::vector<double> abnormal, std::vector<double> reference,
+                          const char* type = "M", const char* attr = "x") {
+  RankedFeature f;
+  f.spec.event_type_name = type;
+  f.spec.attribute_name = attr;
+  f.spec.agg = AggregateKind::kRaw;
+  for (size_t i = 0; i < abnormal.size(); ++i) {
+    (void)f.abnormal_series.Append(static_cast<Timestamp>(i), abnormal[i]);
+  }
+  for (size_t i = 0; i < reference.size(); ++i) {
+    (void)f.reference_series.Append(static_cast<Timestamp>(i), reference[i]);
+  }
+  f.entropy = ComputeEntropyDistance(abnormal, reference);
+  return f;
+}
+
+TEST(PredicateBuilderTest, PerfectSeparationOneBoundary) {
+  // Sec. 5.4: "if a feature offers perfect separation there is one boundary
+  //  and only one predicate is built: e.g. f1 <= 10".
+  const RankedFeature f = FeatureWith({1, 2, 3}, {9, 10, 11});
+  auto clause = BuildClause(f);
+  ASSERT_TRUE(clause.ok());
+  ASSERT_EQ(clause->disjuncts.size(), 1u);
+  EXPECT_FALSE(clause->disjuncts[0].has_lower);
+  EXPECT_TRUE(clause->disjuncts[0].has_upper);
+  EXPECT_DOUBLE_EQ(clause->disjuncts[0].upper, 6.0);
+  EXPECT_TRUE(clause->Eval(2));
+  EXPECT_FALSE(clause->Eval(9));
+}
+
+TEST(PredicateBuilderTest, MultipleAbnormalRangesDisjunction) {
+  const RankedFeature f = FeatureWith({1, 2, 40, 41}, {10, 11, 12});
+  auto clause = BuildClause(f);
+  ASSERT_TRUE(clause.ok());
+  ASSERT_EQ(clause->disjuncts.size(), 2u);
+  EXPECT_TRUE(clause->Eval(0));
+  EXPECT_FALSE(clause->Eval(11));
+  EXPECT_TRUE(clause->Eval(100));
+}
+
+TEST(PredicateBuilderTest, FullyMixedFeatureRejected) {
+  const RankedFeature f = FeatureWith({5, 5}, {5, 5});
+  EXPECT_FALSE(BuildClause(f).ok());
+}
+
+TEST(PredicateBuilderTest, ExplanationSkipsUnusableFeatures) {
+  std::vector<RankedFeature> features = {FeatureWith({1, 2}, {9, 10}, "M", "good"),
+                                         FeatureWith({5, 5}, {5, 5}, "M", "mixed")};
+  auto exp = BuildExplanation(features);
+  ASSERT_TRUE(exp.ok());
+  EXPECT_EQ(exp->NumFeatures(), 1u);
+  EXPECT_EQ(exp->FeatureNames()[0], "M.good.raw");
+}
+
+TEST(PredicateBuilderTest, ExplanationClassifiesItsOwnTrainingData) {
+  // Property: the built explanation is true on abnormal values and false on
+  // reference values of its source feature.
+  const RankedFeature f = FeatureWith({1, 2, 3, 4}, {10, 11, 12, 13});
+  auto exp = BuildExplanation({f});
+  ASSERT_TRUE(exp.ok());
+  const std::string name = f.spec.Name();
+  for (double v : {1.0, 2.0, 3.0, 4.0}) {
+    EXPECT_TRUE(exp->Eval({{name, v}}));
+  }
+  for (double v : {10.0, 11.0, 12.0, 13.0}) {
+    EXPECT_FALSE(exp->Eval({{name, v}}));
+  }
+}
+
+}  // namespace
+}  // namespace exstream

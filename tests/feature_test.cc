@@ -1,0 +1,162 @@
+#include "features/feature_space.h"
+
+#include <gtest/gtest.h>
+
+#include "archive/archive.h"
+#include "features/builder.h"
+
+namespace exstream {
+namespace {
+
+class FeatureTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(registry_
+                    .Register(EventSchema("Mem", {{"eventId", ValueType::kInt64},
+                                                  {"free", ValueType::kDouble},
+                                                  {"host", ValueType::kString}}))
+                    .ok());
+    ASSERT_TRUE(registry_
+                    .Register(EventSchema("Cpu", {{"idle", ValueType::kDouble}}))
+                    .ok());
+  }
+
+  EventTypeRegistry registry_;
+};
+
+TEST_F(FeatureTest, SpecNames) {
+  FeatureSpec raw;
+  raw.event_type_name = "Mem";
+  raw.attribute_name = "free";
+  raw.agg = AggregateKind::kRaw;
+  EXPECT_EQ(raw.Name(), "Mem.free.raw");
+
+  FeatureSpec mean = raw;
+  mean.agg = AggregateKind::kMean;
+  mean.window = 10;
+  EXPECT_EQ(mean.Name(), "Mem.free.mean@10");
+}
+
+TEST_F(FeatureTest, GenerateSpecsSkipsStringsAndExclusions) {
+  FeatureSpaceOptions options;
+  options.windows = {10};
+  options.aggregates = {AggregateKind::kMean};
+  const auto specs = GenerateFeatureSpecs(registry_, options);
+  // Mem: eventId excluded by default, host is a string -> only `free`.
+  // Cpu: idle. Each contributes raw + mean@10.
+  ASSERT_EQ(specs.size(), 4u);
+  EXPECT_EQ(specs[0].Name(), "Mem.free.raw");
+  EXPECT_EQ(specs[1].Name(), "Mem.free.mean@10");
+  EXPECT_EQ(specs[2].Name(), "Cpu.idle.raw");
+  EXPECT_EQ(specs[3].Name(), "Cpu.idle.mean@10");
+}
+
+TEST_F(FeatureTest, ExcludeEventTypes) {
+  FeatureSpaceOptions options;
+  options.windows = {10};
+  options.aggregates = {AggregateKind::kMean};
+  options.exclude_event_types = {"Cpu"};
+  const auto specs = GenerateFeatureSpecs(registry_, options);
+  for (const auto& s : specs) EXPECT_NE(s.event_type_name, "Cpu");
+}
+
+TEST_F(FeatureTest, FindSpecByName) {
+  const auto specs = GenerateFeatureSpecs(registry_);
+  EXPECT_TRUE(FindSpecByName(specs, "Mem.free.raw").ok());
+  EXPECT_TRUE(FindSpecByName(specs, "Nope.x.raw").status().IsNotFound());
+}
+
+TEST_F(FeatureTest, BuilderRawAndSmoothed) {
+  EventArchive archive(&registry_);
+  for (Timestamp t = 0; t < 40; ++t) {
+    ASSERT_TRUE(archive
+                    .Append(Event(0, t, {Value(int64_t{t}), Value(t * 1.0),
+                                         Value("h")}))
+                    .ok());
+  }
+  FeatureBuilder builder(&archive);
+  FeatureSpaceOptions options;
+  options.windows = {10};
+  options.aggregates = {AggregateKind::kMean};
+  const auto specs = GenerateFeatureSpecs(registry_, options);
+
+  auto features = builder.Build(specs, {0, 39});
+  ASSERT_TRUE(features.ok());
+  // Mem.free.raw has all 40 points; mean@10 has 4 windows.
+  const Feature& raw = (*features)[0];
+  const Feature& mean = (*features)[1];
+  EXPECT_EQ(raw.series.size(), 40u);
+  EXPECT_EQ(mean.series.size(), 4u);
+  EXPECT_DOUBLE_EQ(mean.series.value(0), 4.5);  // mean of 0..9
+  // Cpu has no events: empty series, not an error.
+  EXPECT_TRUE((*features)[2].series.empty());
+}
+
+TEST_F(FeatureTest, BuilderSliceRespectsInterval) {
+  EventArchive archive(&registry_);
+  for (Timestamp t = 0; t < 100; ++t) {
+    ASSERT_TRUE(
+        archive.Append(Event(0, t, {Value(int64_t{t}), Value(t * 1.0), Value("h")}))
+            .ok());
+  }
+  FeatureBuilder builder(&archive);
+  FeatureSpec spec;
+  spec.type = 0;
+  spec.attr_index = 1;
+  spec.event_type_name = "Mem";
+  spec.attribute_name = "free";
+  spec.agg = AggregateKind::kRaw;
+  auto feature = builder.BuildOne(spec, {20, 29});
+  ASSERT_TRUE(feature.ok());
+  EXPECT_EQ(feature->series.size(), 10u);
+  EXPECT_DOUBLE_EQ(feature->series.value(0), 20.0);
+}
+
+TEST_F(FeatureTest, CountFeatureCoversSilentInterval) {
+  // The "missing monitoring" case: no events at all in the queried interval
+  // must still yield zero-count windows (not an empty series).
+  EventArchive archive(&registry_);
+  for (Timestamp t = 0; t < 10; ++t) {
+    ASSERT_TRUE(
+        archive.Append(Event(1, t, {Value(t * 1.0)})).ok());  // Cpu events early
+  }
+  FeatureBuilder builder(&archive);
+  FeatureSpec spec;
+  spec.type = 1;
+  spec.attr_index = 0;
+  spec.event_type_name = "Cpu";
+  spec.attribute_name = "idle";
+  spec.agg = AggregateKind::kCount;
+  spec.window = 10;
+  auto feature = builder.BuildOne(spec, {100, 149});  // silent interval
+  ASSERT_TRUE(feature.ok());
+  ASSERT_EQ(feature->series.size(), 5u);
+  for (size_t i = 0; i < feature->series.size(); ++i) {
+    EXPECT_DOUBLE_EQ(feature->series.value(i), 0.0);
+  }
+}
+
+TEST_F(FeatureTest, CountFeatureCountsPerWindow) {
+  EventArchive archive(&registry_);
+  // 2 events in [0,10), none in [10,20), 1 in [20,30).
+  ASSERT_TRUE(archive.Append(Event(1, 1, {Value(1.0)})).ok());
+  ASSERT_TRUE(archive.Append(Event(1, 5, {Value(1.0)})).ok());
+  ASSERT_TRUE(archive.Append(Event(1, 25, {Value(1.0)})).ok());
+  FeatureBuilder builder(&archive);
+  FeatureSpec spec;
+  spec.type = 1;
+  spec.attr_index = 0;
+  spec.event_type_name = "Cpu";
+  spec.attribute_name = "idle";
+  spec.agg = AggregateKind::kCount;
+  spec.window = 10;
+  auto feature = builder.BuildOne(spec, {0, 29});
+  ASSERT_TRUE(feature.ok());
+  ASSERT_EQ(feature->series.size(), 3u);
+  EXPECT_DOUBLE_EQ(feature->series.value(0), 2.0);
+  EXPECT_DOUBLE_EQ(feature->series.value(1), 0.0);
+  EXPECT_DOUBLE_EQ(feature->series.value(2), 1.0);
+}
+
+}  // namespace
+}  // namespace exstream

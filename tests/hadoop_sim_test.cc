@@ -1,0 +1,194 @@
+#include "sim/hadoop_sim.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "cep/engine.h"
+#include "common/stats.h"
+
+namespace exstream {
+namespace {
+
+class HadoopSimTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(HadoopClusterSim::RegisterEventTypes(&registry_).ok());
+  }
+
+  HadoopSimConfig SmallConfig() {
+    HadoopSimConfig config;
+    config.num_nodes = 3;
+    config.seed = 11;
+    return config;
+  }
+
+  HadoopJobConfig Job(const char* id, Timestamp start = 0) {
+    HadoopJobConfig job;
+    job.job_id = id;
+    job.program = "p";
+    job.dataset = "d";
+    job.start_time = start;
+    return job;
+  }
+
+  EventTypeRegistry registry_;
+};
+
+TEST_F(HadoopSimTest, RegistersAllEventTypes) {
+  for (const char* name : {"JobStart", "JobEnd", "DataIO", "MapStart", "MapFinish",
+                           "PullStart", "PullFinish", "CpuUsage", "MemUsage",
+                           "DiskUsage", "NetUsage"}) {
+    EXPECT_TRUE(registry_.Contains(name)) << name;
+  }
+  // Idempotent.
+  EXPECT_TRUE(HadoopClusterSim::RegisterEventTypes(&registry_).ok());
+}
+
+TEST_F(HadoopSimTest, EventsAreTimeOrderedAndSchemaValid) {
+  HadoopClusterSim sim(SmallConfig(), &registry_);
+  sim.AddJob(Job("j1"));
+  VectorSink sink;
+  auto completions = sim.Run(&sink);
+  ASSERT_TRUE(completions.ok());
+  ASSERT_FALSE(sink.events().empty());
+  Timestamp prev = sink.events().front().ts;
+  for (const Event& e : sink.events()) {
+    EXPECT_GE(e.ts, prev);
+    prev = e.ts;
+    ASSERT_LT(e.type, registry_.size());
+    EXPECT_TRUE(registry_.schema(e.type).ValidateRow(e.values).ok())
+        << registry_.schema(e.type).name();
+  }
+}
+
+TEST_F(HadoopSimTest, QueuingCurveShape) {
+  // Fig. 1(a): the cumulative DataIO sum rises to a peak and returns to ~0.
+  HadoopClusterSim sim(SmallConfig(), &registry_);
+  sim.AddJob(Job("j1"));
+  VectorSink sink;
+  ASSERT_TRUE(sim.Run(&sink).ok());
+
+  const EventTypeId data_io = *registry_.IdOf("DataIO");
+  const size_t size_idx = *registry_.schema(data_io).AttributeIndex("dataSize");
+  double queue = 0;
+  double peak = 0;
+  for (const Event& e : sink.events()) {
+    if (e.type != data_io) continue;
+    queue += e.values[size_idx].AsDouble();
+    peak = std::max(peak, queue);
+  }
+  EXPECT_GT(peak, 50.0);          // a real peak forms
+  EXPECT_NEAR(queue, 0.0, 1e-6);  // everything produced is consumed
+}
+
+TEST_F(HadoopSimTest, AnomalySlowsJobDown) {
+  Timestamp normal_end = 0;
+  VectorSink normal_sink;
+  {
+    HadoopClusterSim sim(SmallConfig(), &registry_);
+    sim.AddJob(Job("j1"));
+    auto completions = sim.Run(&normal_sink);
+    ASSERT_TRUE(completions.ok());
+    normal_end = (*completions)[0].second;
+  }
+  VectorSink slow_sink;
+  {
+    HadoopClusterSim sim(SmallConfig(), &registry_);
+    sim.AddJob(Job("j1"));
+    AnomalySpec anomaly;
+    anomaly.type = AnomalyType::kHighMemory;
+    anomaly.start = 60;
+    anomaly.end = 360;
+    sim.AddAnomaly(anomaly);
+    auto completions = sim.Run(&slow_sink);
+    ASSERT_TRUE(completions.ok());
+    // Fig. 1(b): completion delayed by hundreds of seconds.
+    EXPECT_GT((*completions)[0].second, normal_end + 150);
+  }
+}
+
+TEST_F(HadoopSimTest, HighMemoryShiftsMemoryMetrics) {
+  HadoopClusterSim sim(SmallConfig(), &registry_);
+  sim.AddJob(Job("j1"));
+  AnomalySpec anomaly;
+  anomaly.type = AnomalyType::kHighMemory;
+  anomaly.start = 100;
+  anomaly.end = 300;
+  sim.AddAnomaly(anomaly);
+  VectorSink sink;
+  ASSERT_TRUE(sim.Run(&sink).ok());
+
+  const EventTypeId mem = *registry_.IdOf("MemUsage");
+  const size_t free_idx = *registry_.schema(mem).AttributeIndex("memFree");
+  std::vector<double> during;
+  std::vector<double> outside;
+  for (const Event& e : sink.events()) {
+    if (e.type != mem) continue;
+    const double v = e.values[free_idx].AsDouble();
+    if (e.ts >= 150 && e.ts <= 300) {
+      during.push_back(v);
+    } else if (e.ts < 100 || e.ts > 450) {
+      outside.push_back(v);
+    }
+  }
+  ASSERT_FALSE(during.empty());
+  ASSERT_FALSE(outside.empty());
+  EXPECT_LT(Mean(during), Mean(outside) * 0.5);  // memory visibly depleted
+}
+
+TEST_F(HadoopSimTest, AnomalyShiftRespectsNodeList) {
+  HadoopSimConfig config = SmallConfig();
+  HadoopClusterSim sim(config, &registry_);
+  sim.AddJob(Job("j1"));
+  AnomalySpec anomaly;
+  anomaly.type = AnomalyType::kHighCpu;
+  anomaly.start = 100;
+  anomaly.end = 400;
+  anomaly.nodes = {0};  // only node 0 affected
+  sim.AddAnomaly(anomaly);
+  VectorSink sink;
+  ASSERT_TRUE(sim.Run(&sink).ok());
+
+  const EventTypeId cpu = *registry_.IdOf("CpuUsage");
+  const size_t node_idx = *registry_.schema(cpu).AttributeIndex("clusterNodeNumber");
+  const size_t idle_idx = *registry_.schema(cpu).AttributeIndex("cpuIdle");
+  std::vector<double> node0;
+  std::vector<double> node1;
+  for (const Event& e : sink.events()) {
+    if (e.type != cpu || e.ts < 150 || e.ts > 400) continue;
+    (e.values[node_idx].AsInt64() == 0 ? node0 : node1)
+        .push_back(e.values[idle_idx].AsDouble());
+  }
+  ASSERT_FALSE(node0.empty());
+  ASSERT_FALSE(node1.empty());
+  EXPECT_LT(Mean(node0), Mean(node1) * 0.6);
+}
+
+TEST_F(HadoopSimTest, DeterministicForSameSeed) {
+  auto run_once = [&]() {
+    HadoopClusterSim sim(SmallConfig(), &registry_);
+    sim.AddJob(Job("j1"));
+    VectorSink sink;
+    EXPECT_TRUE(sim.Run(&sink).ok());
+    return sink.TakeEvents();
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); i += 97) {
+    EXPECT_EQ(a[i].ts, b[i].ts);
+    EXPECT_EQ(a[i].type, b[i].type);
+  }
+}
+
+TEST_F(HadoopSimTest, GroundTruthSignalsDefined) {
+  for (AnomalyType t : {AnomalyType::kHighMemory, AnomalyType::kHighCpu,
+                        AnomalyType::kBusyDisk, AnomalyType::kBusyNetwork}) {
+    EXPECT_GE(AnomalyGroundTruthSignals(t).size(), 2u);
+  }
+  EXPECT_TRUE(AnomalyGroundTruthSignals(AnomalyType::kNone).empty());
+}
+
+}  // namespace
+}  // namespace exstream

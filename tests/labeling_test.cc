@@ -1,0 +1,114 @@
+#include "explain/labeling.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace exstream {
+namespace {
+
+// Series with samples every `step` around the given level.
+TimeSeries Level(double level, Timestamp start, Timestamp end, Timestamp step,
+                 uint64_t seed = 1) {
+  Rng rng(seed);
+  TimeSeries s;
+  for (Timestamp t = start; t <= end; t += step) {
+    (void)s.Append(t, level + rng.Gaussian(0, 0.05));
+  }
+  return s;
+}
+
+CandidateInterval Candidate(const char* partition, TimeSeries series) {
+  CandidateInterval c;
+  c.partition = partition;
+  c.range = {series.empty() ? 0 : series.start_time(),
+             series.empty() ? 0 : series.end_time()};
+  c.series = std::move(series);
+  return c;
+}
+
+TEST(IntervalDistanceTest, SimilarIntervalsClose) {
+  const TimeSeries a = Level(10, 0, 100, 2, 1);
+  const TimeSeries b = Level(10, 200, 300, 2, 2);
+  EXPECT_LT(IntervalDistance(a, b), 0.45);
+}
+
+TEST(IntervalDistanceTest, DifferentValuesFar) {
+  const TimeSeries a = Level(10, 0, 100, 2, 1);
+  const TimeSeries b = Level(50, 200, 300, 2, 2);
+  EXPECT_GT(IntervalDistance(a, b), 0.45);
+}
+
+TEST(IntervalDistanceTest, FrequencyDifferenceCounts) {
+  // Same values, very different sampling rates (the paper's 3.7 vs 50.1).
+  const TimeSeries dense = Level(10, 0, 100, 1, 1);
+  const TimeSeries sparse = Level(10, 0, 100, 20, 2);
+  LabelingOptions options;
+  options.entropy_weight = 0.0;
+  options.frequency_weight = 1.0;
+  EXPECT_GT(IntervalDistance(dense, sparse, options), 0.8);
+}
+
+TEST(IntervalDistanceTest, EmptySeriesMaximallyFar) {
+  EXPECT_DOUBLE_EQ(IntervalDistance(TimeSeries(), Level(1, 0, 10, 1)), 1.0);
+}
+
+TEST(LabelingTest, CandidatesInheritNearestAnnotationLabel) {
+  // Annotated abnormal: low values sampled sparsely. Annotated reference:
+  // high values sampled densely. Candidates resembling each get the matching
+  // label.
+  const CandidateInterval abnormal = Candidate("pA", Level(2, 0, 100, 10, 1));
+  const CandidateInterval reference = Candidate("pA", Level(50, 100, 200, 2, 2));
+  std::vector<CandidateInterval> candidates = {
+      Candidate("p1", Level(2.1, 0, 100, 10, 3)),   // like the anomaly
+      Candidate("p2", Level(49, 300, 400, 2, 4)),   // like the reference
+  };
+  auto labeled = LabelIntervals(abnormal, reference, candidates);
+  ASSERT_TRUE(labeled.ok());
+  ASSERT_EQ(labeled->size(), 2u);
+  EXPECT_EQ((*labeled)[0].label, IntervalLabel::kAbnormal);
+  EXPECT_EQ((*labeled)[1].label, IntervalLabel::kReference);
+}
+
+TEST(LabelingTest, IndistinguishableAnnotationsDiscardEverything) {
+  // If the annotated abnormal and reference look the same, no candidate can
+  // be labeled with certainty.
+  const CandidateInterval abnormal = Candidate("pA", Level(10, 0, 100, 2, 1));
+  const CandidateInterval reference = Candidate("pA", Level(10, 100, 200, 2, 2));
+  std::vector<CandidateInterval> candidates = {
+      Candidate("p1", Level(10, 300, 400, 2, 3))};
+  auto labeled = LabelIntervals(abnormal, reference, candidates);
+  ASSERT_TRUE(labeled.ok());
+  EXPECT_EQ((*labeled)[0].label, IntervalLabel::kDiscarded);
+}
+
+TEST(LabelingTest, FarFromBothIsResolvedByRelativeDistance) {
+  const CandidateInterval abnormal = Candidate("pA", Level(2, 0, 100, 2, 1));
+  const CandidateInterval reference = Candidate("pA", Level(50, 100, 200, 2, 2));
+  // A candidate at value 40: its own cluster, but clearly closer to the
+  // reference side.
+  std::vector<CandidateInterval> candidates = {
+      Candidate("p1", Level(40, 300, 400, 2, 3))};
+  LabelingOptions options;
+  options.cut_threshold = 0.2;  // force separate clusters
+  auto labeled = LabelIntervals(abnormal, reference, candidates, options);
+  ASSERT_TRUE(labeled.ok());
+  EXPECT_NE((*labeled)[0].label, IntervalLabel::kAbnormal);
+}
+
+TEST(LabelingTest, NoCandidates) {
+  const CandidateInterval abnormal = Candidate("pA", Level(2, 0, 100, 2, 1));
+  const CandidateInterval reference = Candidate("pA", Level(50, 100, 200, 2, 2));
+  auto labeled = LabelIntervals(abnormal, reference, {});
+  ASSERT_TRUE(labeled.ok());
+  EXPECT_TRUE(labeled->empty());
+}
+
+TEST(LabelingTest, LabelNames) {
+  EXPECT_EQ(IntervalLabelToString(IntervalLabel::kAbnormal), "abnormal");
+  EXPECT_EQ(IntervalLabelToString(IntervalLabel::kReference), "reference");
+  EXPECT_EQ(IntervalLabelToString(IntervalLabel::kDiscarded), "discarded");
+}
+
+}  // namespace
+}  // namespace exstream

@@ -1,0 +1,65 @@
+#include "explain/leap_filter.h"
+
+#include <gtest/gtest.h>
+
+namespace exstream {
+namespace {
+
+RankedFeature WithReward(double reward, const char* name = "T.a") {
+  RankedFeature f;
+  f.spec.event_type_name = "T";
+  f.spec.attribute_name = name;
+  // Synthesize an entropy result with the desired distance.
+  f.entropy.distance = reward;
+  return f;
+}
+
+std::vector<RankedFeature> Ranking(std::initializer_list<double> rewards) {
+  std::vector<RankedFeature> out;
+  for (double r : rewards) out.push_back(WithReward(r));
+  return out;
+}
+
+TEST(LeapFilterTest, CutsAtSharpDrop) {
+  // 1.0, 0.95, 0.9 | 0.3 ... : the 0.9 -> 0.3 drop is the leap.
+  const auto kept = RewardLeapFilter(Ranking({1.0, 0.95, 0.9, 0.3, 0.29}));
+  EXPECT_EQ(kept.size(), 3u);
+}
+
+TEST(LeapFilterTest, AbsoluteFloorApplies) {
+  // Gentle decline but below min_reward at 0.45.
+  const auto kept = RewardLeapFilter(Ranking({0.9, 0.8, 0.72, 0.65, 0.45, 0.4}));
+  EXPECT_EQ(kept.size(), 4u);
+}
+
+TEST(LeapFilterTest, MaxKeepCaps) {
+  std::vector<double> rewards(100, 1.0);
+  std::vector<RankedFeature> ranking;
+  for (double r : rewards) ranking.push_back(WithReward(r));
+  LeapFilterOptions options;
+  options.max_keep = 10;
+  EXPECT_EQ(RewardLeapFilter(ranking, options).size(), 10u);
+}
+
+TEST(LeapFilterTest, AllBelowFloorYieldsEmpty) {
+  EXPECT_TRUE(RewardLeapFilter(Ranking({0.4, 0.3, 0.2})).empty());
+}
+
+TEST(LeapFilterTest, EmptyInput) {
+  EXPECT_TRUE(RewardLeapFilter({}).empty());
+}
+
+TEST(LeapFilterTest, NoLeapKeepsAllAboveFloor) {
+  const auto kept = RewardLeapFilter(Ranking({1.0, 0.95, 0.9, 0.86, 0.82}));
+  EXPECT_EQ(kept.size(), 5u);
+}
+
+TEST(LeapFilterTest, KeepRatioConfigurable) {
+  LeapFilterOptions strict;
+  strict.keep_ratio = 0.97;  // even a 4% drop is a leap
+  const auto kept = RewardLeapFilter(Ranking({1.0, 0.95, 0.9}), strict);
+  EXPECT_EQ(kept.size(), 1u);
+}
+
+}  // namespace
+}  // namespace exstream

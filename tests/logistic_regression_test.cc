@@ -1,0 +1,91 @@
+#include "ml/logistic_regression.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ml/metrics.h"
+
+namespace exstream {
+namespace {
+
+// Linearly separable data: feature 0 carries the label, feature 1 is noise.
+Dataset SeparableData(uint64_t seed, size_t n = 100) {
+  Rng rng(seed);
+  Dataset data;
+  data.feature_names = {"signal", "noise"};
+  for (size_t i = 0; i < n; ++i) {
+    const int y = i % 2 == 0 ? 1 : 0;
+    const double signal = y == 1 ? rng.Gaussian(5, 0.5) : rng.Gaussian(-5, 0.5);
+    data.rows.push_back({signal, rng.Gaussian(0, 1)});
+    data.labels.push_back(y);
+  }
+  return data;
+}
+
+TEST(LogisticRegressionTest, LearnsSeparableData) {
+  const Dataset data = SeparableData(1);
+  auto model = LogisticRegression::Fit(data);
+  ASSERT_TRUE(model.ok());
+  const auto preds = model->Predict(data);
+  EXPECT_GE(EvaluatePredictions(data.labels, preds).F1(), 0.99);
+}
+
+TEST(LogisticRegressionTest, SignalWeightDominates) {
+  const Dataset data = SeparableData(2);
+  auto model = LogisticRegression::Fit(data);
+  ASSERT_TRUE(model.ok());
+  const auto ranked = model->RankedWeights();
+  ASSERT_FALSE(ranked.empty());
+  EXPECT_EQ(ranked[0].first, "signal");
+  EXPECT_GT(ranked[0].second, 0.0);  // higher signal -> abnormal
+}
+
+TEST(LogisticRegressionTest, L1DrivesNoiseToZero) {
+  Rng rng(3);
+  Dataset data;
+  data.feature_names = {"signal"};
+  for (int f = 0; f < 30; ++f) data.feature_names.push_back("n" + std::to_string(f));
+  for (size_t i = 0; i < 200; ++i) {
+    const int y = i % 2 == 0 ? 1 : 0;
+    std::vector<double> row = {y == 1 ? rng.Gaussian(3, 0.5) : rng.Gaussian(-3, 0.5)};
+    for (int f = 0; f < 30; ++f) row.push_back(rng.Gaussian(0, 1));
+    data.rows.push_back(std::move(row));
+    data.labels.push_back(y);
+  }
+  LogisticRegressionOptions options;
+  options.l1 = 0.02;
+  auto model = LogisticRegression::Fit(data, options);
+  ASSERT_TRUE(model.ok());
+  // Sparsity: far fewer than all 31 features survive.
+  EXPECT_LT(model->SelectedFeatures().size(), 10u);
+  EXPECT_EQ(model->SelectedFeatures().front(), "signal");
+}
+
+TEST(LogisticRegressionTest, ProbabilityMonotoneInSignal) {
+  const Dataset data = SeparableData(4);
+  auto model = LogisticRegression::Fit(data);
+  ASSERT_TRUE(model.ok());
+  EXPECT_GT(model->PredictProbability({5, 0}), 0.9);
+  EXPECT_LT(model->PredictProbability({-5, 0}), 0.1);
+}
+
+TEST(LogisticRegressionTest, EmptyDataRejected) {
+  Dataset empty;
+  EXPECT_FALSE(LogisticRegression::Fit(empty).ok());
+}
+
+TEST(LogisticRegressionTest, LossDecreases) {
+  const Dataset data = SeparableData(5);
+  LogisticRegressionOptions few;
+  few.max_iterations = 2;
+  LogisticRegressionOptions many;
+  many.max_iterations = 300;
+  auto m_few = LogisticRegression::Fit(data, few);
+  auto m_many = LogisticRegression::Fit(data, many);
+  ASSERT_TRUE(m_few.ok());
+  ASSERT_TRUE(m_many.ok());
+  EXPECT_LT(m_many->final_loss(), m_few->final_loss());
+}
+
+}  // namespace
+}  // namespace exstream

@@ -1,0 +1,78 @@
+#include "ml/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace exstream {
+namespace {
+
+TEST(ConfusionTest, CountsAndDerivedMetrics) {
+  const std::vector<int> labels = {1, 1, 1, 0, 0, 0, 0, 1};
+  const std::vector<int> preds = {1, 1, 0, 0, 0, 1, 0, 1};
+  const ConfusionCounts c = EvaluatePredictions(labels, preds);
+  EXPECT_EQ(c.tp, 3u);
+  EXPECT_EQ(c.fn, 1u);
+  EXPECT_EQ(c.fp, 1u);
+  EXPECT_EQ(c.tn, 3u);
+  EXPECT_DOUBLE_EQ(c.Precision(), 0.75);
+  EXPECT_DOUBLE_EQ(c.Recall(), 0.75);
+  EXPECT_DOUBLE_EQ(c.F1(), 0.75);
+  EXPECT_DOUBLE_EQ(c.Accuracy(), 0.75);
+}
+
+TEST(ConfusionTest, DegenerateCases) {
+  const ConfusionCounts empty = EvaluatePredictions({}, {});
+  EXPECT_DOUBLE_EQ(empty.Precision(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.F1(), 0.0);
+  // All-negative predictions: precision undefined -> 0.
+  const ConfusionCounts none = EvaluatePredictions({1, 1}, {0, 0});
+  EXPECT_DOUBLE_EQ(none.Precision(), 0.0);
+  EXPECT_DOUBLE_EQ(none.Recall(), 0.0);
+}
+
+TEST(SignalTest, SameUnderlyingSignal) {
+  EXPECT_TRUE(SameUnderlyingSignal("MemUsage.memFree.mean@10",
+                                   "MemUsage.memFree.raw"));
+  EXPECT_TRUE(SameUnderlyingSignal("MemUsage.memFree.mean@10",
+                                   "MemUsage.memFree"));  // prefix form
+  EXPECT_FALSE(SameUnderlyingSignal("MemUsage.memFree.raw",
+                                    "MemUsage.swapFree.raw"));
+  EXPECT_FALSE(SameUnderlyingSignal("CpuUsage.load.raw", "MemUsage.load.raw"));
+}
+
+TEST(ConsistencyTest, PerfectSelection) {
+  const double f = ExplanationConsistency({"Mem.free.mean@10", "Mem.swap.raw"},
+                                          {"Mem.free", "Mem.swap"});
+  EXPECT_DOUBLE_EQ(f, 1.0);
+}
+
+TEST(ConsistencyTest, ExtraSelectionsLowerPrecision) {
+  const double f = ExplanationConsistency(
+      {"Mem.free.raw", "Cpu.idle.raw", "Net.in.raw", "Disk.io.raw"},
+      {"Mem.free"});
+  // precision 1/4, recall 1 -> F = 0.4.
+  EXPECT_NEAR(f, 0.4, 1e-12);
+}
+
+TEST(ConsistencyTest, MissingTruthLowersRecall) {
+  const double f = ExplanationConsistency({"Mem.free.raw"},
+                                          {"Mem.free", "Mem.swap"});
+  // precision 1, recall 0.5 -> F = 2/3.
+  EXPECT_NEAR(f, 2.0 / 3.0, 1e-12);
+}
+
+TEST(ConsistencyTest, EmptyCases) {
+  EXPECT_DOUBLE_EQ(ExplanationConsistency({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(ExplanationConsistency({}, {"Mem.free"}), 0.0);
+  EXPECT_DOUBLE_EQ(ExplanationConsistency({"Mem.free.raw"}, {}), 0.0);
+}
+
+TEST(ConsistencyTest, MultipleAggregatesOfSameSignalCountOnce) {
+  // Selecting 3 smoothings of the same true signal: recall is full and every
+  // selected feature matches, so F stays 1.
+  const double f = ExplanationConsistency(
+      {"Mem.free.raw", "Mem.free.mean@10", "Mem.free.mean@30"}, {"Mem.free"});
+  EXPECT_DOUBLE_EQ(f, 1.0);
+}
+
+}  // namespace
+}  // namespace exstream

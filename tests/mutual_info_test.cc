@@ -1,0 +1,128 @@
+#include "ml/mutual_info.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace exstream {
+namespace {
+
+TEST(MutualInfoTest, PerfectPredictorIsOneBit) {
+  // Balanced binary label perfectly predicted by the feature: MI = 1 bit.
+  std::vector<int> f;
+  std::vector<int> y;
+  for (int i = 0; i < 100; ++i) {
+    f.push_back(i % 2);
+    y.push_back(i % 2);
+  }
+  EXPECT_NEAR(MutualInformation(f, y), 1.0, 1e-9);
+}
+
+TEST(MutualInfoTest, IndependentIsNearZero) {
+  Rng rng(1);
+  std::vector<int> f;
+  std::vector<int> y;
+  for (int i = 0; i < 5000; ++i) {
+    f.push_back(static_cast<int>(rng.UniformInt(0, 7)));
+    y.push_back(rng.Chance(0.5) ? 1 : 0);
+  }
+  EXPECT_LT(MutualInformation(f, y), 0.01);
+}
+
+TEST(MutualInfoTest, JointNeverBelowBestSingle) {
+  Rng rng(2);
+  std::vector<int> a;
+  std::vector<int> b;
+  std::vector<int> y;
+  for (int i = 0; i < 400; ++i) {
+    const int label = rng.Chance(0.5) ? 1 : 0;
+    a.push_back(rng.Chance(0.8) ? label : 1 - label);
+    b.push_back(rng.Chance(0.6) ? label : 1 - label);
+    y.push_back(label);
+  }
+  const double single_a = MutualInformation(a, y);
+  const double joint = JointMutualInformation({&a, &b}, y);
+  EXPECT_GE(joint, single_a - 1e-9);
+  EXPECT_LE(joint, 1.0 + 1e-9);  // bounded by H(label)
+}
+
+TEST(MutualInfoTest, EmptyInputs) {
+  EXPECT_DOUBLE_EQ(MutualInformation({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(JointMutualInformation({}, {0, 1}), 0.0);
+}
+
+Dataset CurveData(uint64_t seed) {
+  // Two informative features (one strong, one weak) and several noise ones.
+  Rng rng(seed);
+  Dataset data;
+  data.feature_names = {"strong", "weak", "n1", "n2", "n3", "n4"};
+  for (int i = 0; i < 300; ++i) {
+    const int y = i % 2;
+    data.rows.push_back({y == 1 ? rng.Gaussian(4, 1) : rng.Gaussian(-4, 1),
+                         y == 1 ? rng.Gaussian(1, 1.5) : rng.Gaussian(-1, 1.5),
+                         rng.Gaussian(0, 1), rng.Gaussian(0, 1),
+                         rng.Gaussian(0, 1), rng.Gaussian(0, 1)});
+    data.labels.push_back(y);
+  }
+  return data;
+}
+
+TEST(MiCurveTest, GreedyPicksStrongFirst) {
+  const Dataset data = CurveData(3);
+  const MiGainCurve curve =
+      ComputeMiGainCurve(data, MiStrategy::kGreedyFirstTie, {8, 6, 7});
+  ASSERT_FALSE(curve.order.empty());
+  EXPECT_EQ(curve.order[0], "strong");
+  // Accumulated MI is non-decreasing.
+  for (size_t i = 1; i < curve.accumulated_mi.size(); ++i) {
+    EXPECT_GE(curve.accumulated_mi[i], curve.accumulated_mi[i - 1] - 1e-9);
+  }
+}
+
+TEST(MiCurveTest, GreedyDominatesReverseEarly) {
+  const Dataset data = CurveData(4);
+  const MiGainCurve greedy =
+      ComputeMiGainCurve(data, MiStrategy::kGreedyFirstTie, {8, 3, 7});
+  const MiGainCurve reverse =
+      ComputeMiGainCurve(data, MiStrategy::kReverseRank, {8, 3, 7});
+  ASSERT_GE(greedy.accumulated_mi.size(), 1u);
+  ASSERT_GE(reverse.accumulated_mi.size(), 1u);
+  EXPECT_GT(greedy.accumulated_mi[0], reverse.accumulated_mi[0]);
+}
+
+TEST(MiCurveTest, RandomIsSeededDeterministic) {
+  const Dataset data = CurveData(5);
+  MiCurveOptions options;
+  options.random_seed = 99;
+  const auto a = ComputeMiGainCurve(data, MiStrategy::kRandom, options);
+  const auto b = ComputeMiGainCurve(data, MiStrategy::kRandom, options);
+  EXPECT_EQ(a.order, b.order);
+}
+
+TEST(MiCurveTest, MaxFeaturesRespected) {
+  const Dataset data = CurveData(6);
+  MiCurveOptions options;
+  options.max_features = 3;
+  const auto curve = ComputeMiGainCurve(data, MiStrategy::kSingleMiRank, options);
+  EXPECT_EQ(curve.order.size(), 3u);
+}
+
+TEST(MiCurveTest, LevelOffIndex) {
+  MiGainCurve curve;
+  curve.accumulated_mi = {0.5, 0.9, 1.0, 1.0, 1.0};
+  EXPECT_EQ(LevelOffIndex(curve), 3u);  // after index 2 gains vanish
+  MiGainCurve rising;
+  rising.accumulated_mi = {0.1, 0.2, 0.3};
+  EXPECT_EQ(LevelOffIndex(rising), 3u);
+  EXPECT_EQ(LevelOffIndex(MiGainCurve{}), 0u);
+}
+
+TEST(MiCurveTest, StrategyNames) {
+  EXPECT_EQ(MiStrategyToString(MiStrategy::kGreedyFirstTie), "greedy(first-tie)");
+  EXPECT_EQ(MiStrategyToString(MiStrategy::kRandom), "random");
+}
+
+}  // namespace
+}  // namespace exstream

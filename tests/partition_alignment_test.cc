@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "explain/alignment.h"
+#include "explain/partition_table.h"
+
+namespace exstream {
+namespace {
+
+PartitionRecord Record(const char* partition, Timestamp start, Timestamp end,
+                       size_t points,
+                       std::map<std::string, std::string> dims = {{"p", "x"}}) {
+  PartitionRecord rec;
+  rec.query_name = "Q1";
+  rec.partition = partition;
+  rec.dimensions = std::move(dims);
+  rec.start_ts = start;
+  rec.end_ts = end;
+  rec.num_points = points;
+  return rec;
+}
+
+TEST(PartitionTableTest, UpsertAndGet) {
+  PartitionTable table;
+  table.Upsert(Record("j1", 0, 100, 50));
+  EXPECT_EQ(table.size(), 1u);
+  auto rec = table.Get("Q1", "j1");
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->num_points, 50u);
+  // Upsert replaces.
+  table.Upsert(Record("j1", 0, 100, 60));
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.Get("Q1", "j1")->num_points, 60u);
+  EXPECT_TRUE(table.Get("Q1", "nope").status().IsNotFound());
+}
+
+TEST(PartitionTableTest, FindRelatedMatchesDimensions) {
+  PartitionTable table;
+  table.Upsert(Record("j1", 0, 100, 50));
+  table.Upsert(Record("j2", 200, 300, 55));
+  table.Upsert(Record("j3", 400, 500, 52, {{"p", "OTHER"}}));  // different dims
+  const auto related = table.FindRelated(Record("j1", 0, 100, 50));
+  ASSERT_EQ(related.size(), 1u);
+  EXPECT_EQ(related[0].partition, "j2");  // j3 excluded, self excluded
+}
+
+TEST(PartitionTableTest, DifferentQueryNotRelated) {
+  PartitionTable table;
+  auto rec = Record("j2", 0, 1, 1);
+  rec.query_name = "Q2";
+  table.Upsert(rec);
+  EXPECT_TRUE(table.FindRelated(Record("j1", 0, 1, 1)).empty());
+}
+
+TimeSeries UniformSeries(Timestamp start, Timestamp end, Timestamp step) {
+  TimeSeries s;
+  for (Timestamp t = start; t <= end; t += step) (void)s.Append(t, 1.0);
+  return s;
+}
+
+TEST(AlignmentTest, ModeSelectionPaperExample) {
+  // "If a related partition has 10% more points, but is 50% longer in time,
+  //  point-based alignment is preferred."
+  const PartitionRecord annotated = Record("a", 0, 1000, 1000);
+  const PartitionRecord related = Record("b", 0, 1500, 1100);
+  EXPECT_EQ(ChooseAlignmentMode(annotated, related), AlignmentMode::kPointBased);
+  // And vice versa.
+  const PartitionRecord related2 = Record("c", 0, 1100, 1500);
+  EXPECT_EQ(ChooseAlignmentMode(annotated, related2), AlignmentMode::kTemporal);
+}
+
+TEST(AlignmentTest, TemporalMapsFractions) {
+  // Annotation covers 31% of the annotated partition: [310, 620] of [0,1000].
+  const PartitionRecord annotated = Record("a", 0, 1000, 10);
+  const PartitionRecord related = Record("b", 5000, 7000, 500);  // duration 2000
+  const TimeSeries a_series = UniformSeries(0, 1000, 100);
+  const TimeSeries r_series = UniformSeries(5000, 7000, 4);
+  auto aligned =
+      AlignAnnotation(annotated, a_series, {310, 620}, related, r_series);
+  ASSERT_TRUE(aligned.ok());
+  EXPECT_EQ(aligned->mode, AlignmentMode::kTemporal);
+  EXPECT_EQ(aligned->range.lower, 5620);
+  EXPECT_EQ(aligned->range.upper, 6240);
+}
+
+TEST(AlignmentTest, PointBasedMapsPointFractions) {
+  // Annotated: 100 points over [0,99]; annotation covers the first 25 points.
+  // Related: 100 points over [1000, 1990] (same count, longer duration ->
+  // point-based preferred), so the aligned interval covers its first 25
+  // points: [1000, 1240].
+  const PartitionRecord annotated = Record("a", 0, 99, 100);
+  const PartitionRecord related = Record("b", 1000, 1990, 100);
+  const TimeSeries a_series = UniformSeries(0, 99, 1);
+  const TimeSeries r_series = UniformSeries(1000, 1990, 10);
+  auto aligned = AlignAnnotation(annotated, a_series, {0, 24}, related, r_series);
+  ASSERT_TRUE(aligned.ok());
+  EXPECT_EQ(aligned->mode, AlignmentMode::kPointBased);
+  EXPECT_EQ(aligned->range.lower, 1000);
+  EXPECT_EQ(aligned->range.upper, 1240);
+}
+
+TEST(AlignmentTest, DegenerateInputsRejected) {
+  const PartitionRecord empty = Record("a", 5, 5, 0);
+  const PartitionRecord ok = Record("b", 0, 10, 5);
+  const TimeSeries s = UniformSeries(0, 10, 1);
+  EXPECT_FALSE(AlignAnnotation(empty, s, {5, 5}, ok, s).ok());
+}
+
+TEST(AlignmentTest, ModeNames) {
+  EXPECT_EQ(AlignmentModeToString(AlignmentMode::kTemporal), "temporal");
+  EXPECT_EQ(AlignmentModeToString(AlignmentMode::kPointBased), "point-based");
+}
+
+}  // namespace
+}  // namespace exstream

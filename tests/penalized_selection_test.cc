@@ -1,0 +1,68 @@
+// Verifies the Appendix-A negative result: the penalized optimization of
+// Function 8 degenerates into thresholding the per-feature distance.
+
+#include "ml/penalized_selection.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace exstream {
+namespace {
+
+TEST(PenalizedSelectionTest, ClosedFormIsAThreshold) {
+  // d^2 > lambda1 - lambda2 = 0.5: only distances > sqrt(0.5) survive.
+  const std::vector<double> d = {0.1, 0.5, 0.71, 0.9, 1.5};
+  auto sel = PenalizedSelectionClosedForm(d, 1.0, 0.5);
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(*sel, (std::vector<bool>{false, false, true, true, true}));
+}
+
+TEST(PenalizedSelectionTest, BruteForceMatchesClosedForm) {
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> d;
+    const int n = 6 + static_cast<int>(rng.UniformInt(0, 8));
+    for (int i = 0; i < n; ++i) d.push_back(rng.Uniform(0, 2));
+    const double lambda2 = rng.Uniform(0, 0.5);
+    const double lambda1 = lambda2 + rng.Uniform(0.1, 1.5);
+    auto closed = PenalizedSelectionClosedForm(d, lambda1, lambda2);
+    auto brute = PenalizedSelectionBruteForce(d, lambda1, lambda2);
+    ASSERT_TRUE(closed.ok());
+    ASSERT_TRUE(brute.ok());
+    // The optimum is the threshold rule — the "optimization" adds nothing.
+    EXPECT_EQ(*closed, *brute) << "trial " << trial;
+  }
+}
+
+TEST(PenalizedSelectionTest, ObjectiveIsAdditivePerSelectedFeature) {
+  const std::vector<double> d = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(PenalizedObjective(d, {true, false}, 1.0, 0.25), 0.25);
+  EXPECT_DOUBLE_EQ(PenalizedObjective(d, {false, true}, 1.0, 0.25), 3.25);
+  EXPECT_DOUBLE_EQ(PenalizedObjective(d, {true, true}, 1.0, 0.25), 3.5);
+  EXPECT_DOUBLE_EQ(PenalizedObjective(d, {false, false}, 1.0, 0.25), 0.0);
+}
+
+TEST(PenalizedSelectionTest, ParameterValidation) {
+  const std::vector<double> d = {1.0};
+  EXPECT_FALSE(PenalizedSelectionClosedForm(d, 0.5, 0.5).ok());   // l1 == l2
+  EXPECT_FALSE(PenalizedSelectionClosedForm(d, 0.5, 0.7).ok());   // l1 < l2
+  EXPECT_FALSE(PenalizedSelectionClosedForm(d, 0.5, -0.1).ok());  // l2 < 0
+  std::vector<double> too_many(21, 1.0);
+  EXPECT_FALSE(PenalizedSelectionBruteForce(too_many, 1.0, 0.5).ok());
+}
+
+TEST(PenalizedSelectionTest, ThresholdHasNoConcisenessPressure) {
+  // The paper's point: unlike a submodular reward, the threshold rule cannot
+  // prefer a small set — every feature above the bar is selected, however
+  // many there are.
+  std::vector<double> d(15, 1.0);  // 15 identical, redundant features
+  auto sel = PenalizedSelectionClosedForm(d, 1.0, 0.5);
+  ASSERT_TRUE(sel.ok());
+  size_t count = 0;
+  for (bool s : *sel) count += s ? 1 : 0;
+  EXPECT_EQ(count, 15u);  // all of them — no conciseness
+}
+
+}  // namespace
+}  // namespace exstream

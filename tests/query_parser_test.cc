@@ -1,0 +1,164 @@
+#include "query/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "query/lexer.h"
+
+namespace exstream {
+namespace {
+
+constexpr char kQ1[] =
+    "PATTERN SEQ(JobStart a, DataIO+ b[], JobEnd c) "
+    "WHERE [jobId] "
+    "RETURN (b[i].timestamp, a.jobId, sum(b[1..i].dataSize))";
+
+TEST(LexerTest, TokenKinds) {
+  auto tokens = Tokenize("SEQ(a, b+ )[i] 1..i >= 3.5 != 'str'");
+  ASSERT_TRUE(tokens.ok());
+  std::vector<TokenKind> kinds;
+  for (const Token& t : *tokens) kinds.push_back(t.kind);
+  const std::vector<TokenKind> expected = {
+      TokenKind::kIdent, TokenKind::kLParen, TokenKind::kIdent, TokenKind::kComma,
+      TokenKind::kIdent, TokenKind::kPlus,   TokenKind::kRParen,
+      TokenKind::kLBracket, TokenKind::kIdent, TokenKind::kRBracket,
+      TokenKind::kNumber, TokenKind::kDotDot, TokenKind::kIdent,
+      TokenKind::kOp,     TokenKind::kNumber, TokenKind::kOp,
+      TokenKind::kString, TokenKind::kEnd};
+  EXPECT_EQ(kinds, expected);
+}
+
+TEST(LexerTest, NumberForms) {
+  auto tokens = Tokenize("42 3.14 -7 1..i");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "42");
+  EXPECT_EQ((*tokens)[1].text, "3.14");
+  EXPECT_EQ((*tokens)[2].text, "-7");
+  EXPECT_EQ((*tokens)[3].text, "1");  // "1..i" does not glue the dot
+  EXPECT_EQ((*tokens)[4].kind, TokenKind::kDotDot);
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_FALSE(Tokenize("'unterminated").ok());
+  EXPECT_FALSE(Tokenize("a # b").ok());
+}
+
+TEST(LexerTest, BangForms) {
+  auto tokens = Tokenize("!A a != b");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kBang);
+  EXPECT_EQ((*tokens)[3].kind, TokenKind::kOp);
+  EXPECT_EQ((*tokens)[3].text, "!=");
+}
+
+TEST(ParserTest, ParsesQ1) {
+  auto q = ParseQuery(kQ1, "Q1");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->name, "Q1");
+  ASSERT_EQ(q->components.size(), 3u);
+  EXPECT_EQ(q->components[0].event_type, "JobStart");
+  EXPECT_EQ(q->components[0].variable, "a");
+  EXPECT_FALSE(q->components[0].kleene);
+  EXPECT_TRUE(q->components[1].kleene);
+  EXPECT_EQ(q->components[1].variable, "b");
+  EXPECT_EQ(q->partition_attribute, "jobId");
+  ASSERT_EQ(q->return_items.size(), 3u);
+  EXPECT_EQ(q->return_items[0].ref.attribute, "timestamp");
+  EXPECT_EQ(q->return_items[0].ref.index, KleeneIndex::kCurrent);
+  EXPECT_EQ(q->return_items[2].agg, ReturnAgg::kSum);
+  EXPECT_EQ(q->return_items[2].ref.index, KleeneIndex::kRange);
+  EXPECT_EQ(q->return_items[2].OutputName(), "sum_dataSize");
+  ASSERT_TRUE(q->KleeneComponentIndex().has_value());
+  EXPECT_EQ(*q->KleeneComponentIndex(), 1u);
+}
+
+TEST(ParserTest, RoundTripThroughToString) {
+  auto q = ParseQuery(kQ1, "Q1");
+  ASSERT_TRUE(q.ok());
+  auto q2 = ParseQuery(q->ToString(), "Q1");
+  ASSERT_TRUE(q2.ok()) << q2.status().ToString();
+  EXPECT_EQ(q->ToString(), q2->ToString());
+}
+
+TEST(ParserTest, PredicatesWithConstantsAndAttrs) {
+  auto q = ParseQuery(
+      "PATTERN SEQ(A a, B b) WHERE [k] AND a.x > 3 AND b.y <= 2.5 AND "
+      "b.z = a.x AND a.name = 'alpha'");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->predicates.size(), 4u);
+  EXPECT_EQ(q->predicates[0].op, CompareOp::kGt);
+  EXPECT_EQ(q->predicates[0].rhs_constant->AsInt64(), 3);
+  EXPECT_EQ(q->predicates[1].rhs_constant->type(), ValueType::kDouble);
+  EXPECT_TRUE(q->predicates[2].rhs_attr.has_value());
+  EXPECT_EQ(q->predicates[2].rhs_attr->variable, "a");
+  EXPECT_EQ(q->predicates[3].rhs_constant->AsString(), "alpha");
+}
+
+TEST(ParserTest, KleeneMarkerVariants) {
+  // `DataIO+ b[]`, `DataIO+ b`, and `DataIO b[]` all denote a kleene
+  // component.
+  for (const char* text :
+       {"PATTERN SEQ(A a, B+ b[], C c)", "PATTERN SEQ(A a, B+ b, C c)",
+        "PATTERN SEQ(A a, B b[], C c)"}) {
+    auto q = ParseQuery(text);
+    ASSERT_TRUE(q.ok()) << text;
+    EXPECT_TRUE(q->components[1].kleene) << text;
+  }
+}
+
+TEST(ParserTest, CaseInsensitiveKeywords) {
+  auto q = ParseQuery("pattern seq(A a) where [k] return (a.x)");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->partition_attribute, "k");
+}
+
+TEST(ParserTest, TrailingReturnBracketsAccepted) {
+  auto q = ParseQuery("PATTERN SEQ(A a) RETURN (a.x)[]");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+}
+
+TEST(ParserTest, AggregateFunctions) {
+  auto q = ParseQuery(
+      "PATTERN SEQ(A a, B+ b[]) RETURN (sum(b[1..i].x), count(b[1..i].x), "
+      "avg(b[1..i].x), min(b[1..i].x), max(b[1..i].x))");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->return_items.size(), 5u);
+  EXPECT_EQ(q->return_items[0].agg, ReturnAgg::kSum);
+  EXPECT_EQ(q->return_items[1].agg, ReturnAgg::kCount);
+  EXPECT_EQ(q->return_items[2].agg, ReturnAgg::kAvg);
+  EXPECT_EQ(q->return_items[3].agg, ReturnAgg::kMin);
+  EXPECT_EQ(q->return_items[4].agg, ReturnAgg::kMax);
+}
+
+TEST(ParserTest, SyntaxErrors) {
+  EXPECT_FALSE(ParseQuery("").ok());
+  EXPECT_FALSE(ParseQuery("PATTERN SEQ()").ok());
+  EXPECT_FALSE(ParseQuery("PATTERN SEQ(A a").ok());
+  EXPECT_FALSE(ParseQuery("SEQ(A a)").ok());                    // missing PATTERN
+  EXPECT_FALSE(ParseQuery("PATTERN SEQ(A a) WHERE").ok());      // dangling WHERE
+  EXPECT_FALSE(ParseQuery("PATTERN SEQ(A a) RETURN a.x").ok()); // missing parens
+  EXPECT_FALSE(ParseQuery("PATTERN SEQ(A a) trailing").ok());
+}
+
+TEST(ParserTest, SemanticErrors) {
+  // Duplicate variable.
+  EXPECT_FALSE(ParseQuery("PATTERN SEQ(A a, B a)").ok());
+  // Two kleene components.
+  EXPECT_FALSE(ParseQuery("PATTERN SEQ(A+ a[], B+ b[])").ok());
+  // Duplicate partition attribute.
+  EXPECT_FALSE(ParseQuery("PATTERN SEQ(A a) WHERE [x] AND [y]").ok());
+  // Bad kleene index.
+  EXPECT_FALSE(ParseQuery("PATTERN SEQ(A+ a[]) RETURN (a[j].x)").ok());
+}
+
+TEST(ParserTest, QueryToStringIsStable) {
+  auto q = ParseQuery(kQ1, "Q1");
+  ASSERT_TRUE(q.ok());
+  const std::string s = q->ToString();
+  EXPECT_NE(s.find("PATTERN SEQ(JobStart a, DataIO+ b[], JobEnd c)"),
+            std::string::npos);
+  EXPECT_NE(s.find("WHERE [jobId]"), std::string::npos);
+  EXPECT_NE(s.find("sum(b[1..i].dataSize)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace exstream

@@ -1,0 +1,122 @@
+#include "common/stats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/histogram.h"
+#include "common/rng.h"
+
+namespace exstream {
+namespace {
+
+TEST(StatsTest, MeanStdDev) {
+  EXPECT_DOUBLE_EQ(Mean({1, 2, 3, 4}), 2.5);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(StdDev({5, 5, 5}), 0.0);
+  EXPECT_NEAR(StdDev({2, 4, 4, 4, 5, 5, 7, 9}), 2.0, 1e-12);  // classic example
+  EXPECT_DOUBLE_EQ(StdDev({1}), 0.0);
+}
+
+TEST(StatsTest, MinMaxSum) {
+  EXPECT_DOUBLE_EQ(Min({3, 1, 2}), 1.0);
+  EXPECT_DOUBLE_EQ(Max({3, 1, 2}), 3.0);
+  EXPECT_DOUBLE_EQ(Sum({1.5, 2.5}), 4.0);
+  EXPECT_TRUE(std::isinf(Min({})));
+  EXPECT_TRUE(std::isinf(Max({})));
+}
+
+TEST(StatsTest, Percentile) {
+  std::vector<double> xs = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 50), 3.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 100), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 25), 2.0);
+  EXPECT_DOUBLE_EQ(Percentile({}, 50), 0.0);
+}
+
+TEST(StatsTest, PearsonCorrelation) {
+  std::vector<double> x = {1, 2, 3, 4, 5};
+  std::vector<double> y = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(PearsonCorrelation(x, y), 1.0, 1e-12);
+  std::vector<double> z = {10, 8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(x, z), -1.0, 1e-12);
+  std::vector<double> c = {3, 3, 3, 3, 3};
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(x, c), 0.0);  // zero variance
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(x, {1, 2}), 0.0);  // length mismatch
+}
+
+TEST(StatsTest, FMeasure) {
+  EXPECT_DOUBLE_EQ(FMeasure(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(FMeasure(0, 0), 0.0);
+  EXPECT_NEAR(FMeasure(0.5, 1.0), 2.0 / 3.0, 1e-12);
+}
+
+TEST(HistogramTest, BasicCounts) {
+  Histogram h(0, 10, 10);
+  for (int i = 0; i < 10; ++i) h.Add(i + 0.5);
+  EXPECT_EQ(h.count(), 10u);
+  EXPECT_DOUBLE_EQ(h.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 9.5);
+}
+
+TEST(HistogramTest, FractionAbove) {
+  Histogram h(0, 1, 10);
+  for (int i = 0; i < 100; ++i) h.Add(i < 25 ? 0.9 : 0.1);
+  EXPECT_NEAR(h.FractionAbove(0.5), 0.25, 1e-12);
+  EXPECT_DOUBLE_EQ(h.FractionAbove(2.0), 0.0);
+}
+
+TEST(HistogramTest, OverflowAndUnderflow) {
+  Histogram h(0, 1, 4);
+  h.Add(-5);
+  h.Add(5);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.min(), -5);
+  EXPECT_DOUBLE_EQ(h.max(), 5);
+}
+
+TEST(HistogramTest, ApproxPercentileReasonable) {
+  Histogram h(0, 100, 100);
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) h.Add(rng.Uniform(0, 100));
+  EXPECT_NEAR(h.ApproxPercentile(50), 50, 3.0);
+  EXPECT_NEAR(h.ApproxPercentile(99), 99, 3.0);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(0, 1), b.Uniform(0, 1));
+  }
+}
+
+TEST(RngTest, RangesRespected) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform(2, 3);
+    EXPECT_GE(u, 2);
+    EXPECT_LT(u, 3);
+    const int64_t n = rng.UniformInt(-2, 2);
+    EXPECT_GE(n, -2);
+    EXPECT_LE(n, 2);
+  }
+}
+
+TEST(RngTest, ForkIndependence) {
+  Rng a(42);
+  Rng fork = a.Fork();
+  // The fork's stream must not equal the parent's continued stream.
+  bool any_diff = false;
+  Rng b(42);
+  (void)b.Fork();
+  for (int i = 0; i < 8; ++i) {
+    if (fork.Uniform(0, 1) != b.Uniform(0, 1)) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+}  // namespace
+}  // namespace exstream

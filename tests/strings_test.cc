@@ -1,0 +1,60 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace exstream {
+namespace {
+
+TEST(StringsTest, TrimWhitespace) {
+  EXPECT_EQ(TrimWhitespace("  a b  "), "a b");
+  EXPECT_EQ(TrimWhitespace("\t\nx\r "), "x");
+  EXPECT_EQ(TrimWhitespace(""), "");
+  EXPECT_EQ(TrimWhitespace("   "), "");
+}
+
+TEST(StringsTest, SplitAndTrim) {
+  const auto parts = SplitAndTrim("a, b , c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StringsTest, SplitEmptyAndTrailing) {
+  EXPECT_EQ(SplitAndTrim("", ',').size(), 1u);
+  const auto parts = SplitAndTrim("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringsTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("PATTERN", "pattern"));
+  EXPECT_TRUE(EqualsIgnoreCase("SeQ", "sEq"));
+  EXPECT_FALSE(EqualsIgnoreCase("a", "ab"));
+  EXPECT_FALSE(EqualsIgnoreCase("abc", "abd"));
+}
+
+TEST(StringsTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("MemUsage.memFree", "MemUsage."));
+  EXPECT_FALSE(StartsWith("Mem", "MemUsage"));
+}
+
+TEST(StringsTest, ToLower) { EXPECT_EQ(ToLower("AbC9_x"), "abc9_x"); }
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"one"}, ","), "one");
+}
+
+TEST(StringsTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s-%.1f", 3, "x", 2.5), "3-x-2.5");
+  EXPECT_EQ(StrFormat("no args"), "no args");
+  // Long output exceeding any small internal buffer.
+  const std::string big(500, 'a');
+  EXPECT_EQ(StrFormat("%s", big.c_str()).size(), 500u);
+}
+
+}  // namespace
+}  // namespace exstream

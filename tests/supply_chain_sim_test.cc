@@ -1,0 +1,170 @@
+#include "sim/supply_chain_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+
+namespace exstream {
+namespace {
+
+class SupplyChainSimTest : public ::testing::Test {
+ protected:
+  SupplyChainConfig SmallConfig() {
+    SupplyChainConfig config;
+    config.num_sensors = 4;
+    config.num_machines = 4;
+    config.num_products = 3;
+    config.product_duration = 200;
+    config.seed = 21;
+    return config;
+  }
+};
+
+TEST_F(SupplyChainSimTest, RegistersPerSensorAndMachineTypes) {
+  EventTypeRegistry registry;
+  const SupplyChainConfig config = SmallConfig();
+  ASSERT_TRUE(SupplyChainSim::RegisterEventTypes(&registry, config).ok());
+  EXPECT_TRUE(registry.Contains("ProductStart"));
+  EXPECT_TRUE(registry.Contains("ProductEnd"));
+  EXPECT_TRUE(registry.Contains("ProductProgress"));
+  EXPECT_TRUE(registry.Contains("Sensor00"));
+  EXPECT_TRUE(registry.Contains("Sensor03"));
+  EXPECT_TRUE(registry.Contains("Material00"));
+  EXPECT_TRUE(registry.Contains("Material03"));
+  // Idempotent.
+  EXPECT_TRUE(SupplyChainSim::RegisterEventTypes(&registry, config).ok());
+}
+
+TEST_F(SupplyChainSimTest, ProductWindowsLaidOutSequentially) {
+  EventTypeRegistry registry;
+  const SupplyChainConfig config = SmallConfig();
+  ASSERT_TRUE(SupplyChainSim::RegisterEventTypes(&registry, config).ok());
+  SupplyChainSim sim(config, &registry);
+  VectorSink sink;
+  auto products = sim.Run(&sink);
+  ASSERT_TRUE(products.ok());
+  ASSERT_EQ(products->size(), 3u);
+  for (size_t i = 1; i < products->size(); ++i) {
+    EXPECT_GT((*products)[i].start, (*products)[i - 1].end);
+  }
+}
+
+TEST_F(SupplyChainSimTest, SensorsReportAtFixedRate) {
+  EventTypeRegistry registry;
+  const SupplyChainConfig config = SmallConfig();
+  ASSERT_TRUE(SupplyChainSim::RegisterEventTypes(&registry, config).ok());
+  SupplyChainSim sim(config, &registry);
+  VectorSink sink;
+  ASSERT_TRUE(sim.Run(&sink).ok());
+
+  const EventTypeId sensor0 = *registry.IdOf("Sensor00");
+  Timestamp prev = -1;
+  for (const Event& e : sink.events()) {
+    if (e.type != sensor0) continue;
+    if (prev >= 0) {
+      EXPECT_EQ(e.ts - prev, config.sensor_period);
+    }
+    prev = e.ts;
+  }
+  EXPECT_GE(prev, 0);  // sensor produced events at all
+}
+
+TEST_F(SupplyChainSimTest, MissingMonitoringSilencesTargetSensor) {
+  EventTypeRegistry registry;
+  const SupplyChainConfig config = SmallConfig();
+  ASSERT_TRUE(SupplyChainSim::RegisterEventTypes(&registry, config).ok());
+  SupplyChainSim sim(config, &registry);
+  ScAnomalySpec spec;
+  spec.type = ScAnomalyType::kMissingMonitoring;
+  spec.product_index = 1;
+  spec.targets = {0};
+  sim.AddAnomaly(spec);
+  VectorSink sink;
+  auto products = sim.Run(&sink);
+  ASSERT_TRUE(products.ok());
+
+  const ProductWindow& faulty = (*products)[1];
+  const EventTypeId sensor0 = *registry.IdOf("Sensor00");
+  const EventTypeId sensor1 = *registry.IdOf("Sensor01");
+  size_t s0_in_window = 0;
+  size_t s1_in_window = 0;
+  for (const Event& e : sink.events()) {
+    if (e.ts < faulty.start || e.ts > faulty.end) continue;
+    if (e.type == sensor0) ++s0_in_window;
+    if (e.type == sensor1) ++s1_in_window;
+  }
+  EXPECT_EQ(s0_in_window, 0u);  // target sensor silent
+  EXPECT_GT(s1_in_window, 10u); // others keep reporting
+}
+
+TEST_F(SupplyChainSimTest, SubParMaterialDropsQuality) {
+  EventTypeRegistry registry;
+  const SupplyChainConfig config = SmallConfig();
+  ASSERT_TRUE(SupplyChainSim::RegisterEventTypes(&registry, config).ok());
+  SupplyChainSim sim(config, &registry);
+  ScAnomalySpec spec;
+  spec.type = ScAnomalyType::kSubParMaterial;
+  spec.product_index = 1;
+  spec.targets = {2};
+  sim.AddAnomaly(spec);
+  VectorSink sink;
+  auto products = sim.Run(&sink);
+  ASSERT_TRUE(products.ok());
+
+  const EventTypeId machine2 = *registry.IdOf("Material02");
+  const size_t quality_idx = *registry.schema(machine2).AttributeIndex("quality");
+  std::vector<double> faulty_quality;
+  std::vector<double> good_quality;
+  const ProductWindow& faulty = (*products)[1];
+  for (const Event& e : sink.events()) {
+    if (e.type != machine2) continue;
+    const double q = e.values[quality_idx].AsDouble();
+    if (e.ts >= faulty.start && e.ts <= faulty.end) {
+      faulty_quality.push_back(q);
+    } else {
+      good_quality.push_back(q);
+    }
+  }
+  ASSERT_FALSE(faulty_quality.empty());
+  ASSERT_FALSE(good_quality.empty());
+  EXPECT_LT(Mean(faulty_quality), config.quality_bar);
+  EXPECT_GE(Mean(good_quality), config.quality_bar);
+}
+
+TEST_F(SupplyChainSimTest, GroundTruthSignals) {
+  ScAnomalySpec missing;
+  missing.type = ScAnomalyType::kMissingMonitoring;
+  missing.targets = {0, 2};
+  const auto signals = ScGroundTruthSignals(missing);
+  ASSERT_EQ(signals.size(), 2u);
+  EXPECT_EQ(signals[0], "Sensor00.value");
+  EXPECT_EQ(signals[1], "Sensor02.value");
+
+  ScAnomalySpec subpar;
+  subpar.type = ScAnomalyType::kSubParMaterial;
+  subpar.targets = {1};
+  EXPECT_EQ(ScGroundTruthSignals(subpar)[0], "Material01.quality");
+}
+
+TEST_F(SupplyChainSimTest, ProgressEventsCarryQualityPerProduct) {
+  EventTypeRegistry registry;
+  const SupplyChainConfig config = SmallConfig();
+  ASSERT_TRUE(SupplyChainSim::RegisterEventTypes(&registry, config).ok());
+  SupplyChainSim sim(config, &registry);
+  VectorSink sink;
+  auto products = sim.Run(&sink);
+  ASSERT_TRUE(products.ok());
+
+  const EventTypeId progress = *registry.IdOf("ProductProgress");
+  size_t count = 0;
+  for (const Event& e : sink.events()) {
+    if (e.type != progress) continue;
+    ++count;
+    EXPECT_FALSE(e.values[0].AsString().empty());  // productId
+    EXPECT_GT(e.values[1].AsDouble(), 0.0);        // quality
+  }
+  EXPECT_GT(count, 50u);
+}
+
+}  // namespace
+}  // namespace exstream

@@ -1,0 +1,119 @@
+#include "explain/temporal.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace exstream {
+namespace {
+
+// A noisy step at time `step_at`, sampled every `period` in [0, 1000].
+TimeSeries Step(Timestamp step_at, double low, double high, uint64_t seed,
+                Timestamp period = 5) {
+  Rng rng(seed);
+  TimeSeries s;
+  for (Timestamp t = 0; t <= 1000; t += period) {
+    (void)s.Append(t, (t < step_at ? low : high) + rng.Gaussian(0, 0.05));
+  }
+  return s;
+}
+
+TEST(TemporalTest, ZeroLagCorrelationOfAlignedSteps) {
+  const TimeSeries a = Step(500, 0, 10, 1);
+  const TimeSeries b = Step(500, 5, 25, 2);
+  EXPECT_GT(LaggedCorrelation(a, b, 0), 0.8);
+}
+
+TEST(TemporalTest, BestLagRecoversTheShift) {
+  // Feature steps at t=400, target at t=460: the feature LEADS by 60, so the
+  // best alignment shifts the feature forward (+60).
+  const TimeSeries feature = Step(400, 0, 10, 3);
+  const TimeSeries target = Step(460, 0, 10, 4);
+  TemporalOptions options;
+  options.max_lag = 100;
+  options.lag_step = 10;
+  const LagCorrelation best = BestLag(feature, target, options);
+  EXPECT_NEAR(static_cast<double>(best.lag), 60.0, 20.0);
+  EXPECT_GT(best.correlation, 0.5);
+}
+
+TEST(TemporalTest, LeadScoreSigns) {
+  TemporalOptions options;
+  options.max_lag = 100;
+  options.lag_step = 10;
+  const TimeSeries monitored = Step(500, 0, 10, 5);
+  const TimeSeries leading = Step(440, 0, 10, 6);   // changes before
+  const TimeSeries trailing = Step(560, 0, 10, 7);  // changes after
+  EXPECT_GT(LeadScore(leading, monitored, options), 0.1);
+  EXPECT_LT(LeadScore(trailing, monitored, options), -0.1);
+}
+
+TEST(TemporalTest, UncorrelatedFeatureScoresNearZero) {
+  Rng rng(8);
+  TimeSeries noise;
+  for (Timestamp t = 0; t <= 1000; t += 5) {
+    (void)noise.Append(t, rng.Gaussian(0, 1));
+  }
+  const TimeSeries monitored = Step(500, 0, 10, 9);
+  const LagCorrelation best = BestLag(noise, monitored);
+  EXPECT_LT(std::fabs(best.correlation), 0.5);
+}
+
+TEST(TemporalTest, DegenerateInputs) {
+  TimeSeries one;
+  (void)one.Append(0, 1.0);
+  const TimeSeries ok = Step(500, 0, 1, 10);
+  EXPECT_DOUBLE_EQ(LaggedCorrelation(one, ok, 0), 0.0);
+  EXPECT_DOUBLE_EQ(LaggedCorrelation(ok, TimeSeries(), 0), 0.0);
+  // Disjoint spans.
+  TimeSeries late;
+  (void)late.Append(5000, 1.0);
+  (void)late.Append(6000, 2.0);
+  EXPECT_DOUBLE_EQ(LaggedCorrelation(ok, late, 0), 0.0);
+}
+
+TEST(TemporalTest, LagSweepCoversConfiguredRange) {
+  const TimeSeries a = Step(500, 0, 10, 11);
+  TemporalOptions options;
+  options.max_lag = 30;
+  options.lag_step = 15;
+  const auto sweep = LagSweep(a, a, options);
+  ASSERT_EQ(sweep.size(), 5u);  // -30, -15, 0, 15, 30
+  EXPECT_EQ(sweep.front().lag, -30);
+  EXPECT_EQ(sweep.back().lag, 30);
+  // Self-correlation at lag 0 is maximal.
+  double best = 0;
+  Timestamp best_lag = -99;
+  for (const auto& lc : sweep) {
+    if (lc.correlation > best) {
+      best = lc.correlation;
+      best_lag = lc.lag;
+    }
+  }
+  EXPECT_EQ(best_lag, 0);
+}
+
+TEST(TemporalTest, RankByLeadScoreOrdersLeadersFirst) {
+  const TimeSeries monitored = Step(500, 0, 10, 12);
+  auto make_feature = [&](const char* name, Timestamp step_at, uint64_t seed) {
+    RankedFeature f;
+    f.spec.event_type_name = "T";
+    f.spec.attribute_name = name;
+    f.abnormal_series = Step(step_at, 0, 5, seed);
+    return f;
+  };
+  TemporalOptions options;
+  options.max_lag = 100;
+  options.lag_step = 10;
+  const auto ranked = RankByLeadScore(
+      {make_feature("trailer", 560, 13), make_feature("leader", 440, 14)},
+      monitored, options);
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_EQ(ranked[0].first.spec.attribute_name, "leader");
+  EXPECT_GT(ranked[0].second, ranked[1].second);
+}
+
+}  // namespace
+}  // namespace exstream

@@ -1,0 +1,67 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+
+#include <gtest/gtest.h>
+
+namespace exstream {
+namespace {
+
+TEST(ThreadPoolTest, ExecutesAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([&counter] { counter.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIdleBlocksUntilDone) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ThreadPoolTest, DefaultsToHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.num_threads(), 1u);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 10; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+  }  // destructor joins workers after the queue drains
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPoolTest, TasksRunConcurrently) {
+  ThreadPool pool(2);
+  std::atomic<int> in_flight{0};
+  std::atomic<int> max_in_flight{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(pool.Submit([&] {
+      const int now = in_flight.fetch_add(1) + 1;
+      int prev = max_in_flight.load();
+      while (prev < now && !max_in_flight.compare_exchange_weak(prev, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      in_flight.fetch_sub(1);
+    }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_GE(max_in_flight.load(), 2);
+}
+
+}  // namespace
+}  // namespace exstream

@@ -1,0 +1,135 @@
+#include "ts/time_series.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace exstream {
+namespace {
+
+TimeSeries Make(std::vector<Timestamp> ts, std::vector<double> vs) {
+  return TimeSeries(std::move(ts), std::move(vs));
+}
+
+TEST(TimeSeriesTest, AppendMaintainsOrder) {
+  TimeSeries s;
+  EXPECT_TRUE(s.Append(1, 1.0).ok());
+  EXPECT_TRUE(s.Append(1, 2.0).ok());  // equal timestamps allowed
+  EXPECT_TRUE(s.Append(5, 3.0).ok());
+  EXPECT_FALSE(s.Append(4, 4.0).ok());  // out of order rejected
+  EXPECT_EQ(s.size(), 3u);
+}
+
+TEST(TimeSeriesTest, NaNDropped) {
+  TimeSeries s;
+  EXPECT_TRUE(s.Append(1, std::nan("")).ok());
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(TimeSeriesTest, Frequency) {
+  const TimeSeries s = Make({0, 10, 20, 30}, {1, 1, 1, 1});
+  EXPECT_NEAR(s.Frequency(), 4.0 / 30.0, 1e-12);
+  EXPECT_DOUBLE_EQ(Make({5}, {1}).Frequency(), 0.0);
+  EXPECT_DOUBLE_EQ(Make({5, 5}, {1, 2}).Frequency(), 0.0);  // zero span
+}
+
+TEST(TimeSeriesTest, SliceInclusiveBounds) {
+  const TimeSeries s = Make({0, 10, 20, 30, 40}, {0, 1, 2, 3, 4});
+  const TimeSeries cut = s.Slice({10, 30});
+  ASSERT_EQ(cut.size(), 3u);
+  EXPECT_EQ(cut.time(0), 10);
+  EXPECT_EQ(cut.time(2), 30);
+  EXPECT_DOUBLE_EQ(cut.value(1), 2.0);
+}
+
+TEST(TimeSeriesTest, SliceEmptyWhenDisjoint) {
+  const TimeSeries s = Make({0, 10}, {0, 1});
+  EXPECT_TRUE(s.Slice({100, 200}).empty());
+}
+
+TEST(TimeSeriesTest, InterpolateClampsAndInterpolates) {
+  const TimeSeries s = Make({0, 10}, {0, 100});
+  EXPECT_DOUBLE_EQ(s.InterpolateAt(-5), 0.0);
+  EXPECT_DOUBLE_EQ(s.InterpolateAt(15), 100.0);
+  EXPECT_DOUBLE_EQ(s.InterpolateAt(5), 50.0);
+  EXPECT_DOUBLE_EQ(s.InterpolateAt(10), 100.0);  // exact hit
+  EXPECT_DOUBLE_EQ(TimeSeries().InterpolateAt(3), 0.0);
+}
+
+TEST(TimeSeriesTest, ResampleEndpointsPreserved) {
+  const TimeSeries s = Make({0, 10, 20}, {0, 10, 40});
+  const TimeSeries r = s.Resample(5);
+  ASSERT_EQ(r.size(), 5u);
+  EXPECT_EQ(r.time(0), 0);
+  EXPECT_EQ(r.time(4), 20);
+  EXPECT_DOUBLE_EQ(r.value(0), 0.0);
+  EXPECT_DOUBLE_EQ(r.value(4), 40.0);
+  EXPECT_DOUBLE_EQ(r.value(2), 10.0);  // midpoint
+}
+
+TEST(TimeSeriesTest, ResampleDegenerateInputs) {
+  EXPECT_TRUE(TimeSeries().Resample(4).empty());
+  const TimeSeries single = Make({7}, {3.5});
+  const TimeSeries r = single.Resample(3);
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_DOUBLE_EQ(r.value(2), 3.5);
+}
+
+TEST(TimeSeriesTest, ZNormalize) {
+  const TimeSeries s = Make({0, 1, 2, 3}, {2, 4, 4, 6});
+  const auto z = s.ZNormalizedValues();
+  double mean = 0;
+  for (double v : z) mean += v;
+  EXPECT_NEAR(mean, 0.0, 1e-12);
+  // Constant series maps to zeros.
+  const auto zc = Make({0, 1}, {5, 5}).ZNormalizedValues();
+  EXPECT_DOUBLE_EQ(zc[0], 0.0);
+  EXPECT_DOUBLE_EQ(zc[1], 0.0);
+}
+
+TEST(TimeSeriesTest, ToStringTruncates) {
+  TimeSeries s;
+  for (int i = 0; i < 20; ++i) (void)s.Append(i, i);
+  const std::string str = s.ToString(4);
+  EXPECT_NE(str.find("n=20"), std::string::npos);
+  EXPECT_NE(str.find("..."), std::string::npos);
+}
+
+// Property-style sweep: slicing then re-slicing with the same interval is
+// idempotent, and resampled series stay within the original value envelope.
+class TimeSeriesPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TimeSeriesPropertyTest, SliceIdempotentAndResampleBounded) {
+  Rng rng(GetParam());
+  TimeSeries s;
+  Timestamp t = 0;
+  for (int i = 0; i < 200; ++i) {
+    t += rng.UniformInt(1, 5);
+    ASSERT_TRUE(s.Append(t, rng.Gaussian(10, 3)).ok());
+  }
+  const TimeInterval iv{t / 4, 3 * t / 4};
+  const TimeSeries once = s.Slice(iv);
+  const TimeSeries twice = once.Slice(iv);
+  EXPECT_EQ(once.size(), twice.size());
+
+  const TimeSeries r = s.Resample(64);
+  ASSERT_EQ(r.size(), 64u);
+  double lo = 1e18;
+  double hi = -1e18;
+  for (double v : s.values()) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  for (double v : r.values()) {
+    EXPECT_GE(v, lo - 1e-9);
+    EXPECT_LE(v, hi + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TimeSeriesPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace exstream

@@ -1,0 +1,66 @@
+#include "common/value.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace exstream {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_EQ(Value(int64_t{7}).type(), ValueType::kInt64);
+  EXPECT_EQ(Value(3.5).type(), ValueType::kDouble);
+  EXPECT_EQ(Value("hi").type(), ValueType::kString);
+  EXPECT_EQ(Value().type(), ValueType::kInt64);  // default is int64 0
+
+  EXPECT_EQ(Value(int64_t{7}).AsInt64(), 7);
+  EXPECT_DOUBLE_EQ(Value(int64_t{7}).AsDouble(), 7.0);
+  EXPECT_DOUBLE_EQ(Value(3.5).AsDouble(), 3.5);
+  EXPECT_EQ(Value(3.9).AsInt64(), 3);  // truncation
+  EXPECT_EQ(Value("hi").AsString(), "hi");
+}
+
+TEST(ValueTest, StringAsDoubleIsNaN) {
+  EXPECT_TRUE(std::isnan(Value("oops").AsDouble()));
+}
+
+TEST(ValueTest, NumericCompareCrossType) {
+  auto c = Value(int64_t{2}).Compare(Value(2.0));
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(*c, 0);
+  EXPECT_EQ(*Value(int64_t{1}).Compare(Value(2.5)), -1);
+  EXPECT_EQ(*Value(3.5).Compare(Value(int64_t{2})), 1);
+}
+
+TEST(ValueTest, StringCompare) {
+  EXPECT_EQ(*Value("abc").Compare(Value("abd")), -1);
+  EXPECT_EQ(*Value("b").Compare(Value("a")), 1);
+  EXPECT_EQ(*Value("x").Compare(Value("x")), 0);
+}
+
+TEST(ValueTest, MixedCompareErrors) {
+  EXPECT_FALSE(Value("abc").Compare(Value(1.0)).ok());
+  EXPECT_FALSE(Value(int64_t{1}).Compare(Value("abc")).ok());
+}
+
+TEST(ValueTest, Equality) {
+  EXPECT_EQ(Value(int64_t{5}), Value(5.0));
+  EXPECT_EQ(Value("s"), Value(std::string("s")));
+  EXPECT_FALSE(Value(1.0) == Value(2.0));
+  EXPECT_FALSE(Value("1") == Value(1.0));  // mismatched types are not equal
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value(int64_t{42}).ToString(), "42");
+  EXPECT_EQ(Value("text").ToString(), "text");
+  EXPECT_EQ(Value(2.5).ToString(), "2.5");
+}
+
+TEST(ValueTest, ValueTypeNames) {
+  EXPECT_EQ(ValueTypeToString(ValueType::kInt64), "int64");
+  EXPECT_EQ(ValueTypeToString(ValueType::kDouble), "double");
+  EXPECT_EQ(ValueTypeToString(ValueType::kString), "string");
+}
+
+}  // namespace
+}  // namespace exstream

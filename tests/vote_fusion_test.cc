@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ml/data_fusion.h"
+#include "ml/majority_vote.h"
+#include "ml/metrics.h"
+#include "ml/stump.h"
+
+namespace exstream {
+namespace {
+
+// One informative feature plus `noise_features` coin-flip features.
+Dataset NoisyData(uint64_t seed, int noise_features, size_t n = 200) {
+  Rng rng(seed);
+  Dataset data;
+  data.feature_names = {"signal"};
+  for (int f = 0; f < noise_features; ++f) {
+    data.feature_names.push_back("noise" + std::to_string(f));
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const int y = i % 2 == 0 ? 1 : 0;
+    std::vector<double> row = {y == 1 ? rng.Gaussian(4, 1) : rng.Gaussian(-4, 1)};
+    for (int f = 0; f < noise_features; ++f) row.push_back(rng.Gaussian(0, 1));
+    data.rows.push_back(std::move(row));
+    data.labels.push_back(y);
+  }
+  return data;
+}
+
+TEST(StumpTest, FindsBestThresholdAndPolarity) {
+  Dataset data;
+  data.feature_names = {"x"};
+  for (int i = 0; i < 20; ++i) {
+    data.rows.push_back({static_cast<double>(i)});
+    data.labels.push_back(i < 10 ? 1 : 0);  // LOW values are abnormal
+  }
+  const DecisionStump stump = FitStump(data, 0);
+  EXPECT_EQ(stump.polarity, -1);
+  EXPECT_NEAR(stump.threshold, 9.5, 1e-9);
+  EXPECT_DOUBLE_EQ(stump.train_accuracy, 1.0);
+  EXPECT_EQ(stump.PredictRow({3.0}), 1);
+  EXPECT_EQ(stump.PredictRow({15.0}), 0);
+}
+
+TEST(StumpTest, ConstantFeatureFallsBackToMajority) {
+  Dataset data;
+  data.feature_names = {"c"};
+  for (int i = 0; i < 10; ++i) {
+    data.rows.push_back({1.0});
+    data.labels.push_back(i < 7 ? 0 : 1);
+  }
+  const DecisionStump stump = FitStump(data, 0);
+  EXPECT_NEAR(stump.train_accuracy, 0.7, 1e-9);
+}
+
+TEST(MajorityVoteTest, WorksWhenMostFeaturesInformative) {
+  Rng rng(5);
+  Dataset data;
+  data.feature_names = {"a", "b", "c"};
+  for (size_t i = 0; i < 100; ++i) {
+    const int y = i % 2 == 0 ? 1 : 0;
+    const double base = y == 1 ? 3.0 : -3.0;
+    data.rows.push_back({base + rng.Gaussian(0, 1), base + rng.Gaussian(0, 1),
+                         base + rng.Gaussian(0, 1)});
+    data.labels.push_back(y);
+  }
+  auto model = MajorityVote::Fit(data);
+  ASSERT_TRUE(model.ok());
+  const auto preds = model->Predict(data);
+  EXPECT_GE(EvaluatePredictions(data.labels, preds).F1(), 0.95);
+  EXPECT_EQ(model->SelectedFeatures().size(), 3u);  // never selects
+}
+
+TEST(MajorityVoteTest, DrownedByNoiseFeatures) {
+  // With 1 informative and 30 noise features, the unweighted majority is
+  // noticeably worse than the weighted fusion — the paper's Fig. 16 gap.
+  const Dataset data = NoisyData(6, 30);
+  auto vote = MajorityVote::Fit(data);
+  auto fusion = DataFusion::Fit(data);
+  ASSERT_TRUE(vote.ok());
+  ASSERT_TRUE(fusion.ok());
+  const double vote_f1 =
+      EvaluatePredictions(data.labels, vote->Predict(data)).F1();
+  const double fusion_f1 =
+      EvaluatePredictions(data.labels, fusion->Predict(data)).F1();
+  EXPECT_GT(fusion_f1, vote_f1);
+  EXPECT_GE(fusion_f1, 0.95);
+}
+
+TEST(DataFusionTest, CorrelatedSourcesDiscounted) {
+  // Three identical copies of a weak feature + one independent strong
+  // feature: correlation discounting keeps the copies from out-voting the
+  // strong source.
+  Rng rng(7);
+  Dataset data;
+  data.feature_names = {"weak1", "weak2", "weak3", "strong"};
+  for (size_t i = 0; i < 300; ++i) {
+    const int y = i % 2 == 0 ? 1 : 0;
+    const double weak =
+        (rng.Chance(0.65) ? y : 1 - y) == 1 ? 1.0 : 0.0;  // 65% accurate
+    const double strong = y == 1 ? rng.Gaussian(4, 1) : rng.Gaussian(-4, 1);
+    data.rows.push_back({weak, weak, weak, strong});
+    data.labels.push_back(y);
+  }
+  auto model = DataFusion::Fit(data);
+  ASSERT_TRUE(model.ok());
+  const auto preds = model->Predict(data);
+  EXPECT_GE(EvaluatePredictions(data.labels, preds).F1(), 0.9);
+  // The three weak clones share a cluster: each weight is ~1/3 of a lone
+  // source's weight, so their combined pull equals one source.
+  EXPECT_NEAR(model->vote_weights()[0], model->vote_weights()[1], 1e-9);
+  EXPECT_GT(model->vote_weights()[3], model->vote_weights()[0]);
+}
+
+TEST(DataFusionTest, EmptyDataRejected) {
+  Dataset empty;
+  EXPECT_FALSE(DataFusion::Fit(empty).ok());
+  EXPECT_FALSE(MajorityVote::Fit(empty).ok());
+}
+
+}  // namespace
+}  // namespace exstream

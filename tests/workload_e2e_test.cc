@@ -1,0 +1,128 @@
+// End-to-end integration tests: simulate a full workload, monitor it with the
+// CEP engine, annotate the anomaly, and verify the produced explanation
+// matches the expert ground truth (the headline behaviour of the paper).
+
+#include <gtest/gtest.h>
+
+#include "ml/metrics.h"
+#include "sim/workloads.h"
+
+namespace exstream {
+namespace {
+
+WorkloadRunOptions FastOptions() {
+  WorkloadRunOptions options;
+  options.num_nodes = 4;
+  options.num_normal_jobs = 2;
+  options.sc_num_sensors = 6;
+  options.sc_num_machines = 6;
+  return options;
+}
+
+TEST(WorkloadE2eTest, HighMemoryExplanationMatchesGroundTruth) {
+  auto run = BuildWorkloadRun(HadoopWorkloads()[0], FastOptions());  // W1
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  ExplanationEngine engine = (*run)->MakeExplanationEngine(
+      (*run)->DefaultExplainOptions());
+  auto report = engine.Explain((*run)->annotation);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  ASSERT_FALSE(report->final_features.empty());
+  // Every ground truth signal must be covered by the surviving validated set.
+  for (const std::string& signal : (*run)->ground_truth) {
+    bool covered = false;
+    for (const auto& f : report->after_validation) {
+      if (SameUnderlyingSignal(f.spec.Name(), signal)) covered = true;
+    }
+    EXPECT_TRUE(covered) << signal;
+  }
+  // The uptime false positive must not survive validation.
+  for (const auto& f : report->after_validation) {
+    EXPECT_NE(f.spec.attribute_name, "uptime");
+  }
+  // And the explanation is concise (a handful of clauses at most).
+  EXPECT_LE(report->explanation.NumFeatures(), 4u);
+}
+
+TEST(WorkloadE2eTest, MonitoredSeriesShowsDelayedJob) {
+  auto run = BuildWorkloadRun(HadoopWorkloads()[0], FastOptions());
+  ASSERT_TRUE(run.ok());
+  const MatchTable& table = (*run)->engine->match_table((*run)->monitor_query);
+  auto normal = table.ExtractSeries("job-000", (*run)->monitor_column);
+  auto abnormal = table.ExtractSeries("job-anomaly", (*run)->monitor_column);
+  ASSERT_TRUE(normal.ok());
+  ASSERT_TRUE(abnormal.ok());
+  const Timestamp normal_len = normal->end_time() - normal->start_time();
+  const Timestamp abnormal_len = abnormal->end_time() - abnormal->start_time();
+  EXPECT_GT(abnormal_len, normal_len + 150);  // Fig. 1(b): delayed completion
+}
+
+TEST(WorkloadE2eTest, PartitionTablePopulated) {
+  auto run = BuildWorkloadRun(HadoopWorkloads()[0], FastOptions());
+  ASSERT_TRUE(run.ok());
+  // 2 normal + train + test anomalous jobs.
+  EXPECT_EQ((*run)->partitions->size(), 4u);
+  auto rec = (*run)->partitions->Get("Q1", "job-anomaly");
+  ASSERT_TRUE(rec.ok());
+  EXPECT_GT(rec->num_points, 100u);
+  EXPECT_EQ((*run)->partitions->FindRelated(*rec).size(), 3u);
+}
+
+TEST(WorkloadE2eTest, SeriesProviderServesMonitoredSeries) {
+  auto run = BuildWorkloadRun(HadoopWorkloads()[0], FastOptions());
+  ASSERT_TRUE(run.ok());
+  SeriesProvider provider = (*run)->MakeSeriesProvider();
+  auto series = provider("Q1", "job-000");
+  ASSERT_TRUE(series.ok());
+  EXPECT_GT(series->size(), 50u);
+  EXPECT_FALSE(provider("OtherQuery", "job-000").ok());
+}
+
+TEST(WorkloadE2eTest, SupplyChainSubParMaterialExplained) {
+  auto run = BuildWorkloadRun(SupplyChainWorkloads()[3], FastOptions());  // SC4
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  ExplanationEngine engine =
+      (*run)->MakeExplanationEngine((*run)->DefaultExplainOptions());
+  auto report = engine.Explain((*run)->annotation);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  const double consistency = ExplanationConsistency(
+      report->SelectedFeatureNames(), (*run)->ground_truth);
+  EXPECT_GE(consistency, 0.99);
+}
+
+TEST(WorkloadE2eTest, SupplyChainMissingMonitoringExplained) {
+  auto run = BuildWorkloadRun(SupplyChainWorkloads()[1], FastOptions());  // SC2
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  ExplanationEngine engine =
+      (*run)->MakeExplanationEngine((*run)->DefaultExplainOptions());
+  auto report = engine.Explain((*run)->annotation);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  // The silent sensor's frequency feature must be the explanation.
+  bool covered = false;
+  for (const auto& name : report->SelectedFeatureNames()) {
+    if (SameUnderlyingSignal(name, (*run)->ground_truth[0])) covered = true;
+  }
+  EXPECT_TRUE(covered);
+}
+
+TEST(WorkloadE2eTest, WorkloadDefinitionsMatchPaper) {
+  const auto hadoop = HadoopWorkloads();
+  ASSERT_EQ(hadoop.size(), 8u);  // Fig. 13
+  EXPECT_EQ(hadoop[0].hadoop_anomaly, AnomalyType::kHighMemory);
+  EXPECT_EQ(hadoop[0].program, "WC-frequent-users");
+  EXPECT_EQ(hadoop[7].hadoop_anomaly, AnomalyType::kBusyNetwork);
+  EXPECT_EQ(hadoop[7].program, "Twitter-trigram");
+
+  const auto sc = SupplyChainWorkloads();
+  ASSERT_EQ(sc.size(), 6u);  // Appendix D.3
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(sc[static_cast<size_t>(i)].sc_anomaly,
+              ScAnomalyType::kMissingMonitoring);
+  }
+  for (int i = 3; i < 6; ++i) {
+    EXPECT_EQ(sc[static_cast<size_t>(i)].sc_anomaly, ScAnomalyType::kSubParMaterial);
+  }
+}
+
+}  // namespace
+}  // namespace exstream

@@ -1,0 +1,102 @@
+#include "xstream/system.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/hadoop_sim.h"
+
+namespace exstream {
+namespace {
+
+class XStreamSystemTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(HadoopClusterSim::RegisterEventTypes(&registry_).ok());
+  }
+
+  // Streams a small anomalous cluster run through the system.
+  void StreamWorkload(XStreamSystem* system) {
+    HadoopSimConfig config;
+    config.num_nodes = 3;
+    config.seed = 77;
+    HadoopClusterSim sim(config, &registry_);
+    HadoopJobConfig job;
+    job.job_id = "job-x";
+    job.program = "p";
+    job.dataset = "d";
+    sim.AddJob(job);
+    AnomalySpec anomaly;
+    anomaly.type = AnomalyType::kHighMemory;
+    anomaly.start = 60;
+    anomaly.end = 300;
+    sim.AddAnomaly(anomaly);
+    ASSERT_TRUE(sim.Run(system).ok());
+  }
+
+  EventTypeRegistry registry_;
+};
+
+constexpr char kQ1[] =
+    "PATTERN SEQ(JobStart a, DataIO+ b[], JobEnd c) WHERE [jobId] "
+    "RETURN (b[i].timestamp, a.jobId, sum(b[1..i].dataSize))";
+
+TEST_F(XStreamSystemTest, MonitorArchiveExplainLoop) {
+  XStreamConfig config;
+  config.explain.feature_space.windows = {10};
+  XStreamSystem system(&registry_, config);
+  auto qid = system.AddQuery(kQ1, "Q1");
+  ASSERT_TRUE(qid.ok()) << qid.status().ToString();
+
+  StreamWorkload(&system);
+  EXPECT_GT(system.archive().TotalEvents(), 1000u);
+  EXPECT_GT(system.engine().match_table(*qid).NumRows("job-x"), 50u);
+
+  ASSERT_TRUE(system.IndexPartitions(*qid, {{"program", "p"}}).ok());
+  EXPECT_EQ(system.partitions().size(), 1u);
+
+  AnomalyAnnotation annotation;
+  annotation.abnormal = {"Q1", {60, 300}, "job-x"};
+  annotation.reference = {"Q1", {360, 600}, "job-x"};
+  auto report = system.Explain(annotation, *qid, "sum_dataSize");
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_FALSE(report->final_features.empty());
+  EXPECT_FALSE(system.explanation_active());
+}
+
+TEST_F(XStreamSystemTest, LatencyHistogramsPopulated) {
+  XStreamSystem system(&registry_);
+  ASSERT_TRUE(system.AddQuery(kQ1, "Q1").ok());
+  StreamWorkload(&system);
+  EXPECT_GT(system.idle_latency().count(), 0u);
+  // Nothing was explained, so no busy samples.
+  EXPECT_EQ(system.busy_latency().count(), 0u);
+}
+
+TEST_F(XStreamSystemTest, AsyncExplanationRunsConcurrently) {
+  XStreamConfig config;
+  config.explain.feature_space.windows = {10};
+  XStreamSystem system(&registry_, config);
+  auto qid = system.AddQuery(kQ1, "Q1");
+  ASSERT_TRUE(qid.ok());
+  StreamWorkload(&system);
+  ASSERT_TRUE(system.IndexPartitions(*qid, {{"program", "p"}}).ok());
+
+  AnomalyAnnotation annotation;
+  annotation.abnormal = {"Q1", {60, 300}, "job-x"};
+  annotation.reference = {"Q1", {360, 600}, "job-x"};
+  auto future = system.ExplainAsync(annotation, *qid, "sum_dataSize");
+  // Keep monitoring while the analysis runs.
+  Event probe(*registry_.IdOf("CpuUsage"), 10000,
+              {Value(int64_t{0}), Value(1.0), Value(1.0), Value(1.0), Value(1.0)});
+  system.OnEvent(probe);
+  auto report = future.get();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_FALSE(report->final_features.empty());
+}
+
+TEST_F(XStreamSystemTest, BadQueryRejected) {
+  XStreamSystem system(&registry_);
+  EXPECT_FALSE(system.AddQuery("PATTERN SEQ(Nope n)", "bad").ok());
+}
+
+}  // namespace
+}  // namespace exstream
