@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_appendix_a"
+  "../bench/bench_appendix_a.pdb"
+  "CMakeFiles/bench_appendix_a.dir/bench_appendix_a.cc.o"
+  "CMakeFiles/bench_appendix_a.dir/bench_appendix_a.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appendix_a.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_separation"
+  "../bench/bench_fig10_separation.pdb"
+  "CMakeFiles/bench_fig10_separation.dir/bench_fig10_separation.cc.o"
+  "CMakeFiles/bench_fig10_separation.dir/bench_fig10_separation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_separation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1_queuing"
+  "../bench/bench_fig1_queuing.pdb"
+  "CMakeFiles/bench_fig1_queuing.dir/bench_fig1_queuing.cc.o"
+  "CMakeFiles/bench_fig1_queuing.dir/bench_fig1_queuing.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_queuing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig22_sc_consistency"
+  "../bench/bench_fig22_sc_consistency.pdb"
+  "CMakeFiles/bench_fig22_sc_consistency.dir/bench_fig22_sc_consistency.cc.o"
+  "CMakeFiles/bench_fig22_sc_consistency.dir/bench_fig22_sc_consistency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig22_sc_consistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

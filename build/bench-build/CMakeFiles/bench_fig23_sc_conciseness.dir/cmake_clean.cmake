@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig23_sc_conciseness"
+  "../bench/bench_fig23_sc_conciseness.pdb"
+  "CMakeFiles/bench_fig23_sc_conciseness.dir/bench_fig23_sc_conciseness.cc.o"
+  "CMakeFiles/bench_fig23_sc_conciseness.dir/bench_fig23_sc_conciseness.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig23_sc_conciseness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig24_sc_prediction"
+  "../bench/bench_fig24_sc_prediction.pdb"
+  "CMakeFiles/bench_fig24_sc_prediction.dir/bench_fig24_sc_prediction.cc.o"
+  "CMakeFiles/bench_fig24_sc_prediction.dir/bench_fig24_sc_prediction.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig24_sc_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

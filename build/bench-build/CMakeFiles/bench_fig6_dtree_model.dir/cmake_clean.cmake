@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_dtree_model"
+  "../bench/bench_fig6_dtree_model.pdb"
+  "CMakeFiles/bench_fig6_dtree_model.dir/bench_fig6_dtree_model.cc.o"
+  "CMakeFiles/bench_fig6_dtree_model.dir/bench_fig6_dtree_model.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_dtree_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_mi_gain"
+  "../bench/bench_fig8_mi_gain.pdb"
+  "CMakeFiles/bench_fig8_mi_gain.dir/bench_fig8_mi_gain.cc.o"
+  "CMakeFiles/bench_fig8_mi_gain.dir/bench_fig8_mi_gain.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_mi_gain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_summary_claims"
+  "../bench/bench_summary_claims.pdb"
+  "CMakeFiles/bench_summary_claims.dir/bench_summary_claims.cc.o"
+  "CMakeFiles/bench_summary_claims.dir/bench_summary_claims.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_summary_claims.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

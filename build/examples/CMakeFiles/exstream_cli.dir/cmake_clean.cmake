@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exstream_cli.dir/exstream_cli.cpp.o"
+  "CMakeFiles/exstream_cli.dir/exstream_cli.cpp.o.d"
+  "exstream_cli"
+  "exstream_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exstream_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proactive_monitoring.dir/proactive_monitoring.cpp.o"
+  "CMakeFiles/proactive_monitoring.dir/proactive_monitoring.cpp.o.d"
+  "proactive_monitoring"
+  "proactive_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proactive_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,79 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/archive/archive.cc" "src/CMakeFiles/exstream.dir/archive/archive.cc.o" "gcc" "src/CMakeFiles/exstream.dir/archive/archive.cc.o.d"
+  "/root/repo/src/archive/chunk.cc" "src/CMakeFiles/exstream.dir/archive/chunk.cc.o" "gcc" "src/CMakeFiles/exstream.dir/archive/chunk.cc.o.d"
+  "/root/repo/src/archive/serialization.cc" "src/CMakeFiles/exstream.dir/archive/serialization.cc.o" "gcc" "src/CMakeFiles/exstream.dir/archive/serialization.cc.o.d"
+  "/root/repo/src/cep/engine.cc" "src/CMakeFiles/exstream.dir/cep/engine.cc.o" "gcc" "src/CMakeFiles/exstream.dir/cep/engine.cc.o.d"
+  "/root/repo/src/cep/match_table.cc" "src/CMakeFiles/exstream.dir/cep/match_table.cc.o" "gcc" "src/CMakeFiles/exstream.dir/cep/match_table.cc.o.d"
+  "/root/repo/src/cep/nfa.cc" "src/CMakeFiles/exstream.dir/cep/nfa.cc.o" "gcc" "src/CMakeFiles/exstream.dir/cep/nfa.cc.o.d"
+  "/root/repo/src/cep/predicate.cc" "src/CMakeFiles/exstream.dir/cep/predicate.cc.o" "gcc" "src/CMakeFiles/exstream.dir/cep/predicate.cc.o.d"
+  "/root/repo/src/common/histogram.cc" "src/CMakeFiles/exstream.dir/common/histogram.cc.o" "gcc" "src/CMakeFiles/exstream.dir/common/histogram.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/exstream.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/exstream.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/exstream.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/exstream.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/exstream.dir/common/status.cc.o" "gcc" "src/CMakeFiles/exstream.dir/common/status.cc.o.d"
+  "/root/repo/src/common/strings.cc" "src/CMakeFiles/exstream.dir/common/strings.cc.o" "gcc" "src/CMakeFiles/exstream.dir/common/strings.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/CMakeFiles/exstream.dir/common/thread_pool.cc.o" "gcc" "src/CMakeFiles/exstream.dir/common/thread_pool.cc.o.d"
+  "/root/repo/src/common/value.cc" "src/CMakeFiles/exstream.dir/common/value.cc.o" "gcc" "src/CMakeFiles/exstream.dir/common/value.cc.o.d"
+  "/root/repo/src/detect/detector.cc" "src/CMakeFiles/exstream.dir/detect/detector.cc.o" "gcc" "src/CMakeFiles/exstream.dir/detect/detector.cc.o.d"
+  "/root/repo/src/event/event.cc" "src/CMakeFiles/exstream.dir/event/event.cc.o" "gcc" "src/CMakeFiles/exstream.dir/event/event.cc.o.d"
+  "/root/repo/src/event/registry.cc" "src/CMakeFiles/exstream.dir/event/registry.cc.o" "gcc" "src/CMakeFiles/exstream.dir/event/registry.cc.o.d"
+  "/root/repo/src/event/schema.cc" "src/CMakeFiles/exstream.dir/event/schema.cc.o" "gcc" "src/CMakeFiles/exstream.dir/event/schema.cc.o.d"
+  "/root/repo/src/event/stream.cc" "src/CMakeFiles/exstream.dir/event/stream.cc.o" "gcc" "src/CMakeFiles/exstream.dir/event/stream.cc.o.d"
+  "/root/repo/src/explain/alignment.cc" "src/CMakeFiles/exstream.dir/explain/alignment.cc.o" "gcc" "src/CMakeFiles/exstream.dir/explain/alignment.cc.o.d"
+  "/root/repo/src/explain/annotation.cc" "src/CMakeFiles/exstream.dir/explain/annotation.cc.o" "gcc" "src/CMakeFiles/exstream.dir/explain/annotation.cc.o.d"
+  "/root/repo/src/explain/correlation_filter.cc" "src/CMakeFiles/exstream.dir/explain/correlation_filter.cc.o" "gcc" "src/CMakeFiles/exstream.dir/explain/correlation_filter.cc.o.d"
+  "/root/repo/src/explain/engine.cc" "src/CMakeFiles/exstream.dir/explain/engine.cc.o" "gcc" "src/CMakeFiles/exstream.dir/explain/engine.cc.o.d"
+  "/root/repo/src/explain/explanation.cc" "src/CMakeFiles/exstream.dir/explain/explanation.cc.o" "gcc" "src/CMakeFiles/exstream.dir/explain/explanation.cc.o.d"
+  "/root/repo/src/explain/explanation_io.cc" "src/CMakeFiles/exstream.dir/explain/explanation_io.cc.o" "gcc" "src/CMakeFiles/exstream.dir/explain/explanation_io.cc.o.d"
+  "/root/repo/src/explain/labeling.cc" "src/CMakeFiles/exstream.dir/explain/labeling.cc.o" "gcc" "src/CMakeFiles/exstream.dir/explain/labeling.cc.o.d"
+  "/root/repo/src/explain/leap_filter.cc" "src/CMakeFiles/exstream.dir/explain/leap_filter.cc.o" "gcc" "src/CMakeFiles/exstream.dir/explain/leap_filter.cc.o.d"
+  "/root/repo/src/explain/partition_table.cc" "src/CMakeFiles/exstream.dir/explain/partition_table.cc.o" "gcc" "src/CMakeFiles/exstream.dir/explain/partition_table.cc.o.d"
+  "/root/repo/src/explain/predicate_builder.cc" "src/CMakeFiles/exstream.dir/explain/predicate_builder.cc.o" "gcc" "src/CMakeFiles/exstream.dir/explain/predicate_builder.cc.o.d"
+  "/root/repo/src/explain/reward.cc" "src/CMakeFiles/exstream.dir/explain/reward.cc.o" "gcc" "src/CMakeFiles/exstream.dir/explain/reward.cc.o.d"
+  "/root/repo/src/explain/temporal.cc" "src/CMakeFiles/exstream.dir/explain/temporal.cc.o" "gcc" "src/CMakeFiles/exstream.dir/explain/temporal.cc.o.d"
+  "/root/repo/src/features/builder.cc" "src/CMakeFiles/exstream.dir/features/builder.cc.o" "gcc" "src/CMakeFiles/exstream.dir/features/builder.cc.o.d"
+  "/root/repo/src/features/feature.cc" "src/CMakeFiles/exstream.dir/features/feature.cc.o" "gcc" "src/CMakeFiles/exstream.dir/features/feature.cc.o.d"
+  "/root/repo/src/features/feature_space.cc" "src/CMakeFiles/exstream.dir/features/feature_space.cc.o" "gcc" "src/CMakeFiles/exstream.dir/features/feature_space.cc.o.d"
+  "/root/repo/src/io/csv.cc" "src/CMakeFiles/exstream.dir/io/csv.cc.o" "gcc" "src/CMakeFiles/exstream.dir/io/csv.cc.o.d"
+  "/root/repo/src/ml/data_fusion.cc" "src/CMakeFiles/exstream.dir/ml/data_fusion.cc.o" "gcc" "src/CMakeFiles/exstream.dir/ml/data_fusion.cc.o.d"
+  "/root/repo/src/ml/dataset.cc" "src/CMakeFiles/exstream.dir/ml/dataset.cc.o" "gcc" "src/CMakeFiles/exstream.dir/ml/dataset.cc.o.d"
+  "/root/repo/src/ml/decision_tree.cc" "src/CMakeFiles/exstream.dir/ml/decision_tree.cc.o" "gcc" "src/CMakeFiles/exstream.dir/ml/decision_tree.cc.o.d"
+  "/root/repo/src/ml/discretize.cc" "src/CMakeFiles/exstream.dir/ml/discretize.cc.o" "gcc" "src/CMakeFiles/exstream.dir/ml/discretize.cc.o.d"
+  "/root/repo/src/ml/logistic_regression.cc" "src/CMakeFiles/exstream.dir/ml/logistic_regression.cc.o" "gcc" "src/CMakeFiles/exstream.dir/ml/logistic_regression.cc.o.d"
+  "/root/repo/src/ml/majority_vote.cc" "src/CMakeFiles/exstream.dir/ml/majority_vote.cc.o" "gcc" "src/CMakeFiles/exstream.dir/ml/majority_vote.cc.o.d"
+  "/root/repo/src/ml/metrics.cc" "src/CMakeFiles/exstream.dir/ml/metrics.cc.o" "gcc" "src/CMakeFiles/exstream.dir/ml/metrics.cc.o.d"
+  "/root/repo/src/ml/mutual_info.cc" "src/CMakeFiles/exstream.dir/ml/mutual_info.cc.o" "gcc" "src/CMakeFiles/exstream.dir/ml/mutual_info.cc.o.d"
+  "/root/repo/src/ml/penalized_selection.cc" "src/CMakeFiles/exstream.dir/ml/penalized_selection.cc.o" "gcc" "src/CMakeFiles/exstream.dir/ml/penalized_selection.cc.o.d"
+  "/root/repo/src/ml/stump.cc" "src/CMakeFiles/exstream.dir/ml/stump.cc.o" "gcc" "src/CMakeFiles/exstream.dir/ml/stump.cc.o.d"
+  "/root/repo/src/query/ast.cc" "src/CMakeFiles/exstream.dir/query/ast.cc.o" "gcc" "src/CMakeFiles/exstream.dir/query/ast.cc.o.d"
+  "/root/repo/src/query/lexer.cc" "src/CMakeFiles/exstream.dir/query/lexer.cc.o" "gcc" "src/CMakeFiles/exstream.dir/query/lexer.cc.o.d"
+  "/root/repo/src/query/parser.cc" "src/CMakeFiles/exstream.dir/query/parser.cc.o" "gcc" "src/CMakeFiles/exstream.dir/query/parser.cc.o.d"
+  "/root/repo/src/sim/hadoop_sim.cc" "src/CMakeFiles/exstream.dir/sim/hadoop_sim.cc.o" "gcc" "src/CMakeFiles/exstream.dir/sim/hadoop_sim.cc.o.d"
+  "/root/repo/src/sim/metric_model.cc" "src/CMakeFiles/exstream.dir/sim/metric_model.cc.o" "gcc" "src/CMakeFiles/exstream.dir/sim/metric_model.cc.o.d"
+  "/root/repo/src/sim/supply_chain_sim.cc" "src/CMakeFiles/exstream.dir/sim/supply_chain_sim.cc.o" "gcc" "src/CMakeFiles/exstream.dir/sim/supply_chain_sim.cc.o.d"
+  "/root/repo/src/sim/workloads.cc" "src/CMakeFiles/exstream.dir/sim/workloads.cc.o" "gcc" "src/CMakeFiles/exstream.dir/sim/workloads.cc.o.d"
+  "/root/repo/src/ts/aggregate.cc" "src/CMakeFiles/exstream.dir/ts/aggregate.cc.o" "gcc" "src/CMakeFiles/exstream.dir/ts/aggregate.cc.o.d"
+  "/root/repo/src/ts/clustering.cc" "src/CMakeFiles/exstream.dir/ts/clustering.cc.o" "gcc" "src/CMakeFiles/exstream.dir/ts/clustering.cc.o.d"
+  "/root/repo/src/ts/correlation.cc" "src/CMakeFiles/exstream.dir/ts/correlation.cc.o" "gcc" "src/CMakeFiles/exstream.dir/ts/correlation.cc.o.d"
+  "/root/repo/src/ts/distance.cc" "src/CMakeFiles/exstream.dir/ts/distance.cc.o" "gcc" "src/CMakeFiles/exstream.dir/ts/distance.cc.o.d"
+  "/root/repo/src/ts/entropy_distance.cc" "src/CMakeFiles/exstream.dir/ts/entropy_distance.cc.o" "gcc" "src/CMakeFiles/exstream.dir/ts/entropy_distance.cc.o.d"
+  "/root/repo/src/ts/time_series.cc" "src/CMakeFiles/exstream.dir/ts/time_series.cc.o" "gcc" "src/CMakeFiles/exstream.dir/ts/time_series.cc.o.d"
+  "/root/repo/src/viz/ascii_chart.cc" "src/CMakeFiles/exstream.dir/viz/ascii_chart.cc.o" "gcc" "src/CMakeFiles/exstream.dir/viz/ascii_chart.cc.o.d"
+  "/root/repo/src/xstream/evaluation.cc" "src/CMakeFiles/exstream.dir/xstream/evaluation.cc.o" "gcc" "src/CMakeFiles/exstream.dir/xstream/evaluation.cc.o.d"
+  "/root/repo/src/xstream/system.cc" "src/CMakeFiles/exstream.dir/xstream/system.cc.o" "gcc" "src/CMakeFiles/exstream.dir/xstream/system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/entropy_distance_test.dir/entropy_distance_test.cc.o"
+  "CMakeFiles/entropy_distance_test.dir/entropy_distance_test.cc.o.d"
+  "entropy_distance_test"
+  "entropy_distance_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/entropy_distance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explanation_io_test.dir/explanation_io_test.cc.o"
+  "CMakeFiles/explanation_io_test.dir/explanation_io_test.cc.o.d"
+  "explanation_io_test"
+  "explanation_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explanation_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explanation_test.dir/explanation_test.cc.o"
+  "CMakeFiles/explanation_test.dir/explanation_test.cc.o.d"
+  "explanation_test"
+  "explanation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explanation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

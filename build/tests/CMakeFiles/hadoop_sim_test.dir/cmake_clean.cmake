@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hadoop_sim_test.dir/hadoop_sim_test.cc.o"
+  "CMakeFiles/hadoop_sim_test.dir/hadoop_sim_test.cc.o.d"
+  "hadoop_sim_test"
+  "hadoop_sim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hadoop_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

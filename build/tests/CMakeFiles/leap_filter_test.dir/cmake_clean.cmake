@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leap_filter_test.dir/leap_filter_test.cc.o"
+  "CMakeFiles/leap_filter_test.dir/leap_filter_test.cc.o.d"
+  "leap_filter_test"
+  "leap_filter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leap_filter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mutual_info_test.dir/mutual_info_test.cc.o"
+  "CMakeFiles/mutual_info_test.dir/mutual_info_test.cc.o.d"
+  "mutual_info_test"
+  "mutual_info_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mutual_info_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

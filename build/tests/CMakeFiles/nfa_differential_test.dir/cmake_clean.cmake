@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfa_differential_test.dir/nfa_differential_test.cc.o"
+  "CMakeFiles/nfa_differential_test.dir/nfa_differential_test.cc.o.d"
+  "nfa_differential_test"
+  "nfa_differential_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfa_differential_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partition_alignment_test.dir/partition_alignment_test.cc.o"
+  "CMakeFiles/partition_alignment_test.dir/partition_alignment_test.cc.o.d"
+  "partition_alignment_test"
+  "partition_alignment_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partition_alignment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

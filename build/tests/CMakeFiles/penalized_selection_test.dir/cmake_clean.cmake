@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/penalized_selection_test.dir/penalized_selection_test.cc.o"
+  "CMakeFiles/penalized_selection_test.dir/penalized_selection_test.cc.o.d"
+  "penalized_selection_test"
+  "penalized_selection_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/penalized_selection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

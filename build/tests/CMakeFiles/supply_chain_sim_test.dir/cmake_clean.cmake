@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supply_chain_sim_test.dir/supply_chain_sim_test.cc.o"
+  "CMakeFiles/supply_chain_sim_test.dir/supply_chain_sim_test.cc.o.d"
+  "supply_chain_sim_test"
+  "supply_chain_sim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supply_chain_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vote_fusion_test.dir/vote_fusion_test.cc.o"
+  "CMakeFiles/vote_fusion_test.dir/vote_fusion_test.cc.o.d"
+  "vote_fusion_test"
+  "vote_fusion_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vote_fusion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

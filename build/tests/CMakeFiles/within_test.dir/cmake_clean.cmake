@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/within_test.dir/within_test.cc.o"
+  "CMakeFiles/within_test.dir/within_test.cc.o.d"
+  "within_test"
+  "within_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/within_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xstream_system_test.dir/xstream_system_test.cc.o"
+  "CMakeFiles/xstream_system_test.dir/xstream_system_test.cc.o.d"
+  "xstream_system_test"
+  "xstream_system_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xstream_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
