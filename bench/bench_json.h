@@ -1,0 +1,112 @@
+// Minimal JSON emission for machine-readable bench artifacts (BENCH_*.json),
+// so successive PRs can track the perf trajectory without parsing tables.
+
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace exstream::bench {
+
+/// \brief Append-only JSON writer: the caller provides structure through
+/// Begin/End calls; commas and string escaping are handled here.
+class JsonWriter {
+ public:
+  void BeginObject() {
+    Sep();
+    out_ += '{';
+    stack_.push_back(1);
+  }
+  void EndObject() {
+    out_ += '}';
+    stack_.pop_back();
+  }
+  void BeginArray() {
+    Sep();
+    out_ += '[';
+    stack_.push_back(1);
+  }
+  void EndArray() {
+    out_ += ']';
+    stack_.pop_back();
+  }
+  void Key(std::string_view name) {
+    Sep();
+    AppendQuoted(name);
+    out_ += ':';
+    after_key_ = true;
+  }
+  void String(std::string_view value) {
+    Sep();
+    AppendQuoted(value);
+  }
+  void Double(double value) {
+    Sep();
+    out_ += StrFormat("%.17g", value);
+  }
+  void UInt(size_t value) {
+    Sep();
+    out_ += StrFormat("%zu", value);
+  }
+  void Bool(bool value) {
+    Sep();
+    out_ += value ? "true" : "false";
+  }
+
+  const std::string& str() const { return out_; }
+
+  /// Writes the document to `path`; returns false (with a stderr note) on
+  /// I/O failure so benches can keep printing their tables regardless.
+  bool WriteFile(const std::string& path) const {
+    FILE* f = fopen(path.c_str(), "wb");
+    if (f == nullptr) {
+      fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    fwrite(out_.data(), 1, out_.size(), f);
+    fputc('\n', f);
+    fclose(f);
+    return true;
+  }
+
+ private:
+  void Sep() {
+    if (after_key_) {
+      after_key_ = false;
+      return;
+    }
+    if (!stack_.empty()) {
+      if (!stack_.back()) out_ += ',';
+      stack_.back() = 0;
+    }
+  }
+
+  void AppendQuoted(std::string_view s) {
+    out_ += '"';
+    for (const char c : s) {
+      switch (c) {
+        case '"': out_ += "\\\""; break;
+        case '\\': out_ += "\\\\"; break;
+        case '\n': out_ += "\\n"; break;
+        case '\t': out_ += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            out_ += StrFormat("\\u%04x", c);
+          } else {
+            out_ += c;
+          }
+      }
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  std::vector<char> stack_;  // 1 while the open container is still empty
+  bool after_key_ = false;
+};
+
+}  // namespace exstream::bench

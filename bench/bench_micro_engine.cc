@@ -3,11 +3,17 @@
 // sliding-window aggregation, the entropy distance, and end-to-end feature
 // reward computation.
 
+#include <algorithm>
+
 #include <benchmark/benchmark.h>
+
+#include "bench_json.h"
 
 #include "archive/archive.h"
 #include "cep/engine.h"
 #include "common/rng.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
 #include "explain/reward.h"
 #include "features/builder.h"
 #include "features/feature_space.h"
@@ -119,23 +125,80 @@ void BM_EntropyDistance(benchmark::State& state) {
 }
 BENCHMARK(BM_EntropyDistance)->Arg(100)->Arg(1000)->Arg(10000);
 
+// range(0) = worker threads; 1 runs the serial path (no pool).
 void BM_FeatureRewards(benchmark::State& state) {
   SharedStream& s = Stream();
   EventArchive archive(&s.registry);
   for (const Event& e : s.events) archive.OnEvent(e);
   FeatureBuilder builder(&archive);
   const auto specs = GenerateFeatureSpecs(s.registry);
+  const auto num_threads = static_cast<size_t>(state.range(0));
+  std::unique_ptr<ThreadPool> pool;
+  if (num_threads != 1) pool = std::make_unique<ThreadPool>(num_threads);
   for (auto _ : state) {
     auto ranked = ComputeFeatureRewards(builder, specs, TimeInterval{60, 300},
-                                        TimeInterval{300, 480});
+                                        TimeInterval{300, 480}, 5, pool.get());
     benchmark::DoNotOptimize(ranked);
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(specs.size()));
 }
-BENCHMARK(BM_FeatureRewards);
+BENCHMARK(BM_FeatureRewards)->Arg(1)->Arg(2)->Arg(0);  // 0 = hardware threads
+
+// Serial-vs-parallel reward sweep written to BENCH_explain_micro.json so the
+// perf trajectory of the hottest analysis loop is machine-readable.
+void WriteRewardComparisonJson() {
+  SharedStream& s = Stream();
+  EventArchive archive(&s.registry);
+  for (const Event& e : s.events) archive.OnEvent(e);
+  FeatureBuilder builder(&archive);
+  const auto specs = GenerateFeatureSpecs(s.registry);
+  ThreadPool pool(0);
+  auto time_best = [&](ThreadPool* p) {
+    double best = 1e30;
+    for (int r = 0; r < 5; ++r) {
+      Stopwatch timer;
+      auto ranked = ComputeFeatureRewards(builder, specs, TimeInterval{60, 300},
+                                          TimeInterval{300, 480}, 5, p);
+      benchmark::DoNotOptimize(ranked);
+      best = std::min(best, timer.ElapsedSeconds());
+    }
+    return best;
+  };
+  const double serial = time_best(nullptr);
+  const double parallel = time_best(&pool);
+
+  exstream::bench::JsonWriter json;
+  json.BeginObject();
+  json.Key("bench");
+  json.String("micro_engine");
+  json.Key("feature_rewards");
+  json.BeginObject();
+  json.Key("num_specs");
+  json.UInt(specs.size());
+  json.Key("num_threads");
+  json.UInt(pool.num_threads());
+  json.Key("serial_s");
+  json.Double(serial);
+  json.Key("parallel_s");
+  json.Double(parallel);
+  json.Key("speedup");
+  json.Double(serial / std::max(parallel, 1e-12));
+  json.EndObject();
+  json.EndObject();
+  if (json.WriteFile("BENCH_explain_micro.json")) {
+    fprintf(stderr, "[bench] wrote BENCH_explain_micro.json\n");
+  }
+}
 
 }  // namespace
 }  // namespace exstream
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  exstream::WriteRewardComparisonJson();
+  return 0;
+}

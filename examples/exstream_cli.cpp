@@ -6,8 +6,12 @@
 //
 //   exstream_cli --schema schema.txt --events events.csv --query query.sase
 //                [--column NAME] [--list-partitions]
-//                [--chart PARTITION]
+//                [--chart PARTITION] [--threads N]
 //                [--explain PARTITION:LO:HI --reference PARTITION:LO:HI]
+//
+// --threads N runs the explanation analysis on N worker threads (default 1;
+// 0 = one per hardware thread). The explanation itself is identical for any
+// thread count.
 //
 // Schema file: one event type per line, `TypeName attr:type attr:type ...`
 // where type is int64|double|string. Event CSV: see src/io/csv.h.
@@ -183,7 +187,7 @@ int Run(int argc, char** argv) {
     fprintf(stderr,
             "usage: exstream_cli --demo | --schema F --events F --query F\n"
             "       [--column NAME] [--list-partitions] [--chart PARTITION]\n"
-            "       [--explain P:LO:HI --reference P:LO:HI]\n");
+            "       [--threads N] [--explain P:LO:HI --reference P:LO:HI]\n");
     return 2;
   }
 
@@ -198,7 +202,12 @@ int Run(int argc, char** argv) {
     return 1;
   }
 
-  XStreamSystem system(&*registry);
+  XStreamConfig config;
+  if (args.count("threads")) {
+    config.explain.num_threads =
+        static_cast<size_t>(strtoull(args["threads"].c_str(), nullptr, 10));
+  }
+  XStreamSystem system(&*registry, config);
   auto qid = system.AddQuery(*query_text, "Q");
   if (!qid.ok()) {
     fprintf(stderr, "query error: %s\n", qid.status().ToString().c_str());

@@ -2,79 +2,115 @@
 
 #include <algorithm>
 
+#include "archive/serialization.h"
 #include "common/logging.h"
 #include "common/strings.h"
 
 namespace exstream {
 
 EventArchive::EventArchive(const EventTypeRegistry* registry, ArchiveOptions options)
-    : registry_(registry), options_(std::move(options)) {
-  chunks_.resize(registry_->size());
-  resident_sealed_.assign(registry_->size(), 0);
-  spill_cursor_.assign(registry_->size(), 0);
-  for (size_t t = 0; t < registry_->size(); ++t) {
-    chunks_[t].emplace_back(static_cast<EventTypeId>(t), options_.chunk_capacity);
+    : registry_(registry), options_(std::move(options)), shards_(registry_->size()) {
+  for (size_t t = 0; t < shards_.size(); ++t) {
+    shards_[t].chunks.push_back(
+        std::make_shared<Chunk>(static_cast<EventTypeId>(t), options_.chunk_capacity));
   }
 }
 
 void EventArchive::OnEvent(const Event& event) {
   const Status st = Append(event);
   if (!st.ok()) {
-    ++append_errors_;
+    append_errors_.fetch_add(1, std::memory_order_relaxed);
     EXSTREAM_LOG(Warn) << "archive append failed: " << st.ToString();
   }
 }
 
 Status EventArchive::Append(const Event& event) {
-  std::lock_guard<std::mutex> lock(mu_);
-  return AppendLocked(event);
-}
-
-Status EventArchive::AppendLocked(const Event& event) {
-  if (event.type >= chunks_.size()) {
+  if (event.type >= shards_.size()) {
     return Status::InvalidArgument(
         StrFormat("event type %u not registered", event.type));
   }
-  auto& list = chunks_[event.type];
-  if (list.back().full()) {
-    list.back().Seal();
-    ++resident_sealed_[event.type];
-    list.emplace_back(event.type, options_.chunk_capacity);
-    EXSTREAM_RETURN_NOT_OK(MaybeSpillLocked(event.type));
-  }
-  return list.back().Append(event);
+  Shard& shard = shards_[event.type];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return AppendLocked(&shard, event);
 }
 
-Status EventArchive::MaybeSpillLocked(EventTypeId type) {
+Status EventArchive::AppendLocked(Shard* shard, const Event& event) {
+  auto& list = shard->chunks;
+  if (list.back()->full()) {
+    list.back()->Seal();
+    ++shard->resident_sealed;
+    list.push_back(std::make_shared<Chunk>(event.type, options_.chunk_capacity));
+    EXSTREAM_RETURN_NOT_OK(MaybeSpillLocked(shard, event.type));
+  }
+  return list.back()->Append(event);
+}
+
+Status EventArchive::MaybeSpillLocked(Shard* shard, EventTypeId type) {
   if (!options_.spill_dir.has_value()) return Status::OK();
-  while (resident_sealed_[type] > options_.max_resident_chunks) {
-    auto& list = chunks_[type];
-    size_t& cursor = spill_cursor_[type];
-    while (cursor < list.size() && (list[cursor].spilled() || !list[cursor].sealed())) {
+  while (shard->resident_sealed > options_.max_resident_chunks) {
+    auto& list = shard->chunks;
+    size_t& cursor = shard->spill_cursor;
+    while (cursor < list.size() &&
+           (list[cursor]->spilled() || !list[cursor]->sealed())) {
       ++cursor;
     }
     if (cursor >= list.size()) break;
-    const std::string path = StrFormat("%s/type%u_chunk%zu_%zu.bin",
-                                       options_.spill_dir->c_str(), type, cursor,
-                                       spill_file_seq_++);
-    EXSTREAM_RETURN_NOT_OK(list[cursor].SpillTo(path));
-    --resident_sealed_[type];
+    const std::string path =
+        StrFormat("%s/type%u_chunk%zu_%zu.bin", options_.spill_dir->c_str(), type,
+                  cursor, spill_file_seq_.fetch_add(1, std::memory_order_relaxed));
+    EXSTREAM_RETURN_NOT_OK(list[cursor]->SpillTo(path));
+    --shard->resident_sealed;
   }
   return Status::OK();
 }
 
 Result<std::vector<Event>> EventArchive::Scan(EventTypeId type,
                                               const TimeInterval& interval) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (type >= chunks_.size()) {
+  if (type >= shards_.size()) {
     return Status::InvalidArgument(StrFormat("event type %u not registered", type));
   }
+  const Shard& shard = shards_[type];
+
+  // Phase 1 (under the shard lock): snapshot handles of overlapping chunks.
+  // Sealed resident chunks are pinned by shared_ptr; spilled chunks contribute
+  // only their path; the open tail chunk is the one place events still mutate,
+  // so its in-range run is copied here (bounded by chunk_capacity).
+  std::vector<ChunkSnapshot> snapshots;
+  size_t reserve_hint = 0;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& chunk : shard.chunks) {
+      if (!chunk->Overlaps(interval)) continue;  // the time-range index at work
+      ChunkSnapshot snap;
+      if (!chunk->sealed()) {
+        AppendEventsInRange(chunk->resident_events(), interval, &snap.open_tail);
+        reserve_hint += snap.open_tail.size();
+      } else if (auto resident = chunk->resident_handle()) {
+        snap.resident = std::move(resident);
+        reserve_hint += chunk->size();
+      } else {
+        snap.spill_path = chunk->spill_path();
+        reserve_hint += chunk->size();
+      }
+      snapshots.push_back(std::move(snap));
+    }
+  }
+
+  // Phase 2 (lock-free): load and range-filter each snapshot. Spill-file
+  // reads — disk I/O — happen here, where they cannot stall appends.
   std::vector<Event> out;
-  for (const Chunk& chunk : chunks_[type]) {
-    if (!chunk.Overlaps(interval)) continue;  // the time-range index at work
-    EXSTREAM_ASSIGN_OR_RETURN(std::vector<Event> events, chunk.Load());
-    for (Event& e : events) {
-      if (interval.Contains(e.ts)) out.push_back(std::move(e));
+  out.reserve(reserve_hint);
+  for (ChunkSnapshot& snap : snapshots) {
+    if (!snap.spill_path.empty()) {
+      if (options_.spill_read_hook_for_testing) options_.spill_read_hook_for_testing();
+      EXSTREAM_ASSIGN_OR_RETURN(const std::vector<Event> events,
+                                ReadEventsFile(snap.spill_path));
+      AppendEventsInRange(events, interval, &out);
+    } else if (snap.resident != nullptr) {
+      AppendEventsInRange(*snap.resident, interval, &out);
+    } else {
+      out.insert(out.end(), std::make_move_iterator(snap.open_tail.begin()),
+                 std::make_move_iterator(snap.open_tail.end()));
     }
   }
   return out;
@@ -83,8 +119,8 @@ Result<std::vector<Event>> EventArchive::Scan(EventTypeId type,
 Result<std::vector<std::vector<Event>>> EventArchive::ScanAll(
     const TimeInterval& interval) const {
   std::vector<std::vector<Event>> out;
-  out.reserve(chunks_.size());
-  for (size_t t = 0; t < chunks_.size(); ++t) {
+  out.reserve(shards_.size());
+  for (size_t t = 0; t < shards_.size(); ++t) {
     EXSTREAM_ASSIGN_OR_RETURN(std::vector<Event> events,
                               Scan(static_cast<EventTypeId>(t), interval));
     out.push_back(std::move(events));
@@ -93,25 +129,27 @@ Result<std::vector<std::vector<Event>>> EventArchive::ScanAll(
 }
 
 size_t EventArchive::CountEvents(EventTypeId type) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (type >= chunks_.size()) return 0;
+  if (type >= shards_.size()) return 0;
+  const Shard& shard = shards_[type];
+  std::lock_guard<std::mutex> lock(shard.mu);
   size_t n = 0;
-  for (const Chunk& c : chunks_[type]) n += c.size();
+  for (const auto& c : shard.chunks) n += c->size();
   return n;
 }
 
 size_t EventArchive::TotalEvents() const {
   size_t n = 0;
-  for (size_t t = 0; t < chunks_.size(); ++t) {
+  for (size_t t = 0; t < shards_.size(); ++t) {
     n += CountEvents(static_cast<EventTypeId>(t));
   }
   return n;
 }
 
 size_t EventArchive::NumChunks(EventTypeId type) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (type >= chunks_.size()) return 0;
-  return chunks_[type].size();
+  if (type >= shards_.size()) return 0;
+  const Shard& shard = shards_[type];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.chunks.size();
 }
 
 }  // namespace exstream

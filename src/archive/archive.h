@@ -7,6 +7,9 @@
 
 #pragma once
 
+#include <atomic>
+#include <functional>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -28,12 +31,20 @@ struct ArchiveOptions {
   std::optional<std::string> spill_dir;
   /// Resident sealed-chunk budget per event type before spilling (FIFO).
   size_t max_resident_chunks = 64;
+  /// Test-only: invoked by Scan once per spill-file read, after the shard
+  /// lock is released and before the disk read. Lets tests prove that slow
+  /// spill I/O cannot block concurrent Appends.
+  std::function<void()> spill_read_hook_for_testing;
 };
 
 /// \brief Chunked, time-indexed store of all archived events.
 ///
 /// Thread-safe: the CEP data source appends from the ingest thread while the
-/// explanation engine scans from worker threads.
+/// explanation engine scans from worker threads. Locking is sharded per event
+/// type, and scans only hold the shard lock long enough to snapshot chunk
+/// handles — chunk loading, spill-file reads, and range filtering all run
+/// outside the lock, so a scan never stalls appends (even of its own type)
+/// on disk I/O.
 class EventArchive : public EventSink {
  public:
   EventArchive(const EventTypeRegistry* registry, ArchiveOptions options = {});
@@ -61,23 +72,37 @@ class EventArchive : public EventSink {
   size_t NumChunks(EventTypeId type) const;
 
   /// Number of append errors swallowed by OnEvent (out-of-order etc.).
-  size_t append_errors() const { return append_errors_; }
+  size_t append_errors() const { return append_errors_.load(std::memory_order_relaxed); }
 
   const EventTypeRegistry& registry() const { return *registry_; }
 
  private:
-  Status AppendLocked(const Event& event);
-  Status MaybeSpillLocked(EventTypeId type);
+  /// One event type's chunk list plus its lock. The shard vector itself is
+  /// sized at construction and never resized, so shards can be addressed
+  /// without any global lock.
+  struct Shard {
+    mutable std::mutex mu;
+    std::vector<std::shared_ptr<Chunk>> chunks;
+    size_t resident_sealed = 0;  ///< count of unspilled sealed chunks
+    size_t spill_cursor = 0;     ///< next chunk index to consider spilling
+  };
+
+  /// A scan's view of one overlapping chunk, captured under the shard lock.
+  /// Exactly one of the three members is populated.
+  struct ChunkSnapshot {
+    std::shared_ptr<const std::vector<Event>> resident;  ///< sealed, in memory
+    std::string spill_path;                              ///< sealed, on disk
+    std::vector<Event> open_tail;  ///< open chunk: in-range events, copied
+  };
+
+  Status AppendLocked(Shard* shard, const Event& event);
+  Status MaybeSpillLocked(Shard* shard, EventTypeId type);
 
   const EventTypeRegistry* registry_;  // not owned
   ArchiveOptions options_;
-  mutable std::mutex mu_;
-  // chunks_[type] is the ordered chunk list of that event type.
-  std::vector<std::vector<Chunk>> chunks_;
-  std::vector<size_t> resident_sealed_;  // per type, count of unspilled sealed chunks
-  std::vector<size_t> spill_cursor_;     // per type, next chunk index to spill
-  size_t append_errors_ = 0;
-  size_t spill_file_seq_ = 0;
+  std::vector<Shard> shards_;  // one per event type, fixed at construction
+  std::atomic<size_t> append_errors_{0};
+  std::atomic<size_t> spill_file_seq_{0};
 };
 
 }  // namespace exstream

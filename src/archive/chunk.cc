@@ -1,5 +1,7 @@
 #include "archive/chunk.h"
 
+#include <algorithm>
+
 #include "archive/serialization.h"
 #include "common/strings.h"
 
@@ -17,7 +19,7 @@ Status Chunk::Append(const Event& event) {
   }
   if (count_ == 0) min_ts_ = event.ts;
   max_ts_ = event.ts;
-  events_.push_back(event);
+  events_->push_back(event);
   ++count_;
   return Status::OK();
 }
@@ -25,17 +27,29 @@ Status Chunk::Append(const Event& event) {
 Status Chunk::SpillTo(const std::string& path) {
   if (!sealed_) return Status::Internal("spill of unsealed chunk");
   if (spilled_) return Status::OK();
-  EXSTREAM_RETURN_NOT_OK(WriteEventsFile(path, events_));
+  EXSTREAM_RETURN_NOT_OK(WriteEventsFile(path, *events_));
   spill_path_ = path;
   spilled_ = true;
-  events_.clear();
-  events_.shrink_to_fit();
+  // Swap in a fresh empty vector instead of clearing: snapshots taken before
+  // the spill keep their handle to the old (immutable) data.
+  events_ = std::make_shared<std::vector<Event>>();
   return Status::OK();
 }
 
 Result<std::vector<Event>> Chunk::Load() const {
-  if (!spilled_) return events_;
+  if (!spilled_) return *events_;
   return ReadEventsFile(spill_path_);
+}
+
+void AppendEventsInRange(const std::vector<Event>& events,
+                         const TimeInterval& interval, std::vector<Event>* out) {
+  const auto lo = std::lower_bound(
+      events.begin(), events.end(), interval.lower,
+      [](const Event& e, Timestamp t) { return e.ts < t; });
+  const auto hi = std::upper_bound(
+      lo, events.end(), interval.upper,
+      [](Timestamp t, const Event& e) { return t < e.ts; });
+  out->insert(out->end(), lo, hi);
 }
 
 }  // namespace exstream

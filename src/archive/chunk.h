@@ -4,6 +4,7 @@
 
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -18,9 +19,20 @@ namespace exstream {
 /// configured capacity, and may then be spilled to a binary file. Spilled
 /// chunks keep their time range in memory (the index entry) and reload their
 /// events on demand.
+///
+/// Events live behind a shared_ptr so that scan snapshots can pin a sealed
+/// chunk's data without copying it: spilling swaps the pointer out rather
+/// than mutating the vector, and any snapshot holding the old handle keeps
+/// reading consistent data. All other mutation (Append/Seal/SpillTo) must be
+/// externally synchronized with snapshot-taking (the archive's shard locks).
 class Chunk {
  public:
-  Chunk(EventTypeId type, size_t capacity) : type_(type), capacity_(capacity) {}
+  Chunk(EventTypeId type, size_t capacity)
+      : type_(type),
+        capacity_(capacity),
+        events_(std::make_shared<std::vector<Event>>()) {
+    events_->reserve(capacity);
+  }
 
   EventTypeId type() const { return type_; }
   size_t size() const { return count_; }
@@ -48,13 +60,23 @@ class Chunk {
   /// Events of the chunk; reloads from the spill file if necessary.
   Result<std::vector<Event>> Load() const;
 
+  /// Shared handle to the resident events; null once spilled. For sealed
+  /// chunks the pointee is immutable, so the handle stays valid (and
+  /// race-free) even after a later SpillTo drops the chunk's own reference.
+  std::shared_ptr<const std::vector<Event>> resident_handle() const {
+    return spilled_ ? nullptr : std::shared_ptr<const std::vector<Event>>(events_);
+  }
+
+  /// Spill-file path; empty until spilled.
+  const std::string& spill_path() const { return spill_path_; }
+
   /// In-memory events (empty if spilled). Use Load() for uniform access.
-  const std::vector<Event>& resident_events() const { return events_; }
+  const std::vector<Event>& resident_events() const { return *events_; }
 
  private:
   EventTypeId type_;
   size_t capacity_;
-  std::vector<Event> events_;
+  std::shared_ptr<std::vector<Event>> events_;
   size_t count_ = 0;
   Timestamp min_ts_ = 0;
   Timestamp max_ts_ = 0;
@@ -62,5 +84,11 @@ class Chunk {
   bool spilled_ = false;
   std::string spill_path_;
 };
+
+/// \brief Appends the events of time-ordered `events` whose ts lies in
+/// [interval.lower, interval.upper] to `out`, locating the run by binary
+/// search rather than testing every event.
+void AppendEventsInRange(const std::vector<Event>& events,
+                         const TimeInterval& interval, std::vector<Event>* out);
 
 }  // namespace exstream

@@ -1,5 +1,7 @@
 #include "common/thread_pool.h"
 
+#include <atomic>
+
 namespace exstream {
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -55,6 +57,41 @@ void ThreadPool::WorkerLoop() {
       if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
     }
   }
+}
+
+void ParallelFor(ThreadPool* pool, size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (pool == nullptr || pool->num_threads() <= 1 || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // Index claiming and completion are tracked separately from task execution,
+  // and the calling thread drains indices itself: a helper task that never
+  // gets scheduled (e.g. every worker is busy with an outer loop) is a no-op
+  // when it eventually runs, so nested ParallelFor cannot deadlock.
+  struct Shared {
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+  auto shared = std::make_shared<Shared>();
+  auto drain = [shared, n, &fn] {
+    for (;;) {
+      const size_t i = shared->next.fetch_add(1);
+      if (i >= n) return;  // late stragglers never touch fn
+      fn(i);
+      if (shared->done.fetch_add(1) + 1 == n) {
+        std::lock_guard<std::mutex> lock(shared->mu);
+        shared->cv.notify_all();
+      }
+    }
+  };
+  const size_t helpers = std::min(pool->num_threads(), n - 1);
+  for (size_t i = 0; i < helpers; ++i) (void)pool->Submit(drain);
+  drain();  // the calling thread works too instead of blocking idle
+  std::unique_lock<std::mutex> lock(shared->mu);
+  shared->cv.wait(lock, [&] { return shared->done.load() == n; });
 }
 
 }  // namespace exstream

@@ -43,4 +43,16 @@ class ThreadPool {
   bool stop_ = false;
 };
 
+/// \brief Runs `fn(i)` for every i in [0, n), spreading indices over the pool.
+///
+/// Workers (and the calling thread) pull indices from a shared atomic counter,
+/// so the schedule is dynamic but the work itself is index-addressed: as long
+/// as `fn(i)` writes only to slot i of a pre-sized output, results are
+/// identical to the serial loop regardless of thread count. Falls back to a
+/// plain serial loop when `pool` is null or has a single worker.
+///
+/// `fn` must not throw and must not re-enter ParallelFor on the same pool
+/// (nested waits could idle every worker on the outer loop).
+void ParallelFor(ThreadPool* pool, size_t n, const std::function<void(size_t)>& fn);
+
 }  // namespace exstream

@@ -25,7 +25,10 @@ ExplanationEngine::ExplanationEngine(const EventArchive* archive,
       series_provider_(std::move(series_provider)),
       options_(std::move(options)),
       specs_(GenerateFeatureSpecs(archive->registry(), options_.feature_space)),
-      builder_(archive) {}
+      builder_(archive),
+      pool_(options_.num_threads == 1
+                ? nullptr
+                : std::make_unique<ThreadPool>(options_.num_threads)) {}
 
 Result<ExplanationReport> ExplanationEngine::Explain(
     const AnomalyAnnotation& annotation) const {
@@ -37,7 +40,7 @@ Result<ExplanationReport> ExplanationEngine::Explain(
   EXSTREAM_ASSIGN_OR_RETURN(
       report.ranked, ComputeFeatureRewards(builder_, specs_, annotation.abnormal.range,
                                            annotation.reference.range,
-                                           options_.min_support));
+                                           options_.min_support, pool_.get()));
 
   // Step 1: reward-leap filtering.
   report.after_leap = RewardLeapFilter(report.ranked, options_.leap);
@@ -136,9 +139,15 @@ Status ExplanationEngine::RunValidation(const AnomalyAnnotation& annotation,
         }
       }
 
-      for (const PartitionRecord& rel : related) {
+      // Align the annotation onto every related partition. Each partition's
+      // series fetch, alignment, and slicing are independent, so they fan out
+      // over the pool; merging slot-by-slot keeps the candidate order (and
+      // hence labeling and all downstream output) identical to the serial run.
+      std::vector<std::vector<CandidateInterval>> per_related(related.size());
+      ParallelFor(pool_.get(), related.size(), [&](size_t r) {
+        const PartitionRecord& rel = related[r];
         auto rel_series_r = series_provider_(rel.query_name, rel.partition);
-        if (!rel_series_r.ok()) continue;
+        if (!rel_series_r.ok()) return;
         const TimeSeries& rel_series = *rel_series_r;
         for (const TimeInterval& src :
              {annotation.abnormal.range, annotation.reference.range}) {
@@ -150,8 +159,11 @@ Status ExplanationEngine::RunValidation(const AnomalyAnnotation& annotation,
           cand.range = aligned->range;
           cand.series = rel_series.Slice(aligned->range);
           if (cand.series.empty()) continue;
-          candidates.push_back(std::move(cand));
+          per_related[r].push_back(std::move(cand));
         }
+      });
+      for (auto& cands : per_related) {
+        for (auto& cand : cands) candidates.push_back(std::move(cand));
       }
 
       if (!candidates.empty()) {
@@ -200,13 +212,26 @@ Status ExplanationEngine::RunValidation(const AnomalyAnnotation& annotation,
   std::vector<std::vector<double>> abnormal_pool(survivor_specs.size());
   std::vector<std::vector<double>> reference_pool(survivor_specs.size());
   auto accumulate = [&](const std::vector<TimeInterval>& intervals,
-                        std::vector<std::vector<double>>* pool) -> Status {
-    for (const TimeInterval& iv : intervals) {
-      EXSTREAM_ASSIGN_OR_RETURN(std::vector<Feature> feats,
-                                builder_.Build(survivor_specs, iv));
+                        std::vector<std::vector<double>>* value_pool) -> Status {
+    // Materialize the survivor features of every labeled interval in
+    // parallel, then merge in interval order so each feature's pooled value
+    // sequence matches the serial run exactly. With a single interval the
+    // parallelism moves inside Build instead.
+    std::vector<Result<std::vector<Feature>>> per_interval(intervals.size(),
+                                                           std::vector<Feature>{});
+    if (intervals.size() == 1) {
+      per_interval[0] = builder_.Build(survivor_specs, intervals[0], pool_.get());
+    } else {
+      ParallelFor(pool_.get(), intervals.size(), [&](size_t k) {
+        per_interval[k] = builder_.Build(survivor_specs, intervals[k]);
+      });
+    }
+    for (auto& feats_r : per_interval) {
+      EXSTREAM_RETURN_NOT_OK(feats_r.status());
+      const std::vector<Feature>& feats = *feats_r;
       for (size_t i = 0; i < feats.size(); ++i) {
         const auto& vals = feats[i].series.values();
-        (*pool)[i].insert((*pool)[i].end(), vals.begin(), vals.end());
+        (*value_pool)[i].insert((*value_pool)[i].end(), vals.begin(), vals.end());
       }
     }
     return Status::OK();
@@ -214,13 +239,16 @@ Status ExplanationEngine::RunValidation(const AnomalyAnnotation& annotation,
   EXSTREAM_RETURN_NOT_OK(accumulate(abnormal_intervals, &abnormal_pool));
   EXSTREAM_RETURN_NOT_OK(accumulate(reference_intervals, &reference_pool));
 
-  for (size_t i = 0; i < report->after_leap.size(); ++i) {
-    ValidatedFeature v;
+  std::vector<ValidatedFeature> validated(report->after_leap.size());
+  ParallelFor(pool_.get(), report->after_leap.size(), [&](size_t i) {
+    ValidatedFeature& v = validated[i];
     v.feature = report->after_leap[i];
     v.annotated_reward = v.feature.reward();
     v.feature.entropy = ComputeEntropyDistance(abnormal_pool[i], reference_pool[i]);
     v.validated_reward = v.feature.entropy.distance;
     v.kept = v.validated_reward >= options_.validation_min_reward;
+  });
+  for (ValidatedFeature& v : validated) {
     if (v.kept) report->after_validation.push_back(v.feature);
     report->validation.push_back(std::move(v));
   }

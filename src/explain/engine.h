@@ -11,11 +11,13 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "archive/archive.h"
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "explain/annotation.h"
 #include "explain/correlation_filter.h"
 #include "explain/explanation.h"
@@ -50,6 +52,12 @@ struct ExplainOptions {
   /// Disable Step 3 — this is the paper's plain "XStream" variant; enabled is
   /// "XStream-cluster" (Fig. 14/15).
   bool enable_clustering = true;
+  /// Worker threads for the analysis hot paths (feature materialization,
+  /// entropy rewards, Step-2 candidate alignment and interval pooling).
+  /// 1 = fully serial; 0 = one worker per hardware thread. Results are
+  /// bit-identical across thread counts. With num_threads != 1 the
+  /// SeriesProvider must be safe to call from multiple threads.
+  size_t num_threads = 1;
 };
 
 /// \brief Step-2 detail for one feature (paper Fig. 12).
@@ -107,6 +115,7 @@ class ExplanationEngine {
   ExplainOptions options_;
   std::vector<FeatureSpec> specs_;
   FeatureBuilder builder_;
+  std::unique_ptr<ThreadPool> pool_;  // null when options_.num_threads == 1
 };
 
 }  // namespace exstream

@@ -6,12 +6,13 @@ namespace exstream {
 
 std::vector<RankedFeature> RankFeatures(const std::vector<Feature>& abnormal,
                                         const std::vector<Feature>& reference,
-                                        size_t min_support) {
-  std::vector<RankedFeature> out;
+                                        size_t min_support, ThreadPool* pool) {
   const size_t n = std::min(abnormal.size(), reference.size());
-  out.reserve(n);
-  for (size_t i = 0; i < n; ++i) {
-    RankedFeature rf;
+  std::vector<RankedFeature> out(n);
+  // Each feature's entropy distance is independent; slot-indexed writes keep
+  // the pre-sort order (and thus the stable sort below) deterministic.
+  ParallelFor(pool, n, [&](size_t i) {
+    RankedFeature& rf = out[i];
     rf.spec = abnormal[i].spec;
     rf.abnormal_series = abnormal[i].series;
     rf.reference_series = reference[i].series;
@@ -19,8 +20,7 @@ std::vector<RankedFeature> RankFeatures(const std::vector<Feature>& abnormal,
         rf.reference_series.size() >= min_support) {
       rf.entropy = ComputeEntropyDistance(rf.abnormal_series, rf.reference_series);
     }
-    out.push_back(std::move(rf));
-  }
+  });
   // Reward descending; ties break toward larger sample support (a perfect
   // separation over 400 points is stronger evidence than one over 40), then
   // stably toward spec order for determinism.
@@ -35,10 +35,12 @@ std::vector<RankedFeature> RankFeatures(const std::vector<Feature>& abnormal,
 Result<std::vector<RankedFeature>> ComputeFeatureRewards(
     const FeatureBuilder& builder, const std::vector<FeatureSpec>& specs,
     const TimeInterval& abnormal, const TimeInterval& reference,
-    size_t min_support) {
-  EXSTREAM_ASSIGN_OR_RETURN(std::vector<Feature> fa, builder.Build(specs, abnormal));
-  EXSTREAM_ASSIGN_OR_RETURN(std::vector<Feature> fr, builder.Build(specs, reference));
-  return RankFeatures(fa, fr, min_support);
+    size_t min_support, ThreadPool* pool) {
+  EXSTREAM_ASSIGN_OR_RETURN(std::vector<Feature> fa,
+                            builder.Build(specs, abnormal, pool));
+  EXSTREAM_ASSIGN_OR_RETURN(std::vector<Feature> fr,
+                            builder.Build(specs, reference, pool));
+  return RankFeatures(fa, fr, min_support, pool);
 }
 
 }  // namespace exstream

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "features/builder.h"
 #include "features/feature.h"
 #include "ts/entropy_distance.h"
@@ -29,15 +30,19 @@ struct RankedFeature {
 /// \param min_support features with fewer samples than this in either
 ///        interval get reward 0 — a 3-point "perfect separation" is noise,
 ///        not signal
+/// \param pool when non-null, feature materialization and the per-feature
+///        entropy distances fan out over the pool; results are merged in
+///        spec order, so the ranking is identical to the serial run
 Result<std::vector<RankedFeature>> ComputeFeatureRewards(
     const FeatureBuilder& builder, const std::vector<FeatureSpec>& specs,
     const TimeInterval& abnormal, const TimeInterval& reference,
-    size_t min_support = 5);
+    size_t min_support = 5, ThreadPool* pool = nullptr);
 
 /// \brief Reward computation on pre-built, aligned feature vectors.
 std::vector<RankedFeature> RankFeatures(const std::vector<Feature>& abnormal,
                                         const std::vector<Feature>& reference,
-                                        size_t min_support = 5);
+                                        size_t min_support = 5,
+                                        ThreadPool* pool = nullptr);
 
 /// \brief Total sample count of a ranked feature (both intervals).
 inline size_t FeatureSupport(const RankedFeature& f) {

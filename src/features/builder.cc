@@ -1,14 +1,20 @@
 #include "features/builder.h"
 
-#include <map>
+#include <unordered_map>
 
 namespace exstream {
 
 namespace {
 
+// Cache key for one (type, attribute) raw series.
+inline uint64_t RawKey(EventTypeId type, size_t attr_index) {
+  return (static_cast<uint64_t>(type) << 32) | static_cast<uint32_t>(attr_index);
+}
+
 // Builds the raw (type, attribute) series from a scanned event vector.
 TimeSeries RawSeries(const std::vector<Event>& events, size_t attr_index) {
   TimeSeries out;
+  out.Reserve(events.size());
   for (const Event& e : events) {
     if (attr_index >= e.values.size()) continue;
     // Append drops NaN; out-of-order cannot occur because Scan returns
@@ -43,39 +49,72 @@ Result<TimeSeries> CountOverInterval(const TimeSeries& raw, Timestamp window,
 }  // namespace
 
 Result<std::vector<Feature>> FeatureBuilder::Build(const std::vector<FeatureSpec>& specs,
-                                                   const TimeInterval& interval) const {
-  // Scan each referenced event type once.
-  std::map<EventTypeId, std::vector<Event>> scans;
+                                                   const TimeInterval& interval,
+                                                   ThreadPool* pool) const {
+  // Stage 1: scan each referenced event type once (spilled chunks mean disk
+  // I/O, so the scans themselves are worth parallelizing).
+  std::vector<EventTypeId> scan_types;
+  std::unordered_map<EventTypeId, size_t> scan_index;
+  scan_index.reserve(specs.size());
   for (const FeatureSpec& s : specs) {
-    if (scans.count(s.type) == 0) {
-      EXSTREAM_ASSIGN_OR_RETURN(std::vector<Event> events,
-                                archive_->Scan(s.type, interval));
-      scans.emplace(s.type, std::move(events));
+    if (scan_index.emplace(s.type, scan_types.size()).second) {
+      scan_types.push_back(s.type);
     }
   }
-  // Derive each (type, attr) raw series once.
-  std::map<std::pair<EventTypeId, size_t>, TimeSeries> raws;
-  for (const FeatureSpec& s : specs) {
-    const auto key = std::make_pair(s.type, s.attr_index);
-    if (raws.count(key) == 0) {
-      raws.emplace(key, RawSeries(scans.at(s.type), s.attr_index));
-    }
-  }
+  std::vector<Result<std::vector<Event>>> scans(scan_types.size(),
+                                                std::vector<Event>{});
+  ParallelFor(pool, scan_types.size(), [&](size_t i) {
+    scans[i] = archive_->Scan(scan_types[i], interval);
+  });
+  for (const auto& scan : scans) EXSTREAM_RETURN_NOT_OK(scan.status());
 
-  std::vector<Feature> out;
-  out.reserve(specs.size());
+  // Stage 2: derive each (type, attr) raw series once.
+  std::vector<std::pair<EventTypeId, size_t>> raw_pairs;
+  std::unordered_map<uint64_t, size_t> raw_index;
+  raw_index.reserve(specs.size());
   for (const FeatureSpec& s : specs) {
-    const TimeSeries& raw = raws.at(std::make_pair(s.type, s.attr_index));
+    if (raw_index.emplace(RawKey(s.type, s.attr_index), raw_pairs.size()).second) {
+      raw_pairs.emplace_back(s.type, s.attr_index);
+    }
+  }
+  std::vector<TimeSeries> raws(raw_pairs.size());
+  ParallelFor(pool, raw_pairs.size(), [&](size_t i) {
+    const auto& [type, attr] = raw_pairs[i];
+    raws[i] = RawSeries(*scans[scan_index.at(type)], attr);
+  });
+
+  // Stage 3: one aggregate per spec, into its own slot.
+  std::vector<Result<Feature>> built(specs.size(), Feature{});
+  ParallelFor(pool, specs.size(), [&](size_t i) {
+    const FeatureSpec& s = specs[i];
+    const TimeSeries& raw = raws[raw_index.at(RawKey(s.type, s.attr_index))];
     Feature f;
     f.spec = s;
     if (s.agg == AggregateKind::kRaw) {
       f.series = raw;
     } else if (s.agg == AggregateKind::kCount) {
-      EXSTREAM_ASSIGN_OR_RETURN(f.series, CountOverInterval(raw, s.window, interval));
+      auto series = CountOverInterval(raw, s.window, interval);
+      if (!series.ok()) {
+        built[i] = series.status();
+        return;
+      }
+      f.series = std::move(*series);
     } else {
-      EXSTREAM_ASSIGN_OR_RETURN(f.series, ApplyWindowAggregate(raw, s.agg, s.window));
+      auto series = ApplyWindowAggregate(raw, s.agg, s.window);
+      if (!series.ok()) {
+        built[i] = series.status();
+        return;
+      }
+      f.series = std::move(*series);
     }
-    out.push_back(std::move(f));
+    built[i] = std::move(f);
+  });
+
+  std::vector<Feature> out;
+  out.reserve(specs.size());
+  for (auto& b : built) {
+    EXSTREAM_RETURN_NOT_OK(b.status());
+    out.push_back(std::move(*b));
   }
   return out;
 }

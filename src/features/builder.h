@@ -7,6 +7,7 @@
 
 #include "archive/archive.h"
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "features/feature.h"
 
 namespace exstream {
@@ -25,8 +26,14 @@ class FeatureBuilder {
   /// Features whose underlying attribute produced no samples in the interval
   /// are still returned (with an empty series); downstream reward computation
   /// treats empty-vs-nonempty contrast via count features.
+  ///
+  /// When `pool` is non-null, the three stages (archive scans, raw-series
+  /// derivation, per-spec aggregation) each fan out over the pool. Every
+  /// stage writes into index-addressed slots, so the output is identical to
+  /// the serial run regardless of thread count.
   Result<std::vector<Feature>> Build(const std::vector<FeatureSpec>& specs,
-                                     const TimeInterval& interval) const;
+                                     const TimeInterval& interval,
+                                     ThreadPool* pool = nullptr) const;
 
   /// \brief Materializes one spec over `interval`.
   Result<Feature> BuildOne(const FeatureSpec& spec, const TimeInterval& interval) const;

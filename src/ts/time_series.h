@@ -28,6 +28,12 @@ class TimeSeries {
   /// rejecting out-of-order timestamps.
   Status Append(Timestamp t, double v);
 
+  /// Pre-allocates capacity for n samples.
+  void Reserve(size_t n) {
+    times_.reserve(n);
+    values_.reserve(n);
+  }
+
   size_t size() const { return times_.size(); }
   bool empty() const { return times_.empty(); }
 

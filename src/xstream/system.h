@@ -27,6 +27,8 @@ namespace exstream {
 /// \brief System-level configuration.
 struct XStreamConfig {
   ArchiveOptions archive;
+  /// Explanation pipeline knobs; `explain.num_threads` sizes the worker pool
+  /// every Explain/ExplainAsync call analyzes with (1 = serial).
   ExplainOptions explain;
   /// Latency histogram range (seconds).
   double latency_histogram_max = 0.1;
