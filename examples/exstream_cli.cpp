@@ -6,12 +6,17 @@
 //
 //   exstream_cli --schema schema.txt --events events.csv --query query.sase
 //                [--column NAME] [--list-partitions]
-//                [--chart PARTITION] [--threads N]
+//                [--chart PARTITION] [--threads N] [--deadline-ms MS]
 //                [--explain PARTITION:LO:HI --reference PARTITION:LO:HI]
 //
 // --threads N runs the explanation analysis on N worker threads (default 1;
 // 0 = one per hardware thread). The explanation itself is identical for any
 // thread count.
+//
+// --deadline-ms MS bounds one Explain call to MS milliseconds of wall clock;
+// on expiry the CLI reports how far the pipeline got and exits with status 3.
+// If the archive had to skip unreadable (quarantined) spill chunks, the
+// explanation is still produced and a DEGRADED warning describes the gap.
 //
 // Schema file: one event type per line, `TypeName attr:type attr:type ...`
 // where type is int64|double|string. Event CSV: see src/io/csv.h.
@@ -187,7 +192,8 @@ int Run(int argc, char** argv) {
     fprintf(stderr,
             "usage: exstream_cli --demo | --schema F --events F --query F\n"
             "       [--column NAME] [--list-partitions] [--chart PARTITION]\n"
-            "       [--threads N] [--explain P:LO:HI --reference P:LO:HI]\n");
+            "       [--threads N] [--deadline-ms MS]\n"
+            "       [--explain P:LO:HI --reference P:LO:HI]\n");
     return 2;
   }
 
@@ -206,6 +212,9 @@ int Run(int argc, char** argv) {
   if (args.count("threads")) {
     config.explain.num_threads =
         static_cast<size_t>(strtoull(args["threads"].c_str(), nullptr, 10));
+  }
+  if (args.count("deadline-ms")) {
+    config.explain.deadline_ms = strtod(args["deadline-ms"].c_str(), nullptr);
   }
   XStreamSystem system(&*registry, config);
   auto qid = system.AddQuery(*query_text, "Q");
@@ -266,12 +275,22 @@ int Run(int argc, char** argv) {
     annotation.reference = *reference;
     auto report = system.Explain(annotation, *qid, column);
     if (!report.ok()) {
+      if (report.status().IsDeadlineExceeded()) {
+        fprintf(stderr, "explain deadline exceeded (--deadline-ms %s): %s\n",
+                args["deadline-ms"].c_str(),
+                report.status().ToString().c_str());
+        return 3;
+      }
       fprintf(stderr, "explain error: %s\n", report.status().ToString().c_str());
       return 1;
     }
     printf("\nEXPLANATION (%zu of %zu features, %.2f s):\n  %s\n",
            report->final_features.size(), report->ranked.size(),
            report->duration_seconds, report->explanation.ToString().c_str());
+    if (report->degradation.degraded()) {
+      fprintf(stderr, "WARNING: DEGRADED explanation — %s\n",
+              report->degradation.ToString().c_str());
+    }
     if (args.count("save-rule")) {
       const Status saved =
           SaveExplanationFile(args["save-rule"], report->explanation);

@@ -58,29 +58,59 @@ Status EventArchive::MaybeSpillLocked(Shard* shard, EventTypeId type) {
     const std::string path =
         StrFormat("%s/type%u_chunk%zu_%zu.bin", options_.spill_dir->c_str(), type,
                   cursor, spill_file_seq_.fetch_add(1, std::memory_order_relaxed));
-    EXSTREAM_RETURN_NOT_OK(list[cursor]->SpillTo(path));
+    size_t retries = 0;
+    const Status spilled = RetryWithBackoff(
+        options_.spill_retry,
+        [&] { return list[cursor]->SpillTo(path, options_.spill_format); },
+        [](const Status& s) { return s.IsIOError(); }, &retries);
+    spill_write_retries_.fetch_add(retries, std::memory_order_relaxed);
+    if (!spilled.ok()) {
+      // Persistent write failure (disk full, dead device): keep the chunk
+      // resident instead of failing the append path. Memory pressure grows,
+      // but ingest — and therefore monitoring — stays available.
+      spill_write_failures_.fetch_add(1, std::memory_order_relaxed);
+      EXSTREAM_LOG(Warn) << "spill write failed, chunk stays resident: "
+                         << spilled.ToString();
+      break;
+    }
     --shard->resident_sealed;
   }
   return Status::OK();
 }
 
 Result<std::vector<Event>> EventArchive::Scan(EventTypeId type,
-                                              const TimeInterval& interval) const {
+                                              const TimeInterval& interval,
+                                              DegradationReport* degradation) const {
   if (type >= shards_.size()) {
     return Status::InvalidArgument(StrFormat("event type %u not registered", type));
   }
   const Shard& shard = shards_[type];
 
   // Phase 1 (under the shard lock): snapshot handles of overlapping chunks.
-  // Sealed resident chunks are pinned by shared_ptr; spilled chunks contribute
-  // only their path; the open tail chunk is the one place events still mutate,
-  // so its in-range run is copied here (bounded by chunk_capacity).
+  // Sealed resident chunks are pinned by shared_ptr; spilled chunks are
+  // carried as chunk handles (read — and possibly quarantined — outside the
+  // lock); the open tail chunk is the one place events still mutate, so its
+  // in-range run is copied here (bounded by chunk_capacity). Chunks already
+  // quarantined are skipped up front and accounted as lost coverage.
   std::vector<ChunkSnapshot> snapshots;
   size_t reserve_hint = 0;
+  DegradationReport local;
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     for (const auto& chunk : shard.chunks) {
       if (!chunk->Overlaps(interval)) continue;  // the time-range index at work
+      ++local.coverage[type].chunks_total;
+      if (chunk->quarantined()) {
+        DegradationReport::SkippedChunk sk;
+        sk.type = type;
+        sk.spill_path = chunk->spill_path();
+        sk.events_lost = chunk->size();
+        sk.reason = "quarantined by an earlier scan";
+        local.skipped.push_back(std::move(sk));
+        local.events_lost_estimate += chunk->size();
+        ++local.coverage[type].chunks_skipped;
+        continue;
+      }
       ChunkSnapshot snap;
       if (!chunk->sealed()) {
         AppendEventsInRange(chunk->resident_events(), interval, &snap.open_tail);
@@ -89,7 +119,7 @@ Result<std::vector<Event>> EventArchive::Scan(EventTypeId type,
         snap.resident = std::move(resident);
         reserve_hint += chunk->size();
       } else {
-        snap.spill_path = chunk->spill_path();
+        snap.spilled = chunk;
         reserve_hint += chunk->size();
       }
       snapshots.push_back(std::move(snap));
@@ -97,15 +127,14 @@ Result<std::vector<Event>> EventArchive::Scan(EventTypeId type,
   }
 
   // Phase 2 (lock-free): load and range-filter each snapshot. Spill-file
-  // reads — disk I/O — happen here, where they cannot stall appends.
+  // reads — disk I/O — happen here, where they cannot stall appends. An
+  // unreadable spill degrades the scan instead of failing it.
   std::vector<Event> out;
   out.reserve(reserve_hint);
   for (ChunkSnapshot& snap : snapshots) {
-    if (!snap.spill_path.empty()) {
+    if (snap.spilled != nullptr) {
       if (options_.spill_read_hook_for_testing) options_.spill_read_hook_for_testing();
-      EXSTREAM_ASSIGN_OR_RETURN(const std::vector<Event> events,
-                                ReadEventsFile(snap.spill_path));
-      AppendEventsInRange(events, interval, &out);
+      ReadSpillOrQuarantine(snap.spilled, interval, &out, &local);
     } else if (snap.resident != nullptr) {
       AppendEventsInRange(*snap.resident, interval, &out);
     } else {
@@ -113,16 +142,57 @@ Result<std::vector<Event>> EventArchive::Scan(EventTypeId type,
                  std::make_move_iterator(snap.open_tail.end()));
     }
   }
+  if (local.degraded()) {
+    degraded_scans_.fetch_add(1, std::memory_order_relaxed);
+    EXSTREAM_LOG(Warn) << "degraded scan of type " << type << ": "
+                       << local.ToString();
+  }
+  if (degradation != nullptr) degradation->Merge(local);
   return out;
 }
 
+void EventArchive::ReadSpillOrQuarantine(const std::shared_ptr<Chunk>& chunk,
+                                         const TimeInterval& interval,
+                                         std::vector<Event>* out,
+                                         DegradationReport* degradation) const {
+  Result<std::vector<Event>> events = std::vector<Event>{};
+  size_t retries = 0;
+  // IOError is transient (flaky device, momentary open failure) and worth the
+  // backoff; Corruption/Truncated is a property of the bytes and permanent.
+  const Status read = RetryWithBackoff(
+      options_.spill_retry,
+      [&] {
+        events = ReadEventsFile(chunk->spill_path());
+        return events.ok() ? Status::OK() : events.status();
+      },
+      [](const Status& s) { return s.IsIOError(); }, &retries);
+  spill_read_retries_.fetch_add(retries, std::memory_order_relaxed);
+  if (read.ok()) {
+    AppendEventsInRange(*events, interval, out);
+    return;
+  }
+  if (chunk->MarkQuarantined()) {
+    quarantined_chunks_.fetch_add(1, std::memory_order_relaxed);
+  }
+  EXSTREAM_LOG(Warn) << "spill read failed, chunk quarantined as "
+                     << chunk->spill_path() << ".quarantine: " << read.ToString();
+  DegradationReport::SkippedChunk sk;
+  sk.type = chunk->type();
+  sk.spill_path = chunk->spill_path();
+  sk.events_lost = chunk->size();
+  sk.reason = read.ToString();
+  degradation->skipped.push_back(std::move(sk));
+  degradation->events_lost_estimate += chunk->size();
+  ++degradation->coverage[chunk->type()].chunks_skipped;
+}
+
 Result<std::vector<std::vector<Event>>> EventArchive::ScanAll(
-    const TimeInterval& interval) const {
+    const TimeInterval& interval, DegradationReport* degradation) const {
   std::vector<std::vector<Event>> out;
   out.reserve(shards_.size());
   for (size_t t = 0; t < shards_.size(); ++t) {
     EXSTREAM_ASSIGN_OR_RETURN(std::vector<Event> events,
-                              Scan(static_cast<EventTypeId>(t), interval));
+                              Scan(static_cast<EventTypeId>(t), interval, degradation));
     out.push_back(std::move(events));
   }
   return out;

@@ -16,7 +16,9 @@
 #include <vector>
 
 #include "archive/chunk.h"
+#include "archive/degradation.h"
 #include "common/result.h"
+#include "common/retry.h"
 #include "event/event.h"
 #include "event/registry.h"
 #include "event/stream.h"
@@ -31,6 +33,12 @@ struct ArchiveOptions {
   std::optional<std::string> spill_dir;
   /// Resident sealed-chunk budget per event type before spilling (FIFO).
   size_t max_resident_chunks = 64;
+  /// On-disk format for new spill files (v2 = checksummed; v1 files written
+  /// by older builds stay readable either way).
+  SpillFormat spill_format = SpillFormat::kV2;
+  /// Backoff schedule for transient spill I/O errors (reads and writes).
+  /// Corruption/truncation is permanent and never retried.
+  RetryPolicy spill_retry;
   /// Test-only: invoked by Scan once per spill-file read, after the shard
   /// lock is released and before the disk read. Lets tests prove that slow
   /// spill I/O cannot block concurrent Appends.
@@ -57,10 +65,22 @@ class EventArchive : public EventSink {
 
   /// \brief All events of `type` with ts in [interval.lower, interval.upper],
   /// in time order.
-  Result<std::vector<Event>> Scan(EventTypeId type, const TimeInterval& interval) const;
+  ///
+  /// Degrades rather than fails on unreadable spill files: transient I/O
+  /// errors are retried per `ArchiveOptions::spill_retry`; a chunk that still
+  /// cannot be read is quarantined (file renamed to `<path>.quarantine`,
+  /// chunk excluded from future scans) and the scan returns the events of
+  /// every healthy chunk. When `degradation` is non-null it receives exactly
+  /// what was skipped; pass nullptr to ignore (skips are still logged).
+  Result<std::vector<Event>> Scan(EventTypeId type, const TimeInterval& interval,
+                                  DegradationReport* degradation) const;
+  Result<std::vector<Event>> Scan(EventTypeId type, const TimeInterval& interval) const {
+    return Scan(type, interval, nullptr);
+  }
 
   /// \brief Scan across every event type; results grouped by type id.
-  Result<std::vector<std::vector<Event>>> ScanAll(const TimeInterval& interval) const;
+  Result<std::vector<std::vector<Event>>> ScanAll(
+      const TimeInterval& interval, DegradationReport* degradation = nullptr) const;
 
   /// Total archived events of a type.
   size_t CountEvents(EventTypeId type) const;
@@ -73,6 +93,27 @@ class EventArchive : public EventSink {
 
   /// Number of append errors swallowed by OnEvent (out-of-order etc.).
   size_t append_errors() const { return append_errors_.load(std::memory_order_relaxed); }
+
+  /// Spill reads re-attempted after a transient I/O error.
+  size_t spill_read_retries() const {
+    return spill_read_retries_.load(std::memory_order_relaxed);
+  }
+  /// Spill writes re-attempted after a transient I/O error.
+  size_t spill_write_retries() const {
+    return spill_write_retries_.load(std::memory_order_relaxed);
+  }
+  /// Chunks quarantined as unreadable (lifetime total).
+  size_t quarantined_chunks() const {
+    return quarantined_chunks_.load(std::memory_order_relaxed);
+  }
+  /// Spill writes that failed even after retries (chunk stayed resident).
+  size_t spill_write_failures() const {
+    return spill_write_failures_.load(std::memory_order_relaxed);
+  }
+  /// Scans that returned with at least one chunk skipped.
+  size_t degraded_scans() const {
+    return degraded_scans_.load(std::memory_order_relaxed);
+  }
 
   const EventTypeRegistry& registry() const { return *registry_; }
 
@@ -88,21 +129,31 @@ class EventArchive : public EventSink {
   };
 
   /// A scan's view of one overlapping chunk, captured under the shard lock.
-  /// Exactly one of the three members is populated.
+  /// Exactly one of resident / spilled / open_tail is populated.
   struct ChunkSnapshot {
     std::shared_ptr<const std::vector<Event>> resident;  ///< sealed, in memory
-    std::string spill_path;                              ///< sealed, on disk
-    std::vector<Event> open_tail;  ///< open chunk: in-range events, copied
+    std::shared_ptr<Chunk> spilled;  ///< sealed, on disk (read outside the lock)
+    std::vector<Event> open_tail;    ///< open chunk: in-range events, copied
   };
 
   Status AppendLocked(Shard* shard, const Event& event);
   Status MaybeSpillLocked(Shard* shard, EventTypeId type);
+  /// Reads one spilled chunk with retries; on terminal failure quarantines it
+  /// and records the loss in `degradation`.
+  void ReadSpillOrQuarantine(const std::shared_ptr<Chunk>& chunk,
+                             const TimeInterval& interval, std::vector<Event>* out,
+                             DegradationReport* degradation) const;
 
   const EventTypeRegistry* registry_;  // not owned
   ArchiveOptions options_;
   std::vector<Shard> shards_;  // one per event type, fixed at construction
   std::atomic<size_t> append_errors_{0};
   std::atomic<size_t> spill_file_seq_{0};
+  mutable std::atomic<size_t> spill_read_retries_{0};
+  std::atomic<size_t> spill_write_retries_{0};
+  mutable std::atomic<size_t> quarantined_chunks_{0};
+  std::atomic<size_t> spill_write_failures_{0};
+  mutable std::atomic<size_t> degraded_scans_{0};
 };
 
 }  // namespace exstream

@@ -1,6 +1,7 @@
 #include "archive/chunk.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "archive/serialization.h"
 #include "common/strings.h"
@@ -24,10 +25,10 @@ Status Chunk::Append(const Event& event) {
   return Status::OK();
 }
 
-Status Chunk::SpillTo(const std::string& path) {
+Status Chunk::SpillTo(const std::string& path, SpillFormat format) {
   if (!sealed_) return Status::Internal("spill of unsealed chunk");
   if (spilled_) return Status::OK();
-  EXSTREAM_RETURN_NOT_OK(WriteEventsFile(path, *events_));
+  EXSTREAM_RETURN_NOT_OK(WriteEventsFile(path, *events_, format));
   spill_path_ = path;
   spilled_ = true;
   // Swap in a fresh empty vector instead of clearing: snapshots taken before
@@ -38,7 +39,24 @@ Status Chunk::SpillTo(const std::string& path) {
 
 Result<std::vector<Event>> Chunk::Load() const {
   if (!spilled_) return *events_;
+  if (quarantined()) {
+    return Status::Corruption("chunk quarantined: " + spill_path_ + ".quarantine");
+  }
   return ReadEventsFile(spill_path_);
+}
+
+bool Chunk::MarkQuarantined() {
+  bool expected = false;
+  if (!quarantined_.compare_exchange_strong(expected, true,
+                                            std::memory_order_acq_rel)) {
+    return false;
+  }
+  if (!spill_path_.empty()) {
+    // Best-effort: the file may already be gone; the in-memory flag alone is
+    // enough to keep the chunk out of future scans.
+    (void)rename(spill_path_.c_str(), (spill_path_ + ".quarantine").c_str());
+  }
+  return true;
 }
 
 void AppendEventsInRange(const std::vector<Event>& events,

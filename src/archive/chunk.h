@@ -4,10 +4,12 @@
 
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "archive/serialization.h"
 #include "common/result.h"
 #include "event/event.h"
 
@@ -39,6 +41,7 @@ class Chunk {
   bool sealed() const { return sealed_; }
   bool spilled() const { return spilled_; }
   bool full() const { return count_ >= capacity_; }
+  bool quarantined() const { return quarantined_.load(std::memory_order_acquire); }
 
   Timestamp min_ts() const { return min_ts_; }
   Timestamp max_ts() const { return max_ts_; }
@@ -55,10 +58,20 @@ class Chunk {
   void Seal() { sealed_ = true; }
 
   /// Writes events to `path` and drops the in-memory copy. Requires sealed.
-  Status SpillTo(const std::string& path);
+  Status SpillTo(const std::string& path, SpillFormat format = SpillFormat::kV2);
 
-  /// Events of the chunk; reloads from the spill file if necessary.
+  /// Events of the chunk; reloads from the spill file if necessary. Fails
+  /// with Status::Corruption if the chunk has been quarantined.
   Result<std::vector<Event>> Load() const;
+
+  /// \brief Marks the chunk's spill file unreadable and retires it: the file
+  /// is renamed to `<path>.quarantine` (preserved for offline triage) and
+  /// future scans skip the chunk instead of retrying it.
+  ///
+  /// Thread-safe and idempotent: scans race to quarantine a chunk they both
+  /// failed to read, exactly one caller wins (and gets `true` back); the
+  /// rename happens once.
+  bool MarkQuarantined();
 
   /// Shared handle to the resident events; null once spilled. For sealed
   /// chunks the pointee is immutable, so the handle stays valid (and
@@ -82,6 +95,7 @@ class Chunk {
   Timestamp max_ts_ = 0;
   bool sealed_ = false;
   bool spilled_ = false;
+  std::atomic<bool> quarantined_{false};
   std::string spill_path_;
 };
 

@@ -1,15 +1,27 @@
 #include "archive/serialization.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <optional>
+#include <thread>
 
+#include <unistd.h>
+
+#include "common/crc32.h"
+#include "common/fault_injection.h"
 #include "common/strings.h"
 
 namespace exstream {
 
 namespace {
 
-constexpr uint32_t kMagic = 0x45585331;  // "EXS1"
+constexpr uint32_t kMagicV1 = 0x45585331;  // "EXS1"
+constexpr uint32_t kMagicV2 = 0x45585332;  // "EXS2"
+
+// Smallest possible event record: i64 ts + u32 type + u16 value count.
+constexpr size_t kMinEventBytes = sizeof(int64_t) + sizeof(uint32_t) + sizeof(uint16_t);
 
 void PutU8(std::string* out, uint8_t v) { out->push_back(static_cast<char>(v)); }
 
@@ -27,7 +39,9 @@ class Reader {
   template <typename T>
   Result<T> Get() {
     if (pos_ + sizeof(T) > data_.size()) {
-      return Status::IOError("truncated event buffer");
+      return Status::Truncated(
+          StrFormat("event buffer ends at offset %zu (need %zu more bytes, %zu left)",
+                    pos_, sizeof(T), data_.size() - pos_));
     }
     T v;
     std::memcpy(&v, data_.data() + pos_, sizeof(T));
@@ -36,12 +50,18 @@ class Reader {
   }
 
   Result<std::string> GetBytes(size_t n) {
-    if (pos_ + n > data_.size()) return Status::IOError("truncated string payload");
+    if (pos_ + n > data_.size()) {
+      return Status::Truncated(
+          StrFormat("string payload at offset %zu needs %zu bytes, %zu left", pos_,
+                    n, data_.size() - pos_));
+    }
     std::string s(data_.substr(pos_, n));
     pos_ += n;
     return s;
   }
 
+  size_t pos() const { return pos_; }
+  size_t remaining() const { return data_.size() - pos_; }
   bool AtEnd() const { return pos_ == data_.size(); }
 
  private:
@@ -49,12 +69,81 @@ class Reader {
   size_t pos_ = 0;
 };
 
+// Parses the per-event payload shared by both formats. `r` is positioned at
+// the first event record.
+Result<std::vector<Event>> ParseEventPayload(Reader* r, uint32_t count) {
+  // A corrupt count must not drive a multi-GB reserve: every event occupies
+  // at least kMinEventBytes, so a count the remaining bytes cannot hold is
+  // corruption, detected before any allocation.
+  if (static_cast<uint64_t>(count) * kMinEventBytes > r->remaining()) {
+    return Status::Corruption(
+        StrFormat("header count %u needs at least %llu bytes but %zu remain at offset %zu",
+                  count, static_cast<unsigned long long>(count) * kMinEventBytes,
+                  r->remaining(), r->pos()));
+  }
+  std::vector<Event> events;
+  events.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    Event e;
+    EXSTREAM_ASSIGN_OR_RETURN(e.ts, r->Get<int64_t>());
+    EXSTREAM_ASSIGN_OR_RETURN(e.type, r->Get<uint32_t>());
+    EXSTREAM_ASSIGN_OR_RETURN(const uint16_t nvals, r->Get<uint16_t>());
+    e.values.reserve(nvals);
+    for (uint16_t j = 0; j < nvals; ++j) {
+      EXSTREAM_ASSIGN_OR_RETURN(const uint8_t tag, r->Get<uint8_t>());
+      switch (static_cast<ValueType>(tag)) {
+        case ValueType::kInt64: {
+          EXSTREAM_ASSIGN_OR_RETURN(const int64_t v, r->Get<int64_t>());
+          e.values.emplace_back(v);
+          break;
+        }
+        case ValueType::kDouble: {
+          EXSTREAM_ASSIGN_OR_RETURN(const double v, r->Get<double>());
+          e.values.emplace_back(v);
+          break;
+        }
+        case ValueType::kString: {
+          EXSTREAM_ASSIGN_OR_RETURN(const uint32_t len, r->Get<uint32_t>());
+          EXSTREAM_ASSIGN_OR_RETURN(std::string s, r->GetBytes(len));
+          e.values.emplace_back(std::move(s));
+          break;
+        }
+        default:
+          return Status::Corruption(
+              StrFormat("bad value tag %u at offset %zu", tag, r->pos() - 1));
+      }
+    }
+    events.push_back(std::move(e));
+  }
+  if (!r->AtEnd()) {
+    return Status::Corruption(
+        StrFormat("%zu trailing bytes after %u events at offset %zu", r->remaining(),
+                  count, r->pos()));
+  }
+  return events;
+}
+
+// Prefixes a (non-OK) status message with the file path, keeping the code.
+Status AnnotateWithPath(const Status& st, const std::string& path) {
+  return Status(st.code(), path + ": " + st.message());
+}
+
+void ApplyInjectedDelay(const FaultPlan& plan) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(plan.delay_ms));
+}
+
 }  // namespace
 
-std::string SerializeEvents(const std::vector<Event>& events) {
+std::string SerializeEvents(const std::vector<Event>& events, SpillFormat format) {
   std::string out;
-  PutPod<uint32_t>(&out, kMagic);
+  PutPod<uint32_t>(&out, format == SpillFormat::kV2 ? kMagicV2 : kMagicV1);
   PutPod<uint32_t>(&out, static_cast<uint32_t>(events.size()));
+  size_t crc_pos = 0;
+  if (format == SpillFormat::kV2) {
+    crc_pos = out.size();
+    PutPod<uint32_t>(&out, 0);  // checksum placeholder, patched below
+  }
+  const size_t payload_pos = out.size();
   for (const Event& e : events) {
     PutPod<int64_t>(&out, e.ts);
     PutPod<uint32_t>(&out, e.type);
@@ -77,62 +166,83 @@ std::string SerializeEvents(const std::vector<Event>& events) {
       }
     }
   }
+  if (format == SpillFormat::kV2) {
+    const uint32_t crc = Crc32(out.data() + payload_pos, out.size() - payload_pos);
+    std::memcpy(&out[crc_pos], &crc, sizeof(crc));
+  }
   return out;
 }
 
 Result<std::vector<Event>> DeserializeEvents(std::string_view data) {
   Reader r(data);
   EXSTREAM_ASSIGN_OR_RETURN(const uint32_t magic, r.Get<uint32_t>());
-  if (magic != kMagic) return Status::IOError("bad event buffer magic");
-  EXSTREAM_ASSIGN_OR_RETURN(const uint32_t count, r.Get<uint32_t>());
-  std::vector<Event> events;
-  events.reserve(count);
-  for (uint32_t i = 0; i < count; ++i) {
-    Event e;
-    EXSTREAM_ASSIGN_OR_RETURN(e.ts, r.Get<int64_t>());
-    EXSTREAM_ASSIGN_OR_RETURN(e.type, r.Get<uint32_t>());
-    EXSTREAM_ASSIGN_OR_RETURN(const uint16_t nvals, r.Get<uint16_t>());
-    e.values.reserve(nvals);
-    for (uint16_t j = 0; j < nvals; ++j) {
-      EXSTREAM_ASSIGN_OR_RETURN(const uint8_t tag, r.Get<uint8_t>());
-      switch (static_cast<ValueType>(tag)) {
-        case ValueType::kInt64: {
-          EXSTREAM_ASSIGN_OR_RETURN(const int64_t v, r.Get<int64_t>());
-          e.values.emplace_back(v);
-          break;
-        }
-        case ValueType::kDouble: {
-          EXSTREAM_ASSIGN_OR_RETURN(const double v, r.Get<double>());
-          e.values.emplace_back(v);
-          break;
-        }
-        case ValueType::kString: {
-          EXSTREAM_ASSIGN_OR_RETURN(const uint32_t len, r.Get<uint32_t>());
-          EXSTREAM_ASSIGN_OR_RETURN(std::string s, r.GetBytes(len));
-          e.values.emplace_back(std::move(s));
-          break;
-        }
-        default:
-          return Status::IOError(StrFormat("bad value tag %u", tag));
-      }
-    }
-    events.push_back(std::move(e));
+  if (magic != kMagicV1 && magic != kMagicV2) {
+    return Status::Corruption(
+        StrFormat("bad event buffer magic 0x%08x at offset 0", magic));
   }
-  if (!r.AtEnd()) return Status::IOError("trailing bytes in event buffer");
-  return events;
+  EXSTREAM_ASSIGN_OR_RETURN(const uint32_t count, r.Get<uint32_t>());
+  if (magic == kMagicV2) {
+    EXSTREAM_ASSIGN_OR_RETURN(const uint32_t stored_crc, r.Get<uint32_t>());
+    const uint32_t computed =
+        Crc32(data.data() + r.pos(), data.size() - r.pos());
+    if (computed != stored_crc) {
+      return Status::Corruption(
+          StrFormat("payload checksum mismatch: stored 0x%08x, computed 0x%08x "
+                    "over %zu bytes at offset %zu",
+                    stored_crc, computed, data.size() - r.pos(), r.pos()));
+    }
+  }
+  return ParseEventPayload(&r, count);
 }
 
-Status WriteEventsFile(const std::string& path, const std::vector<Event>& events) {
-  const std::string data = SerializeEvents(events);
+Status WriteEventsFile(const std::string& path, const std::vector<Event>& events,
+                       SpillFormat format) {
+  std::string data = SerializeEvents(events, format);
+  size_t write_bytes = data.size();
+
+  if (auto fault = FaultInjector::Global().Intercept(FaultOp::kWrite, path)) {
+    switch (fault->mode) {
+      case FaultMode::kFailOpen:
+        return Status::IOError("injected open failure writing " + path);
+      case FaultMode::kNoSpace:
+        return Status::IOError("injected ENOSPC writing " + path);
+      case FaultMode::kTruncate:
+        // Simulates a torn write that still reached the final name (e.g.
+        // post-rename media failure): only a prefix lands on disk.
+        write_bytes = std::min(write_bytes, fault->truncate_to);
+        break;
+      case FaultMode::kCorruptBytes: {
+        const size_t off = fault->corrupt_offset == SIZE_MAX
+                               ? data.size() / 2
+                               : std::min(fault->corrupt_offset, data.size() - 1);
+        if (!data.empty()) data[off] = static_cast<char>(data[off] ^ 0x5A);
+        break;
+      }
+      case FaultMode::kDelay:
+        ApplyInjectedDelay(*fault);
+        break;
+    }
+  }
+
   const std::string tmp = path + ".tmp";
   FILE* f = fopen(tmp.c_str(), "wb");
   if (f == nullptr) return Status::IOError("cannot open " + tmp);
-  const size_t written = fwrite(data.data(), 1, data.size(), f);
-  fclose(f);
-  if (written != data.size()) {
+  const size_t written = fwrite(data.data(), 1, write_bytes, f);
+  if (written != write_bytes) {
+    fclose(f);
     remove(tmp.c_str());
-    return Status::IOError("short write to " + tmp);
+    return Status::IOError(StrFormat("short write to %s (%zu of %zu bytes)",
+                                     tmp.c_str(), written, write_bytes));
   }
+  // Flush user-space buffers and force the data to the device before the
+  // rename publishes the file: a crash can lose the spill, never expose a
+  // half-written one under its final name.
+  if (fflush(f) != 0 || fsync(fileno(f)) != 0) {
+    fclose(f);
+    remove(tmp.c_str());
+    return Status::IOError("cannot fsync " + tmp);
+  }
+  fclose(f);
   if (rename(tmp.c_str(), path.c_str()) != 0) {
     remove(tmp.c_str());
     return Status::IOError("cannot rename " + tmp + " to " + path);
@@ -141,6 +251,14 @@ Status WriteEventsFile(const std::string& path, const std::vector<Event>& events
 }
 
 Result<std::vector<Event>> ReadEventsFile(const std::string& path) {
+  std::optional<FaultPlan> fault = FaultInjector::Global().Intercept(FaultOp::kRead, path);
+  if (fault.has_value()) {
+    if (fault->mode == FaultMode::kFailOpen) {
+      return Status::IOError("injected open failure reading " + path);
+    }
+    if (fault->mode == FaultMode::kDelay) ApplyInjectedDelay(*fault);
+  }
+
   FILE* f = fopen(path.c_str(), "rb");
   if (f == nullptr) return Status::IOError("cannot open " + path);
   std::string data;
@@ -148,7 +266,21 @@ Result<std::vector<Event>> ReadEventsFile(const std::string& path) {
   size_t n;
   while ((n = fread(buf, 1, sizeof(buf), f)) > 0) data.append(buf, n);
   fclose(f);
-  return DeserializeEvents(data);
+
+  if (fault.has_value()) {
+    if (fault->mode == FaultMode::kTruncate) {
+      data.resize(std::min(data.size(), fault->truncate_to));
+    } else if (fault->mode == FaultMode::kCorruptBytes && !data.empty()) {
+      const size_t off = fault->corrupt_offset == SIZE_MAX
+                             ? data.size() / 2
+                             : std::min(fault->corrupt_offset, data.size() - 1);
+      data[off] = static_cast<char>(data[off] ^ 0x5A);
+    }
+  }
+
+  auto events = DeserializeEvents(data);
+  if (!events.ok()) return AnnotateWithPath(events.status(), path);
+  return events;
 }
 
 }  // namespace exstream

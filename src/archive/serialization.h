@@ -10,21 +10,38 @@
 
 namespace exstream {
 
+/// \brief On-disk spill-file format version.
+///
+/// v1 ("EXS1"): u32 magic, u32 count, payload — no integrity check.
+/// v2 ("EXS2"): u32 magic, u32 count, u32 CRC32(payload), payload. The
+/// checksum makes silent bit rot and torn writes detectable before a corrupt
+/// chunk poisons downstream features; v1 files remain readable forever.
+enum class SpillFormat : uint32_t { kV1 = 1, kV2 = 2 };
+
 /// \brief Serializes events into a compact binary buffer.
 ///
-/// Layout: u32 magic, u32 count, then per event: i64 ts, u32 type,
-/// u16 value count, per value: u8 tag + payload (i64 / f64 / u32-length
-/// prefixed bytes).
-std::string SerializeEvents(const std::vector<Event>& events);
+/// Payload layout (both formats): per event: i64 ts, u32 type, u16 value
+/// count, per value: u8 tag + payload (i64 / f64 / u32-length prefixed
+/// bytes).
+std::string SerializeEvents(const std::vector<Event>& events,
+                            SpillFormat format = SpillFormat::kV2);
 
-/// \brief Parses a buffer produced by SerializeEvents.
+/// \brief Parses a buffer produced by SerializeEvents (either format).
+///
+/// Error codes are diagnostic: Truncated when the buffer ends before its
+/// declared contents, Corruption for bad magic / checksum mismatch / an
+/// impossible header count / bad value tags. Messages carry the byte offset
+/// of the failure. The header count is validated against the buffer size
+/// before any allocation, so a corrupt count cannot trigger a huge reserve.
 Result<std::vector<Event>> DeserializeEvents(std::string_view data);
 
-/// \brief Writes the serialized form of `events` to `path` (atomically via a
-/// temp file + rename).
-Status WriteEventsFile(const std::string& path, const std::vector<Event>& events);
+/// \brief Writes the serialized form of `events` to `path` atomically: temp
+/// file + fsync + rename. Honors the global FaultInjector (tests only).
+Status WriteEventsFile(const std::string& path, const std::vector<Event>& events,
+                       SpillFormat format = SpillFormat::kV2);
 
-/// \brief Reads an events file written by WriteEventsFile.
+/// \brief Reads an events file written by WriteEventsFile. Errors are
+/// annotated with the file path; see DeserializeEvents for the code taxonomy.
 Result<std::vector<Event>> ReadEventsFile(const std::string& path);
 
 }  // namespace exstream

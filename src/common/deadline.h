@@ -1,0 +1,52 @@
+// CancelToken: cooperative deadline/cancellation threaded through the
+// explanation pipeline's parallel stages, so a runaway Explain yields a
+// Status::DeadlineExceeded instead of stalling monitoring indefinitely.
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+
+namespace exstream {
+
+/// \brief Latching deadline + cancellation flag.
+///
+/// A default-constructed token never expires. Expired() is safe to poll from
+/// any thread; once it observes the deadline passing (or an explicit
+/// Cancel()) it latches, so workers racing each other all agree. Checks are
+/// cooperative: code holding a token polls it between units of work.
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  explicit CancelToken(std::chrono::steady_clock::time_point deadline)
+      : has_deadline_(true), deadline_(deadline) {}
+
+  /// A token that expires `ms` milliseconds from now.
+  static CancelToken AfterMillis(double ms) {
+    return CancelToken(std::chrono::steady_clock::now() +
+                       std::chrono::microseconds(static_cast<int64_t>(ms * 1000.0)));
+  }
+
+  /// Forces expiry regardless of the deadline.
+  void Cancel() const { cancelled_.store(true, std::memory_order_release); }
+
+  /// True once cancelled or past the deadline.
+  bool Expired() const {
+    if (cancelled_.load(std::memory_order_acquire)) return true;
+    if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
+      cancelled_.store(true, std::memory_order_release);
+      return true;
+    }
+    return false;
+  }
+
+  bool has_deadline() const { return has_deadline_; }
+
+ private:
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
+  mutable std::atomic<bool> cancelled_{false};
+};
+
+}  // namespace exstream

@@ -1,0 +1,61 @@
+#include "common/fault_injection.h"
+
+namespace exstream {
+
+std::string_view FaultModeToString(FaultMode mode) {
+  switch (mode) {
+    case FaultMode::kFailOpen:
+      return "fail-open";
+    case FaultMode::kTruncate:
+      return "truncate";
+    case FaultMode::kCorruptBytes:
+      return "corrupt-bytes";
+    case FaultMode::kNoSpace:
+      return "no-space";
+    case FaultMode::kDelay:
+      return "delay";
+  }
+  return "unknown";
+}
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+void FaultInjector::Arm(FaultPlan plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  plan_ = std::move(plan);
+  matched_ = 0;
+  injected_ = 0;
+  armed_.store(true, std::memory_order_release);
+}
+
+void FaultInjector::Disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_.store(false, std::memory_order_release);
+}
+
+size_t FaultInjector::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<size_t>(injected_);
+}
+
+std::optional<FaultPlan> FaultInjector::Intercept(FaultOp op,
+                                                  const std::string& path) {
+  if (!armed_.load(std::memory_order_relaxed)) return std::nullopt;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!armed_.load(std::memory_order_relaxed)) return std::nullopt;
+  if (plan_.op != op) return std::nullopt;
+  if (!plan_.path_substring.empty() &&
+      path.find(plan_.path_substring) == std::string::npos) {
+    return std::nullopt;
+  }
+  ++matched_;
+  if (matched_ <= plan_.skip) return std::nullopt;
+  if (plan_.max_hits >= 0 && injected_ >= plan_.max_hits) return std::nullopt;
+  ++injected_;
+  return plan_;
+}
+
+}  // namespace exstream

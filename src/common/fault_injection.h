@@ -1,0 +1,95 @@
+// FaultInjector: test/bench-only hook for injecting spill-file I/O faults.
+//
+// The archive's serialization layer consults the process-global injector on
+// every spill read and write. In production nothing is ever armed, so the
+// cost is a single relaxed atomic load per file operation; tests arm a
+// FaultPlan (which paths, which operation, which failure mode, how many
+// times) to exercise the retry, quarantine, and degraded-scan machinery
+// deterministically.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+
+namespace exstream {
+
+/// \brief What an injected fault does to the intercepted file operation.
+enum class FaultMode {
+  kFailOpen,      ///< the open/read/write fails outright (transient I/O error)
+  kTruncate,      ///< the file's bytes are cut short (torn write / short read)
+  kCorruptBytes,  ///< payload bytes are flipped (bit rot)
+  kNoSpace,       ///< writes fail as if the disk were full (ENOSPC)
+  kDelay,         ///< the operation succeeds but takes `delay_ms` longer
+};
+
+/// \brief Which side of the I/O the fault applies to.
+enum class FaultOp { kRead, kWrite };
+
+std::string_view FaultModeToString(FaultMode mode);
+
+/// \brief One armed fault: mode, target, and trigger schedule.
+struct FaultPlan {
+  FaultMode mode = FaultMode::kFailOpen;
+  FaultOp op = FaultOp::kRead;
+  /// Only paths containing this substring are intercepted ("" = every path).
+  std::string path_substring;
+  /// Let this many matching operations through untouched first.
+  int skip = 0;
+  /// Stop injecting after this many hits; -1 = inject forever. `max_hits = 1`
+  /// models a transient fault (fails once, then the retry succeeds).
+  int max_hits = -1;
+  /// kTruncate: number of leading bytes that survive.
+  size_t truncate_to = 8;
+  /// kCorruptBytes: byte offset to flip; SIZE_MAX = middle of the buffer.
+  size_t corrupt_offset = SIZE_MAX;
+  /// kDelay: added latency in milliseconds.
+  int delay_ms = 5;
+};
+
+/// \brief Process-global fault injection registry (see file comment).
+class FaultInjector {
+ public:
+  static FaultInjector& Global();
+
+  /// Arms `plan`, replacing any previous plan and resetting counters.
+  void Arm(FaultPlan plan);
+
+  /// Disarms; subsequent operations run untouched.
+  void Disarm();
+
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  /// Number of operations actually faulted since the last Arm.
+  size_t hits() const;
+
+  /// Called by I/O sites: returns the plan to apply to this operation, if it
+  /// matches and the trigger schedule says to fire (consumes one hit).
+  std::optional<FaultPlan> Intercept(FaultOp op, const std::string& path);
+
+ private:
+  FaultInjector() = default;
+
+  std::atomic<bool> armed_{false};
+  mutable std::mutex mu_;
+  FaultPlan plan_;
+  int matched_ = 0;   ///< matching operations seen since Arm
+  int injected_ = 0;  ///< faults actually delivered since Arm
+};
+
+/// \brief RAII arm/disarm for tests.
+class ScopedFaultInjection {
+ public:
+  explicit ScopedFaultInjection(FaultPlan plan) {
+    FaultInjector::Global().Arm(std::move(plan));
+  }
+  ~ScopedFaultInjection() { FaultInjector::Global().Disarm(); }
+
+  ScopedFaultInjection(const ScopedFaultInjection&) = delete;
+  ScopedFaultInjection& operator=(const ScopedFaultInjection&) = delete;
+};
+
+}  // namespace exstream

@@ -1,0 +1,34 @@
+#include "common/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/rng.h"
+
+namespace exstream {
+
+Status RetryWithBackoff(const RetryPolicy& policy, const std::function<Status()>& op,
+                        const std::function<bool(const Status&)>& is_retryable,
+                        size_t* retries) {
+  if (retries != nullptr) *retries = 0;
+  Rng rng(policy.jitter_seed);
+  const int attempts = std::max(1, policy.max_attempts);
+  Status st;
+  for (int attempt = 1;; ++attempt) {
+    st = op();
+    if (st.ok() || !is_retryable(st) || attempt >= attempts) return st;
+    double sleep_ms = std::min(policy.max_backoff_ms,
+                               policy.base_backoff_ms * static_cast<double>(1 << (attempt - 1)));
+    if (policy.jitter_fraction > 0) {
+      sleep_ms *= rng.Uniform(1.0 - policy.jitter_fraction, 1.0 + policy.jitter_fraction);
+    }
+    if (sleep_ms > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(static_cast<int64_t>(sleep_ms * 1000.0)));
+    }
+    if (retries != nullptr) ++*retries;
+  }
+}
+
+}  // namespace exstream

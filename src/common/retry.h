@@ -1,0 +1,36 @@
+// Retry with capped exponential backoff + jitter, for transient spill-file
+// I/O errors (the archive's failure model treats IOError as transient and
+// Corruption/Truncated as permanent).
+
+#pragma once
+
+#include <functional>
+
+#include "common/status.h"
+
+namespace exstream {
+
+/// \brief Backoff schedule for retrying a fallible operation.
+struct RetryPolicy {
+  /// Total attempts, including the first; 1 disables retries.
+  int max_attempts = 3;
+  /// Sleep before retry k (1-based) is base * 2^(k-1), capped at `max_backoff_ms`.
+  double base_backoff_ms = 1.0;
+  double max_backoff_ms = 50.0;
+  /// Uniform jitter fraction: each sleep is scaled by [1-j, 1+j] to decorrelate
+  /// concurrent retriers hitting the same device.
+  double jitter_fraction = 0.25;
+  /// Seed for the deterministic jitter stream.
+  uint64_t jitter_seed = 0x9E3779B97F4A7C15ull;
+};
+
+/// \brief Runs `op` until it succeeds, fails permanently, or attempts run out.
+///
+/// `is_retryable` classifies a non-OK status; a non-retryable status is
+/// returned immediately. `retries`, when non-null, receives the number of
+/// retries performed (attempts beyond the first).
+Status RetryWithBackoff(const RetryPolicy& policy, const std::function<Status()>& op,
+                        const std::function<bool(const Status&)>& is_retryable,
+                        size_t* retries = nullptr);
+
+}  // namespace exstream

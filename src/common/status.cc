@@ -22,6 +22,12 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Not implemented";
     case StatusCode::kInternal:
       return "Internal error";
+    case StatusCode::kCorruption:
+      return "Corruption";
+    case StatusCode::kTruncated:
+      return "Truncated";
+    case StatusCode::kDeadlineExceeded:
+      return "Deadline exceeded";
   }
   return "Unknown";
 }

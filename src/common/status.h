@@ -25,6 +25,14 @@ enum class StatusCode : int {
   kParseError = 6,
   kNotImplemented = 7,
   kInternal = 8,
+  /// Stored data fails an integrity check (bad magic, checksum mismatch,
+  /// impossible header). Permanent: retrying the read cannot help.
+  kCorruption = 9,
+  /// Stored data ends before its declared contents (torn write, short file).
+  /// Permanent, but distinguishable from corruption for triage.
+  kTruncated = 10,
+  /// A cooperative deadline expired before the operation completed.
+  kDeadlineExceeded = 11,
 };
 
 /// \brief Human-readable name of a status code (e.g. "Invalid argument").
@@ -67,6 +75,15 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Truncated(std::string msg) {
+    return Status(StatusCode::kTruncated, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
@@ -79,6 +96,9 @@ class Status {
   bool IsNotFound() const { return code() == StatusCode::kNotFound; }
   bool IsParseError() const { return code() == StatusCode::kParseError; }
   bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsCorruption() const { return code() == StatusCode::kCorruption; }
+  bool IsTruncated() const { return code() == StatusCode::kTruncated; }
+  bool IsDeadlineExceeded() const { return code() == StatusCode::kDeadlineExceeded; }
 
   /// \brief "OK" or "<code name>: <message>".
   std::string ToString() const;

@@ -2,6 +2,8 @@
 
 #include <atomic>
 
+#include "common/deadline.h"
+
 namespace exstream {
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -92,6 +94,55 @@ void ParallelFor(ThreadPool* pool, size_t n, const std::function<void(size_t)>& 
   drain();  // the calling thread works too instead of blocking idle
   std::unique_lock<std::mutex> lock(shared->mu);
   shared->cv.wait(lock, [&] { return shared->done.load() == n; });
+}
+
+size_t ParallelFor(ThreadPool* pool, size_t n, const std::function<void(size_t)>& fn,
+                   const CancelToken* cancel) {
+  if (cancel == nullptr) {
+    ParallelFor(pool, n, fn);
+    return n;
+  }
+  if (n == 0) return 0;
+  if (pool == nullptr || pool->num_threads() <= 1 || n == 1) {
+    size_t executed = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (cancel->Expired()) break;
+      fn(i);
+      ++executed;
+    }
+    return executed;
+  }
+  // Same shape as the plain overload; an expired token turns every unclaimed
+  // index into a no-op, but `done` still reaches n so the wait below cannot
+  // hang. The pool itself is untouched — helper tasks drain and exit.
+  struct Shared {
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    std::atomic<size_t> executed{0};
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+  auto shared = std::make_shared<Shared>();
+  auto drain = [shared, n, &fn, cancel] {
+    for (;;) {
+      const size_t i = shared->next.fetch_add(1);
+      if (i >= n) return;
+      if (!cancel->Expired()) {
+        fn(i);
+        shared->executed.fetch_add(1);
+      }
+      if (shared->done.fetch_add(1) + 1 == n) {
+        std::lock_guard<std::mutex> lock(shared->mu);
+        shared->cv.notify_all();
+      }
+    }
+  };
+  const size_t helpers = std::min(pool->num_threads(), n - 1);
+  for (size_t i = 0; i < helpers; ++i) (void)pool->Submit(drain);
+  drain();
+  std::unique_lock<std::mutex> lock(shared->mu);
+  shared->cv.wait(lock, [&] { return shared->done.load() == n; });
+  return shared->executed.load();
 }
 
 }  // namespace exstream

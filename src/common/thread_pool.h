@@ -13,6 +13,8 @@
 
 namespace exstream {
 
+class CancelToken;
+
 /// \brief A fixed-size pool of worker threads executing queued tasks FIFO.
 class ThreadPool {
  public:
@@ -54,5 +56,14 @@ class ThreadPool {
 /// `fn` must not throw and must not re-enter ParallelFor on the same pool
 /// (nested waits could idle every worker on the outer loop).
 void ParallelFor(ThreadPool* pool, size_t n, const std::function<void(size_t)>& fn);
+
+/// \brief Cancellable ParallelFor: once `cancel` expires, no further indices
+/// are handed out (indices already claimed still finish, so slot writes stay
+/// complete-or-untouched). Always waits for in-flight work before returning —
+/// cancellation can never leave stragglers racing the caller. Returns the
+/// number of indices actually executed (== n iff the loop was not cut short).
+/// `cancel == nullptr` behaves exactly like the plain overload.
+size_t ParallelFor(ThreadPool* pool, size_t n, const std::function<void(size_t)>& fn,
+                   const CancelToken* cancel);
 
 }  // namespace exstream

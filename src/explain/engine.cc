@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "common/strings.h"
 #include "explain/alignment.h"
 #include "explain/predicate_builder.h"
 
@@ -36,18 +37,32 @@ Result<ExplanationReport> ExplanationEngine::Explain(
   ExplanationReport report;
   report.annotation = annotation;
 
+  // Deadline token for this call; polled inside every parallel stage so a
+  // runaway analysis yields DeadlineExceeded instead of stalling monitoring.
+  const CancelToken token = options_.deadline_ms > 0
+                                ? CancelToken::AfterMillis(options_.deadline_ms)
+                                : CancelToken();
+  const CancelToken* cancel = options_.deadline_ms > 0 ? &token : nullptr;
+
   // Rank every feature in the space by entropy reward over (I_A, I_R).
   EXSTREAM_ASSIGN_OR_RETURN(
       report.ranked, ComputeFeatureRewards(builder_, specs_, annotation.abnormal.range,
                                            annotation.reference.range,
-                                           options_.min_support, pool_.get()));
+                                           options_.min_support, pool_.get(), cancel,
+                                           &report.degradation));
 
   // Step 1: reward-leap filtering.
   report.after_leap = RewardLeapFilter(report.ranked, options_.leap);
+  if (cancel != nullptr && cancel->Expired()) {
+    return Status::DeadlineExceeded(
+        StrFormat("deadline exceeded after reward ranking (%zu ranked, %zu after "
+                  "leap filter)",
+                  report.ranked.size(), report.after_leap.size()));
+  }
 
   // Step 2: false-positive filtering on related partitions.
   if (options_.enable_validation && partitions_ != nullptr && series_provider_) {
-    EXSTREAM_RETURN_NOT_OK(RunValidation(annotation, &report));
+    EXSTREAM_RETURN_NOT_OK(RunValidation(annotation, &report, cancel));
   } else {
     for (const RankedFeature& f : report.after_leap) {
       ValidatedFeature v;
@@ -74,12 +89,16 @@ Result<ExplanationReport> ExplanationEngine::Explain(
 
   EXSTREAM_ASSIGN_OR_RETURN(report.explanation,
                             BuildExplanation(report.final_features));
+  if (report.degradation.degraded()) {
+    report.explanation.MarkDegraded(report.degradation.ToString());
+  }
   report.duration_seconds = timer.ElapsedSeconds();
   return report;
 }
 
 Status ExplanationEngine::RunValidation(const AnomalyAnnotation& annotation,
-                                        ExplanationReport* report) const {
+                                        ExplanationReport* report,
+                                        const CancelToken* cancel) const {
   // Gather the labeled interval pools, starting with the annotations.
   std::vector<TimeInterval> abnormal_intervals = {annotation.abnormal.range};
   std::vector<TimeInterval> reference_intervals = {annotation.reference.range};
@@ -145,6 +164,7 @@ Status ExplanationEngine::RunValidation(const AnomalyAnnotation& annotation,
       // hence labeling and all downstream output) identical to the serial run.
       std::vector<std::vector<CandidateInterval>> per_related(related.size());
       ParallelFor(pool_.get(), related.size(), [&](size_t r) {
+        if (cancel != nullptr && cancel->Expired()) return;
         const PartitionRecord& rel = related[r];
         auto rel_series_r = series_provider_(rel.query_name, rel.partition);
         if (!rel_series_r.ok()) return;
@@ -164,6 +184,12 @@ Status ExplanationEngine::RunValidation(const AnomalyAnnotation& annotation,
       });
       for (auto& cands : per_related) {
         for (auto& cand : cands) candidates.push_back(std::move(cand));
+      }
+      if (cancel != nullptr && cancel->Expired()) {
+        return Status::DeadlineExceeded(StrFormat(
+            "deadline exceeded during related-partition alignment "
+            "(%zu candidates from %zu partitions)",
+            candidates.size(), related.size()));
       }
 
       if (!candidates.empty()) {
@@ -220,11 +246,19 @@ Status ExplanationEngine::RunValidation(const AnomalyAnnotation& annotation,
     std::vector<Result<std::vector<Feature>>> per_interval(intervals.size(),
                                                            std::vector<Feature>{});
     if (intervals.size() == 1) {
-      per_interval[0] = builder_.Build(survivor_specs, intervals[0], pool_.get());
+      per_interval[0] = builder_.Build(survivor_specs, intervals[0], pool_.get(),
+                                       cancel, &report->degradation);
     } else {
+      // Each parallel Build gets a private degradation slot; merged in order
+      // below so the report stays deterministic.
+      std::vector<DegradationReport> per_degradation(intervals.size());
       ParallelFor(pool_.get(), intervals.size(), [&](size_t k) {
-        per_interval[k] = builder_.Build(survivor_specs, intervals[k]);
-      });
+        per_interval[k] = builder_.Build(survivor_specs, intervals[k], nullptr,
+                                         cancel, &per_degradation[k]);
+      }, cancel);
+      for (const DegradationReport& d : per_degradation) {
+        report->degradation.Merge(d);
+      }
     }
     for (auto& feats_r : per_interval) {
       EXSTREAM_RETURN_NOT_OK(feats_r.status());
@@ -238,16 +272,29 @@ Status ExplanationEngine::RunValidation(const AnomalyAnnotation& annotation,
   };
   EXSTREAM_RETURN_NOT_OK(accumulate(abnormal_intervals, &abnormal_pool));
   EXSTREAM_RETURN_NOT_OK(accumulate(reference_intervals, &reference_pool));
+  if (cancel != nullptr && cancel->Expired()) {
+    return Status::DeadlineExceeded(StrFormat(
+        "deadline exceeded while pooling labeled intervals (%zu abnormal, "
+        "%zu reference)",
+        abnormal_intervals.size(), reference_intervals.size()));
+  }
 
   std::vector<ValidatedFeature> validated(report->after_leap.size());
-  ParallelFor(pool_.get(), report->after_leap.size(), [&](size_t i) {
+  const size_t executed =
+      ParallelFor(pool_.get(), report->after_leap.size(), [&](size_t i) {
     ValidatedFeature& v = validated[i];
     v.feature = report->after_leap[i];
     v.annotated_reward = v.feature.reward();
     v.feature.entropy = ComputeEntropyDistance(abnormal_pool[i], reference_pool[i]);
     v.validated_reward = v.feature.entropy.distance;
     v.kept = v.validated_reward >= options_.validation_min_reward;
-  });
+  }, cancel);
+  if (cancel != nullptr && cancel->Expired()) {
+    return Status::DeadlineExceeded(
+        StrFormat("deadline exceeded during validation re-ranking (%zu/%zu "
+                  "features re-evaluated)",
+                  executed, report->after_leap.size()));
+  }
   for (ValidatedFeature& v : validated) {
     if (v.kept) report->after_validation.push_back(v.feature);
     report->validation.push_back(std::move(v));

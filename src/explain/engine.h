@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "archive/archive.h"
+#include "common/deadline.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "explain/annotation.h"
@@ -58,6 +59,12 @@ struct ExplainOptions {
   /// bit-identical across thread counts. With num_threads != 1 the
   /// SeriesProvider must be safe to call from multiple threads.
   size_t num_threads = 1;
+  /// Wall-clock budget for one Explain call, in milliseconds (0 = unbounded).
+  /// The deadline is checked cooperatively inside every ParallelFor stage
+  /// (feature build, reward ranking, validation); on expiry Explain returns
+  /// Status::DeadlineExceeded whose message names the stage reached, and the
+  /// worker pool is left idle and reusable.
+  double deadline_ms = 0.0;
 };
 
 /// \brief Step-2 detail for one feature (paper Fig. 12).
@@ -85,6 +92,11 @@ struct ExplanationReport {
   size_t num_discarded = 0;
   double duration_seconds = 0.0;
 
+  /// What the archive scans behind this explanation could not read. When
+  /// degraded() is true the explanation was computed from incomplete data
+  /// (and `explanation` itself carries the same flag).
+  DegradationReport degradation;
+
   std::vector<std::string> SelectedFeatureNames() const;
 };
 
@@ -107,7 +119,7 @@ class ExplanationEngine {
 
  private:
   Status RunValidation(const AnomalyAnnotation& annotation,
-                       ExplanationReport* report) const;
+                       ExplanationReport* report, const CancelToken* cancel) const;
 
   const EventArchive* archive_;       // not owned
   const PartitionTable* partitions_;  // not owned, may be null

@@ -48,6 +48,16 @@ class Explanation {
   size_t NumFeatures() const { return clauses_.size(); }
   bool empty() const { return clauses_.empty(); }
 
+  /// \brief Flags the explanation as computed from incomplete archive data
+  /// (some chunks were quarantined during the analysis scans). `note` is a
+  /// human-readable summary of what was missing.
+  void MarkDegraded(std::string note) {
+    degraded_ = true;
+    degradation_note_ = std::move(note);
+  }
+  bool degraded() const { return degraded_; }
+  const std::string& degradation_note() const { return degradation_note_; }
+
   /// Names of the features used by the explanation.
   std::vector<std::string> FeatureNames() const;
 
@@ -63,6 +73,8 @@ class Explanation {
 
  private:
   std::vector<ExplanationClause> clauses_;
+  bool degraded_ = false;
+  std::string degradation_note_;
 };
 
 }  // namespace exstream

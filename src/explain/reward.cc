@@ -2,11 +2,14 @@
 
 #include <algorithm>
 
+#include "common/strings.h"
+
 namespace exstream {
 
 std::vector<RankedFeature> RankFeatures(const std::vector<Feature>& abnormal,
                                         const std::vector<Feature>& reference,
-                                        size_t min_support, ThreadPool* pool) {
+                                        size_t min_support, ThreadPool* pool,
+                                        const CancelToken* cancel) {
   const size_t n = std::min(abnormal.size(), reference.size());
   std::vector<RankedFeature> out(n);
   // Each feature's entropy distance is independent; slot-indexed writes keep
@@ -20,7 +23,7 @@ std::vector<RankedFeature> RankFeatures(const std::vector<Feature>& abnormal,
         rf.reference_series.size() >= min_support) {
       rf.entropy = ComputeEntropyDistance(rf.abnormal_series, rf.reference_series);
     }
-  });
+  }, cancel);
   // Reward descending; ties break toward larger sample support (a perfect
   // separation over 400 points is stronger evidence than one over 40), then
   // stably toward spec order for determinism.
@@ -35,12 +38,19 @@ std::vector<RankedFeature> RankFeatures(const std::vector<Feature>& abnormal,
 Result<std::vector<RankedFeature>> ComputeFeatureRewards(
     const FeatureBuilder& builder, const std::vector<FeatureSpec>& specs,
     const TimeInterval& abnormal, const TimeInterval& reference,
-    size_t min_support, ThreadPool* pool) {
+    size_t min_support, ThreadPool* pool, const CancelToken* cancel,
+    DegradationReport* degradation) {
   EXSTREAM_ASSIGN_OR_RETURN(std::vector<Feature> fa,
-                            builder.Build(specs, abnormal, pool));
+                            builder.Build(specs, abnormal, pool, cancel, degradation));
   EXSTREAM_ASSIGN_OR_RETURN(std::vector<Feature> fr,
-                            builder.Build(specs, reference, pool));
-  return RankFeatures(fa, fr, min_support, pool);
+                            builder.Build(specs, reference, pool, cancel, degradation));
+  std::vector<RankedFeature> ranked = RankFeatures(fa, fr, min_support, pool, cancel);
+  if (cancel != nullptr && cancel->Expired()) {
+    return Status::DeadlineExceeded(
+        StrFormat("reward ranking cancelled (%zu features materialized)",
+                  ranked.size()));
+  }
+  return ranked;
 }
 
 }  // namespace exstream

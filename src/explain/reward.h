@@ -4,6 +4,7 @@
 
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "features/builder.h"
@@ -33,16 +34,24 @@ struct RankedFeature {
 /// \param pool when non-null, feature materialization and the per-feature
 ///        entropy distances fan out over the pool; results are merged in
 ///        spec order, so the ranking is identical to the serial run
+/// \param cancel when non-null, polled cooperatively; expiry yields
+///        Status::DeadlineExceeded with the stage reached
+/// \param degradation when non-null, accumulates chunks the archive scans
+///        had to skip (see EventArchive::Scan)
 Result<std::vector<RankedFeature>> ComputeFeatureRewards(
     const FeatureBuilder& builder, const std::vector<FeatureSpec>& specs,
     const TimeInterval& abnormal, const TimeInterval& reference,
-    size_t min_support = 5, ThreadPool* pool = nullptr);
+    size_t min_support = 5, ThreadPool* pool = nullptr,
+    const CancelToken* cancel = nullptr, DegradationReport* degradation = nullptr);
 
-/// \brief Reward computation on pre-built, aligned feature vectors.
+/// \brief Reward computation on pre-built, aligned feature vectors. With an
+/// expired `cancel` token the result is truncated mid-ranking; callers that
+/// pass a token must check it afterwards.
 std::vector<RankedFeature> RankFeatures(const std::vector<Feature>& abnormal,
                                         const std::vector<Feature>& reference,
                                         size_t min_support = 5,
-                                        ThreadPool* pool = nullptr);
+                                        ThreadPool* pool = nullptr,
+                                        const CancelToken* cancel = nullptr);
 
 /// \brief Total sample count of a ranked feature (both intervals).
 inline size_t FeatureSupport(const RankedFeature& f) {

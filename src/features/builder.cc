@@ -2,6 +2,8 @@
 
 #include <unordered_map>
 
+#include "common/strings.h"
+
 namespace exstream {
 
 namespace {
@@ -50,9 +52,13 @@ Result<TimeSeries> CountOverInterval(const TimeSeries& raw, Timestamp window,
 
 Result<std::vector<Feature>> FeatureBuilder::Build(const std::vector<FeatureSpec>& specs,
                                                    const TimeInterval& interval,
-                                                   ThreadPool* pool) const {
+                                                   ThreadPool* pool,
+                                                   const CancelToken* cancel,
+                                                   DegradationReport* degradation) const {
   // Stage 1: scan each referenced event type once (spilled chunks mean disk
-  // I/O, so the scans themselves are worth parallelizing).
+  // I/O, so the scans themselves are worth parallelizing). Each slot gets its
+  // own degradation report; the serial merge below keeps accumulation
+  // deterministic.
   std::vector<EventTypeId> scan_types;
   std::unordered_map<EventTypeId, size_t> scan_index;
   scan_index.reserve(specs.size());
@@ -63,9 +69,23 @@ Result<std::vector<Feature>> FeatureBuilder::Build(const std::vector<FeatureSpec
   }
   std::vector<Result<std::vector<Event>>> scans(scan_types.size(),
                                                 std::vector<Event>{});
-  ParallelFor(pool, scan_types.size(), [&](size_t i) {
-    scans[i] = archive_->Scan(scan_types[i], interval);
-  });
+  std::vector<DegradationReport> scan_degradation(scan_types.size());
+  const size_t scans_done = ParallelFor(
+      pool, scan_types.size(),
+      [&](size_t i) {
+        scans[i] = archive_->Scan(scan_types[i], interval,
+                                  degradation != nullptr ? &scan_degradation[i]
+                                                         : nullptr);
+      },
+      cancel);
+  if (degradation != nullptr) {
+    for (const DegradationReport& d : scan_degradation) degradation->Merge(d);
+  }
+  if (cancel != nullptr && cancel->Expired()) {
+    return Status::DeadlineExceeded(
+        StrFormat("feature build cancelled during archive scans (%zu/%zu types)",
+                  scans_done, scan_types.size()));
+  }
   for (const auto& scan : scans) EXSTREAM_RETURN_NOT_OK(scan.status());
 
   // Stage 2: derive each (type, attr) raw series once.
@@ -78,14 +98,22 @@ Result<std::vector<Feature>> FeatureBuilder::Build(const std::vector<FeatureSpec
     }
   }
   std::vector<TimeSeries> raws(raw_pairs.size());
-  ParallelFor(pool, raw_pairs.size(), [&](size_t i) {
-    const auto& [type, attr] = raw_pairs[i];
-    raws[i] = RawSeries(*scans[scan_index.at(type)], attr);
-  });
+  const size_t raws_done = ParallelFor(
+      pool, raw_pairs.size(),
+      [&](size_t i) {
+        const auto& [type, attr] = raw_pairs[i];
+        raws[i] = RawSeries(*scans[scan_index.at(type)], attr);
+      },
+      cancel);
+  if (cancel != nullptr && cancel->Expired()) {
+    return Status::DeadlineExceeded(
+        StrFormat("feature build cancelled during raw-series derivation (%zu/%zu)",
+                  raws_done, raw_pairs.size()));
+  }
 
   // Stage 3: one aggregate per spec, into its own slot.
   std::vector<Result<Feature>> built(specs.size(), Feature{});
-  ParallelFor(pool, specs.size(), [&](size_t i) {
+  const size_t built_done = ParallelFor(pool, specs.size(), [&](size_t i) {
     const FeatureSpec& s = specs[i];
     const TimeSeries& raw = raws[raw_index.at(RawKey(s.type, s.attr_index))];
     Feature f;
@@ -108,7 +136,12 @@ Result<std::vector<Feature>> FeatureBuilder::Build(const std::vector<FeatureSpec
       f.series = std::move(*series);
     }
     built[i] = std::move(f);
-  });
+  }, cancel);
+  if (cancel != nullptr && cancel->Expired()) {
+    return Status::DeadlineExceeded(
+        StrFormat("feature build cancelled during aggregation (%zu/%zu specs)",
+                  built_done, specs.size()));
+  }
 
   std::vector<Feature> out;
   out.reserve(specs.size());

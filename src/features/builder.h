@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "archive/archive.h"
+#include "common/deadline.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "features/feature.h"
@@ -31,9 +32,16 @@ class FeatureBuilder {
   /// derivation, per-spec aggregation) each fan out over the pool. Every
   /// stage writes into index-addressed slots, so the output is identical to
   /// the serial run regardless of thread count.
+  ///
+  /// `cancel`, when non-null, is polled cooperatively inside and between the
+  /// stages; an expired token makes Build return Status::DeadlineExceeded
+  /// with the stage reached. `degradation`, when non-null, accumulates what
+  /// the underlying archive scans had to skip (quarantined chunks).
   Result<std::vector<Feature>> Build(const std::vector<FeatureSpec>& specs,
                                      const TimeInterval& interval,
-                                     ThreadPool* pool = nullptr) const;
+                                     ThreadPool* pool = nullptr,
+                                     const CancelToken* cancel = nullptr,
+                                     DegradationReport* degradation = nullptr) const;
 
   /// \brief Materializes one spec over `interval`.
   Result<Feature> BuildOne(const FeatureSpec& spec, const TimeInterval& interval) const;

@@ -78,6 +78,21 @@ class XStreamSystem : public EventSink {
   /// Per-event processing latency while an explanation was running.
   const Histogram& busy_latency() const { return busy_latency_; }
 
+  /// \brief Archive resilience counters (spill I/O retries, quarantines,
+  /// degraded scans) — the system's fault-health metrics surface.
+  struct FaultStats {
+    size_t spill_read_retries = 0;   ///< transient read faults retried away
+    size_t spill_write_retries = 0;  ///< transient write faults retried away
+    size_t spill_write_failures = 0; ///< spills abandoned (chunk kept resident)
+    size_t quarantined_chunks = 0;   ///< chunks renamed *.quarantine
+    size_t degraded_scans = 0;       ///< scans that returned partial data
+  };
+  FaultStats fault_stats() const {
+    return FaultStats{archive_.spill_read_retries(), archive_.spill_write_retries(),
+                      archive_.spill_write_failures(), archive_.quarantined_chunks(),
+                      archive_.degraded_scans()};
+  }
+
  private:
   const EventTypeRegistry* registry_;  // not owned
   XStreamConfig config_;

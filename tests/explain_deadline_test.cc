@@ -1,0 +1,148 @@
+// End-to-end resilience of the explanation pipeline: a corrupt spill chunk
+// degrades (not fails) Explain and the DegradationReport reaches the
+// Explanation; an expired deadline returns DeadlineExceeded without
+// deadlocking the worker pool.
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/fault_injection.h"
+#include "common/rng.h"
+#include "explain/engine.h"
+
+namespace exstream {
+namespace {
+
+bool FileExists(const std::string& path) { return access(path.c_str(), F_OK) == 0; }
+
+class ExplainResilienceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(registry_
+                    .Register(EventSchema("Metric", {{"shifted", ValueType::kDouble},
+                                                     {"stable", ValueType::kDouble}}))
+                    .ok());
+    char tmpl[] = "/tmp/exstream_resil_XXXXXX";
+    ASSERT_NE(mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+
+    ArchiveOptions options;
+    options.chunk_capacity = 32;
+    options.spill_dir = dir_;
+    options.max_resident_chunks = 2;
+    options.spill_retry.base_backoff_ms = 0.1;
+    options.spill_retry.max_backoff_ms = 0.5;
+    archive_ = std::make_unique<EventArchive>(&registry_, options);
+
+    // Anomaly during [100, 200): `shifted` drops from ~50 to ~10.
+    Rng rng(33);
+    for (Timestamp t = 0; t < 400; ++t) {
+      const bool anomalous = t >= 100 && t < 200;
+      ASSERT_TRUE(archive_
+                      ->Append(Event(0, t,
+                                     {Value((anomalous ? 10.0 : 50.0) +
+                                            rng.Gaussian(0, 1)),
+                                      Value(5.0 + rng.Gaussian(0, 0.5))}))
+                      .ok());
+    }
+  }
+  void TearDown() override { FaultInjector::Global().Disarm(); }
+
+  ExplainOptions Options() {
+    ExplainOptions options;
+    options.feature_space.windows = {10};
+    options.enable_validation = false;  // no partitions in this fixture
+    return options;
+  }
+
+  AnomalyAnnotation Annotation() {
+    AnomalyAnnotation a;
+    a.abnormal = {"Q", {100, 199}, "p"};
+    a.reference = {"Q", {200, 399}, "p"};
+    return a;
+  }
+
+  EventTypeRegistry registry_;
+  std::string dir_;
+  std::unique_ptr<EventArchive> archive_;
+};
+
+TEST_F(ExplainResilienceTest, CorruptSpillYieldsDegradedExplanation) {
+  // Rot one spill file that overlaps the abnormal interval: with
+  // chunk_capacity 32, chunk 3 holds ts 96..127.
+  FaultPlan plan;
+  plan.mode = FaultMode::kCorruptBytes;
+  plan.op = FaultOp::kRead;
+  plan.path_substring = "type0_chunk3_";
+  ScopedFaultInjection fault(plan);
+
+  ExplanationEngine engine(archive_.get(), nullptr, nullptr, Options());
+  auto report = engine.Explain(Annotation());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  // The pipeline kept going on the healthy chunks and still explains the
+  // anomaly, but the loss is fully accounted for.
+  EXPECT_FALSE(report->explanation.empty());
+  ASSERT_TRUE(report->degradation.degraded());
+  ASSERT_EQ(report->degradation.chunks_skipped(), 1u);
+  const auto& skipped = report->degradation.skipped[0];
+  EXPECT_NE(skipped.spill_path.find("type0_chunk3_"), std::string::npos);
+  EXPECT_EQ(skipped.events_lost, 32u);
+  EXPECT_TRUE(FileExists(skipped.spill_path + ".quarantine"));
+  EXPECT_FALSE(FileExists(skipped.spill_path));
+
+  // ...and the flag rides all the way into the Explanation itself.
+  EXPECT_TRUE(report->explanation.degraded());
+  EXPECT_NE(report->explanation.degradation_note().find("1 chunk"),
+            std::string::npos)
+      << report->explanation.degradation_note();
+  EXPECT_EQ(archive_->quarantined_chunks(), 1u);
+}
+
+TEST_F(ExplainResilienceTest, HealthyArchiveIsNotDegraded) {
+  ExplanationEngine engine(archive_.get(), nullptr, nullptr, Options());
+  auto report = engine.Explain(Annotation());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_FALSE(report->degradation.degraded());
+  EXPECT_FALSE(report->explanation.degraded());
+}
+
+TEST_F(ExplainResilienceTest, DeadlineExceededWithoutDeadlock) {
+  // Slow every spill read so a 1 ms budget reliably expires mid-pipeline.
+  FaultPlan plan;
+  plan.mode = FaultMode::kDelay;
+  plan.op = FaultOp::kRead;
+  plan.path_substring = dir_;
+  plan.delay_ms = 20;
+  ScopedFaultInjection fault(plan);
+
+  ExplainOptions options = Options();
+  options.deadline_ms = 1.0;
+  options.num_threads = 2;
+  ExplanationEngine bounded(archive_.get(), nullptr, nullptr, options);
+  auto report = bounded.Explain(Annotation());
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.status().IsDeadlineExceeded()) << report.status().ToString();
+
+  // The pool survived the abort: the same engine answers again (still over
+  // budget, but it returns instead of hanging)...
+  auto again = bounded.Explain(Annotation());
+  EXPECT_TRUE(!again.ok() && again.status().IsDeadlineExceeded())
+      << (again.ok() ? "ok" : again.status().ToString());
+
+  // ...and with the fault gone and no deadline, the full pipeline completes.
+  FaultInjector::Global().Disarm();
+  ExplainOptions unbounded = Options();
+  unbounded.num_threads = 2;
+  ExplanationEngine free_engine(archive_.get(), nullptr, nullptr, unbounded);
+  auto ok_report = free_engine.Explain(Annotation());
+  ASSERT_TRUE(ok_report.ok()) << ok_report.status().ToString();
+  EXPECT_FALSE(ok_report->explanation.empty());
+}
+
+}  // namespace
+}  // namespace exstream

@@ -1,0 +1,289 @@
+// Resilience tests: spill format v2 checksums and v1 compatibility, the
+// error-code taxonomy (truncation vs corruption), and every FaultInjector
+// mode exercised against the archive's retry / quarantine / degraded-scan
+// machinery.
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "archive/archive.h"
+#include "archive/serialization.h"
+#include "common/fault_injection.h"
+#include "common/stopwatch.h"
+
+namespace exstream {
+namespace {
+
+bool FileExists(const std::string& path) { return access(path.c_str(), F_OK) == 0; }
+
+std::vector<Event> MakeEvents(size_t n) {
+  std::vector<Event> events;
+  for (size_t t = 0; t < n; ++t) {
+    events.emplace_back(0, static_cast<Timestamp>(t),
+                        std::vector<Value>{Value(t * 0.5)});
+  }
+  return events;
+}
+
+TEST(SpillFormatTest, V2RoundTrip) {
+  const std::vector<Event> events = MakeEvents(64);
+  const std::string data = SerializeEvents(events, SpillFormat::kV2);
+  auto parsed = DeserializeEvents(data);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), 64u);
+  EXPECT_DOUBLE_EQ((*parsed)[10].values[0].AsDouble(), 5.0);
+}
+
+TEST(SpillFormatTest, V1BuffersStayReadable) {
+  const std::vector<Event> events = MakeEvents(16);
+  const std::string data = SerializeEvents(events, SpillFormat::kV1);
+  auto parsed = DeserializeEvents(data);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->size(), 16u);
+}
+
+TEST(SpillFormatTest, V1FilesStayReadable) {
+  char tmpl[] = "/tmp/exstream_v1_XXXXXX";
+  ASSERT_NE(mkdtemp(tmpl), nullptr);
+  const std::string path = std::string(tmpl) + "/v1.bin";
+  const std::vector<Event> events = MakeEvents(32);
+  ASSERT_TRUE(WriteEventsFile(path, events, SpillFormat::kV1).ok());
+  auto loaded = ReadEventsFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->size(), 32u);
+}
+
+TEST(SpillFormatTest, ChecksumCatchesBitFlip) {
+  std::string data = SerializeEvents(MakeEvents(8), SpillFormat::kV2);
+  data[data.size() / 2] = static_cast<char>(data[data.size() / 2] ^ 0x01);
+  const Status st = DeserializeEvents(data).status();
+  EXPECT_TRUE(st.IsCorruption()) << st.ToString();
+  EXPECT_NE(st.message().find("checksum"), std::string::npos) << st.ToString();
+}
+
+TEST(SpillFormatTest, TruncationHasItsOwnCode) {
+  // A v1 buffer cut mid-payload reads as Truncated, with the byte offset.
+  const std::string v1 = SerializeEvents(MakeEvents(8), SpillFormat::kV1);
+  const Status cut_payload =
+      DeserializeEvents(std::string_view(v1).substr(0, v1.size() - 3)).status();
+  EXPECT_TRUE(cut_payload.IsTruncated()) << cut_payload.ToString();
+  EXPECT_NE(cut_payload.message().find("offset"), std::string::npos);
+
+  // A v2 buffer cut mid-header is Truncated too...
+  const std::string v2 = SerializeEvents(MakeEvents(8), SpillFormat::kV2);
+  EXPECT_TRUE(DeserializeEvents(std::string_view(v2).substr(0, 10))
+                  .status()
+                  .IsTruncated());
+  // ...but a v2 buffer cut mid-payload fails its checksum first: Corruption.
+  EXPECT_TRUE(DeserializeEvents(std::string_view(v2).substr(0, v2.size() - 3))
+                  .status()
+                  .IsCorruption());
+}
+
+TEST(SpillFormatTest, HugeHeaderCountRejectedBeforeAllocation) {
+  // The count lives outside the checksummed payload, so a patched count must
+  // be caught by the size bound, not the CRC — and without a giant reserve.
+  std::string data = SerializeEvents(MakeEvents(4), SpillFormat::kV2);
+  const uint32_t huge = 0x7FFFFFFF;
+  std::memcpy(&data[4], &huge, sizeof(huge));
+  const Status st = DeserializeEvents(data).status();
+  EXPECT_TRUE(st.IsCorruption()) << st.ToString();
+  EXPECT_NE(st.message().find("header count"), std::string::npos);
+}
+
+TEST(SpillFormatTest, ReadErrorsNameTheFile) {
+  char tmpl[] = "/tmp/exstream_badmagic_XXXXXX";
+  ASSERT_NE(mkdtemp(tmpl), nullptr);
+  const std::string path = std::string(tmpl) + "/junk.bin";
+  FILE* f = fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  fwrite("not a spill file", 1, 16, f);
+  fclose(f);
+  const Status st = ReadEventsFile(path).status();
+  EXPECT_TRUE(st.IsCorruption()) << st.ToString();
+  EXPECT_NE(st.message().find(path), std::string::npos) << st.ToString();
+}
+
+class FaultArchiveTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(
+        registry_.Register(EventSchema("A", {{"x", ValueType::kDouble}})).ok());
+    char tmpl[] = "/tmp/exstream_fault_XXXXXX";
+    ASSERT_NE(mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+  }
+  void TearDown() override { FaultInjector::Global().Disarm(); }
+
+  ArchiveOptions SpillOptions() {
+    ArchiveOptions options;
+    options.chunk_capacity = 8;
+    options.spill_dir = dir_;
+    options.max_resident_chunks = 2;
+    options.spill_retry.base_backoff_ms = 0.1;  // keep retries fast in tests
+    options.spill_retry.max_backoff_ms = 0.5;
+    return options;
+  }
+
+  void Fill(EventArchive* archive, size_t n = 200) {
+    for (size_t t = 0; t < n; ++t) {
+      ASSERT_TRUE(
+          archive->Append(Event(0, static_cast<Timestamp>(t), {Value(t * 0.5)}))
+              .ok());
+    }
+  }
+
+  EventTypeRegistry registry_;
+  std::string dir_;
+};
+
+TEST_F(FaultArchiveTest, V1SpillFormatRoundTripsThroughArchive) {
+  ArchiveOptions options = SpillOptions();
+  options.spill_format = SpillFormat::kV1;
+  EventArchive archive(&registry_, options);
+  Fill(&archive);
+  auto events = archive.Scan(0, {0, 199});
+  ASSERT_TRUE(events.ok()) << events.status().ToString();
+  EXPECT_EQ(events->size(), 200u);
+}
+
+TEST_F(FaultArchiveTest, TransientReadFaultRetriedAway) {
+  EventArchive archive(&registry_, SpillOptions());
+  Fill(&archive);
+
+  FaultPlan plan;
+  plan.mode = FaultMode::kFailOpen;
+  plan.op = FaultOp::kRead;
+  plan.path_substring = dir_;
+  plan.max_hits = 1;  // fails once; the retry succeeds
+  ScopedFaultInjection fault(plan);
+
+  DegradationReport degradation;
+  auto events = archive.Scan(0, {0, 199}, &degradation);
+  ASSERT_TRUE(events.ok()) << events.status().ToString();
+  EXPECT_EQ(events->size(), 200u);
+  EXPECT_FALSE(degradation.degraded());
+  EXPECT_GE(archive.spill_read_retries(), 1u);
+  EXPECT_EQ(archive.quarantined_chunks(), 0u);
+}
+
+TEST_F(FaultArchiveTest, CorruptSpillQuarantinedScanDegrades) {
+  EventArchive archive(&registry_, SpillOptions());
+  Fill(&archive);
+
+  // Rot the bytes of exactly one spill file (chunk 0 holds ts 0..7).
+  FaultPlan plan;
+  plan.mode = FaultMode::kCorruptBytes;
+  plan.op = FaultOp::kRead;
+  plan.path_substring = "type0_chunk0_";
+  ScopedFaultInjection fault(plan);
+
+  DegradationReport degradation;
+  auto events = archive.Scan(0, {0, 199}, &degradation);
+  ASSERT_TRUE(events.ok()) << events.status().ToString();
+  EXPECT_EQ(events->size(), 192u);  // everything but the bad chunk's 8 events
+
+  ASSERT_EQ(degradation.chunks_skipped(), 1u);
+  const auto& skipped = degradation.skipped[0];
+  EXPECT_NE(skipped.spill_path.find("type0_chunk0_"), std::string::npos);
+  EXPECT_EQ(skipped.events_lost, 8u);
+  EXPECT_EQ(degradation.events_lost_estimate, 8u);
+  EXPECT_LT(degradation.coverage.at(0).fraction(), 1.0);
+
+  // The poisoned file was renamed aside for triage, not deleted.
+  EXPECT_FALSE(FileExists(skipped.spill_path));
+  EXPECT_TRUE(FileExists(skipped.spill_path + ".quarantine"));
+  EXPECT_EQ(archive.quarantined_chunks(), 1u);
+  EXPECT_EQ(archive.degraded_scans(), 1u);
+}
+
+TEST_F(FaultArchiveTest, QuarantineIsStickyAcrossScans) {
+  EventArchive archive(&registry_, SpillOptions());
+  Fill(&archive);
+  {
+    FaultPlan plan;
+    plan.mode = FaultMode::kTruncate;
+    plan.op = FaultOp::kRead;
+    plan.path_substring = "type0_chunk1_";
+    ScopedFaultInjection fault(plan);
+    ASSERT_TRUE(archive.Scan(0, {0, 199}).ok());
+  }
+  ASSERT_EQ(archive.quarantined_chunks(), 1u);
+
+  // With the injector disarmed the chunk stays out: it was quarantined, not
+  // retried, and the second scan reports it as such.
+  DegradationReport degradation;
+  auto events = archive.Scan(0, {0, 199}, &degradation);
+  ASSERT_TRUE(events.ok());
+  EXPECT_EQ(events->size(), 192u);
+  ASSERT_EQ(degradation.chunks_skipped(), 1u);
+  EXPECT_NE(degradation.skipped[0].reason.find("quarantined"), std::string::npos);
+  EXPECT_EQ(archive.quarantined_chunks(), 1u);  // no double count
+}
+
+TEST_F(FaultArchiveTest, NoSpaceKeepsChunksResidentAndScannable) {
+  FaultPlan plan;
+  plan.mode = FaultMode::kNoSpace;
+  plan.op = FaultOp::kWrite;
+  plan.path_substring = dir_;
+  ScopedFaultInjection fault(plan);
+
+  EventArchive archive(&registry_, SpillOptions());
+  Fill(&archive);  // every append must still succeed
+  EXPECT_GT(archive.spill_write_failures(), 0u);
+
+  // Nothing reached disk, so nothing can be lost: the data is all resident.
+  DegradationReport degradation;
+  auto events = archive.Scan(0, {0, 199}, &degradation);
+  ASSERT_TRUE(events.ok());
+  EXPECT_EQ(events->size(), 200u);
+  EXPECT_FALSE(degradation.degraded());
+}
+
+TEST_F(FaultArchiveTest, TransientWriteFaultRetriedAway) {
+  FaultPlan plan;
+  plan.mode = FaultMode::kFailOpen;
+  plan.op = FaultOp::kWrite;
+  plan.path_substring = dir_;
+  plan.max_hits = 1;
+  ScopedFaultInjection fault(plan);
+
+  EventArchive archive(&registry_, SpillOptions());
+  Fill(&archive);
+  EXPECT_GE(archive.spill_write_retries(), 1u);
+  EXPECT_EQ(archive.spill_write_failures(), 0u);
+
+  auto events = archive.Scan(0, {0, 199});
+  ASSERT_TRUE(events.ok());
+  EXPECT_EQ(events->size(), 200u);
+}
+
+TEST_F(FaultArchiveTest, DelayFaultAddsLatency) {
+  EventArchive archive(&registry_, SpillOptions());
+  Fill(&archive);
+
+  FaultPlan plan;
+  plan.mode = FaultMode::kDelay;
+  plan.op = FaultOp::kRead;
+  plan.path_substring = dir_;
+  plan.delay_ms = 30;
+  plan.max_hits = 1;
+  ScopedFaultInjection fault(plan);
+
+  Stopwatch timer;
+  auto events = archive.Scan(0, {0, 199});
+  const double elapsed = timer.ElapsedSeconds();
+  ASSERT_TRUE(events.ok());
+  EXPECT_EQ(events->size(), 200u);  // delay slows the read, data is intact
+  EXPECT_GE(elapsed, 0.025);
+  EXPECT_EQ(FaultInjector::Global().hits(), 1u);
+}
+
+}  // namespace
+}  // namespace exstream
