@@ -8,6 +8,11 @@
 
 namespace exstream {
 
+namespace {
+// Sentinel index for the per-type linked lists built by OnEventBatch.
+constexpr uint32_t kNoEvent = static_cast<uint32_t>(-1);
+}  // namespace
+
 EventArchive::EventArchive(const EventTypeRegistry* registry, ArchiveOptions options)
     : registry_(registry), options_(std::move(options)), shards_(registry_->size()) {
   for (size_t t = 0; t < shards_.size(); ++t) {
@@ -24,17 +29,54 @@ void EventArchive::OnEvent(const Event& event) {
   }
 }
 
-Status EventArchive::Append(const Event& event) {
+void EventArchive::OnEventBatch(EventBatch batch) {
+  // Group the batch by event type (stable, so per-type time order is kept),
+  // then drain each group under a single shard-lock acquisition.
+  const size_t num_types = shards_.size();
+  std::vector<uint32_t> first(num_types, kNoEvent);
+  std::vector<uint32_t> next(batch.size(), kNoEvent);
+  std::vector<uint32_t> last(num_types, kNoEvent);
+  std::vector<EventTypeId> touched;
+  for (uint32_t i = 0; i < batch.size(); ++i) {
+    const EventTypeId t = batch[i].type;
+    if (t >= num_types) {
+      append_errors_.fetch_add(1, std::memory_order_relaxed);
+      EXSTREAM_LOG(Warn) << "archive append failed: "
+                         << StrFormat("event type %u not registered", t);
+      continue;
+    }
+    if (first[t] == kNoEvent) {
+      first[t] = i;
+      touched.push_back(t);
+    } else {
+      next[last[t]] = i;
+    }
+    last[t] = i;
+  }
+  for (const EventTypeId t : touched) {
+    Shard& shard = shards_[t];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (uint32_t i = first[t]; i != kNoEvent; i = next[i]) {
+      const Status st = AppendLocked(&shard, std::move(batch[i]));
+      if (!st.ok()) {
+        append_errors_.fetch_add(1, std::memory_order_relaxed);
+        EXSTREAM_LOG(Warn) << "archive append failed: " << st.ToString();
+      }
+    }
+  }
+}
+
+Status EventArchive::Append(Event event) {
   if (event.type >= shards_.size()) {
     return Status::InvalidArgument(
         StrFormat("event type %u not registered", event.type));
   }
   Shard& shard = shards_[event.type];
   std::lock_guard<std::mutex> lock(shard.mu);
-  return AppendLocked(&shard, event);
+  return AppendLocked(&shard, std::move(event));
 }
 
-Status EventArchive::AppendLocked(Shard* shard, const Event& event) {
+Status EventArchive::AppendLocked(Shard* shard, Event event) {
   auto& list = shard->chunks;
   if (list.back()->full()) {
     list.back()->Seal();
@@ -42,7 +84,7 @@ Status EventArchive::AppendLocked(Shard* shard, const Event& event) {
     list.push_back(std::make_shared<Chunk>(event.type, options_.chunk_capacity));
     EXSTREAM_RETURN_NOT_OK(MaybeSpillLocked(shard, event.type));
   }
-  return list.back()->Append(event);
+  return list.back()->Append(std::move(event));
 }
 
 Status EventArchive::MaybeSpillLocked(Shard* shard, EventTypeId type) {

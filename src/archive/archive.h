@@ -60,8 +60,14 @@ class EventArchive : public EventSink {
   /// EventSink: archives one event. Errors are counted and logged, not thrown.
   void OnEvent(const Event& event) override;
 
-  /// Appends with error reporting (preferred in non-streaming code).
-  Status Append(const Event& event);
+  /// \brief EventSink: archives a batch, taking each touched type's shard
+  /// lock once per batch instead of once per event, and moving the events
+  /// into their chunks (the batch is owned). Errors are counted and logged.
+  void OnEventBatch(EventBatch batch) override;
+
+  /// Appends with error reporting (preferred in non-streaming code). Takes
+  /// the event by value: rvalue callers move, lvalue callers copy as before.
+  Status Append(Event event);
 
   /// \brief All events of `type` with ts in [interval.lower, interval.upper],
   /// in time order.
@@ -136,7 +142,7 @@ class EventArchive : public EventSink {
     std::vector<Event> open_tail;    ///< open chunk: in-range events, copied
   };
 
-  Status AppendLocked(Shard* shard, const Event& event);
+  Status AppendLocked(Shard* shard, Event event);
   Status MaybeSpillLocked(Shard* shard, EventTypeId type);
   /// Reads one spilled chunk with retries; on terminal failure quarantines it
   /// and records the loss in `degradation`.

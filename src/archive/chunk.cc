@@ -8,7 +8,7 @@
 
 namespace exstream {
 
-Status Chunk::Append(const Event& event) {
+Status Chunk::Append(Event event) {
   if (sealed_) return Status::Internal("append to sealed chunk");
   if (event.type != type_) {
     return Status::InvalidArgument("event type does not match chunk type");
@@ -20,7 +20,7 @@ Status Chunk::Append(const Event& event) {
   }
   if (count_ == 0) min_ts_ = event.ts;
   max_ts_ = event.ts;
-  events_->push_back(event);
+  events_->push_back(std::move(event));
   ++count_;
   return Status::OK();
 }

@@ -51,8 +51,10 @@ class Chunk {
     return count_ > 0 && min_ts_ <= interval.upper && max_ts_ >= interval.lower;
   }
 
-  /// Appends an event (same type, non-decreasing ts). Fails when sealed.
-  Status Append(const Event& event);
+  /// \brief Appends an event (same type, non-decreasing ts). Fails when
+  /// sealed. Takes the event by value so batched ingest can move instead of
+  /// copying the values vector; lvalue callers copy exactly as before.
+  Status Append(Event event);
 
   /// Marks the chunk immutable.
   void Seal() { sealed_ = true; }

@@ -1,5 +1,8 @@
 #include "cep/engine.h"
 
+#include <algorithm>
+#include <thread>
+
 #include "query/parser.h"
 
 namespace exstream {
@@ -8,6 +11,35 @@ Result<QueryId> CepEngine::AddQuery(const Query& query) {
   EXSTREAM_ASSIGN_OR_RETURN(CompiledQuery cq, CompiledQuery::Compile(query, registry_));
   const QueryId id = static_cast<QueryId>(queries_.size());
   queries_.push_back(std::make_unique<QueryState>(std::move(cq)));
+
+  // Build the type-route table: one lookup replaces the per-event relevance
+  // bitmap check plus the per-component partition-attribute scan.
+  QueryState& qs = *queries_.back();
+  qs.route.assign(registry_->size(), kRouteIrrelevant);
+  const bool partitioned = !qs.compiled.query().partition_attribute.empty();
+  for (const CompiledComponent& comp : qs.compiled.components()) {
+    if (comp.type >= qs.route.size()) continue;
+    if (!partitioned) {
+      qs.route[comp.type] = kRouteEmptyKey;
+    } else if (comp.partition_attr.has_value()) {
+      qs.route[comp.type] =
+          static_cast<uint16_t>(kRouteSpecBase + SpecIndexFor(comp.type,
+                                                              *comp.partition_attr));
+    }
+    // A relevant type without a partition attribute stays unroutable, which
+    // reproduces the legacy "event type matches but carries no key" skip.
+  }
+
+  // Assign the query to its route class (creating one if this route table is
+  // new). AddQuery is rare and #classes is small, so linear search is fine.
+  qs.route_class = static_cast<uint32_t>(route_classes_.size());
+  for (size_t c = 0; c < route_classes_.size(); ++c) {
+    if (route_classes_[c] == qs.route) {
+      qs.route_class = static_cast<uint32_t>(c);
+      break;
+    }
+  }
+  if (qs.route_class == route_classes_.size()) route_classes_.push_back(qs.route);
   return id;
 }
 
@@ -25,44 +57,228 @@ Result<QueryId> CepEngine::QueryIdByName(std::string_view name) const {
   return Status::NotFound("no query named '" + std::string(name) + "'");
 }
 
+void CepEngine::SetIngestThreads(size_t n) {
+  const size_t hw = std::max<size_t>(1, std::thread::hardware_concurrency());
+  if (n == 0) n = hw;
+  num_shards_ = n;
+  // The shard count fixes the work decomposition (and is what the
+  // determinism contract ranges over); the worker count is only a schedule,
+  // so it is capped at the core count — oversubscribing cores buys nothing
+  // and on a single core the shards simply run back to back.
+  const size_t workers = std::min(n, hw);
+  if (workers <= 1) {
+    pool_.reset();
+  } else if (pool_ == nullptr || pool_->num_threads() != workers) {
+    pool_ = std::make_unique<ThreadPool>(workers);
+  }
+}
+
+uint16_t CepEngine::SpecIndexFor(EventTypeId type, size_t attr) {
+  for (size_t s = 0; s < specs_.size(); ++s) {
+    if (specs_[s].type == type && specs_[s].attr == attr) {
+      return static_cast<uint16_t>(s);
+    }
+  }
+  const uint16_t s = static_cast<uint16_t>(specs_.size());
+  specs_.push_back(ExtractorSpec{type, attr});
+  if (specs_by_type_.size() <= type) specs_by_type_.resize(type + 1);
+  specs_by_type_[type].push_back(s);
+  return s;
+}
+
+uint32_t CepEngine::InternKey(QueryState& qs, std::string_view key, uint64_t hash,
+                              MatchTable::Appender* appender) {
+  bool created = false;
+  const uint32_t id = qs.interner.Intern(key, hash, &created);
+  if (created) {
+    qs.runs.emplace_back(&qs.compiled);
+    qs.buckets.push_back(appender != nullptr
+                             ? appender->EnsureBucket(qs.interner.KeyOf(id))
+                             : qs.matches.EnsureBucket(qs.interner.KeyOf(id)));
+  }
+  return id;
+}
+
 void CepEngine::OnEvent(const Event& event) {
   ++events_processed_;
   for (size_t qi = 0; qi < queries_.size(); ++qi) {
     QueryState& qs = *queries_[qi];
-    if (!qs.compiled.IsRelevantType(event.type)) continue;
+    const uint16_t r = event.type < qs.route.size() ? qs.route[event.type]
+                                                    : kRouteIrrelevant;
+    if (r == kRouteIrrelevant) continue;
 
-    // Partition key: the value of the bracketed attribute in this event's
-    // schema (components of one query may place it at different indices).
-    std::string partition;
-    if (!qs.compiled.query().partition_attribute.empty()) {
-      bool found = false;
-      for (const CompiledComponent& comp : qs.compiled.components()) {
-        if (comp.type == event.type && comp.partition_attr.has_value()) {
-          partition = event.values[*comp.partition_attr].ToString();
-          found = true;
-          break;
-        }
+    std::string_view key;
+    uint64_t hash;
+    if (r == kRouteEmptyKey) {
+      hash = empty_key_hash_;
+    } else {
+      const ExtractorSpec& spec = specs_[r - kRouteSpecBase];
+      const Value& v = event.values[spec.attr];
+      if (v.is_string()) {
+        key = v.AsString();
+      } else {
+        serial_key_scratch_ = v.ToString();
+        key = serial_key_scratch_;
       }
-      if (!found) continue;  // event type matches but carries no partition key
+      hash = PartitionKeyHash(key);
     }
 
-    auto [it, inserted] = qs.runs.try_emplace(partition, &qs.compiled);
-    RunStepResult step = it->second.OnEvent(event);
+    const uint32_t id = InternKey(qs, key, hash, nullptr);
+    RunStepResult step = qs.runs[id].OnEvent(event, &serial_row_scratch_);
+    const uint32_t bucket = qs.buckets[id];
     if (step.emitted_row) {
-      qs.matches.Append(partition, step.row);
+      qs.matches.Append(bucket, serial_row_scratch_);
       if (callback_) {
-        callback_(MatchNotification{static_cast<QueryId>(qi), partition, step.row,
+        callback_(MatchNotification{static_cast<QueryId>(qi), id,
+                                    qs.interner.KeyOf(id), serial_row_scratch_,
                                     step.match_complete});
       }
     }
     if (step.match_complete) {
-      qs.matches.MarkComplete(partition);
+      qs.matches.MarkComplete(bucket);
       if (callback_ && !step.emitted_row) {
-        callback_(MatchNotification{static_cast<QueryId>(qi), partition, MatchRow{},
-                                    true});
+        callback_(MatchNotification{static_cast<QueryId>(qi), id,
+                                    qs.interner.KeyOf(id), MatchRow{}, true});
       }
     }
   }
+}
+
+void CepEngine::PrepareBatchKeys(const EventBatch& batch) {
+  const size_t n = batch.size();
+  prep_.resize(specs_.size());
+  prep_keys_.resize(specs_.size());
+  for (size_t s = 0; s < specs_.size(); ++s) {
+    if (prep_[s].size() < n) prep_[s].resize(n);
+  }
+  class_events_.resize(route_classes_.size());
+  for (auto& list : class_events_) list.clear();
+  for (uint32_t i = 0; i < n; ++i) {
+    const Event& e = batch[i];
+    for (size_t c = 0; c < route_classes_.size(); ++c) {
+      const std::vector<uint16_t>& route = route_classes_[c];
+      if (e.type < route.size() && route[e.type] != kRouteIrrelevant) {
+        class_events_[c].push_back(i);
+      }
+    }
+    if (e.type >= specs_by_type_.size()) continue;
+    for (const uint16_t s : specs_by_type_[e.type]) {
+      const Value& v = e.values[specs_[s].attr];
+      PrepKey& pk = prep_[s][i];
+      if (v.is_string()) {
+        pk.view = v.AsString();
+      } else {
+        auto& storage = prep_keys_[s];
+        if (storage.size() < n) storage.resize(n);
+        storage[i] = v.ToString();
+        pk.view = storage[i];
+      }
+      pk.hash = PartitionKeyHash(pk.view);
+    }
+  }
+}
+
+void CepEngine::ProcessShard(const EventBatch& batch, size_t shard, size_t stride,
+                             ShardScratch* scratch) {
+  const bool want_notes = callback_ != nullptr;
+  for (size_t qi = shard; qi < queries_.size(); qi += stride) {
+    QueryState& qs = *queries_[qi];
+    // One lock acquisition per query per batch: rows, bucket registrations,
+    // and completions go straight into the table while the appender holds
+    // the lock (readers wait out one batch scan at most).
+    MatchTable::Appender appender(&qs.matches);
+    // Only this query's relevant events, via its route class's shared index
+    // list — irrelevant events cost nothing here, not even a route lookup.
+    for (const uint32_t i : class_events_[qs.route_class]) {
+      const Event& e = batch[i];
+      const uint16_t r = qs.route[e.type];
+
+      std::string_view key;
+      uint64_t hash;
+      if (r == kRouteEmptyKey) {
+        hash = empty_key_hash_;
+      } else {
+        const PrepKey& pk = prep_[r - kRouteSpecBase][i];
+        key = pk.view;
+        hash = pk.hash;
+      }
+
+      const uint32_t id = InternKey(qs, key, hash, &appender);
+      QueryRun& run = qs.runs[id];
+      const RunStepResult step = run.OnEventDeferred(e);
+      if (!step.emitted_row && !step.match_complete) {
+        continue;
+      }
+      const uint32_t bucket = qs.buckets[id];
+      if (step.emitted_row) {
+        // Harvest the row straight into bucket storage — the run's pre-reset
+        // state backs AppendRowValues, so no intermediate row is built.
+        std::vector<Value>* cells = appender.BeginRow(bucket, e.ts);
+        const size_t first = cells->size();
+        run.AppendRowValues(e, cells);
+        appender.EndRow(bucket);
+        if (want_notes) {
+          MatchRow row;
+          row.ts = e.ts;
+          row.values.assign(cells->begin() + static_cast<ptrdiff_t>(first),
+                            cells->end());
+          scratch->notes.push_back(
+              {i, MatchNotification{static_cast<QueryId>(qi), id,
+                                    qs.interner.KeyOf(id), std::move(row),
+                                    step.match_complete}});
+        }
+      }
+      if (step.match_complete) {
+        run.Reset();
+        appender.MarkComplete(bucket);
+        if (want_notes && !step.emitted_row) {
+          scratch->notes.push_back(
+              {i, MatchNotification{static_cast<QueryId>(qi), id,
+                                    qs.interner.KeyOf(id), MatchRow{}, true}});
+        }
+      }
+    }
+  }
+}
+
+void CepEngine::DispatchNotifications() {
+  if (callback_ == nullptr) {
+    for (ShardScratch& s : scratch_) s.notes.clear();
+    return;
+  }
+  merged_notes_.clear();
+  for (ShardScratch& s : scratch_) {
+    merged_notes_.insert(merged_notes_.end(),
+                         std::make_move_iterator(s.notes.begin()),
+                         std::make_move_iterator(s.notes.end()));
+    s.notes.clear();
+  }
+  // Shards emit in per-query stream order; the canonical sequential order is
+  // (event, query). Stable sort keeps the fixed row-before-completion order
+  // of the (at most two) notes one (event, query) pair can produce.
+  std::stable_sort(merged_notes_.begin(), merged_notes_.end(),
+                   [](const PendingNote& a, const PendingNote& b) {
+                     if (a.event_idx != b.event_idx) return a.event_idx < b.event_idx;
+                     return a.note.query < b.note.query;
+                   });
+  for (const PendingNote& p : merged_notes_) callback_(p.note);
+}
+
+void CepEngine::IngestBatch(const EventBatch& batch) {
+  if (batch.empty()) return;
+  events_processed_ += batch.size();
+  PrepareBatchKeys(batch);
+  const size_t shards =
+      std::max<size_t>(1, std::min(num_shards_, queries_.size()));
+  if (scratch_.size() < shards) scratch_.resize(shards);
+  if (shards <= 1 || pool_ == nullptr) {
+    // Same decomposition and merge as the parallel path, scheduled serially.
+    for (size_t s = 0; s < shards; ++s) ProcessShard(batch, s, shards, &scratch_[s]);
+  } else {
+    ParallelFor(pool_.get(), shards,
+                [&](size_t s) { ProcessShard(batch, s, shards, &scratch_[s]); });
+  }
+  DispatchNotifications();
 }
 
 }  // namespace exstream

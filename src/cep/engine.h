@@ -1,17 +1,38 @@
 // CepEngine: the multi-query CEP evaluator at the core of the monitoring
 // system (Fig. 1c / Fig. 18).
+//
+// Ingestion has two entry points with identical semantics:
+//
+//   * OnEvent        — the classic one-event-at-a-time path.
+//   * OnEventBatch   — the throughput path. Partition keys are extracted and
+//     hashed once per event (not once per query per event), every query
+//     interns them into dense uint32_t ids indexing flat QueryRun vectors,
+//     match rows flush to each query's MatchTable under one lock per batch,
+//     and with ingest_threads > 1 the queries are sharded round-robin over a
+//     worker pool.
+//
+// Determinism contract (same as the explanation pipeline): for any batch
+// split and any ingest_threads, the resulting MatchTables and the match
+// callback sequence are bit-identical to per-event sequential evaluation.
+// Each query is owned by exactly one shard and sees the batch in stream
+// order, so its interner ids, runs, and row order never depend on the thread
+// count; callbacks are buffered per shard tagged with (event index, query)
+// and merged into canonical (event, query) order before delivery on the
+// ingesting thread.
 
 #pragma once
 
 #include <functional>
 #include <memory>
 #include <string>
-#include <unordered_map>
+#include <string_view>
 #include <vector>
 
+#include "cep/interner.h"
 #include "cep/match_table.h"
 #include "cep/nfa.h"
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "event/registry.h"
 #include "event/stream.h"
 
@@ -20,22 +41,42 @@ namespace exstream {
 using QueryId = uint32_t;
 
 /// \brief A match-row notification delivered to the engine's callback.
+///
+/// `partition` is a view into the engine's interned key storage — valid for
+/// the engine's lifetime, never a per-row string copy. `partition_id` is the
+/// dense per-query intern id (assigned in first-seen stream order, so it is
+/// deterministic for a fixed event order regardless of batching/sharding).
 struct MatchNotification {
   QueryId query = 0;
-  std::string partition;
+  uint32_t partition_id = 0;
+  std::string_view partition;
   MatchRow row;
   bool complete = false;  ///< the full pattern completed with this event
+};
+
+/// \brief Engine construction knobs.
+struct CepEngineOptions {
+  /// Shards (worker threads) used by OnEventBatch; 1 = serial batched
+  /// evaluation, 0 = one per hardware thread. OnEvent is always serial.
+  size_t ingest_threads = 1;
 };
 
 /// \brief Evaluates many SASE queries over one event stream.
 ///
 /// Each query maintains one QueryRun per partition value (the bracketed
 /// equivalence attribute). Events irrelevant to a query (by type) are skipped
-/// via a per-query type bitmap, so thousands of concurrent queries stay cheap
-/// per event (the Fig. 20 scenario).
+/// via a per-query type-route table, so thousands of concurrent queries stay
+/// cheap per event (the Fig. 20 scenario).
+///
+/// Thread model: one ingesting thread calls OnEvent/OnEventBatch; readers
+/// (visualization, benches) may query MatchTables concurrently. OnEventBatch
+/// may internally fan out over its own worker pool.
 class CepEngine : public EventSink {
  public:
-  explicit CepEngine(const EventTypeRegistry* registry) : registry_(registry) {}
+  explicit CepEngine(const EventTypeRegistry* registry, CepEngineOptions options = {})
+      : registry_(registry) {
+    SetIngestThreads(options.ingest_threads);
+  }
 
   /// Compiles and registers a query; returns its id.
   Result<QueryId> AddQuery(const Query& query);
@@ -45,6 +86,18 @@ class CepEngine : public EventSink {
 
   /// EventSink: feeds one event through every relevant query.
   void OnEvent(const Event& event) override;
+
+  /// EventSink: batched ingest (see class comment for the contract).
+  void OnEventBatch(EventBatch batch) override { IngestBatch(batch); }
+
+  /// Batched ingest for callers that keep the buffer (e.g. to forward it).
+  void IngestBatch(const EventBatch& batch);
+
+  /// \brief Re-sizes the ingest shard pool (0 = hardware concurrency).
+  ///
+  /// Must not be called concurrently with ingestion.
+  void SetIngestThreads(size_t n);
+  size_t ingest_threads() const { return num_shards_; }
 
   size_t num_queries() const { return queries_.size(); }
   uint64_t events_processed() const { return events_processed_; }
@@ -56,25 +109,103 @@ class CepEngine : public EventSink {
   /// Lookup by query name; NotFound if absent.
   Result<QueryId> QueryIdByName(std::string_view name) const;
 
-  /// Registers a callback invoked on every emitted match row.
+  /// \brief Registers a callback invoked on every emitted match row.
+  ///
+  /// Rows are appended to the match table before the callback sees them.
+  /// Under batched ingest, callbacks for a batch are delivered after the
+  /// batch is evaluated, in canonical (event, query) order, on the ingesting
+  /// thread.
   void SetMatchCallback(std::function<void(const MatchNotification&)> cb) {
     callback_ = std::move(cb);
   }
 
  private:
+  /// Route-table entry values: how a query treats events of one type.
+  static constexpr uint16_t kRouteIrrelevant = 0;
+  static constexpr uint16_t kRouteEmptyKey = 1;  ///< unpartitioned query
+  static constexpr uint16_t kRouteSpecBase = 2;  ///< spec index + 2
+
+  /// One partition-key extraction: attribute `attr` of events of `type`.
+  /// Deduplicated across queries so a key is extracted/hashed once per event.
+  struct ExtractorSpec {
+    EventTypeId type = kInvalidEventType;
+    size_t attr = 0;
+  };
+
+  /// A partition key ready for interning: view plus its precomputed hash.
+  struct PrepKey {
+    std::string_view view;
+    uint64_t hash = 0;
+  };
+
+  struct PendingNote {
+    uint32_t event_idx = 0;
+    MatchNotification note;
+  };
+
+  /// Per-shard reusable buffers (owned by exactly one shard per batch).
+  struct ShardScratch {
+    std::vector<PendingNote> notes;  ///< whole batch
+  };
+
   struct QueryState {
     CompiledQuery compiled;
     MatchTable matches;
-    std::unordered_map<std::string, QueryRun> runs;
+    PartitionInterner interner;
+    std::vector<QueryRun> runs;       ///< indexed by interned partition id
+    std::vector<uint32_t> buckets;    ///< interned id -> match-table bucket
+    std::vector<uint16_t> route;      ///< event type -> route entry
+    uint32_t route_class = 0;         ///< index into route_classes_
 
     QueryState(CompiledQuery cq)
         : compiled(std::move(cq)), matches(compiled.OutputColumns()) {}
   };
 
+  /// \brief Interns `key` for `qs`, creating its run and match bucket on
+  /// first use. `appender` must be qs.matches' live batch appender, or
+  /// nullptr when the caller does not hold the table lock (per-event path).
+  uint32_t InternKey(QueryState& qs, std::string_view key, uint64_t hash,
+                     MatchTable::Appender* appender);
+
+  /// Deduplicated index of (type, attr); appends a new spec if unseen.
+  uint16_t SpecIndexFor(EventTypeId type, size_t attr);
+
+  /// Fills prep_ with one (view, hash) per (spec, event) for this batch.
+  void PrepareBatchKeys(const EventBatch& batch);
+
+  /// Evaluates queries `shard, shard + stride, ...` over the whole batch.
+  void ProcessShard(const EventBatch& batch, size_t shard, size_t stride,
+                    ShardScratch* scratch);
+
+  /// Merges per-shard notes into (event, query) order and fires callbacks.
+  void DispatchNotifications();
+
   const EventTypeRegistry* registry_;  // not owned
   std::vector<std::unique_ptr<QueryState>> queries_;
   std::function<void(const MatchNotification&)> callback_;
   uint64_t events_processed_ = 0;
+
+  // Partition-key extraction, shared across queries.
+  std::vector<ExtractorSpec> specs_;
+  std::vector<std::vector<uint16_t>> specs_by_type_;  ///< type -> spec indices
+  uint64_t empty_key_hash_ = PartitionKeyHash({});
+  std::string serial_key_scratch_;  ///< OnEvent: reused numeric-key buffer
+  MatchRow serial_row_scratch_;     ///< OnEvent: reused QueryRun output row
+
+  // Route classes: queries with identical route tables share one class, and
+  // each batch computes the class's relevant-event index list once — so 1000
+  // replicated queries (the Fig. 20 shape) skip a batch's irrelevant events
+  // with one scan total instead of one scan each.
+  std::vector<std::vector<uint16_t>> route_classes_;   ///< class -> route table
+  std::vector<std::vector<uint32_t>> class_events_;    ///< class -> event idxs
+
+  // Batched-ingest machinery (buffers reused across batches).
+  size_t num_shards_ = 1;
+  std::unique_ptr<ThreadPool> pool_;
+  std::vector<std::vector<PrepKey>> prep_;           ///< per spec, per event
+  std::vector<std::vector<std::string>> prep_keys_;  ///< numeric keys storage
+  std::vector<ShardScratch> scratch_;
+  std::vector<PendingNote> merged_notes_;
 };
 
 }  // namespace exstream

@@ -1,5 +1,7 @@
 #include "cep/match_table.h"
 
+#include <algorithm>
+
 #include "common/strings.h"
 
 namespace exstream {
@@ -12,47 +14,95 @@ Result<size_t> MatchTable::ColumnIndex(std::string_view name) const {
                                     static_cast<int>(name.size()), name.data()));
 }
 
-void MatchTable::Append(const std::string& partition, MatchRow row) {
+size_t MatchTable::FindLocked(std::string_view partition) const {
+  auto it = index_.find(partition);
+  return it == index_.end() ? buckets_.size() : it->second;
+}
+
+uint32_t MatchTable::EnsureBucketLocked(std::string_view partition) {
+  auto it = index_.find(partition);
+  if (it != index_.end()) return it->second;
+  const uint32_t id = static_cast<uint32_t>(buckets_.size());
+  buckets_.emplace_back();
+  buckets_.back().key = std::string(partition);
+  index_.emplace(std::string_view(buckets_.back().key), id);
+  return id;
+}
+
+uint32_t MatchTable::EnsureBucket(std::string_view partition) {
   std::lock_guard<std::mutex> lock(mu_);
-  rows_[partition].push_back(std::move(row));
+  return EnsureBucketLocked(partition);
+}
+
+void MatchTable::AppendLocked(uint32_t bucket, const MatchRow& row) {
+  Bucket& b = buckets_[bucket];
+  b.ts.push_back(row.ts);
+  b.cells.insert(b.cells.end(), row.values.begin(), row.values.end());
+  b.ends.push_back(static_cast<uint32_t>(b.cells.size()));
+}
+
+void MatchTable::Append(uint32_t bucket, const MatchRow& row) {
+  std::lock_guard<std::mutex> lock(mu_);
+  AppendLocked(bucket, row);
+}
+
+void MatchTable::Append(const std::string& partition, const MatchRow& row) {
+  Append(EnsureBucket(partition), row);
+}
+
+void MatchTable::MarkComplete(uint32_t bucket) {
+  std::lock_guard<std::mutex> lock(mu_);
+  buckets_[bucket].complete = true;
 }
 
 void MatchTable::MarkComplete(const std::string& partition) {
-  std::lock_guard<std::mutex> lock(mu_);
-  complete_[partition] = true;
+  MarkComplete(EnsureBucket(partition));
 }
 
 bool MatchTable::IsComplete(const std::string& partition) const {
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = complete_.find(partition);
-  return it != complete_.end() && it->second;
+  const size_t i = FindLocked(partition);
+  return i < buckets_.size() && buckets_[i].complete;
 }
 
 std::vector<std::string> MatchTable::Partitions() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> out;
-  out.reserve(rows_.size());
-  for (const auto& [k, _] : rows_) out.push_back(k);
+  out.reserve(buckets_.size());
+  for (const Bucket& b : buckets_) {
+    // Buckets are pre-registered at partition-intern time; only partitions
+    // that actually produced rows are listed (matching the pre-bucket API).
+    if (!b.ts.empty()) out.push_back(b.key);
+  }
+  std::sort(out.begin(), out.end());
   return out;
 }
 
 std::vector<MatchRow> MatchTable::Rows(const std::string& partition) const {
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = rows_.find(partition);
-  if (it == rows_.end()) return {};
-  return it->second;
+  const size_t i = FindLocked(partition);
+  if (i >= buckets_.size()) return {};
+  const Bucket& b = buckets_[i];
+  std::vector<MatchRow> out(b.ts.size());
+  for (size_t r = 0; r < b.ts.size(); ++r) {
+    const size_t begin = r == 0 ? 0 : b.ends[r - 1];
+    out[r].ts = b.ts[r];
+    out[r].values.assign(b.cells.begin() + static_cast<ptrdiff_t>(begin),
+                         b.cells.begin() + static_cast<ptrdiff_t>(b.ends[r]));
+  }
+  return out;
 }
 
 size_t MatchTable::NumRows(const std::string& partition) const {
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = rows_.find(partition);
-  return it == rows_.end() ? 0 : it->second.size();
+  const size_t i = FindLocked(partition);
+  return i >= buckets_.size() ? 0 : buckets_[i].ts.size();
 }
 
 size_t MatchTable::TotalRows() const {
   std::lock_guard<std::mutex> lock(mu_);
   size_t n = 0;
-  for (const auto& [_, v] : rows_) n += v.size();
+  for (const Bucket& b : buckets_) n += b.ts.size();
   return n;
 }
 
@@ -60,14 +110,16 @@ Result<TimeSeries> MatchTable::ExtractSeries(const std::string& partition,
                                              std::string_view column) const {
   EXSTREAM_ASSIGN_OR_RETURN(const size_t col, ColumnIndex(column));
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = rows_.find(partition);
-  if (it == rows_.end()) {
+  const size_t i = FindLocked(partition);
+  if (i >= buckets_.size()) {
     return Status::NotFound("no match rows for partition '" + partition + "'");
   }
+  const Bucket& b = buckets_[i];
   TimeSeries out;
-  for (const MatchRow& row : it->second) {
-    if (col >= row.values.size()) continue;
-    EXSTREAM_RETURN_NOT_OK(out.Append(row.ts, row.values[col].AsDouble()));
+  for (size_t r = 0; r < b.ts.size(); ++r) {
+    const size_t begin = r == 0 ? 0 : b.ends[r - 1];
+    if (begin + col >= b.ends[r]) continue;  // row too narrow for this column
+    EXSTREAM_RETURN_NOT_OK(out.Append(b.ts[r], b.cells[begin + col].AsDouble()));
   }
   return out;
 }

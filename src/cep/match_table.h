@@ -3,12 +3,25 @@
 // "All returned events of M_Q are stored in a relational table T_MQ, and the
 //  data to be visualized for a particular partition is specified as
 //  pi_{t,attr_i}(sigma_{partitionAttribute=v}(M))."
+//
+// Storage is bucketed by interned partition id: the engine registers each
+// partition once (EnsureBucket) and then appends rows by dense id — no
+// string hashing or map walk per row, and a whole batch of rows goes in
+// under one lock acquisition. Inside a bucket the rows are stored
+// column-flat (one timestamp vector plus one row-major cell vector), so an
+// append never allocates a per-row values vector and ExtractSeries — the
+// visualization read path — is a strided scan. The string-keyed read API
+// (visualization, benches, tests) is unchanged; MatchRow remains the
+// row-exchange type.
 
 #pragma once
 
-#include <map>
+#include <cstdint>
+#include <deque>
 #include <mutex>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
@@ -36,9 +49,57 @@ class MatchTable {
 
   Result<size_t> ColumnIndex(std::string_view name) const;
 
-  void Append(const std::string& partition, MatchRow row);
+  /// \brief Returns the dense bucket id for `partition`, creating the bucket
+  /// if unseen. Ids are assigned in first-call order.
+  uint32_t EnsureBucket(std::string_view partition);
+
+  /// Appends one row to a bucket previously returned by EnsureBucket.
+  void Append(uint32_t bucket, const MatchRow& row);
+
+  /// String-keyed append (convenience for tests / non-hot-path callers).
+  void Append(const std::string& partition, const MatchRow& row);
+
+  /// \brief RAII batch appender: holds the table lock so one batch's worth of
+  /// bucket registrations, row appends, and completions goes in with a single
+  /// lock acquisition and a single copy per row (straight into bucket
+  /// storage, no staging). Concurrent readers block until it is destroyed —
+  /// a bounded, one-batch-scan wait. At most one Appender per table at a
+  /// time; do not call the locking MatchTable methods while one is alive.
+  class Appender {
+   public:
+    explicit Appender(MatchTable* table) : table_(table), lock_(table->mu_) {}
+
+    uint32_t EnsureBucket(std::string_view partition) {
+      return table_->EnsureBucketLocked(partition);
+    }
+
+    void Append(uint32_t bucket, const MatchRow& row) {
+      table_->AppendLocked(bucket, row);
+    }
+
+    /// \brief Two-phase direct append: BeginRow pushes the timestamp and
+    /// hands back the bucket's cell vector for the caller to push values
+    /// onto; EndRow seals the row. No intermediate row object, no cell copy.
+    std::vector<Value>* BeginRow(uint32_t bucket, Timestamp ts) {
+      Bucket& b = table_->buckets_[bucket];
+      b.ts.push_back(ts);
+      return &b.cells;
+    }
+
+    void EndRow(uint32_t bucket) {
+      Bucket& b = table_->buckets_[bucket];
+      b.ends.push_back(static_cast<uint32_t>(b.cells.size()));
+    }
+
+    void MarkComplete(uint32_t bucket) { table_->buckets_[bucket].complete = true; }
+
+   private:
+    MatchTable* table_;  // not owned
+    std::lock_guard<std::mutex> lock_;
+  };
 
   /// Marks a partition's pattern match as completed (JobEnd seen).
+  void MarkComplete(uint32_t bucket);
   void MarkComplete(const std::string& partition);
   bool IsComplete(const std::string& partition) const;
 
@@ -57,10 +118,35 @@ class MatchTable {
                                    std::string_view column) const;
 
  private:
+  /// Column-flat row storage: ts_[i] pairs with cells_[ends[i-1]..ends[i]).
+  /// Rows are ragged in principle (test convenience appends), so per-row end
+  /// offsets are kept instead of assuming column_names_.size() cells per row.
+  struct Bucket {
+    std::string key;
+    bool complete = false;
+    std::vector<Timestamp> ts;
+    std::vector<Value> cells;
+    std::vector<uint32_t> ends;
+  };
+
+  struct StringViewHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+  /// Bucket index for `partition`, or buckets_.size() if absent. Caller locks.
+  size_t FindLocked(std::string_view partition) const;
+
+  uint32_t EnsureBucketLocked(std::string_view partition);
+  void AppendLocked(uint32_t bucket, const MatchRow& row);
+
   std::vector<std::string> column_names_;
   mutable std::mutex mu_;
-  std::map<std::string, std::vector<MatchRow>> rows_;
-  std::map<std::string, bool> complete_;
+  std::deque<Bucket> buckets_;  // deque: bucket.key views in index_ never move
+  std::unordered_map<std::string_view, uint32_t, StringViewHash, std::equal_to<>>
+      index_;  // views into buckets_[i].key
 };
 
 }  // namespace exstream

@@ -63,6 +63,7 @@ Result<CompiledQuery> CompiledQuery::Compile(const Query& query,
       cc.partition_attr = *idx;
     }
     cq.relevant_types_[cc.type] = true;
+    if (cc.negated) cq.has_negation_ = true;
     cq.components_.push_back(std::move(cc));
   }
 
@@ -119,6 +120,23 @@ Result<CompiledQuery> CompiledQuery::Compile(const Query& query,
     }
     if (on_kleene) cq.emits_per_kleene_ = true;
     cq.returns_.push_back(std::move(cr));
+  }
+
+  if (kleene_idx.has_value()) {
+    cq.kleene_idx_ = *kleene_idx;
+    for (const CompiledComponent& comp : cq.components_) {
+      for (const CompiledPredicate& pred : comp.predicates) {
+        if (pred.rhs_ref.has_value() && pred.rhs_ref->component == *kleene_idx) {
+          cq.kleene_bound_needed_ = true;
+        }
+      }
+    }
+    for (const CompiledReturn& r : cq.returns_) {
+      if (r.agg == ReturnAgg::kNone && r.ref.component == *kleene_idx &&
+          r.index != KleeneIndex::kCurrent) {
+        cq.kleene_bound_needed_ = true;
+      }
+    }
   }
   return cq;
 }
@@ -195,10 +213,10 @@ bool QueryRun::TryAdvance(const Event& event, size_t component_idx) {
 }
 
 void QueryRun::AbsorbKleene(const Event& event) {
-  last_kleene_ = event;
   ++kleene_count_;
-  const auto kleene_idx = *cq_->query_.KleeneComponentIndex();
-  bound_[kleene_idx] = event;  // later attr-to-attr predicates see the latest
+  if (cq_->kleene_bound_needed_) {
+    bound_[cq_->kleene_idx_] = event;  // later predicates/returns see the latest
+  }
   for (size_t i = 0; i < cq_->returns_.size(); ++i) {
     const CompiledReturn& r = cq_->returns_[i];
     if (r.agg == ReturnAgg::kNone) continue;
@@ -211,44 +229,64 @@ void QueryRun::AbsorbKleene(const Event& event) {
   }
 }
 
-MatchRow QueryRun::BuildRow(const Event& trigger) const {
-  MatchRow row;
-  row.ts = trigger.ts;
-  row.values.reserve(cq_->returns_.size());
+void QueryRun::AppendRowValues(const Event& trigger, std::vector<Value>* out) const {
   for (size_t i = 0; i < cq_->returns_.size(); ++i) {
     const CompiledReturn& r = cq_->returns_[i];
     if (r.agg != ReturnAgg::kNone) {
       const AggState& a = aggs_[i];
       switch (r.agg) {
         case ReturnAgg::kSum:
-          row.values.emplace_back(a.sum);
+          out->emplace_back(a.sum);
           break;
         case ReturnAgg::kCount:
-          row.values.emplace_back(static_cast<int64_t>(a.count));
+          out->emplace_back(static_cast<int64_t>(a.count));
           break;
         case ReturnAgg::kAvg:
-          row.values.emplace_back(a.count > 0 ? a.sum / static_cast<double>(a.count)
-                                              : 0.0);
+          out->emplace_back(a.count > 0 ? a.sum / static_cast<double>(a.count)
+                                        : 0.0);
           break;
         case ReturnAgg::kMin:
-          row.values.emplace_back(a.min);
+          out->emplace_back(a.min);
           break;
         case ReturnAgg::kMax:
-          row.values.emplace_back(a.max);
+          out->emplace_back(a.max);
           break;
         case ReturnAgg::kNone:
           break;  // unreachable
       }
       continue;
     }
+    // A kCurrent ref implies emits_per_kleene_, under which rows are only
+    // ever harvested with the just-absorbed kleene event as trigger — so the
+    // trigger IS the current kleene event and no stored copy is needed.
     const Event& source =
-        r.index == KleeneIndex::kCurrent ? last_kleene_ : bound_[r.ref.component];
-    row.values.push_back(RefValue(r.ref, source));
+        r.index == KleeneIndex::kCurrent ? trigger : bound_[r.ref.component];
+    out->push_back(RefValue(r.ref, source));
   }
-  return row;
+}
+
+void QueryRun::BuildRow(const Event& trigger, MatchRow* out) const {
+  out->ts = trigger.ts;
+  out->values.clear();
+  out->values.reserve(cq_->returns_.size());
+  AppendRowValues(trigger, &out->values);
 }
 
 RunStepResult QueryRun::OnEvent(const Event& event) {
+  MatchRow row;
+  RunStepResult result = OnEvent(event, &row);
+  result.row = std::move(row);
+  return result;
+}
+
+RunStepResult QueryRun::OnEvent(const Event& event, MatchRow* row) {
+  RunStepResult result = OnEventDeferred(event);
+  if (result.emitted_row) BuildRow(event, row);
+  if (result.match_complete) Reset();
+  return result;
+}
+
+RunStepResult QueryRun::OnEventDeferred(const Event& event) {
   RunStepResult result;
   const size_t num_components = cq_->components_.size();
   const bool run_active = kleene_active_ || last_positive_ >= 0;
@@ -262,7 +300,7 @@ RunStepResult QueryRun::OnEvent(const Event& event) {
 
   // Negation guards: an event matching an active negated component voids the
   // run (and may then open a fresh one below).
-  if (ViolatesNegation(event)) Reset();
+  if (cq_->has_negation_ && ViolatesNegation(event)) Reset();
 
   if (kleene_active_) {
     // Either extend the kleene closure or close it with the next positive
@@ -270,10 +308,7 @@ RunStepResult QueryRun::OnEvent(const Event& event) {
     if (TryAdvance(event, state_)) {
       AbsorbKleene(event);
       result.consumed = true;
-      if (cq_->emits_per_kleene_) {
-        result.emitted_row = true;
-        result.row = BuildRow(event);
-      }
+      if (cq_->emits_per_kleene_) result.emitted_row = true;
       return result;
     }
     const size_t next = NextPositiveIndex(state_ + 1);
@@ -284,11 +319,7 @@ RunStepResult QueryRun::OnEvent(const Event& event) {
       result.consumed = true;
       if (NextPositiveIndex(next + 1) >= num_components) {
         result.match_complete = true;
-        if (!cq_->emits_per_kleene_) {
-          result.emitted_row = true;
-          result.row = BuildRow(event);
-        }
-        Reset();
+        if (!cq_->emits_per_kleene_) result.emitted_row = true;
       } else {
         state_ = NextPositiveIndex(next + 1);
       }
@@ -304,10 +335,7 @@ RunStepResult QueryRun::OnEvent(const Event& event) {
   if (comp.kleene) {
     kleene_active_ = true;
     AbsorbKleene(event);
-    if (cq_->emits_per_kleene_) {
-      result.emitted_row = true;
-      result.row = BuildRow(event);
-    }
+    if (cq_->emits_per_kleene_) result.emitted_row = true;
     return result;
   }
   bound_[state_] = event;
@@ -315,8 +343,6 @@ RunStepResult QueryRun::OnEvent(const Event& event) {
   if (NextPositiveIndex(state_ + 1) >= num_components) {
     result.match_complete = true;
     result.emitted_row = true;
-    result.row = BuildRow(event);
-    Reset();
   } else {
     state_ = NextPositiveIndex(state_ + 1);
   }

@@ -69,6 +69,15 @@ class CompiledQuery {
   std::vector<CompiledReturn> returns_;
   std::vector<bool> relevant_types_;
   bool emits_per_kleene_ = false;
+  /// True if any component is negated; lets runs skip the per-event negation
+  /// guard scan entirely for the common negation-free query.
+  bool has_negation_ = false;
+  /// Kleene component index, cached off the AST for the absorb hot path.
+  size_t kleene_idx_ = 0;
+  /// True if anything ever reads bound_[kleene_idx_] — a later predicate's
+  /// rhs or a non-aggregated, non-current RETURN ref. When false, AbsorbKleene
+  /// skips the per-event Event copy into bound_.
+  bool kleene_bound_needed_ = false;
 
   friend class QueryRun;
 };
@@ -78,7 +87,7 @@ struct RunStepResult {
   bool consumed = false;        ///< the event advanced or extended the run
   bool emitted_row = false;     ///< a match row was produced
   bool match_complete = false;  ///< the full pattern completed (run resets)
-  MatchRow row;                 ///< valid when emitted_row
+  MatchRow row;                 ///< valid when emitted_row (convenience overload)
 };
 
 /// \brief The matching state of one partition of one query.
@@ -89,8 +98,26 @@ class QueryRun {
  public:
   explicit QueryRun(const CompiledQuery* cq);
 
-  /// Feeds a partition-local event (type relevance already checked upstream).
+  /// \brief Feeds a partition-local event (type relevance already checked
+  /// upstream). When the step emits a row it is written into `*row` — cleared
+  /// and refilled, so a caller-reused MatchRow stops allocating after warm-up.
+  /// The result's own `row` member is left empty by this overload.
+  RunStepResult OnEvent(const Event& event, MatchRow* row);
+
+  /// Convenience overload returning the emitted row inside the result.
   RunStepResult OnEvent(const Event& event);
+
+  /// \brief Advances the run WITHOUT building a row or resetting on
+  /// completion. When the result says emitted_row, the caller harvests the
+  /// values via AppendRowValues (the pre-reset state is intact) and, when
+  /// match_complete, must call Reset() itself. This lets the batched engine
+  /// write RETURN values straight into match-table storage with zero
+  /// intermediate copies.
+  RunStepResult OnEventDeferred(const Event& event);
+
+  /// Appends the RETURN-clause values for `trigger` onto `*out`, in column
+  /// order. Only valid right after an OnEventDeferred that emitted a row.
+  void AppendRowValues(const Event& trigger, std::vector<Value>* out) const;
 
   /// Resets to the initial state.
   void Reset();
@@ -108,7 +135,9 @@ class QueryRun {
 
   bool TryAdvance(const Event& event, size_t component_idx);
   void AbsorbKleene(const Event& event);
-  MatchRow BuildRow(const Event& trigger) const;
+  /// Writes the RETURN-clause row for `trigger` into `*out` (values cleared
+  /// and refilled in place).
+  void BuildRow(const Event& trigger, MatchRow* out) const;
   /// Index of the first non-negated component at or after `from`
   /// (components.size() if none).
   size_t NextPositiveIndex(size_t from) const;
@@ -123,7 +152,6 @@ class QueryRun {
   std::vector<Event> bound_;  // matched single events, indexed by component
   bool kleene_active_ = false;
   size_t kleene_count_ = 0;
-  Event last_kleene_;
   std::vector<AggState> aggs_;  // one per RETURN item (used by agg items)
 };
 

@@ -42,4 +42,25 @@ struct Event {
   const Value& value(size_t idx) const { return values[idx]; }
 };
 
+/// \brief A contiguous run of time-ordered events handed to a sink at once.
+///
+/// Batches exist so ingestion can amortize per-event costs (virtual dispatch,
+/// archive locking, per-query type checks) across many events; they carry no
+/// semantics of their own — a stream split into batches of any size must
+/// produce the same results as per-event delivery.
+using EventBatch = std::vector<Event>;
+
+/// \brief Builds a schema-ordered values vector with exactly one allocation.
+///
+/// Unlike a braced initializer list (whose elements are *copied* into the
+/// vector), this reserves and move-constructs each value in place — the event
+/// construction hot path of the simulators.
+template <typename... Vs>
+std::vector<Value> MakeValues(Vs&&... vs) {
+  std::vector<Value> out;
+  out.reserve(sizeof...(Vs));
+  (out.emplace_back(std::forward<Vs>(vs)), ...);
+  return out;
+}
+
 }  // namespace exstream

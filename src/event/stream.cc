@@ -14,4 +14,27 @@ void VectorEventSource::Replay(EventSink* sink) const {
   sink->OnStreamEnd();
 }
 
+void VectorEventSource::ReplayBatched(EventSink* sink, size_t batch_size) const {
+  if (batch_size == 0) batch_size = kDefaultIngestBatchSize;
+  for (size_t begin = 0; begin < events_.size(); begin += batch_size) {
+    const size_t end = std::min(begin + batch_size, events_.size());
+    sink->OnEventBatch(EventBatch(events_.begin() + static_cast<ptrdiff_t>(begin),
+                                  events_.begin() + static_cast<ptrdiff_t>(end)));
+  }
+  sink->OnStreamEnd();
+}
+
+void VectorEventSource::ReplayMove(EventSink* sink, size_t batch_size) {
+  if (batch_size == 0) batch_size = kDefaultIngestBatchSize;
+  for (size_t begin = 0; begin < events_.size(); begin += batch_size) {
+    const size_t end = std::min(begin + batch_size, events_.size());
+    EventBatch batch;
+    batch.reserve(end - begin);
+    for (size_t i = begin; i < end; ++i) batch.push_back(std::move(events_[i]));
+    sink->OnEventBatch(std::move(batch));
+  }
+  events_.clear();
+  sink->OnStreamEnd();
+}
+
 }  // namespace exstream

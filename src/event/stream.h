@@ -3,6 +3,14 @@
 // The data-source module of the architecture (Fig. 18) is a fan-out: events
 // from simulators or replayed archives are pushed to any number of sinks
 // (the CEP engine, the archive, test recorders).
+//
+// Sinks consume either one event at a time (OnEvent) or a batch at a time
+// (OnEventBatch). The batch is the throughput path: it amortizes virtual
+// dispatch, archive locking, and per-query type checks, and it is passed by
+// value so the last consumer in a chain can steal the events instead of
+// copying them. The default OnEventBatch degrades to per-event delivery, so
+// every sink accepts batches; overriding it is an optimization, never a
+// semantic change.
 
 #pragma once
 
@@ -14,6 +22,9 @@
 
 namespace exstream {
 
+/// Default events-per-batch used by batched replay and the CLI.
+inline constexpr size_t kDefaultIngestBatchSize = 512;
+
 /// \brief Consumer of an ordered event stream.
 class EventSink {
  public:
@@ -21,6 +32,15 @@ class EventSink {
 
   /// Called once per event in timestamp order.
   virtual void OnEvent(const Event& event) = 0;
+
+  /// \brief Called with a run of consecutive events in timestamp order.
+  ///
+  /// Semantically identical to calling OnEvent per element; overrides may
+  /// exploit the batch shape (and may consume the events — the batch is
+  /// theirs). The base implementation forwards per event.
+  virtual void OnEventBatch(EventBatch batch) {
+    for (const Event& e : batch) OnEvent(e);
+  }
 
   /// Called when the producing source has no further events.
   virtual void OnStreamEnd() {}
@@ -44,6 +64,12 @@ class FanOutSink : public EventSink {
   void OnEvent(const Event& event) override {
     for (EventSink* s : sinks_) s->OnEvent(event);
   }
+  void OnEventBatch(EventBatch batch) override {
+    if (sinks_.empty()) return;
+    // Every sink but the last reads a copy; the last one owns the batch.
+    for (size_t i = 0; i + 1 < sinks_.size(); ++i) sinks_[i]->OnEventBatch(batch);
+    sinks_.back()->OnEventBatch(std::move(batch));
+  }
   void OnStreamEnd() override {
     for (EventSink* s : sinks_) s->OnStreamEnd();
   }
@@ -56,6 +82,14 @@ class FanOutSink : public EventSink {
 class VectorSink : public EventSink {
  public:
   void OnEvent(const Event& event) override { events_.push_back(event); }
+  void OnEventBatch(EventBatch batch) override {
+    if (events_.empty()) {
+      events_ = std::move(batch);
+      return;
+    }
+    events_.insert(events_.end(), std::make_move_iterator(batch.begin()),
+                   std::make_move_iterator(batch.end()));
+  }
   const std::vector<Event>& events() const { return events_; }
   std::vector<Event> TakeEvents() { return std::move(events_); }
 
@@ -75,8 +109,18 @@ class VectorEventSource {
   /// Stable-sorts the buffered events by timestamp.
   void SortByTime();
 
-  /// Pushes every event into `sink`, then signals end-of-stream.
+  /// Pushes every event into `sink` one at a time, then signals end-of-stream.
   void Replay(EventSink* sink) const;
+
+  /// \brief Pushes the events as batches of `batch_size` (copies), then
+  /// signals end-of-stream. The source keeps its events.
+  void ReplayBatched(EventSink* sink,
+                     size_t batch_size = kDefaultIngestBatchSize) const;
+
+  /// \brief Moves the events into `sink` as batches of `batch_size`, then
+  /// signals end-of-stream. The source is empty afterwards — the zero-copy
+  /// path for callers that discard the source after replay.
+  void ReplayMove(EventSink* sink, size_t batch_size = kDefaultIngestBatchSize);
 
   const std::vector<Event>& events() const { return events_; }
   size_t size() const { return events_.size(); }

@@ -213,16 +213,14 @@ Result<std::vector<std::pair<std::string, Timestamp>>> HadoopClusterSim::Run(
     auto job_event = [&](EventTypeId type, Timestamp ts, const char* etype,
                          int node) {
       events.emplace_back(type, ts,
-                          std::vector<Value>{Value(etype), Value(next_event_id++),
-                                             Value(cfg.job_id),
-                                             Value(static_cast<int64_t>(node))});
+                          MakeValues(etype, next_event_id++, cfg.job_id,
+                                     static_cast<int64_t>(node)));
     };
     auto task_event = [&](EventTypeId type, Timestamp ts, const char* etype,
                           int64_t task, int node) {
-      events.emplace_back(
-          type, ts,
-          std::vector<Value>{Value(etype), Value(next_event_id++), Value(cfg.job_id),
-                             Value(task), Value(static_cast<int64_t>(node))});
+      events.emplace_back(type, ts,
+                          MakeValues(etype, next_event_id++, cfg.job_id, task,
+                                     static_cast<int64_t>(node)));
     };
 
     job_event(t_job_start, cfg.start_time, "JobStart", 0);
@@ -252,11 +250,10 @@ Result<std::vector<std::pair<std::string, Timestamp>>> HadoopClusterSim::Run(
           const int node = static_cast<int>(job_rng.UniformInt(0, config_.num_nodes - 1));
           events.emplace_back(
               t_data_io, t,
-              std::vector<Value>{Value("DataIO"), Value(next_event_id++),
-                                 Value(cfg.job_id),
-                                 Value(static_cast<int64_t>(st.maps_started)),
-                                 Value(static_cast<int64_t>(1)),
-                                 Value(static_cast<int64_t>(node)), Value(chunk)});
+              MakeValues("DataIO", next_event_id++, cfg.job_id,
+                         static_cast<int64_t>(st.maps_started),
+                         static_cast<int64_t>(1), static_cast<int64_t>(node),
+                         chunk));
         }
         // Mapper lifecycle events at quota crossings.
         while (st.maps_started < cfg.num_mappers &&
@@ -292,11 +289,10 @@ Result<std::vector<std::pair<std::string, Timestamp>>> HadoopClusterSim::Run(
                 static_cast<int>(job_rng.UniformInt(0, config_.num_nodes - 1));
             events.emplace_back(
                 t_data_io, t,
-                std::vector<Value>{Value("DataIO"), Value(next_event_id++),
-                                   Value(cfg.job_id),
-                                   Value(static_cast<int64_t>(st.pulls_finished)),
-                                   Value(static_cast<int64_t>(1)),
-                                   Value(static_cast<int64_t>(node)), Value(-chunk)});
+                MakeValues("DataIO", next_event_id++, cfg.job_id,
+                           static_cast<int64_t>(st.pulls_finished),
+                           static_cast<int64_t>(1), static_cast<int64_t>(node),
+                           -chunk));
           }
           if (st.pull_started_at < 0) {
             st.pull_started_at = t;
@@ -364,35 +360,35 @@ Result<std::vector<std::pair<std::string, Timestamp>>> HadoopClusterSim::Run(
 
       events.emplace_back(
           t_cpu, t,
-          std::vector<Value>{Value(node64), Value(nm.cpu_usage.Step(55 * cpu_shift)),
-                             Value(nm.cpu_idle.Step(-55 * cpu_shift)),
-                             Value(nm.load.Step(6 * cpu_shift)),
-                             Value(static_cast<double>(t))});
+          MakeValues(node64, nm.cpu_usage.Step(55 * cpu_shift),
+                     nm.cpu_idle.Step(-55 * cpu_shift), nm.load.Step(6 * cpu_shift),
+                     static_cast<double>(t)));
       events.emplace_back(
           t_mem, t,
-          std::vector<Value>{Value(node64), Value(nm.mem_free.Step(-7500 * mem_shift)),
-                             Value(nm.mem_cached.Step(-1500 * mem_shift)),
-                             Value(nm.mem_buffers.Step(-500 * mem_shift)),
-                             Value(nm.swap_free.Step(-3400 * mem_shift)),
-                             Value(kSwapTotal), Value(kMemTotal),
-                             Value(nm.proc_total.Step(60 * mem_shift))});
+          MakeValues(node64, nm.mem_free.Step(-7500 * mem_shift),
+                     nm.mem_cached.Step(-1500 * mem_shift),
+                     nm.mem_buffers.Step(-500 * mem_shift),
+                     nm.swap_free.Step(-3400 * mem_shift), kSwapTotal, kMemTotal,
+                     nm.proc_total.Step(60 * mem_shift)));
       events.emplace_back(
           t_disk, t,
-          std::vector<Value>{Value(node64), Value(nm.disk_io.Step(70 * disk_shift)),
-                             Value(nm.disk_free.Step(-5000 * disk_shift)),
-                             Value(nm.bytes_written.Step(120 * disk_shift))});
+          MakeValues(node64, nm.disk_io.Step(70 * disk_shift),
+                     nm.disk_free.Step(-5000 * disk_shift),
+                     nm.bytes_written.Step(120 * disk_shift)));
       events.emplace_back(
           t_net, t,
-          std::vector<Value>{Value(node64), Value(nm.bytes_in.Step(200 * net_shift)),
-                             Value(nm.bytes_out.Step(200 * net_shift)),
-                             Value(nm.pkts_in.Step(15000 * net_shift)),
-                             Value(nm.pkts_out.Step(15000 * net_shift))});
+          MakeValues(node64, nm.bytes_in.Step(200 * net_shift),
+                     nm.bytes_out.Step(200 * net_shift),
+                     nm.pkts_in.Step(15000 * net_shift),
+                     nm.pkts_out.Step(15000 * net_shift)));
     }
   }
 
   VectorEventSource source(std::move(events));
   source.SortByTime();
-  source.Replay(sink);
+  // Batched move replay: the source is discarded afterwards, so the events
+  // transfer into the sink (and through it into the archive) without copies.
+  source.ReplayMove(sink);
   return completions;
 }
 

@@ -119,7 +119,7 @@ Result<std::vector<ProductWindow>> SupplyChainSim::Run(EventSink* sink) {
           continue;
         }
       }
-      events.emplace_back(type, ts, std::vector<Value>{Value(model.Step())});
+      events.emplace_back(type, ts, MakeValues(model.Step()));
     }
   }
 
@@ -130,8 +130,8 @@ Result<std::vector<ProductWindow>> SupplyChainSim::Run(EventSink* sink) {
 
   for (size_t p = 0; p < products.size(); ++p) {
     const ProductWindow& w = products[p];
-    events.emplace_back(t_start, w.start, std::vector<Value>{Value(w.product_id)});
-    events.emplace_back(t_end, w.end, std::vector<Value>{Value(w.product_id)});
+    events.emplace_back(t_start, w.start, MakeValues(w.product_id));
+    events.emplace_back(t_end, w.end, MakeValues(w.product_id));
 
     const ScAnomalySpec* subpar =
         anomaly_for(static_cast<int>(p), ScAnomalyType::kSubParMaterial);
@@ -149,10 +149,8 @@ Result<std::vector<ProductWindow>> SupplyChainSim::Run(EventSink* sink) {
             is_subpar ? config_.subpar_quality_mean : config_.quality_mean;
         const double quality = mrng.Gaussian(mean, config_.quality_noise);
         const Timestamp its = static_cast<Timestamp>(std::llround(ts));
-        events.emplace_back(type, its,
-                            std::vector<Value>{Value(w.product_id), Value(quality)});
-        events.emplace_back(t_progress, its,
-                            std::vector<Value>{Value(w.product_id), Value(quality)});
+        events.emplace_back(type, its, MakeValues(w.product_id, quality));
+        events.emplace_back(t_progress, its, MakeValues(w.product_id, quality));
         ts += mrng.Exponential(1.0 / config_.material_mean_interval);
       }
     }
@@ -160,7 +158,8 @@ Result<std::vector<ProductWindow>> SupplyChainSim::Run(EventSink* sink) {
 
   VectorEventSource source(std::move(events));
   source.SortByTime();
-  source.Replay(sink);
+  // Batched move replay: events transfer into the sink without copies.
+  source.ReplayMove(sink);
   return products;
 }
 

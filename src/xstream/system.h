@@ -30,6 +30,10 @@ struct XStreamConfig {
   /// Explanation pipeline knobs; `explain.num_threads` sizes the worker pool
   /// every Explain/ExplainAsync call analyzes with (1 = serial).
   ExplainOptions explain;
+  /// CEP ingestion knobs; `ingest.ingest_threads` shards batched ingest over
+  /// a worker pool (1 = serial batched, 0 = hardware concurrency). Results
+  /// are bit-identical for any value.
+  CepEngineOptions ingest;
   /// Latency histogram range (seconds).
   double latency_histogram_max = 0.1;
 };
@@ -45,6 +49,12 @@ class XStreamSystem : public EventSink {
   /// EventSink: routes one event through the engine and the archive,
   /// recording its processing latency.
   void OnEvent(const Event& event) override;
+
+  /// \brief EventSink: the batched throughput path. The engine evaluates the
+  /// batch (possibly sharded over its ingest pool), then the archive takes
+  /// ownership and moves the events into its chunks — no per-event copy.
+  /// Latency histograms record the per-event average of each batch.
+  void OnEventBatch(EventBatch batch) override;
 
   CepEngine& engine() { return engine_; }
   const CepEngine& engine() const { return engine_; }

@@ -1,0 +1,275 @@
+// Differential test of the batched / sharded ingestion path.
+//
+// Contract under test (see cep/engine.h): for ANY batch split and ANY
+// ingest_threads value, OnEventBatch must produce MatchTables and a match
+// callback sequence bit-identical to per-event sequential OnEvent. The
+// streams include adversarial partition-key skew — one hot key (every event
+// in the same partition: zero sharding parallelism inside a query) and
+// all-unique keys (every completion is a fresh partition: maximal interner
+// churn) — plus the random mixed stream the stress test uses.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "cep/engine.h"
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace exstream {
+namespace {
+
+constexpr char kQuery[] =
+    "PATTERN SEQ(Start a, Tick+ b[], End c) WHERE [job] "
+    "RETURN (b[i].timestamp, a.job, sum(b[1..i].size))";
+
+// A deep copy of one MatchNotification, safe to compare after the fact.
+struct NoteCopy {
+  QueryId query;
+  uint32_t partition_id;
+  std::string partition;
+  Timestamp ts;
+  std::vector<Value> values;
+  bool complete;
+
+  static NoteCopy From(const MatchNotification& n) {
+    return NoteCopy{n.query,  n.partition_id, std::string(n.partition),
+                    n.row.ts, n.row.values,   n.complete};
+  }
+  bool operator==(const NoteCopy& o) const {
+    return query == o.query && partition_id == o.partition_id &&
+           partition == o.partition && ts == o.ts && values == o.values &&
+           complete == o.complete;
+  }
+};
+
+// Snapshot of one query's match table: partition list order included.
+struct TableCopy {
+  std::vector<std::string> partitions;
+  std::vector<std::vector<MatchRow>> rows;
+  std::vector<bool> complete;
+
+  static TableCopy From(const MatchTable& t) {
+    TableCopy c;
+    c.partitions = t.Partitions();
+    for (const std::string& p : c.partitions) {
+      c.rows.push_back(t.Rows(p));
+      c.complete.push_back(t.IsComplete(p));
+    }
+    return c;
+  }
+};
+
+void ExpectTablesEqual(const TableCopy& a, const TableCopy& b,
+                       const std::string& label) {
+  ASSERT_EQ(a.partitions, b.partitions) << label;
+  ASSERT_EQ(a.complete, b.complete) << label;
+  for (size_t p = 0; p < a.partitions.size(); ++p) {
+    const auto& ra = a.rows[p];
+    const auto& rb = b.rows[p];
+    ASSERT_EQ(ra.size(), rb.size()) << label << " partition " << a.partitions[p];
+    for (size_t i = 0; i < ra.size(); ++i) {
+      ASSERT_EQ(ra[i].ts, rb[i].ts) << label << " " << a.partitions[p] << "#" << i;
+      ASSERT_EQ(ra[i].values, rb[i].values)
+          << label << " " << a.partitions[p] << "#" << i;
+    }
+  }
+}
+
+class IngestDifferentialTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(registry_
+                    .Register(EventSchema("Start", {{"job", ValueType::kString}}))
+                    .ok());
+    ASSERT_TRUE(registry_
+                    .Register(EventSchema("Tick", {{"job", ValueType::kString},
+                                                   {"size", ValueType::kDouble}}))
+                    .ok());
+    ASSERT_TRUE(registry_
+                    .Register(EventSchema("End", {{"job", ValueType::kString}}))
+                    .ok());
+  }
+
+  // Random interleaving over `num_jobs` partitions (the stress-test stream).
+  std::vector<Event> MixedStream(uint64_t seed, int num_jobs, int num_events) {
+    Rng rng(seed);
+    std::vector<Event> events;
+    Timestamp ts = 0;
+    std::vector<int> phase(static_cast<size_t>(num_jobs), 0);
+    for (int i = 0; i < num_events; ++i) {
+      ts += rng.UniformInt(1, 3);
+      const int j = static_cast<int>(rng.UniformInt(0, num_jobs - 1));
+      const std::string job = StrFormat("job-%d", j);
+      auto& p = phase[static_cast<size_t>(j)];
+      const int64_t kind = rng.UniformInt(0, 5);
+      if (p == 0 && kind == 0) {
+        events.emplace_back(0, ts, MakeValues(job));
+        p = 1;
+      } else if (p == 1 && kind == 5) {
+        events.emplace_back(2, ts, MakeValues(job));
+        p = 0;
+      } else {
+        events.emplace_back(1, ts, MakeValues(job, rng.Gaussian(5, 2)));
+      }
+    }
+    return events;
+  }
+
+  // One hot key: every event belongs to the same partition.
+  std::vector<Event> HotKeyStream(int num_events) {
+    std::vector<Event> events;
+    Timestamp ts = 0;
+    const std::string job = "the-one-job";
+    int phase = 0;
+    for (int i = 0; i < num_events; ++i) {
+      ++ts;
+      if (phase == 0) {
+        events.emplace_back(0, ts, MakeValues(job));
+        phase = 1;
+      } else if (phase > 8) {
+        events.emplace_back(2, ts, MakeValues(job));
+        phase = 0;
+      } else {
+        events.emplace_back(1, ts, MakeValues(job, static_cast<double>(i)));
+        ++phase;
+      }
+    }
+    return events;
+  }
+
+  // All-unique keys: every Start/Tick/End triple is a brand-new partition.
+  std::vector<Event> UniqueKeyStream(int num_triples) {
+    std::vector<Event> events;
+    Timestamp ts = 0;
+    for (int i = 0; i < num_triples; ++i) {
+      const std::string job = StrFormat("uniq-%d", i);
+      events.emplace_back(0, ++ts, MakeValues(job));
+      events.emplace_back(1, ++ts, MakeValues(job, static_cast<double>(i)));
+      events.emplace_back(2, ++ts, MakeValues(job));
+    }
+    return events;
+  }
+
+  // Runs `num_queries` replicas per-event and returns tables + notes.
+  void RunSequential(const std::vector<Event>& stream, int num_queries,
+                     std::vector<TableCopy>* tables, std::vector<NoteCopy>* notes) {
+    CepEngine engine(&registry_);
+    std::vector<QueryId> ids;
+    for (int q = 0; q < num_queries; ++q) {
+      auto qid = engine.AddQueryText(kQuery, StrFormat("Q%d", q));
+      ASSERT_TRUE(qid.ok());
+      ids.push_back(*qid);
+    }
+    engine.SetMatchCallback(
+        [notes](const MatchNotification& n) { notes->push_back(NoteCopy::From(n)); });
+    for (const Event& e : stream) engine.OnEvent(e);
+    for (const QueryId id : ids) tables->push_back(TableCopy::From(engine.match_table(id)));
+  }
+
+  // Runs the same replicas through OnEventBatch with the given sharding.
+  void RunBatched(const std::vector<Event>& stream, int num_queries,
+                  size_t ingest_threads, size_t batch_size,
+                  std::vector<TableCopy>* tables, std::vector<NoteCopy>* notes) {
+    CepEngineOptions options;
+    options.ingest_threads = ingest_threads;
+    CepEngine engine(&registry_, options);
+    std::vector<QueryId> ids;
+    for (int q = 0; q < num_queries; ++q) {
+      auto qid = engine.AddQueryText(kQuery, StrFormat("Q%d", q));
+      ASSERT_TRUE(qid.ok());
+      ids.push_back(*qid);
+    }
+    engine.SetMatchCallback(
+        [notes](const MatchNotification& n) { notes->push_back(NoteCopy::From(n)); });
+    for (size_t i = 0; i < stream.size(); i += batch_size) {
+      const size_t end = std::min(stream.size(), i + batch_size);
+      engine.OnEventBatch(EventBatch(stream.begin() + static_cast<ptrdiff_t>(i),
+                                     stream.begin() + static_cast<ptrdiff_t>(end)));
+    }
+    EXPECT_EQ(engine.events_processed(), stream.size());
+    for (const QueryId id : ids) tables->push_back(TableCopy::From(engine.match_table(id)));
+  }
+
+  void CheckDifferential(const std::vector<Event>& stream, int num_queries,
+                         const std::string& stream_label) {
+    std::vector<TableCopy> ref_tables;
+    std::vector<NoteCopy> ref_notes;
+    RunSequential(stream, num_queries, &ref_tables, &ref_notes);
+    ASSERT_FALSE(ref_notes.empty()) << stream_label << ": stream produced no matches";
+
+    for (const size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+      for (const size_t batch : {size_t{1}, size_t{7}, size_t{512}}) {
+        const std::string label =
+            StrFormat("%s threads=%zu batch=%zu", stream_label.c_str(), threads, batch);
+        std::vector<TableCopy> tables;
+        std::vector<NoteCopy> notes;
+        RunBatched(stream, num_queries, threads, batch, &tables, &notes);
+        ASSERT_EQ(tables.size(), ref_tables.size()) << label;
+        for (size_t q = 0; q < tables.size(); ++q) {
+          ExpectTablesEqual(ref_tables[q], tables[q], label);
+        }
+        ASSERT_EQ(notes.size(), ref_notes.size()) << label;
+        for (size_t i = 0; i < notes.size(); ++i) {
+          ASSERT_TRUE(notes[i] == ref_notes[i]) << label << " note #" << i;
+        }
+      }
+    }
+  }
+
+  EventTypeRegistry registry_;
+};
+
+TEST_F(IngestDifferentialTest, MixedStreamBitIdentical) {
+  CheckDifferential(MixedStream(7, 20, 6000), 5, "mixed");
+}
+
+TEST_F(IngestDifferentialTest, HotKeyBitIdentical) {
+  CheckDifferential(HotKeyStream(4000), 5, "hot-key");
+}
+
+TEST_F(IngestDifferentialTest, UniqueKeysBitIdentical) {
+  CheckDifferential(UniqueKeyStream(1500), 5, "unique-keys");
+}
+
+TEST_F(IngestDifferentialTest, SingleQueryMoreShardsThanQueries) {
+  // ingest_threads > num_queries: shards beyond the query count must idle
+  // harmlessly and the result stays identical.
+  CheckDifferential(MixedStream(11, 8, 2000), 1, "single-query");
+}
+
+TEST_F(IngestDifferentialTest, UnpartitionedQueryBatched) {
+  // A query with no WHERE [key] clause routes through the empty-key path.
+  constexpr char kUnpartitioned[] =
+      "PATTERN SEQ(Start a, Tick+ b[], End c) "
+      "RETURN (b[i].timestamp, a.job, sum(b[1..i].size))";
+  const auto stream = HotKeyStream(1200);
+
+  auto run = [&](size_t threads, size_t batch_size, bool batched) {
+    CepEngineOptions options;
+    options.ingest_threads = threads;
+    CepEngine engine(&registry_, options);
+    auto qid = engine.AddQueryText(kUnpartitioned, "U");
+    EXPECT_TRUE(qid.ok());
+    if (batched) {
+      for (size_t i = 0; i < stream.size(); i += batch_size) {
+        const size_t end = std::min(stream.size(), i + batch_size);
+        engine.OnEventBatch(EventBatch(stream.begin() + static_cast<ptrdiff_t>(i),
+                                       stream.begin() + static_cast<ptrdiff_t>(end)));
+      }
+    } else {
+      for (const Event& e : stream) engine.OnEvent(e);
+    }
+    return TableCopy::From(engine.match_table(*qid));
+  };
+
+  const TableCopy ref = run(1, 0, false);
+  for (const size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    ExpectTablesEqual(ref, run(threads, 64, true),
+                      StrFormat("unpartitioned threads=%zu", threads));
+  }
+}
+
+}  // namespace
+}  // namespace exstream
