@@ -58,7 +58,7 @@ EfficiencyResult RunUseCase(const WorkloadDef& def) {
       run->archive->ScanAll(TimeInterval{0, (Timestamp{1} << 62)}), "scan");
   std::vector<Event> stream;
   for (auto& per_type : events) {
-    stream.insert(stream.end(), per_type.begin(), per_type.end());
+    stream.insert(stream.end(), per_type.events.begin(), per_type.events.end());
   }
   std::stable_sort(stream.begin(), stream.end(),
                    [](const Event& a, const Event& b) { return a.ts < b.ts; });

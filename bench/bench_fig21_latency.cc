@@ -19,6 +19,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstring>
 #include <future>
 #include <thread>
 
@@ -37,8 +38,11 @@ using namespace exstream::bench;
 
 namespace {
 
-constexpr size_t kNumQueries = 2000;
 constexpr double kDelayThresholdSeconds = 0.01;
+
+// Set from the command line; --smoke shrinks the monitoring-thread fleet so
+// CI can run the bench in seconds as a correctness smoke test.
+size_t g_num_queries = 2000;
 
 struct LatencyResult {
   double serial_explain_seconds = 0.0;    ///< standalone, num_threads = 1
@@ -79,7 +83,7 @@ LatencyResult RunUseCase(const WorkloadDef& def) {
   std::vector<std::unique_ptr<CepEngine>> threads;
   const std::string q1_text =
       run->engine->compiled(run->monitor_query).query().ToString();
-  for (size_t i = 0; i < kNumQueries; ++i) {
+  for (size_t i = 0; i < g_num_queries; ++i) {
     auto engine = std::make_unique<CepEngine>(run->registry.get());
     CheckOk(engine->AddQueryText(q1_text, StrFormat("Q1_%zu", i)).status(),
             "add query");
@@ -90,7 +94,7 @@ LatencyResult RunUseCase(const WorkloadDef& def) {
       run->archive->ScanAll(TimeInterval{0, (Timestamp{1} << 62)}), "scan");
   std::vector<Event> stream;
   for (auto& per_type : scanned) {
-    stream.insert(stream.end(), per_type.begin(), per_type.end());
+    stream.insert(stream.end(), per_type.events.begin(), per_type.events.end());
   }
   std::stable_sort(stream.begin(), stream.end(),
                    [](const Event& a, const Event& b) { return a.ts < b.ts; });
@@ -104,7 +108,7 @@ LatencyResult RunUseCase(const WorkloadDef& def) {
   });
 
   Stopwatch wall;
-  std::vector<double> max_latency(kNumQueries, 0.0);
+  std::vector<double> max_latency(g_num_queries, 0.0);
   double first_delay = -1.0;
   double last_delay = -1.0;
   for (const Event& e : stream) {
@@ -154,12 +158,33 @@ double TimeRewards(const FeatureBuilder& builder, const std::vector<FeatureSpec>
 
 }  // namespace
 
-int main() {
-  const std::vector<WorkloadDef> defs = HadoopWorkloads();
+int main(int argc, char** argv) {
+  bool smoke = false;
+  int reps = 5;
+  std::string out_path = "BENCH_explain.json";
+  for (int i = 1; i < argc; ++i) {
+    if (strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      reps = static_cast<int>(strtoull(argv[++i], nullptr, 10));
+    } else {
+      fprintf(stderr, "usage: bench_fig21_latency [--smoke] [--out PATH] [--reps N]\n");
+      return 2;
+    }
+  }
+  if (smoke) {
+    g_num_queries = 200;
+    reps = std::min(reps, 2);
+  }
+
+  std::vector<WorkloadDef> defs = HadoopWorkloads();
+  if (smoke) defs.resize(1);  // one workload is enough to smoke the pipeline
   const size_t cores = std::max(1u, std::thread::hardware_concurrency());
   printf("Figure 21 reproduction: explanation vs affected duration vs delay\n");
   printf("(%zu concurrent queries; delay threshold %.2f s; %zu cores)\n\n",
-         kNumQueries, kDelayThresholdSeconds, cores);
+         g_num_queries, kDelayThresholdSeconds, cores);
   printf("%-34s %12s %14s %14s %13s %9s\n", "use case", "serial (s)",
          "parallel (s)", "affected (s)", "avg delay (s)", "affected");
 
@@ -185,9 +210,9 @@ int main() {
       GenerateFeatureSpecs(*run->registry, run->FeatureSpace());
   ThreadPool pool(0);
   const double serial_rewards = TimeRewards(builder, specs, run->annotation,
-                                            nullptr, 5);
+                                            nullptr, reps);
   const double parallel_rewards = TimeRewards(builder, specs, run->annotation,
-                                              &pool, 5);
+                                              &pool, reps);
   printf("\nComputeFeatureRewards (%zu specs): serial %.4f s, parallel %.4f s "
          "(%.2fx on %zu threads)\n",
          specs.size(), serial_rewards, parallel_rewards,
@@ -198,10 +223,12 @@ int main() {
   json.BeginObject();
   json.Key("bench");
   json.String("fig21_latency");
+  json.Key("smoke");
+  json.Bool(smoke);
   json.Key("hardware_concurrency");
   json.UInt(cores);
   json.Key("num_queries");
-  json.UInt(kNumQueries);
+  json.UInt(g_num_queries);
   json.Key("delay_threshold_s");
   json.Double(kDelayThresholdSeconds);
   json.Key("feature_rewards");
@@ -239,13 +266,14 @@ int main() {
     json.UInt(r.affected_threads);
     json.Key("affected_fraction");
     json.Double(static_cast<double>(r.affected_threads) /
-                static_cast<double>(kNumQueries));
+                static_cast<double>(g_num_queries));
     json.EndObject();
   }
   json.EndArray();
+  json.MemoryObject(SampleMemoryStats());
   json.EndObject();
-  if (json.WriteFile("BENCH_explain.json")) {
-    fprintf(stderr, "[bench] wrote BENCH_explain.json\n");
+  if (json.WriteFile(out_path)) {
+    fprintf(stderr, "[bench] wrote %s\n", out_path.c_str());
   }
 
   printf("\nExplanations return in seconds and delay only a small set of\n"

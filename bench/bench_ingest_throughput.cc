@@ -250,6 +250,7 @@ int main(int argc, char** argv) {
     json.EndObject();
   }
   json.EndArray();
+  json.MemoryObject(bench::SampleMemoryStats());
   json.EndObject();
   if (!json.WriteFile(out_path)) return 1;
   fprintf(stderr, "[bench] wrote %s\n", out_path.c_str());

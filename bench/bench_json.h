@@ -4,13 +4,56 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+
 #include "common/strings.h"
 
 namespace exstream::bench {
+
+/// \brief Process memory counters sampled from the OS (and, where available,
+/// the allocator), so BENCH_*.json artifacts record memory alongside latency.
+struct MemoryStats {
+  size_t peak_rss_bytes = 0;      ///< VmHWM: high-water resident set
+  size_t current_rss_bytes = 0;   ///< VmRSS at sample time
+  size_t heap_in_use_bytes = 0;   ///< allocator-reported live heap (0 if n/a)
+  bool available = false;         ///< false when /proc isn't readable
+};
+
+/// \brief Samples the current process's memory counters. Peak RSS comes from
+/// /proc/self/status (Linux); heap-in-use from mallinfo2 on glibc. On other
+/// platforms the struct comes back with available=false and callers should
+/// still emit it (zeros are honest: "not measured here").
+inline MemoryStats SampleMemoryStats() {
+  MemoryStats stats;
+  FILE* f = fopen("/proc/self/status", "rb");
+  if (f != nullptr) {
+    char line[256];
+    while (fgets(line, sizeof(line), f) != nullptr) {
+      size_t kb = 0;
+      if (sscanf(line, "VmHWM: %zu kB", &kb) == 1) {
+        stats.peak_rss_bytes = kb * 1024;
+        stats.available = true;
+      } else if (sscanf(line, "VmRSS: %zu kB", &kb) == 1) {
+        stats.current_rss_bytes = kb * 1024;
+        stats.available = true;
+      }
+    }
+    fclose(f);
+  }
+#if defined(__GLIBC__) && __GLIBC__ >= 2 && __GLIBC_MINOR__ >= 33
+  const struct mallinfo2 mi = mallinfo2();
+  stats.heap_in_use_bytes = static_cast<size_t>(mi.uordblks);
+#endif
+  return stats;
+}
 
 /// \brief Append-only JSON writer: the caller provides structure through
 /// Begin/End calls; commas and string escaping are handled here.
@@ -58,6 +101,22 @@ class JsonWriter {
   }
 
   const std::string& str() const { return out_; }
+
+  /// Emits a "memory" object from a MemoryStats sample at the current
+  /// position (the caller is inside an object and has not written the key).
+  void MemoryObject(const MemoryStats& stats) {
+    Key("memory");
+    BeginObject();
+    Key("available");
+    Bool(stats.available);
+    Key("peak_rss_bytes");
+    UInt(stats.peak_rss_bytes);
+    Key("current_rss_bytes");
+    UInt(stats.current_rss_bytes);
+    Key("heap_in_use_bytes");
+    UInt(stats.heap_in_use_bytes);
+    EndObject();
+  }
 
   /// Writes the document to `path`; returns false (with a stderr note) on
   /// I/O failure so benches can keep printing their tables regardless.

@@ -187,6 +187,7 @@ void WriteRewardComparisonJson() {
   json.Key("speedup");
   json.Double(serial / std::max(parallel, 1e-12));
   json.EndObject();
+  json.MemoryObject(exstream::bench::SampleMemoryStats());
   json.EndObject();
   if (json.WriteFile("BENCH_explain_micro.json")) {
     fprintf(stderr, "[bench] wrote BENCH_explain_micro.json\n");
@@ -228,6 +229,7 @@ void WriteFaultOverheadJson() {
   json.Key("overhead_pct");
   json.Double((v2 / std::max(v1, 1e-12) - 1.0) * 100.0);
   json.EndObject();
+  json.MemoryObject(exstream::bench::SampleMemoryStats());
   json.EndObject();
   if (json.WriteFile("BENCH_fault_overhead.json")) {
     fprintf(stderr, "[bench] wrote BENCH_fault_overhead.json\n");

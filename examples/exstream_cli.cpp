@@ -139,7 +139,7 @@ Result<std::array<std::string, 3>> WriteDemoFiles() {
       auto grouped, run.archive->ScanAll(TimeInterval{0, Timestamp{1} << 62}));
   std::vector<Event> events;
   for (auto& per_type : grouped) {
-    events.insert(events.end(), per_type.begin(), per_type.end());
+    events.insert(events.end(), per_type.events.begin(), per_type.events.end());
   }
   VectorEventSource source(std::move(events));
   source.SortByTime();

@@ -16,8 +16,9 @@ constexpr uint32_t kNoEvent = static_cast<uint32_t>(-1);
 EventArchive::EventArchive(const EventTypeRegistry* registry, ArchiveOptions options)
     : registry_(registry), options_(std::move(options)), shards_(registry_->size()) {
   for (size_t t = 0; t < shards_.size(); ++t) {
-    shards_[t].chunks.push_back(
-        std::make_shared<Chunk>(static_cast<EventTypeId>(t), options_.chunk_capacity));
+    const EventTypeId type = static_cast<EventTypeId>(t);
+    shards_[t].chunks.push_back(std::make_shared<Chunk>(
+        type, options_.chunk_capacity, &registry_->schema(type)));
   }
 }
 
@@ -57,7 +58,7 @@ void EventArchive::OnEventBatch(EventBatch batch) {
     Shard& shard = shards_[t];
     std::lock_guard<std::mutex> lock(shard.mu);
     for (uint32_t i = first[t]; i != kNoEvent; i = next[i]) {
-      const Status st = AppendLocked(&shard, std::move(batch[i]));
+      const Status st = AppendLocked(&shard, batch[i]);
       if (!st.ok()) {
         append_errors_.fetch_add(1, std::memory_order_relaxed);
         EXSTREAM_LOG(Warn) << "archive append failed: " << st.ToString();
@@ -73,18 +74,19 @@ Status EventArchive::Append(Event event) {
   }
   Shard& shard = shards_[event.type];
   std::lock_guard<std::mutex> lock(shard.mu);
-  return AppendLocked(&shard, std::move(event));
+  return AppendLocked(&shard, event);
 }
 
-Status EventArchive::AppendLocked(Shard* shard, Event event) {
+Status EventArchive::AppendLocked(Shard* shard, const Event& event) {
   auto& list = shard->chunks;
   if (list.back()->full()) {
     list.back()->Seal();
     ++shard->resident_sealed;
-    list.push_back(std::make_shared<Chunk>(event.type, options_.chunk_capacity));
+    list.push_back(std::make_shared<Chunk>(event.type, options_.chunk_capacity,
+                                           &registry_->schema(event.type)));
     EXSTREAM_RETURN_NOT_OK(MaybeSpillLocked(shard, event.type));
   }
-  return list.back()->Append(std::move(event));
+  return list.back()->Append(event);
 }
 
 Status EventArchive::MaybeSpillLocked(Shard* shard, EventTypeId type) {
@@ -120,22 +122,23 @@ Status EventArchive::MaybeSpillLocked(Shard* shard, EventTypeId type) {
   return Status::OK();
 }
 
-Result<std::vector<Event>> EventArchive::Scan(EventTypeId type,
-                                              const TimeInterval& interval,
-                                              DegradationReport* degradation) const {
+Result<ScanView> EventArchive::ScanColumns(EventTypeId type,
+                                           const TimeInterval& interval,
+                                           DegradationReport* degradation) const {
   if (type >= shards_.size()) {
     return Status::InvalidArgument(StrFormat("event type %u not registered", type));
   }
   const Shard& shard = shards_[type];
 
   // Phase 1 (under the shard lock): snapshot handles of overlapping chunks.
-  // Sealed resident chunks are pinned by shared_ptr; spilled chunks are
-  // carried as chunk handles (read — and possibly quarantined — outside the
-  // lock); the open tail chunk is the one place events still mutate, so its
-  // in-range run is copied here (bounded by chunk_capacity). Chunks already
-  // quarantined are skipped up front and accounted as lost coverage.
+  // Sealed resident chunks are pinned by shared_ptr (their columns are
+  // immutable, so the binary search for the in-range rows can wait until the
+  // lock is released); spilled chunks are carried as chunk handles (read —
+  // and possibly quarantined — outside the lock); the open tail chunk is the
+  // one place events still mutate, so its in-range rows are column-copied
+  // here (bounded by chunk_capacity). Chunks already quarantined are skipped
+  // up front and accounted as lost coverage.
   std::vector<ChunkSnapshot> snapshots;
-  size_t reserve_hint = 0;
   DegradationReport local;
   {
     std::lock_guard<std::mutex> lock(shard.mu);
@@ -155,33 +158,37 @@ Result<std::vector<Event>> EventArchive::Scan(EventTypeId type,
       }
       ChunkSnapshot snap;
       if (!chunk->sealed()) {
-        AppendEventsInRange(chunk->resident_events(), interval, &snap.open_tail);
-        reserve_hint += snap.open_tail.size();
-      } else if (auto resident = chunk->resident_handle()) {
+        const ChunkColumns& cols = chunk->columns();
+        const auto [lo, hi] = cols.RowRange(interval);
+        if (hi > lo) {
+          snap.open_tail = std::make_shared<const ChunkColumns>(cols.Slice(lo, hi));
+        }
+      } else if (auto resident = chunk->resident_columns()) {
         snap.resident = std::move(resident);
-        reserve_hint += chunk->size();
       } else {
         snap.spilled = chunk;
-        reserve_hint += chunk->size();
       }
-      snapshots.push_back(std::move(snap));
+      if (snap.resident || snap.spilled || snap.open_tail) {
+        snapshots.push_back(std::move(snap));
+      }
     }
   }
 
-  // Phase 2 (lock-free): load and range-filter each snapshot. Spill-file
-  // reads — disk I/O — happen here, where they cannot stall appends. An
+  // Phase 2 (lock-free): resolve each snapshot to a column segment. Spill-
+  // file reads — disk I/O — happen here, where they cannot stall appends. An
   // unreadable spill degrades the scan instead of failing it.
-  std::vector<Event> out;
-  out.reserve(reserve_hint);
+  ScanView view;
+  view.segments.reserve(snapshots.size());
   for (ChunkSnapshot& snap : snapshots) {
     if (snap.spilled != nullptr) {
       if (options_.spill_read_hook_for_testing) options_.spill_read_hook_for_testing();
-      ReadSpillOrQuarantine(snap.spilled, interval, &out, &local);
+      ReadSpillOrQuarantine(snap.spilled, interval, &view, &local);
     } else if (snap.resident != nullptr) {
-      AppendEventsInRange(*snap.resident, interval, &out);
+      const auto [lo, hi] = snap.resident->RowRange(interval);
+      if (hi > lo) view.segments.push_back({std::move(snap.resident), lo, hi});
     } else {
-      out.insert(out.end(), std::make_move_iterator(snap.open_tail.begin()),
-                 std::make_move_iterator(snap.open_tail.end()));
+      const size_t rows = snap.open_tail->rows();
+      view.segments.push_back({std::move(snap.open_tail), 0, rows});
     }
   }
   if (local.degraded()) {
@@ -190,27 +197,40 @@ Result<std::vector<Event>> EventArchive::Scan(EventTypeId type,
                        << local.ToString();
   }
   if (degradation != nullptr) degradation->Merge(local);
+  return view;
+}
+
+Result<std::vector<Event>> EventArchive::Scan(EventTypeId type,
+                                              const TimeInterval& interval,
+                                              DegradationReport* degradation) const {
+  EXSTREAM_ASSIGN_OR_RETURN(const ScanView view,
+                            ScanColumns(type, interval, degradation));
+  std::vector<Event> out;
+  out.reserve(view.rows());
+  view.MaterializeEvents(&out);
   return out;
 }
 
 void EventArchive::ReadSpillOrQuarantine(const std::shared_ptr<Chunk>& chunk,
                                          const TimeInterval& interval,
-                                         std::vector<Event>* out,
+                                         ScanView* view,
                                          DegradationReport* degradation) const {
-  Result<std::vector<Event>> events = std::vector<Event>{};
+  Result<ChunkColumns> columns = ChunkColumns{};
   size_t retries = 0;
   // IOError is transient (flaky device, momentary open failure) and worth the
   // backoff; Corruption/Truncated is a property of the bytes and permanent.
   const Status read = RetryWithBackoff(
       options_.spill_retry,
       [&] {
-        events = ReadEventsFile(chunk->spill_path());
-        return events.ok() ? Status::OK() : events.status();
+        columns = ReadColumnsFile(chunk->spill_path());
+        return columns.ok() ? Status::OK() : columns.status();
       },
       [](const Status& s) { return s.IsIOError(); }, &retries);
   spill_read_retries_.fetch_add(retries, std::memory_order_relaxed);
   if (read.ok()) {
-    AppendEventsInRange(*events, interval, out);
+    auto loaded = std::make_shared<const ChunkColumns>(std::move(*columns));
+    const auto [lo, hi] = loaded->RowRange(interval);
+    if (hi > lo) view->segments.push_back({std::move(loaded), lo, hi});
     return;
   }
   if (chunk->MarkQuarantined()) {
@@ -228,14 +248,17 @@ void EventArchive::ReadSpillOrQuarantine(const std::shared_ptr<Chunk>& chunk,
   ++degradation->coverage[chunk->type()].chunks_skipped;
 }
 
-Result<std::vector<std::vector<Event>>> EventArchive::ScanAll(
+Result<std::vector<EventArchive::TypeScan>> EventArchive::ScanAll(
     const TimeInterval& interval, DegradationReport* degradation) const {
-  std::vector<std::vector<Event>> out;
-  out.reserve(shards_.size());
+  std::vector<TypeScan> out;
   for (size_t t = 0; t < shards_.size(); ++t) {
     EXSTREAM_ASSIGN_OR_RETURN(std::vector<Event> events,
                               Scan(static_cast<EventTypeId>(t), interval, degradation));
-    out.push_back(std::move(events));
+    if (events.empty()) continue;  // no in-range events: no placeholder entry
+    TypeScan ts;
+    ts.type = static_cast<EventTypeId>(t);
+    ts.events = std::move(events);
+    out.push_back(std::move(ts));
   }
   return out;
 }

@@ -33,9 +33,9 @@ struct ArchiveOptions {
   std::optional<std::string> spill_dir;
   /// Resident sealed-chunk budget per event type before spilling (FIFO).
   size_t max_resident_chunks = 64;
-  /// On-disk format for new spill files (v2 = checksummed; v1 files written
-  /// by older builds stay readable either way).
-  SpillFormat spill_format = SpillFormat::kV2;
+  /// On-disk format for new spill files (v3 = columnar with per-column
+  /// CRC32s; v1/v2 files written by older builds stay readable either way).
+  SpillFormat spill_format = SpillFormat::kV3;
   /// Backoff schedule for transient spill I/O errors (reads and writes).
   /// Corruption/truncation is permanent and never retried.
   RetryPolicy spill_retry;
@@ -69,23 +69,41 @@ class EventArchive : public EventSink {
   /// the event by value: rvalue callers move, lvalue callers copy as before.
   Status Append(Event event);
 
-  /// \brief All events of `type` with ts in [interval.lower, interval.upper],
-  /// in time order.
+  /// \brief Zero-copy columnar scan: every chunk of `type` overlapping
+  /// [interval.lower, interval.upper], as pinned column segments in time
+  /// order (the interval is resolved by binary search on each chunk's ts
+  /// column). Sealed resident chunks are shared without copying; spilled
+  /// chunks deserialize straight into view-owned columns; only the mutable
+  /// open tail is copied. This is the explanation hot path's entry point.
   ///
   /// Degrades rather than fails on unreadable spill files: transient I/O
   /// errors are retried per `ArchiveOptions::spill_retry`; a chunk that still
   /// cannot be read is quarantined (file renamed to `<path>.quarantine`,
-  /// chunk excluded from future scans) and the scan returns the events of
-  /// every healthy chunk. When `degradation` is non-null it receives exactly
-  /// what was skipped; pass nullptr to ignore (skips are still logged).
+  /// chunk excluded from future scans) and the view carries every healthy
+  /// chunk. When `degradation` is non-null it receives exactly what was
+  /// skipped; pass nullptr to ignore (skips are still logged).
+  Result<ScanView> ScanColumns(EventTypeId type, const TimeInterval& interval,
+                               DegradationReport* degradation = nullptr) const;
+
+  /// \brief All events of `type` with ts in the interval, in time order, as
+  /// materialized rows. Compatibility shim over ScanColumns: each event is
+  /// rebuilt from the column segments (same degradation contract).
   Result<std::vector<Event>> Scan(EventTypeId type, const TimeInterval& interval,
                                   DegradationReport* degradation) const;
   Result<std::vector<Event>> Scan(EventTypeId type, const TimeInterval& interval) const {
     return Scan(type, interval, nullptr);
   }
 
-  /// \brief Scan across every event type; results grouped by type id.
-  Result<std::vector<std::vector<Event>>> ScanAll(
+  /// One event type's rows from a ScanAll.
+  struct TypeScan {
+    EventTypeId type = kInvalidEventType;
+    std::vector<Event> events;
+  };
+
+  /// \brief Scan across every event type, in type-id order. Types with zero
+  /// in-range events are skipped entirely (no empty placeholder entries);
+  /// each returned entry carries its type id.
+  Result<std::vector<TypeScan>> ScanAll(
       const TimeInterval& interval, DegradationReport* degradation = nullptr) const;
 
   /// Total archived events of a type.
@@ -137,17 +155,18 @@ class EventArchive : public EventSink {
   /// A scan's view of one overlapping chunk, captured under the shard lock.
   /// Exactly one of resident / spilled / open_tail is populated.
   struct ChunkSnapshot {
-    std::shared_ptr<const std::vector<Event>> resident;  ///< sealed, in memory
+    std::shared_ptr<const ChunkColumns> resident;  ///< sealed, in memory (pinned)
     std::shared_ptr<Chunk> spilled;  ///< sealed, on disk (read outside the lock)
-    std::vector<Event> open_tail;    ///< open chunk: in-range events, copied
+    std::shared_ptr<const ChunkColumns> open_tail;  ///< open chunk: in-range rows, copied
   };
 
-  Status AppendLocked(Shard* shard, Event event);
+  Status AppendLocked(Shard* shard, const Event& event);
   Status MaybeSpillLocked(Shard* shard, EventTypeId type);
-  /// Reads one spilled chunk with retries; on terminal failure quarantines it
-  /// and records the loss in `degradation`.
+  /// Reads one spilled chunk's columns with retries; on terminal failure
+  /// quarantines it and records the loss in `degradation`. Appends the
+  /// in-range segment to `view` on success.
   void ReadSpillOrQuarantine(const std::shared_ptr<Chunk>& chunk,
-                             const TimeInterval& interval, std::vector<Event>* out,
+                             const TimeInterval& interval, ScanView* view,
                              DegradationReport* degradation) const;
 
   const EventTypeRegistry* registry_;  // not owned

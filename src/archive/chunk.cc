@@ -1,6 +1,5 @@
 #include "archive/chunk.h"
 
-#include <algorithm>
 #include <cstdio>
 
 #include "archive/serialization.h"
@@ -8,7 +7,7 @@
 
 namespace exstream {
 
-Status Chunk::Append(Event event) {
+Status Chunk::Append(const Event& event) {
   if (sealed_) return Status::Internal("append to sealed chunk");
   if (event.type != type_) {
     return Status::InvalidArgument("event type does not match chunk type");
@@ -20,7 +19,7 @@ Status Chunk::Append(Event event) {
   }
   if (count_ == 0) min_ts_ = event.ts;
   max_ts_ = event.ts;
-  events_->push_back(std::move(event));
+  columns_->AppendEvent(event);
   ++count_;
   return Status::OK();
 }
@@ -28,17 +27,21 @@ Status Chunk::Append(Event event) {
 Status Chunk::SpillTo(const std::string& path, SpillFormat format) {
   if (!sealed_) return Status::Internal("spill of unsealed chunk");
   if (spilled_) return Status::OK();
-  EXSTREAM_RETURN_NOT_OK(WriteEventsFile(path, *events_, format));
+  EXSTREAM_RETURN_NOT_OK(WriteColumnsFile(path, *columns_, format));
   spill_path_ = path;
   spilled_ = true;
-  // Swap in a fresh empty vector instead of clearing: snapshots taken before
+  // Swap in fresh empty columns instead of clearing: snapshots taken before
   // the spill keep their handle to the old (immutable) data.
-  events_ = std::make_shared<std::vector<Event>>();
+  columns_ = std::make_shared<ChunkColumns>(type_, nullptr);
   return Status::OK();
 }
 
 Result<std::vector<Event>> Chunk::Load() const {
-  if (!spilled_) return *events_;
+  std::vector<Event> out;
+  if (!spilled_) {
+    columns_->MaterializeRows(0, columns_->rows(), &out);
+    return out;
+  }
   if (quarantined()) {
     return Status::Corruption("chunk quarantined: " + spill_path_ + ".quarantine");
   }
@@ -57,17 +60,6 @@ bool Chunk::MarkQuarantined() {
     (void)rename(spill_path_.c_str(), (spill_path_ + ".quarantine").c_str());
   }
   return true;
-}
-
-void AppendEventsInRange(const std::vector<Event>& events,
-                         const TimeInterval& interval, std::vector<Event>* out) {
-  const auto lo = std::lower_bound(
-      events.begin(), events.end(), interval.lower,
-      [](const Event& e, Timestamp t) { return e.ts < t; });
-  const auto hi = std::upper_bound(
-      lo, events.end(), interval.upper,
-      [](Timestamp t, const Event& e) { return t < e.ts; });
-  out->insert(out->end(), lo, hi);
 }
 
 }  // namespace exstream

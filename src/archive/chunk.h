@@ -9,31 +9,35 @@
 #include <string>
 #include <vector>
 
+#include "archive/columns.h"
 #include "archive/serialization.h"
 #include "common/result.h"
 #include "event/event.h"
 
 namespace exstream {
 
-/// \brief A contiguous, time-ordered run of events of one type.
+/// \brief A contiguous, time-ordered run of events of one type, stored as
+/// columns (one sorted ts column + typed per-attribute columns).
 ///
 /// A chunk is open while events accumulate, sealed once it reaches the
 /// configured capacity, and may then be spilled to a binary file. Spilled
 /// chunks keep their time range in memory (the index entry) and reload their
-/// events on demand.
+/// columns on demand.
 ///
-/// Events live behind a shared_ptr so that scan snapshots can pin a sealed
+/// Columns live behind a shared_ptr so that scan views can pin a sealed
 /// chunk's data without copying it: spilling swaps the pointer out rather
-/// than mutating the vector, and any snapshot holding the old handle keeps
+/// than mutating the columns, and any view holding the old handle keeps
 /// reading consistent data. All other mutation (Append/Seal/SpillTo) must be
 /// externally synchronized with snapshot-taking (the archive's shard locks).
 class Chunk {
  public:
-  Chunk(EventTypeId type, size_t capacity)
+  /// `schema` (optional, not owned, must outlive the chunk) pre-declares one
+  /// column per attribute so appends never need to widen the column set.
+  Chunk(EventTypeId type, size_t capacity, const EventSchema* schema = nullptr)
       : type_(type),
         capacity_(capacity),
-        events_(std::make_shared<std::vector<Event>>()) {
-    events_->reserve(capacity);
+        columns_(std::make_shared<ChunkColumns>(type, schema)) {
+    columns_->Reserve(capacity);
   }
 
   EventTypeId type() const { return type_; }
@@ -51,19 +55,22 @@ class Chunk {
     return count_ > 0 && min_ts_ <= interval.upper && max_ts_ >= interval.lower;
   }
 
-  /// \brief Appends an event (same type, non-decreasing ts). Fails when
-  /// sealed. Takes the event by value so batched ingest can move instead of
-  /// copying the values vector; lvalue callers copy exactly as before.
-  Status Append(Event event);
+  /// \brief Appends an event (same type, non-decreasing ts) to the columns.
+  /// Fails when sealed.
+  Status Append(const Event& event);
 
-  /// Marks the chunk immutable.
-  void Seal() { sealed_ = true; }
+  /// Marks the chunk immutable and shrinks its column storage.
+  void Seal() {
+    sealed_ = true;
+    columns_->SealStorage();
+  }
 
-  /// Writes events to `path` and drops the in-memory copy. Requires sealed.
-  Status SpillTo(const std::string& path, SpillFormat format = SpillFormat::kV2);
+  /// Writes the columns to `path` and drops the in-memory copy. Requires
+  /// sealed.
+  Status SpillTo(const std::string& path, SpillFormat format = SpillFormat::kV3);
 
-  /// Events of the chunk; reloads from the spill file if necessary. Fails
-  /// with Status::Corruption if the chunk has been quarantined.
+  /// Events of the chunk as rows; reloads from the spill file if necessary.
+  /// Fails with Status::Corruption if the chunk has been quarantined.
   Result<std::vector<Event>> Load() const;
 
   /// \brief Marks the chunk's spill file unreadable and retires it: the file
@@ -75,23 +82,24 @@ class Chunk {
   /// rename happens once.
   bool MarkQuarantined();
 
-  /// Shared handle to the resident events; null once spilled. For sealed
+  /// Shared handle to the resident columns; null once spilled. For sealed
   /// chunks the pointee is immutable, so the handle stays valid (and
   /// race-free) even after a later SpillTo drops the chunk's own reference.
-  std::shared_ptr<const std::vector<Event>> resident_handle() const {
-    return spilled_ ? nullptr : std::shared_ptr<const std::vector<Event>>(events_);
+  std::shared_ptr<const ChunkColumns> resident_columns() const {
+    return spilled_ ? nullptr : std::shared_ptr<const ChunkColumns>(columns_);
   }
+
+  /// In-memory columns (empty once spilled). Only meaningful under the same
+  /// external synchronization as Append (the open-tail snapshot path).
+  const ChunkColumns& columns() const { return *columns_; }
 
   /// Spill-file path; empty until spilled.
   const std::string& spill_path() const { return spill_path_; }
 
-  /// In-memory events (empty if spilled). Use Load() for uniform access.
-  const std::vector<Event>& resident_events() const { return *events_; }
-
  private:
   EventTypeId type_;
   size_t capacity_;
-  std::shared_ptr<std::vector<Event>> events_;
+  std::shared_ptr<ChunkColumns> columns_;
   size_t count_ = 0;
   Timestamp min_ts_ = 0;
   Timestamp max_ts_ = 0;
@@ -100,11 +108,5 @@ class Chunk {
   std::atomic<bool> quarantined_{false};
   std::string spill_path_;
 };
-
-/// \brief Appends the events of time-ordered `events` whose ts lies in
-/// [interval.lower, interval.upper] to `out`, locating the run by binary
-/// search rather than testing every event.
-void AppendEventsInRange(const std::vector<Event>& events,
-                         const TimeInterval& interval, std::vector<Event>* out);
 
 }  // namespace exstream

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <limits>
 #include <optional>
 #include <thread>
 
@@ -19,6 +21,7 @@ namespace {
 
 constexpr uint32_t kMagicV1 = 0x45585331;  // "EXS1"
 constexpr uint32_t kMagicV2 = 0x45585332;  // "EXS2"
+constexpr uint32_t kMagicV3 = 0x45585333;  // "EXS3"
 
 // Smallest possible event record: i64 ts + u32 type + u16 value count.
 constexpr size_t kMinEventBytes = sizeof(int64_t) + sizeof(uint32_t) + sizeof(uint16_t);
@@ -30,6 +33,12 @@ void PutPod(std::string* out, T v) {
   char buf[sizeof(T)];
   std::memcpy(buf, &v, sizeof(T));
   out->append(buf, sizeof(T));
+}
+
+template <typename T>
+void PutPodVector(std::string* out, const std::vector<T>& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out->append(reinterpret_cast<const char*>(v.data()), v.size() * sizeof(T));
 }
 
 class Reader {
@@ -60,6 +69,27 @@ class Reader {
     return s;
   }
 
+  Result<std::string_view> GetView(size_t n) {
+    if (pos_ + n > data_.size()) {
+      return Status::Truncated(
+          StrFormat("block at offset %zu needs %zu bytes, %zu left", pos_, n,
+                    data_.size() - pos_));
+    }
+    std::string_view v = data_.substr(pos_, n);
+    pos_ += n;
+    return v;
+  }
+
+  /// Bulk-reads `n` trivially copyable elements into `out`.
+  template <typename T>
+  Status GetPodVector(size_t n, std::vector<T>* out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    EXSTREAM_ASSIGN_OR_RETURN(const std::string_view bytes, GetView(n * sizeof(T)));
+    out->resize(n);
+    std::memcpy(out->data(), bytes.data(), bytes.size());
+    return Status::OK();
+  }
+
   size_t pos() const { return pos_; }
   size_t remaining() const { return data_.size() - pos_; }
   bool AtEnd() const { return pos_ == data_.size(); }
@@ -69,7 +99,7 @@ class Reader {
   size_t pos_ = 0;
 };
 
-// Parses the per-event payload shared by both formats. `r` is positioned at
+// Parses the per-event row payload shared by v1 and v2. `r` is positioned at
 // the first event record.
 Result<std::vector<Event>> ParseEventPayload(Reader* r, uint32_t count) {
   // A corrupt count must not drive a multi-GB reserve: every event occupies
@@ -123,18 +153,7 @@ Result<std::vector<Event>> ParseEventPayload(Reader* r, uint32_t count) {
   return events;
 }
 
-// Prefixes a (non-OK) status message with the file path, keeping the code.
-Status AnnotateWithPath(const Status& st, const std::string& path) {
-  return Status(st.code(), path + ": " + st.message());
-}
-
-void ApplyInjectedDelay(const FaultPlan& plan) {
-  std::this_thread::sleep_for(std::chrono::milliseconds(plan.delay_ms));
-}
-
-}  // namespace
-
-std::string SerializeEvents(const std::vector<Event>& events, SpillFormat format) {
+std::string SerializeRowPayload(const std::vector<Event>& events, SpillFormat format) {
   std::string out;
   PutPod<uint32_t>(&out, format == SpillFormat::kV2 ? kMagicV2 : kMagicV1);
   PutPod<uint32_t>(&out, static_cast<uint32_t>(events.size()));
@@ -173,31 +192,238 @@ std::string SerializeEvents(const std::vector<Event>& events, SpillFormat format
   return out;
 }
 
-Result<std::vector<Event>> DeserializeEvents(std::string_view data) {
-  Reader r(data);
-  EXSTREAM_ASSIGN_OR_RETURN(const uint32_t magic, r.Get<uint32_t>());
-  if (magic != kMagicV1 && magic != kMagicV2) {
-    return Status::Corruption(
-        StrFormat("bad event buffer magic 0x%08x at offset 0", magic));
-  }
-  EXSTREAM_ASSIGN_OR_RETURN(const uint32_t count, r.Get<uint32_t>());
-  if (magic == kMagicV2) {
-    EXSTREAM_ASSIGN_OR_RETURN(const uint32_t stored_crc, r.Get<uint32_t>());
-    const uint32_t computed =
-        Crc32(data.data() + r.pos(), data.size() - r.pos());
-    if (computed != stored_crc) {
-      return Status::Corruption(
-          StrFormat("payload checksum mismatch: stored 0x%08x, computed 0x%08x "
-                    "over %zu bytes at offset %zu",
-                    stored_crc, computed, data.size() - r.pos(), r.pos()));
-    }
-  }
-  return ParseEventPayload(&r, count);
+// Appends one length-prefixed, CRC-protected block: u32 len, u32 crc, bytes.
+void PutBlock(std::string* out, const std::string& payload) {
+  PutPod<uint32_t>(out, static_cast<uint32_t>(payload.size()));
+  PutPod<uint32_t>(out, Crc32(payload.data(), payload.size()));
+  out->append(payload);
 }
 
-Status WriteEventsFile(const std::string& path, const std::vector<Event>& events,
-                       SpillFormat format) {
-  std::string data = SerializeEvents(events, format);
+// Reads one block, verifying its CRC. `what` names the block in errors.
+Result<std::string_view> GetBlock(Reader* r, const char* what) {
+  EXSTREAM_ASSIGN_OR_RETURN(const uint32_t len, r->Get<uint32_t>());
+  if (len > r->remaining()) {
+    return Status::Truncated(
+        StrFormat("%s block at offset %zu declares %u bytes, %zu left", what,
+                  r->pos(), len, r->remaining() >= 4 ? r->remaining() - 4 : 0));
+  }
+  EXSTREAM_ASSIGN_OR_RETURN(const uint32_t stored_crc, r->Get<uint32_t>());
+  EXSTREAM_ASSIGN_OR_RETURN(const std::string_view payload, r->GetView(len));
+  const uint32_t computed = Crc32(payload.data(), payload.size());
+  if (computed != stored_crc) {
+    return Status::Corruption(
+        StrFormat("%s column checksum mismatch: stored 0x%08x, computed 0x%08x "
+                  "over %u bytes",
+                  what, stored_crc, computed, len));
+  }
+  return payload;
+}
+
+std::string SerializeColumnarPayload(const ChunkColumns& columns) {
+  std::string out;
+  PutPod<uint32_t>(&out, kMagicV3);
+  PutPod<uint32_t>(&out, static_cast<uint32_t>(columns.rows()));
+  PutPod<uint32_t>(&out, columns.type());
+  PutPod<uint16_t>(&out, static_cast<uint16_t>(columns.num_columns()));
+
+  std::string block;
+  PutPodVector(&block, columns.ts());
+  PutBlock(&out, block);
+
+  for (const AttributeColumn& col : columns.attrs()) {
+    block.clear();
+    PutU8(&block, static_cast<uint8_t>(col.declared));
+    PutPodVector(&block, col.tags);
+    PutPod<uint32_t>(&block, static_cast<uint32_t>(col.ints.size()));
+    PutPodVector(&block, col.ints);
+    // Dense doubles: the double-tagged rows' numeric view, in row order.
+    std::vector<double> dbls;
+    for (size_t i = 0; i < col.tags.size(); ++i) {
+      if (col.tags[i] == static_cast<uint8_t>(ValueType::kDouble)) {
+        dbls.push_back(col.nums[i]);
+      }
+    }
+    PutPod<uint32_t>(&block, static_cast<uint32_t>(dbls.size()));
+    PutPodVector(&block, dbls);
+    PutPod<uint32_t>(&block, static_cast<uint32_t>(col.str_ids.size()));
+    PutPodVector(&block, col.str_ids);
+    PutPod<uint32_t>(&block, static_cast<uint32_t>(col.dict.size()));
+    for (const std::string& s : col.dict) {
+      PutPod<uint32_t>(&block, static_cast<uint32_t>(s.size()));
+      block.append(s);
+    }
+    PutBlock(&out, block);
+  }
+  return out;
+}
+
+Result<AttributeColumn> ParseColumnBlock(std::string_view payload, size_t rows,
+                                         size_t col_index) {
+  Reader r(payload);
+  AttributeColumn col;
+  EXSTREAM_ASSIGN_OR_RETURN(const uint8_t declared, r.Get<uint8_t>());
+  if (declared > static_cast<uint8_t>(ValueType::kString)) {
+    return Status::Corruption(
+        StrFormat("column %zu: bad declared type %u", col_index, declared));
+  }
+  col.declared = static_cast<ValueType>(declared);
+  EXSTREAM_RETURN_NOT_OK(r.GetPodVector(rows, &col.tags));
+
+  EXSTREAM_ASSIGN_OR_RETURN(const uint32_t n_ints, r.Get<uint32_t>());
+  if (n_ints > rows) {
+    return Status::Corruption(
+        StrFormat("column %zu: %u int rows exceed row count %zu", col_index,
+                  n_ints, rows));
+  }
+  EXSTREAM_RETURN_NOT_OK(r.GetPodVector(n_ints, &col.ints));
+
+  EXSTREAM_ASSIGN_OR_RETURN(const uint32_t n_dbls, r.Get<uint32_t>());
+  if (n_dbls > rows) {
+    return Status::Corruption(
+        StrFormat("column %zu: %u double rows exceed row count %zu", col_index,
+                  n_dbls, rows));
+  }
+  std::vector<double> dbls;
+  EXSTREAM_RETURN_NOT_OK(r.GetPodVector(n_dbls, &dbls));
+
+  EXSTREAM_ASSIGN_OR_RETURN(const uint32_t n_strs, r.Get<uint32_t>());
+  if (n_strs > rows) {
+    return Status::Corruption(
+        StrFormat("column %zu: %u string rows exceed row count %zu", col_index,
+                  n_strs, rows));
+  }
+  EXSTREAM_RETURN_NOT_OK(r.GetPodVector(n_strs, &col.str_ids));
+
+  EXSTREAM_ASSIGN_OR_RETURN(const uint32_t dict_n, r.Get<uint32_t>());
+  // Every dictionary entry costs at least its u32 length prefix.
+  if (static_cast<uint64_t>(dict_n) * sizeof(uint32_t) > r.remaining()) {
+    return Status::Corruption(
+        StrFormat("column %zu: dictionary count %u cannot fit in %zu bytes",
+                  col_index, dict_n, r.remaining()));
+  }
+  col.dict.reserve(dict_n);
+  for (uint32_t d = 0; d < dict_n; ++d) {
+    EXSTREAM_ASSIGN_OR_RETURN(const uint32_t len, r.Get<uint32_t>());
+    EXSTREAM_ASSIGN_OR_RETURN(std::string s, r.GetBytes(len));
+    col.dict.push_back(std::move(s));
+  }
+  if (!r.AtEnd()) {
+    return Status::Corruption(StrFormat("column %zu: %zu trailing bytes",
+                                        col_index, r.remaining()));
+  }
+
+  // Rebuild the per-row numeric view and cross-check the tag census against
+  // the dense vectors — a mismatch means the blocks disagree.
+  col.nums.reserve(rows);
+  size_t int_cursor = 0;
+  size_t dbl_cursor = 0;
+  size_t str_cursor = 0;
+  for (size_t i = 0; i < rows; ++i) {
+    switch (col.tags[i]) {
+      case static_cast<uint8_t>(ValueType::kInt64):
+        if (int_cursor >= col.ints.size()) {
+          return Status::Corruption(
+              StrFormat("column %zu: tag census exceeds %zu stored ints",
+                        col_index, col.ints.size()));
+        }
+        col.nums.push_back(static_cast<double>(col.ints[int_cursor++]));
+        break;
+      case static_cast<uint8_t>(ValueType::kDouble):
+        if (dbl_cursor >= dbls.size()) {
+          return Status::Corruption(
+              StrFormat("column %zu: tag census exceeds %zu stored doubles",
+                        col_index, dbls.size()));
+        }
+        col.nums.push_back(dbls[dbl_cursor++]);
+        break;
+      case static_cast<uint8_t>(ValueType::kString):
+        if (str_cursor >= col.str_ids.size()) {
+          return Status::Corruption(
+              StrFormat("column %zu: tag census exceeds %zu stored strings",
+                        col_index, col.str_ids.size()));
+        }
+        if (col.str_ids[str_cursor] >= col.dict.size()) {
+          return Status::Corruption(
+              StrFormat("column %zu: string id %u outside dictionary of %zu",
+                        col_index, col.str_ids[str_cursor], col.dict.size()));
+        }
+        ++str_cursor;
+        col.nums.push_back(std::numeric_limits<double>::quiet_NaN());
+        break;
+      case kMissingValueTag:
+        col.nums.push_back(std::numeric_limits<double>::quiet_NaN());
+        break;
+      default:
+        return Status::Corruption(StrFormat("column %zu: bad value tag %u at row %zu",
+                                            col_index, col.tags[i], i));
+    }
+  }
+  if (int_cursor != col.ints.size() || dbl_cursor != dbls.size() ||
+      str_cursor != col.str_ids.size()) {
+    return Status::Corruption(
+        StrFormat("column %zu: dense vectors longer than their tag census",
+                  col_index));
+  }
+  return col;
+}
+
+Result<ChunkColumns> ParseColumnarBuffer(std::string_view data) {
+  Reader r(data);
+  EXSTREAM_ASSIGN_OR_RETURN(const uint32_t magic, r.Get<uint32_t>());
+  if (magic != kMagicV3) {
+    return Status::Corruption(
+        StrFormat("bad columnar buffer magic 0x%08x at offset 0", magic));
+  }
+  EXSTREAM_ASSIGN_OR_RETURN(const uint32_t rows, r.Get<uint32_t>());
+  EXSTREAM_ASSIGN_OR_RETURN(const uint32_t type, r.Get<uint32_t>());
+  EXSTREAM_ASSIGN_OR_RETURN(const uint16_t ncols, r.Get<uint16_t>());
+  // The ts column alone needs rows * 8 bytes; reject an impossible row count
+  // before any allocation.
+  if (static_cast<uint64_t>(rows) * sizeof(int64_t) > r.remaining()) {
+    return Status::Corruption(
+        StrFormat("row count %u needs at least %llu bytes but %zu remain", rows,
+                  static_cast<unsigned long long>(rows) * sizeof(int64_t),
+                  r.remaining()));
+  }
+
+  ChunkColumns columns;
+  columns.set_type(type);
+  EXSTREAM_ASSIGN_OR_RETURN(const std::string_view ts_block, GetBlock(&r, "ts"));
+  if (ts_block.size() != static_cast<size_t>(rows) * sizeof(int64_t)) {
+    return Status::Corruption(
+        StrFormat("ts column holds %zu bytes, %u rows need %zu", ts_block.size(),
+                  rows, static_cast<size_t>(rows) * sizeof(int64_t)));
+  }
+  columns.mutable_ts()->resize(rows);
+  std::memcpy(columns.mutable_ts()->data(), ts_block.data(), ts_block.size());
+
+  columns.mutable_attrs()->reserve(ncols);
+  for (uint16_t c = 0; c < ncols; ++c) {
+    char what[32];
+    snprintf(what, sizeof(what), "attr%u", c);
+    EXSTREAM_ASSIGN_OR_RETURN(const std::string_view block, GetBlock(&r, what));
+    EXSTREAM_ASSIGN_OR_RETURN(AttributeColumn col, ParseColumnBlock(block, rows, c));
+    columns.mutable_attrs()->push_back(std::move(col));
+  }
+  if (!r.AtEnd()) {
+    return Status::Corruption(StrFormat("%zu trailing bytes after %u columns",
+                                        r.remaining(), ncols));
+  }
+  return columns;
+}
+
+// Prefixes a (non-OK) status message with the file path, keeping the code.
+Status AnnotateWithPath(const Status& st, const std::string& path) {
+  return Status(st.code(), path + ": " + st.message());
+}
+
+void ApplyInjectedDelay(const FaultPlan& plan) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(plan.delay_ms));
+}
+
+// Writes `data` to `path` atomically (temp file + fsync + rename), honoring
+// injected write faults. Shared by the row and columnar file writers.
+Status WriteBufferFileAtomic(const std::string& path, std::string data) {
   size_t write_bytes = data.size();
 
   if (auto fault = FaultInjector::Global().Intercept(FaultOp::kWrite, path)) {
@@ -250,7 +476,8 @@ Status WriteEventsFile(const std::string& path, const std::vector<Event>& events
   return Status::OK();
 }
 
-Result<std::vector<Event>> ReadEventsFile(const std::string& path) {
+// Reads the raw bytes of `path`, honoring injected read faults.
+Result<std::string> ReadBufferFile(const std::string& path) {
   std::optional<FaultPlan> fault = FaultInjector::Global().Intercept(FaultOp::kRead, path);
   if (fault.has_value()) {
     if (fault->mode == FaultMode::kFailOpen) {
@@ -277,10 +504,88 @@ Result<std::vector<Event>> ReadEventsFile(const std::string& path) {
       data[off] = static_cast<char>(data[off] ^ 0x5A);
     }
   }
+  return data;
+}
 
+}  // namespace
+
+std::string SerializeEvents(const std::vector<Event>& events, SpillFormat format) {
+  if (format == SpillFormat::kV3) {
+    auto columns = ChunkColumns::FromRows(events);
+    if (columns.ok()) return SerializeColumnarPayload(*columns);
+    // Mixed-type rows cannot form a chunk; fall back to the self-describing
+    // v2 row layout (readable by every DeserializeEvents).
+    return SerializeRowPayload(events, SpillFormat::kV2);
+  }
+  return SerializeRowPayload(events, format);
+}
+
+Result<std::vector<Event>> DeserializeEvents(std::string_view data) {
+  Reader r(data);
+  EXSTREAM_ASSIGN_OR_RETURN(const uint32_t magic, r.Get<uint32_t>());
+  if (magic == kMagicV3) {
+    EXSTREAM_ASSIGN_OR_RETURN(const ChunkColumns columns, ParseColumnarBuffer(data));
+    std::vector<Event> events;
+    columns.MaterializeRows(0, columns.rows(), &events);
+    return events;
+  }
+  if (magic != kMagicV1 && magic != kMagicV2) {
+    return Status::Corruption(
+        StrFormat("bad event buffer magic 0x%08x at offset 0", magic));
+  }
+  EXSTREAM_ASSIGN_OR_RETURN(const uint32_t count, r.Get<uint32_t>());
+  if (magic == kMagicV2) {
+    EXSTREAM_ASSIGN_OR_RETURN(const uint32_t stored_crc, r.Get<uint32_t>());
+    const uint32_t computed =
+        Crc32(data.data() + r.pos(), data.size() - r.pos());
+    if (computed != stored_crc) {
+      return Status::Corruption(
+          StrFormat("payload checksum mismatch: stored 0x%08x, computed 0x%08x "
+                    "over %zu bytes at offset %zu",
+                    stored_crc, computed, data.size() - r.pos(), r.pos()));
+    }
+  }
+  return ParseEventPayload(&r, count);
+}
+
+std::string SerializeColumns(const ChunkColumns& columns, SpillFormat format) {
+  if (format == SpillFormat::kV3) return SerializeColumnarPayload(columns);
+  std::vector<Event> rows;
+  columns.MaterializeRows(0, columns.rows(), &rows);
+  return SerializeRowPayload(rows, format);
+}
+
+Result<ChunkColumns> DeserializeColumns(std::string_view data) {
+  Reader r(data);
+  EXSTREAM_ASSIGN_OR_RETURN(const uint32_t magic, r.Get<uint32_t>());
+  if (magic == kMagicV3) return ParseColumnarBuffer(data);
+  // v1/v2: parse the row layout, then fold into columns.
+  EXSTREAM_ASSIGN_OR_RETURN(const std::vector<Event> events, DeserializeEvents(data));
+  return ChunkColumns::FromRows(events);
+}
+
+Status WriteEventsFile(const std::string& path, const std::vector<Event>& events,
+                       SpillFormat format) {
+  return WriteBufferFileAtomic(path, SerializeEvents(events, format));
+}
+
+Result<std::vector<Event>> ReadEventsFile(const std::string& path) {
+  EXSTREAM_ASSIGN_OR_RETURN(const std::string data, ReadBufferFile(path));
   auto events = DeserializeEvents(data);
   if (!events.ok()) return AnnotateWithPath(events.status(), path);
   return events;
+}
+
+Status WriteColumnsFile(const std::string& path, const ChunkColumns& columns,
+                        SpillFormat format) {
+  return WriteBufferFileAtomic(path, SerializeColumns(columns, format));
+}
+
+Result<ChunkColumns> ReadColumnsFile(const std::string& path) {
+  EXSTREAM_ASSIGN_OR_RETURN(const std::string data, ReadBufferFile(path));
+  auto columns = DeserializeColumns(data);
+  if (!columns.ok()) return AnnotateWithPath(columns.status(), path);
+  return columns;
 }
 
 }  // namespace exstream

@@ -1,10 +1,11 @@
-// Binary (de)serialization of event vectors for archive spill files.
+// Binary (de)serialization of archive chunks for spill files.
 
 #pragma once
 
 #include <string>
 #include <vector>
 
+#include "archive/columns.h"
 #include "common/result.h"
 #include "event/event.h"
 
@@ -12,36 +13,61 @@ namespace exstream {
 
 /// \brief On-disk spill-file format version.
 ///
-/// v1 ("EXS1"): u32 magic, u32 count, payload — no integrity check.
-/// v2 ("EXS2"): u32 magic, u32 count, u32 CRC32(payload), payload. The
-/// checksum makes silent bit rot and torn writes detectable before a corrupt
-/// chunk poisons downstream features; v1 files remain readable forever.
-enum class SpillFormat : uint32_t { kV1 = 1, kV2 = 2 };
+/// v1 ("EXS1"): u32 magic, u32 count, row payload — no integrity check.
+/// v2 ("EXS2"): u32 magic, u32 count, u32 CRC32(payload), row payload.
+/// v3 ("EXS3"): columnar — u32 magic, u32 row count, u32 event type, u16
+/// column count, then the ts column and one block per attribute column, each
+/// length-prefixed and carrying its own CRC32. Columnar files deserialize
+/// straight into ChunkColumns (no intermediate row pass), and a flipped bit
+/// is pinned to the column it corrupted. v1/v2 files remain readable forever.
+enum class SpillFormat : uint32_t { kV1 = 1, kV2 = 2, kV3 = 3 };
 
-/// \brief Serializes events into a compact binary buffer.
+/// \brief Serializes events into a compact binary buffer (v1/v2 row layout;
+/// a kV3 request serializes the rows through their columnar form).
 ///
-/// Payload layout (both formats): per event: i64 ts, u32 type, u16 value
-/// count, per value: u8 tag + payload (i64 / f64 / u32-length prefixed
-/// bytes).
+/// Row payload layout: per event: i64 ts, u32 type, u16 value count, per
+/// value: u8 tag + payload (i64 / f64 / u32-length prefixed bytes).
 std::string SerializeEvents(const std::vector<Event>& events,
-                            SpillFormat format = SpillFormat::kV2);
+                            SpillFormat format = SpillFormat::kV3);
 
-/// \brief Parses a buffer produced by SerializeEvents (either format).
+/// \brief Parses a buffer produced by SerializeEvents / SerializeColumns
+/// (any format version).
 ///
 /// Error codes are diagnostic: Truncated when the buffer ends before its
 /// declared contents, Corruption for bad magic / checksum mismatch / an
 /// impossible header count / bad value tags. Messages carry the byte offset
-/// of the failure. The header count is validated against the buffer size
-/// before any allocation, so a corrupt count cannot trigger a huge reserve.
+/// of the failure (and, for v3, the failing column). Header counts are
+/// validated against the buffer size before any allocation, so a corrupt
+/// count cannot trigger a huge reserve.
 Result<std::vector<Event>> DeserializeEvents(std::string_view data);
+
+/// \brief Serializes a chunk's columns. kV3 writes the columnar layout
+/// directly; kV1/kV2 materialize rows first (the compatibility path).
+std::string SerializeColumns(const ChunkColumns& columns,
+                             SpillFormat format = SpillFormat::kV3);
+
+/// \brief Parses any format version into columns. v3 deserializes column
+/// vectors directly; v1/v2 buffers are parsed as rows and folded into
+/// columns (all events must then share one type).
+Result<ChunkColumns> DeserializeColumns(std::string_view data);
 
 /// \brief Writes the serialized form of `events` to `path` atomically: temp
 /// file + fsync + rename. Honors the global FaultInjector (tests only).
 Status WriteEventsFile(const std::string& path, const std::vector<Event>& events,
-                       SpillFormat format = SpillFormat::kV2);
+                       SpillFormat format = SpillFormat::kV3);
 
-/// \brief Reads an events file written by WriteEventsFile. Errors are
-/// annotated with the file path; see DeserializeEvents for the code taxonomy.
+/// \brief Reads an events file written by WriteEventsFile / WriteColumnsFile.
+/// Errors are annotated with the file path; see DeserializeEvents for the
+/// code taxonomy.
 Result<std::vector<Event>> ReadEventsFile(const std::string& path);
+
+/// \brief Writes a chunk's columns to `path` atomically (same crash-safety
+/// contract and fault-injection hooks as WriteEventsFile).
+Status WriteColumnsFile(const std::string& path, const ChunkColumns& columns,
+                        SpillFormat format = SpillFormat::kV3);
+
+/// \brief Reads any spill file (v1/v2/v3) into columns. The archive scan
+/// path: disk bytes land directly in column vectors for v3 files.
+Result<ChunkColumns> ReadColumnsFile(const std::string& path);
 
 }  // namespace exstream

@@ -7,17 +7,23 @@
 
 namespace exstream {
 
-double Mean(const std::vector<double>& xs) {
-  if (xs.empty()) return 0.0;
-  return std::accumulate(xs.begin(), xs.end(), 0.0) / static_cast<double>(xs.size());
+double Mean(const double* xs, size_t n) {
+  if (n == 0) return 0.0;
+  return std::accumulate(xs, xs + n, 0.0) / static_cast<double>(n);
+}
+
+double Mean(const std::vector<double>& xs) { return Mean(xs.data(), xs.size()); }
+
+double StdDev(const double* xs, size_t n) {
+  if (n < 2) return 0.0;
+  const double m = Mean(xs, n);
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) acc += (xs[i] - m) * (xs[i] - m);
+  return std::sqrt(acc / static_cast<double>(n));
 }
 
 double StdDev(const std::vector<double>& xs) {
-  if (xs.size() < 2) return 0.0;
-  const double m = Mean(xs);
-  double acc = 0.0;
-  for (double x : xs) acc += (x - m) * (x - m);
-  return std::sqrt(acc / static_cast<double>(xs.size()));
+  return StdDev(xs.data(), xs.size());
 }
 
 double Min(const std::vector<double>& xs) {

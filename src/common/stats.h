@@ -10,8 +10,16 @@ namespace exstream {
 /// \brief Arithmetic mean; 0 for empty input.
 double Mean(const std::vector<double>& xs);
 
+/// \brief Mean over a contiguous range; same accumulation order as the
+/// vector overload, so results are bit-identical.
+double Mean(const double* xs, size_t n);
+
 /// \brief Population standard deviation; 0 for fewer than 2 points.
 double StdDev(const std::vector<double>& xs);
+
+/// \brief StdDev over a contiguous range; bit-identical to the vector
+/// overload (lets hot loops aggregate a window without copying it out).
+double StdDev(const double* xs, size_t n);
 
 /// \brief Minimum; +inf for empty input.
 double Min(const std::vector<double>& xs);

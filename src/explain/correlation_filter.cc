@@ -9,14 +9,13 @@ namespace exstream {
 
 namespace {
 
-// Concatenated, per-interval-resampled value vector of a feature.
+// Concatenated, per-interval-resampled value vector of a feature. Resampled
+// values land straight in the output — no intermediate TimeSeries copies.
 std::vector<double> AlignedValues(const RankedFeature& f, size_t points) {
   std::vector<double> out;
-  const TimeSeries a = f.abnormal_series.Resample(points);
-  const TimeSeries r = f.reference_series.Resample(points);
-  out.reserve(a.size() + r.size());
-  out.insert(out.end(), a.values().begin(), a.values().end());
-  out.insert(out.end(), r.values().begin(), r.values().end());
+  out.reserve(2 * points);
+  f.abnormal_series.ResampleValuesInto(points, &out);
+  f.reference_series.ResampleValuesInto(points, &out);
   out.resize(2 * points, 0.0);  // uniform length even for empty series
   return out;
 }

@@ -26,7 +26,7 @@ ExplanationEngine::ExplanationEngine(const EventArchive* archive,
       series_provider_(std::move(series_provider)),
       options_(std::move(options)),
       specs_(GenerateFeatureSpecs(archive->registry(), options_.feature_space)),
-      builder_(archive),
+      builder_(archive, options_.use_legacy_row_scan),
       pool_(options_.num_threads == 1
                 ? nullptr
                 : std::make_unique<ThreadPool>(options_.num_threads)) {}

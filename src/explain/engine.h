@@ -65,6 +65,10 @@ struct ExplainOptions {
   /// Status::DeadlineExceeded whose message names the stage reached, and the
   /// worker pool is left idle and reusable.
   double deadline_ms = 0.0;
+  /// Feature materialization reads row-materializing archive Scans instead of
+  /// the columnar ScanView path. Output is bit-identical either way; the flag
+  /// exists as the A/B baseline for determinism tests and benchmarks.
+  bool use_legacy_row_scan = false;
 };
 
 /// \brief Step-2 detail for one feature (paper Fig. 12).

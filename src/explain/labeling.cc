@@ -49,12 +49,10 @@ Result<std::vector<LabeledInterval>> LabelIntervals(
   for (const auto& c : candidates) series.push_back(&c.series);
 
   const size_t n = series.size();
-  std::vector<std::vector<double>> dist(n, std::vector<double>(n, 0.0));
+  DistanceMatrix dist(n);  // one flat allocation, not n+1 row vectors
   for (size_t i = 0; i < n; ++i) {
     for (size_t j = i + 1; j < n; ++j) {
-      const double d = IntervalDistance(*series[i], *series[j], options);
-      dist[i][j] = d;
-      dist[j][i] = d;
+      dist.Set(i, j, IntervalDistance(*series[i], *series[j], options));
     }
   }
   EXSTREAM_ASSIGN_OR_RETURN(const ClusteringResult clusters,
@@ -79,8 +77,8 @@ Result<std::vector<LabeledInterval>> LabelIntervals(
       // whose cluster is far from the anomaly cluster are reference, but
       // ambiguous ones are discarded. Use the distance to the two annotated
       // intervals to decide, requiring a clear margin.
-      const double d_abn = dist[c + 2][0];
-      const double d_ref = dist[c + 2][1];
+      const double d_abn = dist.at(c + 2, 0);
+      const double d_ref = dist.at(c + 2, 1);
       if (d_ref < d_abn * 0.8) {
         li.label = IntervalLabel::kReference;
       } else if (d_abn < d_ref * 0.8) {

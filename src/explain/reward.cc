@@ -1,24 +1,26 @@
 #include "explain/reward.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/strings.h"
 
 namespace exstream {
 
-std::vector<RankedFeature> RankFeatures(const std::vector<Feature>& abnormal,
-                                        const std::vector<Feature>& reference,
+std::vector<RankedFeature> RankFeatures(std::vector<Feature> abnormal,
+                                        std::vector<Feature> reference,
                                         size_t min_support, ThreadPool* pool,
                                         const CancelToken* cancel) {
   const size_t n = std::min(abnormal.size(), reference.size());
   std::vector<RankedFeature> out(n);
   // Each feature's entropy distance is independent; slot-indexed writes keep
-  // the pre-sort order (and thus the stable sort below) deterministic.
+  // the pre-sort order (and thus the stable sort below) deterministic. The
+  // inputs are owned, so the series move instead of copying.
   ParallelFor(pool, n, [&](size_t i) {
     RankedFeature& rf = out[i];
     rf.spec = abnormal[i].spec;
-    rf.abnormal_series = abnormal[i].series;
-    rf.reference_series = reference[i].series;
+    rf.abnormal_series = std::move(abnormal[i].series);
+    rf.reference_series = std::move(reference[i].series);
     if (rf.abnormal_series.size() >= min_support &&
         rf.reference_series.size() >= min_support) {
       rf.entropy = ComputeEntropyDistance(rf.abnormal_series, rf.reference_series);
@@ -44,7 +46,8 @@ Result<std::vector<RankedFeature>> ComputeFeatureRewards(
                             builder.Build(specs, abnormal, pool, cancel, degradation));
   EXSTREAM_ASSIGN_OR_RETURN(std::vector<Feature> fr,
                             builder.Build(specs, reference, pool, cancel, degradation));
-  std::vector<RankedFeature> ranked = RankFeatures(fa, fr, min_support, pool, cancel);
+  std::vector<RankedFeature> ranked =
+      RankFeatures(std::move(fa), std::move(fr), min_support, pool, cancel);
   if (cancel != nullptr && cancel->Expired()) {
     return Status::DeadlineExceeded(
         StrFormat("reward ranking cancelled (%zu features materialized)",

@@ -44,11 +44,14 @@ Result<std::vector<RankedFeature>> ComputeFeatureRewards(
     size_t min_support = 5, ThreadPool* pool = nullptr,
     const CancelToken* cancel = nullptr, DegradationReport* degradation = nullptr);
 
-/// \brief Reward computation on pre-built, aligned feature vectors. With an
-/// expired `cancel` token the result is truncated mid-ranking; callers that
-/// pass a token must check it afterwards.
-std::vector<RankedFeature> RankFeatures(const std::vector<Feature>& abnormal,
-                                        const std::vector<Feature>& reference,
+/// \brief Reward computation on pre-built, aligned feature vectors. Takes the
+/// features by value and moves their series into the ranked output (pass
+/// std::move when the inputs are no longer needed — the hot path does; a
+/// plain lvalue call still copies). With an expired `cancel` token the result
+/// is truncated mid-ranking; callers that pass a token must check it
+/// afterwards.
+std::vector<RankedFeature> RankFeatures(std::vector<Feature> abnormal,
+                                        std::vector<Feature> reference,
                                         size_t min_support = 5,
                                         ThreadPool* pool = nullptr,
                                         const CancelToken* cancel = nullptr);

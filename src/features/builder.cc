@@ -1,17 +1,10 @@
 #include "features/builder.h"
 
-#include <unordered_map>
-
 #include "common/strings.h"
 
 namespace exstream {
 
 namespace {
-
-// Cache key for one (type, attribute) raw series.
-inline uint64_t RawKey(EventTypeId type, size_t attr_index) {
-  return (static_cast<uint64_t>(type) << 32) | static_cast<uint32_t>(attr_index);
-}
 
 // Builds the raw (type, attribute) series from a scanned event vector.
 TimeSeries RawSeries(const std::vector<Event>& events, size_t attr_index) {
@@ -26,6 +19,29 @@ TimeSeries RawSeries(const std::vector<Event>& events, size_t attr_index) {
   return out;
 }
 
+// Builds the raw (type, attribute) series straight off column spans: a walk
+// over the pinned ts array and the attribute's contiguous numeric view, no
+// Event materialization. Matches RawSeries bit for bit: a missing tag is the
+// rows-with-fewer-values case RawSeries skips, and `nums` holds the same
+// AsDouble conversion (NaN for strings, which Append drops either way).
+TimeSeries RawSeriesFromView(const ScanView& view, size_t attr_index) {
+  TimeSeries out;
+  out.Reserve(view.rows());
+  for (const ScanView::Segment& seg : view.segments) {
+    const ChunkColumns& cols = *seg.columns;
+    if (attr_index >= cols.num_columns()) continue;
+    const AttributeColumn& col = cols.attr(attr_index);
+    // Segments arrive in time order with sorted ts columns, so the whole
+    // range bulk-appends; missing tags and NaN (string) values are skipped
+    // inside, matching Append's per-sample drops bit for bit.
+    out.AppendColumnRange(cols.ts().data() + seg.begin,
+                          col.nums.data() + seg.begin,
+                          col.tags.data() + seg.begin, kMissingValueTag,
+                          seg.end - seg.begin);
+  }
+  return out;
+}
+
 // Count (frequency) features are defined over the *query interval*, not the
 // series' own span: a window with no events is a real observation (count 0).
 // This is what lets a fully silent sensor (the supply-chain "missing
@@ -35,6 +51,7 @@ Result<TimeSeries> CountOverInterval(const TimeSeries& raw, Timestamp window,
                                      const TimeInterval& interval) {
   if (window <= 0) return Status::InvalidArgument("window must be positive");
   TimeSeries out;
+  out.Reserve(static_cast<size_t>((interval.upper - interval.lower) / window) + 1);
   const auto& times = raw.times();
   size_t idx = 0;
   for (Timestamp wstart = interval.lower; wstart <= interval.upper; wstart += window) {
@@ -59,23 +76,32 @@ Result<std::vector<Feature>> FeatureBuilder::Build(const std::vector<FeatureSpec
   // I/O, so the scans themselves are worth parallelizing). Each slot gets its
   // own degradation report; the serial merge below keeps accumulation
   // deterministic.
+  // Slot assignment is array-based rather than hashed: spec lists repeat a
+  // handful of types, so a linear probe over the dedup list beats hashing,
+  // and the per-spec slot vectors make the later stages straight lookups.
   std::vector<EventTypeId> scan_types;
-  std::unordered_map<EventTypeId, size_t> scan_index;
-  scan_index.reserve(specs.size());
-  for (const FeatureSpec& s : specs) {
-    if (scan_index.emplace(s.type, scan_types.size()).second) {
-      scan_types.push_back(s.type);
-    }
+  std::vector<size_t> spec_scan(specs.size());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    const EventTypeId type = specs[i].type;
+    size_t slot = 0;
+    while (slot < scan_types.size() && scan_types[slot] != type) ++slot;
+    if (slot == scan_types.size()) scan_types.push_back(type);
+    spec_scan[i] = slot;
   }
-  std::vector<Result<std::vector<Event>>> scans(scan_types.size(),
-                                                std::vector<Event>{});
+  std::vector<Result<ScanView>> views(scan_types.size(), ScanView{});
+  std::vector<Result<std::vector<Event>>> row_scans(
+      use_legacy_row_scan_ ? scan_types.size() : 0, std::vector<Event>{});
   std::vector<DegradationReport> scan_degradation(scan_types.size());
   const size_t scans_done = ParallelFor(
       pool, scan_types.size(),
       [&](size_t i) {
-        scans[i] = archive_->Scan(scan_types[i], interval,
-                                  degradation != nullptr ? &scan_degradation[i]
-                                                         : nullptr);
+        DegradationReport* deg =
+            degradation != nullptr ? &scan_degradation[i] : nullptr;
+        if (use_legacy_row_scan_) {
+          row_scans[i] = archive_->Scan(scan_types[i], interval, deg);
+        } else {
+          views[i] = archive_->ScanColumns(scan_types[i], interval, deg);
+        }
       },
       cancel);
   if (degradation != nullptr) {
@@ -86,23 +112,33 @@ Result<std::vector<Feature>> FeatureBuilder::Build(const std::vector<FeatureSpec
         StrFormat("feature build cancelled during archive scans (%zu/%zu types)",
                   scans_done, scan_types.size()));
   }
-  for (const auto& scan : scans) EXSTREAM_RETURN_NOT_OK(scan.status());
+  if (use_legacy_row_scan_) {
+    for (const auto& scan : row_scans) EXSTREAM_RETURN_NOT_OK(scan.status());
+  } else {
+    for (const auto& view : views) EXSTREAM_RETURN_NOT_OK(view.status());
+  }
 
   // Stage 2: derive each (type, attr) raw series once.
-  std::vector<std::pair<EventTypeId, size_t>> raw_pairs;
-  std::unordered_map<uint64_t, size_t> raw_index;
-  raw_index.reserve(specs.size());
-  for (const FeatureSpec& s : specs) {
-    if (raw_index.emplace(RawKey(s.type, s.attr_index), raw_pairs.size()).second) {
-      raw_pairs.emplace_back(s.type, s.attr_index);
+  std::vector<std::pair<size_t, size_t>> raw_pairs;  // (scan slot, attr)
+  std::vector<size_t> spec_raw(specs.size());
+  std::vector<std::vector<int64_t>> attr_slot(scan_types.size());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    std::vector<int64_t>& slots = attr_slot[spec_scan[i]];
+    const size_t attr = specs[i].attr_index;
+    if (attr >= slots.size()) slots.resize(attr + 1, -1);
+    if (slots[attr] < 0) {
+      slots[attr] = static_cast<int64_t>(raw_pairs.size());
+      raw_pairs.emplace_back(spec_scan[i], attr);
     }
+    spec_raw[i] = static_cast<size_t>(slots[attr]);
   }
   std::vector<TimeSeries> raws(raw_pairs.size());
   const size_t raws_done = ParallelFor(
       pool, raw_pairs.size(),
       [&](size_t i) {
-        const auto& [type, attr] = raw_pairs[i];
-        raws[i] = RawSeries(*scans[scan_index.at(type)], attr);
+        const auto& [s, attr] = raw_pairs[i];
+        raws[i] = use_legacy_row_scan_ ? RawSeries(*row_scans[s], attr)
+                                       : RawSeriesFromView(*views[s], attr);
       },
       cancel);
   if (cancel != nullptr && cancel->Expired()) {
@@ -115,7 +151,7 @@ Result<std::vector<Feature>> FeatureBuilder::Build(const std::vector<FeatureSpec
   std::vector<Result<Feature>> built(specs.size(), Feature{});
   const size_t built_done = ParallelFor(pool, specs.size(), [&](size_t i) {
     const FeatureSpec& s = specs[i];
-    const TimeSeries& raw = raws[raw_index.at(RawKey(s.type, s.attr_index))];
+    const TimeSeries& raw = raws[spec_raw[i]];
     Feature f;
     f.spec = s;
     if (s.agg == AggregateKind::kRaw) {

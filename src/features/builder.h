@@ -18,9 +18,17 @@ namespace exstream {
 /// Events of each (type, attribute) pair are scanned once per interval and
 /// shared across all aggregates/windows derived from that pair, so the
 /// archive read amplification is independent of the feature-space size.
+///
+/// By default scans go through the archive's columnar ScanView path: raw
+/// series are folded straight off pinned ts/value column spans, with no
+/// per-event materialization. `use_legacy_row_scan` switches to the row
+/// `Scan` shim — same output bit for bit, kept as the A/B baseline for
+/// determinism tests and benchmarks.
 class FeatureBuilder {
  public:
-  explicit FeatureBuilder(const EventArchive* archive) : archive_(archive) {}
+  explicit FeatureBuilder(const EventArchive* archive,
+                          bool use_legacy_row_scan = false)
+      : archive_(archive), use_legacy_row_scan_(use_legacy_row_scan) {}
 
   /// \brief Materializes each spec over `interval`.
   ///
@@ -48,6 +56,7 @@ class FeatureBuilder {
 
  private:
   const EventArchive* archive_;  // not owned
+  bool use_legacy_row_scan_ = false;
 };
 
 }  // namespace exstream

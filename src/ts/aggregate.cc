@@ -53,6 +53,8 @@ Result<TimeSeries> ApplyWindowAggregate(const TimeSeries& series, AggregateKind 
   const Timestamp end = series.end_time();
   const auto& times = series.times();
   const auto& values = series.values();
+  const size_t size = times.size();
+  out.Reserve(static_cast<size_t>((end - start) / slide) + 1);
 
   size_t lo_idx = 0;
   for (Timestamp wstart = start; wstart <= end; wstart += slide) {
@@ -62,49 +64,50 @@ Result<TimeSeries> ApplyWindowAggregate(const TimeSeries& series, AggregateKind 
     // via binary search for overlapping windows.
     size_t lo;
     if (slide >= window) {
-      while (lo_idx < times.size() && times[lo_idx] < wstart) ++lo_idx;
+      while (lo_idx < size && times[lo_idx] < wstart) ++lo_idx;
       lo = lo_idx;
     } else {
       lo = static_cast<size_t>(
           std::lower_bound(times.begin(), times.end(), wstart) - times.begin());
     }
+    // The window-end walk is fused with the accumulation: one pass over
+    // times/values per window instead of a boundary pass plus a value pass.
+    // Each fold visits indices in ascending order, so every aggregate is
+    // bit-identical to the separate-pass formulation.
     size_t hi = lo;
-    while (hi < times.size() && times[hi] < wend) ++hi;
-
-    const size_t n = hi - lo;
-    if (n == 0 && kind != AggregateKind::kCount) continue;
-
     double agg = 0.0;
     switch (kind) {
       case AggregateKind::kCount:
-        agg = static_cast<double>(n);
+        while (hi < size && times[hi] < wend) ++hi;
+        agg = static_cast<double>(hi - lo);
         break;
-      case AggregateKind::kMean: {
-        double s = 0.0;
-        for (size_t i = lo; i < hi; ++i) s += values[i];
-        agg = s / static_cast<double>(n);
-        break;
-      }
+      case AggregateKind::kMean:
       case AggregateKind::kSum: {
-        for (size_t i = lo; i < hi; ++i) agg += values[i];
+        double s = 0.0;
+        for (; hi < size && times[hi] < wend; ++hi) s += values[hi];
+        if (hi == lo) continue;  // empty window: no output sample
+        agg = kind == AggregateKind::kMean
+                  ? s / static_cast<double>(hi - lo)
+                  : s;
         break;
       }
-      case AggregateKind::kMin: {
-        agg = values[lo];
-        for (size_t i = lo + 1; i < hi; ++i) agg = std::min(agg, values[i]);
+      case AggregateKind::kMin:
+        for (; hi < size && times[hi] < wend; ++hi) {
+          agg = hi == lo ? values[hi] : std::min(agg, values[hi]);
+        }
+        if (hi == lo) continue;
         break;
-      }
-      case AggregateKind::kMax: {
-        agg = values[lo];
-        for (size_t i = lo + 1; i < hi; ++i) agg = std::max(agg, values[i]);
+      case AggregateKind::kMax:
+        for (; hi < size && times[hi] < wend; ++hi) {
+          agg = hi == lo ? values[hi] : std::max(agg, values[hi]);
+        }
+        if (hi == lo) continue;
         break;
-      }
-      case AggregateKind::kStdDev: {
-        std::vector<double> w(values.begin() + static_cast<long>(lo),
-                              values.begin() + static_cast<long>(hi));
-        agg = StdDev(w);
+      case AggregateKind::kStdDev:
+        while (hi < size && times[hi] < wend) ++hi;
+        if (hi == lo) continue;
+        agg = StdDev(values.data() + lo, hi - lo);
         break;
-      }
       case AggregateKind::kRaw:
         break;  // unreachable
     }

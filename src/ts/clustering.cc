@@ -11,7 +11,7 @@ namespace exstream {
 namespace {
 
 // Distance between two clusters under the given linkage.
-double ClusterDistance(const std::vector<std::vector<double>>& d,
+double ClusterDistance(const DistanceMatrix& d,
                        const std::vector<size_t>& a, const std::vector<size_t>& b,
                        Linkage linkage) {
   double best = linkage == Linkage::kComplete ? 0.0
@@ -19,7 +19,7 @@ double ClusterDistance(const std::vector<std::vector<double>>& d,
   double sum = 0.0;
   for (size_t i : a) {
     for (size_t j : b) {
-      const double dij = d[i][j];
+      const double dij = d.at(i, j);
       switch (linkage) {
         case Linkage::kSingle:
           best = std::min(best, dij);
@@ -50,6 +50,17 @@ Result<ClusteringResult> AgglomerativeCluster(
       return Status::InvalidArgument("distance matrix must be square");
     }
   }
+  DistanceMatrix flat(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) flat.Set(i, j, distance[i][j]);
+  }
+  return AgglomerativeCluster(flat, cut_threshold, linkage);
+}
+
+Result<ClusteringResult> AgglomerativeCluster(const DistanceMatrix& distance,
+                                              double cut_threshold,
+                                              Linkage linkage) {
+  const size_t n = distance.size();
   ClusteringResult out;
   if (n == 0) return out;
 

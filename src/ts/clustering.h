@@ -30,6 +30,27 @@ struct ClusteringResult {
   int num_clusters = 0;
 };
 
+/// \brief Symmetric n x n distance matrix in one flat allocation (row-major),
+/// replacing the nested vector-of-vectors layout on the labeling hot path:
+/// one contiguous block instead of n+1 allocations, and the clustering inner
+/// loops walk it with plain index arithmetic.
+class DistanceMatrix {
+ public:
+  explicit DistanceMatrix(size_t n) : n_(n), cells_(n * n, 0.0) {}
+
+  size_t size() const { return n_; }
+  double at(size_t i, size_t j) const { return cells_[i * n_ + j]; }
+  /// Sets both (i, j) and (j, i); the matrix stays symmetric by construction.
+  void Set(size_t i, size_t j, double d) {
+    cells_[i * n_ + j] = d;
+    cells_[j * n_ + i] = d;
+  }
+
+ private:
+  size_t n_;
+  std::vector<double> cells_;
+};
+
 /// \brief Agglomerative clustering over a full symmetric distance matrix.
 ///
 /// Merging proceeds greedily on the smallest inter-cluster distance and stops
@@ -38,6 +59,12 @@ struct ClusteringResult {
 /// \param distance n x n symmetric matrix with zero diagonal
 /// \param cut_threshold stop merging beyond this linkage distance
 /// \param linkage linkage criterion (default average, as used by labeling)
+Result<ClusteringResult> AgglomerativeCluster(const DistanceMatrix& distance,
+                                              double cut_threshold,
+                                              Linkage linkage = Linkage::kAverage);
+
+/// Nested-vector convenience overload; validates squareness and repacks into
+/// a DistanceMatrix.
 Result<ClusteringResult> AgglomerativeCluster(
     const std::vector<std::vector<double>>& distance, double cut_threshold,
     Linkage linkage = Linkage::kAverage);

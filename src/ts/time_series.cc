@@ -27,6 +27,23 @@ Status TimeSeries::Append(Timestamp t, double v) {
   return Status::OK();
 }
 
+void TimeSeries::AppendColumnRange(const Timestamp* ts, const double* vals,
+                                   const uint8_t* tags, uint8_t skip_tag,
+                                   size_t n) {
+  assert(n == 0 || times_.empty() || ts[0] >= times_.back());
+  size_t valid = 0;
+  while (valid < n && tags[valid] != skip_tag && !std::isnan(vals[valid])) {
+    ++valid;
+  }
+  times_.insert(times_.end(), ts, ts + valid);
+  values_.insert(values_.end(), vals, vals + valid);
+  for (size_t i = valid; i < n; ++i) {
+    if (tags[i] == skip_tag || std::isnan(vals[i])) continue;
+    times_.push_back(ts[i]);
+    values_.push_back(vals[i]);
+  }
+}
+
 double TimeSeries::Frequency() const {
   if (times_.size() < 2) return 0.0;
   const double span = static_cast<double>(times_.back() - times_.front());
@@ -77,6 +94,23 @@ TimeSeries TimeSeries::Resample(size_t n) const {
     out.values_.push_back(InterpolateAt(t));
   }
   return out;
+}
+
+void TimeSeries::ResampleValuesInto(size_t n, std::vector<double>* out) const {
+  // Mirrors Resample exactly (same grid timestamps, same interpolation) minus
+  // the timestamp vector and the TimeSeries temporary.
+  if (empty() || n == 0) return;
+  if (size() == 1 || times_.front() == times_.back()) {
+    out->insert(out->end(), n, values_.front());
+    return;
+  }
+  const double t0 = static_cast<double>(times_.front());
+  const double t1 = static_cast<double>(times_.back());
+  for (size_t i = 0; i < n; ++i) {
+    const double frac = n == 1 ? 0.0 : static_cast<double>(i) / static_cast<double>(n - 1);
+    const Timestamp t = static_cast<Timestamp>(std::llround(t0 + frac * (t1 - t0)));
+    out->push_back(InterpolateAt(t));
+  }
 }
 
 std::vector<double> TimeSeries::ZNormalizedValues() const {

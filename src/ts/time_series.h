@@ -34,6 +34,14 @@ class TimeSeries {
     values_.reserve(n);
   }
 
+  /// \brief Appends `n` samples from parallel arrays in one shot, skipping
+  /// entries whose tag equals `skip_tag` or whose value is NaN (exactly the
+  /// samples Append would drop). Precondition: `ts` is non-decreasing and
+  /// `ts[0] >= end_time()` — the archive's column scans guarantee this, which
+  /// is what lets the all-valid common case reduce to two bulk inserts.
+  void AppendColumnRange(const Timestamp* ts, const double* vals,
+                         const uint8_t* tags, uint8_t skip_tag, size_t n);
+
   size_t size() const { return times_.size(); }
   bool empty() const { return times_.empty(); }
 
@@ -61,6 +69,12 @@ class TimeSeries {
   /// linear interpolation. Returns an empty series if this one is empty;
   /// replicates the single value if this one has one point.
   TimeSeries Resample(size_t n) const;
+
+  /// \brief Appends Resample(n)'s values straight to `out`, skipping the
+  /// intermediate TimeSeries (and its timestamp vector). Same values bit for
+  /// bit; appends nothing if this series is empty or n == 0. This is what the
+  /// correlation filter's alignment uses.
+  void ResampleValuesInto(size_t n, std::vector<double>* out) const;
 
   /// \brief Values z-normalized with the series' own mean/stddev
   /// (stddev 0 => all zeros).

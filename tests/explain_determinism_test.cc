@@ -19,9 +19,11 @@ WorkloadRunOptions FastOptions() {
   return options;
 }
 
-ExplanationReport ExplainWithThreads(const WorkloadRun& run, size_t num_threads) {
+ExplanationReport ExplainWithThreads(const WorkloadRun& run, size_t num_threads,
+                                     bool use_legacy_row_scan = false) {
   ExplainOptions options = run.DefaultExplainOptions();
   options.num_threads = num_threads;
+  options.use_legacy_row_scan = use_legacy_row_scan;
   ExplanationEngine engine = run.MakeExplanationEngine(std::move(options));
   auto report = engine.Explain(run.annotation);
   EXPECT_TRUE(report.ok()) << report.status().ToString();
@@ -88,6 +90,31 @@ TEST(ExplainDeterminismTest, SupplyChainReportIdenticalAcrossThreadCounts) {
     const ExplanationReport parallel = ExplainWithThreads(**run, num_threads);
     ExpectIdenticalReports(serial, parallel, num_threads);
   }
+}
+
+// The columnar ScanView hot path and the legacy row-materializing Scan path
+// must execute the same per-sample arithmetic: identical reports, bit for
+// bit, on both simulators — the storage layout is an implementation detail.
+TEST(ExplainDeterminismTest, ScanViewMatchesLegacyRowScanHadoop) {
+  auto run = BuildWorkloadRun(HadoopWorkloads()[0], FastOptions());
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  const ExplanationReport view = ExplainWithThreads(**run, 1, false);
+  ASSERT_FALSE(view.ranked.empty());
+  const ExplanationReport legacy = ExplainWithThreads(**run, 1, true);
+  ExpectIdenticalReports(view, legacy, 1);
+  // The equivalence must also hold when both paths run parallel.
+  const ExplanationReport view_mt = ExplainWithThreads(**run, 8, false);
+  const ExplanationReport legacy_mt = ExplainWithThreads(**run, 8, true);
+  ExpectIdenticalReports(view_mt, legacy_mt, 8);
+}
+
+TEST(ExplainDeterminismTest, ScanViewMatchesLegacyRowScanSupplyChain) {
+  auto run = BuildWorkloadRun(SupplyChainWorkloads()[0], FastOptions());
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  const ExplanationReport view = ExplainWithThreads(**run, 1, false);
+  ASSERT_FALSE(view.ranked.empty());
+  const ExplanationReport legacy = ExplainWithThreads(**run, 1, true);
+  ExpectIdenticalReports(view, legacy, 1);
 }
 
 TEST(ExplainDeterminismTest, RepeatedParallelRunsAreStable) {

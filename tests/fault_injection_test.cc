@@ -3,6 +3,7 @@
 // mode exercised against the archive's retry / quarantine / degraded-scan
 // machinery.
 
+#include <dirent.h>
 #include <unistd.h>
 
 #include <cstdio>
@@ -151,6 +152,56 @@ TEST_F(FaultArchiveTest, V1SpillFormatRoundTripsThroughArchive) {
   auto events = archive.Scan(0, {0, 199});
   ASSERT_TRUE(events.ok()) << events.status().ToString();
   EXPECT_EQ(events->size(), 200u);
+}
+
+TEST_F(FaultArchiveTest, V2SpillFormatRoundTripsThroughArchive) {
+  // Archives written before the columnar format keep working untouched.
+  ArchiveOptions options = SpillOptions();
+  options.spill_format = SpillFormat::kV2;
+  EventArchive archive(&registry_, options);
+  Fill(&archive);
+  auto events = archive.Scan(0, {0, 199});
+  ASSERT_TRUE(events.ok()) << events.status().ToString();
+  EXPECT_EQ(events->size(), 200u);
+}
+
+TEST_F(FaultArchiveTest, V3CorruptedColumnQuarantinesNotCrashes) {
+  EventArchive archive(&registry_, SpillOptions());
+  Fill(&archive);
+
+  // Rot one spill file on disk directly — the persistent-damage case, as
+  // opposed to the injector's transient read-path corruption above.
+  std::string victim;
+  DIR* d = opendir(dir_.c_str());
+  ASSERT_NE(d, nullptr);
+  while (dirent* entry = readdir(d)) {
+    if (std::strstr(entry->d_name, "type0_chunk0_") != nullptr) {
+      victim = dir_ + "/" + entry->d_name;
+      break;
+    }
+  }
+  closedir(d);
+  ASSERT_FALSE(victim.empty()) << "no spill file for chunk 0 in " << dir_;
+  FILE* f = fopen(victim.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(fseek(f, -1, SEEK_END), 0);  // last byte: inside a column payload
+  const int c = fgetc(f);
+  ASSERT_NE(c, EOF);
+  ASSERT_EQ(fseek(f, -1, SEEK_END), 0);
+  fputc(c ^ 0x40, f);
+  fclose(f);
+
+  DegradationReport degradation;
+  auto events = archive.Scan(0, {0, 199}, &degradation);
+  ASSERT_TRUE(events.ok()) << events.status().ToString();
+  EXPECT_EQ(events->size(), 192u);  // the bad chunk's 8 events are skipped
+  ASSERT_EQ(degradation.chunks_skipped(), 1u);
+  // The per-column CRC pins the failure to a column, and the chunk is
+  // quarantined exactly like a v2 checksum failure.
+  EXPECT_NE(degradation.skipped[0].reason.find("column"), std::string::npos)
+      << degradation.skipped[0].reason;
+  EXPECT_TRUE(FileExists(victim + ".quarantine"));
+  EXPECT_EQ(archive.quarantined_chunks(), 1u);
 }
 
 TEST_F(FaultArchiveTest, TransientReadFaultRetriedAway) {
