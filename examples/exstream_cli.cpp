@@ -23,6 +23,17 @@
 // If the archive had to skip unreadable (quarantined) spill chunks, the
 // explanation is still produced and a DEGRADED warning describes the gap.
 //
+// Durability & overload flags:
+//   --wal-dir DIR          write-ahead-log every ingested batch into DIR
+//   --fsync POLICY         none | interval | every_batch  (default interval)
+//   --checkpoint DIR       snapshot the system state into DIR after ingest
+//   --recover DIR          restore a checkpoint (and replay the WAL tail)
+//                          before ingesting; with --recover, --events is
+//                          optional
+//   --queue-capacity N     bounded ingest queue of N batches (0 = synchronous)
+//   --backpressure POLICY  block | shed-oldest | shed-newest  (full-queue
+//                          behavior; implies --queue-capacity 64 if unset)
+//
 // Schema file: one event type per line, `TypeName attr:type attr:type ...`
 // where type is int64|double|string. Event CSV: see src/io/csv.h.
 
@@ -186,7 +197,9 @@ int Run(int argc, char** argv) {
       return 1;
     }
     args["schema"] = (*paths)[0];
-    args["events"] = (*paths)[1];
+    // With --recover the checkpoint/WAL already hold the demo stream;
+    // re-ingesting it would append the same events on top of recovered state.
+    if (args.count("recover") == 0) args["events"] = (*paths)[1];
     args["query"] = (*paths)[2];
     if (args.count("explain") == 0) {
       args["explain"] = "job-anomaly:3060:3360";
@@ -194,12 +207,18 @@ int Run(int argc, char** argv) {
       args["chart"] = "job-anomaly";
     }
   }
-  if (args.count("schema") + args.count("events") + args.count("query") < 3) {
+  const bool have_inputs = args.count("schema") && args.count("query") &&
+                           (args.count("events") || args.count("recover"));
+  if (!have_inputs) {
     fprintf(stderr,
             "usage: exstream_cli --demo | --schema F --events F --query F\n"
             "       [--column NAME] [--list-partitions] [--chart PARTITION]\n"
             "       [--threads N] [--ingest-threads N] [--batch-size B]\n"
             "       [--deadline-ms MS]\n"
+            "       [--wal-dir DIR] [--fsync none|interval|every_batch]\n"
+            "       [--checkpoint DIR] [--recover DIR]\n"
+            "       [--queue-capacity N]\n"
+            "       [--backpressure block|shed-oldest|shed-newest]\n"
             "       [--explain P:LO:HI --reference P:LO:HI]\n");
     return 2;
   }
@@ -232,6 +251,38 @@ int Run(int argc, char** argv) {
     batch_size = static_cast<size_t>(strtoull(args["batch-size"].c_str(), nullptr, 10));
     if (batch_size == 0) batch_size = 1;
   }
+  if (args.count("wal-dir")) config.durability.wal_dir = args["wal-dir"];
+  if (args.count("fsync")) {
+    const std::string& policy = args["fsync"];
+    if (policy == "none") {
+      config.durability.fsync = WalFsyncPolicy::kNone;
+    } else if (policy == "interval") {
+      config.durability.fsync = WalFsyncPolicy::kInterval;
+    } else if (policy == "every_batch") {
+      config.durability.fsync = WalFsyncPolicy::kEveryBatch;
+    } else {
+      fprintf(stderr, "unknown --fsync policy '%s'\n", policy.c_str());
+      return 2;
+    }
+  }
+  if (args.count("queue-capacity")) {
+    config.overload.queue_capacity =
+        static_cast<size_t>(strtoull(args["queue-capacity"].c_str(), nullptr, 10));
+  }
+  if (args.count("backpressure")) {
+    const std::string& policy = args["backpressure"];
+    if (policy == "block") {
+      config.overload.policy = BackpressurePolicy::kBlock;
+    } else if (policy == "shed-oldest") {
+      config.overload.policy = BackpressurePolicy::kShedOldest;
+    } else if (policy == "shed-newest") {
+      config.overload.policy = BackpressurePolicy::kShedNewest;
+    } else {
+      fprintf(stderr, "unknown --backpressure policy '%s'\n", policy.c_str());
+      return 2;
+    }
+    if (config.overload.queue_capacity == 0) config.overload.queue_capacity = 64;
+  }
   XStreamSystem system(&*registry, config);
   auto qid = system.AddQuery(*query_text, "Q");
   if (!qid.ok()) {
@@ -239,26 +290,61 @@ int Run(int argc, char** argv) {
     return 1;
   }
 
-  auto parsed = ReadCsvEventsFile(args["events"], *registry);
-  if (!parsed.ok()) {
-    fprintf(stderr, "event load error: %s\n", parsed.status().ToString().c_str());
-    return 1;
+  if (args.count("recover")) {
+    auto recovered = system.Recover(args["recover"]);
+    if (!recovered.ok()) {
+      fprintf(stderr, "recover error: %s\n",
+              recovered.status().ToString().c_str());
+      return 1;
+    }
+    printf("recovered: checkpoint %s (seq %llu), WAL replayed %zu events in "
+           "%zu records%s\n",
+           recovered->manifest_loaded ? "loaded" : "absent",
+           static_cast<unsigned long long>(recovered->checkpoint_seq),
+           recovered->wal.events_applied, recovered->wal.records,
+           recovered->wal.torn_tail ? " (torn tail discarded)" : "");
   }
-  VectorEventSource source(std::move(parsed->events));
-  source.SortByTime();
-  const size_t num_events = source.size();  // ReplayMove drains the source
-  Stopwatch ingest_timer;
-  source.ReplayMove(&system, batch_size);
-  const double ingest_secs = ingest_timer.ElapsedSeconds();
-  printf("ingested %zu events; %zu match rows\n", num_events,
-         system.engine().match_table(*qid).TotalRows());
-  if (ingest_secs > 0.0) {
-    // stderr: a measured rate varies run to run, and stdout is expected to be
-    // byte-identical across thread counts (the determinism contract).
-    fprintf(stderr,
-            "ingest throughput: %.0f events/sec (batch %zu, ingest threads %zu)\n",
-            static_cast<double>(num_events) / ingest_secs, batch_size,
-            config.ingest.ingest_threads);
+
+  if (args.count("events")) {
+    auto parsed = ReadCsvEventsFile(args["events"], *registry);
+    if (!parsed.ok()) {
+      fprintf(stderr, "event load error: %s\n", parsed.status().ToString().c_str());
+      return 1;
+    }
+    VectorEventSource source(std::move(parsed->events));
+    source.SortByTime();
+    const size_t num_events = source.size();  // ReplayMove drains the source
+    Stopwatch ingest_timer;
+    source.ReplayMove(&system, batch_size);
+    const double ingest_secs = ingest_timer.ElapsedSeconds();
+    printf("ingested %zu events; %zu match rows\n", num_events,
+           system.engine().match_table(*qid).TotalRows());
+    if (ingest_secs > 0.0) {
+      // stderr: a measured rate varies run to run, and stdout is expected to be
+      // byte-identical across thread counts (the determinism contract).
+      fprintf(stderr,
+              "ingest throughput: %.0f events/sec (batch %zu, ingest threads %zu)\n",
+              static_cast<double>(num_events) / ingest_secs, batch_size,
+              config.ingest.ingest_threads);
+    }
+  } else {
+    printf("recovered state: %zu match rows\n",
+           system.engine().match_table(*qid).TotalRows());
+  }
+
+  const RejectReport rejects = system.reject_report();
+  if (rejects.total() > 0 || system.shed_events() > 0) {
+    fprintf(stderr, "ingest health: %s; %zu events shed by backpressure\n",
+            rejects.ToString().c_str(), system.shed_events());
+  }
+
+  if (args.count("checkpoint")) {
+    const Status st = system.Checkpoint(args["checkpoint"]);
+    if (!st.ok()) {
+      fprintf(stderr, "checkpoint error: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    printf("checkpoint written to %s\n", args["checkpoint"].c_str());
   }
 
   const MatchTable& matches = system.engine().match_table(*qid);

@@ -1,0 +1,19 @@
+// libFuzzer harness for the spill deserializers (v1/v2 row payloads and the
+// v3 columnar format) — the bytes read back from archive spill files and WAL
+// record payloads. Both entry points must reject arbitrary corruption with a
+// Status, never a crash or an unbounded allocation.
+//
+// Build: cmake -DEXSTREAM_BUILD_FUZZERS=ON with Clang; see fuzz/CMakeLists.txt.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "archive/serialization.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string_view buf(reinterpret_cast<const char*>(data), size);
+  exstream::DeserializeEvents(buf).ok();
+  exstream::DeserializeColumns(buf).ok();
+  return 0;
+}

@@ -1,0 +1,19 @@
+// libFuzzer harness for the WAL segment scanner — the exact bytes a crashed
+// process leaves behind. ScanWalSegmentBuffer must classify any input as
+// intact records + (optionally) one torn tail, without crashing, overflowing,
+// or over-allocating on hostile headers (fuzzed lengths/counts).
+//
+// Build: cmake -DEXSTREAM_BUILD_FUZZERS=ON with Clang; see fuzz/CMakeLists.txt.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "io/wal.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string_view buf(reinterpret_cast<const char*>(data), size);
+  exstream::ScanWalSegmentBuffer(buf,
+                                 [](uint64_t, exstream::EventBatch) {});
+  return 0;
+}

@@ -5,6 +5,8 @@
 #include "archive/serialization.h"
 #include "common/logging.h"
 #include "common/strings.h"
+#include "io/file_util.h"
+#include "io/quarantine_dir.h"
 
 namespace exstream {
 
@@ -84,13 +86,23 @@ Status EventArchive::AppendLocked(Shard* shard, const Event& event) {
     ++shard->resident_sealed;
     list.push_back(std::make_shared<Chunk>(event.type, options_.chunk_capacity,
                                            &registry_->schema(event.type)));
-    EXSTREAM_RETURN_NOT_OK(MaybeSpillLocked(shard, event.type));
+    // Spill housekeeping runs after the fresh open chunk exists and can never
+    // fail the append itself: an ENOSPC during the seal-triggered spill must
+    // not drop the incoming event (the chunk stays resident and retryable).
+    MaybeSpillLocked(shard, event.type);
   }
   return list.back()->Append(event);
 }
 
-Status EventArchive::MaybeSpillLocked(Shard* shard, EventTypeId type) {
-  if (!options_.spill_dir.has_value()) return Status::OK();
+void EventArchive::MaybeSpillLocked(Shard* shard, EventTypeId type) {
+  if (!options_.spill_dir.has_value()) return;
+  if (shard->spill_cooldown > 0) {
+    // A recent spill failed even after retries (disk full / dead device):
+    // skip a few seals before probing the disk again instead of paying the
+    // full retry backoff on every append that seals a chunk.
+    --shard->spill_cooldown;
+    return;
+  }
   while (shard->resident_sealed > options_.max_resident_chunks) {
     auto& list = shard->chunks;
     size_t& cursor = shard->spill_cursor;
@@ -113,13 +125,15 @@ Status EventArchive::MaybeSpillLocked(Shard* shard, EventTypeId type) {
       // resident instead of failing the append path. Memory pressure grows,
       // but ingest — and therefore monitoring — stays available.
       spill_write_failures_.fetch_add(1, std::memory_order_relaxed);
+      ++shard->spill_failures_in_a_row;
+      shard->spill_cooldown = std::min<size_t>(shard->spill_failures_in_a_row, 8);
       EXSTREAM_LOG(Warn) << "spill write failed, chunk stays resident: "
                          << spilled.ToString();
-      break;
+      return;
     }
+    shard->spill_failures_in_a_row = 0;
     --shard->resident_sealed;
   }
-  return Status::OK();
 }
 
 Result<ScanView> EventArchive::ScanColumns(EventTypeId type,
@@ -235,6 +249,13 @@ void EventArchive::ReadSpillOrQuarantine(const std::shared_ptr<Chunk>& chunk,
   }
   if (chunk->MarkQuarantined()) {
     quarantined_chunks_.fetch_add(1, std::memory_order_relaxed);
+    if (options_.spill_dir.has_value()) {
+      const Result<size_t> evicted =
+          EnforceQuarantineCap(*options_.spill_dir, options_.max_quarantine_files);
+      if (evicted.ok() && *evicted > 0) {
+        quarantine_evictions_.fetch_add(*evicted, std::memory_order_relaxed);
+      }
+    }
   }
   EXSTREAM_LOG(Warn) << "spill read failed, chunk quarantined as "
                      << chunk->spill_path() << ".quarantine: " << read.ToString();
@@ -285,6 +306,133 @@ size_t EventArchive::NumChunks(EventTypeId type) const {
   const Shard& shard = shards_[type];
   std::lock_guard<std::mutex> lock(shard.mu);
   return shard.chunks.size();
+}
+
+namespace {
+// Chunk kinds in the checkpoint manifest.
+constexpr uint8_t kChunkOpen = 0;
+constexpr uint8_t kChunkResidentSealed = 1;
+constexpr uint8_t kChunkSpilled = 2;
+}  // namespace
+
+Status EventArchive::CheckpointTo(const std::string& dir, BytesWriter* out) const {
+  EXSTREAM_RETURN_NOT_OK(EnsureDir(dir));
+  out->Put<uint64_t>(spill_file_seq_.load(std::memory_order_relaxed));
+  out->Put<uint32_t>(static_cast<uint32_t>(shards_.size()));
+  struct Entry {
+    uint8_t kind = kChunkOpen;
+    uint64_t count = 0;
+    Timestamp min_ts = 0;
+    Timestamp max_ts = 0;
+    uint8_t quarantined = 0;
+    std::string path;
+    std::shared_ptr<const ChunkColumns> columns;  // resident kinds only
+  };
+  for (size_t t = 0; t < shards_.size(); ++t) {
+    const Shard& shard = shards_[t];
+    std::vector<Entry> entries;
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      entries.reserve(shard.chunks.size());
+      for (const auto& chunk : shard.chunks) {
+        Entry e;
+        e.count = chunk->size();
+        e.min_ts = chunk->min_ts();
+        e.max_ts = chunk->max_ts();
+        e.quarantined = chunk->quarantined() ? 1 : 0;
+        if (chunk->spilled()) {
+          e.kind = kChunkSpilled;
+          e.path = chunk->spill_path();
+        } else if (chunk->sealed()) {
+          e.kind = kChunkResidentSealed;
+          e.columns = chunk->resident_columns();
+        } else {
+          // The open tail still mutates; its rows are column-copied under the
+          // lock (bounded by chunk_capacity).
+          e.kind = kChunkOpen;
+          e.columns = std::make_shared<const ChunkColumns>(
+              chunk->columns().Slice(0, chunk->columns().rows()));
+        }
+        entries.push_back(std::move(e));
+      }
+    }
+    // Resident chunks persist to one file each, outside the shard lock.
+    for (size_t i = 0; i < entries.size(); ++i) {
+      Entry& e = entries[i];
+      if (e.columns == nullptr) continue;
+      e.path = StrFormat("%s/chunk_%zu_%zu.col", dir.c_str(), t, i);
+      EXSTREAM_RETURN_NOT_OK(WriteColumnsFile(e.path, *e.columns));
+    }
+    out->Put<uint32_t>(static_cast<uint32_t>(entries.size()));
+    for (const Entry& e : entries) {
+      out->Put<uint8_t>(e.kind);
+      out->Put<uint64_t>(e.count);
+      out->Put<int64_t>(e.min_ts);
+      out->Put<int64_t>(e.max_ts);
+      out->Put<uint8_t>(e.quarantined);
+      out->PutString(e.path);
+    }
+  }
+  return Status::OK();
+}
+
+Status EventArchive::RestoreFrom(BytesReader* in) {
+  EXSTREAM_ASSIGN_OR_RETURN(const uint64_t spill_seq, in->Get<uint64_t>());
+  EXSTREAM_ASSIGN_OR_RETURN(const uint32_t n_types, in->Get<uint32_t>());
+  if (n_types != shards_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("snapshot holds %u event types, registry has %zu", n_types,
+                  shards_.size()));
+  }
+  if (TotalEvents() != 0) {
+    return Status::InvalidArgument(
+        "archive must be freshly constructed before restore");
+  }
+  for (size_t t = 0; t < shards_.size(); ++t) {
+    Shard& shard = shards_[t];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    EXSTREAM_ASSIGN_OR_RETURN(const uint32_t n_chunks, in->Get<uint32_t>());
+    shard.chunks.clear();
+    shard.resident_sealed = 0;
+    shard.spill_cursor = 0;
+    for (uint32_t i = 0; i < n_chunks; ++i) {
+      EXSTREAM_ASSIGN_OR_RETURN(const uint8_t kind, in->Get<uint8_t>());
+      EXSTREAM_ASSIGN_OR_RETURN(const uint64_t count, in->Get<uint64_t>());
+      EXSTREAM_ASSIGN_OR_RETURN(const int64_t min_ts, in->Get<int64_t>());
+      EXSTREAM_ASSIGN_OR_RETURN(const int64_t max_ts, in->Get<int64_t>());
+      EXSTREAM_ASSIGN_OR_RETURN(const uint8_t quarantined, in->Get<uint8_t>());
+      EXSTREAM_ASSIGN_OR_RETURN(const std::string path, in->GetString());
+      const EventTypeId type = static_cast<EventTypeId>(t);
+      if (kind == kChunkSpilled) {
+        shard.chunks.push_back(Chunk::AdoptSpilled(
+            type, options_.chunk_capacity, count, min_ts, max_ts, path,
+            quarantined != 0));
+      } else if (kind == kChunkOpen || kind == kChunkResidentSealed) {
+        EXSTREAM_ASSIGN_OR_RETURN(ChunkColumns columns, ReadColumnsFile(path));
+        if (columns.rows() != count) {
+          return Status::Corruption(
+              StrFormat("checkpoint chunk %s holds %zu rows, manifest says %llu",
+                        path.c_str(), columns.rows(),
+                        static_cast<unsigned long long>(count)));
+        }
+        shard.chunks.push_back(Chunk::AdoptResident(
+            type, options_.chunk_capacity, &registry_->schema(type),
+            std::move(columns), kind == kChunkResidentSealed));
+        if (kind == kChunkResidentSealed) ++shard.resident_sealed;
+      } else {
+        return Status::Corruption(
+            StrFormat("bad chunk kind %u in checkpoint manifest", kind));
+      }
+    }
+    // Appends require an open tail chunk.
+    if (shard.chunks.empty() || shard.chunks.back()->sealed()) {
+      shard.chunks.push_back(std::make_shared<Chunk>(
+          static_cast<EventTypeId>(t), options_.chunk_capacity,
+          &registry_->schema(static_cast<EventTypeId>(t))));
+    }
+  }
+  spill_file_seq_.store(spill_seq, std::memory_order_relaxed);
+  return Status::OK();
 }
 
 }  // namespace exstream

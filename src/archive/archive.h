@@ -17,6 +17,7 @@
 
 #include "archive/chunk.h"
 #include "archive/degradation.h"
+#include "common/bytes.h"
 #include "common/result.h"
 #include "common/retry.h"
 #include "event/event.h"
@@ -39,6 +40,10 @@ struct ArchiveOptions {
   /// Backoff schedule for transient spill I/O errors (reads and writes).
   /// Corruption/truncation is permanent and never retried.
   RetryPolicy spill_retry;
+  /// Cap on `*.quarantine` files kept in `spill_dir`; when a new quarantine
+  /// pushes the count past this, the oldest are deleted (triage keeps the
+  /// newest evidence, disk usage stays bounded).
+  size_t max_quarantine_files = 64;
   /// Test-only: invoked by Scan once per spill-file read, after the shard
   /// lock is released and before the disk read. Lets tests prove that slow
   /// spill I/O cannot block concurrent Appends.
@@ -138,6 +143,21 @@ class EventArchive : public EventSink {
   size_t degraded_scans() const {
     return degraded_scans_.load(std::memory_order_relaxed);
   }
+  /// Quarantine files deleted to enforce `max_quarantine_files`.
+  size_t quarantine_evictions() const {
+    return quarantine_evictions_.load(std::memory_order_relaxed);
+  }
+
+  /// \brief Checkpoint support: appends the archive's chunk index to `out`
+  /// and writes every resident chunk's columns under `dir` (file per chunk).
+  /// Spilled chunks are referenced by their spill path — already durable, so
+  /// the checkpoint stores only their index entry. Must not run concurrently
+  /// with appends (scans are fine).
+  Status CheckpointTo(const std::string& dir, BytesWriter* out) const;
+
+  /// \brief Restores a CheckpointTo snapshot into a freshly constructed
+  /// archive (same registry, no events appended yet).
+  Status RestoreFrom(BytesReader* in);
 
   const EventTypeRegistry& registry() const { return *registry_; }
 
@@ -150,6 +170,11 @@ class EventArchive : public EventSink {
     std::vector<std::shared_ptr<Chunk>> chunks;
     size_t resident_sealed = 0;  ///< count of unspilled sealed chunks
     size_t spill_cursor = 0;     ///< next chunk index to consider spilling
+    /// Consecutive failed spill attempts; backs off the per-seal retry storm
+    /// a full disk would otherwise cause.
+    size_t spill_failures_in_a_row = 0;
+    /// Seals to skip before the next spill attempt (set after a failure).
+    size_t spill_cooldown = 0;
   };
 
   /// A scan's view of one overlapping chunk, captured under the shard lock.
@@ -161,7 +186,10 @@ class EventArchive : public EventSink {
   };
 
   Status AppendLocked(Shard* shard, const Event& event);
-  Status MaybeSpillLocked(Shard* shard, EventTypeId type);
+  /// Spill housekeeping after a seal. Never fails the caller: a failed spill
+  /// keeps the chunk resident, counts the failure, and arms a cooldown so a
+  /// dead disk is not retried on every subsequent seal.
+  void MaybeSpillLocked(Shard* shard, EventTypeId type);
   /// Reads one spilled chunk's columns with retries; on terminal failure
   /// quarantines it and records the loss in `degradation`. Appends the
   /// in-range segment to `view` on success.
@@ -179,6 +207,7 @@ class EventArchive : public EventSink {
   mutable std::atomic<size_t> quarantined_chunks_{0};
   std::atomic<size_t> spill_write_failures_{0};
   mutable std::atomic<size_t> degraded_scans_{0};
+  mutable std::atomic<size_t> quarantine_evictions_{0};
 };
 
 }  // namespace exstream

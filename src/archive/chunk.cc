@@ -48,6 +48,35 @@ Result<std::vector<Event>> Chunk::Load() const {
   return ReadEventsFile(spill_path_);
 }
 
+std::shared_ptr<Chunk> Chunk::AdoptResident(EventTypeId type, size_t capacity,
+                                            const EventSchema* schema,
+                                            ChunkColumns columns, bool sealed) {
+  auto chunk = std::make_shared<Chunk>(type, capacity, schema);
+  chunk->count_ = columns.rows();
+  if (chunk->count_ > 0) {
+    chunk->min_ts_ = columns.ts().front();
+    chunk->max_ts_ = columns.ts().back();
+  }
+  *chunk->columns_ = std::move(columns);
+  chunk->sealed_ = sealed;
+  return chunk;
+}
+
+std::shared_ptr<Chunk> Chunk::AdoptSpilled(EventTypeId type, size_t capacity,
+                                           size_t count, Timestamp min_ts,
+                                           Timestamp max_ts, std::string spill_path,
+                                           bool quarantined) {
+  auto chunk = std::make_shared<Chunk>(type, capacity, nullptr);
+  chunk->count_ = count;
+  chunk->min_ts_ = min_ts;
+  chunk->max_ts_ = max_ts;
+  chunk->sealed_ = true;
+  chunk->spilled_ = true;
+  chunk->spill_path_ = std::move(spill_path);
+  chunk->quarantined_.store(quarantined, std::memory_order_release);
+  return chunk;
+}
+
 bool Chunk::MarkQuarantined() {
   bool expected = false;
   if (!quarantined_.compare_exchange_strong(expected, true,

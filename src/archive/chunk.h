@@ -96,6 +96,20 @@ class Chunk {
   /// Spill-file path; empty until spilled.
   const std::string& spill_path() const { return spill_path_; }
 
+  /// \brief Checkpoint restore: rebuilds an open or resident-sealed chunk
+  /// around deserialized columns. `sealed` false leaves the chunk appendable
+  /// (the shard's tail chunk).
+  static std::shared_ptr<Chunk> AdoptResident(EventTypeId type, size_t capacity,
+                                              const EventSchema* schema,
+                                              ChunkColumns columns, bool sealed);
+
+  /// \brief Checkpoint restore: rebuilds the index entry of a chunk whose
+  /// data lives in its (already durable) spill file.
+  static std::shared_ptr<Chunk> AdoptSpilled(EventTypeId type, size_t capacity,
+                                             size_t count, Timestamp min_ts,
+                                             Timestamp max_ts, std::string spill_path,
+                                             bool quarantined);
+
  private:
   EventTypeId type_;
   size_t capacity_;

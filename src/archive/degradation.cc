@@ -12,6 +12,8 @@ void DegradationReport::Merge(const DegradationReport& other) {
     mine.chunks_total += cov.chunks_total;
     mine.chunks_skipped += cov.chunks_skipped;
   }
+  events_shed += other.events_shed;
+  events_rejected += other.events_rejected;
 }
 
 std::string DegradationReport::ToString() const {
@@ -21,6 +23,10 @@ std::string DegradationReport::ToString() const {
   for (const auto& [type, cov] : coverage) {
     if (cov.chunks_skipped == 0) continue;
     out += StrFormat("; type %u coverage %.2f", type, cov.fraction());
+  }
+  if (events_shed > 0) out += StrFormat("; %zu events shed at ingest", events_shed);
+  if (events_rejected > 0) {
+    out += StrFormat("; %zu malformed events rejected", events_rejected);
   }
   out += ")";
   return out;

@@ -43,8 +43,15 @@ struct DegradationReport {
   std::vector<SkippedChunk> skipped;
   size_t events_lost_estimate = 0;
   std::map<EventTypeId, TypeCoverage> coverage;
+  /// Valid events dropped by ingest backpressure (bounded-queue shedding)
+  /// before this analysis ran — the archive/match tables are missing them.
+  size_t events_shed = 0;
+  /// Malformed events the ingest guard rejected (quarantined, not analyzed).
+  /// Informational: rejects are invalid data, so they do not by themselves
+  /// mark the analysis degraded.
+  size_t events_rejected = 0;
 
-  bool degraded() const { return !skipped.empty(); }
+  bool degraded() const { return !skipped.empty() || events_shed > 0; }
   size_t chunks_skipped() const { return skipped.size(); }
 
   /// Folds another report (e.g. a second interval's scan) into this one.

@@ -281,4 +281,69 @@ void CepEngine::IngestBatch(const EventBatch& batch) {
   DispatchNotifications();
 }
 
+void CepEngine::SaveState(BytesWriter* out) const {
+  out->Put<uint64_t>(events_processed_);
+  out->Put<uint32_t>(static_cast<uint32_t>(queries_.size()));
+  for (const auto& qs : queries_) {
+    const uint32_t n_keys = static_cast<uint32_t>(qs->interner.size());
+    out->Put<uint32_t>(n_keys);
+    for (uint32_t id = 0; id < n_keys; ++id) {
+      out->PutString(qs->interner.KeyOf(id));
+    }
+    out->PutPodVector(qs->buckets);
+    for (uint32_t id = 0; id < n_keys; ++id) {
+      qs->runs[id].SaveState(out);
+    }
+    qs->matches.SaveState(out);
+  }
+}
+
+Status CepEngine::RestoreState(BytesReader* in) {
+  EXSTREAM_ASSIGN_OR_RETURN(const uint64_t events_processed, in->Get<uint64_t>());
+  EXSTREAM_ASSIGN_OR_RETURN(const uint32_t n_queries, in->Get<uint32_t>());
+  if (n_queries != queries_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("snapshot holds %u queries, engine has %zu registered",
+                  n_queries, queries_.size()));
+  }
+  for (auto& qs : queries_) {
+    if (qs->interner.size() != 0 || qs->matches.TotalRows() != 0) {
+      return Status::InvalidArgument(
+          "engine must be freshly constructed before restore");
+    }
+    EXSTREAM_ASSIGN_OR_RETURN(const uint32_t n_keys, in->Get<uint32_t>());
+    // Re-interning the keys in saved id order reproduces the exact id
+    // assignment (first-intern order is the id order).
+    std::vector<std::string> keys;
+    keys.reserve(n_keys);
+    for (uint32_t i = 0; i < n_keys; ++i) {
+      EXSTREAM_ASSIGN_OR_RETURN(std::string key, in->GetString());
+      keys.push_back(std::move(key));
+    }
+    std::vector<uint32_t> buckets;
+    EXSTREAM_RETURN_NOT_OK(in->GetPodVector(&buckets));
+    if (buckets.size() != n_keys) {
+      return Status::Corruption(
+          StrFormat("snapshot bucket map holds %zu entries for %u keys",
+                    buckets.size(), n_keys));
+    }
+    qs->runs.reserve(n_keys);
+    for (uint32_t i = 0; i < n_keys; ++i) {
+      bool created = false;
+      const uint32_t id =
+          qs->interner.Intern(keys[i], PartitionKeyHash(keys[i]), &created);
+      if (!created || id != i) {
+        return Status::Corruption(
+            StrFormat("duplicate partition key in snapshot at id %u", i));
+      }
+      qs->runs.emplace_back(&qs->compiled);
+      EXSTREAM_RETURN_NOT_OK(qs->runs.back().RestoreState(in));
+    }
+    qs->buckets = std::move(buckets);
+    EXSTREAM_RETURN_NOT_OK(qs->matches.RestoreState(in));
+  }
+  events_processed_ = events_processed;
+  return Status::OK();
+}
+
 }  // namespace exstream

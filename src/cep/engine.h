@@ -119,6 +119,17 @@ class CepEngine : public EventSink {
     callback_ = std::move(cb);
   }
 
+  /// \brief Serializes every query's mutable evaluation state — interned
+  /// partition keys (in id order), per-partition NFA runs, match tables — and
+  /// the processed-event count. Compiled queries and route tables are NOT
+  /// included: RestoreState requires the same queries added in the same order.
+  /// Must not run concurrently with ingestion.
+  void SaveState(BytesWriter* out) const;
+
+  /// \brief Restores a SaveState snapshot. The engine must hold the same
+  /// queries as at save time with empty match tables (fresh AddQuery calls).
+  Status RestoreState(BytesReader* in);
+
  private:
   /// Route-table entry values: how a query treats events of one type.
   static constexpr uint16_t kRouteIrrelevant = 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/strings.h"
+#include "event/codec.h"
 
 namespace exstream {
 
@@ -122,6 +123,45 @@ Result<TimeSeries> MatchTable::ExtractSeries(const std::string& partition,
     EXSTREAM_RETURN_NOT_OK(out.Append(b.ts[r], b.cells[begin + col].AsDouble()));
   }
   return out;
+}
+
+void MatchTable::SaveState(BytesWriter* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  out->Put<uint32_t>(static_cast<uint32_t>(buckets_.size()));
+  for (const Bucket& b : buckets_) {
+    out->PutString(b.key);
+    out->Put<uint8_t>(b.complete ? 1 : 0);
+    out->PutPodVector(b.ts);
+    out->Put<uint32_t>(static_cast<uint32_t>(b.cells.size()));
+    for (const Value& v : b.cells) PutValue(out, v);
+    out->PutPodVector(b.ends);
+  }
+}
+
+Status MatchTable::RestoreState(BytesReader* in) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!buckets_.empty()) {
+    return Status::InvalidArgument("match table must be empty before restore");
+  }
+  EXSTREAM_ASSIGN_OR_RETURN(const uint32_t n_buckets, in->Get<uint32_t>());
+  for (uint32_t i = 0; i < n_buckets; ++i) {
+    Bucket b;
+    EXSTREAM_ASSIGN_OR_RETURN(b.key, in->GetString());
+    EXSTREAM_ASSIGN_OR_RETURN(const uint8_t complete, in->Get<uint8_t>());
+    b.complete = complete != 0;
+    EXSTREAM_RETURN_NOT_OK(in->GetPodVector(&b.ts));
+    EXSTREAM_ASSIGN_OR_RETURN(const uint32_t n_cells, in->Get<uint32_t>());
+    b.cells.reserve(n_cells);
+    for (uint32_t c = 0; c < n_cells; ++c) {
+      EXSTREAM_ASSIGN_OR_RETURN(Value v, GetValue(in));
+      b.cells.push_back(std::move(v));
+    }
+    EXSTREAM_RETURN_NOT_OK(in->GetPodVector(&b.ends));
+    buckets_.push_back(std::move(b));
+    index_.emplace(std::string_view(buckets_.back().key),
+                   static_cast<uint32_t>(buckets_.size() - 1));
+  }
+  return Status::OK();
 }
 
 }  // namespace exstream

@@ -24,6 +24,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/bytes.h"
 #include "common/result.h"
 #include "event/event.h"
 #include "ts/time_series.h"
@@ -116,6 +117,14 @@ class MatchTable {
   /// one derived attribute of one partition (e.g. Fig. 1's queuing size).
   Result<TimeSeries> ExtractSeries(const std::string& partition,
                                    std::string_view column) const;
+
+  /// \brief Serializes every bucket — keys in id order, rows, completion —
+  /// for a checkpoint manifest. Takes the table lock.
+  void SaveState(BytesWriter* out) const;
+
+  /// \brief Restores a SaveState snapshot into an empty table (bucket ids
+  /// come back identical, so interned partition ids stay valid).
+  Status RestoreState(BytesReader* in);
 
  private:
   /// Column-flat row storage: ts_[i] pairs with cells_[ends[i-1]..ends[i]).

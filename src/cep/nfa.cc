@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/strings.h"
+#include "event/codec.h"
 
 namespace exstream {
 
@@ -347,6 +348,58 @@ RunStepResult QueryRun::OnEventDeferred(const Event& event) {
     state_ = NextPositiveIndex(state_ + 1);
   }
   return result;
+}
+
+void QueryRun::SaveState(BytesWriter* out) const {
+  out->Put<uint64_t>(state_);
+  out->Put<int32_t>(last_positive_);
+  out->Put<int64_t>(run_start_);
+  out->Put<uint8_t>(kleene_active_ ? 1 : 0);
+  out->Put<uint64_t>(kleene_count_);
+  out->Put<uint16_t>(static_cast<uint16_t>(bound_.size()));
+  for (const Event& e : bound_) PutEvent(out, e);
+  out->Put<uint16_t>(static_cast<uint16_t>(aggs_.size()));
+  for (const AggState& a : aggs_) {
+    out->Put<double>(a.sum);
+    out->Put<double>(a.min);
+    out->Put<double>(a.max);
+    out->Put<uint64_t>(a.count);
+  }
+}
+
+Status QueryRun::RestoreState(BytesReader* in) {
+  EXSTREAM_ASSIGN_OR_RETURN(const uint64_t state, in->Get<uint64_t>());
+  EXSTREAM_ASSIGN_OR_RETURN(const int32_t last_positive, in->Get<int32_t>());
+  EXSTREAM_ASSIGN_OR_RETURN(const int64_t run_start, in->Get<int64_t>());
+  EXSTREAM_ASSIGN_OR_RETURN(const uint8_t kleene_active, in->Get<uint8_t>());
+  EXSTREAM_ASSIGN_OR_RETURN(const uint64_t kleene_count, in->Get<uint64_t>());
+  EXSTREAM_ASSIGN_OR_RETURN(const uint16_t n_bound, in->Get<uint16_t>());
+  if (n_bound != bound_.size()) {
+    return Status::Corruption(
+        StrFormat("run snapshot binds %u components, query has %zu", n_bound,
+                  bound_.size()));
+  }
+  for (Event& e : bound_) {
+    EXSTREAM_ASSIGN_OR_RETURN(e, GetEvent(in));
+  }
+  EXSTREAM_ASSIGN_OR_RETURN(const uint16_t n_aggs, in->Get<uint16_t>());
+  if (n_aggs != aggs_.size()) {
+    return Status::Corruption(
+        StrFormat("run snapshot carries %u aggregates, query has %zu", n_aggs,
+                  aggs_.size()));
+  }
+  for (AggState& a : aggs_) {
+    EXSTREAM_ASSIGN_OR_RETURN(a.sum, in->Get<double>());
+    EXSTREAM_ASSIGN_OR_RETURN(a.min, in->Get<double>());
+    EXSTREAM_ASSIGN_OR_RETURN(a.max, in->Get<double>());
+    EXSTREAM_ASSIGN_OR_RETURN(a.count, in->Get<uint64_t>());
+  }
+  state_ = static_cast<size_t>(state);
+  last_positive_ = last_positive;
+  run_start_ = run_start;
+  kleene_active_ = kleene_active != 0;
+  kleene_count_ = static_cast<size_t>(kleene_count);
+  return Status::OK();
 }
 
 }  // namespace exstream

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "cep/match_table.h"
+#include "common/bytes.h"
 #include "cep/predicate.h"
 #include "common/result.h"
 #include "event/registry.h"
@@ -121,6 +122,14 @@ class QueryRun {
 
   /// Resets to the initial state.
   void Reset();
+
+  /// \brief Serializes the run's full matching state (NFA position, bound
+  /// events, kleene aggregates) for a checkpoint manifest.
+  void SaveState(BytesWriter* out) const;
+
+  /// \brief Restores a SaveState snapshot. The run must have been built from
+  /// an identically compiled query (same components and RETURN items).
+  Status RestoreState(BytesReader* in);
 
   size_t current_state() const { return state_; }
   size_t kleene_count() const { return kleene_count_; }

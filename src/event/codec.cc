@@ -1,0 +1,60 @@
+#include "event/codec.h"
+
+namespace exstream {
+
+void PutValue(BytesWriter* out, const Value& v) {
+  out->Put<uint8_t>(static_cast<uint8_t>(v.type()));
+  switch (v.type()) {
+    case ValueType::kInt64:
+      out->Put<int64_t>(v.AsInt64());
+      break;
+    case ValueType::kDouble:
+      out->Put<double>(v.AsDouble());
+      break;
+    case ValueType::kString:
+      out->PutString(v.AsString());
+      break;
+  }
+}
+
+Result<Value> GetValue(BytesReader* in) {
+  EXSTREAM_ASSIGN_OR_RETURN(const uint8_t tag, in->Get<uint8_t>());
+  switch (static_cast<ValueType>(tag)) {
+    case ValueType::kInt64: {
+      EXSTREAM_ASSIGN_OR_RETURN(const int64_t v, in->Get<int64_t>());
+      return Value(v);
+    }
+    case ValueType::kDouble: {
+      EXSTREAM_ASSIGN_OR_RETURN(const double v, in->Get<double>());
+      return Value(v);
+    }
+    case ValueType::kString: {
+      EXSTREAM_ASSIGN_OR_RETURN(std::string s, in->GetString());
+      return Value(std::move(s));
+    }
+  }
+  return Status::Corruption(
+      StrFormat("bad value tag %u at offset %zu", tag, in->pos() - 1));
+}
+
+void PutEvent(BytesWriter* out, const Event& e) {
+  out->Put<int64_t>(e.ts);
+  out->Put<uint32_t>(e.type);
+  out->Put<uint16_t>(static_cast<uint16_t>(e.values.size()));
+  for (const Value& v : e.values) PutValue(out, v);
+}
+
+Result<Event> GetEvent(BytesReader* in) {
+  Event e;
+  EXSTREAM_ASSIGN_OR_RETURN(e.ts, in->Get<int64_t>());
+  EXSTREAM_ASSIGN_OR_RETURN(e.type, in->Get<uint32_t>());
+  EXSTREAM_ASSIGN_OR_RETURN(const uint16_t nvals, in->Get<uint16_t>());
+  e.values.reserve(nvals);
+  for (uint16_t j = 0; j < nvals; ++j) {
+    EXSTREAM_ASSIGN_OR_RETURN(Value v, GetValue(in));
+    e.values.push_back(std::move(v));
+  }
+  return e;
+}
+
+}  // namespace exstream

@@ -37,4 +37,53 @@ size_t PartitionTable::size() const {
   return records_.size();
 }
 
+std::vector<PartitionRecord> PartitionTable::AllRecords() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<PartitionRecord> out;
+  out.reserve(records_.size());
+  for (const auto& [key, rec] : records_) out.push_back(rec);
+  return out;
+}
+
+void PartitionTable::SaveState(BytesWriter* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  out->Put<uint32_t>(static_cast<uint32_t>(records_.size()));
+  for (const auto& [key, rec] : records_) {
+    out->PutString(rec.query_name);
+    out->PutString(rec.partition);
+    out->Put<uint32_t>(static_cast<uint32_t>(rec.dimensions.size()));
+    for (const auto& [name, value] : rec.dimensions) {
+      out->PutString(name);
+      out->PutString(value);
+    }
+    out->Put<int64_t>(rec.start_ts);
+    out->Put<int64_t>(rec.end_ts);
+    out->Put<uint64_t>(rec.num_points);
+  }
+}
+
+Status PartitionTable::RestoreState(BytesReader* in) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!records_.empty()) {
+    return Status::InvalidArgument("partition table must be empty before restore");
+  }
+  EXSTREAM_ASSIGN_OR_RETURN(const uint32_t n_records, in->Get<uint32_t>());
+  for (uint32_t i = 0; i < n_records; ++i) {
+    PartitionRecord rec;
+    EXSTREAM_ASSIGN_OR_RETURN(rec.query_name, in->GetString());
+    EXSTREAM_ASSIGN_OR_RETURN(rec.partition, in->GetString());
+    EXSTREAM_ASSIGN_OR_RETURN(const uint32_t n_dims, in->Get<uint32_t>());
+    for (uint32_t d = 0; d < n_dims; ++d) {
+      EXSTREAM_ASSIGN_OR_RETURN(std::string name, in->GetString());
+      EXSTREAM_ASSIGN_OR_RETURN(std::string value, in->GetString());
+      rec.dimensions.emplace(std::move(name), std::move(value));
+    }
+    EXSTREAM_ASSIGN_OR_RETURN(rec.start_ts, in->Get<int64_t>());
+    EXSTREAM_ASSIGN_OR_RETURN(rec.end_ts, in->Get<int64_t>());
+    EXSTREAM_ASSIGN_OR_RETURN(rec.num_points, in->Get<uint64_t>());
+    records_.emplace(std::make_pair(rec.query_name, rec.partition), std::move(rec));
+  }
+  return Status::OK();
+}
+
 }  // namespace exstream

@@ -88,6 +88,49 @@ Result<Value> ParseField(const std::string& field, ValueType type, size_t line_n
   return Status::Internal("unknown value type");
 }
 
+// Parses one content line into an event. `unknown_type` distinguishes the
+// one failure non-strict mode has always skipped silently.
+Result<Event> ParseCsvRow(std::string_view line, const EventTypeRegistry& registry,
+                          const CsvOptions& options, size_t line_no,
+                          bool* unknown_type) {
+  *unknown_type = false;
+  EXSTREAM_ASSIGN_OR_RETURN(const std::vector<std::string> fields,
+                            SplitCsvLine(line, options.delimiter, line_no));
+  if (fields.size() < 2) {
+    return Status::ParseError(
+        StrFormat("line %zu: need at least eventType and timestamp", line_no));
+  }
+  auto type_id = registry.IdOf(fields[0]);
+  if (!type_id.ok()) {
+    *unknown_type = true;
+    return Status::ParseError(StrFormat("line %zu: unknown event type '%s'",
+                                        line_no, fields[0].c_str()));
+  }
+  const EventSchema& schema = registry.schema(*type_id);
+  if (fields.size() != schema.num_attributes() + 2) {
+    return Status::ParseError(StrFormat(
+        "line %zu: type '%s' expects %zu attribute columns, got %zu", line_no,
+        fields[0].c_str(), schema.num_attributes(), fields.size() - 2));
+  }
+  char* ts_end = nullptr;
+  const long long ts = strtoll(fields[1].c_str(), &ts_end, 10);
+  if (ts_end == fields[1].c_str() || *ts_end != '\0') {
+    return Status::ParseError(
+        StrFormat("line %zu: bad timestamp '%s'", line_no, fields[1].c_str()));
+  }
+  Event event;
+  event.type = *type_id;
+  event.ts = static_cast<Timestamp>(ts);
+  event.values.reserve(schema.num_attributes());
+  for (size_t a = 0; a < schema.num_attributes(); ++a) {
+    const AttributeDef& attr = schema.attributes()[a];
+    EXSTREAM_ASSIGN_OR_RETURN(
+        Value v, ParseField(fields[a + 2], attr.type, line_no, attr.name));
+    event.values.push_back(std::move(v));
+  }
+  return event;
+}
+
 }  // namespace
 
 Result<CsvParseResult> ParseCsvEvents(std::string_view text,
@@ -103,56 +146,27 @@ Result<CsvParseResult> ParseCsvEvents(std::string_view text,
     const std::string_view line = text.substr(start, end - start);
     start = end + 1;
     ++line_no;
-    if (TrimWhitespace(line).empty()) {
-      if (end == text.size()) break;
-      continue;
-    }
-    if (header_pending) {
-      header_pending = false;
-      if (end == text.size()) break;
-      continue;
-    }
-    EXSTREAM_ASSIGN_OR_RETURN(const std::vector<std::string> fields,
-                              SplitCsvLine(line, options.delimiter, line_no));
-    if (fields.size() < 2) {
-      return Status::ParseError(
-          StrFormat("line %zu: need at least eventType and timestamp", line_no));
-    }
-    auto type_id = registry.IdOf(fields[0]);
-    if (!type_id.ok()) {
-      if (options.strict) {
-        return Status::ParseError(
-            StrFormat("line %zu: unknown event type '%s'", line_no,
-                      fields[0].c_str()));
+    if (!TrimWhitespace(line).empty()) {
+      if (header_pending) {
+        header_pending = false;
+      } else {
+        bool unknown_type = false;
+        Result<Event> event =
+            ParseCsvRow(line, registry, options, line_no, &unknown_type);
+        if (event.ok()) {
+          result.events.push_back(std::move(*event));
+        } else if (options.permissive) {
+          ++result.rejected_rows;
+          if (result.row_errors.size() < CsvParseResult::kMaxRowErrors) {
+            result.row_errors.push_back({line_no, event.status()});
+          }
+        } else if (unknown_type && !options.strict) {
+          ++result.skipped_rows;
+        } else {
+          return event.status();
+        }
       }
-      ++result.skipped_rows;
-      if (end == text.size()) break;
-      continue;
     }
-    const EventSchema& schema = registry.schema(*type_id);
-    if (fields.size() != schema.num_attributes() + 2) {
-      return Status::ParseError(StrFormat(
-          "line %zu: type '%s' expects %zu attribute columns, got %zu", line_no,
-          fields[0].c_str(), schema.num_attributes(), fields.size() - 2));
-    }
-    char* ts_end = nullptr;
-    const long long ts = strtoll(fields[1].c_str(), &ts_end, 10);
-    if (ts_end == fields[1].c_str() || *ts_end != '\0') {
-      return Status::ParseError(
-          StrFormat("line %zu: bad timestamp '%s'", line_no, fields[1].c_str()));
-    }
-    Event event;
-    event.type = *type_id;
-    event.ts = static_cast<Timestamp>(ts);
-    event.values.reserve(schema.num_attributes());
-    for (size_t a = 0; a < schema.num_attributes(); ++a) {
-      const AttributeDef& attr = schema.attributes()[a];
-      EXSTREAM_ASSIGN_OR_RETURN(Value v,
-                                ParseField(fields[a + 2], attr.type, line_no,
-                                           attr.name));
-      event.values.push_back(std::move(v));
-    }
-    result.events.push_back(std::move(event));
     if (end == text.size()) break;
   }
   return result;

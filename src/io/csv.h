@@ -27,12 +27,29 @@ struct CsvOptions {
   /// Reject rows whose type is not registered (otherwise they are skipped
   /// and counted).
   bool strict = true;
+  /// \brief Keep parsing past malformed rows (wrong arity, unparsable
+  /// numbers, bad timestamps, unknown types): each bad row is counted in
+  /// `rejected_rows` and its error recorded in `row_errors`, instead of the
+  /// first one failing the whole parse. Overrides `strict`.
+  bool permissive = false;
 };
 
 /// \brief Result of a parse: the events plus per-row diagnostics.
 struct CsvParseResult {
+  /// One malformed row's diagnosis (permissive mode).
+  struct RowError {
+    size_t line_no = 0;
+    Status status;
+  };
+
   std::vector<Event> events;
-  size_t skipped_rows = 0;  ///< unknown-type rows skipped in non-strict mode
+  size_t skipped_rows = 0;   ///< unknown-type rows skipped in non-strict mode
+  size_t rejected_rows = 0;  ///< malformed rows dropped in permissive mode
+  /// Per-row errors behind `rejected_rows`, capped at kMaxRowErrors so a
+  /// wholly garbage file cannot balloon the result.
+  std::vector<RowError> row_errors;
+
+  static constexpr size_t kMaxRowErrors = 100;
 };
 
 /// \brief Parses CSV text into events, validating against the registry.

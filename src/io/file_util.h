@@ -1,0 +1,35 @@
+// Small filesystem helpers shared by the WAL, checkpoints, and quarantine
+// housekeeping. All write paths honor the global FaultInjector so durability
+// tests can inject torn writes, ENOSPC, and corruption at the same seam the
+// spill writers use.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace exstream {
+
+/// \brief Creates `dir` (one level; parents must exist). OK if it already
+/// exists as a directory.
+Status EnsureDir(const std::string& dir);
+
+/// \brief Writes `data` to `path` atomically: temp file + fsync + rename.
+/// Honors injected write faults (same contract as the spill writers: a
+/// kTruncate fault publishes only a prefix under the final name, simulating
+/// post-rename media loss).
+Status WriteFileAtomic(const std::string& path, std::string data);
+
+/// \brief Reads the raw bytes of `path`, honoring injected read faults.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// \brief Non-recursive listing of regular-file names (not paths) in `dir`,
+/// sorted lexicographically. Missing directory is OK (empty listing).
+Result<std::vector<std::string>> ListDirFiles(const std::string& dir);
+
+/// \brief Deletes a file; OK if it does not exist.
+Status RemoveFileIfExists(const std::string& path);
+
+}  // namespace exstream

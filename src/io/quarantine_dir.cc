@@ -1,0 +1,48 @@
+#include "io/quarantine_dir.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include <sys/stat.h>
+
+#include "common/logging.h"
+#include "io/file_util.h"
+
+namespace exstream {
+
+namespace {
+bool HasQuarantineSuffix(const std::string& name) {
+  static constexpr std::string_view kSuffix = ".quarantine";
+  return name.size() >= kSuffix.size() &&
+         std::string_view(name).substr(name.size() - kSuffix.size()) == kSuffix;
+}
+}  // namespace
+
+Result<size_t> EnforceQuarantineCap(const std::string& dir, size_t max_files) {
+  EXSTREAM_ASSIGN_OR_RETURN(const std::vector<std::string> names, ListDirFiles(dir));
+  std::vector<std::pair<int64_t, std::string>> aged;  // (mtime, name)
+  for (const std::string& name : names) {
+    if (!HasQuarantineSuffix(name)) continue;
+    struct stat st;
+    const std::string path = dir + "/" + name;
+    const int64_t mtime =
+        stat(path.c_str(), &st) == 0 ? static_cast<int64_t>(st.st_mtime) : 0;
+    aged.emplace_back(mtime, name);
+  }
+  if (aged.size() <= max_files) return size_t{0};
+  std::sort(aged.begin(), aged.end());
+  const size_t to_evict = aged.size() - max_files;
+  size_t evicted = 0;
+  for (size_t i = 0; i < to_evict; ++i) {
+    const std::string path = dir + "/" + aged[i].second;
+    if (RemoveFileIfExists(path).ok()) {
+      ++evicted;
+      EXSTREAM_LOG(Warn) << "quarantine cap (" << max_files << "): evicted "
+                         << path;
+    }
+  }
+  return evicted;
+}
+
+}  // namespace exstream

@@ -1,0 +1,20 @@
+// Quarantine-directory housekeeping: *.quarantine files preserve unreadable
+// spill chunks and rejected-event logs for offline triage, but an unattended
+// deployment must not let them grow without bound. EnforceQuarantineCap keeps
+// the newest `max_files` and deletes the rest, oldest first.
+
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+
+namespace exstream {
+
+/// \brief Deletes the oldest `*.quarantine` files in `dir` until at most
+/// `max_files` remain. Age is by mtime (name breaks ties, so eviction order
+/// is deterministic for same-second files). Returns the number evicted; a
+/// missing directory evicts nothing.
+Result<size_t> EnforceQuarantineCap(const std::string& dir, size_t max_files);
+
+}  // namespace exstream

@@ -1,0 +1,84 @@
+#include "sim/chaos.h"
+
+#include <limits>
+
+namespace exstream {
+
+void MalformingSink::MaybeMalform(Event* event) {
+  if (options_.malformed_fraction <= 0.0 ||
+      !rng_.Chance(options_.malformed_fraction)) {
+    return;
+  }
+  // Cycle the corruption kinds so every run exercises all of them at any
+  // fraction, rather than sampling kinds at random.
+  const MalformKind kind = static_cast<MalformKind>(next_kind_ % 4);
+  next_kind_ = static_cast<uint8_t>((next_kind_ + 1) % 4);
+  switch (kind) {
+    case MalformKind::kUnknownType:
+      event->type = options_.num_known_types + 17;
+      break;
+    case MalformKind::kDropAttribute:
+      if (!event->values.empty()) {
+        event->values.pop_back();
+      } else {
+        event->type = options_.num_known_types + 17;  // nothing to drop
+      }
+      break;
+    case MalformKind::kNaNValue: {
+      bool poisoned = false;
+      for (Value& v : event->values) {
+        if (v.type() == ValueType::kDouble) {
+          v = Value(std::numeric_limits<double>::quiet_NaN());
+          poisoned = true;
+          break;
+        }
+      }
+      if (!poisoned) event->ts = std::numeric_limits<Timestamp>::max();
+      break;
+    }
+    case MalformKind::kStaleTimestamp:
+      event->ts = std::numeric_limits<Timestamp>::max();
+      break;
+  }
+  ++malformed_emitted_;
+}
+
+void MalformingSink::OnEvent(const Event& event) {
+  Event copy = event;
+  MaybeMalform(&copy);
+  inner_->OnEvent(copy);
+}
+
+void MalformingSink::OnEventBatch(EventBatch batch) {
+  for (Event& e : batch) MaybeMalform(&e);
+  inner_->OnEventBatch(std::move(batch));
+}
+
+void CrashingSink::OnEvent(const Event& event) {
+  if (remaining_ == 0) {
+    ++events_lost_;
+    return;
+  }
+  --remaining_;
+  inner_->OnEvent(event);
+}
+
+void CrashingSink::OnEventBatch(EventBatch batch) {
+  if (remaining_ == 0) {
+    events_lost_ += batch.size();
+    return;
+  }
+  if (batch.size() <= remaining_) {
+    remaining_ -= batch.size();
+    inner_->OnEventBatch(std::move(batch));
+    return;
+  }
+  // The crash lands mid-batch: deliver the prefix, lose the rest.
+  EventBatch prefix(std::make_move_iterator(batch.begin()),
+                    std::make_move_iterator(batch.begin() + remaining_));
+  events_lost_ += batch.size() - remaining_;
+  remaining_ = 0;
+  inner_->OnEventBatch(std::move(prefix));
+}
+
+}  // namespace exstream

@@ -1,0 +1,85 @@
+// Chaos adapters for the simulators: a malformed-event producer and a
+// mid-stream crash, both deterministic, both usable in front of any sink.
+//
+// The ingest-guard and WAL-recovery tests drive either simulator through
+// these adapters instead of teaching each simulator about corruption: the
+// simulator stays a clean event source, and the adapter models the hostile
+// producer (MalformingSink) or the process that dies mid-stream
+// (CrashingSink).
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "event/stream.h"
+
+namespace exstream {
+
+/// \brief Corruption kinds MalformingSink cycles through, in order.
+enum class MalformKind : uint8_t {
+  kUnknownType,     ///< type id past the registry
+  kDropAttribute,   ///< one value short of the schema arity
+  kNaNValue,        ///< a NaN double in the first numeric slot
+  kStaleTimestamp,  ///< the INT64_MAX sentinel timestamp
+};
+
+struct MalformingSinkOptions {
+  /// Fraction of events corrupted (Bernoulli per event, seeded).
+  double malformed_fraction = 0.0;
+  uint64_t seed = 1;
+  /// Type ids at or past this count as unknown (pass the registry size).
+  uint32_t num_known_types = 0;
+};
+
+/// \brief Corrupts a deterministic fraction of the stream before forwarding —
+/// the "buggy producer" the ingest guard must survive. Corrupted events stay
+/// in the stream (the guard is expected to reject them); the clean remainder
+/// is forwarded untouched.
+class MalformingSink : public EventSink {
+ public:
+  MalformingSink(EventSink* inner, MalformingSinkOptions options)
+      : inner_(inner), options_(options), rng_(options.seed) {}
+
+  void OnEvent(const Event& event) override;
+  void OnEventBatch(EventBatch batch) override;
+  void OnStreamEnd() override { inner_->OnStreamEnd(); }
+
+  /// Events corrupted so far.
+  size_t malformed_emitted() const { return malformed_emitted_; }
+
+ private:
+  void MaybeMalform(Event* event);
+
+  EventSink* inner_;  // not owned
+  MalformingSinkOptions options_;
+  Rng rng_;
+  size_t malformed_emitted_ = 0;
+  uint8_t next_kind_ = 0;
+};
+
+/// \brief Forwards exactly `events_before_crash` events, then goes silent —
+/// the crash point for recovery tests. A crashed process never flushes, so
+/// OnStreamEnd is also swallowed after the crash.
+class CrashingSink : public EventSink {
+ public:
+  CrashingSink(EventSink* inner, size_t events_before_crash)
+      : inner_(inner), remaining_(events_before_crash) {}
+
+  void OnEvent(const Event& event) override;
+  void OnEventBatch(EventBatch batch) override;
+  void OnStreamEnd() override {
+    if (!crashed()) inner_->OnStreamEnd();
+  }
+
+  bool crashed() const { return remaining_ == 0; }
+  /// Events that were dropped on the floor after the crash point.
+  size_t events_lost() const { return events_lost_; }
+
+ private:
+  EventSink* inner_;  // not owned
+  size_t remaining_;
+  size_t events_lost_ = 0;
+};
+
+}  // namespace exstream

@@ -1,22 +1,88 @@
 #include "xstream/system.h"
 
+#include <unistd.h>
+
+#include <chrono>
+
+#include "common/crc32.h"
+#include "common/logging.h"
 #include "common/stopwatch.h"
+#include "common/strings.h"
+#include "io/file_util.h"
 
 namespace exstream {
+
+namespace {
+
+constexpr uint32_t kManifestMagic = 0x45584350;  // "EXCP"
+constexpr uint32_t kManifestVersion = 1;
+
+}  // namespace
 
 XStreamSystem::XStreamSystem(const EventTypeRegistry* registry, XStreamConfig config)
     : registry_(registry),
       config_(std::move(config)),
       archive_(registry, config_.archive),
       engine_(registry, config_.ingest),
+      guard_(registry, config_.guard),
       idle_latency_(0.0, config_.latency_histogram_max, 64),
-      busy_latency_(0.0, config_.latency_histogram_max, 64) {}
+      busy_latency_(0.0, config_.latency_histogram_max, 64) {
+  if (config_.durability.wal_dir.has_value()) {
+    WalOptions wopts;
+    wopts.dir = *config_.durability.wal_dir;
+    wopts.segment_bytes = config_.durability.wal_segment_bytes;
+    wopts.fsync = config_.durability.fsync;
+    wopts.fsync_interval_ms = config_.durability.fsync_interval_ms;
+    auto wal = WriteAheadLog::Open(std::move(wopts));
+    if (wal.ok()) {
+      wal_ = std::move(*wal);
+      next_seq_ = wal_->next_seq();
+    } else {
+      // Monitoring availability beats durability: keep ingesting without a
+      // log rather than refusing to start. The failure stays visible here
+      // and through wal() == nullptr.
+      EXSTREAM_LOG(Error) << "WAL disabled: cannot open "
+                          << *config_.durability.wal_dir << ": "
+                          << wal.status().ToString();
+    }
+  }
+  if (config_.overload.queue_capacity > 0) {
+    worker_ = std::thread(&XStreamSystem::WorkerLoop, this);
+  }
+}
+
+XStreamSystem::~XStreamSystem() {
+  if (worker_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      stopping_ = true;
+    }
+    queue_pop_cv_.notify_all();
+    queue_push_cv_.notify_all();
+    worker_.join();
+  }
+}
 
 Result<QueryId> XStreamSystem::AddQuery(std::string_view text, std::string name) {
-  return engine_.AddQueryText(text, std::move(name));
+  EXSTREAM_ASSIGN_OR_RETURN(const QueryId id,
+                            engine_.AddQueryText(text, std::string(name)));
+  query_texts_.emplace_back(std::string(text), std::move(name));
+  return id;
 }
 
 void XStreamSystem::OnEvent(const Event& event) {
+  // With reordering, logging, or queueing active the single event must flow
+  // through the shared release pipeline; otherwise keep the zero-copy
+  // per-event fast path (validation only).
+  if (config_.guard.lateness_slack.has_value() || wal_ != nullptr ||
+      config_.overload.queue_capacity > 0) {
+    EventBatch batch;
+    batch.push_back(event);
+    OnEventBatch(std::move(batch));
+    return;
+  }
+  if (config_.guard.validate && !guard_.AdmitOne(event)) return;
+  ++next_seq_;
   Stopwatch timer;
   engine_.OnEvent(event);
   archive_.OnEvent(event);
@@ -30,6 +96,100 @@ void XStreamSystem::OnEvent(const Event& event) {
 
 void XStreamSystem::OnEventBatch(EventBatch batch) {
   if (batch.empty()) return;
+  Dispatch(guard_.Admit(std::move(batch)));
+}
+
+void XStreamSystem::Dispatch(EventBatch released) {
+  if (released.empty()) return;
+  if (config_.overload.queue_capacity > 0) {
+    Enqueue(std::move(released));
+  } else {
+    ApplyBatch(std::move(released));
+  }
+}
+
+void XStreamSystem::Enqueue(EventBatch batch) {
+  std::unique_lock<std::mutex> lock(queue_mu_);
+  const size_t cap = config_.overload.queue_capacity;
+  if (queue_.size() >= cap || stopping_) {
+    switch (stopping_ ? BackpressurePolicy::kShedNewest : config_.overload.policy) {
+      case BackpressurePolicy::kBlock: {
+        const auto deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::milliseconds(config_.overload.block_deadline_ms);
+        queue_push_cv_.wait_until(
+            lock, deadline, [&] { return queue_.size() < cap || stopping_; });
+        if (queue_.size() >= cap || stopping_) {
+          // Overload must not become deadlock: past the deadline the batch
+          // is shed and the producer keeps running.
+          shed_events_ += batch.size();
+          ++shed_batches_;
+          return;
+        }
+        break;
+      }
+      case BackpressurePolicy::kShedOldest:
+        while (queue_.size() >= cap) {
+          shed_events_ += queue_.front().size();
+          ++shed_batches_;
+          queue_.pop_front();
+        }
+        break;
+      case BackpressurePolicy::kShedNewest:
+        shed_events_ += batch.size();
+        ++shed_batches_;
+        return;
+    }
+  }
+  queue_.push_back(std::move(batch));
+  queue_pop_cv_.notify_one();
+}
+
+void XStreamSystem::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(queue_mu_);
+  for (;;) {
+    queue_pop_cv_.wait(lock, [&] { return !queue_.empty() || stopping_; });
+    if (queue_.empty() && stopping_) return;
+    EventBatch batch = std::move(queue_.front());
+    queue_.pop_front();
+    worker_busy_ = true;
+    queue_push_cv_.notify_all();
+    lock.unlock();
+    ApplyBatch(std::move(batch));
+    lock.lock();
+    worker_busy_ = false;
+    queue_push_cv_.notify_all();
+  }
+}
+
+void XStreamSystem::DrainQueue() {
+  if (!worker_.joinable()) return;
+  std::unique_lock<std::mutex> lock(queue_mu_);
+  queue_push_cv_.wait(lock, [&] { return queue_.empty() && !worker_busy_; });
+}
+
+void XStreamSystem::ApplyBatch(EventBatch batch) {
+  if (batch.empty()) return;
+  // The WAL append rides on the applying thread, just before the engine sees
+  // the batch. Log-before-apply keeps recovery exact (anything in engine or
+  // archive state is replayable), and with a bounded ingest queue the
+  // serialize+CRC+write runs on the worker, overlapped with the producer's
+  // validation of the next batch. Appending after the queue also means shed
+  // batches never reach the log, so replay cannot resurrect events the
+  // overload policy dropped.
+  if (wal_ != nullptr) {
+    const Status st = wal_->Append(next_seq_, batch);
+    if (!st.ok()) {
+      EXSTREAM_LOG(Error) << "WAL append failed (events stay in memory but "
+                             "will not survive a crash): "
+                          << st.ToString();
+    }
+    // Mirror the WAL's own cursor: a failed append does not advance it, so
+    // the on-disk stream stays contiguous and replayable.
+    next_seq_ = wal_->next_seq();
+  } else {
+    next_seq_ += batch.size();
+  }
   Stopwatch timer;
   const size_t n = batch.size();
   engine_.IngestBatch(batch);
@@ -41,6 +201,118 @@ void XStreamSystem::OnEventBatch(EventBatch batch) {
                         ? busy_latency_
                         : idle_latency_;
   for (size_t i = 0; i < n; ++i) hist.Add(per_event);
+}
+
+void XStreamSystem::OnStreamEnd() { Flush(); }
+
+void XStreamSystem::Flush() {
+  // A visibility barrier, not a durability point: the WAL keeps its own
+  // fsync schedule (policy / background flusher / shutdown sync). Callers
+  // that need bytes on disk take a Checkpoint or call wal()->Sync().
+  Dispatch(guard_.Drain());
+  DrainQueue();
+}
+
+Status XStreamSystem::Checkpoint(const std::string& dir) {
+  // The snapshot must capture a quiescent pipeline: everything dispatched is
+  // applied first. The guard's lateness buffer is NOT released — it is saved
+  // verbatim so recovery resumes with the same watermark state.
+  DrainQueue();
+  EXSTREAM_RETURN_NOT_OK(EnsureDir(dir));
+  BytesWriter w;
+  w.Put<uint32_t>(kManifestMagic);
+  w.Put<uint32_t>(kManifestVersion);
+  w.Put<uint64_t>(next_seq_);
+  w.Put<uint32_t>(static_cast<uint32_t>(query_texts_.size()));
+  for (const auto& [text, name] : query_texts_) {
+    w.PutString(text);
+    w.PutString(name);
+  }
+  guard_.SaveState(&w);
+  engine_.SaveState(&w);
+  EXSTREAM_RETURN_NOT_OK(archive_.CheckpointTo(dir, &w));
+  partitions_.SaveState(&w);
+  const std::string payload = w.Take();
+  BytesWriter framed;
+  framed.Put<uint32_t>(Crc32(payload.data(), payload.size()));
+  framed.PutRaw(payload);
+  EXSTREAM_RETURN_NOT_OK(WriteFileAtomic(dir + "/MANIFEST", framed.Take()));
+  if (wal_ != nullptr) {
+    // Only after the manifest is durably in place may the WAL drop segments
+    // it covers; a crash anywhere above leaves the previous checkpoint plus
+    // the full log, which recovery handles.
+    EXSTREAM_RETURN_NOT_OK(wal_->Sync());
+    EXSTREAM_RETURN_NOT_OK(wal_->TruncateThrough(next_seq_).status());
+  }
+  return Status::OK();
+}
+
+Result<XStreamSystem::RecoveryReport> XStreamSystem::Recover(
+    const std::string& checkpoint_dir) {
+  if (engine_.events_processed() != 0 || archive_.TotalEvents() != 0) {
+    return Status::InvalidArgument(
+        "Recover requires a fresh system: no events ingested yet");
+  }
+  RecoveryReport rep;
+  uint64_t from_seq = 0;
+  const std::string manifest_path =
+      checkpoint_dir.empty() ? std::string() : checkpoint_dir + "/MANIFEST";
+  if (!manifest_path.empty() && ::access(manifest_path.c_str(), F_OK) == 0) {
+    EXSTREAM_ASSIGN_OR_RETURN(const std::string framed,
+                              ReadFileToString(manifest_path));
+    BytesReader fr(framed);
+    EXSTREAM_ASSIGN_OR_RETURN(const uint32_t stored_crc, fr.Get<uint32_t>());
+    const std::string_view payload =
+        std::string_view(framed).substr(sizeof(uint32_t));
+    if (Crc32(payload.data(), payload.size()) != stored_crc) {
+      return Status::Corruption("checkpoint manifest checksum mismatch: " +
+                                manifest_path);
+    }
+    BytesReader in(payload);
+    EXSTREAM_ASSIGN_OR_RETURN(const uint32_t magic, in.Get<uint32_t>());
+    EXSTREAM_ASSIGN_OR_RETURN(const uint32_t version, in.Get<uint32_t>());
+    if (magic != kManifestMagic || version != kManifestVersion) {
+      return Status::Corruption("unrecognized checkpoint manifest header in " +
+                                manifest_path);
+    }
+    EXSTREAM_ASSIGN_OR_RETURN(const uint64_t seq, in.Get<uint64_t>());
+    EXSTREAM_ASSIGN_OR_RETURN(const uint32_t n_queries, in.Get<uint32_t>());
+    if (n_queries != query_texts_.size()) {
+      return Status::InvalidArgument(StrFormat(
+          "checkpoint has %u queries, this system has %zu: add the same "
+          "queries in the same order before Recover",
+          n_queries, query_texts_.size()));
+    }
+    for (uint32_t i = 0; i < n_queries; ++i) {
+      EXSTREAM_ASSIGN_OR_RETURN(const std::string text, in.GetString());
+      EXSTREAM_ASSIGN_OR_RETURN(const std::string name, in.GetString());
+      if (text != query_texts_[i].first || name != query_texts_[i].second) {
+        return Status::InvalidArgument(
+            StrFormat("checkpoint query %u ('%s') does not match this "
+                      "system's query %u ('%s')",
+                      i, name.c_str(), i, query_texts_[i].second.c_str()));
+      }
+    }
+    EXSTREAM_RETURN_NOT_OK(guard_.RestoreState(&in));
+    EXSTREAM_RETURN_NOT_OK(engine_.RestoreState(&in));
+    EXSTREAM_RETURN_NOT_OK(archive_.RestoreFrom(&in));
+    EXSTREAM_RETURN_NOT_OK(partitions_.RestoreState(&in));
+    rep.manifest_loaded = true;
+    rep.checkpoint_seq = seq;
+    from_seq = seq;
+  }
+  if (config_.durability.wal_dir.has_value()) {
+    EXSTREAM_ASSIGN_OR_RETURN(
+        rep.wal,
+        WriteAheadLog::Replay(*config_.durability.wal_dir, from_seq,
+                              [this](EventBatch batch) {
+                                ApplyBatch(std::move(batch));
+                              }));
+    next_seq_ = std::max(from_seq, rep.wal.next_seq);
+  } else {
+    next_seq_ = from_seq;
+  }
+  return rep;
 }
 
 Status XStreamSystem::IndexPartitions(QueryId query,
@@ -84,6 +356,19 @@ Result<ExplanationReport> XStreamSystem::Explain(const AnomalyAnnotation& annota
   explanation_active_.store(true);
   auto result = explainer.Explain(annotation);
   explanation_active_.store(false);
+  if (result.ok()) {
+    // Ingest-side losses make the analyzed data incomplete in ways the
+    // archive scans cannot see; fold them into the degradation accounting.
+    const size_t shed = shed_events_.load();
+    const size_t rejected = guard_.report().total();
+    if (shed > 0 || rejected > 0) {
+      result->degradation.events_shed += shed;
+      result->degradation.events_rejected += rejected;
+      if (result->degradation.degraded()) {
+        result->explanation.MarkDegraded(result->degradation.ToString());
+      }
+    }
+  }
   return result;
 }
 
@@ -93,6 +378,27 @@ std::future<Result<ExplanationReport>> XStreamSystem::ExplainAsync(
   return std::async(std::launch::async, [this, annotation, monitor_query, column] {
     return Explain(annotation, monitor_query, column);
   });
+}
+
+XStreamSystem::FaultStats XStreamSystem::fault_stats() const {
+  FaultStats s;
+  s.spill_read_retries = archive_.spill_read_retries();
+  s.spill_write_retries = archive_.spill_write_retries();
+  s.spill_write_failures = archive_.spill_write_failures();
+  s.quarantined_chunks = archive_.quarantined_chunks();
+  s.degraded_scans = archive_.degraded_scans();
+  const RejectReport rejects = guard_.report();
+  s.quarantine_evictions =
+      archive_.quarantine_evictions() + rejects.reject_file_evictions;
+  s.rejected_events = rejects.total();
+  s.shed_events = shed_events_.load();
+  s.shed_batches = shed_batches_.load();
+  if (wal_ != nullptr) {
+    const WriteAheadLog::Stats wal_stats = wal_->stats();
+    s.wal_append_failures = wal_stats.append_failures;
+    s.wal_sync_failures = wal_stats.sync_failures;
+  }
+  return s;
 }
 
 }  // namespace exstream

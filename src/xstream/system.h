@@ -1,19 +1,38 @@
 // XStreamSystem: the integrated architecture of Fig. 1(c) / Fig. 18.
 //
-//   data source -> CEP engine -> visualization (match tables)
-//                -> archive  -> explanation engine (triggered by annotation)
+//   data source -> ingest guard -> WAL -> CEP engine -> visualization
+//                                      -> archive    -> explanation engine
 //
 // Events stream through OnEvent into both the CEP engine and the archive;
 // per-event processing latency is tracked so the Appendix-C efficiency
 // experiments can quantify how much a concurrently running explanation
 // analysis delays monitoring.
+//
+// Durability (all opt-in, off by default so the hot path is unchanged):
+//  - an IngestGuard validates/reorders the raw stream and quarantines
+//    malformed events instead of aborting;
+//  - a write-ahead log records every released batch before it is applied, so
+//    a crash loses at most the tail the fsync policy allows;
+//  - Checkpoint() snapshots engine + archive + partition state and truncates
+//    the WAL; Recover() restores the snapshot and replays the WAL tail,
+//    reproducing the uncrashed state bit-for-bit;
+//  - a bounded ingest queue with Block/ShedOldest/ShedNewest backpressure
+//    decouples producers from processing; shed counts surface in
+//    fault_stats() and in the DegradationReport of later explanations.
 
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
+#include <deque>
 #include <future>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
+#include <thread>
+#include <utility>
+#include <vector>
 
 #include "archive/archive.h"
 #include "cep/engine.h"
@@ -21,8 +40,36 @@
 #include "explain/engine.h"
 #include "explain/partition_table.h"
 #include "event/stream.h"
+#include "io/wal.h"
+#include "xstream/ingest_guard.h"
 
 namespace exstream {
+
+/// \brief What to do when the bounded ingest queue is full.
+enum class BackpressurePolicy {
+  kBlock,      ///< wait up to `block_deadline_ms`, then shed the new batch
+  kShedOldest, ///< drop queued batches until the new one fits
+  kShedNewest, ///< drop the incoming batch
+};
+
+/// \brief Write-ahead-log configuration (wal_dir unset = no WAL).
+struct DurabilityOptions {
+  /// Directory for WAL segments; unset disables logging entirely.
+  std::optional<std::string> wal_dir;
+  WalFsyncPolicy fsync = WalFsyncPolicy::kInterval;
+  int64_t fsync_interval_ms = 50;
+  size_t wal_segment_bytes = 4u << 20;
+};
+
+/// \brief Bounded ingest queue configuration (capacity 0 = synchronous
+/// ingest on the caller's thread, no queue, no shedding).
+struct OverloadOptions {
+  size_t queue_capacity = 0;  ///< max queued batches
+  BackpressurePolicy policy = BackpressurePolicy::kBlock;
+  /// kBlock only: longest a producer may stall on a full queue before the
+  /// incoming batch is shed anyway (overload must not become deadlock).
+  int64_t block_deadline_ms = 100;
+};
 
 /// \brief System-level configuration.
 struct XStreamConfig {
@@ -34,6 +81,12 @@ struct XStreamConfig {
   /// a worker pool (1 = serial batched, 0 = hardware concurrency). Results
   /// are bit-identical for any value.
   CepEngineOptions ingest;
+  /// Front-end validation / lateness tolerance / reject quarantine.
+  IngestGuardOptions guard;
+  /// Write-ahead logging (off unless wal_dir is set).
+  DurabilityOptions durability;
+  /// Bounded-queue overload protection (off unless queue_capacity > 0).
+  OverloadOptions overload;
   /// Latency histogram range (seconds).
   double latency_histogram_max = 0.1;
 };
@@ -42,6 +95,7 @@ struct XStreamConfig {
 class XStreamSystem : public EventSink {
  public:
   XStreamSystem(const EventTypeRegistry* registry, XStreamConfig config = {});
+  ~XStreamSystem() override;
 
   /// Registers a monitoring query (Fig. 3 syntax).
   Result<QueryId> AddQuery(std::string_view text, std::string name);
@@ -50,16 +104,56 @@ class XStreamSystem : public EventSink {
   /// recording its processing latency.
   void OnEvent(const Event& event) override;
 
-  /// \brief EventSink: the batched throughput path. The engine evaluates the
-  /// batch (possibly sharded over its ingest pool), then the archive takes
-  /// ownership and moves the events into its chunks — no per-event copy.
-  /// Latency histograms record the per-event average of each batch.
+  /// \brief EventSink: the batched throughput path. The guard filters the
+  /// batch, the WAL logs what survived, then the engine evaluates it
+  /// (possibly sharded over its ingest pool) and the archive takes ownership
+  /// of the events — no per-event copy. Latency histograms record the
+  /// per-event average of each batch.
   void OnEventBatch(EventBatch batch) override;
+
+  /// EventSink: flushes the lateness buffer and drains the ingest queue.
+  void OnStreamEnd() override;
+
+  /// \brief Releases everything the guard holds and waits for the ingest
+  /// queue to drain. After Flush() the engine/archive reflect every event
+  /// admitted so far. This is a visibility barrier, not a durability point:
+  /// the WAL fsyncs on its own policy schedule (and on shutdown/Checkpoint),
+  /// so callers that need bytes on disk use Checkpoint() or wal()->Sync().
+  void Flush();
+
+  /// \brief Snapshots the complete monitoring state (engine runs, interners,
+  /// match tables, archive chunks, partition records, guard watermarks) into
+  /// `dir`, then truncates WAL segments the snapshot covers.
+  ///
+  /// The manifest is written atomically, so a crash mid-checkpoint leaves
+  /// the previous checkpoint (and the full WAL) intact. Must not race with
+  /// ingestion: callers pause producers first (Flush() is implied).
+  Status Checkpoint(const std::string& dir);
+
+  struct RecoveryReport {
+    bool manifest_loaded = false;    ///< a valid checkpoint manifest was found
+    uint64_t checkpoint_seq = 0;     ///< WAL sequence the manifest covers
+    WalReplayStats wal;              ///< replay of the tail past the manifest
+  };
+
+  /// \brief Restores a Checkpoint() snapshot from `dir` (pass "" to recover
+  /// from the WAL alone) and replays the WAL tail. The system must be fresh:
+  /// same queries added in the same order, no events ingested.
+  Result<RecoveryReport> Recover(const std::string& checkpoint_dir);
 
   CepEngine& engine() { return engine_; }
   const CepEngine& engine() const { return engine_; }
   EventArchive& archive() { return archive_; }
   PartitionTable& partitions() { return partitions_; }
+
+  /// The guard's reject counters (malformed / late events).
+  RejectReport reject_report() const { return guard_.report(); }
+
+  /// WAL handle for stats inspection; nullptr when durability is off.
+  const WriteAheadLog* wal() const { return wal_.get(); }
+
+  /// Valid events dropped by queue shedding so far.
+  size_t shed_events() const { return shed_events_.load(); }
 
   /// Rebuilds partition-table records from a query's match table.
   Status IndexPartitions(QueryId query, std::map<std::string, std::string> dimensions);
@@ -68,6 +162,10 @@ class XStreamSystem : public EventSink {
   SeriesProvider MakeSeriesProvider(QueryId query, std::string column) const;
 
   /// \brief Runs the explanation pipeline synchronously.
+  ///
+  /// If ingest shed or rejected events before the analysis, the counts are
+  /// folded into the report's DegradationReport (shedding marks the
+  /// explanation degraded; rejects are informational).
   ///
   /// \param annotation the user's I_A / I_R annotation
   /// \param monitor_query the query whose visualization was annotated
@@ -88,27 +186,58 @@ class XStreamSystem : public EventSink {
   /// Per-event processing latency while an explanation was running.
   const Histogram& busy_latency() const { return busy_latency_; }
 
-  /// \brief Archive resilience counters (spill I/O retries, quarantines,
-  /// degraded scans) — the system's fault-health metrics surface.
+  /// \brief Resilience counters across the ingest front-end, WAL, and
+  /// archive — the system's fault-health metrics surface.
   struct FaultStats {
     size_t spill_read_retries = 0;   ///< transient read faults retried away
     size_t spill_write_retries = 0;  ///< transient write faults retried away
     size_t spill_write_failures = 0; ///< spills abandoned (chunk kept resident)
     size_t quarantined_chunks = 0;   ///< chunks renamed *.quarantine
     size_t degraded_scans = 0;       ///< scans that returned partial data
+    size_t quarantine_evictions = 0; ///< quarantine files evicted by the cap
+    size_t rejected_events = 0;      ///< malformed/late events quarantined
+    size_t shed_events = 0;          ///< valid events dropped by backpressure
+    size_t shed_batches = 0;         ///< batches those events arrived in
+    size_t wal_append_failures = 0;  ///< WAL appends that failed (I/O)
+    size_t wal_sync_failures = 0;    ///< fsyncs that failed
   };
-  FaultStats fault_stats() const {
-    return FaultStats{archive_.spill_read_retries(), archive_.spill_write_retries(),
-                      archive_.spill_write_failures(), archive_.quarantined_chunks(),
-                      archive_.degraded_scans()};
-  }
+  FaultStats fault_stats() const;
 
  private:
+  /// The processing stage: engine + archive + latency histograms. Runs on
+  /// the caller with no queue, on the worker thread otherwise.
+  void ApplyBatch(EventBatch batch);
+  /// WAL-logs a released batch and hands it to the queue or ApplyBatch.
+  void Dispatch(EventBatch released);
+  void Enqueue(EventBatch batch);
+  void WorkerLoop();
+  /// Blocks until the queue is empty and the worker idle.
+  void DrainQueue();
+
   const EventTypeRegistry* registry_;  // not owned
   XStreamConfig config_;
   EventArchive archive_;
   CepEngine engine_;
   PartitionTable partitions_;
+  IngestGuard guard_;
+  std::unique_ptr<WriteAheadLog> wal_;
+  /// Sequence number of the next event to release (== events released so
+  /// far); WAL records are stamped with it. Producer-thread only.
+  uint64_t next_seq_ = 0;
+  /// Query texts in AddQuery order, for checkpoint-manifest validation.
+  std::vector<std::pair<std::string, std::string>> query_texts_;
+
+  // Bounded ingest queue (only used when overload.queue_capacity > 0).
+  std::mutex queue_mu_;
+  std::condition_variable queue_push_cv_;  ///< space available / drained
+  std::condition_variable queue_pop_cv_;   ///< work available / stopping
+  std::deque<EventBatch> queue_;
+  bool worker_busy_ = false;
+  bool stopping_ = false;
+  std::thread worker_;
+  std::atomic<size_t> shed_events_{0};
+  std::atomic<size_t> shed_batches_{0};
+
   std::atomic<bool> explanation_active_{false};
   Histogram idle_latency_;
   Histogram busy_latency_;

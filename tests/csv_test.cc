@@ -117,5 +117,71 @@ TEST_F(CsvTest, FileRoundTrip) {
   EXPECT_TRUE(ReadCsvEventsFile("/no/such/file.csv", registry_).status().IsIOError());
 }
 
+TEST_F(CsvTest, PermissiveCountsEveryKindOfBadRow) {
+  CsvOptions options;
+  options.permissive = true;
+  const std::string_view text =
+      "Cpu,1,3,0.5\n"    // good
+      "Cpu,2,3\n"        // wrong arity
+      "Cpu,3,x,0.5\n"    // unparsable number
+      "Cpu,abc,3,0.5\n"  // bad timestamp
+      "Nope,4,7\n"       // unknown type
+      "Log,5,ok\n";      // good
+  auto parsed = ParseCsvEvents(text, registry_, options);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->events.size(), 2u);
+  EXPECT_EQ(parsed->rejected_rows, 4u);
+  ASSERT_EQ(parsed->row_errors.size(), 4u);
+  // Each error carries the offending line and a parse diagnosis.
+  EXPECT_EQ(parsed->row_errors[0].line_no, 2u);
+  EXPECT_NE(parsed->row_errors[0].status.ToString().find("attribute columns"),
+            std::string::npos);
+  EXPECT_EQ(parsed->row_errors[1].line_no, 3u);
+  EXPECT_EQ(parsed->row_errors[2].line_no, 4u);
+  EXPECT_NE(parsed->row_errors[2].status.ToString().find("timestamp"),
+            std::string::npos);
+  EXPECT_EQ(parsed->row_errors[3].line_no, 5u);
+  EXPECT_NE(parsed->row_errors[3].status.ToString().find("unknown event type"),
+            std::string::npos);
+  // The good rows parse exactly as they would alone.
+  EXPECT_EQ(parsed->events[0].ts, 1);
+  EXPECT_EQ(parsed->events[1].values[0].ToString(), "ok");
+}
+
+TEST_F(CsvTest, PermissiveCapsStoredRowErrors) {
+  CsvOptions options;
+  options.permissive = true;
+  std::string text;
+  for (int i = 0; i < 150; ++i) text += "Cpu,1,bad,0.5\n";
+  auto parsed = ParseCsvEvents(text, registry_, options);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->rejected_rows, 150u);  // every row is counted...
+  EXPECT_EQ(parsed->row_errors.size(), CsvParseResult::kMaxRowErrors);
+}
+
+TEST_F(CsvTest, PermissiveOverridesStrictButLegacyModesUnchanged) {
+  // permissive wins over strict.
+  CsvOptions options;
+  options.permissive = true;
+  options.strict = true;
+  auto parsed = ParseCsvEvents("Nope,1,2\nLog,2,ok\n", registry_, options);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->events.size(), 1u);
+  EXPECT_EQ(parsed->rejected_rows, 1u);
+  EXPECT_EQ(parsed->skipped_rows, 0u);
+
+  // Legacy strict: first bad row fails the parse outright.
+  EXPECT_FALSE(ParseCsvEvents("Nope,1,2\nLog,2,ok\n", registry_).ok());
+
+  // Legacy non-strict: unknown types skip, malformed rows still fail.
+  CsvOptions lenient;
+  lenient.strict = false;
+  auto skipped = ParseCsvEvents("Nope,1,2\nLog,2,ok\n", registry_, lenient);
+  ASSERT_TRUE(skipped.ok());
+  EXPECT_EQ(skipped->skipped_rows, 1u);
+  EXPECT_EQ(skipped->rejected_rows, 0u);
+  EXPECT_FALSE(ParseCsvEvents("Cpu,1,x,0.5\n", registry_, lenient).ok());
+}
+
 }  // namespace
 }  // namespace exstream

@@ -16,6 +16,7 @@
 #include "archive/archive.h"
 #include "archive/serialization.h"
 #include "common/fault_injection.h"
+#include "io/file_util.h"
 #include "common/stopwatch.h"
 
 namespace exstream {
@@ -313,6 +314,68 @@ TEST_F(FaultArchiveTest, TransientWriteFaultRetriedAway) {
   auto events = archive.Scan(0, {0, 199});
   ASSERT_TRUE(events.ok());
   EXPECT_EQ(events->size(), 200u);
+}
+
+TEST_F(FaultArchiveTest, EnospcSealKeepsChunkRetryable) {
+  EventArchive archive(&registry_, SpillOptions());
+  {
+    FaultPlan plan;
+    plan.mode = FaultMode::kNoSpace;
+    plan.op = FaultOp::kWrite;
+    plan.path_substring = dir_;
+    ScopedFaultInjection fault(plan);
+    Fill(&archive, 100);  // seal-triggered spills all hit ENOSPC
+    EXPECT_GT(archive.spill_write_failures(), 0u);
+  }
+  // Nothing reached disk while the disk was "full".
+  auto files = ListDirFiles(dir_);
+  ASSERT_TRUE(files.ok());
+  EXPECT_TRUE(files->empty());
+
+  // The disk recovers; later seals probe again (past the cooldown) and the
+  // retained chunks finally spill. No event was lost at any point.
+  for (size_t t = 100; t < 300; ++t) {
+    ASSERT_TRUE(
+        archive.Append(Event(0, static_cast<Timestamp>(t), {Value(t * 0.5)}))
+            .ok());
+  }
+  files = ListDirFiles(dir_);
+  ASSERT_TRUE(files.ok());
+  EXPECT_FALSE(files->empty()) << "spills must resume after ENOSPC clears";
+  auto events = archive.Scan(0, {0, 299});
+  ASSERT_TRUE(events.ok()) << events.status().ToString();
+  EXPECT_EQ(events->size(), 300u);
+}
+
+TEST_F(FaultArchiveTest, QuarantineCapEvictsOldest) {
+  ArchiveOptions options = SpillOptions();
+  options.max_quarantine_files = 2;
+  EventArchive archive(&registry_, options);
+  Fill(&archive, 200);  // ~23 spilled chunks
+
+  // Every spill read comes back corrupt: each unreadable chunk is renamed
+  // *.quarantine, but the cap keeps only the newest two on disk.
+  FaultPlan plan;
+  plan.mode = FaultMode::kCorruptBytes;
+  plan.op = FaultOp::kRead;
+  plan.path_substring = dir_;
+  ScopedFaultInjection fault(plan);
+  DegradationReport degradation;
+  auto events = archive.Scan(0, {0, 199}, &degradation);
+  ASSERT_TRUE(events.ok());
+  EXPECT_TRUE(degradation.degraded());
+  ASSERT_GT(archive.quarantined_chunks(), 2u);
+
+  size_t on_disk = 0;
+  const auto files = ListDirFiles(dir_);
+  ASSERT_TRUE(files.ok());
+  for (const std::string& f : *files) {
+    if (f.size() > 11 && f.compare(f.size() - 11, 11, ".quarantine") == 0) {
+      ++on_disk;
+    }
+  }
+  EXPECT_EQ(on_disk, 2u);
+  EXPECT_EQ(archive.quarantine_evictions(), archive.quarantined_chunks() - 2u);
 }
 
 TEST_F(FaultArchiveTest, DelayFaultAddsLatency) {

@@ -1,0 +1,345 @@
+// Crash/recovery tests for the durable ingest path: a system with a WAL (and
+// optionally a checkpoint) is killed at several points — batch boundary,
+// mid-batch via CrashingSink, torn final record, mid-checkpoint manifest
+// fault — then a fresh system Recover()s and resumes the stream. The
+// recovered match tables and archive contents must be bit-identical to an
+// uncrashed run, on both simulator workloads.
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/fault_injection.h"
+#include "io/file_util.h"
+#include "sim/chaos.h"
+#include "sim/hadoop_sim.h"
+#include "sim/supply_chain_sim.h"
+#include "xstream/system.h"
+
+namespace exstream {
+namespace {
+
+constexpr char kHadoopQueryText[] =
+    "PATTERN SEQ(JobStart a, DataIO+ b[], JobEnd c) "
+    "WHERE [jobId] "
+    "RETURN (b[i].timestamp, a.jobId, sum(b[1..i].dataSize))";
+constexpr char kScQueryText[] =
+    "PATTERN SEQ(ProductStart a, ProductProgress+ b[], ProductEnd c) "
+    "WHERE [productId] "
+    "RETURN (b[i].timestamp, a.productId, avg(b[1..i].quality))";
+
+constexpr size_t kBatch = 64;
+
+std::string MakeTempDir(const char* tag) {
+  std::string tmpl = std::string("/tmp/exstream_") + tag + "_XXXXXX";
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  EXPECT_NE(mkdtemp(buf.data()), nullptr);
+  return std::string(buf.data());
+}
+
+struct Workload {
+  std::unique_ptr<EventTypeRegistry> registry;
+  std::vector<Event> events;
+  std::string query_text;
+  std::string query_name;
+};
+
+Workload MakeHadoopWorkload() {
+  Workload w;
+  w.registry = std::make_unique<EventTypeRegistry>();
+  EXPECT_TRUE(HadoopClusterSim::RegisterEventTypes(w.registry.get()).ok());
+  HadoopSimConfig cfg;
+  cfg.num_nodes = 3;
+  cfg.seed = 11;
+  HadoopClusterSim sim(cfg, w.registry.get());
+  for (int j = 0; j < 2; ++j) {
+    HadoopJobConfig job;
+    job.job_id = "job_" + std::to_string(j);
+    job.program = "WC-frequent-users";
+    job.dataset = "worldcup";
+    job.start_time = j * 300;
+    job.num_mappers = 6;
+    job.num_reducers = 2;
+    job.map_phase_duration = 150;
+    sim.AddJob(job);
+  }
+  VectorSink sink;
+  EXPECT_TRUE(sim.Run(&sink).ok());
+  w.events = sink.events();
+  w.query_text = kHadoopQueryText;
+  w.query_name = "Q1";
+  return w;
+}
+
+Workload MakeSupplyChainWorkload() {
+  Workload w;
+  w.registry = std::make_unique<EventTypeRegistry>();
+  SupplyChainConfig cfg;
+  cfg.num_sensors = 4;
+  cfg.num_machines = 4;
+  cfg.num_products = 2;
+  cfg.seed = 23;
+  EXPECT_TRUE(SupplyChainSim::RegisterEventTypes(w.registry.get(), cfg).ok());
+  SupplyChainSim sim(cfg, w.registry.get());
+  VectorSink sink;
+  EXPECT_TRUE(sim.Run(&sink).ok());
+  w.events = sink.events();
+  w.query_text = kScQueryText;
+  w.query_name = "Qsc";
+  return w;
+}
+
+std::unique_ptr<XStreamSystem> MakeSystem(const Workload& w,
+                                          const std::string& wal_dir,
+                                          size_t segment_bytes, QueryId* qid) {
+  XStreamConfig cfg;
+  if (!wal_dir.empty()) {
+    cfg.durability.wal_dir = wal_dir;
+    cfg.durability.fsync = WalFsyncPolicy::kNone;  // crash != power loss here
+    cfg.durability.wal_segment_bytes = segment_bytes;
+  }
+  auto sys = std::make_unique<XStreamSystem>(w.registry.get(), cfg);
+  const auto q = sys->AddQuery(w.query_text, w.query_name);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  *qid = q.ok() ? *q : 0;
+  return sys;
+}
+
+void Feed(EventSink* sink, const std::vector<Event>& events, size_t begin,
+          size_t end) {
+  for (size_t i = begin; i < end;) {
+    const size_t n = std::min(kBatch, end - i);
+    sink->OnEventBatch(EventBatch(events.begin() + i, events.begin() + i + n));
+    i += n;
+  }
+}
+
+// Everything monitoring-visible: match rows per partition (with completion),
+// the engine's event counter, and a full archive scan.
+std::string Fingerprint(XStreamSystem& sys, QueryId qid) {
+  std::string out;
+  const MatchTable& mt = sys.engine().match_table(qid);
+  for (const std::string& p : mt.Partitions()) {
+    out += "partition " + p + (mt.IsComplete(p) ? " complete\n" : " open\n");
+    for (const MatchRow& row : mt.Rows(p)) {
+      out += std::to_string(row.ts);
+      for (const Value& v : row.values) {
+        out += '|';
+        out += v.ToString();
+      }
+      out += '\n';
+    }
+  }
+  out += "events_processed=" +
+         std::to_string(sys.engine().events_processed()) + '\n';
+  const TimeInterval all{std::numeric_limits<Timestamp>::min(),
+                         std::numeric_limits<Timestamp>::max()};
+  const auto scans = sys.archive().ScanAll(all);
+  EXPECT_TRUE(scans.ok()) << scans.status().ToString();
+  if (scans.ok()) {
+    for (const auto& ts : *scans) {
+      out += "type " + std::to_string(ts.type) + '\n';
+      for (const Event& e : ts.events) {
+        out += std::to_string(e.ts);
+        for (const Value& v : e.values) {
+          out += '|';
+          out += v.ToString();
+        }
+        out += '\n';
+      }
+    }
+  }
+  return out;
+}
+
+// Cuts `bytes` off the end of the newest WAL segment — the torn final record
+// a crash mid-fwrite leaves behind.
+void TearWalTail(const std::string& wal_dir, size_t bytes) {
+  const auto files = ListDirFiles(wal_dir);
+  ASSERT_TRUE(files.ok()) << files.status().ToString();
+  std::vector<std::string> segs;
+  for (const std::string& f : *files) {
+    if (f.size() > 4 && f.compare(f.size() - 4, 4, ".seg") == 0) {
+      segs.push_back(f);
+    }
+  }
+  ASSERT_FALSE(segs.empty());
+  const std::string path = wal_dir + "/" + segs.back();
+  struct stat st;
+  ASSERT_EQ(::stat(path.c_str(), &st), 0);
+  ASSERT_GT(static_cast<size_t>(st.st_size), bytes);
+  ASSERT_EQ(::truncate(path.c_str(), st.st_size - static_cast<off_t>(bytes)), 0);
+}
+
+enum class CrashCase {
+  kBatchBoundary,       // clean kill between appends, WAL-only recovery
+  kMidBatch,            // CrashingSink splits a batch at the kill point
+  kAfterCheckpoint,     // checkpoint midway, kill later: manifest + WAL tail
+  kTornTail,            // final record torn; its events are re-sent
+  kMidCheckpointFault,  // MANIFEST write dies: WAL must still cover everything
+};
+
+void RunCrashCase(const Workload& w, CrashCase c) {
+  ASSERT_GE(w.events.size(), 4 * kBatch) << "workload too small to crash";
+  const std::string wal_dir = MakeTempDir("wal");
+  const std::string ckpt_dir = MakeTempDir("ckpt");
+  // Small segments in the checkpoint cases force rotations mid-run, so the
+  // checkpoint exercises TruncateThrough on genuinely closed segments.
+  const bool tiny_segments =
+      c == CrashCase::kAfterCheckpoint || c == CrashCase::kMidCheckpointFault;
+  const size_t segment_bytes = tiny_segments ? 2048 : 4u << 20;
+
+  QueryId qid = 0;
+  // Uncrashed baseline: same batches, no WAL.
+  const auto baseline = MakeSystem(w, "", segment_bytes, &qid);
+  Feed(baseline.get(), w.events, 0, w.events.size());
+  baseline->Flush();
+  const std::string want = Fingerprint(*baseline, qid);
+
+  size_t crash = (w.events.size() / 2 / kBatch) * kBatch;
+  if (c == CrashCase::kMidBatch) crash += 17;  // land inside a batch
+  const size_t ckpt_at = (crash / 2 / kBatch) * kBatch;
+
+  bool expect_manifest = false;
+  {
+    QueryId q2 = 0;
+    auto sys = MakeSystem(w, wal_dir, segment_bytes, &q2);
+    switch (c) {
+      case CrashCase::kBatchBoundary:
+      case CrashCase::kTornTail:
+        Feed(sys.get(), w.events, 0, crash);
+        break;
+      case CrashCase::kMidBatch: {
+        CrashingSink crasher(sys.get(), crash);
+        Feed(&crasher, w.events, 0, w.events.size());
+        EXPECT_TRUE(crasher.crashed());
+        EXPECT_EQ(crasher.events_lost(), w.events.size() - crash);
+        break;
+      }
+      case CrashCase::kAfterCheckpoint: {
+        Feed(sys.get(), w.events, 0, ckpt_at);
+        ASSERT_TRUE(sys->Checkpoint(ckpt_dir).ok());
+        // The snapshot covers every closed segment; with 2 KiB segments there
+        // must have been several to drop.
+        EXPECT_GT(sys->wal()->stats().segments_deleted, 0u);
+        Feed(sys.get(), w.events, ckpt_at, crash);
+        expect_manifest = true;
+        break;
+      }
+      case CrashCase::kMidCheckpointFault: {
+        Feed(sys.get(), w.events, 0, ckpt_at);
+        FaultPlan plan;
+        plan.mode = FaultMode::kFailOpen;
+        plan.op = FaultOp::kWrite;
+        plan.path_substring = "MANIFEST";
+        plan.max_hits = 1;
+        FaultInjector::Global().Arm(plan);
+        const Status st = sys->Checkpoint(ckpt_dir);
+        FaultInjector::Global().Disarm();
+        EXPECT_FALSE(st.ok()) << "manifest fault should fail the checkpoint";
+        // The failed checkpoint must not have truncated anything.
+        EXPECT_EQ(sys->wal()->stats().segments_deleted, 0u);
+        Feed(sys.get(), w.events, ckpt_at, crash);
+        break;
+      }
+    }
+    // Crash: the system is destroyed without Flush or OnStreamEnd.
+  }
+  if (c == CrashCase::kTornTail) TearWalTail(wal_dir, 7);
+
+  QueryId q3 = 0;
+  auto recovered = MakeSystem(w, wal_dir, segment_bytes, &q3);
+  const auto rep = recovered->Recover(
+      (c == CrashCase::kAfterCheckpoint || c == CrashCase::kMidCheckpointFault)
+          ? ckpt_dir
+          : std::string());
+  ASSERT_TRUE(rep.ok()) << rep.status().ToString();
+  EXPECT_EQ(rep->manifest_loaded, expect_manifest);
+  EXPECT_EQ(rep->wal.torn_tail, c == CrashCase::kTornTail);
+
+  // Everything the WAL (plus checkpoint) covered is back; the producer
+  // re-sends from the first unlogged event.
+  const size_t resume = static_cast<size_t>(
+      std::max<uint64_t>(rep->checkpoint_seq, rep->wal.next_seq));
+  EXPECT_EQ(recovered->engine().events_processed(), resume);
+  if (c == CrashCase::kTornTail) {
+    EXPECT_LT(resume, crash);  // the torn record's events were lost
+    EXPECT_GE(resume, crash - kBatch);
+  } else {
+    EXPECT_EQ(resume, crash);
+  }
+  Feed(recovered.get(), w.events, resume, w.events.size());
+  recovered->Flush();
+  EXPECT_EQ(Fingerprint(*recovered, qid), want);
+}
+
+TEST(WalRecoveryTest, HadoopCrashAtBatchBoundary) {
+  RunCrashCase(MakeHadoopWorkload(), CrashCase::kBatchBoundary);
+}
+TEST(WalRecoveryTest, HadoopCrashMidBatch) {
+  RunCrashCase(MakeHadoopWorkload(), CrashCase::kMidBatch);
+}
+TEST(WalRecoveryTest, HadoopCrashAfterCheckpoint) {
+  RunCrashCase(MakeHadoopWorkload(), CrashCase::kAfterCheckpoint);
+}
+TEST(WalRecoveryTest, HadoopTornTail) {
+  RunCrashCase(MakeHadoopWorkload(), CrashCase::kTornTail);
+}
+TEST(WalRecoveryTest, HadoopMidCheckpointFault) {
+  RunCrashCase(MakeHadoopWorkload(), CrashCase::kMidCheckpointFault);
+}
+
+TEST(WalRecoveryTest, SupplyChainCrashAtBatchBoundary) {
+  RunCrashCase(MakeSupplyChainWorkload(), CrashCase::kBatchBoundary);
+}
+TEST(WalRecoveryTest, SupplyChainCrashMidBatch) {
+  RunCrashCase(MakeSupplyChainWorkload(), CrashCase::kMidBatch);
+}
+TEST(WalRecoveryTest, SupplyChainCrashAfterCheckpoint) {
+  RunCrashCase(MakeSupplyChainWorkload(), CrashCase::kAfterCheckpoint);
+}
+TEST(WalRecoveryTest, SupplyChainTornTail) {
+  RunCrashCase(MakeSupplyChainWorkload(), CrashCase::kTornTail);
+}
+TEST(WalRecoveryTest, SupplyChainMidCheckpointFault) {
+  RunCrashCase(MakeSupplyChainWorkload(), CrashCase::kMidCheckpointFault);
+}
+
+// Recover must refuse a system that already ingested events, and a system
+// whose queries differ from the manifest's.
+TEST(WalRecoveryTest, RecoverGuardsFreshnessAndQueryMatch) {
+  const Workload w = MakeHadoopWorkload();
+  const std::string wal_dir = MakeTempDir("wal");
+  const std::string ckpt_dir = MakeTempDir("ckpt");
+  QueryId qid = 0;
+  {
+    auto sys = MakeSystem(w, wal_dir, 4u << 20, &qid);
+    Feed(sys.get(), w.events, 0, kBatch);
+    ASSERT_TRUE(sys->Checkpoint(ckpt_dir).ok());
+  }
+  {
+    // Not fresh: events already ingested.
+    auto sys = MakeSystem(w, "", 4u << 20, &qid);
+    Feed(sys.get(), w.events, 0, kBatch);
+    sys->Flush();
+    EXPECT_FALSE(sys->Recover(ckpt_dir).ok());
+  }
+  {
+    // No queries added: manifest mismatch.
+    XStreamConfig cfg;
+    XStreamSystem sys(w.registry.get(), cfg);
+    EXPECT_FALSE(sys.Recover(ckpt_dir).ok());
+  }
+}
+
+}  // namespace
+}  // namespace exstream
