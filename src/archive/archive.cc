@@ -1,6 +1,8 @@
 #include "archive/archive.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <string_view>
 
 #include "archive/serialization.h"
 #include "common/logging.h"
@@ -313,10 +315,56 @@ namespace {
 constexpr uint8_t kChunkOpen = 0;
 constexpr uint8_t kChunkResidentSealed = 1;
 constexpr uint8_t kChunkSpilled = 2;
+
+/// Parses "chunk_<epoch>_<type>_<i>.col", yielding the epoch; false for
+/// anything else (spill files, MANIFEST, quarantine files, ...).
+bool ParseCheckpointChunkEpoch(const std::string& name, uint64_t* epoch) {
+  constexpr std::string_view kPrefix = "chunk_";
+  constexpr std::string_view kSuffix = ".col";
+  if (name.size() <= kPrefix.size() + kSuffix.size()) return false;
+  if (std::string_view(name).substr(0, kPrefix.size()) != kPrefix) return false;
+  if (std::string_view(name).substr(name.size() - kSuffix.size()) != kSuffix) {
+    return false;
+  }
+  const std::string digits = name.substr(kPrefix.size());
+  char* end = nullptr;
+  const unsigned long long v = strtoull(digits.c_str(), &end, 10);
+  if (end == digits.c_str() || *end != '_') return false;
+  *epoch = v;
+  return true;
+}
 }  // namespace
 
-Status EventArchive::CheckpointTo(const std::string& dir, BytesWriter* out) const {
+Status EventArchive::RemoveStaleCheckpointChunks(const std::string& dir,
+                                                 uint64_t keep_epoch) {
+  EXSTREAM_ASSIGN_OR_RETURN(const std::vector<std::string> names,
+                            ListDirFiles(dir));
+  Status status = Status::OK();
+  for (const std::string& name : names) {
+    uint64_t epoch = 0;
+    if (ParseCheckpointChunkEpoch(name, &epoch) && epoch != keep_epoch) {
+      const Status st = RemoveFileIfExists(dir + "/" + name);
+      if (!st.ok() && status.ok()) status = st;
+    }
+  }
+  return status;
+}
+
+Result<uint64_t> EventArchive::CheckpointTo(const std::string& dir,
+                                            BytesWriter* out) const {
   EXSTREAM_RETURN_NOT_OK(EnsureDir(dir));
+  // Fresh epoch = 1 + the highest already present, so this checkpoint's
+  // files never overwrite ones the directory's current MANIFEST references;
+  // a crash before the new MANIFEST lands leaves the old set intact.
+  uint64_t epoch = 1;
+  {
+    EXSTREAM_ASSIGN_OR_RETURN(const std::vector<std::string> names,
+                              ListDirFiles(dir));
+    for (const std::string& name : names) {
+      uint64_t e = 0;
+      if (ParseCheckpointChunkEpoch(name, &e)) epoch = std::max(epoch, e + 1);
+    }
+  }
   out->Put<uint64_t>(spill_file_seq_.load(std::memory_order_relaxed));
   out->Put<uint32_t>(static_cast<uint32_t>(shards_.size()));
   struct Entry {
@@ -360,7 +408,8 @@ Status EventArchive::CheckpointTo(const std::string& dir, BytesWriter* out) cons
     for (size_t i = 0; i < entries.size(); ++i) {
       Entry& e = entries[i];
       if (e.columns == nullptr) continue;
-      e.path = StrFormat("%s/chunk_%zu_%zu.col", dir.c_str(), t, i);
+      e.path = StrFormat("%s/chunk_%llu_%zu_%zu.col", dir.c_str(),
+                         static_cast<unsigned long long>(epoch), t, i);
       EXSTREAM_RETURN_NOT_OK(WriteColumnsFile(e.path, *e.columns));
     }
     out->Put<uint32_t>(static_cast<uint32_t>(entries.size()));
@@ -373,7 +422,7 @@ Status EventArchive::CheckpointTo(const std::string& dir, BytesWriter* out) cons
       out->PutString(e.path);
     }
   }
-  return Status::OK();
+  return epoch;
 }
 
 Status EventArchive::RestoreFrom(BytesReader* in) {

@@ -153,7 +153,21 @@ class EventArchive : public EventSink {
   /// Spilled chunks are referenced by their spill path — already durable, so
   /// the checkpoint stores only their index entry. Must not run concurrently
   /// with appends (scans are fine).
-  Status CheckpointTo(const std::string& dir, BytesWriter* out) const;
+  ///
+  /// Chunk files carry a per-checkpoint epoch (`chunk_<epoch>_<type>_<i>.col`,
+  /// epoch = 1 + the highest epoch already in `dir`), so re-checkpointing into
+  /// the same directory never overwrites files a previous MANIFEST still
+  /// references. Returns the epoch used; once the caller has durably
+  /// installed the new MANIFEST it passes that epoch to
+  /// RemoveStaleCheckpointChunks to reclaim the superseded files.
+  Result<uint64_t> CheckpointTo(const std::string& dir, BytesWriter* out) const;
+
+  /// \brief Deletes checkpoint chunk files in `dir` whose epoch differs from
+  /// `keep_epoch`. Call only after the MANIFEST referencing `keep_epoch` is
+  /// durably in place — until then the stale files back the previous
+  /// checkpoint. Best-effort; returns the first deletion error, if any.
+  static Status RemoveStaleCheckpointChunks(const std::string& dir,
+                                            uint64_t keep_epoch);
 
   /// \brief Restores a CheckpointTo snapshot into a freshly constructed
   /// archive (same registry, no events appended yet).

@@ -300,13 +300,18 @@ Status WriteAheadLog::Append(uint64_t first_seq, const EventBatch& events) {
   if (written == header_bytes && write_bytes > header.size()) {
     written += fwrite(payload.data(), 1, write_bytes - header.size(), file_);
   }
-  fflush(file_);
-  if (written != write_bytes || injected_torn) {
-    if (written > 0) active_poisoned_ = true;
+  // A failed flush (e.g. ENOSPC) means some of the frame may be missing from
+  // the file while later writes would land after the hole — corrupting the
+  // segment mid-log. Treat it exactly like a torn write: poison the tail so
+  // the next append rotates, and do not advance the sequence cursor.
+  const bool flush_failed = fflush(file_) != 0;
+  if (written != write_bytes || injected_torn || flush_failed) {
+    if (written > 0 || flush_failed) active_poisoned_ = true;
     ++stats_.append_failures;
     return Status::IOError(
-        StrFormat("torn WAL append to %s (%zu of %zu bytes)", active_path_.c_str(),
-                  written, frame_size));
+        StrFormat("torn WAL append to %s (%zu of %zu bytes%s)",
+                  active_path_.c_str(), written, frame_size,
+                  flush_failed ? ", flush failed" : ""));
   }
   active_bytes_ += frame_size;
   next_seq_ = first_seq + events.size();
@@ -360,15 +365,19 @@ void WriteAheadLog::FlusherLoop() {
     if (!dirty_ && sealed_pending_.empty()) continue;
     // Snapshot the work, then drop the lock for the disk flush itself: an
     // fsync takes milliseconds and must not hold up Append. The snapshotted
-    // FILE*s stay valid because sealed files are closed only here (ownership
-    // moved out of sealed_pending_) and the active file is closed only after
-    // this thread has been joined.
+    // FILE*s stay valid because every other closer defers to the flusher
+    // while flusher_inflight_ is set: the sealed handles' ownership moves
+    // out of sealed_pending_ here, Sync()/TruncateThrough wait for the pass
+    // to finish before closing anything (the active file may rotate into
+    // sealed_pending_ mid-pass, so "skip the active" is not enough), and
+    // the destructor joins this thread first.
     std::vector<std::pair<std::string, FILE*>> sealed =
         std::move(sealed_pending_);
     sealed_pending_.clear();
     FILE* active = file_;
     const std::string active_path = active_path_;
     dirty_ = false;
+    flusher_inflight_ = true;
     lock.unlock();
     uint64_t syncs = 0;
     uint64_t failures = 0;
@@ -391,6 +400,8 @@ void WriteAheadLog::FlusherLoop() {
       }
     }
     lock.lock();
+    flusher_inflight_ = false;
+    flusher_done_cv_.notify_all();
     stats_.syncs += syncs;
     stats_.sync_failures += failures;
     last_sync_ms_ = NowMs();
@@ -398,12 +409,14 @@ void WriteAheadLog::FlusherLoop() {
 }
 
 Status WriteAheadLog::Sync() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
+  flusher_done_cv_.wait(lock, [&] { return !flusher_inflight_; });
   return SyncLocked();
 }
 
 Result<size_t> WriteAheadLog::TruncateThrough(uint64_t seq) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
+  flusher_done_cv_.wait(lock, [&] { return !flusher_inflight_; });
   size_t deleted = 0;
   // segments_[i] is disposable once a successor exists whose base covers
   // `seq`: every record in it then has sequence numbers < base(i+1) <= seq.

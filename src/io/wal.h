@@ -167,6 +167,11 @@ class WriteAheadLog {
   std::thread flusher_;
   std::condition_variable flusher_cv_;
   bool stop_flusher_ = false;
+  /// True while FlusherLoop is fsyncing snapshotted FILE*s with mu_
+  /// released. Sync()/TruncateThrough wait for the pass to finish before
+  /// closing any handle, so the flusher never touches a closed FILE*.
+  bool flusher_inflight_ = false;
+  std::condition_variable flusher_done_cv_;
 };
 
 }  // namespace exstream

@@ -177,7 +177,7 @@ void XStreamSystem::ApplyBatch(EventBatch batch) {
   // validation of the next batch. Appending after the queue also means shed
   // batches never reach the log, so replay cannot resurrect events the
   // overload policy dropped.
-  if (wal_ != nullptr) {
+  if (wal_ != nullptr && !replaying_.load(std::memory_order_relaxed)) {
     const Status st = wal_->Append(next_seq_, batch);
     if (!st.ok()) {
       EXSTREAM_LOG(Error) << "WAL append failed (events stay in memory but "
@@ -230,13 +230,23 @@ Status XStreamSystem::Checkpoint(const std::string& dir) {
   }
   guard_.SaveState(&w);
   engine_.SaveState(&w);
-  EXSTREAM_RETURN_NOT_OK(archive_.CheckpointTo(dir, &w));
+  EXSTREAM_ASSIGN_OR_RETURN(const uint64_t chunk_epoch,
+                            archive_.CheckpointTo(dir, &w));
   partitions_.SaveState(&w);
   const std::string payload = w.Take();
   BytesWriter framed;
   framed.Put<uint32_t>(Crc32(payload.data(), payload.size()));
   framed.PutRaw(payload);
   EXSTREAM_RETURN_NOT_OK(WriteFileAtomic(dir + "/MANIFEST", framed.Take()));
+  // The superseded epoch's chunk files become garbage only now that the new
+  // manifest is durably in place; until the rename they backed the previous
+  // checkpoint. Reclamation is best-effort — leaked files are retried by the
+  // next checkpoint's sweep.
+  const Status gc = EventArchive::RemoveStaleCheckpointChunks(dir, chunk_epoch);
+  if (!gc.ok()) {
+    EXSTREAM_LOG(Warn) << "checkpoint chunk GC in " << dir
+                       << " incomplete: " << gc.ToString();
+  }
   if (wal_ != nullptr) {
     // Only after the manifest is durably in place may the WAL drop segments
     // it covers; a crash anywhere above leaves the previous checkpoint plus
@@ -302,13 +312,26 @@ Result<XStreamSystem::RecoveryReport> XStreamSystem::Recover(
     from_seq = seq;
   }
   if (config_.durability.wal_dir.has_value()) {
-    EXSTREAM_ASSIGN_OR_RETURN(
-        rep.wal,
+    // The replayed batches are already in the log: flag the replay so
+    // ApplyBatch skips the WAL append (re-appending would duplicate the tail
+    // into new segments and run the sequence cursor past the live WAL's,
+    // making the first post-recovery append fail and a second crash replay
+    // the same events twice).
+    replaying_.store(true, std::memory_order_relaxed);
+    auto replay =
         WriteAheadLog::Replay(*config_.durability.wal_dir, from_seq,
                               [this](EventBatch batch) {
                                 ApplyBatch(std::move(batch));
-                              }));
+                              });
+    replaying_.store(false, std::memory_order_relaxed);
+    EXSTREAM_RETURN_NOT_OK(replay.status());
+    rep.wal = std::move(*replay);
     next_seq_ = std::max(from_seq, rep.wal.next_seq);
+    if (wal_ != nullptr) {
+      // Resume from the live WAL's own cursor (it scanned the same segments
+      // at Open) so the next Append continues the on-disk stream exactly.
+      next_seq_ = std::max(next_seq_, wal_->next_seq());
+    }
   } else {
     next_seq_ = from_seq;
   }

@@ -221,6 +221,10 @@ class XStreamSystem : public EventSink {
   PartitionTable partitions_;
   IngestGuard guard_;
   std::unique_ptr<WriteAheadLog> wal_;
+  /// True while Recover() replays the WAL tail: replayed batches are already
+  /// on disk, so ApplyBatch must not re-append them to the live log (that
+  /// would duplicate the tail and desync the sequence cursor).
+  std::atomic<bool> replaying_{false};
   /// Sequence number of the next event to release (== events released so
   /// far); WAL records are stamped with it. Producer-thread only.
   uint64_t next_seq_ = 0;

@@ -9,10 +9,12 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
 #include <limits>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -312,6 +314,174 @@ TEST(WalRecoveryTest, SupplyChainTornTail) {
 }
 TEST(WalRecoveryTest, SupplyChainMidCheckpointFault) {
   RunCrashCase(MakeSupplyChainWorkload(), CrashCase::kMidCheckpointFault);
+}
+
+// Crashing twice must work: the first recovery's replay must NOT re-append
+// the replayed batches into the live WAL. Re-appending would (a) duplicate
+// the tail into new segments, so a second crash applies the same events
+// twice, and (b) run the system's sequence cursor past the live WAL's, so
+// every post-recovery append fails "sequence runs backwards" and is silently
+// not durable.
+void RunDoubleCrashCase(const Workload& w) {
+  ASSERT_GE(w.events.size(), 4 * kBatch) << "workload too small to crash";
+  const std::string wal_dir = MakeTempDir("wal");
+  QueryId qid = 0;
+  const auto baseline = MakeSystem(w, "", 4u << 20, &qid);
+  Feed(baseline.get(), w.events, 0, w.events.size());
+  baseline->Flush();
+  const std::string want = Fingerprint(*baseline, qid);
+
+  const size_t crash1 = (w.events.size() / 3 / kBatch) * kBatch;
+  const size_t crash2 = (2 * w.events.size() / 3 / kBatch) * kBatch;
+  ASSERT_LT(crash1, crash2);
+  {
+    QueryId q = 0;
+    auto sys = MakeSystem(w, wal_dir, 4u << 20, &q);
+    Feed(sys.get(), w.events, 0, crash1);
+  }  // first crash
+  {
+    QueryId q = 0;
+    auto sys = MakeSystem(w, wal_dir, 4u << 20, &q);
+    const auto rep = sys->Recover(std::string());
+    ASSERT_TRUE(rep.ok()) << rep.status().ToString();
+    EXPECT_EQ(rep->wal.next_seq, crash1);
+    Feed(sys.get(), w.events, crash1, crash2);
+    sys->Flush();
+    // Post-recovery ingest keeps logging — and only logs the new events.
+    EXPECT_EQ(sys->fault_stats().wal_append_failures, 0u);
+    EXPECT_EQ(sys->wal()->stats().events_appended, crash2 - crash1);
+  }  // second crash
+  QueryId q = 0;
+  auto recovered = MakeSystem(w, wal_dir, 4u << 20, &q);
+  const auto rep = recovered->Recover(std::string());
+  ASSERT_TRUE(rep.ok()) << rep.status().ToString();
+  EXPECT_EQ(rep->wal.next_seq, crash2);
+  EXPECT_EQ(recovered->engine().events_processed(), crash2);
+  Feed(recovered.get(), w.events, crash2, w.events.size());
+  recovered->Flush();
+  EXPECT_EQ(Fingerprint(*recovered, qid), want);
+}
+
+TEST(WalRecoveryTest, HadoopCrashRecoverCrashAgain) {
+  RunDoubleCrashCase(MakeHadoopWorkload());
+}
+TEST(WalRecoveryTest, SupplyChainCrashRecoverCrashAgain) {
+  RunDoubleCrashCase(MakeSupplyChainWorkload());
+}
+
+// Checkpointing twice into the same directory must never clobber chunk files
+// the installed MANIFEST still references: if the second checkpoint dies
+// before its manifest rename, the first checkpoint must still restore (the
+// WAL was already truncated through it, so it is the only copy). Each
+// checkpoint writes an epoch-stamped chunk set; the superseded set is
+// reclaimed only after the new manifest lands.
+void RunRecheckpointCase(const Workload& w, bool fault_second_manifest) {
+  ASSERT_GE(w.events.size(), 4 * kBatch) << "workload too small to crash";
+  const std::string wal_dir = MakeTempDir("wal");
+  const std::string ckpt_dir = MakeTempDir("ckpt");
+  QueryId qid = 0;
+  const auto baseline = MakeSystem(w, "", 2048, &qid);
+  Feed(baseline.get(), w.events, 0, w.events.size());
+  baseline->Flush();
+  const std::string want = Fingerprint(*baseline, qid);
+
+  const size_t ckpt1 = (w.events.size() / 4 / kBatch) * kBatch;
+  const size_t ckpt2 = (w.events.size() / 2 / kBatch) * kBatch;
+  const size_t crash = (3 * w.events.size() / 4 / kBatch) * kBatch;
+  ASSERT_LT(ckpt1, ckpt2);
+  ASSERT_LT(ckpt2, crash);
+  {
+    QueryId q = 0;
+    auto sys = MakeSystem(w, wal_dir, 2048, &q);
+    Feed(sys.get(), w.events, 0, ckpt1);
+    ASSERT_TRUE(sys->Checkpoint(ckpt_dir).ok());
+    Feed(sys.get(), w.events, ckpt1, ckpt2);
+    if (fault_second_manifest) {
+      FaultPlan plan;
+      plan.mode = FaultMode::kFailOpen;
+      plan.op = FaultOp::kWrite;
+      plan.path_substring = "MANIFEST";
+      plan.max_hits = 1;
+      FaultInjector::Global().Arm(plan);
+      EXPECT_FALSE(sys->Checkpoint(ckpt_dir).ok());
+      FaultInjector::Global().Disarm();
+    } else {
+      ASSERT_TRUE(sys->Checkpoint(ckpt_dir).ok());
+    }
+    Feed(sys.get(), w.events, ckpt2, crash);
+  }  // crash
+
+  QueryId q = 0;
+  auto recovered = MakeSystem(w, wal_dir, 2048, &q);
+  const auto rep = recovered->Recover(ckpt_dir);
+  ASSERT_TRUE(rep.ok()) << rep.status().ToString();
+  ASSERT_TRUE(rep->manifest_loaded);
+  EXPECT_EQ(rep->checkpoint_seq, fault_second_manifest ? ckpt1 : ckpt2);
+  EXPECT_EQ(recovered->engine().events_processed(), crash);
+  Feed(recovered.get(), w.events, crash, w.events.size());
+  recovered->Flush();
+  EXPECT_EQ(Fingerprint(*recovered, qid), want);
+
+  if (!fault_second_manifest) {
+    // The first checkpoint's chunk files are garbage once the second manifest
+    // is durably installed: exactly one epoch must remain in the directory.
+    const auto files = ListDirFiles(ckpt_dir);
+    ASSERT_TRUE(files.ok()) << files.status().ToString();
+    std::string epochs;
+    for (const std::string& f : *files) {
+      if (f.compare(0, 6, "chunk_") != 0) continue;
+      const std::string epoch = f.substr(6, f.find('_', 6) - 6);
+      if (epochs.find("[" + epoch + "]") == std::string::npos) {
+        epochs += "[" + epoch + "]";
+      }
+    }
+    EXPECT_EQ(epochs, "[2]");
+  }
+}
+
+TEST(WalRecoveryTest, HadoopRecheckpointSameDir) {
+  RunRecheckpointCase(MakeHadoopWorkload(), false);
+}
+TEST(WalRecoveryTest, HadoopCrashMidSecondCheckpoint) {
+  RunRecheckpointCase(MakeHadoopWorkload(), true);
+}
+TEST(WalRecoveryTest, SupplyChainCrashMidSecondCheckpoint) {
+  RunRecheckpointCase(MakeSupplyChainWorkload(), true);
+}
+
+// The interval flusher fsyncs snapshotted FILE*s with the WAL mutex
+// released; Sync() and TruncateThrough must wait out an in-flight pass
+// instead of closing a handle the flusher still holds. Racing them against
+// rotating appends makes a lost handoff crash under ASan/TSan.
+TEST(WalRecoveryTest, FlusherSyncTruncateRace) {
+  const Workload w = MakeHadoopWorkload();
+  const std::string wal_dir = MakeTempDir("wal");
+  WalOptions opts;
+  opts.dir = wal_dir;
+  opts.segment_bytes = 512;  // rotate on nearly every append
+  opts.fsync = WalFsyncPolicy::kInterval;
+  opts.fsync_interval_ms = 1;
+  auto wal = WriteAheadLog::Open(std::move(opts));
+  ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+  std::atomic<uint64_t> appended{0};
+  std::atomic<bool> done{false};
+  std::thread closer([&] {
+    while (!done.load()) {
+      (void)(*wal)->Sync();
+      (void)(*wal)->TruncateThrough(appended.load());
+    }
+  });
+  uint64_t seq = (*wal)->next_seq();
+  const size_t limit = std::min<size_t>(w.events.size() - 4, 2000);
+  for (size_t i = 0; i < limit; i += 4) {
+    const EventBatch b(w.events.begin() + i, w.events.begin() + i + 4);
+    ASSERT_TRUE((*wal)->Append(seq, b).ok());
+    seq += 4;
+    appended.store(seq);
+  }
+  done.store(true);
+  closer.join();
+  EXPECT_EQ((*wal)->next_seq(), seq);
 }
 
 // Recover must refuse a system that already ingested events, and a system
