@@ -176,12 +176,17 @@ int Run(int argc, char** argv) {
   std::map<std::string, std::string> args;
   bool demo = argc <= 1;  // bare invocation runs the self-contained demo
   bool list_partitions = false;
+  bool query_merge = true;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--demo") {
       demo = true;
     } else if (arg == "--list-partitions") {
       list_partitions = true;
+    } else if (arg == "--no-query-merge") {
+      // Escape hatch: evaluate every query on its own automaton (the legacy
+      // per-query path) instead of merging equivalent queries.
+      query_merge = false;
     } else if (StartsWith(arg, "--") && i + 1 < argc) {
       args[arg.substr(2)] = argv[++i];
     } else {
@@ -214,6 +219,7 @@ int Run(int argc, char** argv) {
             "usage: exstream_cli --demo | --schema F --events F --query F\n"
             "       [--column NAME] [--list-partitions] [--chart PARTITION]\n"
             "       [--threads N] [--ingest-threads N] [--batch-size B]\n"
+            "       [--no-query-merge]\n"
             "       [--deadline-ms MS]\n"
             "       [--wal-dir DIR] [--fsync none|interval|every_batch]\n"
             "       [--checkpoint DIR] [--recover DIR]\n"
@@ -246,6 +252,7 @@ int Run(int argc, char** argv) {
     config.ingest.ingest_threads =
         static_cast<size_t>(strtoull(args["ingest-threads"].c_str(), nullptr, 10));
   }
+  config.ingest.enable_query_merge = query_merge;
   size_t batch_size = kDefaultIngestBatchSize;
   if (args.count("batch-size")) {
     batch_size = static_cast<size_t>(strtoull(args["batch-size"].c_str(), nullptr, 10));

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""CI regression gate for bench_ingest_throughput.
+
+Compares a fresh bench run against the committed baseline and fails (exit 1)
+if ingestion throughput at the top query count regressed by more than the
+threshold (default 10%), or if the multi-query optimizer lost compression
+(more merge groups than the baseline for the same query set).
+
+Both runs must use the same bench configuration (same --smoke flag); the
+script refuses to compare a smoke run against a full baseline.
+
+Usage:
+  check_ingest_regression.py BASELINE.json CURRENT.json [--threshold 0.10]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def pick(results, queries, mode, threads):
+    for r in results:
+        if r["queries"] == queries and r["mode"] == mode and r["threads"] == threads:
+            return r
+    return None
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=0.10,
+                    help="max tolerated fractional throughput drop (default 0.10)")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+
+    if base.get("smoke") != cur.get("smoke"):
+        print(f"FAIL: config mismatch: baseline smoke={base.get('smoke')}, "
+              f"current smoke={cur.get('smoke')}")
+        return 1
+    if base.get("batch_size") != cur.get("batch_size"):
+        print(f"FAIL: batch_size mismatch: {base.get('batch_size')} vs "
+              f"{cur.get('batch_size')}")
+        return 1
+
+    top_queries = max(r["queries"] for r in base["results"])
+    failures = []
+
+    # Throughput gate: merged batched single-thread at the top query count is
+    # the configuration the tentpole optimizes; it is also the least noisy
+    # (no cross-core scheduling variance).
+    for mode in ("batched", "no-merge"):
+        b = pick(base["results"], top_queries, mode, 1)
+        c = pick(cur["results"], top_queries, mode, 1)
+        if b is None or c is None:
+            failures.append(f"missing {mode} x1 @ {top_queries} queries "
+                            f"(baseline={b is not None}, current={c is not None})")
+            continue
+        floor = b["events_per_sec"] * (1.0 - args.threshold)
+        verdict = "OK" if c["events_per_sec"] >= floor else "REGRESSED"
+        print(f"{mode:>9} x1 @ {top_queries}q: baseline "
+              f"{b['events_per_sec']:,.0f} ev/s, current "
+              f"{c['events_per_sec']:,.0f} ev/s, floor {floor:,.0f} -> {verdict}")
+        if verdict != "OK":
+            failures.append(
+                f"{mode} x1 @ {top_queries} queries dropped "
+                f"{(1.0 - c['events_per_sec'] / b['events_per_sec']) * 100.0:.1f}% "
+                f"(> {args.threshold * 100.0:.0f}% allowed)")
+
+    # Work-equivalence cross-check: every config must produce the same match
+    # rows as its baseline counterpart — a throughput "win" that skips work
+    # is a correctness bug, not a speedup.
+    for b in base["results"]:
+        c = pick(cur["results"], b["queries"], b["mode"], b["threads"])
+        if c is not None and c["match_rows"] != b["match_rows"]:
+            failures.append(
+                f"{b['mode']} x{b['threads']} @ {b['queries']} queries: "
+                f"match_rows {c['match_rows']} != baseline {b['match_rows']}")
+
+    # Merge-plan gate: the optimizer must still collapse the replicated query
+    # set into as few groups as the baseline did.
+    b = pick(base["results"], top_queries, "batched", 1)
+    c = pick(cur["results"], top_queries, "batched", 1)
+    if b is not None and c is not None:
+        print(f"merge groups @ {top_queries}q: baseline {b['merge_groups']}, "
+              f"current {c['merge_groups']} (compression "
+              f"{c['merge_compression']:.1f}x)")
+        if c["merge_groups"] > b["merge_groups"]:
+            failures.append(
+                f"merge planner regressed: {c['merge_groups']} groups @ "
+                f"{top_queries} queries, baseline had {b['merge_groups']}")
+
+    if failures:
+        print("\nFAIL:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print("\nPASS: no ingest throughput regression")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

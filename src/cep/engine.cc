@@ -40,6 +40,47 @@ Result<QueryId> CepEngine::AddQuery(const Query& query) {
     }
   }
   if (qs.route_class == route_classes_.size()) route_classes_.push_back(qs.route);
+  route_index_dirty_ = true;
+
+  if (!merge_enabled_) return id;
+
+  // Merge-plan assignment. A query added after ingestion started must not
+  // join a group whose runs already carry partial matches from events it
+  // never saw — it is forced into a fresh singleton group instead.
+  const MergeAssignment a =
+      planner_.Assign(qs.compiled, /*force_singleton=*/events_processed_ > 0);
+  if (a.new_group) {
+    auto g = std::make_unique<MergeGroup>();
+    g->index = a.group;
+    g->nfa = std::make_unique<SharedNfa>(&qs.compiled);
+    g->route = qs.route;
+    g->route_class = qs.route_class;
+    groups_.push_back(std::move(g));
+  }
+  MergeGroup& g = *groups_[a.group];
+  if (a.new_residue) {
+    ResidueClass rc;
+    rc.nfa_residue = g.nfa->AddResidue(&qs.compiled);
+    rc.rep = id;
+    g.residues.push_back(std::move(rc));
+  }
+  ResidueClass& rc = g.residues[a.residue];
+  if (a.new_table) {
+    TableClass tc;
+    tc.rep = id;
+    tc.table = &qs.matches;
+    rc.tables.push_back(std::move(tc));
+  }
+  TableClass& tc = rc.tables[a.table];
+  tc.members.push_back(id);
+  rc.members.push_back(id);
+  g.members.push_back(id);
+  qs.physical = tc.table;
+  qs.merge_group = a.group;
+  qs.merge_residue = a.residue;
+  if (g.bound_source == kNoQuery && qs.compiled.kleene_bound_needed()) {
+    g.bound_source = id;
+  }
   return id;
 }
 
@@ -61,6 +102,15 @@ void CepEngine::SetIngestThreads(size_t n) {
   const size_t hw = std::max<size_t>(1, std::thread::hardware_concurrency());
   if (n == 0) n = hw;
   num_shards_ = n;
+  if (merge_enabled_) {
+    pool_.reset();
+    // The shard pipeline is (re)built lazily by the next IngestBatch; a
+    // mismatched or now-unneeded one is torn down here. Workers are
+    // deliberately NOT capped at the core count: each shard's queue needs a
+    // live consumer for the pipeline to flow at all.
+    if (n <= 1 || (pipes_ && pipes_->pipes.size() != n)) StopPipes();
+    return;
+  }
   // The shard count fixes the work decomposition (and is what the
   // determinism contract ranges over); the worker count is only a schedule,
   // so it is capped at the core count — oversubscribing cores buys nothing
@@ -99,8 +149,41 @@ uint32_t CepEngine::InternKey(QueryState& qs, std::string_view key, uint64_t has
   return id;
 }
 
+uint32_t CepEngine::InternGroupKey(MergeGroup& g, std::string_view key,
+                                   uint64_t hash) {
+  bool created = false;
+  const uint32_t id = g.interner.Intern(key, hash, &created);
+  if (created) {
+    g.runs.emplace_back(g.nfa.get());
+    // Every member table registers the partition in the same first-seen
+    // order, so the bucket id is identical across the group's tables — one
+    // id serves them all.
+    const std::string_view stored = g.interner.KeyOf(id);
+    uint32_t bucket = 0;
+    for (ResidueClass& rc : g.residues) {
+      for (TableClass& tc : rc.tables) bucket = tc.table->EnsureBucket(stored);
+    }
+    g.buckets.push_back(bucket);
+  }
+  return id;
+}
+
+size_t CepEngine::ShardOf(uint32_t group, uint32_t run, size_t num_shards) {
+  uint64_t x = (static_cast<uint64_t>(group) << 32) | run;
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return static_cast<size_t>(x % num_shards);
+}
+
 void CepEngine::OnEvent(const Event& event) {
   ++events_processed_;
+  if (merge_enabled_) {
+    OnEventMerged(event);
+    return;
+  }
   for (size_t qi = 0; qi < queries_.size(); ++qi) {
     QueryState& qs = *queries_[qi];
     const uint16_t r = event.type < qs.route.size() ? qs.route[event.type]
@@ -144,6 +227,93 @@ void CepEngine::OnEvent(const Event& event) {
   }
 }
 
+void CepEngine::OnEventMerged(const Event& event) {
+  const bool want_notes = callback_ != nullptr;
+  serial_notes_.clear();
+  for (auto& gp : groups_) {
+    MergeGroup& g = *gp;
+    const uint16_t r =
+        event.type < g.route.size() ? g.route[event.type] : kRouteIrrelevant;
+    if (r == kRouteIrrelevant) continue;
+
+    std::string_view key;
+    uint64_t hash;
+    if (r == kRouteEmptyKey) {
+      hash = empty_key_hash_;
+    } else {
+      const ExtractorSpec& spec = specs_[r - kRouteSpecBase];
+      const Value& v = event.values[spec.attr];
+      if (v.is_string()) {
+        key = v.AsString();
+      } else {
+        serial_key_scratch_ = v.ToString();
+        key = serial_key_scratch_;
+      }
+      hash = PartitionKeyHash(key);
+    }
+
+    const uint32_t id = InternGroupKey(g, key, hash);
+    SharedRun& run = g.runs[id];
+    const SharedStepResult step = run.Step(event);
+    if (!step.absorbed_kleene && !step.match_complete) continue;
+    const uint32_t bucket = g.buckets[id];
+    for (ResidueClass& rc : g.residues) {
+      const bool per_kleene = g.nfa->EmitsPerKleeneEvent(rc.nfa_residue);
+      const bool row_now =
+          (step.absorbed_kleene && per_kleene) ||
+          (step.match_complete && !(per_kleene && step.closed_kleene));
+      if (row_now) {
+        serial_row_scratch_.ts = event.ts;
+        serial_row_scratch_.values.clear();
+        run.AppendRowValues(rc.nfa_residue, event, &serial_row_scratch_.values);
+        for (TableClass& tc : rc.tables) {
+          tc.table->Append(bucket, serial_row_scratch_);
+          if (step.match_complete) tc.table->MarkComplete(bucket);
+        }
+        if (want_notes) {
+          for (const QueryId q : rc.members) {
+            serial_notes_.push_back(
+                {0, MatchNotification{q, id, g.interner.KeyOf(id),
+                                      serial_row_scratch_, step.match_complete}});
+          }
+        }
+      } else if (step.match_complete) {
+        for (TableClass& tc : rc.tables) tc.table->MarkComplete(bucket);
+        if (want_notes) {
+          for (const QueryId q : rc.members) {
+            serial_notes_.push_back(
+                {0, MatchNotification{q, id, g.interner.KeyOf(id), MatchRow{},
+                                      true}});
+          }
+        }
+      }
+    }
+    if (step.match_complete) run.Reset();
+  }
+  if (!serial_notes_.empty()) {
+    // Canonical callback order is ascending query id per event; group order
+    // interleaves member ids, so sort before delivery.
+    std::stable_sort(serial_notes_.begin(), serial_notes_.end(),
+                     [](const PendingNote& a, const PendingNote& b) {
+                       return a.note.query < b.note.query;
+                     });
+    for (const PendingNote& p : serial_notes_) callback_(p.note);
+  }
+}
+
+void CepEngine::RebuildRouteIndex() {
+  classes_by_type_.assign(registry_->size(), {});
+  for (size_t c = 0; c < route_classes_.size(); ++c) {
+    const std::vector<uint16_t>& route = route_classes_[c];
+    for (size_t t = 0; t < route.size() && t < classes_by_type_.size(); ++t) {
+      if (route[t] != kRouteIrrelevant) {
+        classes_by_type_[t].push_back(static_cast<uint16_t>(c));
+      }
+    }
+  }
+  route_index_dirty_ = false;
+}
+
 void CepEngine::PrepareBatchKeys(const EventBatch& batch) {
   const size_t n = batch.size();
   prep_.resize(specs_.size());
@@ -151,13 +321,15 @@ void CepEngine::PrepareBatchKeys(const EventBatch& batch) {
   for (size_t s = 0; s < specs_.size(); ++s) {
     if (prep_[s].size() < n) prep_[s].resize(n);
   }
+  if (route_index_dirty_) RebuildRouteIndex();
   class_events_.resize(route_classes_.size());
   for (auto& list : class_events_) list.clear();
   for (uint32_t i = 0; i < n; ++i) {
     const Event& e = batch[i];
-    for (size_t c = 0; c < route_classes_.size(); ++c) {
-      const std::vector<uint16_t>& route = route_classes_[c];
-      if (e.type < route.size() && route[e.type] != kRouteIrrelevant) {
+    // The inverted class index makes this loop proportional to the classes
+    // that actually want the event's type, not to all classes.
+    if (e.type < classes_by_type_.size()) {
+      for (const uint16_t c : classes_by_type_[e.type]) {
         class_events_[c].push_back(i);
       }
     }
@@ -241,6 +413,187 @@ void CepEngine::ProcessShard(const EventBatch& batch, size_t shard, size_t strid
   }
 }
 
+void CepEngine::RouteGroupBatch(MergeGroup& g, const EventBatch& batch,
+                                std::vector<std::vector<WorkItem>>* per_shard) {
+  const size_t shards = per_shard->size();
+  for (const uint32_t i : class_events_[g.route_class]) {
+    const Event& e = batch[i];
+    const uint16_t r = g.route[e.type];
+
+    std::string_view key;
+    uint64_t hash;
+    if (r == kRouteEmptyKey) {
+      hash = empty_key_hash_;
+    } else {
+      const PrepKey& pk = prep_[r - kRouteSpecBase][i];
+      key = pk.view;
+      hash = pk.hash;
+    }
+
+    const uint32_t id = InternGroupKey(g, key, hash);
+    const size_t s = shards == 1 ? 0 : ShardOf(g.index, id, shards);
+    (*per_shard)[s].push_back(WorkItem{i, id});
+  }
+}
+
+void CepEngine::ProcessMergedBlock(const WorkBlock& block, ShardScratch* scratch) {
+  MergeGroup& g = *block.group;
+  const SharedNfa& nfa = *g.nfa;
+  for (const WorkItem& it : block.items) {
+    const Event& e = (*block.batch)[it.event];
+    SharedRun& run = g.runs[it.run];
+    const SharedStepResult step = run.Step(e);
+    if (!step.absorbed_kleene && !step.match_complete) continue;
+    const uint32_t bucket = g.buckets[it.run];
+    for (ResidueClass& rc : g.residues) {
+      const bool per_kleene = nfa.EmitsPerKleeneEvent(rc.nfa_residue);
+      const bool row_now =
+          (step.absorbed_kleene && per_kleene) ||
+          (step.match_complete && !(per_kleene && step.closed_kleene));
+      if (row_now) {
+        // Build the row once per residue class, then fan out one physical
+        // append per table class (not per member query).
+        scratch->row.clear();
+        run.AppendRowValues(rc.nfa_residue, e, &scratch->row);
+        for (TableClass& tc : rc.tables) {
+          MatchTable::ShardAppender appender(tc.table);
+          appender.AppendRow(bucket, e.ts, scratch->row.data(),
+                             scratch->row.size());
+          if (step.match_complete) appender.MarkComplete(bucket);
+        }
+        if (block.want_notes) {
+          for (const QueryId q : rc.members) {
+            MatchRow row;
+            row.ts = e.ts;
+            row.values = scratch->row;
+            scratch->notes.push_back(
+                {it.event,
+                 MatchNotification{q, it.run, g.interner.KeyOf(it.run),
+                                   std::move(row), step.match_complete}});
+          }
+        }
+      } else if (step.match_complete) {
+        for (TableClass& tc : rc.tables) {
+          MatchTable::ShardAppender appender(tc.table);
+          appender.MarkComplete(bucket);
+        }
+        if (block.want_notes) {
+          for (const QueryId q : rc.members) {
+            scratch->notes.push_back(
+                {it.event, MatchNotification{q, it.run,
+                                             g.interner.KeyOf(it.run),
+                                             MatchRow{}, true}});
+          }
+        }
+      }
+    }
+    if (step.match_complete) run.Reset();
+  }
+}
+
+void CepEngine::EnsurePipes(size_t shards) {
+  if (pipes_ != nullptr && pipes_->pipes.size() == shards) return;
+  StopPipes();
+  pipes_ = std::make_unique<ShardPipes>();
+  for (size_t s = 0; s < shards; ++s) pipes_->pipes.emplace_back();
+  std::atomic<bool>* stop = &pipes_->stop;
+  for (size_t s = 0; s < shards; ++s) {
+    ShardPipe* pipe = &pipes_->pipes[s];
+    // The worker touches only its pipe and the blocks it pops — never the
+    // engine — so the loop stays valid for the pipeline's whole lifetime.
+    pipe->worker = std::thread([pipe, stop] {
+      WorkBlock block;
+      while (pipe->queue.PopWait(&block, *stop)) {
+        ProcessMergedBlock(block, &pipe->scratch);
+        block = WorkBlock{};  // drop batch/group refs before signaling done
+        pipe->done.fetch_add(1, std::memory_order_release);
+        { std::lock_guard<std::mutex> lock(pipe->drain_mu); }
+        pipe->drain_cv.notify_one();
+      }
+    });
+  }
+}
+
+void CepEngine::StopPipes() {
+  if (pipes_ == nullptr) return;
+  pipes_->stop.store(true, std::memory_order_release);
+  for (ShardPipe& pipe : pipes_->pipes) pipe.queue.Wake();
+  for (ShardPipe& pipe : pipes_->pipes) {
+    if (pipe.worker.joinable()) pipe.worker.join();
+  }
+  pipes_.reset();
+}
+
+void CepEngine::IngestBatchMerged(const EventBatch& batch) {
+  PrepareBatchKeys(batch);
+  const bool want_notes = callback_ != nullptr;
+  const size_t shards = std::max<size_t>(1, num_shards_);
+  const bool parallel = shards > 1;
+  if (parallel) EnsurePipes(shards);
+  if (route_items_.size() < shards) route_items_.resize(shards);
+  if (scratch_.empty()) scratch_.resize(1);
+
+  for (auto& gp : groups_) {
+    MergeGroup& g = *gp;
+    if (g.route_class >= class_events_.size() ||
+        class_events_[g.route_class].empty()) {
+      continue;
+    }
+    // Route this group single-threaded in stream order (deterministic intern
+    // ids and bucket registrations), THEN hand its blocks off. A shard may
+    // still be chewing on earlier groups while this one is routed — the
+    // per-group containers make that safe — but nothing ever processes a
+    // group concurrently with its own routing.
+    for (size_t s = 0; s < shards; ++s) route_items_[s].clear();
+    RouteGroupBatch(g, batch, &route_items_);
+    if (!parallel) {
+      if (route_items_[0].empty()) continue;
+      WorkBlock block;
+      block.batch = &batch;
+      block.group = &g;
+      block.want_notes = want_notes;
+      block.items = std::move(route_items_[0]);
+      ProcessMergedBlock(block, &scratch_[0]);
+      route_items_[0] = std::move(block.items);  // recycle capacity
+    } else {
+      for (size_t s = 0; s < shards; ++s) {
+        if (route_items_[s].empty()) continue;
+        WorkBlock block;
+        block.batch = &batch;
+        block.group = &g;
+        block.want_notes = want_notes;
+        block.items = std::move(route_items_[s]);
+        route_items_[s] = std::vector<WorkItem>();
+        ShardPipe& pipe = pipes_->pipes[s];
+        pipe.pushed.fetch_add(1, std::memory_order_relaxed);
+        pipe.queue.PushWait(std::move(block));
+      }
+    }
+  }
+
+  if (parallel) {
+    // Drain barrier at batch end only: preserves the read-after-IngestBatch
+    // contract and publishes all shard writes to this thread.
+    for (ShardPipe& pipe : pipes_->pipes) {
+      const uint64_t target = pipe.pushed.load(std::memory_order_relaxed);
+      std::unique_lock<std::mutex> lock(pipe.drain_mu);
+      pipe.drain_cv.wait(lock, [&] {
+        return pipe.done.load(std::memory_order_acquire) >= target;
+      });
+    }
+    if (scratch_.size() < shards) scratch_.resize(shards);
+    for (size_t s = 0; s < shards; ++s) {
+      std::vector<PendingNote>& src = pipes_->pipes[s].scratch.notes;
+      if (src.empty()) continue;
+      std::vector<PendingNote>& dst = scratch_[s].notes;
+      dst.insert(dst.end(), std::make_move_iterator(src.begin()),
+                 std::make_move_iterator(src.end()));
+      src.clear();
+    }
+  }
+  DispatchNotifications();
+}
+
 void CepEngine::DispatchNotifications() {
   if (callback_ == nullptr) {
     for (ShardScratch& s : scratch_) s.notes.clear();
@@ -267,6 +620,10 @@ void CepEngine::DispatchNotifications() {
 void CepEngine::IngestBatch(const EventBatch& batch) {
   if (batch.empty()) return;
   events_processed_ += batch.size();
+  if (merge_enabled_) {
+    IngestBatchMerged(batch);
+    return;
+  }
   PrepareBatchKeys(batch);
   const size_t shards =
       std::max<size_t>(1, std::min(num_shards_, queries_.size()));
@@ -285,6 +642,26 @@ void CepEngine::SaveState(BytesWriter* out) const {
   out->Put<uint64_t>(events_processed_);
   out->Put<uint32_t>(static_cast<uint32_t>(queries_.size()));
   for (const auto& qs : queries_) {
+    if (merge_enabled_) {
+      // Each member writes the state its own QueryRun would have held —
+      // byte-identical to the unmerged format, so snapshots round-trip
+      // across modes. Members of a group repeat the shared pieces (keys,
+      // buckets, traversal state); RestoreState uses the redundancy as a
+      // cross-check.
+      const MergeGroup& g = *groups_[qs->merge_group];
+      const uint32_t nfa_residue = g.residues[qs->merge_residue].nfa_residue;
+      const uint32_t n_keys = static_cast<uint32_t>(g.interner.size());
+      out->Put<uint32_t>(n_keys);
+      for (uint32_t id = 0; id < n_keys; ++id) {
+        out->PutString(g.interner.KeyOf(id));
+      }
+      out->PutPodVector(g.buckets);
+      for (uint32_t id = 0; id < n_keys; ++id) {
+        g.runs[id].SaveMemberView(nfa_residue, out);
+      }
+      qs->physical->SaveState(out);
+      continue;
+    }
     const uint32_t n_keys = static_cast<uint32_t>(qs->interner.size());
     out->Put<uint32_t>(n_keys);
     for (uint32_t id = 0; id < n_keys; ++id) {
@@ -306,14 +683,10 @@ Status CepEngine::RestoreState(BytesReader* in) {
         StrFormat("snapshot holds %u queries, engine has %zu registered",
                   n_queries, queries_.size()));
   }
-  for (auto& qs : queries_) {
-    if (qs->interner.size() != 0 || qs->matches.TotalRows() != 0) {
-      return Status::InvalidArgument(
-          "engine must be freshly constructed before restore");
-    }
+  for (QueryId qi = 0; qi < queries_.size(); ++qi) {
+    QueryState& qs = *queries_[qi];
+
     EXSTREAM_ASSIGN_OR_RETURN(const uint32_t n_keys, in->Get<uint32_t>());
-    // Re-interning the keys in saved id order reproduces the exact id
-    // assignment (first-intern order is the id order).
     std::vector<std::string> keys;
     keys.reserve(n_keys);
     for (uint32_t i = 0; i < n_keys; ++i) {
@@ -327,20 +700,85 @@ Status CepEngine::RestoreState(BytesReader* in) {
           StrFormat("snapshot bucket map holds %zu entries for %u keys",
                     buckets.size(), n_keys));
     }
-    qs->runs.reserve(n_keys);
+
+    if (merge_enabled_) {
+      MergeGroup& g = *groups_[qs.merge_group];
+      const ResidueClass& rc = g.residues[qs.merge_residue];
+      const bool first_member = g.members.front() == qi;
+      const bool take_kleene = g.bound_source == qi;
+      const bool take_aggs = rc.rep == qi;
+      if (first_member) {
+        if (g.interner.size() != 0) {
+          return Status::InvalidArgument(
+              "engine must be freshly constructed before restore");
+        }
+        // Re-interning the keys in saved id order reproduces the exact id
+        // assignment (first-intern order is the id order).
+        g.runs.reserve(n_keys);
+        for (uint32_t i = 0; i < n_keys; ++i) {
+          bool created = false;
+          const uint32_t id =
+              g.interner.Intern(keys[i], PartitionKeyHash(keys[i]), &created);
+          if (!created || id != i) {
+            return Status::Corruption(
+                StrFormat("duplicate partition key in snapshot at id %u", i));
+          }
+          g.runs.emplace_back(g.nfa.get());
+        }
+        g.buckets = std::move(buckets);
+      } else {
+        // Later members of the group must describe the exact same shared
+        // state their group already restored.
+        if (n_keys != g.interner.size() || buckets != g.buckets) {
+          return Status::Corruption(StrFormat(
+              "merged query %u disagrees with its group's restored keys", qi));
+        }
+        for (uint32_t i = 0; i < n_keys; ++i) {
+          if (keys[i] != g.interner.KeyOf(i)) {
+            return Status::Corruption(StrFormat(
+                "merged query %u disagrees with its group's restored keys", qi));
+          }
+        }
+      }
+      for (uint32_t i = 0; i < n_keys; ++i) {
+        EXSTREAM_RETURN_NOT_OK(g.runs[i].RestoreMemberView(
+            in, rc.nfa_residue, first_member, take_kleene, take_aggs));
+      }
+      if (qs.physical == &qs.matches) {
+        if (qs.matches.TotalRows() != 0) {
+          return Status::InvalidArgument(
+              "engine must be freshly constructed before restore");
+        }
+        EXSTREAM_RETURN_NOT_OK(qs.matches.RestoreState(in));
+      } else {
+        // Non-representative member of a table class: its table bytes equal
+        // the representative's, which were (or will be) restored into the
+        // shared physical table — parse into a throwaway to keep the stream
+        // aligned.
+        MatchTable discard(qs.compiled.OutputColumns());
+        EXSTREAM_RETURN_NOT_OK(discard.RestoreState(in));
+      }
+      continue;
+    }
+
+    if (qs.interner.size() != 0 || qs.matches.TotalRows() != 0) {
+      return Status::InvalidArgument(
+          "engine must be freshly constructed before restore");
+    }
+    qs.runs.reserve(n_keys);
     for (uint32_t i = 0; i < n_keys; ++i) {
       bool created = false;
       const uint32_t id =
-          qs->interner.Intern(keys[i], PartitionKeyHash(keys[i]), &created);
+          qs.interner.Intern(keys[i], PartitionKeyHash(keys[i]), &created);
       if (!created || id != i) {
         return Status::Corruption(
             StrFormat("duplicate partition key in snapshot at id %u", i));
       }
-      qs->runs.emplace_back(&qs->compiled);
-      EXSTREAM_RETURN_NOT_OK(qs->runs.back().RestoreState(in));
+      qs.runs.emplace_back(&qs.compiled);
+      EXSTREAM_RETURN_NOT_OK(qs.runs.back().RestoreState(in));
     }
-    qs->buckets = std::move(buckets);
-    EXSTREAM_RETURN_NOT_OK(qs->matches.RestoreState(in));
+    qs.buckets = std::move(buckets);
+    EXSTREAM_RETURN_NOT_OK(qs.matches.RestoreState(in));
   }
   events_processed_ = events_processed;
   return Status::OK();

@@ -5,33 +5,57 @@
 //
 //   * OnEvent        — the classic one-event-at-a-time path.
 //   * OnEventBatch   — the throughput path. Partition keys are extracted and
-//     hashed once per event (not once per query per event), every query
-//     interns them into dense uint32_t ids indexing flat QueryRun vectors,
-//     match rows flush to each query's MatchTable under one lock per batch,
-//     and with ingest_threads > 1 the queries are sharded round-robin over a
-//     worker pool.
+//     hashed once per event (not once per query per event), partition ids are
+//     dense uint32_t interns indexing flat run vectors, and match rows flush
+//     to MatchTables in bulk.
+//
+// Multi-query optimization (enable_query_merge, on by default): queries are
+// canonicalized and grouped by matching structure (cep/query_merge.h), and
+// each *group* is evaluated once per event by a shared automaton
+// (cep/shared_nfa.h) regardless of how many member queries it carries — the
+// Fig. 20 scenario of thousands of near-identical monitoring queries. Within
+// a group, members with identical RETURN semantics share row construction
+// (residue classes) and members with identical output columns share one
+// physical MatchTable (table classes).
+//
+// Merged-mode threading is a contention-free pipeline: the ingesting thread
+// routes a batch group by group — interning keys, creating runs, registering
+// buckets, all single-threaded in stream order, so every id is deterministic —
+// and hands (event, run) work blocks to long-lived shard workers over SPSC
+// queues. Each (group, partition) run is owned by exactly one shard (a pure
+// hash of the pair), shards write disjoint match-table buckets under stripe
+// locks, and there is no barrier inside a batch: a shard drains its blocks as
+// they arrive while the router keeps routing later groups. IngestBatch waits
+// for all shards to drain before returning, preserving the read-after-ingest
+// contract.
 //
 // Determinism contract (same as the explanation pipeline): for any batch
 // split and any ingest_threads, the resulting MatchTables and the match
-// callback sequence are bit-identical to per-event sequential evaluation.
-// Each query is owned by exactly one shard and sees the batch in stream
-// order, so its interner ids, runs, and row order never depend on the thread
-// count; callbacks are buffered per shard tagged with (event index, query)
-// and merged into canonical (event, query) order before delivery on the
-// ingesting thread.
+// callback sequence are bit-identical to per-event sequential evaluation of
+// the unmerged engine. Callbacks are buffered tagged with (event index,
+// query) and merged into canonical (event, query) order before delivery on
+// the ingesting thread.
 
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
+#include <deque>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "cep/interner.h"
 #include "cep/match_table.h"
 #include "cep/nfa.h"
+#include "cep/query_merge.h"
+#include "cep/shared_nfa.h"
 #include "common/result.h"
+#include "common/spsc_queue.h"
 #include "common/thread_pool.h"
 #include "event/registry.h"
 #include "event/stream.h"
@@ -44,7 +68,7 @@ using QueryId = uint32_t;
 ///
 /// `partition` is a view into the engine's interned key storage — valid for
 /// the engine's lifetime, never a per-row string copy. `partition_id` is the
-/// dense per-query intern id (assigned in first-seen stream order, so it is
+/// dense intern id (assigned in first-seen stream order, so it is
 /// deterministic for a fixed event order regardless of batching/sharding).
 struct MatchNotification {
   QueryId query = 0;
@@ -59,24 +83,34 @@ struct CepEngineOptions {
   /// Shards (worker threads) used by OnEventBatch; 1 = serial batched
   /// evaluation, 0 = one per hardware thread. OnEvent is always serial.
   size_t ingest_threads = 1;
+  /// Evaluate structurally equivalent queries through one shared automaton
+  /// per merge group. Off = the legacy per-query evaluator (the differential
+  /// baseline and the --no-query-merge escape hatch).
+  bool enable_query_merge = true;
 };
 
 /// \brief Evaluates many SASE queries over one event stream.
 ///
-/// Each query maintains one QueryRun per partition value (the bracketed
+/// Each query maintains one run per partition value (the bracketed
 /// equivalence attribute). Events irrelevant to a query (by type) are skipped
 /// via a per-query type-route table, so thousands of concurrent queries stay
 /// cheap per event (the Fig. 20 scenario).
 ///
 /// Thread model: one ingesting thread calls OnEvent/OnEventBatch; readers
 /// (visualization, benches) may query MatchTables concurrently. OnEventBatch
-/// may internally fan out over its own worker pool.
+/// may internally fan out over its own worker pool (legacy mode) or the
+/// long-lived shard pipeline (merged mode).
 class CepEngine : public EventSink {
  public:
   explicit CepEngine(const EventTypeRegistry* registry, CepEngineOptions options = {})
-      : registry_(registry) {
+      : registry_(registry), merge_enabled_(options.enable_query_merge) {
     SetIngestThreads(options.ingest_threads);
   }
+
+  ~CepEngine() override { StopPipes(); }
+
+  CepEngine(CepEngine&&) = delete;
+  CepEngine& operator=(CepEngine&&) = delete;
 
   /// Compiles and registers a query; returns its id.
   Result<QueryId> AddQuery(const Query& query);
@@ -102,9 +136,15 @@ class CepEngine : public EventSink {
   size_t num_queries() const { return queries_.size(); }
   uint64_t events_processed() const { return events_processed_; }
 
+  bool merge_enabled() const { return merge_enabled_; }
+  /// Merge-plan shape (groups/residues/tables); all-zero when merge is off.
+  const MergePlanStats& merge_stats() const { return planner_.stats(); }
+
   const CompiledQuery& compiled(QueryId id) const { return queries_[id]->compiled; }
-  const MatchTable& match_table(QueryId id) const { return queries_[id]->matches; }
-  MatchTable& mutable_match_table(QueryId id) { return queries_[id]->matches; }
+  /// The query's match table. Queries in the same table class share one
+  /// physical table (their contents are bit-identical by construction).
+  const MatchTable& match_table(QueryId id) const { return *queries_[id]->physical; }
+  MatchTable& mutable_match_table(QueryId id) { return *queries_[id]->physical; }
 
   /// Lookup by query name; NotFound if absent.
   Result<QueryId> QueryIdByName(std::string_view name) const;
@@ -123,6 +163,8 @@ class CepEngine : public EventSink {
   /// partition keys (in id order), per-partition NFA runs, match tables — and
   /// the processed-event count. Compiled queries and route tables are NOT
   /// included: RestoreState requires the same queries added in the same order.
+  /// The format is identical in merged and unmerged mode (merged groups write
+  /// one member-view per query), so snapshots round-trip across modes.
   /// Must not run concurrently with ingestion.
   void SaveState(BytesWriter* out) const;
 
@@ -135,6 +177,8 @@ class CepEngine : public EventSink {
   static constexpr uint16_t kRouteIrrelevant = 0;
   static constexpr uint16_t kRouteEmptyKey = 1;  ///< unpartitioned query
   static constexpr uint16_t kRouteSpecBase = 2;  ///< spec index + 2
+
+  static constexpr QueryId kNoQuery = static_cast<QueryId>(-1);
 
   /// One partition-key extraction: attribute `attr` of events of `type`.
   /// Deduplicated across queries so a key is extracted/hashed once per event.
@@ -157,24 +201,95 @@ class CepEngine : public EventSink {
   /// Per-shard reusable buffers (owned by exactly one shard per batch).
   struct ShardScratch {
     std::vector<PendingNote> notes;  ///< whole batch
+    std::vector<Value> row;          ///< merged mode: per-residue row build
   };
 
   struct QueryState {
     CompiledQuery compiled;
     MatchTable matches;
-    PartitionInterner interner;
+    /// The physical table serving match_table(id): &matches, or the table
+    /// class representative's matches when this query merged into one.
+    MatchTable* physical = nullptr;
+    PartitionInterner interner;       ///< legacy (merge-off) mode only
     std::vector<QueryRun> runs;       ///< indexed by interned partition id
     std::vector<uint32_t> buckets;    ///< interned id -> match-table bucket
     std::vector<uint16_t> route;      ///< event type -> route entry
     uint32_t route_class = 0;         ///< index into route_classes_
+    uint32_t merge_group = 0;         ///< merged mode: owning group index
+    uint32_t merge_residue = 0;       ///< merged mode: residue within group
 
     QueryState(CompiledQuery cq)
-        : compiled(std::move(cq)), matches(compiled.OutputColumns()) {}
+        : compiled(std::move(cq)), matches(compiled.OutputColumns()),
+          physical(&matches) {}
   };
 
-  /// \brief Interns `key` for `qs`, creating its run and match bucket on
-  /// first use. `appender` must be qs.matches' live batch appender, or
-  /// nullptr when the caller does not hold the table lock (per-event path).
+  /// \brief Queries sharing one physical MatchTable (identical residue +
+  /// identical output column names → bit-identical tables).
+  struct TableClass {
+    QueryId rep = 0;               ///< owns the physical table (its QueryState)
+    MatchTable* table = nullptr;   ///< == &queries_[rep]->matches
+    std::vector<QueryId> members;  ///< ascending query id
+  };
+
+  /// \brief Queries sharing row construction (identical compiled RETURNs).
+  struct ResidueClass {
+    uint32_t nfa_residue = 0;      ///< index into the group's SharedNfa
+    QueryId rep = 0;               ///< aggregate source on checkpoint restore
+    std::vector<TableClass> tables;
+    std::vector<QueryId> members;  ///< ascending query id (note fan-out order)
+  };
+
+  /// \brief One merge group: a shared automaton plus all per-partition state
+  /// its members would otherwise hold independently.
+  struct MergeGroup {
+    uint32_t index = 0;
+    std::unique_ptr<SharedNfa> nfa;
+    std::vector<ResidueClass> residues;
+    std::vector<QueryId> members;      ///< ascending query id
+    /// First member whose own QueryRun stores the latest kleene event — the
+    /// record that supplies the kleene bound slot on checkpoint restore.
+    QueryId bound_source = kNoQuery;
+    PartitionInterner interner;
+    std::vector<SharedRun> runs;       ///< indexed by interned partition id
+    std::vector<uint32_t> buckets;     ///< id -> bucket (same in all tables)
+    std::vector<uint16_t> route;       ///< == every member's route table
+    uint32_t route_class = 0;
+  };
+
+  /// One unit of routed work: event index in the current batch + run id.
+  struct WorkItem {
+    uint32_t event = 0;
+    uint32_t run = 0;
+  };
+
+  /// \brief A routed slice of one group's batch work, handed to one shard.
+  /// Carries everything the worker needs so workers never touch the engine.
+  struct WorkBlock {
+    const EventBatch* batch = nullptr;
+    MergeGroup* group = nullptr;
+    bool want_notes = false;
+    std::vector<WorkItem> items;
+  };
+
+  /// \brief One long-lived shard worker and its handoff queue.
+  struct ShardPipe {
+    SpscQueue<WorkBlock> queue{1024};
+    std::thread worker;
+    std::atomic<uint64_t> pushed{0};  ///< router-side block count
+    std::atomic<uint64_t> done{0};    ///< worker-side block count
+    std::mutex drain_mu;
+    std::condition_variable drain_cv;
+    ShardScratch scratch;
+  };
+
+  struct ShardPipes {
+    std::atomic<bool> stop{false};
+    std::deque<ShardPipe> pipes;  // deque: ShardPipe is not movable
+  };
+
+  /// \brief Interns `key` for `qs` (legacy mode), creating its run and match
+  /// bucket on first use. `appender` must be qs.matches' live batch appender,
+  /// or nullptr when the caller does not hold the table lock (per-event path).
   uint32_t InternKey(QueryState& qs, std::string_view key, uint64_t hash,
                      MatchTable::Appender* appender);
 
@@ -184,9 +299,41 @@ class CepEngine : public EventSink {
   /// Fills prep_ with one (view, hash) per (spec, event) for this batch.
   void PrepareBatchKeys(const EventBatch& batch);
 
-  /// Evaluates queries `shard, shard + stride, ...` over the whole batch.
+  /// Rebuilds classes_by_type_ from route_classes_ when stale.
+  void RebuildRouteIndex();
+
+  /// Legacy mode: evaluates queries `shard, shard + stride, ...` over the
+  /// whole batch.
   void ProcessShard(const EventBatch& batch, size_t shard, size_t stride,
                     ShardScratch* scratch);
+
+  // ---- merged mode ----
+
+  void OnEventMerged(const Event& event);
+  void IngestBatchMerged(const EventBatch& batch);
+
+  /// \brief Single-threaded, stream-order routing of one group's relevant
+  /// events: interns keys, creates runs/buckets on first sight, and appends
+  /// one WorkItem per (event, run) to the owning shard's list in
+  /// `per_shard` (already sized to the shard count).
+  void RouteGroupBatch(MergeGroup& g, const EventBatch& batch,
+                       std::vector<std::vector<WorkItem>>* per_shard);
+
+  /// Interns `key` into group `g` (router thread only): creates the SharedRun
+  /// and registers the partition's bucket in every member table on first use.
+  uint32_t InternGroupKey(MergeGroup& g, std::string_view key, uint64_t hash);
+
+  /// The shard owning (group, run) — a pure function, so ownership is stable
+  /// across batches and identical for every shard count's decomposition.
+  static size_t ShardOf(uint32_t group, uint32_t run, size_t num_shards);
+
+  /// \brief Evaluates one routed block. Runs on a shard worker (or inline
+  /// when single-sharded); touches only the block's group, the batch, and
+  /// `scratch` — never the engine — so it is race-free by ownership.
+  static void ProcessMergedBlock(const WorkBlock& block, ShardScratch* scratch);
+
+  void EnsurePipes(size_t shards);
+  void StopPipes();
 
   /// Merges per-shard notes into (event, query) order and fires callbacks.
   void DispatchNotifications();
@@ -201,21 +348,33 @@ class CepEngine : public EventSink {
   std::vector<std::vector<uint16_t>> specs_by_type_;  ///< type -> spec indices
   uint64_t empty_key_hash_ = PartitionKeyHash({});
   std::string serial_key_scratch_;  ///< OnEvent: reused numeric-key buffer
-  MatchRow serial_row_scratch_;     ///< OnEvent: reused QueryRun output row
+  MatchRow serial_row_scratch_;     ///< OnEvent: reused run output row
+  std::vector<PendingNote> serial_notes_;  ///< OnEvent merged: per-event notes
 
   // Route classes: queries with identical route tables share one class, and
   // each batch computes the class's relevant-event index list once — so 1000
   // replicated queries (the Fig. 20 shape) skip a batch's irrelevant events
-  // with one scan total instead of one scan each.
+  // with one scan total instead of one scan each. classes_by_type_ inverts
+  // the class route tables (event type -> classes that want it); it is
+  // rebuilt lazily after AddQuery instead of being rescanned per batch.
   std::vector<std::vector<uint16_t>> route_classes_;   ///< class -> route table
+  std::vector<std::vector<uint16_t>> classes_by_type_; ///< type -> class idxs
+  bool route_index_dirty_ = false;
   std::vector<std::vector<uint32_t>> class_events_;    ///< class -> event idxs
+
+  // Multi-query merge plan.
+  bool merge_enabled_ = true;
+  MergePlanner planner_;
+  std::vector<std::unique_ptr<MergeGroup>> groups_;
 
   // Batched-ingest machinery (buffers reused across batches).
   size_t num_shards_ = 1;
-  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<ThreadPool> pool_;  ///< legacy (merge-off) fork/join pool
+  std::unique_ptr<ShardPipes> pipes_; ///< merged-mode shard pipeline
   std::vector<std::vector<PrepKey>> prep_;           ///< per spec, per event
   std::vector<std::vector<std::string>> prep_keys_;  ///< numeric keys storage
   std::vector<ShardScratch> scratch_;
+  std::vector<std::vector<WorkItem>> route_items_;   ///< router per-shard lists
   std::vector<PendingNote> merged_notes_;
 };
 

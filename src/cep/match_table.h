@@ -16,6 +16,7 @@
 
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <mutex>
@@ -99,6 +100,37 @@ class MatchTable {
     std::lock_guard<std::mutex> lock_;
   };
 
+  /// \brief Concurrent row appender for the merged shard pipeline: multiple
+  /// shard workers write disjoint buckets of the same table at once, so rows
+  /// go in under per-bucket stripe locks instead of the table lock.
+  ///
+  /// Preconditions (the engine's routing invariants): the bucket was
+  /// registered via EnsureBucket *before* the work referencing it was handed
+  /// to any shard, each bucket is written by at most one shard, and EnsureBucket
+  /// is not called on this table while ShardAppenders are writing it. Readers
+  /// stay safe concurrently — the locking read API takes the stripe locks too.
+  class ShardAppender {
+   public:
+    explicit ShardAppender(MatchTable* table) : table_(table) {}
+
+    /// Appends one sealed row (timestamp + `n` cells) to `bucket`.
+    void AppendRow(uint32_t bucket, Timestamp ts, const Value* values, size_t n) {
+      std::lock_guard<std::mutex> lock(table_->StripeFor(bucket));
+      Bucket& b = table_->buckets_[bucket];
+      b.ts.push_back(ts);
+      b.cells.insert(b.cells.end(), values, values + n);
+      b.ends.push_back(static_cast<uint32_t>(b.cells.size()));
+    }
+
+    void MarkComplete(uint32_t bucket) {
+      std::lock_guard<std::mutex> lock(table_->StripeFor(bucket));
+      table_->buckets_[bucket].complete = true;
+    }
+
+   private:
+    MatchTable* table_;  // not owned
+  };
+
   /// Marks a partition's pattern match as completed (JobEnd seen).
   void MarkComplete(uint32_t bucket);
   void MarkComplete(const std::string& partition);
@@ -151,8 +183,19 @@ class MatchTable {
   uint32_t EnsureBucketLocked(std::string_view partition);
   void AppendLocked(uint32_t bucket, const MatchRow& row);
 
+  static constexpr size_t kNumStripes = 32;
+  std::mutex& StripeFor(uint32_t bucket) const {
+    return stripe_mu_[bucket % kNumStripes];
+  }
+  /// Locks every stripe (ascending, after mu_) for whole-table reads that
+  /// must not race concurrent ShardAppenders.
+  std::vector<std::unique_lock<std::mutex>> LockAllStripes() const;
+
   std::vector<std::string> column_names_;
   mutable std::mutex mu_;
+  /// Per-bucket row-data locks for the concurrent ShardAppender path. Lock
+  /// order: mu_ before any stripe, stripes in ascending index order.
+  mutable std::array<std::mutex, kNumStripes> stripe_mu_;
   std::deque<Bucket> buckets_;  // deque: bucket.key views in index_ never move
   std::unordered_map<std::string_view, uint32_t, StringViewHash, std::equal_to<>>
       index_;  // views into buckets_[i].key

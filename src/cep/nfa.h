@@ -64,6 +64,13 @@ class CompiledQuery {
   /// True if events of this type can ever affect the query.
   bool IsRelevantType(EventTypeId type) const;
 
+  /// True if any component is negated.
+  bool has_negation() const { return has_negation_; }
+  /// Index of the kleene component (meaningful only if the query has one).
+  size_t kleene_component() const { return kleene_idx_; }
+  /// True if anything ever reads the kleene slot of the bound-event vector.
+  bool kleene_bound_needed() const { return kleene_bound_needed_; }
+
  private:
   Query query_;
   std::vector<CompiledComponent> components_;

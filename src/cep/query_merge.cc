@@ -1,0 +1,143 @@
+#include "cep/query_merge.h"
+
+#include <algorithm>
+
+#include "common/bytes.h"
+
+namespace exstream {
+
+namespace {
+
+void EncodeRef(BytesWriter* out, const CompiledRef& ref) {
+  out->Put<uint32_t>(static_cast<uint32_t>(ref.component));
+  out->Put<uint8_t>(ref.is_timestamp ? 1 : 0);
+  out->Put<uint64_t>(ref.is_timestamp ? 0 : static_cast<uint64_t>(ref.attr_index));
+}
+
+void EncodeValue(BytesWriter* out, const Value& v) {
+  out->Put<uint8_t>(static_cast<uint8_t>(v.type()));
+  switch (v.type()) {
+    case ValueType::kInt64:
+      out->Put<int64_t>(v.AsInt64());
+      break;
+    case ValueType::kDouble:
+      // Bit pattern, not numeric value: 1.0 and 1 (int) stay distinct kinds,
+      // and -0.0 / NaN payloads compare exactly.
+      out->Put<double>(v.AsDouble());
+      break;
+    case ValueType::kString:
+      out->PutString(v.AsString());
+      break;
+  }
+}
+
+std::string EncodePredicate(const CompiledPredicate& pred) {
+  BytesWriter w;
+  EncodeRef(&w, pred.lhs);
+  w.Put<uint8_t>(static_cast<uint8_t>(pred.op));
+  if (pred.rhs_constant.has_value()) {
+    w.Put<uint8_t>(0);
+    EncodeValue(&w, *pred.rhs_constant);
+  } else {
+    w.Put<uint8_t>(1);
+    EncodeRef(&w, *pred.rhs_ref);
+  }
+  return w.Take();
+}
+
+}  // namespace
+
+MergeSignature BuildMergeSignature(const CompiledQuery& cq) {
+  MergeSignature sig;
+
+  BytesWriter group;
+  group.Put<uint8_t>(1);  // signature version
+  group.Put<int64_t>(cq.query().within);
+  group.Put<uint8_t>(cq.query().partition_attribute.empty() ? 0 : 1);
+  group.Put<uint32_t>(static_cast<uint32_t>(cq.components().size()));
+  bool has_negation = false;
+  for (const CompiledComponent& comp : cq.components()) {
+    group.Put<uint32_t>(comp.type);
+    group.Put<uint8_t>(comp.kleene ? 1 : 0);
+    group.Put<uint8_t>(comp.negated ? 1 : 0);
+    group.Put<uint8_t>(comp.partition_attr.has_value() ? 1 : 0);
+    group.Put<uint64_t>(comp.partition_attr.value_or(0));
+    // Predicates are an AND conjunction of side-effect-free comparisons:
+    // evaluation order cannot change any output, so a canonical sort makes
+    // reordered WHERE clauses hash identically.
+    std::vector<std::string> preds;
+    preds.reserve(comp.predicates.size());
+    for (const CompiledPredicate& pred : comp.predicates) {
+      preds.push_back(EncodePredicate(pred));
+    }
+    std::sort(preds.begin(), preds.end());
+    group.Put<uint32_t>(static_cast<uint32_t>(preds.size()));
+    for (const std::string& p : preds) group.PutString(p);
+    if (comp.negated) has_negation = true;
+  }
+  sig.group_key = group.Take();
+
+  BytesWriter residue;
+  residue.PutString(sig.group_key);
+  residue.Put<uint32_t>(static_cast<uint32_t>(cq.returns().size()));
+  for (const CompiledReturn& r : cq.returns()) {
+    residue.Put<uint8_t>(static_cast<uint8_t>(r.agg));
+    residue.Put<uint8_t>(static_cast<uint8_t>(r.index));
+    EncodeRef(&residue, r.ref);
+  }
+  sig.residue_key = residue.Take();
+
+  BytesWriter table;
+  table.PutString(sig.residue_key);
+  for (const CompiledReturn& r : cq.returns()) table.PutString(r.output_name);
+  sig.table_key = table.Take();
+
+  sig.mergeable = !has_negation;
+  return sig;
+}
+
+MergeAssignment MergePlanner::Assign(const CompiledQuery& cq, bool force_singleton) {
+  MergeSignature sig = BuildMergeSignature(cq);
+  if (force_singleton) sig.mergeable = false;
+  ++stats_.queries;
+  if (!sig.mergeable) {
+    // Singleton classes keyed by a unique, never-matching key.
+    BytesWriter unique;
+    unique.Put<uint8_t>(0);
+    unique.Put<uint32_t>(static_cast<uint32_t>(stats_.queries));
+    sig.group_key = unique.Take();
+    sig.residue_key = sig.group_key;
+    sig.table_key = sig.group_key;
+    ++stats_.unmergeable;
+  }
+
+  MergeAssignment out;
+  auto [git, new_group] = groups_.try_emplace(sig.group_key);
+  if (new_group) {
+    git->second.index = next_group_++;
+    ++stats_.groups;
+  }
+  GroupEntry& group = git->second;
+  out.group = group.index;
+  out.new_group = new_group;
+
+  auto [rit, new_residue] = group.residues.try_emplace(sig.residue_key);
+  if (new_residue) {
+    rit->second.index = group.next_residue++;
+    ++stats_.residue_classes;
+  }
+  ResidueEntry& res = rit->second;
+  out.residue = res.index;
+  out.new_residue = new_residue;
+
+  auto [tit, new_table] = res.tables.try_emplace(sig.table_key);
+  if (new_table) {
+    tit->second = res.next_table++;
+    ++stats_.table_classes;
+  }
+  out.table = tit->second;
+  out.new_table = new_table;
+  return out;
+}
+
+}  // namespace exstream

@@ -1,0 +1,106 @@
+// Multi-query merge planning: canonicalizes compiled SASE queries and groups
+// structurally equivalent ones so the engine evaluates each *group* once per
+// event instead of once per member query (the Fig. 20 scenario, where
+// thousands of near-identical monitoring queries run concurrently).
+//
+// Three nested equivalence levels, each a canonical byte-string key built
+// from the *compiled* (schema-resolved) query — pattern-variable names and
+// query names never appear, so alias renaming merges, and predicates are
+// canonically sorted within their anchor component, so reordering merges:
+//
+//   * group   — identical matching behavior: component sequence (event type,
+//     kleene/negation flags, partition attribute index), canonicalized
+//     predicates, and WITHIN bound. Members of a group share one automaton
+//     traversal and one partition interner / run table.
+//   * residue — group plus the compiled RETURN list (aggregates, refs,
+//     kleene indexing). Members of a residue produce value-identical match
+//     rows, so the row is built once and fanned out.
+//   * table   — residue plus the output column names. Members of a table
+//     class have bit-identical MatchTables, so they share one physical
+//     table (aliased read-only through CepEngine::match_table).
+//
+// Queries containing negated components are never merged (each forms a
+// singleton group); the shared evaluator still handles them, but the
+// conservative gate keeps the merge rules easy to reason about.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cep/nfa.h"
+
+namespace exstream {
+
+/// \brief Canonical merge keys of one compiled query.
+struct MergeSignature {
+  bool mergeable = false;   ///< false: never grouped with another query
+  std::string group_key;    ///< matching behavior (components, preds, WITHIN)
+  std::string residue_key;  ///< group_key + compiled RETURN semantics
+  std::string table_key;    ///< residue_key + output column names
+};
+
+/// Builds the canonical signature of `cq` (deterministic across processes).
+MergeSignature BuildMergeSignature(const CompiledQuery& cq);
+
+/// \brief Where one query landed in the merge plan. Residue and table
+/// indices are local (residue within its group, table within its residue).
+struct MergeAssignment {
+  uint32_t group = 0;
+  uint32_t residue = 0;
+  uint32_t table = 0;
+  bool new_group = false;
+  bool new_residue = false;
+  bool new_table = false;
+};
+
+/// \brief Aggregate shape of the current merge plan, for benches and stats.
+struct MergePlanStats {
+  size_t queries = 0;
+  size_t groups = 0;          ///< shared automata (one traversal each)
+  size_t residue_classes = 0; ///< distinct row-building residues
+  size_t table_classes = 0;   ///< distinct physical match tables
+  size_t unmergeable = 0;     ///< queries excluded from merging (negation)
+
+  /// Queries evaluated per automaton traversal (1.0 = no sharing).
+  double compression() const {
+    return groups == 0 ? 1.0
+                       : static_cast<double>(queries) / static_cast<double>(groups);
+  }
+};
+
+/// \brief Incrementally assigns queries to merge groups as they are added.
+///
+/// Deterministic: group/residue/table indices depend only on the sequence of
+/// Assign calls, never on hashing order.
+class MergePlanner {
+ public:
+  /// Assigns `cq` to its (group, residue, table) equivalence classes,
+  /// creating new classes as needed. Unmergeable queries get fresh singleton
+  /// classes at every level. `force_singleton` demotes a mergeable query to
+  /// a singleton too — used for queries registered after ingestion started,
+  /// which must not inherit an existing group's partial match state.
+  MergeAssignment Assign(const CompiledQuery& cq, bool force_singleton = false);
+
+  const MergePlanStats& stats() const { return stats_; }
+
+ private:
+  struct ResidueEntry {
+    uint32_t index = 0;  ///< local residue index within its group
+    std::unordered_map<std::string, uint32_t> tables;  ///< table_key -> local idx
+    uint32_t next_table = 0;
+  };
+  struct GroupEntry {
+    uint32_t index = 0;
+    std::unordered_map<std::string, ResidueEntry> residues;  ///< residue_key ->
+    uint32_t next_residue = 0;
+  };
+
+  std::unordered_map<std::string, GroupEntry> groups_;
+  uint32_t next_group_ = 0;
+  MergePlanStats stats_;
+};
+
+}  // namespace exstream

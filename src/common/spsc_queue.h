@@ -1,0 +1,96 @@
+// Bounded single-producer single-consumer ring used for the batch router →
+// shard worker handoff (cep/engine.cc). One producer thread calls Push, one
+// consumer thread calls Pop; no other concurrency is allowed.
+//
+// The ring is lock-free on the fast path: head_ and tail_ are the only shared
+// state, each written by exactly one side, with acquire/release pairing on
+// the opposite side's load. A condition variable parks the consumer when the
+// ring runs dry so idle shard workers cost nothing between batches; the
+// producer only takes the mutex to signal wakeups, never to move data.
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace exstream {
+
+template <typename T>
+class SpscQueue {
+ public:
+  /// `capacity` is rounded up to a power of two (minimum 2).
+  explicit SpscQueue(size_t capacity) {
+    size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  /// Producer side. Returns false when the ring is full (caller decides
+  /// whether to spin, yield, or drop).
+  bool TryPush(T item) {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_.load(std::memory_order_acquire) > mask_) return false;
+    slots_[tail & mask_] = std::move(item);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Producer side: push, spinning/yielding until space frees up, and wake a
+  /// parked consumer.
+  void PushWait(T item) {
+    while (!TryPush(item)) std::this_thread::yield();
+    // Pairs with the sleep in PopWait: the consumer re-checks emptiness under
+    // the mutex before parking, so this signal cannot be lost.
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    wake_cv_.notify_one();
+  }
+
+  /// Consumer side. Returns false when the ring is empty.
+  bool TryPop(T* out) {
+    const size_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_.load(std::memory_order_acquire)) return false;
+    *out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side: pop, parking on the condition variable while empty.
+  /// Returns false (without an item) once `closed` becomes true AND the ring
+  /// has fully drained.
+  bool PopWait(T* out, const std::atomic<bool>& closed) {
+    for (;;) {
+      if (TryPop(out)) return true;
+      std::unique_lock<std::mutex> lock(wake_mu_);
+      if (TryPop(out)) return true;
+      if (closed.load(std::memory_order_acquire)) return false;
+      wake_cv_.wait_for(lock, std::chrono::milliseconds(50));
+    }
+  }
+
+  /// Wakes a consumer parked in PopWait (e.g. after setting its close flag).
+  void Wake() {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    wake_cv_.notify_one();
+  }
+
+  bool Empty() const {
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::vector<T> slots_;
+  size_t mask_ = 0;
+  alignas(64) std::atomic<size_t> head_{0};  // consumer-owned
+  alignas(64) std::atomic<size_t> tail_{0};  // producer-owned
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+};
+
+}  // namespace exstream

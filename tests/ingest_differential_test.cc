@@ -153,9 +153,13 @@ class IngestDifferentialTest : public ::testing::Test {
   }
 
   // Runs `num_queries` replicas per-event and returns tables + notes.
-  void RunSequential(const std::vector<Event>& stream, int num_queries,
+  // merge=false is the legacy per-query evaluator — the ground truth every
+  // other configuration (merged, batched, sharded) is compared against.
+  void RunSequential(const std::vector<Event>& stream, int num_queries, bool merge,
                      std::vector<TableCopy>* tables, std::vector<NoteCopy>* notes) {
-    CepEngine engine(&registry_);
+    CepEngineOptions options;
+    options.enable_query_merge = merge;
+    CepEngine engine(&registry_, options);
     std::vector<QueryId> ids;
     for (int q = 0; q < num_queries; ++q) {
       auto qid = engine.AddQueryText(kQuery, StrFormat("Q%d", q));
@@ -170,10 +174,11 @@ class IngestDifferentialTest : public ::testing::Test {
 
   // Runs the same replicas through OnEventBatch with the given sharding.
   void RunBatched(const std::vector<Event>& stream, int num_queries,
-                  size_t ingest_threads, size_t batch_size,
+                  size_t ingest_threads, size_t batch_size, bool merge,
                   std::vector<TableCopy>* tables, std::vector<NoteCopy>* notes) {
     CepEngineOptions options;
     options.ingest_threads = ingest_threads;
+    options.enable_query_merge = merge;
     CepEngine engine(&registry_, options);
     std::vector<QueryId> ids;
     for (int q = 0; q < num_queries; ++q) {
@@ -196,23 +201,44 @@ class IngestDifferentialTest : public ::testing::Test {
                          const std::string& stream_label) {
     std::vector<TableCopy> ref_tables;
     std::vector<NoteCopy> ref_notes;
-    RunSequential(stream, num_queries, &ref_tables, &ref_notes);
+    RunSequential(stream, num_queries, /*merge=*/false, &ref_tables, &ref_notes);
     ASSERT_FALSE(ref_notes.empty()) << stream_label << ": stream produced no matches";
 
-    for (const size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
-      for (const size_t batch : {size_t{1}, size_t{7}, size_t{512}}) {
-        const std::string label =
-            StrFormat("%s threads=%zu batch=%zu", stream_label.c_str(), threads, batch);
-        std::vector<TableCopy> tables;
-        std::vector<NoteCopy> notes;
-        RunBatched(stream, num_queries, threads, batch, &tables, &notes);
-        ASSERT_EQ(tables.size(), ref_tables.size()) << label;
-        for (size_t q = 0; q < tables.size(); ++q) {
-          ExpectTablesEqual(ref_tables[q], tables[q], label);
-        }
-        ASSERT_EQ(notes.size(), ref_notes.size()) << label;
-        for (size_t i = 0; i < notes.size(); ++i) {
-          ASSERT_TRUE(notes[i] == ref_notes[i]) << label << " note #" << i;
+    auto compare = [&](const std::vector<TableCopy>& tables,
+                       const std::vector<NoteCopy>& notes,
+                       const std::string& label) {
+      ASSERT_EQ(tables.size(), ref_tables.size()) << label;
+      for (size_t q = 0; q < tables.size(); ++q) {
+        ExpectTablesEqual(ref_tables[q], tables[q], label);
+      }
+      ASSERT_EQ(notes.size(), ref_notes.size()) << label;
+      for (size_t i = 0; i < notes.size(); ++i) {
+        ASSERT_TRUE(notes[i] == ref_notes[i]) << label << " note #" << i;
+      }
+    };
+
+    // Merged sequential vs the legacy reference: the shared-NFA evaluator
+    // alone, no batching in play.
+    {
+      std::vector<TableCopy> tables;
+      std::vector<NoteCopy> notes;
+      RunSequential(stream, num_queries, /*merge=*/true, &tables, &notes);
+      compare(tables, notes, stream_label + " merged-sequential");
+    }
+
+    for (const bool merge : {true, false}) {
+      for (const size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+        for (const size_t batch : {size_t{1}, size_t{7}, size_t{512}}) {
+          // The legacy batched path needs one non-trivial config for
+          // coverage; the full grid belongs to the default (merged) mode.
+          if (!merge && (threads != 2 || batch != 7)) continue;
+          const std::string label =
+              StrFormat("%s merge=%d threads=%zu batch=%zu", stream_label.c_str(),
+                        merge, threads, batch);
+          std::vector<TableCopy> tables;
+          std::vector<NoteCopy> notes;
+          RunBatched(stream, num_queries, threads, batch, merge, &tables, &notes);
+          compare(tables, notes, label);
         }
       }
     }
@@ -246,9 +272,11 @@ TEST_F(IngestDifferentialTest, UnpartitionedQueryBatched) {
       "RETURN (b[i].timestamp, a.job, sum(b[1..i].size))";
   const auto stream = HotKeyStream(1200);
 
-  auto run = [&](size_t threads, size_t batch_size, bool batched) {
+  auto run = [&](size_t threads, size_t batch_size, bool batched,
+                 bool merge = true) {
     CepEngineOptions options;
     options.ingest_threads = threads;
+    options.enable_query_merge = merge;
     CepEngine engine(&registry_, options);
     auto qid = engine.AddQueryText(kUnpartitioned, "U");
     EXPECT_TRUE(qid.ok());
@@ -264,7 +292,8 @@ TEST_F(IngestDifferentialTest, UnpartitionedQueryBatched) {
     return TableCopy::From(engine.match_table(*qid));
   };
 
-  const TableCopy ref = run(1, 0, false);
+  const TableCopy ref = run(1, 0, false, /*merge=*/false);  // legacy reference
+  ExpectTablesEqual(ref, run(1, 0, false), "unpartitioned merged per-event");
   for (const size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
     ExpectTablesEqual(ref, run(threads, 64, true),
                       StrFormat("unpartitioned threads=%zu", threads));

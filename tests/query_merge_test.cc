@@ -1,0 +1,525 @@
+// Tests of the multi-query optimizer: signature canonicalization
+// (query_merge.h), merge-class assignment, and full differential
+// bit-identity of the merged shared-NFA engine against the legacy
+// per-query evaluator on both paper simulators (Hadoop cluster and
+// supply chain).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "cep/engine.h"
+#include "cep/query_merge.h"
+#include "common/strings.h"
+#include "query/parser.h"
+#include "sim/hadoop_sim.h"
+#include "sim/supply_chain_sim.h"
+
+namespace exstream {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Signature canonicalization
+// ---------------------------------------------------------------------------
+
+class MergeSignatureTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(registry_
+                    .Register(EventSchema("Start", {{"job", ValueType::kString},
+                                                    {"region", ValueType::kString}}))
+                    .ok());
+    ASSERT_TRUE(registry_
+                    .Register(EventSchema("Tick", {{"job", ValueType::kString},
+                                                   {"region", ValueType::kString},
+                                                   {"size", ValueType::kDouble}}))
+                    .ok());
+    ASSERT_TRUE(registry_
+                    .Register(EventSchema("End", {{"job", ValueType::kString},
+                                                  {"region", ValueType::kString}}))
+                    .ok());
+  }
+
+  CompiledQuery Compile(const std::string& text) {
+    auto query = ParseQuery(text);
+    EXPECT_TRUE(query.ok()) << query.status().ToString();
+    auto cq = CompiledQuery::Compile(*query, &registry_);
+    EXPECT_TRUE(cq.ok()) << cq.status().ToString();
+    return std::move(*cq);
+  }
+
+  MergeSignature Sig(const std::string& text) {
+    return BuildMergeSignature(Compile(text));
+  }
+
+  EventTypeRegistry registry_;
+};
+
+constexpr char kBase[] =
+    "PATTERN SEQ(Start a, Tick+ b[], End c) WHERE [job] "
+    "RETURN (b[i].timestamp, a.job, sum(b[1..i].size))";
+
+TEST_F(MergeSignatureTest, ReplicasShareAllKeys) {
+  const MergeSignature s1 = Sig(kBase);
+  const MergeSignature s2 = Sig(kBase);
+  EXPECT_TRUE(s1.mergeable);
+  EXPECT_EQ(s1.group_key, s2.group_key);
+  EXPECT_EQ(s1.residue_key, s2.residue_key);
+  EXPECT_EQ(s1.table_key, s2.table_key);
+}
+
+TEST_F(MergeSignatureTest, PredicateReorderingCanonicalizes) {
+  // WHERE predicates are an AND conjunction; their order must not split
+  // groups.
+  const MergeSignature s1 = Sig(
+      "PATTERN SEQ(Start a, Tick+ b[], End c) "
+      "WHERE [job] AND b.size > 1 AND b.size < 9 "
+      "RETURN (b[i].timestamp, a.job, sum(b[1..i].size))");
+  const MergeSignature s2 = Sig(
+      "PATTERN SEQ(Start a, Tick+ b[], End c) "
+      "WHERE [job] AND b.size < 9 AND b.size > 1 "
+      "RETURN (b[i].timestamp, a.job, sum(b[1..i].size))");
+  EXPECT_TRUE(s1.mergeable);
+  EXPECT_EQ(s1.group_key, s2.group_key);
+  EXPECT_EQ(s1.residue_key, s2.residue_key);
+}
+
+TEST_F(MergeSignatureTest, AliasRenamingCanonicalizes) {
+  // Compiled references are positional; variable names must not matter.
+  const MergeSignature s2 = Sig(
+      "PATTERN SEQ(Start x, Tick+ y[], End z) WHERE [job] "
+      "RETURN (y[i].timestamp, x.job, sum(y[1..i].size))");
+  const MergeSignature s1 = Sig(kBase);
+  EXPECT_EQ(s1.group_key, s2.group_key);
+  EXPECT_EQ(s1.residue_key, s2.residue_key);
+}
+
+TEST_F(MergeSignatureTest, DifferentPredicateConstantsSplitGroups) {
+  const MergeSignature s1 = Sig(
+      "PATTERN SEQ(Start a, Tick+ b[], End c) WHERE [job] AND b.size > 1 "
+      "RETURN (b[i].timestamp, a.job, sum(b[1..i].size))");
+  const MergeSignature s2 = Sig(
+      "PATTERN SEQ(Start a, Tick+ b[], End c) WHERE [job] AND b.size > 2 "
+      "RETURN (b[i].timestamp, a.job, sum(b[1..i].size))");
+  EXPECT_NE(s1.group_key, s2.group_key);
+}
+
+TEST_F(MergeSignatureTest, DifferentPartitionAttributesSplitGroups) {
+  const MergeSignature by_job = Sig(kBase);
+  const MergeSignature by_region = Sig(
+      "PATTERN SEQ(Start a, Tick+ b[], End c) WHERE [region] "
+      "RETURN (b[i].timestamp, a.job, sum(b[1..i].size))");
+  EXPECT_TRUE(by_region.mergeable);
+  EXPECT_NE(by_job.group_key, by_region.group_key);
+}
+
+TEST_F(MergeSignatureTest, WithinSplitsGroups) {
+  const MergeSignature s1 = Sig(
+      "PATTERN SEQ(Start a, Tick+ b[], End c) WHERE [job] WITHIN 100 "
+      "RETURN (a.job)");
+  const MergeSignature s2 = Sig(
+      "PATTERN SEQ(Start a, Tick+ b[], End c) WHERE [job] WITHIN 200 "
+      "RETURN (a.job)");
+  EXPECT_NE(s1.group_key, s2.group_key);
+}
+
+TEST_F(MergeSignatureTest, DifferentReturnsShareGroupSplitResidue) {
+  const MergeSignature s1 = Sig(kBase);
+  const MergeSignature s2 = Sig(
+      "PATTERN SEQ(Start a, Tick+ b[], End c) WHERE [job] "
+      "RETURN (b[i].timestamp, a.job, count(b[1..i].size))");
+  EXPECT_EQ(s1.group_key, s2.group_key);
+  EXPECT_NE(s1.residue_key, s2.residue_key);
+}
+
+TEST_F(MergeSignatureTest, NegationIsUnmergeable) {
+  const MergeSignature sig =
+      Sig("PATTERN SEQ(Start a, !Tick b, End c) WHERE [job] RETURN (a.job)");
+  EXPECT_FALSE(sig.mergeable);
+}
+
+TEST_F(MergeSignatureTest, PlannerAssignsClasses) {
+  MergePlanner planner;
+  const CompiledQuery replica1 = Compile(kBase);
+  const CompiledQuery replica2 = Compile(kBase);
+  const CompiledQuery other_return = Compile(
+      "PATTERN SEQ(Start a, Tick+ b[], End c) WHERE [job] "
+      "RETURN (b[i].timestamp, a.job, count(b[1..i].size))");
+  const CompiledQuery other_pattern = Compile(
+      "PATTERN SEQ(Start a, End c) WHERE [job] RETURN (a.job)");
+
+  const MergeAssignment a1 = planner.Assign(replica1);
+  const MergeAssignment a2 = planner.Assign(replica2);
+  const MergeAssignment a3 = planner.Assign(other_return);
+  const MergeAssignment a4 = planner.Assign(other_pattern);
+
+  EXPECT_TRUE(a1.new_group);
+  EXPECT_FALSE(a2.new_group);
+  EXPECT_EQ(a1.group, a2.group);
+  EXPECT_EQ(a1.residue, a2.residue);
+  EXPECT_EQ(a1.table, a2.table);
+
+  EXPECT_EQ(a1.group, a3.group);     // same pattern
+  EXPECT_TRUE(a3.new_residue);       // different RETURN
+  EXPECT_NE(a1.residue, a3.residue);
+
+  EXPECT_TRUE(a4.new_group);  // different SEQ shape
+  EXPECT_NE(a1.group, a4.group);
+
+  const MergePlanStats& stats = planner.stats();
+  EXPECT_EQ(stats.queries, 4u);
+  EXPECT_EQ(stats.groups, 2u);
+  EXPECT_EQ(stats.residue_classes, 3u);
+  EXPECT_EQ(stats.table_classes, 3u);
+  EXPECT_EQ(stats.unmergeable, 0u);
+}
+
+TEST_F(MergeSignatureTest, PlannerSingletonsNeverMerge) {
+  MergePlanner planner;
+  const CompiledQuery neg = Compile(
+      "PATTERN SEQ(Start a, !Tick b, End c) WHERE [job] RETURN (a.job)");
+  const MergeAssignment a1 = planner.Assign(neg);
+  const MergeAssignment a2 = planner.Assign(neg);
+  EXPECT_NE(a1.group, a2.group);  // identical text, still isolated
+  EXPECT_EQ(planner.stats().unmergeable, 2u);
+
+  // force_singleton isolates even a mergeable query (mid-stream AddQuery).
+  const CompiledQuery plain = Compile(kBase);
+  const MergeAssignment a3 = planner.Assign(plain);
+  const MergeAssignment a4 = planner.Assign(plain, /*force_singleton=*/true);
+  EXPECT_NE(a3.group, a4.group);
+}
+
+// ---------------------------------------------------------------------------
+// Differential bit-identity on the paper simulators
+// ---------------------------------------------------------------------------
+
+struct NoteCopy {
+  QueryId query;
+  uint32_t partition_id;
+  std::string partition;
+  Timestamp ts;
+  std::vector<Value> values;
+  bool complete;
+
+  static NoteCopy From(const MatchNotification& n) {
+    return NoteCopy{n.query,  n.partition_id, std::string(n.partition),
+                    n.row.ts, n.row.values,   n.complete};
+  }
+  bool operator==(const NoteCopy& o) const {
+    return query == o.query && partition_id == o.partition_id &&
+           partition == o.partition && ts == o.ts && values == o.values &&
+           complete == o.complete;
+  }
+};
+
+struct TableCopy {
+  std::vector<std::string> partitions;
+  std::vector<std::vector<MatchRow>> rows;
+  std::vector<bool> complete;
+
+  static TableCopy From(const MatchTable& t) {
+    TableCopy c;
+    c.partitions = t.Partitions();
+    for (const std::string& p : c.partitions) {
+      c.rows.push_back(t.Rows(p));
+      c.complete.push_back(t.IsComplete(p));
+    }
+    return c;
+  }
+};
+
+void ExpectTablesEqual(const TableCopy& a, const TableCopy& b,
+                       const std::string& label) {
+  ASSERT_EQ(a.partitions, b.partitions) << label;
+  ASSERT_EQ(a.complete, b.complete) << label;
+  for (size_t p = 0; p < a.partitions.size(); ++p) {
+    ASSERT_EQ(a.rows[p].size(), b.rows[p].size())
+        << label << " partition " << a.partitions[p];
+    for (size_t i = 0; i < a.rows[p].size(); ++i) {
+      ASSERT_EQ(a.rows[p][i].ts, b.rows[p][i].ts)
+          << label << " " << a.partitions[p] << "#" << i;
+      ASSERT_EQ(a.rows[p][i].values, b.rows[p][i].values)
+          << label << " " << a.partitions[p] << "#" << i;
+    }
+  }
+}
+
+struct EngineOutput {
+  std::vector<TableCopy> tables;
+  std::vector<NoteCopy> notes;
+};
+
+// Runs `queries` through one engine configuration and captures everything an
+// observer can see: per-query MatchTables and the callback sequence.
+EngineOutput RunEngine(const EventTypeRegistry& registry,
+                       const std::vector<std::string>& queries,
+                       const std::vector<Event>& stream, bool merge,
+                       size_t ingest_threads, size_t batch_size) {
+  CepEngineOptions options;
+  options.enable_query_merge = merge;
+  options.ingest_threads = ingest_threads;
+  CepEngine engine(&registry, options);
+  std::vector<QueryId> ids;
+  for (size_t q = 0; q < queries.size(); ++q) {
+    auto qid = engine.AddQueryText(queries[q], StrFormat("Q%zu", q));
+    EXPECT_TRUE(qid.ok()) << qid.status().ToString();
+    ids.push_back(*qid);
+  }
+  EngineOutput out;
+  engine.SetMatchCallback([&out](const MatchNotification& n) {
+    out.notes.push_back(NoteCopy::From(n));
+  });
+  if (batch_size == 0) {
+    for (const Event& e : stream) engine.OnEvent(e);
+  } else {
+    for (size_t i = 0; i < stream.size(); i += batch_size) {
+      const size_t end = std::min(stream.size(), i + batch_size);
+      engine.OnEventBatch(EventBatch(stream.begin() + static_cast<ptrdiff_t>(i),
+                                     stream.begin() + static_cast<ptrdiff_t>(end)));
+    }
+  }
+  for (const QueryId id : ids) {
+    out.tables.push_back(TableCopy::From(engine.match_table(id)));
+  }
+  return out;
+}
+
+void CheckMergedMatchesLegacy(const EventTypeRegistry& registry,
+                              const std::vector<std::string>& queries,
+                              const std::vector<Event>& stream,
+                              const std::string& label) {
+  // Ground truth: the legacy per-query evaluator, sequential.
+  const EngineOutput ref =
+      RunEngine(registry, queries, stream, /*merge=*/false, 1, 0);
+  ASSERT_FALSE(ref.notes.empty()) << label << ": stream produced no matches";
+
+  struct Config {
+    size_t threads;
+    size_t batch;
+  };
+  const Config configs[] = {{1, 0}, {1, 64}, {2, 64}, {8, 512}};
+  for (const Config& c : configs) {
+    const std::string run_label =
+        StrFormat("%s merged threads=%zu batch=%zu", label.c_str(), c.threads,
+                  c.batch);
+    const EngineOutput got =
+        RunEngine(registry, queries, stream, /*merge=*/true, c.threads, c.batch);
+    ASSERT_EQ(got.tables.size(), ref.tables.size()) << run_label;
+    for (size_t q = 0; q < got.tables.size(); ++q) {
+      ExpectTablesEqual(ref.tables[q], got.tables[q],
+                        StrFormat("%s Q%zu", run_label.c_str(), q));
+    }
+    ASSERT_EQ(got.notes.size(), ref.notes.size()) << run_label;
+    for (size_t i = 0; i < got.notes.size(); ++i) {
+      ASSERT_TRUE(got.notes[i] == ref.notes[i])
+          << run_label << " note #" << i << " (callback order must match)";
+    }
+  }
+}
+
+std::vector<Event> BuildHadoopStream(const EventTypeRegistry& registry) {
+  HadoopSimConfig config;
+  config.num_nodes = 3;
+  config.seed = 99;
+  HadoopClusterSim sim(config, &registry);
+  for (int j = 0; j < 4; ++j) {
+    HadoopJobConfig job;
+    job.job_id = StrFormat("job-%d", j);
+    job.program = "wordcount";
+    job.dataset = "ds";
+    job.start_time = j * 120;
+    sim.AddJob(job);
+  }
+  VectorSink sink;
+  EXPECT_TRUE(sim.Run(&sink).ok());
+  return sink.TakeEvents();
+}
+
+TEST(QueryMergeDifferentialTest, HadoopSimulatorBitIdentical) {
+  EventTypeRegistry registry;
+  ASSERT_TRUE(HadoopClusterSim::RegisterEventTypes(&registry).ok());
+  const std::vector<Event> stream = BuildHadoopStream(registry);
+  ASSERT_FALSE(stream.empty());
+
+  // A mixed portfolio: replicas (merge fully), a residue-mate with a
+  // different RETURN, an alias-renamed replica, and a WITHIN variant that
+  // must stay in its own group.
+  const std::vector<std::string> queries = {
+      "PATTERN SEQ(JobStart a, DataIO+ b[], JobEnd c) WHERE [jobId] "
+      "RETURN (b[i].timestamp, a.jobId, sum(b[1..i].dataSize))",
+      "PATTERN SEQ(JobStart a, DataIO+ b[], JobEnd c) WHERE [jobId] "
+      "RETURN (b[i].timestamp, a.jobId, sum(b[1..i].dataSize))",
+      "PATTERN SEQ(JobStart a, DataIO+ b[], JobEnd c) WHERE [jobId] "
+      "RETURN (b[i].timestamp, a.jobId, count(b[1..i].dataSize))",
+      "PATTERN SEQ(JobStart x, DataIO+ y[], JobEnd z) WHERE [jobId] "
+      "RETURN (y[i].timestamp, x.jobId, sum(y[1..i].dataSize))",
+      "PATTERN SEQ(JobStart a, DataIO+ b[], JobEnd c) WHERE [jobId] WITHIN 500 "
+      "RETURN (b[i].timestamp, a.jobId, max(b[1..i].dataSize))",
+  };
+  CheckMergedMatchesLegacy(registry, queries, stream, "hadoop");
+}
+
+TEST(QueryMergeDifferentialTest, SupplyChainSimulatorBitIdentical) {
+  EventTypeRegistry registry;
+  SupplyChainConfig config;
+  config.num_sensors = 4;
+  config.num_machines = 4;
+  config.num_products = 4;
+  config.seed = 23;
+  ASSERT_TRUE(SupplyChainSim::RegisterEventTypes(&registry, config).ok());
+  SupplyChainSim sim(config, &registry);
+  ScAnomalySpec spec;
+  spec.type = ScAnomalyType::kSubParMaterial;
+  spec.product_index = 1;
+  spec.targets = {0};
+  sim.AddAnomaly(spec);
+  VectorSink sink;
+  ASSERT_TRUE(sim.Run(&sink).ok());
+  const std::vector<Event> stream = sink.TakeEvents();
+  ASSERT_FALSE(stream.empty());
+
+  const std::vector<std::string> queries = {
+      "PATTERN SEQ(ProductStart a, ProductProgress+ b[], ProductEnd c) "
+      "WHERE [productId] RETURN (b[i].timestamp, a.productId, "
+      "avg(b[1..i].quality))",
+      "PATTERN SEQ(ProductStart a, ProductProgress+ b[], ProductEnd c) "
+      "WHERE [productId] RETURN (b[i].timestamp, a.productId, "
+      "avg(b[1..i].quality))",
+      "PATTERN SEQ(ProductStart a, ProductProgress+ b[], ProductEnd c) "
+      "WHERE [productId] RETURN (b[i].timestamp, a.productId, "
+      "min(b[1..i].quality))",
+  };
+  CheckMergedMatchesLegacy(registry, queries, stream, "supply-chain");
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level merge behavior
+// ---------------------------------------------------------------------------
+
+class MergedEngineTest : public MergeSignatureTest {};
+
+TEST_F(MergedEngineTest, StatsReportCompression) {
+  CepEngine engine(&registry_);
+  ASSERT_TRUE(engine.merge_enabled());
+  for (int q = 0; q < 10; ++q) {
+    ASSERT_TRUE(engine.AddQueryText(kBase, StrFormat("Q%d", q)).ok());
+  }
+  const MergePlanStats& stats = engine.merge_stats();
+  EXPECT_EQ(stats.queries, 10u);
+  EXPECT_EQ(stats.groups, 1u);
+  EXPECT_EQ(stats.residue_classes, 1u);
+  EXPECT_EQ(stats.table_classes, 1u);
+  EXPECT_DOUBLE_EQ(stats.compression(), 10.0);
+}
+
+TEST_F(MergedEngineTest, MidStreamAddQueryIsIsolatedAndCorrect) {
+  // A query added after events have flowed must not inherit the group's
+  // partial-match history, and must still agree with the legacy engine fed
+  // the same add-mid-stream sequence.
+  std::vector<Event> first_half;
+  std::vector<Event> second_half;
+  Timestamp ts = 0;
+  for (int i = 0; i < 40; ++i) {
+    const std::string job = StrFormat("j%d", i % 3);
+    auto& dst = i < 20 ? first_half : second_half;
+    dst.emplace_back(0, ++ts, MakeValues(job, std::string("r")));
+    dst.emplace_back(1, ++ts, MakeValues(job, std::string("r"), 1.5 * i));
+    dst.emplace_back(2, ++ts, MakeValues(job, std::string("r")));
+  }
+
+  auto run = [&](bool merge) {
+    CepEngineOptions options;
+    options.enable_query_merge = merge;
+    CepEngine engine(&registry_, options);
+    auto q0 = engine.AddQueryText(kBase, "Q0");
+    EXPECT_TRUE(q0.ok());
+    for (const Event& e : first_half) engine.OnEvent(e);
+    auto q1 = engine.AddQueryText(kBase, "Q1");  // mid-stream replica
+    EXPECT_TRUE(q1.ok());
+    for (const Event& e : second_half) engine.OnEvent(e);
+    std::vector<TableCopy> tables;
+    tables.push_back(TableCopy::From(engine.match_table(*q0)));
+    tables.push_back(TableCopy::From(engine.match_table(*q1)));
+    return tables;
+  };
+
+  const auto legacy = run(false);
+  const auto merged = run(true);
+  ExpectTablesEqual(legacy[0], merged[0], "mid-stream Q0");
+  ExpectTablesEqual(legacy[1], merged[1], "mid-stream Q1");
+  // Q1 saw only the second half: strictly fewer rows than Q0.
+  size_t q0_rows = 0;
+  size_t q1_rows = 0;
+  for (const auto& r : merged[0].rows) q0_rows += r.size();
+  for (const auto& r : merged[1].rows) q1_rows += r.size();
+  EXPECT_LT(q1_rows, q0_rows);
+  EXPECT_GT(q1_rows, 0u);
+}
+
+TEST_F(MergedEngineTest, CheckpointRoundTripsAcrossModes) {
+  // A snapshot taken by a merged engine must restore into an unmerged engine
+  // and vice versa, mid-pattern state included.
+  std::vector<Event> first_half;
+  std::vector<Event> second_half;
+  Timestamp ts = 0;
+  for (int i = 0; i < 30; ++i) {
+    const std::string job = StrFormat("j%d", i % 4);
+    // Leave runs mid-kleene at the snapshot point: starts and ticks in the
+    // first half, closing End events only in the second.
+    first_half.emplace_back(0, ++ts, MakeValues(job, std::string("r")));
+    first_half.emplace_back(1, ++ts, MakeValues(job, std::string("r"), 0.5 * i));
+    first_half.emplace_back(1, ++ts, MakeValues(job, std::string("r"), 1.5 * i));
+    second_half.emplace_back(2, ++ts, MakeValues(job, std::string("r")));
+  }
+
+  const std::vector<std::string> queries = {
+      kBase, kBase,
+      "PATTERN SEQ(Start a, Tick+ b[], End c) WHERE [job] "
+      "RETURN (b[i].timestamp, a.job, count(b[1..i].size))"};
+
+  auto make_engine = [&](bool merge) {
+    CepEngineOptions options;
+    options.enable_query_merge = merge;
+    auto engine = std::make_unique<CepEngine>(&registry_, options);
+    for (size_t q = 0; q < queries.size(); ++q) {
+      EXPECT_TRUE(engine->AddQueryText(queries[q], StrFormat("Q%zu", q)).ok());
+    }
+    return engine;
+  };
+  auto finish = [&](CepEngine* engine) {
+    std::vector<TableCopy> tables;
+    for (const Event& e : second_half) engine->OnEvent(e);
+    for (size_t q = 0; q < queries.size(); ++q) {
+      tables.push_back(
+          TableCopy::From(engine->match_table(static_cast<QueryId>(q))));
+    }
+    return tables;
+  };
+
+  for (const bool save_merged : {false, true}) {
+    for (const bool restore_merged : {false, true}) {
+      const std::string label = StrFormat("save_merged=%d restore_merged=%d",
+                                          save_merged, restore_merged);
+      auto source = make_engine(save_merged);
+      for (const Event& e : first_half) source->OnEvent(e);
+      BytesWriter snapshot;
+      source->SaveState(&snapshot);
+      const std::vector<TableCopy> want = finish(source.get());
+
+      auto restored = make_engine(restore_merged);
+      BytesReader reader(snapshot.str());
+      const Status st = restored->RestoreState(&reader);
+      ASSERT_TRUE(st.ok()) << label << ": " << st.ToString();
+      const std::vector<TableCopy> got = finish(restored.get());
+      for (size_t q = 0; q < queries.size(); ++q) {
+        ExpectTablesEqual(want[q], got[q],
+                          StrFormat("%s Q%zu", label.c_str(), q));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace exstream
