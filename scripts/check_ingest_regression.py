@@ -1,10 +1,21 @@
 #!/usr/bin/env python3
 """CI regression gate for bench_ingest_throughput.
 
-Compares a fresh bench run against the committed baseline and fails (exit 1)
-if ingestion throughput at the top query count regressed by more than the
-threshold (default 10%), or if the multi-query optimizer lost compression
-(more merge groups than the baseline for the same query set).
+Compares a fresh bench run against the committed baseline using only
+machine-independent quantities, so a baseline recorded on one host gates runs
+on any other:
+
+  * merge speedup ratio — merged batched ev/s divided by no-merge ev/s at the
+    top query count, each measured *within its own run*. Hardware speed
+    cancels out of the ratio; a >threshold drop (default 10%) fails.
+  * match rows — the benches are seeded and deterministic, so every config
+    must produce exactly the baseline's match rows on any machine.
+  * merge groups — the planner must collapse the replicated query set into no
+    more groups than the baseline did.
+
+Absolute events/sec are printed for context but never gated: cross-machine
+absolute throughput with a fixed threshold would produce false verdicts as
+runner hardware varies.
 
 Both runs must use the same bench configuration (same --smoke flag); the
 script refuses to compare a smoke run against a full baseline.
@@ -30,12 +41,26 @@ def pick(results, queries, mode, threads):
     return None
 
 
+def merge_speedup(results, queries, failures, label):
+    """Within-run merged/no-merge throughput ratio at `queries` (x1)."""
+    merged = pick(results, queries, "batched", 1)
+    plain = pick(results, queries, "no-merge", 1)
+    if merged is None or plain is None:
+        failures.append(f"{label}: missing batched/no-merge x1 @ {queries} queries")
+        return None
+    if plain["events_per_sec"] <= 0:
+        failures.append(f"{label}: no-merge x1 @ {queries} queries ran at 0 ev/s")
+        return None
+    return merged["events_per_sec"] / plain["events_per_sec"]
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("baseline")
     ap.add_argument("current")
     ap.add_argument("--threshold", type=float, default=0.10,
-                    help="max tolerated fractional throughput drop (default 0.10)")
+                    help="max tolerated fractional drop in the merge speedup "
+                         "ratio (default 0.10)")
     args = ap.parse_args()
 
     base = load(args.baseline)
@@ -53,30 +78,35 @@ def main():
     top_queries = max(r["queries"] for r in base["results"])
     failures = []
 
-    # Throughput gate: merged batched single-thread at the top query count is
-    # the configuration the tentpole optimizes; it is also the least noisy
-    # (no cross-core scheduling variance).
+    # Informational only — absolute ev/s depend on the host and are not gated.
     for mode in ("batched", "no-merge"):
         b = pick(base["results"], top_queries, mode, 1)
         c = pick(cur["results"], top_queries, mode, 1)
-        if b is None or c is None:
-            failures.append(f"missing {mode} x1 @ {top_queries} queries "
-                            f"(baseline={b is not None}, current={c is not None})")
-            continue
-        floor = b["events_per_sec"] * (1.0 - args.threshold)
-        verdict = "OK" if c["events_per_sec"] >= floor else "REGRESSED"
-        print(f"{mode:>9} x1 @ {top_queries}q: baseline "
-              f"{b['events_per_sec']:,.0f} ev/s, current "
-              f"{c['events_per_sec']:,.0f} ev/s, floor {floor:,.0f} -> {verdict}")
+        if b is not None and c is not None:
+            print(f"{mode:>9} x1 @ {top_queries}q: baseline "
+                  f"{b['events_per_sec']:,.0f} ev/s, current "
+                  f"{c['events_per_sec']:,.0f} ev/s (informational)")
+
+    # Throughput gate: the within-run merge speedup ratio. Both sides of the
+    # ratio ran on the same machine seconds apart, so the comparison against
+    # the baseline's ratio is hardware-independent.
+    b_ratio = merge_speedup(base["results"], top_queries, failures, "baseline")
+    c_ratio = merge_speedup(cur["results"], top_queries, failures, "current")
+    if b_ratio is not None and c_ratio is not None:
+        floor = b_ratio * (1.0 - args.threshold)
+        verdict = "OK" if c_ratio >= floor else "REGRESSED"
+        print(f"merge speedup @ {top_queries}q: baseline {b_ratio:,.1f}x, "
+              f"current {c_ratio:,.1f}x, floor {floor:,.1f}x -> {verdict}")
         if verdict != "OK":
             failures.append(
-                f"{mode} x1 @ {top_queries} queries dropped "
-                f"{(1.0 - c['events_per_sec'] / b['events_per_sec']) * 100.0:.1f}% "
+                f"merge speedup @ {top_queries} queries dropped "
+                f"{(1.0 - c_ratio / b_ratio) * 100.0:.1f}% "
                 f"(> {args.threshold * 100.0:.0f}% allowed)")
 
     # Work-equivalence cross-check: every config must produce the same match
-    # rows as its baseline counterpart — a throughput "win" that skips work
-    # is a correctness bug, not a speedup.
+    # rows as its baseline counterpart — the benches are seeded, so this is
+    # exact on any machine, and a throughput "win" that skips work is a
+    # correctness bug, not a speedup.
     for b in base["results"]:
         c = pick(cur["results"], b["queries"], b["mode"], b["threads"])
         if c is not None and c["match_rows"] != b["match_rows"]:
@@ -102,7 +132,7 @@ def main():
         for f in failures:
             print(f"  - {f}")
         return 1
-    print("\nPASS: no ingest throughput regression")
+    print("\nPASS: no ingest regression (ratio-gated; absolute ev/s not compared)")
     return 0
 
 

@@ -42,13 +42,24 @@ Result<QueryId> CepEngine::AddQuery(const Query& query) {
   if (qs.route_class == route_classes_.size()) route_classes_.push_back(qs.route);
   route_index_dirty_ = true;
 
+  // Recorded in both modes (and persisted by SaveState) so a restoring
+  // engine can reproduce the exact merge plan: a mid-stream query is forced
+  // singleton, and that decision must survive a checkpoint even though the
+  // queries are re-added before any event flows during recovery.
+  qs.added_mid_stream = events_processed_ > 0;
+
   if (!merge_enabled_) return id;
 
   // Merge-plan assignment. A query added after ingestion started must not
   // join a group whose runs already carry partial matches from events it
   // never saw — it is forced into a fresh singleton group instead.
-  const MergeAssignment a =
-      planner_.Assign(qs.compiled, /*force_singleton=*/events_processed_ > 0);
+  AssignMergePlan(id, /*force_singleton=*/qs.added_mid_stream);
+  return id;
+}
+
+void CepEngine::AssignMergePlan(QueryId id, bool force_singleton) {
+  QueryState& qs = *queries_[id];
+  const MergeAssignment a = planner_.Assign(qs.compiled, force_singleton);
   if (a.new_group) {
     auto g = std::make_unique<MergeGroup>();
     g->index = a.group;
@@ -81,7 +92,6 @@ Result<QueryId> CepEngine::AddQuery(const Query& query) {
   if (g.bound_source == kNoQuery && qs.compiled.kleene_bound_needed()) {
     g.bound_source = id;
   }
-  return id;
 }
 
 Result<QueryId> CepEngine::AddQueryText(std::string_view text, std::string name) {
@@ -530,7 +540,11 @@ void CepEngine::IngestBatchMerged(const EventBatch& batch) {
   const size_t shards = std::max<size_t>(1, num_shards_);
   const bool parallel = shards > 1;
   if (parallel) EnsurePipes(shards);
-  if (route_items_.size() < shards) route_items_.resize(shards);
+  // Exactly `shards` entries — shrink as well as grow. RouteGroupBatch infers
+  // the shard count from this list's size, and a stale larger list (after
+  // SetIngestThreads lowered the count) would route items into shards that
+  // are never drained, silently dropping events.
+  route_items_.resize(shards);
   if (scratch_.empty()) scratch_.resize(1);
 
   for (auto& gp : groups_) {
@@ -641,6 +655,14 @@ void CepEngine::IngestBatch(const EventBatch& batch) {
 void CepEngine::SaveState(BytesWriter* out) const {
   out->Put<uint64_t>(events_processed_);
   out->Put<uint32_t>(static_cast<uint32_t>(queries_.size()));
+  // Mid-stream-add flags, written in both modes so snapshots stay
+  // cross-mode compatible. RestoreState replays them into the merge planner:
+  // a query added after ingestion started was forced singleton at save time,
+  // and must land in its own group again on restore even though recovery
+  // re-adds every query before any event flows.
+  for (const auto& qs : queries_) {
+    out->Put<uint8_t>(qs->added_mid_stream ? 1 : 0);
+  }
   for (const auto& qs : queries_) {
     if (merge_enabled_) {
       // Each member writes the state its own QueryRun would have held —
@@ -682,6 +704,47 @@ Status CepEngine::RestoreState(BytesReader* in) {
     return Status::InvalidArgument(
         StrFormat("snapshot holds %u queries, engine has %zu registered",
                   n_queries, queries_.size()));
+  }
+  std::vector<uint8_t> mid_stream(n_queries, 0);
+  for (uint32_t i = 0; i < n_queries; ++i) {
+    EXSTREAM_ASSIGN_OR_RETURN(mid_stream[i], in->Get<uint8_t>());
+  }
+  if (merge_enabled_) {
+    // If the snapshot's mid-stream flags disagree with how this engine's
+    // queries were added (during recovery every query is re-added before any
+    // event, so none is forced singleton), the current merge plan groups
+    // queries the snapshot kept apart — their per-group key sets differ and
+    // the member cross-check below would reject the snapshot. Rebuild the
+    // plan with the persisted flags instead.
+    bool replan = false;
+    for (uint32_t i = 0; i < n_queries; ++i) {
+      if ((mid_stream[i] != 0) != queries_[i]->added_mid_stream) replan = true;
+    }
+    if (replan) {
+      for (const auto& gp : groups_) {
+        if (gp->interner.size() != 0) {
+          return Status::InvalidArgument(
+              "engine must be freshly constructed before restore");
+        }
+      }
+      for (const auto& qs : queries_) {
+        if (qs->matches.TotalRows() != 0) {
+          return Status::InvalidArgument(
+              "engine must be freshly constructed before restore");
+        }
+      }
+      planner_ = MergePlanner();
+      groups_.clear();
+      for (QueryId qi = 0; qi < queries_.size(); ++qi) {
+        queries_[qi]->physical = &queries_[qi]->matches;
+        AssignMergePlan(qi, /*force_singleton=*/mid_stream[qi] != 0);
+      }
+    }
+  }
+  // Adopt the persisted flags so a re-checkpoint of the restored engine
+  // writes the same plan (and so unmerged engines round-trip them too).
+  for (QueryId qi = 0; qi < queries_.size(); ++qi) {
+    queries_[qi]->added_mid_stream = mid_stream[qi] != 0;
   }
   for (QueryId qi = 0; qi < queries_.size(); ++qi) {
     QueryState& qs = *queries_[qi];

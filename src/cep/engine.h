@@ -144,7 +144,6 @@ class CepEngine : public EventSink {
   /// The query's match table. Queries in the same table class share one
   /// physical table (their contents are bit-identical by construction).
   const MatchTable& match_table(QueryId id) const { return *queries_[id]->physical; }
-  MatchTable& mutable_match_table(QueryId id) { return *queries_[id]->physical; }
 
   /// Lookup by query name; NotFound if absent.
   Result<QueryId> QueryIdByName(std::string_view name) const;
@@ -161,11 +160,13 @@ class CepEngine : public EventSink {
 
   /// \brief Serializes every query's mutable evaluation state — interned
   /// partition keys (in id order), per-partition NFA runs, match tables — and
-  /// the processed-event count. Compiled queries and route tables are NOT
-  /// included: RestoreState requires the same queries added in the same order.
-  /// The format is identical in merged and unmerged mode (merged groups write
-  /// one member-view per query), so snapshots round-trip across modes.
-  /// Must not run concurrently with ingestion.
+  /// the processed-event count, plus each query's mid-stream-add flag so the
+  /// restoring engine rebuilds the exact merge plan (mid-stream queries are
+  /// forced-singleton groups with their own key sets). Compiled queries and
+  /// route tables are NOT included: RestoreState requires the same queries
+  /// added in the same order. The format is identical in merged and unmerged
+  /// mode (merged groups write one member-view per query), so snapshots
+  /// round-trip across modes. Must not run concurrently with ingestion.
   void SaveState(BytesWriter* out) const;
 
   /// \brief Restores a SaveState snapshot. The engine must hold the same
@@ -217,6 +218,9 @@ class CepEngine : public EventSink {
     uint32_t route_class = 0;         ///< index into route_classes_
     uint32_t merge_group = 0;         ///< merged mode: owning group index
     uint32_t merge_residue = 0;       ///< merged mode: residue within group
+    /// Added after ingestion started (forced singleton in the merge plan).
+    /// Persisted by SaveState so RestoreState reproduces the same plan.
+    bool added_mid_stream = false;
 
     QueryState(CompiledQuery cq)
         : compiled(std::move(cq)), matches(compiled.OutputColumns()),
@@ -295,6 +299,11 @@ class CepEngine : public EventSink {
 
   /// Deduplicated index of (type, attr); appends a new spec if unseen.
   uint16_t SpecIndexFor(EventTypeId type, size_t attr);
+
+  /// Assigns query `id` to its merge group / residue / table classes,
+  /// creating them as needed. Called by AddQuery, and by RestoreState when a
+  /// snapshot's persisted mid-stream flags require rebuilding the plan.
+  void AssignMergePlan(QueryId id, bool force_singleton);
 
   /// Fills prep_ with one (view, hash) per (spec, event) for this batch.
   void PrepareBatchKeys(const EventBatch& batch);

@@ -15,7 +15,9 @@ namespace exstream {
 namespace {
 
 constexpr uint32_t kManifestMagic = 0x45584350;  // "EXCP"
-constexpr uint32_t kManifestVersion = 1;
+// v2: engine snapshots carry per-query mid-stream-add flags (merge-plan
+// replay on restore); v1 manifests are rejected rather than misparsed.
+constexpr uint32_t kManifestVersion = 2;
 
 }  // namespace
 

@@ -458,6 +458,140 @@ TEST_F(MergedEngineTest, MidStreamAddQueryIsIsolatedAndCorrect) {
   EXPECT_GT(q1_rows, 0u);
 }
 
+TEST_F(MergedEngineTest, ShrinkingShardPoolKeepsRoutingAllEvents) {
+  // Regression: the router's per-shard lists used to only grow, so after
+  // SetIngestThreads lowered the shard count, RouteGroupBatch kept spreading
+  // work over the stale larger list while only the first `shards` entries
+  // were ever drained — silently dropping every event hashed to an upper
+  // shard (including in the serial shards==1 path).
+  std::vector<Event> stream;
+  Timestamp ts = 0;
+  for (int i = 0; i < 64; ++i) {
+    const std::string job = StrFormat("j%d", i % 8);  // spread over shards
+    stream.emplace_back(0, ++ts, MakeValues(job, std::string("r")));
+    stream.emplace_back(1, ++ts, MakeValues(job, std::string("r"), 1.0 * i));
+    stream.emplace_back(2, ++ts, MakeValues(job, std::string("r")));
+  }
+  const std::vector<std::string> queries = {kBase, kBase};
+
+  auto make_engine = [&](size_t threads) {
+    CepEngineOptions options;
+    options.ingest_threads = threads;
+    auto engine = std::make_unique<CepEngine>(&registry_, options);
+    for (size_t q = 0; q < queries.size(); ++q) {
+      EXPECT_TRUE(engine->AddQueryText(queries[q], StrFormat("Q%zu", q)).ok());
+    }
+    return engine;
+  };
+  auto ingest = [&](CepEngine* engine, size_t begin, size_t end) {
+    constexpr size_t kBatch = 32;
+    for (size_t i = begin; i < end; i += kBatch) {
+      const size_t stop = std::min(end, i + kBatch);
+      engine->IngestBatch(
+          EventBatch(stream.begin() + static_cast<ptrdiff_t>(i),
+                     stream.begin() + static_cast<ptrdiff_t>(stop)));
+    }
+  };
+
+  auto ref = make_engine(1);
+  ingest(ref.get(), 0, stream.size());
+
+  // Wide, then shrink to serial, then widen again mid-stream.
+  auto dut = make_engine(4);
+  ingest(dut.get(), 0, stream.size() / 3);
+  dut->SetIngestThreads(1);
+  ingest(dut.get(), stream.size() / 3, 2 * stream.size() / 3);
+  dut->SetIngestThreads(2);
+  ingest(dut.get(), 2 * stream.size() / 3, stream.size());
+
+  for (size_t q = 0; q < queries.size(); ++q) {
+    ExpectTablesEqual(TableCopy::From(ref->match_table(static_cast<QueryId>(q))),
+                      TableCopy::From(dut->match_table(static_cast<QueryId>(q))),
+                      StrFormat("shrunk shards Q%zu", q));
+  }
+}
+
+TEST_F(MergedEngineTest, MidStreamAddQueryCheckpointRestores) {
+  // Regression: a query added mid-stream is a forced-singleton merge group,
+  // but recovery re-adds every query before any event flows — without the
+  // persisted mid-stream flags the restoring planner merged it into its
+  // structural group and RestoreState rejected the snapshot as corrupt.
+  std::vector<Event> part1;
+  std::vector<Event> part2;
+  std::vector<Event> part3;
+  Timestamp ts = 0;
+  auto triplet = [&](std::vector<Event>* dst, const std::string& job,
+                     double size) {
+    dst->emplace_back(0, ++ts, MakeValues(job, std::string("r")));
+    dst->emplace_back(1, ++ts, MakeValues(job, std::string("r"), size));
+    dst->emplace_back(2, ++ts, MakeValues(job, std::string("r")));
+  };
+  for (int i = 0; i < 12; ++i) triplet(&part1, StrFormat("j%d", i % 3), 0.5 * i);
+  for (int i = 0; i < 12; ++i) triplet(&part2, StrFormat("j%d", i % 4), 1.5 * i);
+  // Leave one run mid-kleene at the snapshot point; part3 closes it.
+  part2.emplace_back(0, ++ts, MakeValues(std::string("open"), std::string("r")));
+  part2.emplace_back(1, ++ts, MakeValues(std::string("open"), std::string("r"), 7.0));
+  for (int i = 0; i < 12; ++i) triplet(&part3, StrFormat("j%d", i % 4), 2.5 * i);
+  part3.emplace_back(2, ++ts, MakeValues(std::string("open"), std::string("r")));
+
+  auto capture = [](CepEngine* engine) {
+    std::vector<TableCopy> tables;
+    for (QueryId q = 0; q < engine->num_queries(); ++q) {
+      tables.push_back(TableCopy::From(engine->match_table(q)));
+    }
+    return tables;
+  };
+
+  for (const bool save_merged : {false, true}) {
+    CepEngineOptions source_options;
+    source_options.enable_query_merge = save_merged;
+    CepEngine source(&registry_, source_options);
+    ASSERT_TRUE(source.AddQueryText(kBase, "Q0").ok());
+    for (const Event& e : part1) source.OnEvent(e);
+    ASSERT_TRUE(source.AddQueryText(kBase, "Q1").ok());  // mid-stream replica
+    for (const Event& e : part2) source.OnEvent(e);
+    BytesWriter snapshot;
+    source.SaveState(&snapshot);
+    for (const Event& e : part3) source.OnEvent(e);
+    const std::vector<TableCopy> want = capture(&source);
+
+    for (const bool restore_merged : {false, true}) {
+      const std::string label = StrFormat("save_merged=%d restore_merged=%d",
+                                          save_merged, restore_merged);
+      CepEngineOptions options;
+      options.enable_query_merge = restore_merged;
+      // Recovery shape: both queries re-added before any event, so without
+      // the persisted flags Q1 would merge into Q0's group.
+      CepEngine restored(&registry_, options);
+      ASSERT_TRUE(restored.AddQueryText(kBase, "Q0").ok());
+      ASSERT_TRUE(restored.AddQueryText(kBase, "Q1").ok());
+      BytesReader reader(snapshot.str());
+      const Status st = restored.RestoreState(&reader);
+      ASSERT_TRUE(st.ok()) << label << ": " << st.ToString();
+
+      // The flags must survive a re-checkpoint of the restored engine too.
+      BytesWriter resnapshot;
+      restored.SaveState(&resnapshot);
+      CepEngine second(&registry_, options);
+      ASSERT_TRUE(second.AddQueryText(kBase, "Q0").ok());
+      ASSERT_TRUE(second.AddQueryText(kBase, "Q1").ok());
+      BytesReader rereader(resnapshot.str());
+      const Status st2 = second.RestoreState(&rereader);
+      ASSERT_TRUE(st2.ok()) << label << " (re-checkpoint): " << st2.ToString();
+
+      for (CepEngine* engine : {&restored, &second}) {
+        for (const Event& e : part3) engine->OnEvent(e);
+        const std::vector<TableCopy> got = capture(engine);
+        ASSERT_EQ(got.size(), want.size()) << label;
+        for (size_t q = 0; q < want.size(); ++q) {
+          ExpectTablesEqual(want[q], got[q],
+                            StrFormat("%s Q%zu", label.c_str(), q));
+        }
+      }
+    }
+  }
+}
+
 TEST_F(MergedEngineTest, CheckpointRoundTripsAcrossModes) {
   // A snapshot taken by a merged engine must restore into an unmerged engine
   // and vice versa, mid-pattern state included.
