@@ -1,0 +1,223 @@
+// Replication overhead: child ingest throughput with the parent/child
+// replication pipeline on vs off, over a loopback link.
+//
+// The sender is asynchronous — OnBatch only spools under a mutex and a
+// background thread does the framing and socket I/O — so replication must
+// not cost the child more than a modest fraction of its ingest throughput.
+// The within-run ratio (replicated ev/s divided by standalone ev/s) is the
+// gated quantity: both sides of the ratio run on the same host seconds
+// apart, so hardware speed cancels out and
+// scripts/check_replication_overhead.py can enforce a floor on any machine
+// (absolute ev/s are reported for context only, never gated).
+//
+// Each run also cross-checks correctness: the parent must end with every
+// child event applied (watermark == stream size, zero gaps) — a throughput
+// "win" that drops events is a bug, not a speedup.
+//
+// Emits BENCH_replication.json.
+//
+//   bench_replication [--smoke] [--out PATH] [--reps N]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "common/strings.h"
+#include "net/replication_receiver.h"
+#include "sim/hadoop_sim.h"
+#include "xstream/system.h"
+
+using namespace exstream;
+using bench::CheckOk;
+using bench::JsonWriter;
+
+namespace {
+
+constexpr char kQ1[] =
+    "PATTERN SEQ(JobStart a, DataIO+ b[], JobEnd c) WHERE [jobId] "
+    "RETURN (b[i].timestamp, a.jobId, sum(b[1..i].dataSize))";
+
+std::vector<Event> BuildStream(const EventTypeRegistry& registry, int num_nodes,
+                               int num_jobs, Timestamp duration) {
+  HadoopSimConfig config;
+  config.num_nodes = num_nodes;
+  config.seed = 20170321;  // EDBT'17
+  HadoopClusterSim sim(config, &registry);
+  for (int j = 0; j < num_jobs; ++j) {
+    HadoopJobConfig job;
+    job.job_id = StrFormat("job-%03d", j);
+    job.program = "wordcount";
+    job.dataset = "ds";
+    job.start_time = (duration * j) / num_jobs;
+    sim.AddJob(job);
+  }
+  VectorSink sink;
+  CheckOk(sim.Run(&sink).status(), "hadoop sim");
+  return sink.TakeEvents();
+}
+
+struct Measurement {
+  bool replicated = false;
+  size_t events = 0;
+  double ingest_seconds = 0;   ///< child-side feed + Flush (best rep)
+  double ingest_eps = 0;
+  double drain_seconds = 0;    ///< replication only: Flush -> last ACK
+  size_t parent_applied = 0;   ///< replication only: receiver counter
+  size_t parent_gaps = 0;      ///< must be 0 — nothing may shed on loopback
+  size_t reconnects = 0;       ///< link flaps during the measured run
+};
+
+Measurement RunChild(const EventTypeRegistry& registry,
+                     const std::vector<Event>& stream, bool replicate,
+                     size_t reps, size_t batch_size) {
+  // Pre-slice outside the timed region (the producer's cost, not ingest's).
+  std::vector<EventBatch> slices;
+  for (size_t i = 0; i < stream.size(); i += batch_size) {
+    const size_t end = std::min(stream.size(), i + batch_size);
+    slices.emplace_back(stream.begin() + static_cast<ptrdiff_t>(i),
+                        stream.begin() + static_cast<ptrdiff_t>(end));
+  }
+  Measurement m;
+  m.replicated = replicate;
+  m.events = stream.size();
+  for (size_t rep = 0; rep < reps; ++rep) {
+    std::unique_ptr<XStreamSystem> parent;
+    std::unique_ptr<ReplicationReceiver> receiver;
+    XStreamConfig child_cfg;
+    if (replicate) {
+      parent = std::make_unique<XStreamSystem>(&registry);
+      CheckOk(parent->AddQuery(kQ1, "Q1").status(), "parent AddQuery");
+      ReplicationReceiverOptions ropts;
+      ropts.io_timeout_ms = 100;
+      receiver = std::make_unique<ReplicationReceiver>(parent.get(), ropts);
+      CheckOk(receiver->Start(), "receiver Start");
+      ReplicationSenderOptions sopts;
+      sopts.port = receiver->port();
+      sopts.idle_poll_ms = 2;
+      child_cfg.replication = sopts;
+    }
+    auto child = std::make_unique<XStreamSystem>(&registry, child_cfg);
+    CheckOk(child->AddQuery(kQ1, "Q1").status(), "child AddQuery");
+
+    Stopwatch timer;
+    for (const EventBatch& slice : slices) child->OnEventBatch(slice);
+    child->Flush();
+    const double ingest_secs = timer.ElapsedSeconds();
+
+    if (replicate) {
+      Stopwatch drain_timer;
+      if (!child->replication()->WaitForDrain(120000)) {
+        fprintf(stderr, "FAIL: replication did not drain\n");
+        exit(1);
+      }
+      const double drain_secs = drain_timer.ElapsedSeconds();
+      receiver->Stop();
+      const auto rstats = receiver->stats();
+      const auto cstats = child->replication()->stats();
+      if (rep == 0 || ingest_secs < m.ingest_seconds) {
+        m.drain_seconds = drain_secs;
+      }
+      m.parent_applied = rstats.events_applied;
+      m.parent_gaps = rstats.gap_events;
+      m.reconnects = cstats.reconnects;
+      if (rstats.events_applied + rstats.gap_events != stream.size() ||
+          rstats.gap_events != 0) {
+        fprintf(stderr,
+                "FAIL: parent applied %zu events + %zu gaps of %zu — "
+                "replication lost data on a healthy loopback link\n",
+                static_cast<size_t>(rstats.events_applied),
+                static_cast<size_t>(rstats.gap_events), stream.size());
+        exit(1);
+      }
+    }
+    if (rep == 0 || ingest_secs < m.ingest_seconds) {
+      m.ingest_seconds = ingest_secs;
+    }
+  }
+  m.ingest_eps = static_cast<double>(m.events) / m.ingest_seconds;
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  size_t reps = 0;
+  std::string out_path = "BENCH_replication.json";
+  for (int i = 1; i < argc; ++i) {
+    if (strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      reps = strtoull(argv[++i], nullptr, 10);
+    } else {
+      fprintf(stderr, "usage: bench_replication [--smoke] [--out PATH] [--reps N]\n");
+      return 2;
+    }
+  }
+  if (reps == 0) reps = smoke ? 2 : 5;
+
+  EventTypeRegistry registry;
+  CheckOk(HadoopClusterSim::RegisterEventTypes(&registry), "RegisterEventTypes");
+  const int num_nodes = smoke ? 3 : 30;
+  const Timestamp duration = smoke ? 600 : 3600;
+  const size_t batch_size = 1024;
+  const std::vector<Event> stream = BuildStream(registry, num_nodes, 3, duration);
+  fprintf(stderr, "[bench] stream: %zu events, %zu reps\n", stream.size(), reps);
+
+  fprintf(stderr, "[bench] standalone child (replication off) ...\n");
+  const Measurement off = RunChild(registry, stream, /*replicate=*/false, reps,
+                                   batch_size);
+  fprintf(stderr, "[bench] replicated child (loopback parent) ...\n");
+  const Measurement on = RunChild(registry, stream, /*replicate=*/true, reps,
+                                  batch_size);
+
+  const double ratio = on.ingest_eps / off.ingest_eps;
+  printf("\nReplication overhead (child ingest, %zu events/batch)\n", batch_size);
+  printf("%14s %14s %12s %10s\n", "mode", "events/sec", "drain (s)", "gaps");
+  printf("%14s %14.0f %12s %10s\n", "standalone", off.ingest_eps, "-", "-");
+  printf("%14s %14.0f %12.3f %10zu\n", "replicated", on.ingest_eps,
+         on.drain_seconds, on.parent_gaps);
+  printf("\noverhead ratio (replicated / standalone) = %.3f\n", ratio);
+  printf("parent applied %zu/%zu events, %zu reconnects\n", on.parent_applied,
+         stream.size(), on.reconnects);
+
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("bench");
+  json.String("replication");
+  json.Key("smoke");
+  json.Bool(smoke);
+  json.Key("reps");
+  json.UInt(reps);
+  json.Key("batch_size");
+  json.UInt(batch_size);
+  json.Key("stream_events");
+  json.UInt(stream.size());
+  json.Key("ingest_eps_standalone");
+  json.Double(off.ingest_eps);
+  json.Key("ingest_eps_replicated");
+  json.Double(on.ingest_eps);
+  json.Key("overhead_ratio");
+  json.Double(ratio);
+  json.Key("drain_seconds");
+  json.Double(on.drain_seconds);
+  json.Key("parent_events_applied");
+  json.UInt(on.parent_applied);
+  json.Key("parent_gap_events");
+  json.UInt(on.parent_gaps);
+  json.Key("sender_reconnects");
+  json.UInt(on.reconnects);
+  json.MemoryObject(bench::SampleMemoryStats());
+  json.EndObject();
+  if (!json.WriteFile(out_path)) return 1;
+  fprintf(stderr, "[bench] wrote %s\n", out_path.c_str());
+  return 0;
+}

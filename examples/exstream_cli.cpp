@@ -34,12 +34,33 @@
 //   --backpressure POLICY  block | shed-oldest | shed-newest  (full-queue
 //                          behavior; implies --queue-capacity 64 if unset)
 //
+// Replication (two-process parent/child, see DESIGN.md §8):
+//   --replicate-to HOST:PORT  child mode: stream every ingested batch to the
+//                             parent node at HOST:PORT; after ingest, wait
+//                             (up to --drain-ms, default 15000) for the
+//                             parent to ack everything
+//   --listen PORT             parent mode: accept a child's replication
+//                             stream on 127.0.0.1:PORT (0 = ephemeral; the
+//                             chosen port prints to stderr). Runs until
+//                             --expect-events events have arrived or
+//                             --listen-for-ms (default 30000) passes, then
+//                             continues to --chart/--explain over the
+//                             replicated data. --events is optional.
+//   --expect-events N         parent mode: stop listening once the resume
+//                             watermark reaches N events
+//   --repl-state PATH         parent mode: persist the replication gap state
+//                             here so the watermark survives restarts
+//
 // Schema file: one event type per line, `TypeName attr:type attr:type ...`
 // where type is int64|double|string. Event CSV: see src/io/csv.h.
 
+#include <unistd.h>
+
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "common/stopwatch.h"
@@ -47,6 +68,7 @@
 #include "explain/engine.h"
 #include "explain/explanation_io.h"
 #include "io/csv.h"
+#include "net/replication_receiver.h"
 #include "sim/workloads.h"
 #include "viz/ascii_chart.h"
 #include "xstream/system.h"
@@ -213,7 +235,8 @@ int Run(int argc, char** argv) {
     }
   }
   const bool have_inputs = args.count("schema") && args.count("query") &&
-                           (args.count("events") || args.count("recover"));
+                           (args.count("events") || args.count("recover") ||
+                            args.count("listen"));
   if (!have_inputs) {
     fprintf(stderr,
             "usage: exstream_cli --demo | --schema F --events F --query F\n"
@@ -225,6 +248,9 @@ int Run(int argc, char** argv) {
             "       [--checkpoint DIR] [--recover DIR]\n"
             "       [--queue-capacity N]\n"
             "       [--backpressure block|shed-oldest|shed-newest]\n"
+            "       [--replicate-to HOST:PORT [--drain-ms MS]]\n"
+            "       [--listen PORT [--expect-events N] [--listen-for-ms MS]\n"
+            "        [--repl-state PATH]]\n"
             "       [--explain P:LO:HI --reference P:LO:HI]\n");
     return 2;
   }
@@ -290,6 +316,18 @@ int Run(int argc, char** argv) {
     }
     if (config.overload.queue_capacity == 0) config.overload.queue_capacity = 64;
   }
+  if (args.count("replicate-to")) {
+    const auto parts = SplitAndTrim(args["replicate-to"], ':');
+    if (parts.size() != 2) {
+      fprintf(stderr, "--replicate-to expects HOST:PORT, got '%s'\n",
+              args["replicate-to"].c_str());
+      return 2;
+    }
+    ReplicationSenderOptions repl;
+    repl.host = parts[0];
+    repl.port = static_cast<uint16_t>(strtoul(parts[1].c_str(), nullptr, 10));
+    config.replication = std::move(repl);
+  }
   XStreamSystem system(&*registry, config);
   auto qid = system.AddQuery(*query_text, "Q");
   if (!qid.ok()) {
@@ -310,6 +348,21 @@ int Run(int argc, char** argv) {
            static_cast<unsigned long long>(recovered->checkpoint_seq),
            recovered->wal.events_applied, recovered->wal.records,
            recovered->wal.torn_tail ? " (torn tail discarded)" : "");
+  }
+
+  std::unique_ptr<ReplicationReceiver> receiver;
+  if (args.count("listen")) {
+    ReplicationReceiverOptions ropts;
+    ropts.port = static_cast<uint16_t>(strtoul(args["listen"].c_str(), nullptr, 10));
+    if (args.count("repl-state")) ropts.state_path = args["repl-state"];
+    receiver = std::make_unique<ReplicationReceiver>(&system, ropts);
+    const Status st = receiver->Start();
+    if (!st.ok()) {
+      fprintf(stderr, "listen error: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    fprintf(stderr, "listening for replication on 127.0.0.1:%u\n",
+            unsigned{receiver->port()});
   }
 
   if (args.count("events")) {
@@ -334,9 +387,54 @@ int Run(int argc, char** argv) {
               static_cast<double>(num_events) / ingest_secs, batch_size,
               config.ingest.ingest_threads);
     }
-  } else {
+  } else if (args.count("listen") == 0) {
     printf("recovered state: %zu match rows\n",
            system.engine().match_table(*qid).TotalRows());
+  }
+
+  if (system.replication() != nullptr) {
+    // Child mode: give the parent a chance to ack everything before the
+    // process (and its spool) goes away. Unacked data still survives in the
+    // WAL via the truncate pin.
+    const int drain_ms = args.count("drain-ms")
+                             ? atoi(args["drain-ms"].c_str())
+                             : 15000;
+    const bool drained = system.replication()->WaitForDrain(drain_ms);
+    const ReplicationSender::Stats rs = system.replication()->stats();
+    fprintf(stderr,
+            "replication: %s (acked seq %llu, %llu chunks sealed, "
+            "%llu shed, %llu reconnects)\n",
+            drained ? "drained" : "NOT drained",
+            static_cast<unsigned long long>(rs.acked_seq),
+            static_cast<unsigned long long>(rs.chunks_sealed),
+            static_cast<unsigned long long>(rs.shed_chunks),
+            static_cast<unsigned long long>(rs.reconnects));
+  }
+
+  if (receiver != nullptr) {
+    // Parent mode: wait for the child's stream, then continue to the normal
+    // chart/explain flow over the replicated data.
+    const int64_t listen_for_ms = args.count("listen-for-ms")
+                                      ? atoll(args["listen-for-ms"].c_str())
+                                      : 30000;
+    const uint64_t expect = args.count("expect-events")
+                                ? strtoull(args["expect-events"].c_str(), nullptr, 10)
+                                : 0;
+    Stopwatch wait_timer;
+    while (wait_timer.ElapsedSeconds() * 1000.0 < static_cast<double>(listen_for_ms)) {
+      if (expect > 0 && receiver->watermark() >= expect) break;
+      usleep(50 * 1000);
+    }
+    receiver->Stop();
+    const ReplicationReceiver::Stats rs = receiver->stats();
+    printf("replicated: %llu events applied (%llu deduped, %llu lost to "
+           "child-side shedding) over %llu sessions; %zu match rows\n",
+           static_cast<unsigned long long>(rs.events_applied),
+           static_cast<unsigned long long>(rs.events_deduped),
+           static_cast<unsigned long long>(rs.gap_events),
+           static_cast<unsigned long long>(rs.sessions),
+           system.engine().match_table(*qid).TotalRows());
+    system.Flush();
   }
 
   const RejectReport rejects = system.reject_report();

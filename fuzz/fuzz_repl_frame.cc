@@ -1,0 +1,49 @@
+// libFuzzer harness for the replication frame decoder — the exact bytes a
+// hostile or fault-corrupted link delivers. FrameDecoder must classify any
+// byte stream as frames / need-more / Corruption without crashing,
+// over-allocating on fuzzed lengths, or mis-parsing a typed payload; the
+// typed Decode()s are fuzzed on both raw input and decoded frame payloads
+// (version skew, truncated strings, trailing garbage).
+//
+// Build: cmake -DEXSTREAM_BUILD_FUZZERS=ON with Clang; see fuzz/CMakeLists.txt.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "net/frame.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string_view buf(reinterpret_cast<const char*>(data), size);
+
+  // Incremental delivery: split the input at a fuzzer-chosen point so frames
+  // straddle Feed() boundaries (the recv-loop reality).
+  exstream::FrameDecoder decoder;
+  const size_t split = size > 0 ? data[0] % (size + 1) : 0;
+  decoder.Feed(buf.substr(0, split));
+  for (;;) {
+    auto frame = decoder.Next();
+    if (!frame.ok() || !frame->has_value()) break;
+    const std::string& payload = (*frame)->payload;
+    exstream::HelloFrame::Decode(payload).ok();
+    exstream::HelloAckFrame::Decode(payload).ok();
+    exstream::ChunkFrame::Decode(payload).ok();
+    exstream::WalTailFrame::Decode(payload).ok();
+    exstream::AckFrame::Decode(payload).ok();
+  }
+  if (!decoder.poisoned()) {
+    decoder.Feed(buf.substr(split));
+    for (;;) {
+      auto frame = decoder.Next();
+      if (!frame.ok() || !frame->has_value()) break;
+    }
+  }
+
+  // The typed decoders must also survive the raw input as a payload.
+  exstream::HelloFrame::Decode(buf).ok();
+  exstream::HelloAckFrame::Decode(buf).ok();
+  exstream::ChunkFrame::Decode(buf).ok();
+  exstream::WalTailFrame::Decode(buf).ok();
+  exstream::AckFrame::Decode(buf).ok();
+  return 0;
+}

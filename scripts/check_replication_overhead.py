@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Gate the replication overhead benchmark (machine-independent).
+
+bench_replication measures the same child ingest workload twice in one
+process — standalone, then replicating to a loopback parent — and reports
+``overhead_ratio`` = replicated ev/s / standalone ev/s. Because both sides
+of the ratio run on the same host seconds apart, hardware speed cancels
+out and the ratio can be gated on any machine; absolute ev/s are never
+compared here.
+
+Checks, in order:
+  1. Correctness: the parent applied every event (``parent_events_applied``
+     == ``stream_events``) with zero gap events. A fast child that sheds
+     on a healthy loopback link is a bug, not a win.
+  2. Overhead: ``overhead_ratio`` >= --min-ratio (default 0.4 — the async
+     sender may not slow the child's ingest down by more than 2.5x; on
+     full-size runs the spool cost amortizes and the ratio is far higher,
+     the floor mostly guards the tiny smoke stream).
+
+Usage:
+  check_replication_overhead.py BENCH_replication.json [--min-ratio 0.4]
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"FAIL: {msg}")
+    sys.exit(1)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", help="BENCH_replication.json to check")
+    parser.add_argument(
+        "--min-ratio",
+        type=float,
+        default=0.4,
+        help="minimum replicated/standalone ingest throughput ratio",
+    )
+    args = parser.parse_args()
+
+    with open(args.current, "r", encoding="utf-8") as f:
+        cur = json.load(f)
+
+    if cur.get("bench") != "replication":
+        fail(f"{args.current} is not a replication benchmark result")
+
+    for key in (
+        "stream_events",
+        "parent_events_applied",
+        "parent_gap_events",
+        "overhead_ratio",
+        "ingest_eps_standalone",
+        "ingest_eps_replicated",
+    ):
+        if key not in cur:
+            fail(f"missing field {key!r} in {args.current}")
+
+    failures = []
+
+    events = cur["stream_events"]
+    applied = cur["parent_events_applied"]
+    gaps = cur["parent_gap_events"]
+    if applied != events:
+        failures.append(
+            f"parent applied {applied} of {events} events — replication "
+            "lost data on a healthy loopback link"
+        )
+    if gaps != 0:
+        failures.append(f"parent reported {gaps} gap events (expected 0)")
+
+    ratio = cur["overhead_ratio"]
+    print(
+        f"ingest: standalone {cur['ingest_eps_standalone']:.0f} ev/s, "
+        f"replicated {cur['ingest_eps_replicated']:.0f} ev/s "
+        f"(absolute values informational only)"
+    )
+    print(f"overhead ratio {ratio:.3f} (floor {args.min_ratio:.3f})")
+    if ratio < args.min_ratio:
+        failures.append(
+            f"overhead ratio {ratio:.3f} below floor {args.min_ratio:.3f} — "
+            "replication is stealing too much child ingest throughput"
+        )
+
+    if failures:
+        for f_ in failures:
+            print(f"FAIL: {f_}")
+        sys.exit(1)
+    mode = "smoke" if cur.get("smoke") else "full"
+    print(f"PASS: replication overhead gate ({mode} run, {events} events)")
+
+
+if __name__ == "__main__":
+    main()

@@ -140,7 +140,8 @@ void EventArchive::MaybeSpillLocked(Shard* shard, EventTypeId type) {
 
 Result<ScanView> EventArchive::ScanColumns(EventTypeId type,
                                            const TimeInterval& interval,
-                                           DegradationReport* degradation) const {
+                                           DegradationReport* degradation,
+                                           const CancelToken* cancel) const {
   if (type >= shards_.size()) {
     return Status::InvalidArgument(StrFormat("event type %u not registered", type));
   }
@@ -198,7 +199,7 @@ Result<ScanView> EventArchive::ScanColumns(EventTypeId type,
   for (ChunkSnapshot& snap : snapshots) {
     if (snap.spilled != nullptr) {
       if (options_.spill_read_hook_for_testing) options_.spill_read_hook_for_testing();
-      ReadSpillOrQuarantine(snap.spilled, interval, &view, &local);
+      ReadSpillOrQuarantine(snap.spilled, interval, &view, &local, cancel);
     } else if (snap.resident != nullptr) {
       const auto [lo, hi] = snap.resident->RowRange(interval);
       if (hi > lo) view.segments.push_back({std::move(snap.resident), lo, hi});
@@ -218,9 +219,10 @@ Result<ScanView> EventArchive::ScanColumns(EventTypeId type,
 
 Result<std::vector<Event>> EventArchive::Scan(EventTypeId type,
                                               const TimeInterval& interval,
-                                              DegradationReport* degradation) const {
+                                              DegradationReport* degradation,
+                                              const CancelToken* cancel) const {
   EXSTREAM_ASSIGN_OR_RETURN(const ScanView view,
-                            ScanColumns(type, interval, degradation));
+                            ScanColumns(type, interval, degradation, cancel));
   std::vector<Event> out;
   out.reserve(view.rows());
   view.MaterializeEvents(&out);
@@ -230,18 +232,21 @@ Result<std::vector<Event>> EventArchive::Scan(EventTypeId type,
 void EventArchive::ReadSpillOrQuarantine(const std::shared_ptr<Chunk>& chunk,
                                          const TimeInterval& interval,
                                          ScanView* view,
-                                         DegradationReport* degradation) const {
+                                         DegradationReport* degradation,
+                                         const CancelToken* cancel) const {
   Result<ChunkColumns> columns = ChunkColumns{};
   size_t retries = 0;
   // IOError is transient (flaky device, momentary open failure) and worth the
   // backoff; Corruption/Truncated is a property of the bytes and permanent.
+  // The caller's CancelToken caps the backoff sleeps, so a deadline'd Explain
+  // degrades on time instead of waiting out the full retry schedule.
   const Status read = RetryWithBackoff(
       options_.spill_retry,
       [&] {
         columns = ReadColumnsFile(chunk->spill_path());
         return columns.ok() ? Status::OK() : columns.status();
       },
-      [](const Status& s) { return s.IsIOError(); }, &retries);
+      [](const Status& s) { return s.IsIOError(); }, &retries, cancel);
   spill_read_retries_.fetch_add(retries, std::memory_order_relaxed);
   if (read.ok()) {
     auto loaded = std::make_shared<const ChunkColumns>(std::move(*columns));
@@ -272,11 +277,13 @@ void EventArchive::ReadSpillOrQuarantine(const std::shared_ptr<Chunk>& chunk,
 }
 
 Result<std::vector<EventArchive::TypeScan>> EventArchive::ScanAll(
-    const TimeInterval& interval, DegradationReport* degradation) const {
+    const TimeInterval& interval, DegradationReport* degradation,
+    const CancelToken* cancel) const {
   std::vector<TypeScan> out;
   for (size_t t = 0; t < shards_.size(); ++t) {
-    EXSTREAM_ASSIGN_OR_RETURN(std::vector<Event> events,
-                              Scan(static_cast<EventTypeId>(t), interval, degradation));
+    EXSTREAM_ASSIGN_OR_RETURN(
+        std::vector<Event> events,
+        Scan(static_cast<EventTypeId>(t), interval, degradation, cancel));
     if (events.empty()) continue;  // no in-range events: no placeholder entry
     TypeScan ts;
     ts.type = static_cast<EventTypeId>(t);

@@ -87,14 +87,21 @@ class EventArchive : public EventSink {
   /// chunk excluded from future scans) and the view carries every healthy
   /// chunk. When `degradation` is non-null it receives exactly what was
   /// skipped; pass nullptr to ignore (skips are still logged).
+  ///
+  /// `cancel`, when non-null, bounds the retry backoff: an Explain running
+  /// against a deadline must not sleep past it waiting on a flaky disk. An
+  /// expired token stops further retry sleeps (the chunk quarantines as if
+  /// the retries were exhausted); it does not abort reads already in flight.
   Result<ScanView> ScanColumns(EventTypeId type, const TimeInterval& interval,
-                               DegradationReport* degradation = nullptr) const;
+                               DegradationReport* degradation = nullptr,
+                               const CancelToken* cancel = nullptr) const;
 
   /// \brief All events of `type` with ts in the interval, in time order, as
   /// materialized rows. Compatibility shim over ScanColumns: each event is
   /// rebuilt from the column segments (same degradation contract).
   Result<std::vector<Event>> Scan(EventTypeId type, const TimeInterval& interval,
-                                  DegradationReport* degradation) const;
+                                  DegradationReport* degradation,
+                                  const CancelToken* cancel = nullptr) const;
   Result<std::vector<Event>> Scan(EventTypeId type, const TimeInterval& interval) const {
     return Scan(type, interval, nullptr);
   }
@@ -109,7 +116,8 @@ class EventArchive : public EventSink {
   /// in-range events are skipped entirely (no empty placeholder entries);
   /// each returned entry carries its type id.
   Result<std::vector<TypeScan>> ScanAll(
-      const TimeInterval& interval, DegradationReport* degradation = nullptr) const;
+      const TimeInterval& interval, DegradationReport* degradation = nullptr,
+      const CancelToken* cancel = nullptr) const;
 
   /// Total archived events of a type.
   size_t CountEvents(EventTypeId type) const;
@@ -209,7 +217,8 @@ class EventArchive : public EventSink {
   /// in-range segment to `view` on success.
   void ReadSpillOrQuarantine(const std::shared_ptr<Chunk>& chunk,
                              const TimeInterval& interval, ScanView* view,
-                             DegradationReport* degradation) const;
+                             DegradationReport* degradation,
+                             const CancelToken* cancel) const;
 
   const EventTypeRegistry* registry_;  // not owned
   ArchiveOptions options_;

@@ -454,9 +454,11 @@ void ApplyInjectedDelay(const FaultPlan& plan) {
 Status WriteBufferFileAtomic(const std::string& path, std::string data) {
   size_t write_bytes = data.size();
 
-  if (auto fault = FaultInjector::Global().Intercept(FaultOp::kWrite, path)) {
+  if (auto fault =
+          FaultInjector::Global().Intercept(FaultOp::kWrite, "spill-write", path)) {
     switch (fault->mode) {
       case FaultMode::kFailOpen:
+      case FaultMode::kReset:
         return Status::IOError("injected open failure writing " + path);
       case FaultMode::kNoSpace:
         return Status::IOError("injected ENOSPC writing " + path);
@@ -506,9 +508,10 @@ Status WriteBufferFileAtomic(const std::string& path, std::string data) {
 
 // Reads the raw bytes of `path`, honoring injected read faults.
 Result<std::string> ReadBufferFile(const std::string& path) {
-  std::optional<FaultPlan> fault = FaultInjector::Global().Intercept(FaultOp::kRead, path);
+  std::optional<FaultPlan> fault =
+      FaultInjector::Global().Intercept(FaultOp::kRead, "spill-read", path);
   if (fault.has_value()) {
-    if (fault->mode == FaultMode::kFailOpen) {
+    if (fault->mode == FaultMode::kFailOpen || fault->mode == FaultMode::kReset) {
       return Status::IOError("injected open failure reading " + path);
     }
     if (fault->mode == FaultMode::kDelay) ApplyInjectedDelay(*fault);

@@ -1,5 +1,7 @@
 #include "common/fault_injection.h"
 
+#include <algorithm>
+
 namespace exstream {
 
 std::string_view FaultModeToString(FaultMode mode) {
@@ -14,6 +16,26 @@ std::string_view FaultModeToString(FaultMode mode) {
       return "no-space";
     case FaultMode::kDelay:
       return "delay";
+    case FaultMode::kReset:
+      return "reset";
+  }
+  return "unknown";
+}
+
+std::string_view FaultOpToString(FaultOp op) {
+  switch (op) {
+    case FaultOp::kRead:
+      return "read";
+    case FaultOp::kWrite:
+      return "write";
+    case FaultOp::kDelete:
+      return "delete";
+    case FaultOp::kConnect:
+      return "connect";
+    case FaultOp::kSend:
+      return "send";
+    case FaultOp::kRecv:
+      return "recv";
   }
   return "unknown";
 }
@@ -41,12 +63,31 @@ size_t FaultInjector::hits() const {
   return static_cast<size_t>(injected_);
 }
 
+void FaultInjector::RegisterSiteLocked(FaultOp op, std::string_view site) {
+  if (site.empty()) return;
+  const auto seen = std::find_if(sites_.begin(), sites_.end(),
+                                 [&](const FaultSite& s) {
+                                   return s.op == op && s.name == site;
+                                 });
+  if (seen == sites_.end()) {
+    sites_.push_back(FaultSite{std::string(site), op});
+  }
+}
+
+std::vector<FaultSite> FaultInjector::sites() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sites_;
+}
+
 std::optional<FaultPlan> FaultInjector::Intercept(FaultOp op,
+                                                  std::string_view site,
                                                   const std::string& path) {
   if (!armed_.load(std::memory_order_relaxed)) return std::nullopt;
   std::lock_guard<std::mutex> lock(mu_);
+  RegisterSiteLocked(op, site);
   if (!armed_.load(std::memory_order_relaxed)) return std::nullopt;
   if (plan_.op != op) return std::nullopt;
+  if (!plan_.site.empty() && plan_.site != site) return std::nullopt;
   if (!plan_.path_substring.empty() &&
       path.find(plan_.path_substring) == std::string::npos) {
     return std::nullopt;

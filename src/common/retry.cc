@@ -4,29 +4,96 @@
 #include <chrono>
 #include <thread>
 
-#include "common/rng.h"
-
 namespace exstream {
+
+namespace {
+
+// splitmix64: cheap stateful uniform stream for the decorrelated-jitter
+// draws (an mt19937_64 per Backoff would be 2.5 kB of state for one double).
+uint64_t NextState(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+double UniformFromState(uint64_t* state, double lo, double hi) {
+  const double unit =
+      static_cast<double>(NextState(state) >> 11) * 0x1.0p-53;  // [0, 1)
+  return lo + unit * (hi - lo);
+}
+
+}  // namespace
+
+double Backoff::NextSleepMs() {
+  if (!rng_init_) {
+    rng_state_ = policy_.jitter_seed;
+    rng_init_ = true;
+  }
+  ++attempt_;
+  double sleep_ms = 0.0;
+  switch (policy_.mode) {
+    case BackoffMode::kExponentialJitter: {
+      const int shift = std::min(attempt_ - 1, 30);
+      sleep_ms = std::min(policy_.max_backoff_ms,
+                          policy_.base_backoff_ms *
+                              static_cast<double>(uint64_t{1} << shift));
+      if (policy_.jitter_fraction > 0) {
+        sleep_ms *= UniformFromState(&rng_state_, 1.0 - policy_.jitter_fraction,
+                                     1.0 + policy_.jitter_fraction);
+      }
+      break;
+    }
+    case BackoffMode::kDecorrelatedJitter: {
+      const double prev =
+          prev_sleep_ms_ > 0 ? prev_sleep_ms_ : policy_.base_backoff_ms;
+      sleep_ms = std::min(
+          policy_.max_backoff_ms,
+          UniformFromState(&rng_state_, policy_.base_backoff_ms, prev * 3.0));
+      break;
+    }
+  }
+  prev_sleep_ms_ = sleep_ms;
+  return sleep_ms;
+}
+
+void Backoff::Reset() {
+  attempt_ = 0;
+  prev_sleep_ms_ = 0.0;
+}
+
+bool SleepWithCancel(double ms, const CancelToken* cancel) {
+  if (ms <= 0) return cancel == nullptr || !cancel->Expired();
+  if (cancel == nullptr) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(static_cast<int64_t>(ms * 1000.0)));
+    return true;
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::microseconds(static_cast<int64_t>(ms * 1000.0));
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (cancel->Expired()) return false;
+    const auto remaining = deadline - std::chrono::steady_clock::now();
+    std::this_thread::sleep_for(
+        std::min<std::chrono::steady_clock::duration>(
+            remaining, std::chrono::milliseconds(1)));
+  }
+  return !cancel->Expired();
+}
 
 Status RetryWithBackoff(const RetryPolicy& policy, const std::function<Status()>& op,
                         const std::function<bool(const Status&)>& is_retryable,
-                        size_t* retries) {
+                        size_t* retries, const CancelToken* cancel) {
   if (retries != nullptr) *retries = 0;
-  Rng rng(policy.jitter_seed);
+  Backoff backoff(policy);
   const int attempts = std::max(1, policy.max_attempts);
   Status st;
   for (int attempt = 1;; ++attempt) {
     st = op();
     if (st.ok() || !is_retryable(st) || attempt >= attempts) return st;
-    double sleep_ms = std::min(policy.max_backoff_ms,
-                               policy.base_backoff_ms * static_cast<double>(1 << (attempt - 1)));
-    if (policy.jitter_fraction > 0) {
-      sleep_ms *= rng.Uniform(1.0 - policy.jitter_fraction, 1.0 + policy.jitter_fraction);
-    }
-    if (sleep_ms > 0) {
-      std::this_thread::sleep_for(
-          std::chrono::microseconds(static_cast<int64_t>(sleep_ms * 1000.0)));
-    }
+    if (cancel != nullptr && cancel->Expired()) return st;
+    if (!SleepWithCancel(backoff.NextSleepMs(), cancel)) return st;
     if (retries != nullptr) ++*retries;
   }
 }

@@ -1,36 +1,82 @@
-// Retry with capped exponential backoff + jitter, for transient spill-file
-// I/O errors (the archive's failure model treats IOError as transient and
-// Corruption/Truncated as permanent).
+// Retry with capped backoff + jitter, for transient I/O errors (the
+// archive's failure model treats IOError as transient and
+// Corruption/Truncated as permanent; the replication sender treats every
+// link error as transient and retries forever).
 
 #pragma once
 
+#include <cstdint>
 #include <functional>
 
+#include "common/deadline.h"
 #include "common/status.h"
 
 namespace exstream {
+
+/// \brief How successive backoff sleeps are derived.
+enum class BackoffMode {
+  /// base * 2^(k-1), scaled by uniform jitter in [1-j, 1+j], capped.
+  kExponentialJitter,
+  /// AWS-style decorrelated jitter: sleep_k = min(cap, U(base, 3*sleep_{k-1})).
+  /// Spreads a thundering herd of reconnecting clients much better than
+  /// scaled exponential jitter because successive sleeps forget their phase.
+  kDecorrelatedJitter,
+};
 
 /// \brief Backoff schedule for retrying a fallible operation.
 struct RetryPolicy {
   /// Total attempts, including the first; 1 disables retries.
   int max_attempts = 3;
-  /// Sleep before retry k (1-based) is base * 2^(k-1), capped at `max_backoff_ms`.
+  /// First sleep (and decorrelated-jitter floor), in milliseconds.
   double base_backoff_ms = 1.0;
   double max_backoff_ms = 50.0;
-  /// Uniform jitter fraction: each sleep is scaled by [1-j, 1+j] to decorrelate
-  /// concurrent retriers hitting the same device.
+  BackoffMode mode = BackoffMode::kExponentialJitter;
+  /// kExponentialJitter only: each sleep is scaled by [1-j, 1+j] to
+  /// decorrelate concurrent retriers hitting the same device.
   double jitter_fraction = 0.25;
   /// Seed for the deterministic jitter stream.
   uint64_t jitter_seed = 0x9E3779B97F4A7C15ull;
 };
 
-/// \brief Runs `op` until it succeeds, fails permanently, or attempts run out.
+/// \brief Iterator over a RetryPolicy's sleep sequence, for callers that run
+/// their own retry loop (the replication sender's reconnect machinery, which
+/// retries forever instead of max_attempts times).
+class Backoff {
+ public:
+  explicit Backoff(const RetryPolicy& policy) : policy_(policy) {}
+
+  /// The next sleep in milliseconds (advances the schedule).
+  double NextSleepMs();
+
+  /// Restarts the schedule (call after a success).
+  void Reset();
+
+ private:
+  RetryPolicy policy_;
+  int attempt_ = 0;
+  double prev_sleep_ms_ = 0.0;
+  uint64_t rng_state_ = 0;
+  bool rng_init_ = false;
+};
+
+/// \brief Sleeps for `ms`, waking early (and returning false) if `cancel`
+/// expires. Polls the token every millisecond — cooperative cancellation, so
+/// a deadline'd caller never oversleeps by more than the poll interval.
+/// Returns true when the full sleep elapsed.
+bool SleepWithCancel(double ms, const CancelToken* cancel);
+
+/// \brief Runs `op` until it succeeds, fails permanently, attempts run out,
+/// or `cancel` expires.
 ///
 /// `is_retryable` classifies a non-OK status; a non-retryable status is
 /// returned immediately. `retries`, when non-null, receives the number of
-/// retries performed (attempts beyond the first).
+/// retries performed (attempts beyond the first). `cancel`, when non-null,
+/// is honored across backoff sleeps: an expired token aborts the remaining
+/// schedule and returns the last failure — a deadline'd Explain must not
+/// sleep past its deadline inside a spill-read retry loop.
 Status RetryWithBackoff(const RetryPolicy& policy, const std::function<Status()>& op,
                         const std::function<bool(const Status&)>& is_retryable,
-                        size_t* retries = nullptr);
+                        size_t* retries = nullptr,
+                        const CancelToken* cancel = nullptr);
 
 }  // namespace exstream

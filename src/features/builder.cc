@@ -98,9 +98,9 @@ Result<std::vector<Feature>> FeatureBuilder::Build(const std::vector<FeatureSpec
         DegradationReport* deg =
             degradation != nullptr ? &scan_degradation[i] : nullptr;
         if (use_legacy_row_scan_) {
-          row_scans[i] = archive_->Scan(scan_types[i], interval, deg);
+          row_scans[i] = archive_->Scan(scan_types[i], interval, deg, cancel);
         } else {
-          views[i] = archive_->ScanColumns(scan_types[i], interval, deg);
+          views[i] = archive_->ScanColumns(scan_types[i], interval, deg, cancel);
         }
       },
       cancel);

@@ -29,9 +29,11 @@ Status EnsureDir(const std::string& dir) {
 
 Status WriteFileAtomic(const std::string& path, std::string data) {
   size_t write_bytes = data.size();
-  if (auto fault = FaultInjector::Global().Intercept(FaultOp::kWrite, path)) {
+  if (auto fault =
+          FaultInjector::Global().Intercept(FaultOp::kWrite, "file-write", path)) {
     switch (fault->mode) {
       case FaultMode::kFailOpen:
+      case FaultMode::kReset:
         return Status::IOError("injected open failure writing " + path);
       case FaultMode::kNoSpace:
         return Status::IOError("injected ENOSPC writing " + path);
@@ -75,9 +77,10 @@ Status WriteFileAtomic(const std::string& path, std::string data) {
 }
 
 Result<std::string> ReadFileToString(const std::string& path) {
-  auto fault = FaultInjector::Global().Intercept(FaultOp::kRead, path);
+  auto fault =
+      FaultInjector::Global().Intercept(FaultOp::kRead, "file-read", path);
   if (fault.has_value()) {
-    if (fault->mode == FaultMode::kFailOpen) {
+    if (fault->mode == FaultMode::kFailOpen || fault->mode == FaultMode::kReset) {
       return Status::IOError("injected open failure reading " + path);
     }
     if (fault->mode == FaultMode::kDelay) {
@@ -126,6 +129,16 @@ Result<std::vector<std::string>> ListDirFiles(const std::string& dir) {
 }
 
 Status RemoveFileIfExists(const std::string& path) {
+  if (auto fault = FaultInjector::Global().Intercept(FaultOp::kDelete,
+                                                     "file-delete", path)) {
+    if (fault->mode == FaultMode::kDelay) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(fault->delay_ms));
+    } else {
+      // Every non-delay mode behaves as "the unlink failed" — a deletion has
+      // no bytes to truncate or corrupt.
+      return Status::IOError("injected delete failure for " + path);
+    }
+  }
   if (remove(path.c_str()) == 0 || errno == ENOENT) return Status::OK();
   return Status::IOError(
       StrFormat("cannot remove %s: %s", path.c_str(), strerror(errno)));

@@ -266,9 +266,11 @@ Status WriteAheadLog::Append(uint64_t first_seq, const EventBatch& events) {
 
   size_t write_bytes = frame_size;
   bool injected_torn = false;
-  if (auto fault = FaultInjector::Global().Intercept(FaultOp::kWrite, active_path_)) {
+  if (auto fault = FaultInjector::Global().Intercept(FaultOp::kWrite, "wal-append",
+                                                     active_path_)) {
     switch (fault->mode) {
       case FaultMode::kFailOpen:
+      case FaultMode::kReset:
         ++stats_.append_failures;
         return Status::IOError("injected open failure writing " + active_path_);
       case FaultMode::kNoSpace:
@@ -414,9 +416,24 @@ Status WriteAheadLog::Sync() {
   return SyncLocked();
 }
 
+void WriteAheadLog::SetTruncatePin(uint64_t seq) {
+  std::lock_guard<std::mutex> lock(mu_);
+  truncate_pin_ = seq;
+}
+
+void WriteAheadLog::ClearTruncatePin() {
+  std::lock_guard<std::mutex> lock(mu_);
+  truncate_pin_ = UINT64_MAX;
+}
+
 Result<size_t> WriteAheadLog::TruncateThrough(uint64_t seq) {
   std::unique_lock<std::mutex> lock(mu_);
   flusher_done_cv_.wait(lock, [&] { return !flusher_inflight_; });
+  // The replication pin holds back segments a downstream parent has not yet
+  // acknowledged: a checkpoint may cover sequence `seq` locally, but the
+  // sender still needs the pinned tail on disk to serve a resume after a
+  // crash on either side.
+  seq = std::min(seq, truncate_pin_);
   size_t deleted = 0;
   // segments_[i] is disposable once a successor exists whose base covers
   // `seq`: every record in it then has sequence numbers < base(i+1) <= seq.
@@ -447,6 +464,13 @@ WriteAheadLog::Stats WriteAheadLog::stats() const {
 Result<WalReplayStats> WriteAheadLog::Replay(
     const std::string& dir, uint64_t from_seq,
     const std::function<void(EventBatch batch)>& apply) {
+  return ReplayWithSeq(dir, from_seq,
+                       [&](uint64_t, EventBatch batch) { apply(std::move(batch)); });
+}
+
+Result<WalReplayStats> WriteAheadLog::ReplayWithSeq(
+    const std::string& dir, uint64_t from_seq,
+    const std::function<void(uint64_t first_seq, EventBatch batch)>& apply) {
   WalReplayStats stats;
   stats.next_seq = from_seq;
   EXSTREAM_ASSIGN_OR_RETURN(const std::vector<std::string> names, ListDirFiles(dir));
@@ -474,13 +498,15 @@ Result<WalReplayStats> WriteAheadLog::Replay(
             stats.events_skipped += batch.size();
             return;
           }
+          uint64_t apply_seq = first_seq;
           if (first_seq < from_seq) {
             const size_t skip = static_cast<size_t>(from_seq - first_seq);
             stats.events_skipped += skip;
             batch.erase(batch.begin(), batch.begin() + skip);
+            apply_seq = from_seq;
           }
           stats.events_applied += batch.size();
-          apply(std::move(batch));
+          apply(apply_seq, std::move(batch));
         });
     ++stats.segments;
     if (scan.torn) {

@@ -107,9 +107,18 @@ class WriteAheadLog {
   Status Sync();
 
   /// \brief Deletes closed segments whose records all have seq < `seq`
-  /// (i.e. are fully covered by a checkpoint). The active segment survives.
+  /// (i.e. are fully covered by a checkpoint). The active segment survives,
+  /// and so does anything at or past the replication pin (SetTruncatePin).
   /// Returns the number of segments deleted.
   Result<size_t> TruncateThrough(uint64_t seq);
+
+  /// \brief Replication pin: segments containing records with seq >= `seq`
+  /// survive TruncateThrough even when a checkpoint covers them, so a
+  /// downstream parent that has not acknowledged them can still be served a
+  /// resume from this log after a crash. UINT64_MAX (the initial state after
+  /// ClearTruncatePin) pins nothing.
+  void SetTruncatePin(uint64_t seq);
+  void ClearTruncatePin();
 
   /// \brief Replays every record with events at seq >= `from_seq`, in order.
   /// Records partially below `from_seq` are sliced. A torn tail on the final
@@ -118,6 +127,13 @@ class WriteAheadLog {
   static Result<WalReplayStats> Replay(
       const std::string& dir, uint64_t from_seq,
       const std::function<void(EventBatch batch)>& apply);
+
+  /// Same, but the callback also receives the sequence number of batch[0]
+  /// (after any slicing) — recovery paths that rebuild replication state need
+  /// to know where each replayed batch sits in the global stream.
+  static Result<WalReplayStats> ReplayWithSeq(
+      const std::string& dir, uint64_t from_seq,
+      const std::function<void(uint64_t first_seq, EventBatch batch)>& apply);
 
   /// First unused sequence number, per the segment scan at Open time.
   uint64_t next_seq() const { return next_seq_; }
@@ -154,6 +170,8 @@ class WriteAheadLog {
   size_t active_bytes_ = 0;
   int64_t last_sync_ms_ = 0;        // steady-clock ms of the last fsync
   uint64_t next_seq_ = 0;
+  /// TruncateThrough clamp (SetTruncatePin); UINT64_MAX pins nothing.
+  uint64_t truncate_pin_ = UINT64_MAX;
   /// Closed + active segments, as (base_seq, path), ascending.
   std::vector<std::pair<uint64_t, std::string>> segments_;
   Stats stats_;

@@ -1,0 +1,213 @@
+#include "net/frame.h"
+
+#include "common/bytes.h"
+#include "common/crc32.h"
+#include "common/strings.h"
+
+namespace exstream {
+
+namespace {
+
+bool IsKnownFrameType(uint8_t t) {
+  return t >= static_cast<uint8_t>(FrameType::kHello) &&
+         t <= static_cast<uint8_t>(FrameType::kAck);
+}
+
+/// Decode() helpers share this epilogue: a payload with trailing bytes is as
+/// corrupt as a short one (a well-formed peer never pads).
+Status CheckFullyConsumed(const BytesReader& reader, std::string_view what) {
+  if (!reader.AtEnd()) {
+    return Status::Corruption(StrFormat("%.*s payload has %zu trailing bytes",
+                                        static_cast<int>(what.size()),
+                                        what.data(), reader.remaining()));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string_view FrameTypeToString(FrameType type) {
+  switch (type) {
+    case FrameType::kHello:
+      return "HELLO";
+    case FrameType::kHelloAck:
+      return "HELLOACK";
+    case FrameType::kChunk:
+      return "CHUNK";
+    case FrameType::kWalTail:
+      return "WALTAIL";
+    case FrameType::kAck:
+      return "ACK";
+  }
+  return "UNKNOWN";
+}
+
+std::string EncodeFrame(FrameType type, std::string_view payload) {
+  BytesWriter w;
+  w.Put<uint32_t>(kReplFrameMagic);
+  w.Put<uint8_t>(static_cast<uint8_t>(type));
+  w.Put<uint32_t>(static_cast<uint32_t>(payload.size()));
+  w.Put<uint32_t>(Crc32(payload));
+  w.PutRaw(payload);
+  return w.Take();
+}
+
+void FrameDecoder::Feed(std::string_view data) {
+  // Compact lazily: only when the consumed prefix dominates the buffer, so
+  // steady-state feeding is append-only.
+  if (pos_ > 0 && pos_ >= buf_.size() / 2) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buf_.append(data);
+}
+
+Result<std::optional<Frame>> FrameDecoder::Next() {
+  if (poisoned_) {
+    return Status::Corruption("frame decoder poisoned by an earlier error");
+  }
+  const size_t avail = buf_.size() - pos_;
+  if (avail < kReplFrameHeaderBytes) return std::optional<Frame>();
+
+  BytesReader reader(std::string_view(buf_).substr(pos_));
+  const uint32_t magic = reader.Get<uint32_t>().ValueOrDie();
+  if (magic != kReplFrameMagic) {
+    poisoned_ = true;
+    return Status::Corruption(
+        StrFormat("bad frame magic 0x%08X (want 0x%08X \"EXRP\")", magic,
+                  kReplFrameMagic));
+  }
+  const uint8_t type_byte = reader.Get<uint8_t>().ValueOrDie();
+  if (!IsKnownFrameType(type_byte)) {
+    poisoned_ = true;
+    return Status::Corruption(
+        StrFormat("unknown frame type %u", unsigned{type_byte}));
+  }
+  const uint32_t payload_len = reader.Get<uint32_t>().ValueOrDie();
+  if (payload_len > kReplMaxPayloadBytes) {
+    poisoned_ = true;
+    return Status::Corruption(StrFormat("frame payload length %u exceeds %u",
+                                        payload_len, kReplMaxPayloadBytes));
+  }
+  const uint32_t want_crc = reader.Get<uint32_t>().ValueOrDie();
+  if (avail < kReplFrameHeaderBytes + payload_len) return std::optional<Frame>();
+
+  const std::string_view payload =
+      std::string_view(buf_).substr(pos_ + kReplFrameHeaderBytes, payload_len);
+  const uint32_t got_crc = Crc32(payload);
+  if (got_crc != want_crc) {
+    poisoned_ = true;
+    return Status::Corruption(
+        StrFormat("%.*s frame CRC mismatch (stored 0x%08X, computed 0x%08X)",
+                  static_cast<int>(
+                      FrameTypeToString(static_cast<FrameType>(type_byte)).size()),
+                  FrameTypeToString(static_cast<FrameType>(type_byte)).data(),
+                  want_crc, got_crc));
+  }
+  Frame frame{static_cast<FrameType>(type_byte), std::string(payload)};
+  pos_ += kReplFrameHeaderBytes + payload_len;
+  return std::optional<Frame>(std::move(frame));
+}
+
+// ---------------------------------------------------------------------------
+
+std::string HelloFrame::Encode() const {
+  BytesWriter w;
+  w.Put<uint32_t>(protocol_version);
+  w.PutString(tenant);
+  w.PutString(node_id);
+  w.Put<uint64_t>(floor_seq);
+  return w.Take();
+}
+
+Result<HelloFrame> HelloFrame::Decode(std::string_view payload) {
+  BytesReader r(payload);
+  HelloFrame f;
+  EXSTREAM_ASSIGN_OR_RETURN(f.protocol_version, r.Get<uint32_t>());
+  EXSTREAM_ASSIGN_OR_RETURN(f.tenant, r.GetString());
+  EXSTREAM_ASSIGN_OR_RETURN(f.node_id, r.GetString());
+  EXSTREAM_ASSIGN_OR_RETURN(f.floor_seq, r.Get<uint64_t>());
+  EXSTREAM_RETURN_NOT_OK(CheckFullyConsumed(r, "HELLO"));
+  return f;
+}
+
+std::string HelloAckFrame::Encode() const {
+  BytesWriter w;
+  w.Put<uint32_t>(protocol_version);
+  w.Put<uint8_t>(accepted ? 1 : 0);
+  w.Put<uint64_t>(resume_seq);
+  w.PutString(message);
+  return w.Take();
+}
+
+Result<HelloAckFrame> HelloAckFrame::Decode(std::string_view payload) {
+  BytesReader r(payload);
+  HelloAckFrame f;
+  EXSTREAM_ASSIGN_OR_RETURN(f.protocol_version, r.Get<uint32_t>());
+  EXSTREAM_ASSIGN_OR_RETURN(const uint8_t accepted, r.Get<uint8_t>());
+  if (accepted > 1) {
+    return Status::Corruption(
+        StrFormat("HELLOACK accepted byte is %u (want 0/1)", unsigned{accepted}));
+  }
+  f.accepted = accepted == 1;
+  EXSTREAM_ASSIGN_OR_RETURN(f.resume_seq, r.Get<uint64_t>());
+  EXSTREAM_ASSIGN_OR_RETURN(f.message, r.GetString());
+  EXSTREAM_RETURN_NOT_OK(CheckFullyConsumed(r, "HELLOACK"));
+  return f;
+}
+
+std::string ChunkFrame::Encode() const {
+  BytesWriter w;
+  w.Put<uint64_t>(chunk_id);
+  w.Put<uint64_t>(first_seq);
+  w.Put<uint32_t>(event_count);
+  w.PutString(events);
+  return w.Take();
+}
+
+Result<ChunkFrame> ChunkFrame::Decode(std::string_view payload) {
+  BytesReader r(payload);
+  ChunkFrame f;
+  EXSTREAM_ASSIGN_OR_RETURN(f.chunk_id, r.Get<uint64_t>());
+  EXSTREAM_ASSIGN_OR_RETURN(f.first_seq, r.Get<uint64_t>());
+  EXSTREAM_ASSIGN_OR_RETURN(f.event_count, r.Get<uint32_t>());
+  EXSTREAM_ASSIGN_OR_RETURN(f.events, r.GetString());
+  EXSTREAM_RETURN_NOT_OK(CheckFullyConsumed(r, "CHUNK"));
+  return f;
+}
+
+std::string WalTailFrame::Encode() const {
+  BytesWriter w;
+  w.Put<uint64_t>(first_seq);
+  w.Put<uint32_t>(event_count);
+  w.PutString(events);
+  return w.Take();
+}
+
+Result<WalTailFrame> WalTailFrame::Decode(std::string_view payload) {
+  BytesReader r(payload);
+  WalTailFrame f;
+  EXSTREAM_ASSIGN_OR_RETURN(f.first_seq, r.Get<uint64_t>());
+  EXSTREAM_ASSIGN_OR_RETURN(f.event_count, r.Get<uint32_t>());
+  EXSTREAM_ASSIGN_OR_RETURN(f.events, r.GetString());
+  EXSTREAM_RETURN_NOT_OK(CheckFullyConsumed(r, "WALTAIL"));
+  return f;
+}
+
+std::string AckFrame::Encode() const {
+  BytesWriter w;
+  w.Put<uint64_t>(ack_seq);
+  w.Put<uint64_t>(chunk_id);
+  return w.Take();
+}
+
+Result<AckFrame> AckFrame::Decode(std::string_view payload) {
+  BytesReader r(payload);
+  AckFrame f;
+  EXSTREAM_ASSIGN_OR_RETURN(f.ack_seq, r.Get<uint64_t>());
+  EXSTREAM_ASSIGN_OR_RETURN(f.chunk_id, r.Get<uint64_t>());
+  EXSTREAM_RETURN_NOT_OK(CheckFullyConsumed(r, "ACK"));
+  return f;
+}
+
+}  // namespace exstream

@@ -1,0 +1,279 @@
+#include "net/replication_receiver.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "archive/serialization.h"
+#include "common/bytes.h"
+#include "common/logging.h"
+#include "common/strings.h"
+#include "io/file_util.h"
+#include "xstream/system.h"
+
+namespace exstream {
+
+namespace {
+constexpr uint32_t kGapStateMagic = 0x47525845;  // "EXRG"
+}  // namespace
+
+ReplicationReceiver::ReplicationReceiver(XStreamSystem* system,
+                                         ReplicationReceiverOptions options)
+    : system_(system), options_(std::move(options)) {}
+
+ReplicationReceiver::~ReplicationReceiver() { Stop(); }
+
+Status ReplicationReceiver::LoadGapTotal() {
+  if (!options_.state_path.has_value()) return Status::OK();
+  auto data = ReadFileToString(*options_.state_path);
+  if (!data.ok()) return Status::OK();  // first run: no state yet
+  BytesReader r(*data);
+  EXSTREAM_ASSIGN_OR_RETURN(const uint32_t magic, r.Get<uint32_t>());
+  if (magic != kGapStateMagic) {
+    return Status::Corruption("bad replication gap-state magic in " +
+                              *options_.state_path);
+  }
+  EXSTREAM_ASSIGN_OR_RETURN(gap_total_, r.Get<uint64_t>());
+  return Status::OK();
+}
+
+Status ReplicationReceiver::PersistGapTotal() {
+  if (!options_.state_path.has_value()) return Status::OK();
+  BytesWriter w;
+  w.Put<uint32_t>(kGapStateMagic);
+  w.Put<uint64_t>(gap_total_);
+  return WriteFileAtomic(*options_.state_path, w.Take());
+}
+
+Status ReplicationReceiver::Start() {
+  if (thread_.joinable()) return Status::OK();
+  EXSTREAM_RETURN_NOT_OK(LoadGapTotal());
+  EXSTREAM_ASSIGN_OR_RETURN(listener_, TcpListener::Listen(options_.port));
+  port_ = listener_.port();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // The parent applied system_->next_seq() events; the child's seq space
+    // additionally counts every event shed before it could reach us.
+    watermark_ = system_->next_seq() + gap_total_;
+  }
+  stop_.store(false);
+  thread_ = std::thread(&ReplicationReceiver::AcceptLoop, this);
+  return Status::OK();
+}
+
+void ReplicationReceiver::Stop() {
+  stop_.store(true);
+  if (thread_.joinable()) thread_.join();
+  listener_.Close();
+}
+
+uint64_t ReplicationReceiver::watermark() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return watermark_;
+}
+
+ReplicationReceiver::Stats ReplicationReceiver::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void ReplicationReceiver::AcceptLoop() {
+  while (!stop_.load()) {
+    auto accepted = listener_.Accept(/*timeout_ms=*/100);
+    if (!accepted.ok()) {
+      if (accepted.status().IsDeadlineExceeded()) continue;
+      if (stop_.load()) return;
+      EXSTREAM_LOG(Warn) << "replication accept failed: "
+                         << accepted.status().ToString();
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.sessions;
+    }
+    // One session at a time: a child retrying in the background queues in
+    // the listen backlog until the current session ends.
+    ServeSession(std::move(*accepted));
+  }
+}
+
+void ReplicationReceiver::ServeSession(TcpSocket sock) {
+  FrameDecoder decoder;
+  bool hello_done = false;
+  char buf[1 << 16];
+  while (!stop_.load()) {
+    for (;;) {
+      auto frame = decoder.Next();
+      if (!frame.ok()) {
+        // Framing violations (bad magic/CRC/length) mean the stream cannot
+        // be trusted past this point; drop the session and let the child
+        // reconnect and resume from the watermark.
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.frame_errors;
+        EXSTREAM_LOG(Warn) << "replication frame error: "
+                           << frame.status().ToString();
+        return;
+      }
+      if (!frame->has_value()) break;
+      const Status handled = HandleFrame(&sock, **frame, &hello_done);
+      if (!handled.ok()) {
+        EXSTREAM_LOG(Warn) << "replication session ended: "
+                           << handled.ToString();
+        return;
+      }
+    }
+    auto got = sock.Recv(buf, sizeof(buf), options_.io_timeout_ms);
+    if (!got.ok()) {
+      if (got.status().IsDeadlineExceeded()) continue;  // idle link
+      return;  // reset / injected fault: session over
+    }
+    if (*got == 0) return;  // orderly EOF
+    decoder.Feed(std::string_view(buf, *got));
+  }
+}
+
+Status ReplicationReceiver::HandleFrame(TcpSocket* sock, const Frame& frame,
+                                        bool* hello_done) {
+  if (!*hello_done) {
+    if (frame.type != FrameType::kHello) {
+      return Status::Corruption("first frame must be HELLO, got " +
+                                std::string(FrameTypeToString(frame.type)));
+    }
+    EXSTREAM_ASSIGN_OR_RETURN(const HelloFrame hello,
+                              HelloFrame::Decode(frame.payload));
+    HelloAckFrame ack;
+    if (hello.protocol_version != kReplProtocolVersion) {
+      ack.accepted = false;
+      ack.message = StrFormat("protocol version %u unsupported (want %u)",
+                              hello.protocol_version, kReplProtocolVersion);
+    } else if (hello.tenant != options_.tenant) {
+      ack.accepted = false;
+      ack.message = "unknown tenant '" + hello.tenant + "'";
+    } else {
+      ack.accepted = true;
+      std::lock_guard<std::mutex> lock(mu_);
+      ack.resume_seq = watermark_;
+    }
+    if (!ack.accepted) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.hellos_rejected;
+    }
+    EXSTREAM_RETURN_NOT_OK(
+        sock->SendAll(EncodeFrame(FrameType::kHelloAck, ack.Encode())));
+    if (!ack.accepted) {
+      return Status::InvalidArgument("session rejected: " + ack.message);
+    }
+    EXSTREAM_LOG(Info) << "replication session from node '" << hello.node_id
+                       << "' (floor " << hello.floor_seq << ", resume "
+                       << ack.resume_seq << ")";
+    *hello_done = true;
+    return Status::OK();
+  }
+
+  switch (frame.type) {
+    case FrameType::kChunk: {
+      EXSTREAM_ASSIGN_OR_RETURN(ChunkFrame chunk,
+                                ChunkFrame::Decode(frame.payload));
+      EXSTREAM_ASSIGN_OR_RETURN(std::vector<Event> events,
+                                DeserializeEvents(chunk.events));
+      if (events.size() != chunk.event_count) {
+        return Status::Corruption(
+            StrFormat("CHUNK %llu declares %u events, payload has %zu",
+                      static_cast<unsigned long long>(chunk.chunk_id),
+                      chunk.event_count, events.size()));
+      }
+      EXSTREAM_RETURN_NOT_OK(
+          ApplyEvents(chunk.first_seq, std::move(events), /*is_chunk=*/true));
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        last_chunk_id_ = std::max(last_chunk_id_, chunk.chunk_id);
+      }
+      return SendAck(sock);
+    }
+    case FrameType::kWalTail: {
+      EXSTREAM_ASSIGN_OR_RETURN(WalTailFrame tail,
+                                WalTailFrame::Decode(frame.payload));
+      EXSTREAM_ASSIGN_OR_RETURN(std::vector<Event> events,
+                                DeserializeEvents(tail.events));
+      if (events.size() != tail.event_count) {
+        return Status::Corruption(
+            StrFormat("WALTAIL declares %u events, payload has %zu",
+                      tail.event_count, events.size()));
+      }
+      EXSTREAM_RETURN_NOT_OK(
+          ApplyEvents(tail.first_seq, std::move(events), /*is_chunk=*/false));
+      return SendAck(sock);
+    }
+    default:
+      return Status::Corruption("unexpected " +
+                                std::string(FrameTypeToString(frame.type)) +
+                                " frame from child");
+  }
+}
+
+Status ReplicationReceiver::ApplyEvents(uint64_t first_seq,
+                                        std::vector<Event> events,
+                                        bool is_chunk) {
+  const uint64_t end_seq = first_seq + events.size();
+  size_t skip = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (first_seq > watermark_) {
+      // A seq jump can only mean the child shed this range during an outage
+      // (the sender never skips otherwise). Record the permanent loss so
+      // parent-side Explains disclose it, and persist it so the watermark
+      // arithmetic survives a parent restart.
+      const uint64_t gap = first_seq - watermark_;
+      gap_total_ += gap;
+      stats_.gap_events += gap;
+      system_->AddExternalShed(gap);
+      EXSTREAM_RETURN_NOT_OK(PersistGapTotal());
+      EXSTREAM_LOG(Warn) << "replication gap: " << gap
+                         << " events shed by the child (seq " << watermark_
+                         << ".." << first_seq << ")";
+      watermark_ = first_seq;
+    }
+    if (end_seq <= watermark_) {
+      stats_.events_deduped += events.size();
+      return Status::OK();  // wholly below the watermark: a retransmit
+    }
+    skip = static_cast<size_t>(watermark_ - first_seq);
+    stats_.events_deduped += skip;
+  }
+  if (skip > 0) {
+    events.erase(events.begin(), events.begin() + static_cast<ptrdiff_t>(skip));
+  }
+  const size_t applied = events.size();
+  // Through the front door: the parent's guard/WAL/engine/archive see the
+  // identical batch stream a single-node system would, in the same order.
+  system_->OnEventBatch(std::move(events));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    watermark_ = end_seq;
+    stats_.events_applied += applied;
+    if (is_chunk) {
+      ++stats_.chunks_applied;
+    } else {
+      ++stats_.tail_frames_applied;
+    }
+  }
+  return Status::OK();
+}
+
+Status ReplicationReceiver::SendAck(TcpSocket* sock) {
+  // The ACK is a durability promise: fsync the parent WAL first so a parent
+  // crash after the ACK cannot lose what the child now believes is safe.
+  if (options_.sync_wal_before_ack) {
+    EXSTREAM_RETURN_NOT_OK(system_->SyncWal());
+  }
+  AckFrame ack;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ack.ack_seq = watermark_;
+    ack.chunk_id = last_chunk_id_;
+    ++stats_.acks_sent;
+  }
+  return sock->SendAll(EncodeFrame(FrameType::kAck, ack.Encode()));
+}
+
+}  // namespace exstream

@@ -1,0 +1,123 @@
+// ReplicationReceiver: the parent half of parent/child replication.
+//
+// Listens on loopback TCP, accepts one child session at a time, decodes EXRP
+// frames (net/frame.h), and applies replicated events to the parent
+// XStreamSystem through its ordinary OnEventBatch path — so the parent's
+// engine state, archive chunks (spill v3 and all), and Explain output are
+// bit-identical to a single-node system fed the same stream.
+//
+// Exactly-once without a chunk-id ledger: the receiver keeps a single seq
+// *watermark* — the next event it has not applied. Everything below it is
+// discarded (CHUNK retransmits after a reconnect, the WALTAIL/CHUNK overlap),
+// everything at it is applied and advances it, and a frame starting above it
+// is a *gap*: events the child shed during an outage. Gaps are counted,
+// folded into the parent's DegradationReport (XStreamSystem::AddExternalShed,
+// so a parent-side Explain discloses the loss), and persisted in a tiny state
+// file so the watermark stays honest across parent restarts even though the
+// parent's own WAL never saw the missing seqs.
+//
+// ACKs carry the watermark after the parent's WAL has fsynced the applied
+// events (sync_wal_before_ack), so a child treating ACK as "durable at
+// parent" survives a parent crash: on restart the watermark is rebuilt as
+// (recovered parent seq + persisted gap total) and the HELLOACK tells the
+// child exactly where to resume.
+//
+// The parent system should run with queue_capacity == 0 (synchronous apply):
+// the ACK must not race ahead of the apply.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "event/event.h"
+#include "net/frame.h"
+#include "net/socket.h"
+
+namespace exstream {
+
+class XStreamSystem;
+
+struct ReplicationReceiverOptions {
+  /// Listening port on 127.0.0.1; 0 picks an ephemeral port (see port()).
+  uint16_t port = 0;
+  /// HELLOs for any other tenant are rejected.
+  std::string tenant = "default";
+  /// Per-recv idle timeout inside a session; bounds Stop() latency.
+  int io_timeout_ms = 2000;
+  /// If set, the cumulative gap total (child-shed events) is persisted here
+  /// so the resume watermark survives parent restarts.
+  std::optional<std::string> state_path;
+  /// Fsync the parent WAL before each ACK, making the ACK a durability
+  /// promise rather than a memory promise. No-op when the parent has no WAL.
+  bool sync_wal_before_ack = true;
+};
+
+class ReplicationReceiver {
+ public:
+  /// `system` must outlive the receiver and should be fully recovered
+  /// (Recover()) before Start(), so the initial watermark is correct.
+  ReplicationReceiver(XStreamSystem* system, ReplicationReceiverOptions options);
+  ~ReplicationReceiver();
+
+  ReplicationReceiver(const ReplicationReceiver&) = delete;
+  ReplicationReceiver& operator=(const ReplicationReceiver&) = delete;
+
+  /// Binds the listener and starts the accept thread.
+  Status Start();
+  void Stop();
+
+  /// Actual listening port (after an ephemeral bind).
+  uint16_t port() const { return port_; }
+
+  /// Next seq not yet durably applied (child seq space).
+  uint64_t watermark() const;
+
+  struct Stats {
+    uint64_t sessions = 0;
+    uint64_t hellos_rejected = 0;
+    uint64_t chunks_applied = 0;      ///< CHUNK frames with >= 1 fresh event
+    uint64_t tail_frames_applied = 0; ///< WALTAIL frames with >= 1 fresh event
+    uint64_t events_applied = 0;
+    uint64_t events_deduped = 0;      ///< below-watermark events discarded
+    uint64_t gap_events = 0;          ///< child-shed events (watermark jumps)
+    uint64_t acks_sent = 0;
+    uint64_t frame_errors = 0;        ///< sessions ended by bad frames
+  };
+  Stats stats() const;
+
+ private:
+  void AcceptLoop();
+  void ServeSession(TcpSocket sock);
+  /// Handles one decoded frame; a returned error ends the session.
+  Status HandleFrame(TcpSocket* sock, const Frame& frame, bool* hello_done);
+  /// Watermark-dedupes and applies one event run starting at `first_seq`.
+  /// `is_chunk` attributes the frame in stats (CHUNK vs WALTAIL).
+  Status ApplyEvents(uint64_t first_seq, std::vector<Event> events,
+                     bool is_chunk);
+  Status SendAck(TcpSocket* sock);
+  Status LoadGapTotal();
+  Status PersistGapTotal();
+
+  XStreamSystem* system_;  // not owned
+  const ReplicationReceiverOptions options_;
+  TcpListener listener_;
+  uint16_t port_ = 0;
+
+  mutable std::mutex mu_;
+  uint64_t watermark_ = 0;
+  uint64_t gap_total_ = 0;      ///< lifetime child-shed events (persisted)
+  uint64_t last_chunk_id_ = 0;  ///< highest applied chunk id, echoed in ACKs
+  Stats stats_;
+
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+}  // namespace exstream

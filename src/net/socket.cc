@@ -1,0 +1,311 @@
+#include "net/socket.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/fault_injection.h"
+#include "common/strings.h"
+
+namespace exstream {
+
+namespace {
+
+Status ErrnoError(const std::string& what, const std::string& peer) {
+  return Status::IOError(
+      StrFormat("%s %s: %s", what.c_str(), peer.c_str(), strerror(errno)));
+}
+
+/// Waits for `events` (POLLIN/POLLOUT) on fd; false on timeout.
+Result<bool> PollFor(int fd, short events, int timeout_ms) {
+  struct pollfd pfd;
+  pfd.fd = fd;
+  pfd.events = events;
+  pfd.revents = 0;
+  for (;;) {
+    const int rc = poll(&pfd, 1, timeout_ms);
+    if (rc > 0) return true;
+    if (rc == 0) return false;
+    if (errno == EINTR) continue;
+    return Status::IOError(StrFormat("poll failed: %s", strerror(errno)));
+  }
+}
+
+}  // namespace
+
+TcpSocket::TcpSocket(TcpSocket&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), peer_(std::move(other.peer_)) {}
+
+TcpSocket& TcpSocket::operator=(TcpSocket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+    peer_ = std::move(other.peer_);
+  }
+  return *this;
+}
+
+void TcpSocket::Close() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<TcpSocket> TcpSocket::Connect(const std::string& host, uint16_t port,
+                                     int timeout_ms) {
+  const std::string peer = StrFormat("%s:%u", host.c_str(), unsigned{port});
+  if (auto fault = FaultInjector::Global().Intercept(FaultOp::kConnect,
+                                                     "repl-connect", peer)) {
+    if (fault->mode == FaultMode::kDelay) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(fault->delay_ms));
+    } else {
+      return Status::IOError("injected connect failure to " + peer);
+    }
+  }
+
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("not an IPv4 address: " + host);
+  }
+
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return ErrnoError("cannot create socket for", peer);
+
+  // Non-blocking connect so the timeout is enforceable.
+  const int flags = fcntl(fd, F_GETFL, 0);
+  fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  const int rc =
+      connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) {
+    const Status st = ErrnoError("cannot connect to", peer);
+    close(fd);
+    return st;
+  }
+  if (rc != 0) {
+    auto ready = PollFor(fd, POLLOUT, timeout_ms);
+    if (!ready.ok() || !*ready) {
+      close(fd);
+      if (!ready.ok()) return ready.status();
+      return Status::IOError("connect to " + peer + " timed out");
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+      close(fd);
+      return Status::IOError(
+          StrFormat("cannot connect to %s: %s", peer.c_str(), strerror(err)));
+    }
+  }
+  fcntl(fd, F_SETFL, flags);  // back to blocking
+
+  const int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return TcpSocket(fd, peer);
+}
+
+Status TcpSocket::SendAll(std::string_view data) {
+  if (fd_ < 0) return Status::IOError("send on closed socket to " + peer_);
+
+  std::string mutated;  // only allocated when a fault rewrites the bytes
+  bool close_after = false;
+  if (auto fault =
+          FaultInjector::Global().Intercept(FaultOp::kSend, "repl-send", peer_)) {
+    switch (fault->mode) {
+      case FaultMode::kFailOpen:
+      case FaultMode::kNoSpace:
+        return Status::IOError("injected send failure to " + peer_);
+      case FaultMode::kReset:
+        Close();
+        return Status::IOError("injected connection reset by " + peer_);
+      case FaultMode::kTruncate:
+        // Deliver a prefix, then drop the link: the classic mid-frame cut.
+        data = data.substr(0, std::min(data.size(), fault->truncate_to));
+        close_after = true;
+        break;
+      case FaultMode::kCorruptBytes: {
+        mutated.assign(data);
+        if (!mutated.empty()) {
+          const size_t off =
+              fault->corrupt_offset == SIZE_MAX
+                  ? mutated.size() / 2
+                  : std::min(fault->corrupt_offset, mutated.size() - 1);
+          mutated[off] = static_cast<char>(mutated[off] ^ 0x5A);
+        }
+        data = mutated;
+        break;
+      }
+      case FaultMode::kDelay:
+        std::this_thread::sleep_for(std::chrono::milliseconds(fault->delay_ms));
+        break;
+    }
+  }
+
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        send(fd_, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoError("send failed to", peer_);
+    }
+    sent += static_cast<size_t>(n);
+  }
+  if (close_after) {
+    Close();
+    return Status::IOError("injected mid-frame truncation to " + peer_);
+  }
+  return Status::OK();
+}
+
+Result<size_t> TcpSocket::Recv(char* buf, size_t len, int timeout_ms) {
+  if (fd_ < 0) return Status::IOError("recv on closed socket from " + peer_);
+
+  auto fault =
+      FaultInjector::Global().Intercept(FaultOp::kRecv, "repl-recv", peer_);
+  if (fault.has_value()) {
+    switch (fault->mode) {
+      case FaultMode::kFailOpen:
+      case FaultMode::kNoSpace:
+        return Status::IOError("injected recv failure from " + peer_);
+      case FaultMode::kReset:
+        Close();
+        return Status::IOError("injected connection reset by " + peer_);
+      case FaultMode::kDelay:
+        std::this_thread::sleep_for(std::chrono::milliseconds(fault->delay_ms));
+        break;
+      case FaultMode::kTruncate:
+      case FaultMode::kCorruptBytes:
+        break;  // applied to the received bytes below
+    }
+  }
+
+  EXSTREAM_ASSIGN_OR_RETURN(const bool readable,
+                            PollFor(fd_, POLLIN, timeout_ms));
+  if (!readable) {
+    return Status::DeadlineExceeded("recv from " + peer_ + " timed out");
+  }
+
+  for (;;) {
+    const ssize_t n = recv(fd_, buf, len, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoError("recv failed from", peer_);
+    }
+    size_t got = static_cast<size_t>(n);
+    if (fault.has_value() && got > 0) {
+      if (fault->mode == FaultMode::kTruncate) {
+        got = std::min(got, fault->truncate_to);
+        // The rest of the stream is gone for this socket.
+        const size_t keep = got;
+        Close();
+        return keep;
+      }
+      if (fault->mode == FaultMode::kCorruptBytes) {
+        const size_t off = fault->corrupt_offset == SIZE_MAX
+                               ? got / 2
+                               : std::min(fault->corrupt_offset, got - 1);
+        buf[off] = static_cast<char>(buf[off] ^ 0x5A);
+      }
+    }
+    return got;
+  }
+}
+
+TcpListener::TcpListener(TcpListener&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), port_(other.port_) {}
+
+TcpListener& TcpListener::operator=(TcpListener&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+    port_ = other.port_;
+  }
+  return *this;
+}
+
+void TcpListener::Close() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<TcpListener> TcpListener::Listen(uint16_t port) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(
+        StrFormat("cannot create listener socket: %s", strerror(errno)));
+  }
+  const int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status st = Status::IOError(
+        StrFormat("cannot bind 127.0.0.1:%u: %s", unsigned{port},
+                  strerror(errno)));
+    close(fd);
+    return st;
+  }
+  if (listen(fd, 8) != 0) {
+    const Status st = Status::IOError(
+        StrFormat("cannot listen on 127.0.0.1:%u: %s", unsigned{port},
+                  strerror(errno)));
+    close(fd);
+    return st;
+  }
+  socklen_t len = sizeof(addr);
+  if (getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr), &len) != 0) {
+    const Status st =
+        Status::IOError(StrFormat("getsockname failed: %s", strerror(errno)));
+    close(fd);
+    return st;
+  }
+  TcpListener listener;
+  listener.fd_ = fd;
+  listener.port_ = ntohs(addr.sin_port);
+  return listener;
+}
+
+Result<TcpSocket> TcpListener::Accept(int timeout_ms) {
+  if (fd_ < 0) return Status::IOError("accept on closed listener");
+  EXSTREAM_ASSIGN_OR_RETURN(const bool ready,
+                            PollFor(fd_, POLLIN, timeout_ms));
+  if (!ready) return Status::DeadlineExceeded("accept timed out");
+
+  struct sockaddr_in addr;
+  socklen_t len = sizeof(addr);
+  int cfd;
+  for (;;) {
+    cfd = accept(fd_, reinterpret_cast<struct sockaddr*>(&addr), &len);
+    if (cfd >= 0) break;
+    if (errno == EINTR) continue;
+    return Status::IOError(StrFormat("accept failed: %s", strerror(errno)));
+  }
+  char ip[INET_ADDRSTRLEN] = "?";
+  inet_ntop(AF_INET, &addr.sin_addr, ip, sizeof(ip));
+  const int one = 1;
+  setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return TcpSocket(cfd, StrFormat("%s:%u", ip, unsigned{ntohs(addr.sin_port)}));
+}
+
+}  // namespace exstream

@@ -1,0 +1,96 @@
+// Thin POSIX TCP wrappers for the replication link (loopback or LAN).
+//
+// TcpSocket/TcpListener exist so the replication code above them never
+// touches a raw fd, and so every socket operation passes through the global
+// FaultInjector at a named site:
+//
+//   "repl-connect" (FaultOp::kConnect)  — connect() from the sender
+//   "repl-send"    (FaultOp::kSend)     — every SendAll() on either side
+//   "repl-recv"    (FaultOp::kRecv)     — every Recv() on either side
+//
+// The `path` passed to the injector is the peer label ("host:port"), so a
+// plan's path_substring can target one link. Injected modes map to real
+// network failures: kFailOpen = connect/send/recv error, kReset = peer reset
+// (the fd is closed so the far end sees EOF/RST), kTruncate = the wire cuts
+// out mid-frame (a prefix is delivered, then the fd closes), kCorruptBytes =
+// a flipped bit in flight (exercises the frame CRC), kDelay = a slow link.
+//
+// Blocking I/O with poll()-based timeouts; SIGPIPE is avoided via
+// MSG_NOSIGNAL. Sockets are move-only fd owners.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace exstream {
+
+/// \brief A connected TCP stream (move-only fd owner).
+class TcpSocket {
+ public:
+  TcpSocket() = default;
+  ~TcpSocket() { Close(); }
+  TcpSocket(TcpSocket&& other) noexcept;
+  TcpSocket& operator=(TcpSocket&& other) noexcept;
+  TcpSocket(const TcpSocket&) = delete;
+  TcpSocket& operator=(const TcpSocket&) = delete;
+
+  /// Connects to host:port, waiting at most `timeout_ms`.
+  static Result<TcpSocket> Connect(const std::string& host, uint16_t port,
+                                   int timeout_ms);
+
+  /// Writes all of `data` (looping over partial sends). An injected kReset /
+  /// kTruncate closes the socket, so later calls fail fast on valid().
+  Status SendAll(std::string_view data);
+
+  /// Reads up to `len` bytes; returns 0 at orderly EOF. Waits at most
+  /// `timeout_ms` for readability (-1 = block forever); a timeout is a
+  /// DeadlineExceeded status (distinguishable from real link errors, so
+  /// pollers can keep the connection).
+  Result<size_t> Recv(char* buf, size_t len, int timeout_ms);
+
+  void Close();
+  bool valid() const { return fd_ >= 0; }
+
+  /// Peer label ("host:port") used in error messages and injector paths.
+  const std::string& peer() const { return peer_; }
+
+ private:
+  TcpSocket(int fd, std::string peer) : fd_(fd), peer_(std::move(peer)) {}
+  friend class TcpListener;
+
+  int fd_ = -1;
+  std::string peer_;
+};
+
+/// \brief A listening TCP socket bound to 127.0.0.1.
+class TcpListener {
+ public:
+  TcpListener() = default;
+  ~TcpListener() { Close(); }
+  TcpListener(TcpListener&& other) noexcept;
+  TcpListener& operator=(TcpListener&& other) noexcept;
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// Binds and listens on 127.0.0.1:`port`; port 0 picks an ephemeral port
+  /// (read it back from port()).
+  static Result<TcpListener> Listen(uint16_t port);
+
+  /// Accepts one connection, waiting at most `timeout_ms` (-1 = forever).
+  /// A timeout is a DeadlineExceeded status.
+  Result<TcpSocket> Accept(int timeout_ms);
+
+  uint16_t port() const { return port_; }
+  void Close();
+  bool valid() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+}  // namespace exstream

@@ -48,6 +48,10 @@ XStreamSystem::XStreamSystem(const EventTypeRegistry* registry, XStreamConfig co
                           << wal.status().ToString();
     }
   }
+  if (config_.replication.has_value()) {
+    repl_sender_ = std::make_unique<ReplicationSender>(*config_.replication);
+    repl_sender_->Start();
+  }
   if (config_.overload.queue_capacity > 0) {
     worker_ = std::thread(&XStreamSystem::WorkerLoop, this);
   }
@@ -63,6 +67,10 @@ XStreamSystem::~XStreamSystem() {
     queue_push_cv_.notify_all();
     worker_.join();
   }
+  // After the worker: the last applied batches must reach the sender's spool
+  // before its thread stops. Unacked data is not lost — the WAL keeps it
+  // (truncate pin) for the next run's resume.
+  if (repl_sender_ != nullptr) repl_sender_->Stop();
 }
 
 Result<QueryId> XStreamSystem::AddQuery(std::string_view text, std::string name) {
@@ -179,12 +187,22 @@ void XStreamSystem::ApplyBatch(EventBatch batch) {
   // validation of the next batch. Appending after the queue also means shed
   // batches never reach the log, so replay cannot resurrect events the
   // overload policy dropped.
+  const uint64_t first_seq = next_seq_;
+  // Replication follows durability: only batches the WAL holds (or, without
+  // a WAL, every applied batch) feed the sender, so the replicated seq
+  // stream matches what crash recovery can rebuild. During WAL replay the
+  // sender is fed directly by Recover() with the original seqs.
+  bool replicate =
+      repl_sender_ != nullptr && !replaying_.load(std::memory_order_relaxed);
   if (wal_ != nullptr && !replaying_.load(std::memory_order_relaxed)) {
     const Status st = wal_->Append(next_seq_, batch);
     if (!st.ok()) {
       EXSTREAM_LOG(Error) << "WAL append failed (events stay in memory but "
                              "will not survive a crash): "
                           << st.ToString();
+      // A batch the log lost must not replicate either: the next successful
+      // append reuses these sequence numbers for different events.
+      replicate = false;
     }
     // Mirror the WAL's own cursor: a failed append does not advance it, so
     // the on-disk stream stays contiguous and replayable.
@@ -192,6 +210,7 @@ void XStreamSystem::ApplyBatch(EventBatch batch) {
   } else {
     next_seq_ += batch.size();
   }
+  if (replicate) repl_sender_->OnBatch(first_seq, batch);
   Stopwatch timer;
   const size_t n = batch.size();
   engine_.IngestBatch(batch);
@@ -252,7 +271,12 @@ Status XStreamSystem::Checkpoint(const std::string& dir) {
   if (wal_ != nullptr) {
     // Only after the manifest is durably in place may the WAL drop segments
     // it covers; a crash anywhere above leaves the previous checkpoint plus
-    // the full log, which recovery handles.
+    // the full log, which recovery handles. With replication, segments the
+    // parent has not acked survive even though the checkpoint covers them —
+    // they are the resume source after a child crash.
+    if (repl_sender_ != nullptr) {
+      wal_->SetTruncatePin(repl_sender_->pin_seq());
+    }
     EXSTREAM_RETURN_NOT_OK(wal_->Sync());
     EXSTREAM_RETURN_NOT_OK(wal_->TruncateThrough(next_seq_).status());
   }
@@ -320,11 +344,26 @@ Result<XStreamSystem::RecoveryReport> XStreamSystem::Recover(
     // making the first post-recovery append fail and a second crash replay
     // the same events twice).
     replaying_.store(true, std::memory_order_relaxed);
-    auto replay =
-        WriteAheadLog::Replay(*config_.durability.wal_dir, from_seq,
-                              [this](EventBatch batch) {
-                                ApplyBatch(std::move(batch));
-                              });
+    // With replication, replay from the WAL's oldest surviving record — not
+    // just the checkpoint tail. Segments below the checkpoint survive only
+    // because the truncate pin held them back for an unacked parent, and
+    // they rebuild the sender's spool/pending state here. The engine/archive
+    // still apply only the tail past the checkpoint.
+    const uint64_t replay_from = repl_sender_ != nullptr ? 0 : from_seq;
+    auto replay = WriteAheadLog::ReplayWithSeq(
+        *config_.durability.wal_dir, replay_from,
+        [this, from_seq](uint64_t first_seq, EventBatch batch) {
+          if (repl_sender_ != nullptr) {
+            repl_sender_->OnBatch(first_seq, batch);
+          }
+          if (first_seq + batch.size() <= from_seq) return;  // checkpointed
+          if (first_seq < from_seq) {
+            batch.erase(batch.begin(),
+                        batch.begin() +
+                            static_cast<ptrdiff_t>(from_seq - first_seq));
+          }
+          ApplyBatch(std::move(batch));
+        });
     replaying_.store(false, std::memory_order_relaxed);
     EXSTREAM_RETURN_NOT_OK(replay.status());
     rep.wal = std::move(*replay);
@@ -422,6 +461,12 @@ XStreamSystem::FaultStats XStreamSystem::fault_stats() const {
     const WriteAheadLog::Stats wal_stats = wal_->stats();
     s.wal_append_failures = wal_stats.append_failures;
     s.wal_sync_failures = wal_stats.sync_failures;
+  }
+  if (repl_sender_ != nullptr) {
+    const ReplicationSender::Stats repl = repl_sender_->stats();
+    s.repl_shed_events = repl.shed_events;
+    s.repl_shed_chunks = repl.shed_chunks;
+    s.repl_reconnects = repl.reconnects;
   }
   return s;
 }

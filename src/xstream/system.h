@@ -41,6 +41,7 @@
 #include "explain/partition_table.h"
 #include "event/stream.h"
 #include "io/wal.h"
+#include "net/replication_sender.h"
 #include "xstream/ingest_guard.h"
 
 namespace exstream {
@@ -87,6 +88,9 @@ struct XStreamConfig {
   DurabilityOptions durability;
   /// Bounded-queue overload protection (off unless queue_capacity > 0).
   OverloadOptions overload;
+  /// Parent/child replication: when set, every WAL-durable batch also streams
+  /// to the parent node at replication->host:port (net/replication_sender.h).
+  std::optional<ReplicationSenderOptions> replication;
   /// Latency histogram range (seconds).
   double latency_histogram_max = 0.1;
 };
@@ -152,8 +156,26 @@ class XStreamSystem : public EventSink {
   /// WAL handle for stats inspection; nullptr when durability is off.
   const WriteAheadLog* wal() const { return wal_.get(); }
 
+  /// Fsyncs the WAL now (no-op without one). The replication receiver calls
+  /// this before acking so an ACK is a durability promise.
+  Status SyncWal() { return wal_ != nullptr ? wal_->Sync() : Status::OK(); }
+
+  /// Replication sender handle for stats/drain; nullptr when replication is
+  /// off.
+  ReplicationSender* replication() { return repl_sender_.get(); }
+
+  /// Sequence number of the next event to release — the count of events
+  /// admitted so far (and, with a WAL, the WAL's cursor).
+  uint64_t next_seq() const { return next_seq_; }
+
   /// Valid events dropped by queue shedding so far.
   size_t shed_events() const { return shed_events_.load(); }
+
+  /// \brief Records events lost *upstream* of this system — a child node
+  /// shed them before they could replicate here. They join the shed count so
+  /// every later Explain discloses the incomplete coverage in its
+  /// DegradationReport, exactly like locally shed events.
+  void AddExternalShed(size_t events) { shed_events_ += events; }
 
   /// Rebuilds partition-table records from a query's match table.
   Status IndexPartitions(QueryId query, std::map<std::string, std::string> dimensions);
@@ -200,6 +222,11 @@ class XStreamSystem : public EventSink {
     size_t shed_batches = 0;         ///< batches those events arrived in
     size_t wal_append_failures = 0;  ///< WAL appends that failed (I/O)
     size_t wal_sync_failures = 0;    ///< fsyncs that failed
+    size_t repl_shed_events = 0;     ///< events dropped by the bounded
+                                     ///< replication queue (parent outage)
+    size_t repl_shed_chunks = 0;     ///< replication chunks those events filled
+    size_t repl_reconnects = 0;      ///< replication sessions torn down by
+                                     ///< link faults
   };
   FaultStats fault_stats() const;
 
@@ -221,6 +248,10 @@ class XStreamSystem : public EventSink {
   PartitionTable partitions_;
   IngestGuard guard_;
   std::unique_ptr<WriteAheadLog> wal_;
+  /// Child half of parent/child replication (null when off). Fed by
+  /// ApplyBatch with WAL-durable batches; its pin_seq() clamps WAL
+  /// truncation at Checkpoint time.
+  std::unique_ptr<ReplicationSender> repl_sender_;
   /// True while Recover() replays the WAL tail: replayed batches are already
   /// on disk, so ApplyBatch must not re-append them to the live log (that
   /// would duplicate the tail and desync the sequence cursor).

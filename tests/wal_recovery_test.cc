@@ -484,6 +484,98 @@ TEST(WalRecoveryTest, FlusherSyncTruncateRace) {
   EXPECT_EQ((*wal)->next_seq(), seq);
 }
 
+// Kill point: a crash *during* TruncateThrough while a replication pin holds
+// segments. The pin clamps truncation (segments at or past it are the only
+// copy a replication resume can serve from), deletion is oldest-first and
+// stops on the first failure, so however far the truncation got before dying
+// the surviving log is still a contiguous prefix-trimmed stream: recovery
+// must replay every sequence from some start <= pin through the end exactly
+// once — the pinned tail is neither lost nor double-replayed.
+TEST(WalRecoveryTest, TruncateCrashWithReplicationPin) {
+  const Workload w = MakeHadoopWorkload();
+  const std::string wal_dir = MakeTempDir("wal");
+  constexpr uint64_t kPin = 200;
+  constexpr size_t kTotal = 400;
+  ASSERT_GE(w.events.size(), kTotal);
+  {
+    WalOptions opts;
+    opts.dir = wal_dir;
+    opts.segment_bytes = 512;  // many small segments below and above the pin
+    opts.fsync = WalFsyncPolicy::kNone;
+    auto wal = WriteAheadLog::Open(std::move(opts));
+    ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+    for (size_t i = 0; i < kTotal; i += 4) {
+      const EventBatch b(w.events.begin() + i, w.events.begin() + i + 4);
+      ASSERT_TRUE((*wal)->Append(i, b).ok());
+    }
+    (*wal)->SetTruncatePin(kPin);
+
+    // The checkpoint covers everything, but the pin clamps the truncation to
+    // kPin — and the unlink of the second disposable segment dies mid-loop.
+    FaultPlan plan;
+    plan.mode = FaultMode::kFailOpen;
+    plan.op = FaultOp::kDelete;
+    plan.site = "file-delete";
+    plan.path_substring = ".seg";
+    plan.skip = 1;  // first segment deletes fine, the second does not
+    plan.max_hits = 1;
+    FaultInjector::Global().Arm(plan);
+    const auto deleted = (*wal)->TruncateThrough(kTotal);
+    const size_t hits = FaultInjector::Global().hits();
+    FaultInjector::Global().Disarm();
+    EXPECT_FALSE(deleted.ok()) << "the injected unlink failure must surface";
+    EXPECT_EQ(hits, 1u);
+  }  // crash mid-truncation
+
+  // Recovery sees a contiguous stream: each replayed batch continues exactly
+  // where the previous one ended (no holes, no repeats), starting at or
+  // below the pin and reaching the end of the log.
+  uint64_t replay_start = UINT64_MAX;
+  uint64_t next = UINT64_MAX;
+  const auto stats = WriteAheadLog::ReplayWithSeq(
+      wal_dir, 0, [&](uint64_t first_seq, EventBatch batch) {
+        if (replay_start == UINT64_MAX) {
+          replay_start = first_seq;
+        } else {
+          EXPECT_EQ(first_seq, next) << "hole or repeat in the recovered WAL";
+        }
+        next = first_seq + batch.size();
+      });
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_LE(replay_start, kPin) << "the pinned tail lost its head";
+  EXPECT_EQ(next, kTotal);
+  EXPECT_EQ(stats->next_seq, kTotal);
+
+  // Reopening resumes the sequence, a still-pinned truncation keeps the tail
+  // again, and clearing the pin finally reclaims the log.
+  WalOptions opts;
+  opts.dir = wal_dir;
+  opts.segment_bytes = 512;
+  opts.fsync = WalFsyncPolicy::kNone;
+  auto wal = WriteAheadLog::Open(std::move(opts));
+  ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+  ASSERT_EQ((*wal)->next_seq(), kTotal);
+  (*wal)->SetTruncatePin(kPin);
+  ASSERT_TRUE((*wal)->TruncateThrough(kTotal).ok());
+  uint64_t pinned_start = UINT64_MAX;
+  const auto pinned = WriteAheadLog::ReplayWithSeq(
+      wal_dir, 0, [&](uint64_t first_seq, EventBatch) {
+        pinned_start = std::min(pinned_start, first_seq);
+      });
+  ASSERT_TRUE(pinned.ok()) << pinned.status().ToString();
+  EXPECT_LE(pinned_start, kPin);
+  EXPECT_EQ(pinned->next_seq, kTotal);
+  (*wal)->ClearTruncatePin();
+  ASSERT_TRUE((*wal)->TruncateThrough(kTotal).ok());
+  const auto files = ListDirFiles(wal_dir);
+  ASSERT_TRUE(files.ok()) << files.status().ToString();
+  size_t segs = 0;
+  for (const std::string& f : *files) {
+    if (f.size() > 4 && f.compare(f.size() - 4, 4, ".seg") == 0) ++segs;
+  }
+  EXPECT_EQ(segs, 1u) << "an unpinned truncation keeps only the last segment";
+}
+
 // Recover must refuse a system that already ingested events, and a system
 // whose queries differ from the manifest's.
 TEST(WalRecoveryTest, RecoverGuardsFreshnessAndQueryMatch) {
