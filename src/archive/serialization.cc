@@ -11,9 +11,11 @@
 
 #include <unistd.h>
 
+#include "archive/compress.h"
 #include "common/crc32.h"
 #include "common/fault_injection.h"
 #include "common/strings.h"
+#include "io/file_util.h"
 
 namespace exstream {
 
@@ -22,6 +24,7 @@ namespace {
 constexpr uint32_t kMagicV1 = 0x45585331;  // "EXS1"
 constexpr uint32_t kMagicV2 = 0x45585332;  // "EXS2"
 constexpr uint32_t kMagicV3 = 0x45585333;  // "EXS3"
+constexpr uint32_t kMagicV4 = 0x45585334;  // "EXS4"
 
 // Smallest possible event record: i64 ts + u32 type + u16 value count.
 constexpr size_t kMinEventBytes = sizeof(int64_t) + sizeof(uint32_t) + sizeof(uint16_t);
@@ -285,6 +288,64 @@ std::string SerializeColumnarPayload(const ChunkColumns& columns) {
   return out;
 }
 
+// Rebuilds the per-row numeric view from the dense vectors and cross-checks
+// the tag census — shared by the v3 and v4 column decoders, so both formats
+// reject blocks whose dense vectors disagree with their tags.
+Status FinalizeAttributeColumn(AttributeColumn* col, const std::vector<double>& dbls,
+                               size_t rows, size_t col_index) {
+  col->nums.reserve(rows);
+  size_t int_cursor = 0;
+  size_t dbl_cursor = 0;
+  size_t str_cursor = 0;
+  for (size_t i = 0; i < rows; ++i) {
+    switch (col->tags[i]) {
+      case static_cast<uint8_t>(ValueType::kInt64):
+        if (int_cursor >= col->ints.size()) {
+          return Status::Corruption(
+              StrFormat("column %zu: tag census exceeds %zu stored ints",
+                        col_index, col->ints.size()));
+        }
+        col->nums.push_back(static_cast<double>(col->ints[int_cursor++]));
+        break;
+      case static_cast<uint8_t>(ValueType::kDouble):
+        if (dbl_cursor >= dbls.size()) {
+          return Status::Corruption(
+              StrFormat("column %zu: tag census exceeds %zu stored doubles",
+                        col_index, dbls.size()));
+        }
+        col->nums.push_back(dbls[dbl_cursor++]);
+        break;
+      case static_cast<uint8_t>(ValueType::kString):
+        if (str_cursor >= col->str_ids.size()) {
+          return Status::Corruption(
+              StrFormat("column %zu: tag census exceeds %zu stored strings",
+                        col_index, col->str_ids.size()));
+        }
+        if (col->str_ids[str_cursor] >= col->dict.size()) {
+          return Status::Corruption(
+              StrFormat("column %zu: string id %u outside dictionary of %zu",
+                        col_index, col->str_ids[str_cursor], col->dict.size()));
+        }
+        ++str_cursor;
+        col->nums.push_back(std::numeric_limits<double>::quiet_NaN());
+        break;
+      case kMissingValueTag:
+        col->nums.push_back(std::numeric_limits<double>::quiet_NaN());
+        break;
+      default:
+        return Status::Corruption(StrFormat("column %zu: bad value tag %u at row %zu",
+                                            col_index, col->tags[i], i));
+    }
+  }
+  if (int_cursor != col->ints.size() || dbl_cursor != dbls.size() ||
+      str_cursor != col->str_ids.size()) {
+    return Status::Corruption(
+        StrFormat("column %zu: dense vectors longer than their tag census",
+                  col_index));
+  }
+  return Status::OK();
+}
+
 Result<AttributeColumn> ParseColumnBlock(std::string_view payload, size_t rows,
                                          size_t col_index) {
   Reader r(payload);
@@ -339,98 +400,155 @@ Result<AttributeColumn> ParseColumnBlock(std::string_view payload, size_t rows,
     return Status::Corruption(StrFormat("column %zu: %zu trailing bytes",
                                         col_index, r.remaining()));
   }
+  EXSTREAM_RETURN_NOT_OK(FinalizeAttributeColumn(&col, dbls, rows, col_index));
+  return col;
+}
 
-  // Rebuild the per-row numeric view and cross-check the tag census against
-  // the dense vectors — a mismatch means the blocks disagree.
-  col.nums.reserve(rows);
-  size_t int_cursor = 0;
-  size_t dbl_cursor = 0;
-  size_t str_cursor = 0;
-  for (size_t i = 0; i < rows; ++i) {
-    switch (col.tags[i]) {
-      case static_cast<uint8_t>(ValueType::kInt64):
-        if (int_cursor >= col.ints.size()) {
-          return Status::Corruption(
-              StrFormat("column %zu: tag census exceeds %zu stored ints",
-                        col_index, col.ints.size()));
-        }
-        col.nums.push_back(static_cast<double>(col.ints[int_cursor++]));
-        break;
-      case static_cast<uint8_t>(ValueType::kDouble):
-        if (dbl_cursor >= dbls.size()) {
-          return Status::Corruption(
-              StrFormat("column %zu: tag census exceeds %zu stored doubles",
-                        col_index, dbls.size()));
-        }
-        col.nums.push_back(dbls[dbl_cursor++]);
-        break;
-      case static_cast<uint8_t>(ValueType::kString):
-        if (str_cursor >= col.str_ids.size()) {
-          return Status::Corruption(
-              StrFormat("column %zu: tag census exceeds %zu stored strings",
-                        col_index, col.str_ids.size()));
-        }
-        if (col.str_ids[str_cursor] >= col.dict.size()) {
-          return Status::Corruption(
-              StrFormat("column %zu: string id %u outside dictionary of %zu",
-                        col_index, col.str_ids[str_cursor], col.dict.size()));
-        }
-        ++str_cursor;
-        col.nums.push_back(std::numeric_limits<double>::quiet_NaN());
-        break;
-      case kMissingValueTag:
-        col.nums.push_back(std::numeric_limits<double>::quiet_NaN());
-        break;
-      default:
-        return Status::Corruption(StrFormat("column %zu: bad value tag %u at row %zu",
-                                            col_index, col.tags[i], i));
+// --- v4: compressed columnar layout (same block framing as v3) ---
+
+std::string SerializeCompressedPayload(const ChunkColumns& columns) {
+  std::string out;
+  PutPod<uint32_t>(&out, kMagicV4);
+  PutPod<uint32_t>(&out, static_cast<uint32_t>(columns.rows()));
+  PutPod<uint32_t>(&out, columns.type());
+  PutPod<uint16_t>(&out, static_cast<uint16_t>(columns.num_columns()));
+
+  std::string block;
+  EncodeTimestampsDoD(columns.ts(), &block);
+  PutBlock(&out, block);
+
+  for (const AttributeColumn& col : columns.attrs()) {
+    block.clear();
+    PutU8(&block, static_cast<uint8_t>(col.declared));
+    EncodeTagsRle(col.tags, &block);
+    PutVarint(&block, col.ints.size());
+    EncodeInts(col.ints.data(), col.ints.size(), &block);
+    // Dense doubles: the double-tagged rows' numeric view, in row order.
+    std::vector<double> dbls;
+    for (size_t i = 0; i < col.tags.size(); ++i) {
+      if (col.tags[i] == static_cast<uint8_t>(ValueType::kDouble)) {
+        dbls.push_back(col.nums[i]);
+      }
     }
+    PutVarint(&block, dbls.size());
+    EncodeDoubles(dbls.data(), dbls.size(), &block);
+    PutVarint(&block, col.str_ids.size());
+    EncodeU32s(col.str_ids.data(), col.str_ids.size(), &block);
+    PutVarint(&block, col.dict.size());
+    for (const std::string& s : col.dict) {
+      PutVarint(&block, s.size());
+      block.append(s);
+    }
+    PutBlock(&out, block);
   }
-  if (int_cursor != col.ints.size() || dbl_cursor != dbls.size() ||
-      str_cursor != col.str_ids.size()) {
+  return out;
+}
+
+Result<AttributeColumn> ParseColumnBlockV4(std::string_view payload, size_t rows,
+                                           size_t col_index) {
+  ByteReader r(payload);
+  AttributeColumn col;
+  EXSTREAM_ASSIGN_OR_RETURN(const uint8_t declared, r.GetU8());
+  if (declared > static_cast<uint8_t>(ValueType::kString)) {
     return Status::Corruption(
-        StrFormat("column %zu: dense vectors longer than their tag census",
-                  col_index));
+        StrFormat("column %zu: bad declared type %u", col_index, declared));
   }
+  col.declared = static_cast<ValueType>(declared);
+  EXSTREAM_RETURN_NOT_OK(DecodeTagsRle(&r, rows, &col.tags));
+
+  EXSTREAM_ASSIGN_OR_RETURN(const uint64_t n_ints, r.GetVarint());
+  if (n_ints > rows) {
+    return Status::Corruption(
+        StrFormat("column %zu: %llu int rows exceed row count %zu", col_index,
+                  static_cast<unsigned long long>(n_ints), rows));
+  }
+  EXSTREAM_RETURN_NOT_OK(DecodeInts(&r, static_cast<size_t>(n_ints), &col.ints));
+
+  EXSTREAM_ASSIGN_OR_RETURN(const uint64_t n_dbls, r.GetVarint());
+  if (n_dbls > rows) {
+    return Status::Corruption(
+        StrFormat("column %zu: %llu double rows exceed row count %zu", col_index,
+                  static_cast<unsigned long long>(n_dbls), rows));
+  }
+  std::vector<double> dbls;
+  EXSTREAM_RETURN_NOT_OK(DecodeDoubles(&r, static_cast<size_t>(n_dbls), &dbls));
+
+  EXSTREAM_ASSIGN_OR_RETURN(const uint64_t n_strs, r.GetVarint());
+  if (n_strs > rows) {
+    return Status::Corruption(
+        StrFormat("column %zu: %llu string rows exceed row count %zu", col_index,
+                  static_cast<unsigned long long>(n_strs), rows));
+  }
+  EXSTREAM_RETURN_NOT_OK(DecodeU32s(&r, static_cast<size_t>(n_strs), &col.str_ids));
+
+  EXSTREAM_ASSIGN_OR_RETURN(const uint64_t dict_n, r.GetVarint());
+  // Every dictionary entry costs at least its 1-byte length varint.
+  if (dict_n > r.remaining()) {
+    return Status::Corruption(
+        StrFormat("column %zu: dictionary count %llu cannot fit in %zu bytes",
+                  col_index, static_cast<unsigned long long>(dict_n), r.remaining()));
+  }
+  col.dict.reserve(static_cast<size_t>(dict_n));
+  for (uint64_t d = 0; d < dict_n; ++d) {
+    EXSTREAM_ASSIGN_OR_RETURN(const uint64_t len, r.GetVarint());
+    EXSTREAM_ASSIGN_OR_RETURN(const std::string_view s,
+                              r.GetBytes(static_cast<size_t>(len)));
+    col.dict.emplace_back(s);
+  }
+  if (!r.AtEnd()) {
+    return Status::Corruption(StrFormat("column %zu: %zu trailing bytes",
+                                        col_index, r.remaining()));
+  }
+  EXSTREAM_RETURN_NOT_OK(FinalizeAttributeColumn(&col, dbls, rows, col_index));
   return col;
 }
 
 Result<ChunkColumns> ParseColumnarBuffer(std::string_view data) {
   Reader r(data);
   EXSTREAM_ASSIGN_OR_RETURN(const uint32_t magic, r.Get<uint32_t>());
-  if (magic != kMagicV3) {
+  if (magic != kMagicV3 && magic != kMagicV4) {
     return Status::Corruption(
         StrFormat("bad columnar buffer magic 0x%08x at offset 0", magic));
   }
+  const bool v4 = magic == kMagicV4;
   EXSTREAM_ASSIGN_OR_RETURN(const uint32_t rows, r.Get<uint32_t>());
   EXSTREAM_ASSIGN_OR_RETURN(const uint32_t type, r.Get<uint32_t>());
   EXSTREAM_ASSIGN_OR_RETURN(const uint16_t ncols, r.Get<uint16_t>());
-  // The ts column alone needs rows * 8 bytes; reject an impossible row count
-  // before any allocation.
-  if (static_cast<uint64_t>(rows) * sizeof(int64_t) > r.remaining()) {
+  // The ts column alone needs rows * 8 bytes uncompressed, or at least one
+  // delta-of-delta varint byte per row compressed; reject an impossible row
+  // count before any allocation.
+  const uint64_t min_ts_bytes =
+      static_cast<uint64_t>(rows) * (v4 ? 1 : sizeof(int64_t));
+  if (min_ts_bytes > r.remaining()) {
     return Status::Corruption(
         StrFormat("row count %u needs at least %llu bytes but %zu remain", rows,
-                  static_cast<unsigned long long>(rows) * sizeof(int64_t),
-                  r.remaining()));
+                  static_cast<unsigned long long>(min_ts_bytes), r.remaining()));
   }
 
   ChunkColumns columns;
   columns.set_type(type);
   EXSTREAM_ASSIGN_OR_RETURN(const std::string_view ts_block, GetBlock(&r, "ts"));
-  if (ts_block.size() != static_cast<size_t>(rows) * sizeof(int64_t)) {
-    return Status::Corruption(
-        StrFormat("ts column holds %zu bytes, %u rows need %zu", ts_block.size(),
-                  rows, static_cast<size_t>(rows) * sizeof(int64_t)));
+  if (v4) {
+    const Status st = DecodeTimestampsDoD(ts_block, rows, columns.mutable_ts());
+    if (!st.ok()) return Status(st.code(), "ts column: " + st.message());
+  } else {
+    if (ts_block.size() != static_cast<size_t>(rows) * sizeof(int64_t)) {
+      return Status::Corruption(
+          StrFormat("ts column holds %zu bytes, %u rows need %zu", ts_block.size(),
+                    rows, static_cast<size_t>(rows) * sizeof(int64_t)));
+    }
+    columns.mutable_ts()->resize(rows);
+    std::memcpy(columns.mutable_ts()->data(), ts_block.data(), ts_block.size());
   }
-  columns.mutable_ts()->resize(rows);
-  std::memcpy(columns.mutable_ts()->data(), ts_block.data(), ts_block.size());
 
   columns.mutable_attrs()->reserve(ncols);
   for (uint16_t c = 0; c < ncols; ++c) {
     char what[32];
     snprintf(what, sizeof(what), "attr%u", c);
     EXSTREAM_ASSIGN_OR_RETURN(const std::string_view block, GetBlock(&r, what));
-    EXSTREAM_ASSIGN_OR_RETURN(AttributeColumn col, ParseColumnBlock(block, rows, c));
+    EXSTREAM_ASSIGN_OR_RETURN(AttributeColumn col,
+                              v4 ? ParseColumnBlockV4(block, rows, c)
+                                 : ParseColumnBlock(block, rows, c));
     columns.mutable_attrs()->push_back(std::move(col));
   }
   if (!r.AtEnd()) {
@@ -541,9 +659,12 @@ Result<std::string> ReadBufferFile(const std::string& path) {
 }  // namespace
 
 std::string SerializeEvents(const std::vector<Event>& events, SpillFormat format) {
-  if (format == SpillFormat::kV3) {
+  if (format == SpillFormat::kV3 || format == SpillFormat::kV4) {
     auto columns = ChunkColumns::FromRows(events);
-    if (columns.ok()) return SerializeColumnarPayload(*columns);
+    if (columns.ok()) {
+      return format == SpillFormat::kV4 ? SerializeCompressedPayload(*columns)
+                                        : SerializeColumnarPayload(*columns);
+    }
     // Mixed-type rows cannot form a chunk; fall back to the self-describing
     // v2 row layout (readable by every DeserializeEvents).
     return SerializeRowPayload(events, SpillFormat::kV2);
@@ -554,7 +675,7 @@ std::string SerializeEvents(const std::vector<Event>& events, SpillFormat format
 Result<std::vector<Event>> DeserializeEvents(std::string_view data) {
   Reader r(data);
   EXSTREAM_ASSIGN_OR_RETURN(const uint32_t magic, r.Get<uint32_t>());
-  if (magic == kMagicV3) {
+  if (magic == kMagicV3 || magic == kMagicV4) {
     EXSTREAM_ASSIGN_OR_RETURN(const ChunkColumns columns, ParseColumnarBuffer(data));
     std::vector<Event> events;
     columns.MaterializeRows(0, columns.rows(), &events);
@@ -580,6 +701,7 @@ Result<std::vector<Event>> DeserializeEvents(std::string_view data) {
 }
 
 std::string SerializeColumns(const ChunkColumns& columns, SpillFormat format) {
+  if (format == SpillFormat::kV4) return SerializeCompressedPayload(columns);
   if (format == SpillFormat::kV3) return SerializeColumnarPayload(columns);
   std::vector<Event> rows;
   columns.MaterializeRows(0, columns.rows(), &rows);
@@ -589,7 +711,7 @@ std::string SerializeColumns(const ChunkColumns& columns, SpillFormat format) {
 Result<ChunkColumns> DeserializeColumns(std::string_view data) {
   Reader r(data);
   EXSTREAM_ASSIGN_OR_RETURN(const uint32_t magic, r.Get<uint32_t>());
-  if (magic == kMagicV3) return ParseColumnarBuffer(data);
+  if (magic == kMagicV3 || magic == kMagicV4) return ParseColumnarBuffer(data);
   // v1/v2: parse the row layout, then fold into columns.
   EXSTREAM_ASSIGN_OR_RETURN(const std::vector<Event> events, DeserializeEvents(data));
   return ChunkColumns::FromRows(events);
@@ -613,8 +735,14 @@ Status WriteColumnsFile(const std::string& path, const ChunkColumns& columns,
 }
 
 Result<ChunkColumns> ReadColumnsFile(const std::string& path) {
-  EXSTREAM_ASSIGN_OR_RETURN(const std::string data, ReadBufferFile(path));
-  auto columns = DeserializeColumns(data);
+  // Cold reads go through mmap: the decoder parses straight from the kernel
+  // page cache instead of a heap copy of the whole file. The mapping lives
+  // only for the decode — the decoded columns own their memory and are what
+  // ScanView pins. MmapFile carries its own fault-injection site
+  // ("mmap-read"), so this path makes exactly one Intercept call per read,
+  // like the buffered path it replaces.
+  EXSTREAM_ASSIGN_OR_RETURN(const MmapFile file, MmapFile::Open(path));
+  auto columns = DeserializeColumns(file.view());
   if (!columns.ok()) return AnnotateWithPath(columns.status(), path);
   return columns;
 }

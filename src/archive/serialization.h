@@ -20,15 +20,22 @@ namespace exstream {
 /// length-prefixed and carrying its own CRC32. Columnar files deserialize
 /// straight into ChunkColumns (no intermediate row pass), and a flipped bit
 /// is pinned to the column it corrupted. v1/v2 files remain readable forever.
-enum class SpillFormat : uint32_t { kV1 = 1, kV2 = 2, kV3 = 3 };
+/// v4 ("EXS4"): compressed columnar — same header and per-block CRC32 frame
+/// as v3, but the ts block is delta-of-delta varints, double streams are
+/// Gorilla-style XOR (with exact scaled-integer and raw fallbacks), tags are
+/// run-length encoded, and int/string-id/dictionary payloads are varints
+/// (archive/compress.h). Decoders are bounds-checked and fuzzed; a corrupt
+/// block still names its column. v1–v3 files remain readable forever.
+enum class SpillFormat : uint32_t { kV1 = 1, kV2 = 2, kV3 = 3, kV4 = 4 };
 
 /// \brief Serializes events into a compact binary buffer (v1/v2 row layout;
-/// a kV3 request serializes the rows through their columnar form).
+/// a kV3/kV4 request serializes the rows through their columnar form, falling
+/// back to the v2 row layout when the rows mix event types).
 ///
 /// Row payload layout: per event: i64 ts, u32 type, u16 value count, per
 /// value: u8 tag + payload (i64 / f64 / u32-length prefixed bytes).
 std::string SerializeEvents(const std::vector<Event>& events,
-                            SpillFormat format = SpillFormat::kV3);
+                            SpillFormat format = SpillFormat::kV4);
 
 /// \brief Parses a buffer produced by SerializeEvents / SerializeColumns
 /// (any format version).
@@ -41,12 +48,13 @@ std::string SerializeEvents(const std::vector<Event>& events,
 /// count cannot trigger a huge reserve.
 Result<std::vector<Event>> DeserializeEvents(std::string_view data);
 
-/// \brief Serializes a chunk's columns. kV3 writes the columnar layout
-/// directly; kV1/kV2 materialize rows first (the compatibility path).
+/// \brief Serializes a chunk's columns. kV4 writes the compressed columnar
+/// layout, kV3 the uncompressed one; kV1/kV2 materialize rows first (the
+/// compatibility path).
 std::string SerializeColumns(const ChunkColumns& columns,
-                             SpillFormat format = SpillFormat::kV3);
+                             SpillFormat format = SpillFormat::kV4);
 
-/// \brief Parses any format version into columns. v3 deserializes column
+/// \brief Parses any format version into columns. v3/v4 deserialize column
 /// vectors directly; v1/v2 buffers are parsed as rows and folded into
 /// columns (all events must then share one type).
 Result<ChunkColumns> DeserializeColumns(std::string_view data);
@@ -54,7 +62,7 @@ Result<ChunkColumns> DeserializeColumns(std::string_view data);
 /// \brief Writes the serialized form of `events` to `path` atomically: temp
 /// file + fsync + rename. Honors the global FaultInjector (tests only).
 Status WriteEventsFile(const std::string& path, const std::vector<Event>& events,
-                       SpillFormat format = SpillFormat::kV3);
+                       SpillFormat format = SpillFormat::kV4);
 
 /// \brief Reads an events file written by WriteEventsFile / WriteColumnsFile.
 /// Errors are annotated with the file path; see DeserializeEvents for the
@@ -64,10 +72,12 @@ Result<std::vector<Event>> ReadEventsFile(const std::string& path);
 /// \brief Writes a chunk's columns to `path` atomically (same crash-safety
 /// contract and fault-injection hooks as WriteEventsFile).
 Status WriteColumnsFile(const std::string& path, const ChunkColumns& columns,
-                        SpillFormat format = SpillFormat::kV3);
+                        SpillFormat format = SpillFormat::kV4);
 
-/// \brief Reads any spill file (v1/v2/v3) into columns. The archive scan
-/// path: disk bytes land directly in column vectors for v3 files.
+/// \brief Reads any spill file (v1–v4) into columns. The archive's cold-read
+/// path: the file is mmapped (io/file_util MmapFile, fault site "mmap-read")
+/// and decoded straight from the mapping into column vectors — no
+/// intermediate heap copy of the file bytes.
 Result<ChunkColumns> ReadColumnsFile(const std::string& path);
 
 }  // namespace exstream

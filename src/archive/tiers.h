@@ -1,0 +1,104 @@
+// Storage tiers: per-window downsampled aggregates built over a sealed
+// chunk's raw columns (netdata-dbengine-style).
+//
+// Tier-0 is the raw ChunkColumns itself. Each higher tier summarizes the
+// chunk at one fixed window (e.g. 60 s, 1 h): per present window, the end
+// timestamp plus per-attribute {count, min, max, sum, sum-of-squares} over
+// the window's non-NaN numeric samples. Windows are aligned to absolute time
+// (floor(ts / window) * window), so tier windows from adjacent chunks — and
+// from different tiers whose windows nest — line up exactly and can be merged
+// without re-reading raw rows.
+//
+// Tiers are small (a few windows per chunk) and stay resident for the
+// chunk's lifetime; a sidecar file (`<spill_path>.tiers`) persists them next
+// to the spill so checkpoint restore — and tier-0 retention eviction — never
+// needs the raw bytes back.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "archive/columns.h"
+#include "common/result.h"
+#include "event/event.h"
+
+namespace exstream {
+
+/// \brief One attribute's aggregates, dense over the tier's present windows.
+/// `count[i] == 0` marks a window where the attribute had no numeric sample
+/// (min/max/sum/sumsq are 0 there and must be ignored).
+struct TierAttr {
+  std::vector<uint32_t> count;
+  std::vector<double> min;
+  std::vector<double> max;
+  std::vector<double> sum;
+  std::vector<double> sumsq;
+};
+
+/// \brief One tier of one chunk: aggregates at a fixed window resolution.
+/// Only windows that contained at least one raw row are present; `ts` holds
+/// their absolute-aligned *end* timestamps, strictly increasing.
+struct TierColumns {
+  Timestamp window = 0;
+  std::vector<Timestamp> ts;
+  std::vector<TierAttr> attrs;
+
+  size_t windows() const { return ts.size(); }
+
+  /// Window index range [first, second) whose span [ts[i]-window, ts[i])
+  /// intersects [interval.lower, interval.upper].
+  std::pair<size_t, size_t> WindowRange(const TimeInterval& interval) const;
+};
+
+/// All tiers of one chunk, ascending by window.
+using ChunkTiers = std::vector<TierColumns>;
+
+/// End timestamp of the absolute-aligned window of length `w` containing `t`
+/// (floor division, correct for negative timestamps).
+inline Timestamp TierWindowEnd(Timestamp t, Timestamp w) {
+  Timestamp q = t / w;
+  if (t % w < 0) --q;
+  return q * w + w;
+}
+
+/// \brief Builds one tier per positive window over the chunk's raw columns.
+/// Deterministic: aggregation folds rows in ascending row order, so restoring
+/// a checkpointed chunk and re-building its tiers reproduces them bit for
+/// bit. Windows are sorted ascending and deduplicated.
+ChunkTiers BuildChunkTiers(const ChunkColumns& columns,
+                           const std::vector<Timestamp>& windows);
+
+/// Index of the coarsest tier whose window divides `resolution` (every
+/// aligned tier window then nests inside an aligned resolution window);
+/// -1 when no tier qualifies.
+int SelectTier(const ChunkTiers& tiers, Timestamp resolution);
+
+/// \brief Tier sidecar serialization ("EXT1": u32 magic, u32 event type,
+/// u32 attr count, u8 tier count, then one CRC32-framed block per tier with
+/// delta-of-delta window timestamps and compressed aggregate streams).
+std::string SerializeTiers(const ChunkTiers& tiers, EventTypeId type);
+
+/// Parses a SerializeTiers buffer; `expected_type` guards against a sidecar
+/// paired with the wrong chunk.
+Result<ChunkTiers> DeserializeTiers(std::string_view data,
+                                    EventTypeId expected_type);
+
+/// Sidecar path for a spill file.
+inline std::string TiersSidecarPath(const std::string& spill_path) {
+  return spill_path + ".tiers";
+}
+
+/// \brief Writes the sidecar atomically (temp + fsync + rename). Tier
+/// sidecars are derived data — rebuildable from raw columns — so these two
+/// deliberately bypass the fault injector: arming a wildcard read/write plan
+/// keeps hitting the primary spill seams exactly as often as before tiering.
+Status WriteTiersFile(const std::string& path, const ChunkTiers& tiers,
+                      EventTypeId type);
+Result<ChunkTiers> ReadTiersFile(const std::string& path,
+                                 EventTypeId expected_type);
+
+}  // namespace exstream

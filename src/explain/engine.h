@@ -69,6 +69,15 @@ struct ExplainOptions {
   /// the columnar ScanView path. Output is bit-identical either way; the flag
   /// exists as the A/B baseline for determinism tests and benchmarks.
   bool use_legacy_row_scan = false;
+  /// Let *reference-side* feature scans (the reference interval of the
+  /// reward ranking and Step 2's reference-labeled pools) be answered from
+  /// the archive's downsampled tiers when a tier window divides the feature
+  /// windows — wide reference intervals then skip spill reads and per-row
+  /// folding entirely. Abnormal-interval scans always read exact rows, so
+  /// the explanation's abnormal-side features stay bit-identical; reference
+  /// aggregates switch to absolute-aligned windows (a resolution the caller
+  /// opted into, not a degradation). Off by default.
+  bool tiered_reference_scans = false;
 };
 
 /// \brief Step-2 detail for one feature (paper Fig. 12).

@@ -8,6 +8,8 @@
 
 #include <dirent.h>
 #include <errno.h>
+#include <fcntl.h>
+#include <sys/mman.h>
 #include <sys/stat.h>
 #include <sys/types.h>
 #include <unistd.h>
@@ -142,6 +144,86 @@ Status RemoveFileIfExists(const std::string& path) {
   if (remove(path.c_str()) == 0 || errno == ENOENT) return Status::OK();
   return Status::IOError(
       StrFormat("cannot remove %s: %s", path.c_str(), strerror(errno)));
+}
+
+MmapFile::~MmapFile() {
+  if (data_ != nullptr) munmap(data_, map_size_);
+}
+
+MmapFile::MmapFile(MmapFile&& other) noexcept
+    : data_(other.data_), size_(other.size_), map_size_(other.map_size_) {
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.map_size_ = 0;
+}
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this != &other) {
+    if (data_ != nullptr) munmap(data_, map_size_);
+    data_ = other.data_;
+    size_ = other.size_;
+    map_size_ = other.map_size_;
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.map_size_ = 0;
+  }
+  return *this;
+}
+
+Result<MmapFile> MmapFile::Open(const std::string& path) {
+  const auto fault =
+      FaultInjector::Global().Intercept(FaultOp::kRead, "mmap-read", path);
+  if (fault.has_value()) {
+    if (fault->mode == FaultMode::kFailOpen || fault->mode == FaultMode::kReset) {
+      return Status::IOError("injected open failure mapping " + path);
+    }
+    if (fault->mode == FaultMode::kDelay) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(fault->delay_ms));
+    }
+  }
+
+  const int fd = open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IOError(
+        StrFormat("cannot open %s: %s", path.c_str(), strerror(errno)));
+  }
+  struct stat st;
+  if (fstat(fd, &st) != 0) {
+    const int err = errno;
+    close(fd);
+    return Status::IOError(
+        StrFormat("cannot stat %s: %s", path.c_str(), strerror(err)));
+  }
+  MmapFile out;
+  out.size_ = static_cast<size_t>(st.st_size);
+  out.map_size_ = out.size_;
+  if (out.size_ > 0) {
+    // MAP_PRIVATE + PROT_WRITE: injected corruption flips a byte in this
+    // process's COW copy only. The file descriptor can close right away —
+    // the mapping keeps the pages alive.
+    void* p = mmap(nullptr, out.map_size_, PROT_READ | PROT_WRITE, MAP_PRIVATE,
+                   fd, 0);
+    if (p == MAP_FAILED) {
+      const int err = errno;
+      close(fd);
+      return Status::IOError(
+          StrFormat("cannot mmap %s: %s", path.c_str(), strerror(err)));
+    }
+    out.data_ = static_cast<char*>(p);
+  }
+  close(fd);
+
+  if (fault.has_value() && out.size_ > 0) {
+    if (fault->mode == FaultMode::kTruncate) {
+      out.size_ = std::min(out.size_, fault->truncate_to);
+    } else if (fault->mode == FaultMode::kCorruptBytes) {
+      const size_t off = fault->corrupt_offset == SIZE_MAX
+                             ? out.size_ / 2
+                             : std::min(fault->corrupt_offset, out.size_ - 1);
+      out.data_[off] = static_cast<char>(out.data_[off] ^ 0x5A);
+    }
+  }
+  return out;
 }
 
 }  // namespace exstream

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/result.h"
@@ -31,5 +32,37 @@ Result<std::vector<std::string>> ListDirFiles(const std::string& dir);
 
 /// \brief Deletes a file; OK if it does not exist.
 Status RemoveFileIfExists(const std::string& path);
+
+/// \brief Read-only memory mapping of a whole file — the archive's cold-read
+/// path. Decoders parse straight out of the kernel page cache through
+/// `view()` instead of a heap copy of the file bytes.
+///
+/// The mapping is MAP_PRIVATE with PROT_READ|PROT_WRITE so the fault
+/// injector's kCorruptBytes mode can flip a byte in this process's COW copy
+/// of the page — the file on disk is never touched. Open() makes exactly one
+/// FaultInjector::Intercept call (op kRead, site "mmap-read"); kTruncate
+/// shortens the visible view, kFailOpen/kReset fail the open.
+///
+/// Move-only; the destructor unmaps. An empty file maps to an empty view
+/// (mmap of length 0 is not attempted).
+class MmapFile {
+ public:
+  static Result<MmapFile> Open(const std::string& path);
+
+  MmapFile() = default;
+  ~MmapFile();
+  MmapFile(MmapFile&& other) noexcept;
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  /// The mapped bytes (possibly shortened by an injected truncation).
+  std::string_view view() const { return {data_, size_}; }
+
+ private:
+  char* data_ = nullptr;   ///< mmap base; nullptr for an empty file
+  size_t size_ = 0;        ///< visible bytes (<= map_size_ under kTruncate)
+  size_t map_size_ = 0;    ///< bytes to munmap
+};
 
 }  // namespace exstream

@@ -17,8 +17,9 @@
 //                              watermark: the first seq it has NOT durably
 //                              applied. The child trims its spool to this.
 //   child -> parent   CHUNK    a sealed replication chunk: chunk id, first
-//                              seq, event count, and a SerializeEvents v3
-//                              payload (the archive spill codec, verbatim).
+//                              seq, event count, and a SerializeEvents v4
+//                              payload (the compressed archive spill codec,
+//                              verbatim).
 //   child -> parent   WALTAIL  the unsealed spool tail, same payload codec —
 //                              sent so a parent-side Explain can see events
 //                              that have not filled a chunk yet. Never acked;
@@ -137,7 +138,9 @@ struct ChunkFrame {
   uint64_t chunk_id = 0;
   uint64_t first_seq = 0;
   uint32_t event_count = 0;
-  /// SerializeEvents(events, kV3) — the spill codec, reused verbatim.
+  /// SerializeEvents(events, kV4) — the compressed spill codec, reused
+  /// verbatim (receivers accept any spill format version, so mixed-version
+  /// pairs interoperate).
   std::string events;
 
   std::string Encode() const;

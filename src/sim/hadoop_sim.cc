@@ -349,6 +349,12 @@ Result<std::vector<std::pair<std::string, Timestamp>>> HadoopClusterSim::Run(
 
   const double kSwapTotal = 4000.0;
   const double kMemTotal = 16000.0;
+  // Metrics are *reported* at one-decimal precision, like the Ganglia gmond
+  // feed the paper consumed — a collector never ships full 52-bit mantissas.
+  // The AR model state stays full-precision; only the emitted sample is
+  // rounded, which also lets the v4 spill codec store these columns as
+  // scaled-integer deltas instead of raw XOR residue.
+  const auto report = [](double v) { return std::round(v * 10.0) / 10.0; };
   for (Timestamp t = 0; t <= horizon; t += config_.metric_period) {
     for (int n = 0; n < config_.num_nodes; ++n) {
       NodeModels& nm = nodes[static_cast<size_t>(n)];
@@ -360,27 +366,28 @@ Result<std::vector<std::pair<std::string, Timestamp>>> HadoopClusterSim::Run(
 
       events.emplace_back(
           t_cpu, t,
-          MakeValues(node64, nm.cpu_usage.Step(55 * cpu_shift),
-                     nm.cpu_idle.Step(-55 * cpu_shift), nm.load.Step(6 * cpu_shift),
+          MakeValues(node64, report(nm.cpu_usage.Step(55 * cpu_shift)),
+                     report(nm.cpu_idle.Step(-55 * cpu_shift)),
+                     report(nm.load.Step(6 * cpu_shift)),
                      static_cast<double>(t)));
       events.emplace_back(
           t_mem, t,
-          MakeValues(node64, nm.mem_free.Step(-7500 * mem_shift),
-                     nm.mem_cached.Step(-1500 * mem_shift),
-                     nm.mem_buffers.Step(-500 * mem_shift),
-                     nm.swap_free.Step(-3400 * mem_shift), kSwapTotal, kMemTotal,
-                     nm.proc_total.Step(60 * mem_shift)));
+          MakeValues(node64, report(nm.mem_free.Step(-7500 * mem_shift)),
+                     report(nm.mem_cached.Step(-1500 * mem_shift)),
+                     report(nm.mem_buffers.Step(-500 * mem_shift)),
+                     report(nm.swap_free.Step(-3400 * mem_shift)), kSwapTotal,
+                     kMemTotal, report(nm.proc_total.Step(60 * mem_shift))));
       events.emplace_back(
           t_disk, t,
-          MakeValues(node64, nm.disk_io.Step(70 * disk_shift),
-                     nm.disk_free.Step(-5000 * disk_shift),
-                     nm.bytes_written.Step(120 * disk_shift)));
+          MakeValues(node64, report(nm.disk_io.Step(70 * disk_shift)),
+                     report(nm.disk_free.Step(-5000 * disk_shift)),
+                     report(nm.bytes_written.Step(120 * disk_shift))));
       events.emplace_back(
           t_net, t,
-          MakeValues(node64, nm.bytes_in.Step(200 * net_shift),
-                     nm.bytes_out.Step(200 * net_shift),
-                     nm.pkts_in.Step(15000 * net_shift),
-                     nm.pkts_out.Step(15000 * net_shift)));
+          MakeValues(node64, report(nm.bytes_in.Step(200 * net_shift)),
+                     report(nm.bytes_out.Step(200 * net_shift)),
+                     report(nm.pkts_in.Step(15000 * net_shift)),
+                     report(nm.pkts_out.Step(15000 * net_shift))));
     }
   }
 

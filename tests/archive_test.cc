@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "archive/serialization.h"
+#include "archive/tiers.h"
 #include "common/rng.h"
 
 namespace exstream {
@@ -232,7 +233,8 @@ std::vector<Event> ChunkLikeEvents() {
 TEST(SerializationTest, EveryFormatVersionRoundTrips) {
   const std::vector<Event> events = ChunkLikeEvents();
   for (const SpillFormat format :
-       {SpillFormat::kV1, SpillFormat::kV2, SpillFormat::kV3}) {
+       {SpillFormat::kV1, SpillFormat::kV2, SpillFormat::kV3,
+        SpillFormat::kV4}) {
     const std::string data = SerializeEvents(events, format);
     // Rows come back identical under every version...
     auto parsed = DeserializeEvents(data);
@@ -261,7 +263,8 @@ TEST(SerializationTest, OldFormatFilesReadAsColumns) {
   char tmpl[] = "/tmp/exstream_file_XXXXXX";
   ASSERT_NE(mkdtemp(tmpl), nullptr);
   const std::vector<Event> events = ChunkLikeEvents();
-  for (const SpillFormat format : {SpillFormat::kV1, SpillFormat::kV2}) {
+  for (const SpillFormat format : {SpillFormat::kV1, SpillFormat::kV2,
+                                   SpillFormat::kV3, SpillFormat::kV4}) {
     const std::string path =
         std::string(tmpl) + "/v" + std::to_string(static_cast<int>(format)) + ".bin";
     ASSERT_TRUE(WriteEventsFile(path, events, format).ok());
@@ -290,15 +293,213 @@ TEST(SerializationTest, MixedTypeBuffersFallBackToRows) {
   std::vector<Event> mixed;
   mixed.emplace_back(0, 1, std::vector<Value>{Value(1.0)});
   mixed.emplace_back(1, 2, std::vector<Value>{Value(int64_t{7})});
-  // A v3 request on a mixed-type buffer writes the row layout (columnar
+  // A v3/v4 request on a mixed-type buffer writes the row layout (columnar
   // chunks are single-type by construction); rows still round-trip.
-  const std::string data = SerializeEvents(mixed, SpillFormat::kV3);
-  auto parsed = DeserializeEvents(data);
-  ASSERT_TRUE(parsed.ok());
-  ASSERT_EQ(parsed->size(), 2u);
-  EXPECT_EQ((*parsed)[1].type, 1u);
-  // But folding mixed types into one chunk's columns is a structural error.
-  EXPECT_TRUE(DeserializeColumns(data).status().IsCorruption());
+  for (const SpillFormat format : {SpillFormat::kV3, SpillFormat::kV4}) {
+    const std::string data = SerializeEvents(mixed, format);
+    auto parsed = DeserializeEvents(data);
+    ASSERT_TRUE(parsed.ok());
+    ASSERT_EQ(parsed->size(), 2u);
+    EXPECT_EQ((*parsed)[1].type, 1u);
+    // But folding mixed types into one chunk's columns is a structural error.
+    EXPECT_TRUE(DeserializeColumns(data).status().IsCorruption());
+  }
+}
+
+TEST(SerializationTest, V4CompressesBelowV3) {
+  // A chunk-sized run with the value mix spills actually carry: slowly
+  // drifting doubles, small ints, and a low-cardinality string column.
+  std::vector<Event> events;
+  Rng rng(17);
+  double level = 40.0;
+  for (Timestamp t = 0; t < 2048; ++t) {
+    level += rng.Gaussian(0.0, 0.5);
+    events.emplace_back(
+        2, t,
+        std::vector<Value>{Value(level), Value(int64_t{t % 16}),
+                           Value(std::string(t % 3 ? "ok" : "slow"))});
+  }
+  const std::string v3 = SerializeEvents(events, SpillFormat::kV3);
+  const std::string v4 = SerializeEvents(events, SpillFormat::kV4);
+  EXPECT_LT(v4.size(), v3.size() / 2) << "v4=" << v4.size() << " v3=" << v3.size();
+  auto parsed = DeserializeColumns(v4);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->rows(), events.size());
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(parsed->ts()[i], events[i].ts);
+    // Bitwise: the compressed double codec must be lossless.
+    EXPECT_EQ(parsed->attr(0).nums[i], events[i].values[0].AsDouble());
+  }
+}
+
+TEST(SerializationTest, V4CorruptedColumnIsPinpointed) {
+  const std::string data = SerializeEvents(ChunkLikeEvents(), SpillFormat::kV4);
+  // Flip one bit in the last column's compressed payload: the per-block CRC
+  // must catch it and name the column, never crash or misdecode.
+  std::string bad = data;
+  bad[bad.size() - 1] = static_cast<char>(bad[bad.size() - 1] ^ 0x40);
+  const Status st = DeserializeEvents(bad).status();
+  EXPECT_TRUE(st.IsCorruption()) << st.ToString();
+  EXPECT_NE(st.ToString().find("column"), std::string::npos) << st.ToString();
+}
+
+// ---- Storage tiers ---------------------------------------------------------
+
+class TierTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(registry_.Register(EventSchema("A", {{"x", ValueType::kDouble}})).ok());
+  }
+
+  Event MakeA(Timestamp ts, double x) { return Event(0, ts, {Value(x)}); }
+
+  EventTypeRegistry registry_;
+};
+
+TEST_F(TierTest, BuildSelectAndWindowRange) {
+  ChunkColumns cols(0, &registry_.schema(0));
+  for (Timestamp t = 0; t < 16; ++t) {
+    cols.AppendEvent(MakeA(t, static_cast<double>(t)));
+  }
+  const ChunkTiers tiers = BuildChunkTiers(cols, {4, 8});
+  ASSERT_EQ(tiers.size(), 2u);
+  EXPECT_EQ(tiers[0].window, 4);
+  EXPECT_EQ(tiers[1].window, 8);
+  // Rows 0..15 at window 4: ends 4, 8, 12, 16.
+  ASSERT_EQ(tiers[0].windows(), 4u);
+  EXPECT_EQ(tiers[0].ts.front(), 4);
+  EXPECT_EQ(tiers[0].ts.back(), 16);
+  ASSERT_EQ(tiers[0].attrs.size(), 1u);
+  EXPECT_EQ(tiers[0].attrs[0].count[0], 4u);
+  EXPECT_DOUBLE_EQ(tiers[0].attrs[0].sum[0], 0 + 1 + 2 + 3);
+  EXPECT_DOUBLE_EQ(tiers[0].attrs[0].min[0], 0.0);
+  EXPECT_DOUBLE_EQ(tiers[0].attrs[0].max[0], 3.0);
+  // Tier selection: the coarsest tier whose window divides the resolution.
+  EXPECT_EQ(SelectTier(tiers, 8), 1);
+  EXPECT_EQ(SelectTier(tiers, 4), 0);
+  EXPECT_EQ(SelectTier(tiers, 12), 0);  // 8 does not divide 12, 4 does
+  EXPECT_EQ(SelectTier(tiers, 6), -1);
+  EXPECT_EQ(SelectTier(tiers, 0), -1);
+  // Window range: [5, 9] intersects windows ending at 8 and 12.
+  const auto range = tiers[0].WindowRange({5, 9});
+  EXPECT_EQ(range.first, 1u);
+  EXPECT_EQ(range.second, 3u);
+}
+
+TEST_F(TierTest, SidecarRoundTripAndCorruptionDetected) {
+  ChunkColumns cols(0, &registry_.schema(0));
+  for (Timestamp t = 0; t < 64; ++t) {
+    cols.AppendEvent(MakeA(t * 3, t * 0.25));
+  }
+  const ChunkTiers tiers = BuildChunkTiers(cols, {10});
+  const std::string data = SerializeTiers(tiers, 0);
+  auto parsed = DeserializeTiers(data, 0);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), tiers.size());
+  EXPECT_EQ((*parsed)[0].ts, tiers[0].ts);
+  EXPECT_EQ((*parsed)[0].attrs[0].count, tiers[0].attrs[0].count);
+  EXPECT_EQ((*parsed)[0].attrs[0].sum, tiers[0].attrs[0].sum);
+  // Wrong event type: the sidecar is rejected, not silently adopted.
+  EXPECT_FALSE(DeserializeTiers(data, 9).ok());
+  // Bit flip in the tier block: CRC failure, not a crash.
+  std::string bad = data;
+  bad[bad.size() - 2] = static_cast<char>(bad[bad.size() - 2] ^ 0x10);
+  EXPECT_FALSE(DeserializeTiers(bad, 0).ok());
+  // File round trip.
+  char tmpl[] = "/tmp/exstream_tiers_XXXXXX";
+  ASSERT_NE(mkdtemp(tmpl), nullptr);
+  const std::string path = TiersSidecarPath(std::string(tmpl) + "/c0.bin");
+  ASSERT_TRUE(WriteTiersFile(path, tiers, 0).ok());
+  auto loaded = ReadTiersFile(path, 0);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ((*loaded)[0].ts, tiers[0].ts);
+}
+
+TEST_F(TierTest, ScanColumnsServesTiersAtResolution) {
+  ArchiveOptions options;
+  options.chunk_capacity = 8;
+  options.tier_windows = {4};
+  EventArchive archive(&registry_, options);
+  for (Timestamp t = 0; t < 40; ++t) {
+    ASSERT_TRUE(archive.Append(MakeA(t, static_cast<double>(t))).ok());
+  }
+  // Exact scan: raw rows only, no tier segments.
+  auto exact = archive.ScanColumns(0, {0, 39});
+  ASSERT_TRUE(exact.ok());
+  EXPECT_EQ(exact->rows(), 40u);
+  EXPECT_TRUE(exact->tier_segments.empty());
+  // Resolution 4: sealed chunks answer from their 4 s tier; only the open
+  // tail contributes raw rows.
+  auto tiered = archive.ScanColumns(0, {0, 39}, nullptr, nullptr, 4);
+  ASSERT_TRUE(tiered.ok());
+  EXPECT_FALSE(tiered->tier_segments.empty());
+  EXPECT_GT(archive.tier_segments_served(), 0u);
+  size_t tier_rows = 0;
+  double tier_sum = 0.0;
+  for (const auto& seg : tiered->tier_segments) {
+    for (size_t i = seg.begin; i < seg.end; ++i) {
+      tier_rows += seg.tier->attrs[0].count[i];
+      tier_sum += seg.tier->attrs[0].sum[i];
+    }
+  }
+  size_t raw_rows = tiered->rows();
+  double raw_sum = 0.0;
+  for (const auto& seg : tiered->segments) {
+    for (size_t i = seg.begin; i < seg.end; ++i) {
+      raw_sum += seg.columns->attr(0).nums[i];
+    }
+  }
+  // Tier aggregates plus the raw tail cover exactly the 40 appended rows.
+  EXPECT_EQ(tier_rows + raw_rows, 40u);
+  EXPECT_DOUBLE_EQ(tier_sum + raw_sum, 39.0 * 40.0 / 2.0);
+  // Resolution 6 matches no tier: identical to the exact scan.
+  auto mismatched = archive.ScanColumns(0, {0, 39}, nullptr, nullptr, 6);
+  ASSERT_TRUE(mismatched.ok());
+  EXPECT_TRUE(mismatched->tier_segments.empty());
+  EXPECT_EQ(mismatched->rows(), 40u);
+}
+
+TEST_F(TierTest, Tier0RetentionEvictsRawButKeepsTiers) {
+  char tmpl[] = "/tmp/exstream_tier0_XXXXXX";
+  ASSERT_NE(mkdtemp(tmpl), nullptr);
+  ArchiveOptions options;
+  options.chunk_capacity = 8;
+  options.spill_dir = std::string(tmpl);
+  options.max_resident_chunks = 1;
+  options.tier_windows = {4};
+  options.tier0_retention_chunks = 1;
+  EventArchive archive(&registry_, options);
+  for (Timestamp t = 0; t < 80; ++t) {
+    ASSERT_TRUE(archive.Append(MakeA(t, 1.0)).ok());
+  }
+  EXPECT_GT(archive.tier0_evictions(), 0u);
+
+  // An exact scan refuses to silently substitute tier aggregates for the
+  // evicted raw rows: it degrades, names the loss, and returns what is left.
+  DegradationReport degradation;
+  auto exact = archive.Scan(0, {0, 79}, &degradation);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_LT(exact->size(), 80u);
+  EXPECT_TRUE(degradation.degraded());
+  EXPECT_GT(degradation.resolution_degraded, 0u);
+  EXPECT_GT(degradation.events_lost_estimate, 0u);
+  EXPECT_NE(degradation.ToString().find("resolution-degraded"),
+            std::string::npos);
+
+  // A resolution-aligned scan is answered from the surviving tiers with no
+  // degradation: every appended row is still accounted for.
+  DegradationReport tiered_degradation;
+  auto tiered =
+      archive.ScanColumns(0, {0, 79}, &tiered_degradation, nullptr, 4);
+  ASSERT_TRUE(tiered.ok());
+  EXPECT_FALSE(tiered_degradation.degraded());
+  size_t covered = tiered->rows();
+  for (const auto& seg : tiered->tier_segments) {
+    for (size_t i = seg.begin; i < seg.end; ++i) {
+      covered += seg.tier->attrs[0].count[i];
+    }
+  }
+  EXPECT_EQ(covered, 80u);
 }
 
 }  // namespace

@@ -166,22 +166,38 @@ TEST_F(FaultArchiveTest, V2SpillFormatRoundTripsThroughArchive) {
   EXPECT_EQ(events->size(), 200u);
 }
 
+// Finds chunk 0's spill file in `dir`, skipping its `.tiers` sidecar (and any
+// `.quarantine` leftovers) — the rot tests must hit the primary bytes.
+std::string FindChunk0Spill(const std::string& dir) {
+  std::string victim;
+  DIR* d = opendir(dir.c_str());
+  if (d == nullptr) return victim;
+  while (dirent* entry = readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name.find("type0_chunk0_") == std::string::npos) continue;
+    if (name.size() >= 6 && name.compare(name.size() - 6, 6, ".tiers") == 0) {
+      continue;
+    }
+    if (name.size() >= 11 &&
+        name.compare(name.size() - 11, 11, ".quarantine") == 0) {
+      continue;
+    }
+    victim = dir + "/" + name;
+    break;
+  }
+  closedir(d);
+  return victim;
+}
+
 TEST_F(FaultArchiveTest, V3CorruptedColumnQuarantinesNotCrashes) {
-  EventArchive archive(&registry_, SpillOptions());
+  ArchiveOptions options = SpillOptions();
+  options.spill_format = SpillFormat::kV3;  // the uncompressed columnar format
+  EventArchive archive(&registry_, options);
   Fill(&archive);
 
   // Rot one spill file on disk directly — the persistent-damage case, as
   // opposed to the injector's transient read-path corruption above.
-  std::string victim;
-  DIR* d = opendir(dir_.c_str());
-  ASSERT_NE(d, nullptr);
-  while (dirent* entry = readdir(d)) {
-    if (std::strstr(entry->d_name, "type0_chunk0_") != nullptr) {
-      victim = dir_ + "/" + entry->d_name;
-      break;
-    }
-  }
-  closedir(d);
+  const std::string victim = FindChunk0Spill(dir_);
   ASSERT_FALSE(victim.empty()) << "no spill file for chunk 0 in " << dir_;
   FILE* f = fopen(victim.c_str(), "r+b");
   ASSERT_NE(f, nullptr);
@@ -202,6 +218,82 @@ TEST_F(FaultArchiveTest, V3CorruptedColumnQuarantinesNotCrashes) {
   EXPECT_NE(degradation.skipped[0].reason.find("column"), std::string::npos)
       << degradation.skipped[0].reason;
   EXPECT_TRUE(FileExists(victim + ".quarantine"));
+  EXPECT_EQ(archive.quarantined_chunks(), 1u);
+}
+
+TEST_F(FaultArchiveTest, V4CorruptedCompressedBlockQuarantinesNamingColumn) {
+  // Default spill format: v4 compressed columnar. A bit flip inside a
+  // compressed column payload must fail that block's CRC — naming the column
+  // — and quarantine the chunk, never crash or feed garbage to the decoders.
+  EventArchive archive(&registry_, SpillOptions());
+  Fill(&archive);
+
+  const std::string victim = FindChunk0Spill(dir_);
+  ASSERT_FALSE(victim.empty()) << "no spill file for chunk 0 in " << dir_;
+  FILE* f = fopen(victim.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(fseek(f, -1, SEEK_END), 0);  // inside the last column's block
+  const int c = fgetc(f);
+  ASSERT_NE(c, EOF);
+  ASSERT_EQ(fseek(f, -1, SEEK_END), 0);
+  fputc(c ^ 0x40, f);
+  fclose(f);
+
+  DegradationReport degradation;
+  auto events = archive.Scan(0, {0, 199}, &degradation);
+  ASSERT_TRUE(events.ok()) << events.status().ToString();
+  EXPECT_EQ(events->size(), 192u);
+  ASSERT_EQ(degradation.chunks_skipped(), 1u);
+  EXPECT_NE(degradation.skipped[0].reason.find("column"), std::string::npos)
+      << degradation.skipped[0].reason;
+  EXPECT_TRUE(FileExists(victim + ".quarantine"));
+  EXPECT_EQ(archive.quarantined_chunks(), 1u);
+  // The tier sidecar survives the quarantine: coarse scans can still be
+  // answered even though the raw bytes are gone for triage.
+  EXPECT_TRUE(FileExists(victim + ".tiers"));
+}
+
+TEST_F(FaultArchiveTest, MmapReadSiteTransientFaultRetriedAway) {
+  // Cold v4 reads go through the mmap seam; a transient fault there is
+  // retried exactly like the buffered-read path before it.
+  EventArchive archive(&registry_, SpillOptions());
+  Fill(&archive);
+
+  FaultPlan plan;
+  plan.mode = FaultMode::kFailOpen;
+  plan.op = FaultOp::kRead;
+  plan.site = "mmap-read";
+  plan.max_hits = 1;
+  ScopedFaultInjection fault(plan);
+
+  DegradationReport degradation;
+  auto events = archive.Scan(0, {0, 199}, &degradation);
+  ASSERT_TRUE(events.ok()) << events.status().ToString();
+  EXPECT_EQ(events->size(), 200u);
+  EXPECT_FALSE(degradation.degraded());
+  EXPECT_GE(archive.spill_read_retries(), 1u);
+  EXPECT_EQ(archive.quarantined_chunks(), 0u);
+}
+
+TEST_F(FaultArchiveTest, MmapReadSiteCorruptionQuarantines) {
+  // kCorruptBytes at the mmap seam flips a private (copy-on-write) byte, so
+  // the on-disk file stays pristine while the in-memory view is poisoned —
+  // the CRC check must still quarantine the chunk.
+  EventArchive archive(&registry_, SpillOptions());
+  Fill(&archive);
+
+  FaultPlan plan;
+  plan.mode = FaultMode::kCorruptBytes;
+  plan.op = FaultOp::kRead;
+  plan.site = "mmap-read";
+  plan.path_substring = "type0_chunk0_";
+  ScopedFaultInjection fault(plan);
+
+  DegradationReport degradation;
+  auto events = archive.Scan(0, {0, 199}, &degradation);
+  ASSERT_TRUE(events.ok()) << events.status().ToString();
+  EXPECT_EQ(events->size(), 192u);
+  ASSERT_EQ(degradation.chunks_skipped(), 1u);
   EXPECT_EQ(archive.quarantined_chunks(), 1u);
 }
 

@@ -696,5 +696,62 @@ TEST(ReplicationTest, CheckpointHonorsReplicationPin) {
   receiver.Stop();
 }
 
+// CHUNK frames carry v4 (compressed) spill payloads by default. A parent
+// whose archive tiers the replicated chunks must (a) reproduce the child's
+// stream bit-identically — same fingerprint and Explain output as an
+// uncrashed single-node run — and (b) actually build usable tiers over the
+// chunks it received off the wire, not just over locally appended ones.
+TEST(ReplicationTest, TieredParentRoundTripsV4ChunksBitIdentically) {
+  const Workload w = MakeWorkload();
+  const SingleNodeTruth truth = MakeTruth(w);
+
+  XStreamConfig parent_cfg = BaseConfig();
+  parent_cfg.archive.chunk_capacity = 256;  // force seals → tiers get built
+  parent_cfg.archive.tier_windows = {10};   // divides the feature window
+  auto parent = std::make_unique<XStreamSystem>(w.registry.get(), parent_cfg);
+  const auto parent_q = parent->AddQuery(kQ1, "Q1");
+  ASSERT_TRUE(parent_q.ok()) << parent_q.status().ToString();
+  ReplicationReceiver receiver(parent.get(), ReceiverOptions(0));
+  ASSERT_TRUE(receiver.Start().ok());
+
+  QueryId child_qid = 0;
+  auto child = MakeSystem(w, &child_qid, "", SenderOptions(receiver.port()));
+  Feed(child.get(), w.events, 0, w.events.size());
+  child->Flush();
+  ASSERT_TRUE(child->replication()->WaitForDrain(30000));
+  receiver.Stop();
+  parent->Flush();
+
+  const auto rstats = receiver.stats();
+  EXPECT_GT(rstats.chunks_applied, 0u);
+  EXPECT_EQ(rstats.events_applied, w.events.size());
+  EXPECT_EQ(rstats.frame_errors, 0u);
+
+  // Bit-identical replica despite the compressed wire format.
+  EXPECT_EQ(Fingerprint(*parent, *parent_q), truth.fingerprint);
+  auto report = RunExplain(*parent, *parent_q);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->SelectedFeatureNames(), truth.features);
+  EXPECT_FALSE(report->degradation.degraded());
+
+  // The replicated chunks sealed with tiers: a resolution-aligned scan over
+  // the whole stream answers sealed chunks from tier segments instead of raw
+  // rows (the raw row count drops below the replicated total).
+  const TimeInterval all{std::numeric_limits<Timestamp>::min(),
+                         std::numeric_limits<Timestamp>::max()};
+  size_t raw_rows = 0;
+  bool any_tier_segments = false;
+  for (EventTypeId type = 0; type < w.registry->size(); ++type) {
+    auto view = parent->archive().ScanColumns(type, all, nullptr, nullptr, 10);
+    ASSERT_TRUE(view.ok()) << view.status().ToString();
+    raw_rows += view->rows();
+    any_tier_segments |= !view->tier_segments.empty();
+  }
+  EXPECT_TRUE(any_tier_segments)
+      << "no replicated chunk was answered from a tier";
+  EXPECT_LT(raw_rows, w.events.size());
+  EXPECT_GT(parent->archive().tier_segments_served(), 0u);
+}
+
 }  // namespace
 }  // namespace exstream
