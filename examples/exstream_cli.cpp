@@ -34,6 +34,20 @@
 //   --backpressure POLICY  block | shed-oldest | shed-newest  (full-queue
 //                          behavior; implies --queue-capacity 64 if unset)
 //
+// Continuous serving (see DESIGN.md §10):
+//   --detect [--detect-threshold X]  after ingest, run the batch anomaly
+//                          detector over the monitor query's partition family
+//                          and Explain every detected anomaly automatically
+//   --auto-explain [--z-threshold Z] stream-detect anomalies online (z-score
+//                          over the monitored series) and auto-run Explain on
+//                          each as it finalizes; results print after ingest
+//   --explain-cache N      keep up to N completed Explain reports in a keyed
+//                          LRU cache (repeat annotations are served instantly;
+//                          ingest invalidates by advancing the data watermark)
+//   --incremental-retention S  maintain in-memory per-type tails of the last
+//                          S seconds (0 = unbounded) so recent-interval
+//                          feature scans skip the archive
+//
 // Replication (two-process parent/child, see DESIGN.md §8):
 //   --replicate-to HOST:PORT  child mode: stream every ingested batch to the
 //                             parent node at HOST:PORT; after ingest, wait
@@ -65,6 +79,7 @@
 
 #include "common/stopwatch.h"
 #include "common/strings.h"
+#include "detect/detector.h"
 #include "explain/engine.h"
 #include "explain/explanation_io.h"
 #include "io/csv.h"
@@ -199,12 +214,18 @@ int Run(int argc, char** argv) {
   bool demo = argc <= 1;  // bare invocation runs the self-contained demo
   bool list_partitions = false;
   bool query_merge = true;
+  bool detect = false;
+  bool auto_explain = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--demo") {
       demo = true;
     } else if (arg == "--list-partitions") {
       list_partitions = true;
+    } else if (arg == "--detect") {
+      detect = true;
+    } else if (arg == "--auto-explain") {
+      auto_explain = true;
     } else if (arg == "--no-query-merge") {
       // Escape hatch: evaluate every query on its own automaton (the legacy
       // per-query path) instead of merging equivalent queries.
@@ -250,6 +271,9 @@ int Run(int argc, char** argv) {
             "       [--backpressure block|shed-oldest|shed-newest]\n"
             "       [--tier0-retention N] [--tier-windows W1,W2,...]\n"
             "       [--tiered-reference on|off]\n"
+            "       [--detect [--detect-threshold X]]\n"
+            "       [--auto-explain [--z-threshold Z]]\n"
+            "       [--explain-cache N] [--incremental-retention S]\n"
             "       [--replicate-to HOST:PORT [--drain-ms MS]]\n"
             "       [--listen PORT [--expect-events N] [--listen-for-ms MS]\n"
             "        [--repl-state PATH]]\n"
@@ -345,6 +369,24 @@ int Run(int argc, char** argv) {
       return 2;
     }
     if (config.overload.queue_capacity == 0) config.overload.queue_capacity = 64;
+  }
+  if (args.count("explain-cache")) {
+    config.serving.explain_cache_capacity =
+        static_cast<size_t>(strtoull(args["explain-cache"].c_str(), nullptr, 10));
+  }
+  if (args.count("incremental-retention")) {
+    config.serving.incremental_features = true;
+    config.serving.incremental_retention = static_cast<Timestamp>(
+        strtoll(args["incremental-retention"].c_str(), nullptr, 10));
+  }
+  if (auto_explain) {
+    StreamingDetectorOptions sdopts;
+    if (args.count("z-threshold")) {
+      sdopts.z_threshold = strtod(args["z-threshold"].c_str(), nullptr);
+    }
+    config.serving.detector = sdopts;
+    config.serving.auto_explain = true;
+    if (args.count("column")) config.serving.detect_column = args["column"];
   }
   if (args.count("replicate-to")) {
     const auto parts = SplitAndTrim(args["replicate-to"], ':');
@@ -486,13 +528,86 @@ int Run(int argc, char** argv) {
   const std::string column =
       args.count("column") ? args["column"] : matches.column_names().back();
 
-  if (list_partitions || args.count("chart") || args.count("explain")) {
+  if (auto_explain) {
+    // Let the streaming detector see the full stream, force-close any
+    // excursion still elevated at end-of-input, then wait for the background
+    // worker to finish explaining every finalized anomaly.
+    system.Flush();
+    const size_t finalized = system.FinalizeDetector();
+    system.DrainAutoExplains();
+    const auto autos = system.TakeAutoExplanations();
+    const auto dstats = system.detector()->stats();
+    printf("\ndetector: %llu samples over %llu partitions, %llu excursions "
+           "(%llu discarded, %zu open at end-of-stream)\n",
+           static_cast<unsigned long long>(dstats.samples),
+           static_cast<unsigned long long>(dstats.partitions_tracked),
+           static_cast<unsigned long long>(dstats.excursions_opened),
+           static_cast<unsigned long long>(dstats.anomalies_dropped),
+           finalized);
+    printf("auto-explained %zu streaming anomalies (%zu dropped):\n",
+           autos.size(), system.auto_anomalies_dropped());
+    for (const auto& ae : autos) {
+      const TimeInterval& abn = ae.anomaly.annotation.abnormal.range;
+      printf("  %s peak-z %.1f abnormal [%lld, %lld]\n",
+             ae.anomaly.partition.c_str(), ae.anomaly.peak_z,
+             static_cast<long long>(abn.lower), static_cast<long long>(abn.upper));
+      if (ae.report->ok()) {
+        printf("    -> %s\n", (**ae.report).explanation.ToString().c_str());
+      } else {
+        printf("    -> explain error: %s\n",
+               ae.report->status().ToString().c_str());
+      }
+    }
+  }
+
+  if (list_partitions || args.count("chart") || args.count("explain") || detect) {
     if (system.IndexPartitions(*qid, {{"source", args["events"]}}).ok() &&
         list_partitions) {
       printf("\npartitions:\n");
       for (const std::string& p : matches.Partitions()) {
         printf("  %-24s %6zu rows%s\n", p.c_str(), matches.NumRows(p),
                matches.IsComplete(p) ? "  (complete)" : "");
+      }
+    }
+  }
+
+  if (detect) {
+    DetectorOptions dopts;
+    if (args.count("detect-threshold")) {
+      dopts.outlier_threshold = strtod(args["detect-threshold"].c_str(), nullptr);
+    }
+    AnomalyDetector detector(&system.partitions(),
+                             system.MakeSeriesProvider(*qid, column), dopts);
+    const std::vector<std::string> parts = matches.Partitions();
+    if (parts.empty()) {
+      fprintf(stderr, "--detect: no partitions to score\n");
+      return 1;
+    }
+    auto seed = system.partitions().Get("Q", parts.front());
+    if (!seed.ok()) {
+      fprintf(stderr, "--detect: %s\n", seed.status().ToString().c_str());
+      return 1;
+    }
+    auto found = detector.Detect(*seed);
+    if (!found.ok()) {
+      fprintf(stderr, "detect error: %s\n", found.status().ToString().c_str());
+      return 1;
+    }
+    printf("\ndetected %zu anomalous partition(s):\n", found->size());
+    for (const DetectedAnomaly& a : *found) {
+      printf("  %s score %.3f abnormal [%lld, %lld] vs %s [%lld, %lld]\n",
+             a.partition.c_str(), a.score,
+             static_cast<long long>(a.abnormal_region.lower),
+             static_cast<long long>(a.abnormal_region.upper),
+             a.reference_partition.c_str(),
+             static_cast<long long>(a.reference_region.lower),
+             static_cast<long long>(a.reference_region.upper));
+      auto report = system.Explain(a.ToAnnotation("Q"), *qid, column);
+      if (report.ok()) {
+        printf("    -> %s\n", report->explanation.ToString().c_str());
+      } else {
+        fprintf(stderr, "    -> explain error: %s\n",
+                report.status().ToString().c_str());
       }
     }
   }

@@ -1,0 +1,136 @@
+#include "detect/streaming_detector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace exstream {
+
+StreamingDetector::StreamingDetector(std::string query_name,
+                                     StreamingDetectorOptions options)
+    : query_name_(std::move(query_name)), options_(options) {}
+
+void StreamingDetector::Observe(std::string_view partition, Timestamp ts,
+                                double value) {
+  if (std::isnan(value)) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++samples_;
+  auto [it, inserted] = partitions_.try_emplace(std::string(partition));
+  PartitionState& st = it->second;
+  if (inserted) st.first_ts = ts;
+  st.last_ts = ts;
+
+  if (st.samples >= options_.warmup_samples) {
+    const double stddev = std::sqrt(std::max(0.0, st.var));
+    // A flat-lined baseline (stddev 0) treats any deviation as abnormal.
+    const double z = stddev > 0.0 ? (value - st.mean) / stddev
+                                  : (value == st.mean ? 0.0
+                                                      : options_.z_threshold);
+    if (std::abs(z) >= options_.z_threshold) {
+      if (!st.in_anomaly) {
+        st.in_anomaly = true;
+        st.anomaly_start = ts;
+        st.peak_z = 0.0;
+        st.abnormal_samples = 0;
+        ++excursions_opened_;
+      }
+      st.last_abnormal = ts;
+      st.peak_z = std::max(st.peak_z, std::abs(z));
+      ++st.abnormal_samples;
+      st.normal_run = 0;
+      // The baseline is frozen for the excursion's duration: folding
+      // anomalous values into the EWMA would teach the detector that the
+      // anomaly is normal and close the excursion from the wrong side.
+      return;
+    }
+    if (st.in_anomaly) {
+      if (++st.normal_run >= options_.cooldown_samples) {
+        CloseExcursion(it->first, &st);
+      }
+      return;  // cooldown samples do not move the frozen baseline either
+    }
+  }
+
+  // Baseline update: plain Welford accumulation during warmup (an EWMA from
+  // a cold start overweights the first samples), EWMA afterwards so the
+  // baseline tracks slow drift.
+  ++st.samples;
+  if (st.samples <= options_.warmup_samples) {
+    const double delta = value - st.mean;
+    st.mean += delta / static_cast<double>(st.samples);
+    st.var += (delta * (value - st.mean) - st.var) /
+              static_cast<double>(st.samples);
+  } else {
+    const double a = options_.ewma_alpha;
+    const double delta = value - st.mean;
+    st.mean += a * delta;
+    st.var = (1.0 - a) * (st.var + a * delta * delta);
+  }
+}
+
+void StreamingDetector::CloseExcursion(const std::string& partition,
+                                       PartitionState* st) {
+  st->in_anomaly = false;
+  st->normal_run = 0;
+  if (st->abnormal_samples < options_.min_anomaly_samples) {
+    ++anomalies_dropped_;
+    return;
+  }
+  const TimeInterval abnormal{st->anomaly_start, st->last_abnormal};
+  // Reference: the same-length span immediately before the excursion,
+  // clipped to the partition's start (the paper's same-partition reference
+  // annotation, Sec. 2.1).
+  const Timestamp span = std::max<Timestamp>(abnormal.Length(), 1);
+  const TimeInterval reference{std::max(st->first_ts, abnormal.lower - span),
+                               abnormal.lower - 1};
+  if (reference.upper < reference.lower ||
+      static_cast<double>(reference.Length()) <
+          options_.min_reference_fraction * static_cast<double>(span)) {
+    ++anomalies_dropped_;
+    return;
+  }
+  StreamAnomaly out;
+  out.partition = partition;
+  out.peak_z = st->peak_z;
+  out.abnormal_samples = st->abnormal_samples;
+  out.annotation.abnormal = IntervalRef{query_name_, abnormal, partition};
+  out.annotation.reference = IntervalRef{query_name_, reference, partition};
+  ready_.push_back(std::move(out));
+  ++anomalies_emitted_;
+  while (ready_.size() > options_.max_pending) {
+    ready_.pop_front();
+    ++anomalies_dropped_;
+  }
+}
+
+size_t StreamingDetector::FinalizeOpenExcursions() {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t closed = 0;
+  for (auto& [partition, st] : partitions_) {
+    if (!st.in_anomaly) continue;
+    CloseExcursion(partition, &st);
+    ++closed;
+  }
+  return closed;
+}
+
+std::vector<StreamAnomaly> StreamingDetector::TakeReady() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<StreamAnomaly> out(std::make_move_iterator(ready_.begin()),
+                                 std::make_move_iterator(ready_.end()));
+  ready_.clear();
+  return out;
+}
+
+StreamingDetector::Stats StreamingDetector::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.samples = samples_;
+  s.excursions_opened = excursions_opened_;
+  s.anomalies_emitted = anomalies_emitted_;
+  s.anomalies_dropped = anomalies_dropped_;
+  s.partitions_tracked = partitions_.size();
+  return s;
+}
+
+}  // namespace exstream

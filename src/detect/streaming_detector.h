@@ -1,0 +1,119 @@
+// StreamingDetector: online anomaly recognition over the monitored series.
+//
+// The batch AnomalyDetector (detector.h) scores a finished partition family;
+// this detector instead watches match rows as they are emitted — an EWMA
+// mean/variance per partition with a z-score gate — and turns each excursion
+// into a ready-to-explain AnomalyAnnotation the moment it closes. Riding the
+// CEP engine's match callback keeps it on the ingest thread with
+// deterministic sample order, so detection results are reproducible for a
+// fixed event stream regardless of batching.
+
+#pragma once
+
+#include <deque>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "event/event.h"
+#include "explain/annotation.h"
+
+namespace exstream {
+
+struct StreamingDetectorOptions {
+  /// |z| at or above which a sample is abnormal (z against the EWMA
+  /// mean/stddev frozen at the excursion's start).
+  double z_threshold = 4.0;
+  /// EWMA smoothing for mean and variance (per sample).
+  double ewma_alpha = 0.05;
+  /// Samples before a partition may flag anything (the baseline must exist).
+  size_t warmup_samples = 32;
+  /// Consecutive normal samples that close an open excursion.
+  size_t cooldown_samples = 4;
+  /// Excursions with fewer abnormal samples than this are discarded (noise).
+  size_t min_anomaly_samples = 2;
+  /// The pre-excursion reference interval must cover at least this fraction
+  /// of the abnormal interval's length, else the anomaly is dropped as
+  /// unexplainable (no baseline to contrast against).
+  double min_reference_fraction = 0.5;
+  /// Bounded ready queue: oldest finalized anomalies are dropped (counted)
+  /// when the consumer falls behind.
+  size_t max_pending = 64;
+};
+
+/// \brief One finalized streaming anomaly, ready for Explain.
+struct StreamAnomaly {
+  std::string partition;
+  double peak_z = 0.0;          ///< strongest z inside the excursion
+  size_t abnormal_samples = 0;  ///< samples at or above the threshold
+  AnomalyAnnotation annotation; ///< abnormal + same-partition reference
+};
+
+/// \brief Per-partition EWMA z-score detector over one query's match stream.
+///
+/// Observe() is called from the ingest thread (match callback order);
+/// TakeReady()/stats() may be called from any thread.
+class StreamingDetector {
+ public:
+  StreamingDetector(std::string query_name, StreamingDetectorOptions options = {});
+
+  /// Feeds one monitored sample (one match row's visualized column).
+  void Observe(std::string_view partition, Timestamp ts, double value);
+
+  /// Drains finalized anomalies (FIFO).
+  std::vector<StreamAnomaly> TakeReady();
+
+  /// \brief Closes every still-open excursion as if the stream had ended.
+  ///
+  /// A series that stays elevated through the last sample never accumulates
+  /// the cooldown run that normally closes its excursion, so without this the
+  /// incident is silently lost. Call at end-of-stream (after the final
+  /// Flush); each open excursion is finalized through the same
+  /// emit-or-discard path as a cooldown close, with the last abnormal sample
+  /// as its upper bound. Returns the number of excursions closed (emitted or
+  /// discarded). Safe to call on a live stream, but an excursion closed here
+  /// mid-incident will re-open on the next abnormal sample and emit again.
+  size_t FinalizeOpenExcursions();
+
+  struct Stats {
+    uint64_t samples = 0;
+    uint64_t excursions_opened = 0;
+    uint64_t anomalies_emitted = 0;
+    uint64_t anomalies_dropped = 0;   ///< too short / no reference / overflow
+    size_t partitions_tracked = 0;
+  };
+  Stats stats() const;
+
+  const StreamingDetectorOptions& options() const { return options_; }
+
+ private:
+  struct PartitionState {
+    size_t samples = 0;
+    double mean = 0.0;
+    double var = 0.0;
+    Timestamp first_ts = 0;
+    Timestamp last_ts = 0;
+    // Open excursion (in_anomaly): baseline frozen, bounds accumulating.
+    bool in_anomaly = false;
+    Timestamp anomaly_start = 0;
+    Timestamp last_abnormal = 0;
+    double peak_z = 0.0;
+    size_t abnormal_samples = 0;
+    size_t normal_run = 0;
+  };
+
+  void CloseExcursion(const std::string& partition, PartitionState* st);
+
+  const std::string query_name_;
+  const StreamingDetectorOptions options_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, PartitionState> partitions_;
+  std::deque<StreamAnomaly> ready_;
+  uint64_t samples_ = 0;
+  uint64_t excursions_opened_ = 0;
+  uint64_t anomalies_emitted_ = 0;
+  uint64_t anomalies_dropped_ = 0;
+};
+
+}  // namespace exstream

@@ -20,13 +20,15 @@ std::vector<std::string> ExplanationReport::SelectedFeatureNames() const {
 ExplanationEngine::ExplanationEngine(const EventArchive* archive,
                                      const PartitionTable* partitions,
                                      SeriesProvider series_provider,
-                                     ExplainOptions options)
+                                     ExplainOptions options,
+                                     const IncrementalFeatureState* recent)
     : archive_(archive),
       partitions_(partitions),
       series_provider_(std::move(series_provider)),
       options_(std::move(options)),
       specs_(GenerateFeatureSpecs(archive->registry(), options_.feature_space)),
-      builder_(archive, options_.use_legacy_row_scan),
+      builder_(archive, options_.use_legacy_row_scan,
+               options_.use_legacy_row_scan ? nullptr : recent),
       pool_(options_.num_threads == 1
                 ? nullptr
                 : std::make_unique<ThreadPool>(options_.num_threads)) {}

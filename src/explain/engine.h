@@ -121,8 +121,13 @@ class ExplanationEngine {
   ///        be nullptr (Step 2 then degrades to annotated-only validation)
   /// \param series_provider monitored-series accessor; may be empty (Step 2
   ///        is skipped entirely)
+  /// \param recent incremental recent-interval tails; when non-null,
+  ///        exact-resolution feature scans covered by the tails skip the
+  ///        archive (bit-identical rows; see features/incremental.h). Ignored
+  ///        on the legacy row-scan path.
   ExplanationEngine(const EventArchive* archive, const PartitionTable* partitions,
-                    SeriesProvider series_provider, ExplainOptions options = {});
+                    SeriesProvider series_provider, ExplainOptions options = {},
+                    const IncrementalFeatureState* recent = nullptr);
 
   /// Runs the full pipeline for one annotation.
   Result<ExplanationReport> Explain(const AnomalyAnnotation& annotation) const;

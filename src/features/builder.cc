@@ -264,6 +264,13 @@ Result<std::vector<Feature>> FeatureBuilder::Build(const std::vector<FeatureSpec
             degradation != nullptr ? &scan_degradation[i] : nullptr;
         if (use_legacy_row_scan_) {
           row_scans[i] = archive_->Scan(scan_types[i], interval, deg, cancel);
+        } else if (recent_ != nullptr && scan_resolution[i] == 0) {
+          // Exact-resolution scans may be served from the incremental tail
+          // (cold prefixes backfill from the archive inside). Tiered slots
+          // stay on the archive: a tier answer is not reproducible from the
+          // raw tail without re-running the tier fold.
+          views[i] = recent_->ScanWithBackfill(*archive_, scan_types[i],
+                                               interval, deg, cancel);
         } else {
           views[i] = archive_->ScanColumns(scan_types[i], interval, deg, cancel,
                                            scan_resolution[i]);

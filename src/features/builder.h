@@ -10,6 +10,7 @@
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "features/feature.h"
+#include "features/incremental.h"
 
 namespace exstream {
 
@@ -24,11 +25,20 @@ namespace exstream {
 /// per-event materialization. `use_legacy_row_scan` switches to the row
 /// `Scan` shim — same output bit for bit, kept as the A/B baseline for
 /// determinism tests and benchmarks.
+///
+/// With `recent` set, exact-resolution scans are answered from the
+/// incremental in-memory tail when it covers the interval (archive scans
+/// remain the backfill for cold prefixes). Rows are byte-identical either
+/// way, so features — and the explanations built from them — do not change;
+/// tiered scans and the legacy row path always go straight to the archive.
 class FeatureBuilder {
  public:
   explicit FeatureBuilder(const EventArchive* archive,
-                          bool use_legacy_row_scan = false)
-      : archive_(archive), use_legacy_row_scan_(use_legacy_row_scan) {}
+                          bool use_legacy_row_scan = false,
+                          const IncrementalFeatureState* recent = nullptr)
+      : archive_(archive),
+        use_legacy_row_scan_(use_legacy_row_scan),
+        recent_(recent) {}
 
   /// \brief Materializes each spec over `interval`.
   ///
@@ -71,6 +81,7 @@ class FeatureBuilder {
  private:
   const EventArchive* archive_;  // not owned
   bool use_legacy_row_scan_ = false;
+  const IncrementalFeatureState* recent_ = nullptr;  // not owned, may be null
 };
 
 }  // namespace exstream

@@ -52,12 +52,29 @@ XStreamSystem::XStreamSystem(const EventTypeRegistry* registry, XStreamConfig co
     repl_sender_ = std::make_unique<ReplicationSender>(*config_.replication);
     repl_sender_->Start();
   }
+  if (config_.serving.incremental_features) {
+    incremental_ = std::make_unique<IncrementalFeatureState>(
+        registry_, config_.serving.incremental_retention);
+  }
+  if (config_.serving.explain_cache_capacity > 0) {
+    explain_cache_ = std::make_unique<ExplainResultCache>(
+        config_.serving.explain_cache_capacity);
+  }
+  data_watermark_.store(next_seq_, std::memory_order_release);
   if (config_.overload.queue_capacity > 0) {
     worker_ = std::thread(&XStreamSystem::WorkerLoop, this);
   }
 }
 
 XStreamSystem::~XStreamSystem() {
+  if (auto_worker_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(auto_mu_);
+      auto_stopping_ = true;
+    }
+    auto_cv_.notify_all();
+    auto_worker_.join();
+  }
   if (worker_.joinable()) {
     {
       std::lock_guard<std::mutex> lock(queue_mu_);
@@ -76,8 +93,46 @@ XStreamSystem::~XStreamSystem() {
 Result<QueryId> XStreamSystem::AddQuery(std::string_view text, std::string name) {
   EXSTREAM_ASSIGN_OR_RETURN(const QueryId id,
                             engine_.AddQueryText(text, std::string(name)));
+  if (config_.serving.detector.has_value() && detector_ == nullptr &&
+      (config_.serving.detect_query.empty() ||
+       config_.serving.detect_query == name)) {
+    BindDetector(id, name);
+  }
   query_texts_.emplace_back(std::string(text), std::move(name));
   return id;
+}
+
+void XStreamSystem::BindDetector(QueryId query, const std::string& name) {
+  // Empty detect_column follows the visualization default: the last derived
+  // column of the match table (what the CLI charts).
+  if (config_.serving.detect_column.empty()) {
+    const auto& names = engine_.match_table(query).column_names();
+    if (names.empty()) return;
+    config_.serving.detect_column = names.back();
+  }
+  const auto column_index =
+      engine_.match_table(query).ColumnIndex(config_.serving.detect_column);
+  if (!column_index.ok()) {
+    EXSTREAM_LOG(Error) << "streaming detector disabled: query '" << name
+                        << "' has no column '" << config_.serving.detect_column
+                        << "': " << column_index.status().ToString();
+    return;
+  }
+  detect_query_id_ = query;
+  detect_column_index_ = static_cast<int>(*column_index);
+  detector_ =
+      std::make_unique<StreamingDetector>(name, *config_.serving.detector);
+  StreamingDetector* detector = detector_.get();
+  const size_t col = *column_index;
+  // Fires on the applying thread, after each batch, in deterministic
+  // (event, query) order — so detection is reproducible for a fixed stream.
+  engine_.SetMatchCallback([detector, query, col](const MatchNotification& n) {
+    if (n.query != query || col >= n.row.values.size()) return;
+    detector->Observe(n.partition, n.row.ts, n.row.values[col].AsDouble());
+  });
+  if (config_.serving.auto_explain) {
+    auto_worker_ = std::thread(&XStreamSystem::AutoExplainLoop, this);
+  }
 }
 
 void XStreamSystem::OnEvent(const Event& event) {
@@ -95,13 +150,16 @@ void XStreamSystem::OnEvent(const Event& event) {
   ++next_seq_;
   Stopwatch timer;
   engine_.OnEvent(event);
+  if (incremental_ != nullptr) incremental_->OnEvent(event);
   archive_.OnEvent(event);
   const double elapsed = timer.ElapsedSeconds();
-  if (explanation_active_.load(std::memory_order_relaxed)) {
+  if (explanations_running_.load(std::memory_order_relaxed) > 0) {
     busy_latency_.Add(elapsed);
   } else {
     idle_latency_.Add(elapsed);
   }
+  data_watermark_.store(next_seq_, std::memory_order_release);
+  if (detector_ != nullptr) ForwardDetectorAnomalies();
 }
 
 void XStreamSystem::OnEventBatch(EventBatch batch) {
@@ -214,14 +272,21 @@ void XStreamSystem::ApplyBatch(EventBatch batch) {
   Stopwatch timer;
   const size_t n = batch.size();
   engine_.IngestBatch(batch);
+  // The incremental tails must see exactly the archive's event order, so the
+  // feed sits between engine evaluation and the archive taking ownership.
+  if (incremental_ != nullptr) incremental_->OnEventBatch(batch);
   archive_.OnEventBatch(std::move(batch));
   // One histogram sample per event, at the batch's per-event average, so the
   // Appendix-C latency accounting keeps its per-event denominator.
   const double per_event = timer.ElapsedSeconds() / static_cast<double>(n);
-  Histogram& hist = explanation_active_.load(std::memory_order_relaxed)
+  Histogram& hist = explanations_running_.load(std::memory_order_relaxed) > 0
                         ? busy_latency_
                         : idle_latency_;
   for (size_t i = 0; i < n; ++i) hist.Add(per_event);
+  // Publish the new data version only after the batch is visible everywhere;
+  // cache keys built from it then name state that actually exists.
+  data_watermark_.store(next_seq_, std::memory_order_release);
+  if (detector_ != nullptr) ForwardDetectorAnomalies();
 }
 
 void XStreamSystem::OnStreamEnd() { Flush(); }
@@ -337,6 +402,15 @@ Result<XStreamSystem::RecoveryReport> XStreamSystem::Recover(
     rep.checkpoint_seq = seq;
     from_seq = seq;
   }
+  if (incremental_ != nullptr) {
+    incremental_->Reset();
+    if (rep.manifest_loaded) {
+      // The restored archive holds events the incremental tails never saw;
+      // coverage floors must start strictly above the first replayed event
+      // (checkpoint boundaries can split equal timestamps).
+      incremental_->MarkExternalData();
+    }
+  }
   if (config_.durability.wal_dir.has_value()) {
     // The replayed batches are already in the log: flag the replay so
     // ApplyBatch skips the WAL append (re-appending would duplicate the tail
@@ -376,6 +450,11 @@ Result<XStreamSystem::RecoveryReport> XStreamSystem::Recover(
   } else {
     next_seq_ = from_seq;
   }
+  // No explanation computed before the restore may survive it: the cache's
+  // watermark dimension cannot distinguish a pre-crash sequence space from
+  // the recovered one.
+  if (explain_cache_ != nullptr) explain_cache_->Clear();
+  data_watermark_.store(next_seq_, std::memory_order_release);
   return rep;
 }
 
@@ -414,12 +493,42 @@ SeriesProvider XStreamSystem::MakeSeriesProvider(QueryId query,
 Result<ExplanationReport> XStreamSystem::Explain(const AnomalyAnnotation& annotation,
                                                  QueryId monitor_query,
                                                  const std::string& column) {
+  if (explain_cache_ != nullptr) {
+    const std::string key =
+        ExplainCacheKey(annotation, monitor_query, column, config_.explain,
+                        data_watermark(), DegradationStateFingerprint());
+    const ExplainResultCache::ResultPtr result = explain_cache_->GetOrCompute(
+        key, [&] { return ExplainUncached(annotation, monitor_query, column); });
+    return *result;
+  }
+  return ExplainUncached(annotation, monitor_query, column);
+}
+
+uint64_t XStreamSystem::DegradationStateFingerprint() const {
+  // Any change here must miss the cache: a scan after a quarantine or a
+  // tier-0 eviction can return different (degraded) data for the same
+  // interval, and shed/rejected counts are folded into every report.
+  uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(archive_.quarantined_chunks());
+  mix(archive_.tier0_evictions());
+  mix(shed_events_.load());
+  mix(guard_.report().total());
+  return h;
+}
+
+Result<ExplanationReport> XStreamSystem::ExplainUncached(
+    const AnomalyAnnotation& annotation, QueryId monitor_query,
+    const std::string& column) {
   ExplanationEngine explainer(&archive_, &partitions_,
                               MakeSeriesProvider(monitor_query, column),
-                              config_.explain);
-  explanation_active_.store(true);
+                              config_.explain, incremental_.get());
+  explanations_running_.fetch_add(1);
   auto result = explainer.Explain(annotation);
-  explanation_active_.store(false);
+  explanations_running_.fetch_sub(1);
   if (result.ok()) {
     // Ingest-side losses make the analyzed data incomplete in ways the
     // archive scans cannot see; fold them into the degradation accounting.
@@ -442,6 +551,73 @@ std::future<Result<ExplanationReport>> XStreamSystem::ExplainAsync(
   return std::async(std::launch::async, [this, annotation, monitor_query, column] {
     return Explain(annotation, monitor_query, column);
   });
+}
+
+void XStreamSystem::ForwardDetectorAnomalies() {
+  // Only the auto-explain worker consumes through here; without it, callers
+  // drain detector()->TakeReady() themselves.
+  if (!auto_worker_.joinable()) return;
+  std::vector<StreamAnomaly> ready = detector_->TakeReady();
+  if (ready.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(auto_mu_);
+    for (StreamAnomaly& anomaly : ready) {
+      auto_queue_.push_back(std::move(anomaly));
+      while (auto_queue_.size() > config_.serving.auto_queue_capacity) {
+        // Ingest must never block on explanation throughput: overflow drops
+        // the oldest pending anomaly (the newest describes the live incident).
+        auto_queue_.pop_front();
+        auto_anomalies_dropped_.fetch_add(1);
+      }
+    }
+  }
+  auto_cv_.notify_one();
+}
+
+void XStreamSystem::AutoExplainLoop() {
+  std::unique_lock<std::mutex> lock(auto_mu_);
+  for (;;) {
+    auto_cv_.wait(lock, [&] { return !auto_queue_.empty() || auto_stopping_; });
+    if (auto_queue_.empty() && auto_stopping_) return;
+    StreamAnomaly anomaly = std::move(auto_queue_.front());
+    auto_queue_.pop_front();
+    auto_busy_ = true;
+    lock.unlock();
+    // Through the cached path: repeated excursions over one incident, or an
+    // interactive user re-exploring what the detector flagged, share one
+    // computation.
+    auto report = std::make_shared<const Result<ExplanationReport>>(Explain(
+        anomaly.annotation, detect_query_id_, config_.serving.detect_column));
+    lock.lock();
+    auto_results_.push_back(AutoExplanation{std::move(anomaly), std::move(report)});
+    while (auto_results_.size() > config_.serving.max_auto_explanations) {
+      auto_results_.erase(auto_results_.begin());
+    }
+    auto_busy_ = false;
+    auto_explains_completed_.fetch_add(1);
+    auto_done_cv_.notify_all();
+  }
+}
+
+std::vector<XStreamSystem::AutoExplanation> XStreamSystem::TakeAutoExplanations() {
+  std::lock_guard<std::mutex> lock(auto_mu_);
+  std::vector<AutoExplanation> out = std::move(auto_results_);
+  auto_results_.clear();
+  return out;
+}
+
+size_t XStreamSystem::FinalizeDetector() {
+  if (detector_ == nullptr) return 0;
+  const size_t closed = detector_->FinalizeOpenExcursions();
+  ForwardDetectorAnomalies();
+  return closed;
+}
+
+void XStreamSystem::DrainAutoExplains() {
+  if (detector_ == nullptr || !auto_worker_.joinable()) return;
+  ForwardDetectorAnomalies();
+  std::unique_lock<std::mutex> lock(auto_mu_);
+  auto_done_cv_.wait(lock, [&] { return auto_queue_.empty() && !auto_busy_; });
 }
 
 XStreamSystem::FaultStats XStreamSystem::fault_stats() const {

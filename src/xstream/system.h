@@ -37,9 +37,12 @@
 #include "archive/archive.h"
 #include "cep/engine.h"
 #include "common/histogram.h"
+#include "detect/streaming_detector.h"
 #include "explain/engine.h"
+#include "explain/explain_cache.h"
 #include "explain/partition_table.h"
 #include "event/stream.h"
+#include "features/incremental.h"
 #include "io/wal.h"
 #include "net/replication_sender.h"
 #include "xstream/ingest_guard.h"
@@ -72,6 +75,36 @@ struct OverloadOptions {
   int64_t block_deadline_ms = 100;
 };
 
+/// \brief Continuous-serving layer: streaming detection, incremental
+/// features, and the keyed Explain result cache (all opt-in; everything off
+/// keeps the pre-serving behavior bit for bit).
+struct ServingOptions {
+  /// Maintain per-type in-memory tails as batches apply, so Explains over
+  /// recent intervals skip archive scans (cold prefixes still backfill).
+  bool incremental_features = false;
+  /// Trailing time kept per type in the incremental tails (0 = unbounded).
+  Timestamp incremental_retention = 0;
+  /// Completed Explain reports cached, keyed by (annotation, query, column,
+  /// options fingerprint, data watermark, degradation state) with
+  /// single-flight dedup. 0 disables the cache.
+  size_t explain_cache_capacity = 0;
+  /// Online z-score/EWMA detection over the monitored series (set = on).
+  std::optional<StreamingDetectorOptions> detector;
+  /// Query the detector monitors (name passed to AddQuery); empty = the
+  /// first query added.
+  std::string detect_query;
+  /// Match-table column the detector observes (the visualized attribute).
+  std::string detect_column;
+  /// Auto-run Explain on every finalized detector anomaly, on a background
+  /// worker (results via TakeAutoExplanations). Requires `detector`.
+  bool auto_explain = false;
+  /// Bounded queue between detector and the auto-explain worker; overflow
+  /// drops the oldest pending anomaly (counted).
+  size_t auto_queue_capacity = 16;
+  /// Completed auto-explanations retained (oldest dropped beyond this).
+  size_t max_auto_explanations = 32;
+};
+
 /// \brief System-level configuration.
 struct XStreamConfig {
   ArchiveOptions archive;
@@ -91,6 +124,9 @@ struct XStreamConfig {
   /// Parent/child replication: when set, every WAL-durable batch also streams
   /// to the parent node at replication->host:port (net/replication_sender.h).
   std::optional<ReplicationSenderOptions> replication;
+  /// Continuous explanation serving (detection, incremental features, result
+  /// cache) — all off by default.
+  ServingOptions serving;
   /// Latency histogram range (seconds).
   double latency_histogram_max = 0.1;
 };
@@ -200,8 +236,61 @@ class XStreamSystem : public EventSink {
       const AnomalyAnnotation& annotation, QueryId monitor_query,
       const std::string& column);
 
-  /// True while a background explanation is executing.
-  bool explanation_active() const { return explanation_active_.load(); }
+  /// True while at least one explanation is executing.
+  bool explanation_active() const { return explanations_running_.load() > 0; }
+
+  /// Incremental feature tails; nullptr when serving.incremental_features is
+  /// off. Read-only surface for stats and direct FeatureBuilder use.
+  const IncrementalFeatureState* incremental() const { return incremental_.get(); }
+
+  /// Explain result cache; nullptr when serving.explain_cache_capacity == 0.
+  ExplainResultCache* explain_cache() { return explain_cache_.get(); }
+  const ExplainResultCache* explain_cache() const { return explain_cache_.get(); }
+
+  /// Streaming detector; nullptr until the detect query is added (or when
+  /// serving.detector is unset).
+  StreamingDetector* detector() { return detector_.get(); }
+  const StreamingDetector* detector() const { return detector_.get(); }
+
+  /// \brief Count of events applied so far, published by the applying thread
+  /// after each batch lands in engine + archive. This is the cache key's data
+  /// version: any advance invalidates previously cached explanations. Under
+  /// concurrent ingest a reader may observe the pre-batch value for the
+  /// in-flight batch (one-batch staleness; quiesce with Flush() for exact
+  /// reads).
+  uint64_t data_watermark() const {
+    return data_watermark_.load(std::memory_order_acquire);
+  }
+
+  /// \brief One completed auto-triggered explanation.
+  struct AutoExplanation {
+    StreamAnomaly anomaly;
+    std::shared_ptr<const Result<ExplanationReport>> report;
+  };
+
+  /// Drains completed auto-explanations (serving.auto_explain).
+  std::vector<AutoExplanation> TakeAutoExplanations();
+
+  /// Auto-explanations completed since start.
+  size_t auto_explains_completed() const { return auto_explains_completed_.load(); }
+  /// Detector anomalies dropped by the bounded auto-explain queue.
+  size_t auto_anomalies_dropped() const { return auto_anomalies_dropped_.load(); }
+
+  /// \brief Blocks until every detector anomaly emitted so far has been
+  /// auto-explained (no-op without auto-explain). Call after Flush() so the
+  /// detector has seen the full stream.
+  void DrainAutoExplains();
+
+  /// \brief Closes every detector excursion still open and forwards the
+  /// resulting anomalies to the auto-explain worker. An excursion whose
+  /// series stays elevated through the last event never sees the cooldown
+  /// that normally closes it; this is the end-of-stream hook that flushes
+  /// those incidents. Call after the final Flush() and before
+  /// DrainAutoExplains(); not part of DrainAutoExplains itself because
+  /// draining is legal mid-stream, where force-closing live excursions would
+  /// split one incident into several. Returns the number of excursions
+  /// closed (no-op returning 0 without a detector).
+  size_t FinalizeDetector();
 
   /// Per-event processing latency while no explanation was running.
   const Histogram& idle_latency() const { return idle_latency_; }
@@ -240,6 +329,17 @@ class XStreamSystem : public EventSink {
   void WorkerLoop();
   /// Blocks until the queue is empty and the worker idle.
   void DrainQueue();
+  /// The uncached pipeline body (what Explain wraps with the result cache).
+  Result<ExplanationReport> ExplainUncached(const AnomalyAnnotation& annotation,
+                                            QueryId monitor_query,
+                                            const std::string& column);
+  /// Folds the scan-health counters into the cache key's degradation state.
+  uint64_t DegradationStateFingerprint() const;
+  /// Installs the streaming detector on the engine's match callback.
+  void BindDetector(QueryId query, const std::string& name);
+  /// Moves finalized detector anomalies into the auto-explain queue.
+  void ForwardDetectorAnomalies();
+  void AutoExplainLoop();
 
   const EventTypeRegistry* registry_;  // not owned
   XStreamConfig config_;
@@ -273,9 +373,31 @@ class XStreamSystem : public EventSink {
   std::atomic<size_t> shed_events_{0};
   std::atomic<size_t> shed_batches_{0};
 
-  std::atomic<bool> explanation_active_{false};
+  std::atomic<int> explanations_running_{0};
   Histogram idle_latency_;
   Histogram busy_latency_;
+
+  // Continuous-serving state (all null/idle unless config_.serving opts in).
+  std::unique_ptr<IncrementalFeatureState> incremental_;
+  std::unique_ptr<ExplainResultCache> explain_cache_;
+  std::unique_ptr<StreamingDetector> detector_;
+  QueryId detect_query_id_ = 0;
+  int detect_column_index_ = -1;
+  /// Data version for cache keys; published by the applying thread after
+  /// each batch is visible in engine + archive.
+  std::atomic<uint64_t> data_watermark_{0};
+
+  // Auto-explain worker (runs only with serving.auto_explain + detector).
+  std::mutex auto_mu_;
+  std::condition_variable auto_cv_;       ///< work available / stopping
+  std::condition_variable auto_done_cv_;  ///< queue drained + worker idle
+  std::deque<StreamAnomaly> auto_queue_;
+  bool auto_busy_ = false;
+  bool auto_stopping_ = false;
+  std::vector<AutoExplanation> auto_results_;
+  std::thread auto_worker_;
+  std::atomic<size_t> auto_explains_completed_{0};
+  std::atomic<size_t> auto_anomalies_dropped_{0};
 };
 
 }  // namespace exstream

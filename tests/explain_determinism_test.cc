@@ -142,6 +142,10 @@ std::unique_ptr<EventArchive> TieredReplica(const WorkloadRun& run) {
   EXPECT_GT(tier_window, 0);
   ArchiveOptions options;
   options.tier_windows = {tier_window};
+  // Tiers are built at seal time and served only from sealed chunks; the
+  // workload's per-type event counts sit below the default capacity, so
+  // shrink chunks or nothing ever seals and the tier path stays unreachable.
+  options.chunk_capacity = 256;
   auto archive = std::make_unique<EventArchive>(run.registry.get(), options);
   const TimeInterval everything{0, std::numeric_limits<Timestamp>::max() / 2};
   auto scans = run.archive->ScanAll(everything);

@@ -1,0 +1,220 @@
+// Continuous serving across Checkpoint/Recover: the incremental feature
+// tails and the Explain result cache must survive a crash correctly — tails
+// reset and conservatively re-floor above the restored archive (equal
+// timestamps can split across a checkpoint), the cache drops every pre-crash
+// entry, and the post-recovery explanation is bit-identical to the uncrashed
+// system's and to a plain archive-scan engine over the recovered archive.
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/hadoop_sim.h"
+#include "xstream/system.h"
+
+namespace exstream {
+namespace {
+
+constexpr char kQueryText[] =
+    "PATTERN SEQ(JobStart a, DataIO+ b[], JobEnd c) "
+    "WHERE [jobId] "
+    "RETURN (b[i].timestamp, a.jobId, sum(b[1..i].dataSize))";
+constexpr size_t kBatch = 64;
+
+std::string MakeTempDir(const char* tag) {
+  std::string tmpl = std::string("/tmp/exstream_") + tag + "_XXXXXX";
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  EXPECT_NE(mkdtemp(buf.data()), nullptr);
+  return std::string(buf.data());
+}
+
+class ServingRecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(HadoopClusterSim::RegisterEventTypes(&registry_).ok());
+    HadoopSimConfig cfg;
+    cfg.num_nodes = 3;
+    cfg.seed = 77;
+    HadoopClusterSim sim(cfg, &registry_);
+    HadoopJobConfig job;
+    job.job_id = "job-x";
+    job.program = "p";
+    job.dataset = "d";
+    sim.AddJob(job);
+    AnomalySpec anomaly;
+    anomaly.type = AnomalyType::kHighMemory;
+    anomaly.start = 60;
+    anomaly.end = 300;
+    sim.AddAnomaly(anomaly);
+    VectorSink sink;
+    ASSERT_TRUE(sim.Run(&sink).ok());
+    events_ = sink.events();
+    ASSERT_GT(events_.size(), 1000u);
+  }
+
+  XStreamConfig ServingConfig(const std::string& wal_dir) const {
+    XStreamConfig cfg;
+    cfg.explain.feature_space.windows = {10};
+    cfg.durability.wal_dir = wal_dir;
+    cfg.durability.fsync = WalFsyncPolicy::kNone;
+    cfg.serving.incremental_features = true;
+    cfg.serving.explain_cache_capacity = 8;
+    return cfg;
+  }
+
+  std::unique_ptr<XStreamSystem> MakeSystem(const XStreamConfig& cfg,
+                                            QueryId* qid) {
+    auto sys = std::make_unique<XStreamSystem>(&registry_, cfg);
+    const auto q = sys->AddQuery(kQueryText, "Q1");
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    *qid = q.ok() ? *q : 0;
+    return sys;
+  }
+
+  void Feed(XStreamSystem* sys, size_t begin, size_t end) {
+    for (size_t i = begin; i < end;) {
+      const size_t n = std::min(kBatch, end - i);
+      sys->OnEventBatch(EventBatch(events_.begin() + static_cast<ptrdiff_t>(i),
+                                   events_.begin() + static_cast<ptrdiff_t>(i + n)));
+      i += n;
+    }
+    sys->Flush();
+  }
+
+  static AnomalyAnnotation Annotation() {
+    AnomalyAnnotation annotation;
+    annotation.abnormal = {"Q1", {60, 300}, "job-x"};
+    annotation.reference = {"Q1", {360, 600}, "job-x"};
+    return annotation;
+  }
+
+  static void ExpectReportsIdentical(const ExplanationReport& a,
+                                     const ExplanationReport& b) {
+    EXPECT_EQ(a.explanation.ToString(), b.explanation.ToString());
+    ASSERT_EQ(a.ranked.size(), b.ranked.size());
+    for (size_t i = 0; i < a.ranked.size(); ++i) {
+      EXPECT_EQ(a.ranked[i].spec.Name(), b.ranked[i].spec.Name());
+      EXPECT_EQ(a.ranked[i].abnormal_series.times(),
+                b.ranked[i].abnormal_series.times());
+      EXPECT_EQ(a.ranked[i].abnormal_series.values(),
+                b.ranked[i].abnormal_series.values());
+      EXPECT_EQ(a.ranked[i].reference_series.times(),
+                b.ranked[i].reference_series.times());
+      EXPECT_EQ(a.ranked[i].reference_series.values(),
+                b.ranked[i].reference_series.values());
+    }
+  }
+
+  EventTypeRegistry registry_;
+  std::vector<Event> events_;
+};
+
+TEST_F(ServingRecoveryTest, PostRecoveryExplainBitIdentical) {
+  const std::string wal_dir = MakeTempDir("srv_wal");
+  const std::string ckpt_dir = MakeTempDir("srv_ckpt");
+  const size_t half = events_.size() / 2;
+  const AnomalyAnnotation annotation = Annotation();
+
+  // Uncrashed reference system: everything in one life.
+  QueryId ref_qid = 0;
+  XStreamConfig ref_cfg = ServingConfig(MakeTempDir("srv_refwal"));
+  auto reference = MakeSystem(ref_cfg, &ref_qid);
+  Feed(reference.get(), 0, events_.size());
+  ASSERT_TRUE(reference->IndexPartitions(ref_qid, {{"program", "p"}}).ok());
+  auto ref_report = reference->Explain(annotation, ref_qid, "sum_dataSize");
+  ASSERT_TRUE(ref_report.ok()) << ref_report.status().ToString();
+
+  // Crashing system: checkpoint at the midpoint, then the second half lands
+  // only in the WAL before the "crash" (destruction without checkpoint).
+  {
+    QueryId qid = 0;
+    auto sys = MakeSystem(ServingConfig(wal_dir), &qid);
+    Feed(sys.get(), 0, half);
+    ASSERT_TRUE(sys->Checkpoint(ckpt_dir).ok());
+    Feed(sys.get(), half, events_.size());
+    // A pre-crash explanation populates the cache; nothing of it may
+    // survive into the recovered system.
+    ASSERT_TRUE(sys->IndexPartitions(qid, {{"program", "p"}}).ok());
+    ASSERT_TRUE(sys->Explain(annotation, qid, "sum_dataSize").ok());
+  }
+
+  // Recovered system: checkpoint + WAL tail.
+  QueryId qid = 0;
+  auto recovered = MakeSystem(ServingConfig(wal_dir), &qid);
+  auto rep = recovered->Recover(ckpt_dir);
+  ASSERT_TRUE(rep.ok()) << rep.status().ToString();
+  EXPECT_TRUE(rep->manifest_loaded);
+  EXPECT_GT(rep->wal.events_applied, 0u);
+  EXPECT_EQ(recovered->data_watermark(), reference->data_watermark());
+
+  // No stale cache entries: the recovered cache starts cold.
+  EXPECT_EQ(recovered->explain_cache()->stats().entries, 0u);
+
+  ASSERT_TRUE(recovered->IndexPartitions(qid, {{"program", "p"}}).ok());
+  auto rec_report = recovered->Explain(annotation, qid, "sum_dataSize");
+  ASSERT_TRUE(rec_report.ok()) << rec_report.status().ToString();
+  ExpectReportsIdentical(*ref_report, *rec_report);
+
+  // The recovered tails hold only the WAL tail; the checkpointed prefix
+  // backfills from the archive. The explanation must still match a plain
+  // scan engine over the recovered archive bit for bit.
+  const auto tails = recovered->incremental()->stats();
+  EXPECT_GT(tails.full_hits + tails.partial_hits + tails.misses, 0u);
+  const ExplanationEngine scan_engine(
+      &recovered->archive(), &recovered->partitions(),
+      recovered->MakeSeriesProvider(qid, "sum_dataSize"), ref_cfg.explain);
+  auto scan_report = scan_engine.Explain(annotation);
+  ASSERT_TRUE(scan_report.ok());
+  ExpectReportsIdentical(*scan_report, *rec_report);
+
+  // Cached repeat on the recovered system: one computation, shared result.
+  auto repeat = recovered->Explain(annotation, qid, "sum_dataSize");
+  ASSERT_TRUE(repeat.ok());
+  EXPECT_EQ(recovered->explain_cache()->stats().hits, 1u);
+  ExpectReportsIdentical(*rec_report, *repeat);
+
+  // New post-recovery data must invalidate (watermark advances).
+  Event probe(*registry_.IdOf("CpuUsage"), 100000,
+              {Value(int64_t{0}), Value(1.0), Value(1.0), Value(1.0), Value(1.0)});
+  recovered->OnEvent(probe);
+  auto fresh = recovered->Explain(annotation, qid, "sum_dataSize");
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(recovered->explain_cache()->stats().computations, 2u);
+}
+
+TEST_F(ServingRecoveryTest, WalOnlyRecoveryKeepsTailsConsistent) {
+  const std::string wal_dir = MakeTempDir("srv_walonly");
+  const AnomalyAnnotation annotation = Annotation();
+  {
+    QueryId qid = 0;
+    auto sys = MakeSystem(ServingConfig(wal_dir), &qid);
+    Feed(sys.get(), 0, events_.size());
+  }
+  QueryId qid = 0;
+  auto recovered = MakeSystem(ServingConfig(wal_dir), &qid);
+  auto rep = recovered->Recover("");
+  ASSERT_TRUE(rep.ok()) << rep.status().ToString();
+  EXPECT_FALSE(rep->manifest_loaded);
+  ASSERT_TRUE(recovered->IndexPartitions(qid, {{"program", "p"}}).ok());
+
+  // Without a checkpoint the whole stream replays through ApplyBatch, so the
+  // tails see everything — the explanation must equal the plain scan path.
+  auto served = recovered->Explain(annotation, qid, "sum_dataSize");
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+  const auto tails = recovered->incremental()->stats();
+  EXPECT_GT(tails.full_hits + tails.partial_hits, 0u);
+  XStreamConfig plain_cfg = ServingConfig(wal_dir);
+  const ExplanationEngine scan_engine(
+      &recovered->archive(), &recovered->partitions(),
+      recovered->MakeSeriesProvider(qid, "sum_dataSize"), plain_cfg.explain);
+  auto scan_report = scan_engine.Explain(annotation);
+  ASSERT_TRUE(scan_report.ok());
+  ExpectReportsIdentical(*scan_report, *served);
+}
+
+}  // namespace
+}  // namespace exstream
