@@ -32,6 +32,7 @@
 #include "net/replication_receiver.h"
 #include "sim/hadoop_sim.h"
 #include "xstream/system.h"
+#include "xstream/tenant_hub.h"
 
 using namespace exstream;
 using bench::CheckOk;
@@ -144,6 +145,125 @@ Measurement RunChild(const EventTypeRegistry& registry,
   return m;
 }
 
+// --- Multi-child fan-in ------------------------------------------------------
+//
+// One receiver, N children across two tenants (even children -> tenant-a, odd
+// -> tenant-b), the same total event volume split contiguously across the
+// children. The gated quantity is fanin_ratio = aggregate ev/s with N
+// children divided by aggregate ev/s with 1 child — both sides run on the
+// same host in the same process, so hardware cancels out, exactly like
+// overhead_ratio. Each run also asserts tenant isolation: every tenant's
+// parent must end with exactly its own children's events and nothing else.
+
+struct FanInMeasurement {
+  size_t children = 0;
+  size_t events = 0;            ///< total across all children
+  double seconds = 0;           ///< best rep: feed start -> all drained
+  double eps = 0;
+  size_t tenant_a_applied = 0;
+  size_t tenant_b_applied = 0;
+  size_t tenant_a_shed = 0;     ///< gaps + quota sheds disclosed to tenant-a
+  size_t tenant_b_shed = 0;
+  size_t gap_events = 0;        ///< receiver-wide; must be 0 on loopback
+  bool contamination_free = false;
+};
+
+FanInMeasurement RunFanIn(const EventTypeRegistry& registry,
+                          const std::vector<Event>& stream, size_t n_children,
+                          size_t reps, size_t batch_size) {
+  // Contiguous per-child slices; each child owns its own seq space, so each
+  // slice replays as that child's whole stream.
+  std::vector<std::vector<Event>> child_streams(n_children);
+  const size_t per_child = stream.size() / n_children;
+  for (size_t c = 0; c < n_children; ++c) {
+    const size_t begin = c * per_child;
+    const size_t end = (c + 1 == n_children) ? stream.size() : begin + per_child;
+    child_streams[c].assign(stream.begin() + static_cast<ptrdiff_t>(begin),
+                            stream.begin() + static_cast<ptrdiff_t>(end));
+  }
+  size_t expected_a = 0;
+  size_t expected_b = 0;
+  for (size_t c = 0; c < n_children; ++c) {
+    (c % 2 == 0 ? expected_a : expected_b) += child_streams[c].size();
+  }
+
+  FanInMeasurement m;
+  m.children = n_children;
+  m.events = stream.size();
+  for (size_t rep = 0; rep < reps; ++rep) {
+    XStreamSystem parent_a(&registry);
+    XStreamSystem parent_b(&registry);
+    CheckOk(parent_a.AddQuery(kQ1, "Q1").status(), "tenant-a AddQuery");
+    CheckOk(parent_b.AddQuery(kQ1, "Q1").status(), "tenant-b AddQuery");
+    TenantHub hub;
+    CheckOk(hub.AddTenant("tenant-a", &parent_a), "AddTenant a");
+    CheckOk(hub.AddTenant("tenant-b", &parent_b), "AddTenant b");
+    ReplicationReceiverOptions ropts;
+    ropts.io_timeout_ms = 100;
+    ReplicationReceiver receiver(&hub, ropts);
+    CheckOk(receiver.Start(), "receiver Start");
+
+    std::vector<std::unique_ptr<XStreamSystem>> children;
+    for (size_t c = 0; c < n_children; ++c) {
+      XStreamConfig cfg;
+      ReplicationSenderOptions sopts;
+      sopts.port = receiver.port();
+      sopts.idle_poll_ms = 2;
+      sopts.tenant = (c % 2 == 0) ? "tenant-a" : "tenant-b";
+      sopts.node_id = StrFormat("child-%zu", c);
+      cfg.replication = sopts;
+      children.push_back(std::make_unique<XStreamSystem>(&registry, cfg));
+      CheckOk(children.back()->AddQuery(kQ1, "Q1").status(), "child AddQuery");
+    }
+
+    Stopwatch timer;
+    for (size_t c = 0; c < n_children; ++c) {
+      const std::vector<Event>& events = child_streams[c];
+      for (size_t i = 0; i < events.size(); i += batch_size) {
+        const size_t end = std::min(events.size(), i + batch_size);
+        children[c]->OnEventBatch(
+            EventBatch(events.begin() + static_cast<ptrdiff_t>(i),
+                       events.begin() + static_cast<ptrdiff_t>(end)));
+      }
+    }
+    for (auto& child : children) child->Flush();
+    for (auto& child : children) {
+      if (!child->replication()->WaitForDrain(120000)) {
+        fprintf(stderr, "FAIL: fan-in replication did not drain\n");
+        exit(1);
+      }
+    }
+    const double secs = timer.ElapsedSeconds();
+    receiver.Stop();
+
+    const size_t applied_a = parent_a.engine().events_processed();
+    const size_t applied_b = parent_b.engine().events_processed();
+    const size_t shed_a = parent_a.shed_events();
+    const size_t shed_b = parent_b.shed_events();
+    const auto rstats = receiver.stats();
+    const bool clean = applied_a == expected_a && applied_b == expected_b &&
+                       shed_a == 0 && shed_b == 0 && rstats.gap_events == 0 &&
+                       rstats.quota_shed_events == 0;
+    if (!clean) {
+      fprintf(stderr,
+              "FAIL: fan-in contamination with %zu children — tenant-a "
+              "%zu/%zu, tenant-b %zu/%zu, sheds %zu/%zu, gaps %zu\n",
+              n_children, applied_a, expected_a, applied_b, expected_b, shed_a,
+              shed_b, static_cast<size_t>(rstats.gap_events));
+      exit(1);
+    }
+    if (rep == 0 || secs < m.seconds) m.seconds = secs;
+    m.tenant_a_applied = applied_a;
+    m.tenant_b_applied = applied_b;
+    m.tenant_a_shed = shed_a;
+    m.tenant_b_shed = shed_b;
+    m.gap_events = rstats.gap_events;
+    m.contamination_free = clean;
+  }
+  m.eps = static_cast<double>(m.events) / m.seconds;
+  return m;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -189,6 +309,21 @@ int main(int argc, char** argv) {
   printf("parent applied %zu/%zu events, %zu reconnects\n", on.parent_applied,
          stream.size(), on.reconnects);
 
+  std::vector<FanInMeasurement> fanin;
+  for (const size_t n_children : {size_t{1}, size_t{2}, size_t{4}}) {
+    fprintf(stderr, "[bench] fan-in: %zu children, 2 tenants ...\n",
+            n_children);
+    fanin.push_back(RunFanIn(registry, stream, n_children, reps, batch_size));
+  }
+  printf("\nFan-in (one receiver, 2 tenants, same total events)\n");
+  printf("%9s %14s %9s %12s %12s %8s %8s\n", "children", "events/sec", "ratio",
+         "tenant-a ev", "tenant-b ev", "shed-a", "shed-b");
+  for (const FanInMeasurement& f : fanin) {
+    printf("%9zu %14.0f %9.3f %12zu %12zu %8zu %8zu\n", f.children, f.eps,
+           f.eps / fanin.front().eps, f.tenant_a_applied, f.tenant_b_applied,
+           f.tenant_a_shed, f.tenant_b_shed);
+  }
+
   JsonWriter json;
   json.BeginObject();
   json.Key("bench");
@@ -215,6 +350,35 @@ int main(int argc, char** argv) {
   json.UInt(on.parent_gaps);
   json.Key("sender_reconnects");
   json.UInt(on.reconnects);
+  json.Key("fanin");
+  json.BeginArray();
+  for (const FanInMeasurement& f : fanin) {
+    json.BeginObject();
+    json.Key("children");
+    json.UInt(f.children);
+    json.Key("events");
+    json.UInt(f.events);
+    json.Key("seconds");
+    json.Double(f.seconds);
+    json.Key("eps");
+    json.Double(f.eps);
+    json.Key("fanin_ratio");
+    json.Double(f.eps / fanin.front().eps);
+    json.Key("tenant_a_applied");
+    json.UInt(f.tenant_a_applied);
+    json.Key("tenant_b_applied");
+    json.UInt(f.tenant_b_applied);
+    json.Key("tenant_a_shed_events");
+    json.UInt(f.tenant_a_shed);
+    json.Key("tenant_b_shed_events");
+    json.UInt(f.tenant_b_shed);
+    json.Key("gap_events");
+    json.UInt(f.gap_events);
+    json.Key("contamination_free");
+    json.Bool(f.contamination_free);
+    json.EndObject();
+  }
+  json.EndArray();
   json.MemoryObject(bench::SampleMemoryStats());
   json.EndObject();
   if (!json.WriteFile(out_path)) return 1;

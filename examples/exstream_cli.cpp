@@ -48,22 +48,42 @@
 //                          S seconds (0 = unbounded) so recent-interval
 //                          feature scans skip the archive
 //
-// Replication (two-process parent/child, see DESIGN.md §8):
+// Replication (multi-process parent/children, see DESIGN.md §8):
 //   --replicate-to HOST:PORT  child mode: stream every ingested batch to the
 //                             parent node at HOST:PORT; after ingest, wait
 //                             (up to --drain-ms, default 15000) for the
 //                             parent to ack everything
-//   --listen PORT             parent mode: accept a child's replication
-//                             stream on 127.0.0.1:PORT (0 = ephemeral; the
-//                             chosen port prints to stderr). Runs until
+//   --tenant NAME             child mode: the tenant this child's stream
+//                             belongs to (default "default")
+//   --node-id NAME            child mode: this child's stable identity; each
+//                             (tenant, node-id) owns its own seq space and
+//                             resume watermark at the parent (default "child")
+//   --listen PORT             parent mode: accept child replication streams
+//                             on 127.0.0.1:PORT (0 = ephemeral; the chosen
+//                             port prints to stderr). Runs until
 //                             --expect-events events have arrived or
 //                             --listen-for-ms (default 30000) passes, then
 //                             continues to --chart/--explain over the
 //                             replicated data. --events is optional.
+//   --tenants A,B,...         parent mode: serve several tenants at once —
+//                             one isolated XStreamSystem per tenant (own
+//                             match tables, archive, WAL subdir, Explain),
+//                             any number of children per tenant. Prints a
+//                             per-tenant summary (and per-tenant explanation
+//                             with --explain) instead of the single-tenant
+//                             flow.
+//   --quota-bytes-per-sec N   parent mode: per-tenant ingest quota (token
+//                             bucket; 0 = unlimited). Over-quota frames are
+//                             shed at the parent and disclosed only in the
+//                             owning tenant's summary/DegradationReport.
+//   --quota-burst-bytes N     parent mode: token-bucket burst (default 4x
+//                             the per-second rate)
 //   --expect-events N         parent mode: stop listening once the resume
-//                             watermark reaches N events
-//   --repl-state PATH         parent mode: persist the replication gap state
-//                             here so the watermark survives restarts
+//                             watermark (summed across tenants and children)
+//                             reaches N events
+//   --repl-state PATH         parent mode: persist the per-(tenant, child)
+//                             replication gap state here so resume watermarks
+//                             survive restarts
 //
 // Schema file: one event type per line, `TypeName attr:type attr:type ...`
 // where type is int64|double|string. Event CSV: see src/io/csv.h.
@@ -87,6 +107,7 @@
 #include "sim/workloads.h"
 #include "viz/ascii_chart.h"
 #include "xstream/system.h"
+#include "xstream/tenant_hub.h"
 
 using namespace exstream;
 
@@ -209,6 +230,162 @@ Result<std::array<std::string, 3>> WriteDemoFiles() {
   return std::array<std::string, 3>{schema_path, events_path, query_path};
 }
 
+// Parent mode with --tenants: one isolated XStreamSystem per tenant behind a
+// single fan-in receiver. Every tenant gets the same query; its children
+// address it by tenant name in their HELLO. Summaries, shed disclosure, and
+// --explain all run per tenant — one tenant's degradation never shows up in
+// another's output.
+int RunMultiTenantParent(std::map<std::string, std::string>& args,
+                         const XStreamConfig& base_config,
+                         const EventTypeRegistry& registry,
+                         const std::string& query_text) {
+  const std::vector<std::string> tenant_names =
+      SplitAndTrim(args["tenants"], ',');
+  if (tenant_names.empty()) {
+    fprintf(stderr, "--tenants expects a non-empty list\n");
+    return 2;
+  }
+
+  TenantQuota quota;
+  if (args.count("quota-bytes-per-sec")) {
+    quota.bytes_per_sec =
+        strtoull(args["quota-bytes-per-sec"].c_str(), nullptr, 10);
+    quota.burst_bytes = args.count("quota-burst-bytes")
+                            ? strtoull(args["quota-burst-bytes"].c_str(),
+                                       nullptr, 10)
+                            : quota.bytes_per_sec * 4;
+  }
+
+  TenantHub hub;
+  std::vector<std::unique_ptr<XStreamSystem>> systems;
+  std::vector<QueryId> qids;
+  for (const std::string& tenant : tenant_names) {
+    XStreamConfig config = base_config;
+    if (config.durability.wal_dir.has_value()) {
+      // Each tenant journals into its own subdirectory; a hostile tenant
+      // name must not escape it.
+      config.durability.wal_dir = *config.durability.wal_dir + "/" +
+                                  TenantHub::SanitizeTenantForPath(tenant);
+    }
+    systems.push_back(std::make_unique<XStreamSystem>(&registry, config));
+    auto qid = systems.back()->AddQuery(query_text, "Q");
+    if (!qid.ok()) {
+      fprintf(stderr, "query error: %s\n", qid.status().ToString().c_str());
+      return 1;
+    }
+    qids.push_back(*qid);
+    if (args.count("recover")) {
+      auto recovered = systems.back()->Recover(
+          args["recover"] + "/" + TenantHub::SanitizeTenantForPath(tenant));
+      if (!recovered.ok()) {
+        fprintf(stderr, "recover error (tenant %s): %s\n", tenant.c_str(),
+                recovered.status().ToString().c_str());
+        return 1;
+      }
+    }
+    const Status added = hub.AddTenant(tenant, systems.back().get(), quota);
+    if (!added.ok()) {
+      fprintf(stderr, "%s\n", added.ToString().c_str());
+      return 2;
+    }
+  }
+
+  ReplicationReceiverOptions ropts;
+  ropts.port =
+      static_cast<uint16_t>(strtoul(args["listen"].c_str(), nullptr, 10));
+  if (args.count("repl-state")) ropts.state_path = args["repl-state"];
+  ReplicationReceiver receiver(&hub, ropts);
+  const Status st = receiver.Start();
+  if (!st.ok()) {
+    fprintf(stderr, "listen error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  fprintf(stderr, "listening for replication on 127.0.0.1:%u (%zu tenants)\n",
+          unsigned{receiver.port()}, tenant_names.size());
+
+  const int64_t listen_for_ms = args.count("listen-for-ms")
+                                    ? atoll(args["listen-for-ms"].c_str())
+                                    : 30000;
+  const uint64_t expect =
+      args.count("expect-events")
+          ? strtoull(args["expect-events"].c_str(), nullptr, 10)
+          : 0;
+  Stopwatch wait_timer;
+  while (wait_timer.ElapsedSeconds() * 1000.0 <
+         static_cast<double>(listen_for_ms)) {
+    if (expect > 0 && receiver.watermark() >= expect) break;
+    usleep(50 * 1000);
+  }
+  receiver.Stop();
+
+  const ReplicationReceiver::Stats rs = receiver.stats();
+  printf("replicated: %llu events applied (%llu deduped, %llu lost to "
+         "child-side shedding, %llu over quota) over %llu sessions\n",
+         static_cast<unsigned long long>(rs.events_applied),
+         static_cast<unsigned long long>(rs.events_deduped),
+         static_cast<unsigned long long>(rs.gap_events),
+         static_cast<unsigned long long>(rs.quota_shed_events),
+         static_cast<unsigned long long>(rs.sessions));
+  for (const ReplicationReceiver::SessionInfo& info : receiver.sessions()) {
+    printf("  child (%s, %s): watermark %llu%s\n", info.tenant.c_str(),
+           info.child.c_str(), static_cast<unsigned long long>(info.watermark),
+           info.live ? " (live)" : "");
+  }
+
+  for (size_t t = 0; t < tenant_names.size(); ++t) {
+    const std::string& tenant = tenant_names[t];
+    XStreamSystem& system = *systems[t];
+    system.Flush();
+    const MatchTable& matches = system.engine().match_table(qids[t]);
+    const auto tstats = hub.tenant_stats(tenant);
+    printf("\ntenant %s: %zu events, %zu match rows, %zu events shed "
+           "(%llu over quota, %llu over queue share)\n",
+           tenant.c_str(), system.engine().events_processed(),
+           matches.TotalRows(), system.shed_events(),
+           static_cast<unsigned long long>(tstats.quota_shed_events),
+           static_cast<unsigned long long>(tstats.queue_shed_events));
+    auto partitions = hub.QualifiedPartitions(tenant, qids[t]);
+    if (partitions.ok()) {
+      for (const std::string& p : *partitions) {
+        printf("  %s\n", p.c_str());
+      }
+    }
+
+    if (args.count("explain")) {
+      if (args.count("reference") == 0) {
+        fprintf(stderr, "--explain needs --reference\n");
+        return 2;
+      }
+      AnomalyAnnotation annotation;
+      auto abnormal = ParseIntervalArg(args["explain"], "Q");
+      auto reference = ParseIntervalArg(args["reference"], "Q");
+      if (!abnormal.ok() || !reference.ok()) {
+        fprintf(stderr, "bad interval argument\n");
+        return 2;
+      }
+      annotation.abnormal = *abnormal;
+      annotation.reference = *reference;
+      const std::string column = args.count("column")
+                                     ? args["column"]
+                                     : matches.column_names().back();
+      auto report = hub.Explain(tenant, annotation, qids[t], column);
+      if (!report.ok()) {
+        fprintf(stderr, "  explain error (tenant %s): %s\n", tenant.c_str(),
+                report.status().ToString().c_str());
+        continue;
+      }
+      printf("  EXPLANATION (%zu of %zu features, %.2f s):\n    %s\n",
+             report->final_features.size(), report->ranked.size(),
+             report->duration_seconds, report->explanation.ToString().c_str());
+      if (report->degradation.degraded()) {
+        fprintf(stderr, "  WARNING: DEGRADED explanation (tenant %s) — %s\n",
+                tenant.c_str(), report->degradation.ToString().c_str());
+      }
+    }
+  }
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   std::map<std::string, std::string> args;
   bool demo = argc <= 1;  // bare invocation runs the self-contained demo
@@ -274,9 +451,11 @@ int Run(int argc, char** argv) {
             "       [--detect [--detect-threshold X]]\n"
             "       [--auto-explain [--z-threshold Z]]\n"
             "       [--explain-cache N] [--incremental-retention S]\n"
-            "       [--replicate-to HOST:PORT [--drain-ms MS]]\n"
+            "       [--replicate-to HOST:PORT [--drain-ms MS]\n"
+            "        [--tenant NAME] [--node-id NAME]]\n"
             "       [--listen PORT [--expect-events N] [--listen-for-ms MS]\n"
-            "        [--repl-state PATH]]\n"
+            "        [--repl-state PATH] [--tenants A,B,...]\n"
+            "        [--quota-bytes-per-sec N] [--quota-burst-bytes N]]\n"
             "       [--explain P:LO:HI --reference P:LO:HI]\n");
     return 2;
   }
@@ -398,8 +577,19 @@ int Run(int argc, char** argv) {
     ReplicationSenderOptions repl;
     repl.host = parts[0];
     repl.port = static_cast<uint16_t>(strtoul(parts[1].c_str(), nullptr, 10));
+    if (args.count("tenant")) repl.tenant = args["tenant"];
+    if (args.count("node-id")) repl.node_id = args["node-id"];
     config.replication = std::move(repl);
   }
+
+  if (args.count("tenants")) {
+    if (args.count("listen") == 0) {
+      fprintf(stderr, "--tenants requires --listen (parent mode)\n");
+      return 2;
+    }
+    return RunMultiTenantParent(args, config, *registry, *query_text);
+  }
+
   XStreamSystem system(&*registry, config);
   auto qid = system.AddQuery(*query_text, "Q");
   if (!qid.ok()) {

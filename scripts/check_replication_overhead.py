@@ -16,9 +16,17 @@ Checks, in order:
      sender may not slow the child's ingest down by more than 2.5x; on
      full-size runs the spool cost amortizes and the ratio is far higher,
      the floor mostly guards the tiny smoke stream).
+  3. Fan-in: every ``fanin`` row (1/2/4 children, 2 tenants, one receiver)
+     must be contamination-free — each tenant's parent applied exactly its
+     own children's events with zero sheds and zero gaps (hard booleans,
+     not timing) — and ``fanin_ratio`` (N-children aggregate ev/s divided
+     by the 1-child aggregate ev/s from the same process) must stay above
+     --min-fanin-ratio. Like overhead_ratio, both sides of the ratio run
+     on the same host seconds apart, so the floor is machine-independent.
 
 Usage:
   check_replication_overhead.py BENCH_replication.json [--min-ratio 0.4]
+      [--min-fanin-ratio 0.3]
 """
 
 import argparse
@@ -39,6 +47,12 @@ def main() -> None:
         type=float,
         default=0.4,
         help="minimum replicated/standalone ingest throughput ratio",
+    )
+    parser.add_argument(
+        "--min-fanin-ratio",
+        type=float,
+        default=0.3,
+        help="minimum N-children/1-child aggregate throughput ratio",
     )
     args = parser.parse_args()
 
@@ -84,6 +98,54 @@ def main() -> None:
             f"overhead ratio {ratio:.3f} below floor {args.min_ratio:.3f} — "
             "replication is stealing too much child ingest throughput"
         )
+
+    fanin = cur.get("fanin")
+    if not isinstance(fanin, list) or not fanin:
+        failures.append("missing or empty 'fanin' section")
+    else:
+        for row in fanin:
+            for key in (
+                "children",
+                "fanin_ratio",
+                "contamination_free",
+                "tenant_a_applied",
+                "tenant_b_applied",
+                "tenant_a_shed_events",
+                "tenant_b_shed_events",
+                "gap_events",
+            ):
+                if key not in row:
+                    failures.append(f"fan-in row missing field {key!r}")
+                    break
+            else:
+                n = row["children"]
+                print(
+                    f"fan-in {n} children: ratio {row['fanin_ratio']:.3f}, "
+                    f"tenant-a {row['tenant_a_applied']} ev / "
+                    f"{row['tenant_a_shed_events']} shed, "
+                    f"tenant-b {row['tenant_b_applied']} ev / "
+                    f"{row['tenant_b_shed_events']} shed"
+                )
+                if not row["contamination_free"]:
+                    failures.append(
+                        f"fan-in with {n} children reported cross-tenant "
+                        "contamination (wrong per-tenant event counts, "
+                        "sheds, or gaps)"
+                    )
+                if (
+                    row["tenant_a_shed_events"] != 0
+                    or row["tenant_b_shed_events"] != 0
+                    or row["gap_events"] != 0
+                ):
+                    failures.append(
+                        f"fan-in with {n} children shed or gapped events on "
+                        "a healthy loopback link"
+                    )
+                if row["fanin_ratio"] < args.min_fanin_ratio:
+                    failures.append(
+                        f"fan-in ratio {row['fanin_ratio']:.3f} with {n} "
+                        f"children below floor {args.min_fanin_ratio:.3f}"
+                    )
 
     if failures:
         for f_ in failures:

@@ -34,6 +34,61 @@ inline uint64_t PartitionKeyHash(std::string_view key) {
   return h;
 }
 
+/// \brief Qualifies a partition key with its tenant namespace: "tenant/key".
+///
+/// Multi-tenant serving layers one namespace per tenant over partition-key
+/// interning: every tenant runs its own engine (own interner, own dense id
+/// space), and any surface that mixes tenants — hub-level partition listings,
+/// fan-in bench accounting, CLI summaries — uses qualified keys. The tenant
+/// portion is percent-escaped ('%' and '/') so no tenant name can forge
+/// another tenant's prefix: QualifyTenantKey is injective in (tenant, key).
+inline std::string QualifyTenantKey(std::string_view tenant,
+                                    std::string_view key) {
+  std::string out;
+  out.reserve(tenant.size() + key.size() + 1);
+  for (const char c : tenant) {
+    if (c == '%') {
+      out += "%25";
+    } else if (c == '/') {
+      out += "%2F";
+    } else {
+      out += c;
+    }
+  }
+  out += '/';
+  out.append(key);
+  return out;
+}
+
+/// \brief Splits a QualifyTenantKey string back into (tenant, key). The
+/// tenant portion is unescaped; returns false if `qualified` has no
+/// separator or carries a malformed escape.
+inline bool SplitTenantKey(std::string_view qualified, std::string* tenant,
+                           std::string* key) {
+  const size_t sep = qualified.find('/');
+  if (sep == std::string_view::npos) return false;
+  const std::string_view escaped = qualified.substr(0, sep);
+  tenant->clear();
+  for (size_t i = 0; i < escaped.size(); ++i) {
+    if (escaped[i] != '%') {
+      *tenant += escaped[i];
+      continue;
+    }
+    if (i + 2 >= escaped.size()) return false;
+    const std::string_view code = escaped.substr(i + 1, 2);
+    if (code == "25") {
+      *tenant += '%';
+    } else if (code == "2F") {
+      *tenant += '/';
+    } else {
+      return false;
+    }
+    i += 2;
+  }
+  key->assign(qualified.substr(sep + 1));
+  return true;
+}
+
 /// \brief Open-addressing string -> dense id table with caller-supplied hashes.
 class PartitionInterner {
  public:

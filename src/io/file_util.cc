@@ -75,6 +75,17 @@ Status WriteFileAtomic(const std::string& path, std::string data) {
     remove(tmp.c_str());
     return Status::IOError("cannot rename " + tmp + " to " + path);
   }
+  // The rename itself is only durable once the directory entry is on disk;
+  // without this a post-rename crash can resurrect the old file, which would
+  // break sync-then-ack consumers (the replication ledger ACKs only after
+  // this returns). Best-effort: some filesystems refuse directory fsync.
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int dir_fd = open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd >= 0) {
+    fsync(dir_fd);
+    close(dir_fd);
+  }
   return Status::OK();
 }
 

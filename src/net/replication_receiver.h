@@ -1,86 +1,117 @@
 // ReplicationReceiver: the parent half of parent/child replication.
 //
-// Listens on loopback TCP, accepts one child session at a time, decodes EXRP
-// frames (net/frame.h), and applies replicated events to the parent
-// XStreamSystem through its ordinary OnEventBatch path — so the parent's
-// engine state, archive chunks (spill v3 and all), and Explain output are
-// bit-identical to a single-node system fed the same stream.
+// Listens on loopback TCP and accepts N concurrent child sessions, each on
+// its own thread. A session is identified by (tenant, node_id) from its
+// HELLO; the tenant resolves through a TenantHub to that tenant's own
+// XStreamSystem, so events of different tenants never co-mingle in archive
+// chunks, match tables, or Explain results. Decoded EXRP frames (net/frame.h)
+// apply through the tenant system's ordinary OnEventBatch path — the parent's
+// engine state, archive chunks, and Explain output for a tenant are
+// bit-identical to a single-node system fed the same per-child streams.
 //
-// Exactly-once without a chunk-id ledger: the receiver keeps a single seq
-// *watermark* — the next event it has not applied. Everything below it is
-// discarded (CHUNK retransmits after a reconnect, the WALTAIL/CHUNK overlap),
-// everything at it is applied and advances it, and a frame starting above it
-// is a *gap*: events the child shed during an outage. Gaps are counted,
-// folded into the parent's DegradationReport (XStreamSystem::AddExternalShed,
-// so a parent-side Explain discloses the loss), and persisted in a tiny state
-// file so the watermark stays honest across parent restarts even though the
-// parent's own WAL never saw the missing seqs.
+// Exactly-once per identity: each (tenant, child) owns its own seq space and
+// *watermark* — the next seq not yet accounted for — kept in a ReplLedger
+// (net/repl_ledger.h). Below the watermark is discarded (retransmits, the
+// WALTAIL/CHUNK overlap); at it applies and advances it; above it is a *gap*:
+// events the child shed during an outage, counted, folded into that tenant's
+// DegradationReport (XStreamSystem::AddExternalShed), and persisted.
 //
-// ACKs carry the watermark after the parent's WAL has fsynced the applied
-// events (sync_wal_before_ack), so a child treating ACK as "durable at
-// parent" survives a parent crash: on restart the watermark is rebuilt as
-// (recovered parent seq + persisted gap total) and the HELLOACK tells the
-// child exactly where to resume.
+// Sync-then-ack: a frame's events are applied only after the ledger durably
+// records a pending marker; the ACK leaves only after the tenant's WAL has
+// fsynced AND the advanced ledger is durably rewritten (atomic temp + fsync +
+// rename + directory fsync). A crash between any two steps reconciles on
+// restart — the ledger can trail the WAL, never lead an ACK.
 //
-// The parent system should run with queue_capacity == 0 (synchronous apply):
-// the ACK must not race ahead of the apply.
+// Admission: per-tenant quotas (TenantHub) shed over-quota frames at the
+// parent — the watermark still advances and the frame is ACKed (the child
+// must not retry a frame the parent chose to drop), and the shed count is
+// disclosed only through the owning tenant's fault_stats()/Explain.
+//
+// Concurrency: sessions of one tenant serialize on the hub's per-tenant
+// apply lock; different tenants apply in parallel. A second HELLO for a live
+// identity supersedes the old session (takeover: the dead socket of a
+// kill -9'd child must not block its own reconnect); session threads reap
+// promptly on recv-EOF/reset. Tenant systems should run with
+// queue_capacity == 0 (synchronous apply): the ACK must not race the apply.
 
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
 #include "event/event.h"
 #include "net/frame.h"
+#include "net/repl_ledger.h"
 #include "net/socket.h"
 
 namespace exstream {
 
+class TenantHub;
 class XStreamSystem;
 
 struct ReplicationReceiverOptions {
   /// Listening port on 127.0.0.1; 0 picks an ephemeral port (see port()).
   uint16_t port = 0;
-  /// HELLOs for any other tenant are rejected.
+  /// Single-system mode only (the XStreamSystem* constructor): the one
+  /// tenant served; HELLOs for any other tenant are rejected. Ignored when a
+  /// TenantHub is supplied — the hub's registry decides.
   std::string tenant = "default";
   /// Per-recv idle timeout inside a session; bounds Stop() latency.
   int io_timeout_ms = 2000;
-  /// If set, the cumulative gap total (child-shed events) is persisted here
-  /// so the resume watermark survives parent restarts.
+  /// If set, the per-(tenant, child) ledger (watermarks, gap totals, quota
+  /// sheds) persists here so resume watermarks survive parent restarts.
   std::optional<std::string> state_path;
   /// Fsync the parent WAL before each ACK, making the ACK a durability
   /// promise rather than a memory promise. No-op when the parent has no WAL.
   bool sync_wal_before_ack = true;
+  /// Concurrent session cap; connections past it are closed immediately.
+  size_t max_sessions = 64;
 };
 
 class ReplicationReceiver {
  public:
-  /// `system` must outlive the receiver and should be fully recovered
-  /// (Recover()) before Start(), so the initial watermark is correct.
+  /// Single-system mode: serves exactly `options.tenant` on `system` (an
+  /// internal one-tenant hub). `system` must outlive the receiver and be
+  /// fully recovered (Recover()) before Start().
   ReplicationReceiver(XStreamSystem* system, ReplicationReceiverOptions options);
+
+  /// Fan-in mode: serves every tenant registered in `hub` (not owned; its
+  /// tenants' systems must be recovered before Start()).
+  ReplicationReceiver(TenantHub* hub, ReplicationReceiverOptions options);
+
   ~ReplicationReceiver();
 
   ReplicationReceiver(const ReplicationReceiver&) = delete;
   ReplicationReceiver& operator=(const ReplicationReceiver&) = delete;
 
-  /// Binds the listener and starts the accept thread.
+  /// Loads + reconciles the ledger, binds the listener, starts accepting.
   Status Start();
   void Stop();
 
   /// Actual listening port (after an ephemeral bind).
   uint16_t port() const { return port_; }
 
-  /// Next seq not yet durably applied (child seq space).
+  /// Aggregate watermark across every (tenant, child): for a single-child
+  /// receiver this is exactly the child's next un-applied seq.
   uint64_t watermark() const;
 
+  /// One identity's watermark (0 when unknown).
+  uint64_t watermark(const std::string& tenant, const std::string& child) const;
+
+  TenantHub* hub() { return hub_; }
+
   struct Stats {
-    uint64_t sessions = 0;
+    uint64_t sessions = 0;            ///< connections accepted
     uint64_t hellos_rejected = 0;
     uint64_t chunks_applied = 0;      ///< CHUNK frames with >= 1 fresh event
     uint64_t tail_frames_applied = 0; ///< WALTAIL frames with >= 1 fresh event
@@ -89,35 +120,99 @@ class ReplicationReceiver {
     uint64_t gap_events = 0;          ///< child-shed events (watermark jumps)
     uint64_t acks_sent = 0;
     uint64_t frame_errors = 0;        ///< sessions ended by bad frames
+    uint64_t sessions_superseded = 0; ///< sessions ended by a takeover HELLO
+    uint64_t sessions_rejected = 0;   ///< connections refused at max_sessions
+    uint64_t quota_shed_events = 0;   ///< over-quota events shed (all tenants)
+    uint64_t live_sessions = 0;       ///< session threads currently serving
   };
   Stats stats() const;
 
+  struct SessionInfo {
+    std::string tenant;
+    std::string child;
+    uint64_t watermark = 0;
+    bool live = false;  ///< a session currently owns this identity
+  };
+  /// Every identity the ledger knows, with liveness from the session registry.
+  std::vector<SessionInfo> sessions() const;
+
+  struct Session;  // one connection's state (internal; see .cc)
+
+  /// \brief Socket-free session driver: feeds raw wire bytes through the same
+  /// per-session decode/handshake/apply path a TCP session uses, collecting
+  /// response frames in out(). The fuzz harness interleaves several drivers
+  /// against one receiver to prove session confusion poisons only the
+  /// offending session; protocol tests use it to inspect HELLOACKs directly.
+  class SessionDriver {
+   public:
+    explicit SessionDriver(ReplicationReceiver* receiver);
+    ~SessionDriver();
+
+    SessionDriver(const SessionDriver&) = delete;
+    SessionDriver& operator=(const SessionDriver&) = delete;
+
+    /// Feeds bytes as if they arrived on the socket. After the first error
+    /// the session is ended and further bytes are ignored (returns the
+    /// original error), exactly like a dropped connection.
+    Status Feed(std::string_view bytes);
+
+    bool ended() const { return !status_.ok(); }
+    const Status& status() const { return status_; }
+    const std::string& out() const { return out_; }
+    void ClearOut() { out_.clear(); }
+
+   private:
+    ReplicationReceiver* receiver_;
+    std::unique_ptr<Session> session_;
+    std::string out_;
+    Status status_;
+  };
+
  private:
+  friend class SessionDriver;
+  struct SessionThread;
+
+  /// Ledger load + per-tenant reconcile + historical shed disclosure. Runs
+  /// once (Start() and SessionDriver share it).
+  Status EnsureStateLoaded();
   void AcceptLoop();
   void ServeSession(TcpSocket sock);
-  /// Handles one decoded frame; a returned error ends the session.
-  Status HandleFrame(TcpSocket* sock, const Frame& frame, bool* hello_done);
-  /// Watermark-dedupes and applies one event run starting at `first_seq`.
-  /// `is_chunk` attributes the frame in stats (CHUNK vs WALTAIL).
-  Status ApplyEvents(uint64_t first_seq, std::vector<Event> events,
-                     bool is_chunk);
-  Status SendAck(TcpSocket* sock);
-  Status LoadGapTotal();
-  Status PersistGapTotal();
+  void ReapFinishedSessions();
+  /// Handles one decoded frame; response frames append to `out`. A returned
+  /// error ends the session.
+  Status HandleFrame(Session* s, const Frame& frame, std::string* out);
+  Status HandleHello(Session* s, const Frame& frame, std::string* out);
+  /// Watermark-dedupes, quota-checks, and applies one event run.
+  Status ApplyEvents(Session* s, uint64_t first_seq, std::vector<Event> events,
+                     bool is_chunk, size_t wire_bytes);
+  /// SyncWal + durable ledger commit + ACK frame (sync-then-ack).
+  Status AppendAck(Session* s, std::string* out);
+  /// True while `s` still owns its identity (no takeover HELLO arrived).
+  bool SessionCurrent(const Session* s) const;
+  void ReleaseSession(Session* s);
 
-  XStreamSystem* system_;  // not owned
+  TenantHub* hub_;                        // registry (owned_hub_ or external)
+  std::unique_ptr<TenantHub> owned_hub_;  // single-system mode only
   const ReplicationReceiverOptions options_;
+  ReplLedger ledger_;
   TcpListener listener_;
   uint16_t port_ = 0;
 
-  mutable std::mutex mu_;
-  uint64_t watermark_ = 0;
-  uint64_t gap_total_ = 0;      ///< lifetime child-shed events (persisted)
-  uint64_t last_chunk_id_ = 0;  ///< highest applied chunk id, echoed in ACKs
+  mutable std::mutex mu_;  ///< stats, session registry, state_loaded_
+  bool state_loaded_ = false;
   Stats stats_;
+  /// identity -> epoch of the session that owns it; a takeover bumps the
+  /// epoch and the old session exits at its next frame/idle check.
+  std::map<std::pair<std::string, std::string>, uint64_t> session_epochs_;
+  uint64_t next_epoch_ = 1;
+  /// Highest applied chunk id per identity, echoed in ACKs. In-memory only.
+  std::map<std::pair<std::string, std::string>, uint64_t> last_chunk_ids_;
 
   std::atomic<bool> stop_{false};
-  std::thread thread_;
+  std::atomic<size_t> live_sessions_{0};
+  std::thread accept_thread_;
+  std::mutex threads_mu_;
+  std::vector<std::unique_ptr<SessionThread>> session_threads_;
 };
 
 }  // namespace exstream

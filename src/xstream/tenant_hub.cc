@@ -1,0 +1,188 @@
+#include "xstream/tenant_hub.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "cep/interner.h"
+
+namespace exstream {
+
+TenantHub::TenantHub(ClockMillisFn clock) : clock_(std::move(clock)) {}
+
+TenantHub::~TenantHub() = default;
+
+int64_t TenantHub::NowMs() const {
+  if (clock_) return clock_();
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Status TenantHub::AddTenant(const std::string& name, XStreamSystem* system,
+                            TenantQuota quota) {
+  if (name.empty()) return Status::InvalidArgument("tenant name is empty");
+  if (system == nullptr) {
+    return Status::InvalidArgument("tenant '" + name + "' has no system");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = tenants_.emplace(name, nullptr);
+  if (!inserted) {
+    return Status::InvalidArgument("tenant '" + name + "' already registered");
+  }
+  auto tenant = std::make_unique<Tenant>();
+  tenant->system = system;
+  tenant->quota = quota;
+  tenant->tokens = static_cast<double>(quota.burst_bytes);
+  tenant->last_refill_ms = NowMs();
+  it->second = std::move(tenant);
+  return Status::OK();
+}
+
+TenantHub::Tenant* TenantHub::Find(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(name);
+  return it != tenants_.end() ? it->second.get() : nullptr;
+}
+
+bool TenantHub::HasTenant(const std::string& name) const {
+  return Find(name) != nullptr;
+}
+
+XStreamSystem* TenantHub::system(const std::string& name) const {
+  Tenant* t = Find(name);
+  return t != nullptr ? t->system : nullptr;
+}
+
+std::vector<std::string> TenantHub::tenants() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(tenants_.size());
+  for (const auto& [name, tenant] : tenants_) names.push_back(name);
+  return names;
+}
+
+Status TenantHub::SetQuota(const std::string& name, TenantQuota quota) {
+  Tenant* t = Find(name);
+  if (t == nullptr) return Status::NotFound("unknown tenant '" + name + "'");
+  std::lock_guard<std::mutex> lock(t->state_mu);
+  t->quota = quota;
+  t->tokens = static_cast<double>(quota.burst_bytes);
+  t->last_refill_ms = NowMs();
+  return Status::OK();
+}
+
+bool TenantHub::TryChargeQuota(const std::string& name, uint64_t bytes) {
+  Tenant* t = Find(name);
+  if (t == nullptr) return false;
+  std::lock_guard<std::mutex> lock(t->state_mu);
+  if (t->quota.bytes_per_sec == 0) return true;
+  const int64_t now = NowMs();
+  if (now > t->last_refill_ms) {
+    const double refill = static_cast<double>(now - t->last_refill_ms) *
+                          static_cast<double>(t->quota.bytes_per_sec) / 1000.0;
+    t->tokens = std::min(static_cast<double>(t->quota.burst_bytes),
+                         t->tokens + refill);
+  }
+  t->last_refill_ms = now;
+  // A frame larger than the whole bucket is admitted when the bucket is
+  // full — otherwise it could never pass and the child would shed forever.
+  const double need = std::min(static_cast<double>(bytes),
+                               static_cast<double>(t->quota.burst_bytes));
+  if (t->tokens < need) return false;
+  t->tokens = std::max(0.0, t->tokens - static_cast<double>(bytes));
+  return true;
+}
+
+bool TenantHub::TryEnterQueue(const std::string& name, uint64_t bytes) {
+  Tenant* t = Find(name);
+  if (t == nullptr) return false;
+  std::lock_guard<std::mutex> lock(t->state_mu);
+  if (t->quota.queue_share_bytes > 0 && t->stats.queued_bytes > 0 &&
+      t->stats.queued_bytes + bytes > t->quota.queue_share_bytes) {
+    return false;
+  }
+  t->stats.queued_bytes += bytes;
+  return true;
+}
+
+void TenantHub::LeaveQueue(const std::string& name, uint64_t bytes) {
+  Tenant* t = Find(name);
+  if (t == nullptr) return;
+  std::lock_guard<std::mutex> lock(t->state_mu);
+  t->stats.queued_bytes -= std::min(t->stats.queued_bytes, bytes);
+}
+
+std::unique_lock<std::mutex> TenantHub::LockApply(const std::string& name) {
+  Tenant* t = Find(name);
+  if (t == nullptr) return std::unique_lock<std::mutex>();
+  return std::unique_lock<std::mutex>(t->apply_mu);
+}
+
+void TenantHub::NoteQuotaShed(const std::string& name, uint64_t events,
+                              bool queue_share) {
+  Tenant* t = Find(name);
+  if (t == nullptr) return;
+  std::lock_guard<std::mutex> lock(t->state_mu);
+  if (queue_share) {
+    ++t->stats.queue_shed_frames;
+    t->stats.queue_shed_events += events;
+  } else {
+    ++t->stats.quota_shed_frames;
+    t->stats.quota_shed_events += events;
+  }
+}
+
+TenantHub::TenantStats TenantHub::tenant_stats(const std::string& name) const {
+  Tenant* t = Find(name);
+  if (t == nullptr) return TenantStats{};
+  std::lock_guard<std::mutex> lock(t->state_mu);
+  return t->stats;
+}
+
+Result<ExplanationReport> TenantHub::Explain(const std::string& name,
+                                             const AnomalyAnnotation& annotation,
+                                             QueryId monitor_query,
+                                             const std::string& column) {
+  Tenant* t = Find(name);
+  if (t == nullptr) return Status::NotFound("unknown tenant '" + name + "'");
+  return t->system->Explain(annotation, monitor_query, column);
+}
+
+Result<XStreamSystem::FaultStats> TenantHub::fault_stats(
+    const std::string& name) const {
+  Tenant* t = Find(name);
+  if (t == nullptr) return Status::NotFound("unknown tenant '" + name + "'");
+  return t->system->fault_stats();
+}
+
+Result<std::vector<std::string>> TenantHub::QualifiedPartitions(
+    const std::string& name, QueryId query) const {
+  Tenant* t = Find(name);
+  if (t == nullptr) return Status::NotFound("unknown tenant '" + name + "'");
+  if (query >= t->system->engine().num_queries()) {
+    return Status::InvalidArgument("tenant '" + name + "' has no such query");
+  }
+  std::vector<std::string> out;
+  for (const std::string& key :
+       t->system->engine().match_table(query).Partitions()) {
+    out.push_back(QualifyTenantKey(name, key));
+  }
+  return out;
+}
+
+std::string TenantHub::SanitizeTenantForPath(std::string_view tenant) {
+  std::string out;
+  out.reserve(tenant.size());
+  for (const char c : tenant) {
+    const bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                      c == '-';
+    out += safe ? c : '_';
+  }
+  if (out.empty()) out = "_";
+  // "." / ".." would escape the parent directory even with safe bytes.
+  if (out == "." || out == "..") out = "_" + out;
+  return out;
+}
+
+}  // namespace exstream

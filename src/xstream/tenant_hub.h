@@ -1,0 +1,147 @@
+// TenantHub: the per-tenant serving registry behind multi-child fan-in
+// replication.
+//
+// One parent process serves N tenants; each tenant owns a full XStreamSystem
+// (engine, archive, WAL, partition table), so two tenants' events can never
+// co-mingle in archive chunks, match tables, or Explain results — isolation
+// is structural, not filtered. The hub is the directory over those systems
+// plus the cross-tenant policy that must NOT live in any one system:
+//
+//  - the per-tenant *apply lock*: XStreamSystem's synchronous ingest is
+//    single-producer, so concurrent child sessions of one tenant serialize
+//    their applies here (different tenants proceed in parallel);
+//  - per-tenant ingest quotas riding the backpressure model: a token bucket
+//    over wire bytes/sec plus a bounded queue share capping bytes a tenant's
+//    sessions may hold in flight while waiting for the apply lock. Over-quota
+//    frames are shed by the receiver and disclosed through the owning
+//    tenant's fault_stats()/DegradationReport only — a noisy neighbor can
+//    starve itself, never a sibling;
+//  - the federated read surface: per-tenant Explain / fault stats / partition
+//    listings, with partition keys qualified by tenant namespace
+//    (QualifyTenantKey, cep/interner.h) wherever tenants share one output.
+//
+// Register every tenant (fully recovered) before the receiver starts; a
+// HELLO for an unknown tenant is rejected at the handshake.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "xstream/system.h"
+
+namespace exstream {
+
+/// \brief Per-tenant ingest quota. Zeros disable the respective limit.
+struct TenantQuota {
+  /// Token-bucket refill rate over replicated wire bytes (0 = unlimited).
+  uint64_t bytes_per_sec = 0;
+  /// Bucket depth: the largest burst admitted at once.
+  uint64_t burst_bytes = 1u << 20;
+  /// Cap on bytes the tenant's sessions may hold in flight awaiting the
+  /// apply lock (0 = unlimited). A tenant with nothing in flight is always
+  /// admitted, so the share bounds fan-in amplification without starvation.
+  uint64_t queue_share_bytes = 0;
+};
+
+class TenantHub {
+ public:
+  /// Milliseconds on a monotonic clock; injectable so quota tests are
+  /// deterministic. Default: std::chrono::steady_clock.
+  using ClockMillisFn = std::function<int64_t()>;
+
+  explicit TenantHub(ClockMillisFn clock = {});
+  ~TenantHub();
+
+  TenantHub(const TenantHub&) = delete;
+  TenantHub& operator=(const TenantHub&) = delete;
+
+  /// Registers `system` (not owned, must outlive the hub) as tenant `name`.
+  /// Fails on duplicates. The system should be recovered before the
+  /// replication receiver starts, so ledger reconciliation sees its true seq.
+  Status AddTenant(const std::string& name, XStreamSystem* system,
+                   TenantQuota quota = {});
+
+  bool HasTenant(const std::string& name) const;
+  XStreamSystem* system(const std::string& name) const;
+  std::vector<std::string> tenants() const;
+
+  /// Replaces the tenant's quota (tokens reset to a full bucket).
+  Status SetQuota(const std::string& name, TenantQuota quota);
+
+  // --- Receiver-facing admission surface -----------------------------------
+
+  /// Charges `bytes` against the tenant's token bucket; false = shed.
+  bool TryChargeQuota(const std::string& name, uint64_t bytes);
+
+  /// Enters the tenant's fan-in queue with `bytes` in flight; false = the
+  /// queue share is exhausted (shed; the caller must NOT LeaveQueue).
+  bool TryEnterQueue(const std::string& name, uint64_t bytes);
+  void LeaveQueue(const std::string& name, uint64_t bytes);
+
+  /// The tenant's apply lock: hold it across watermark arithmetic + apply so
+  /// concurrent sessions of one tenant serialize. Unknown tenant = no lock.
+  std::unique_lock<std::mutex> LockApply(const std::string& name);
+
+  /// Records a quota shed for the tenant's stats (the receiver also routes
+  /// the events into the tenant system's AddExternalShed for disclosure).
+  void NoteQuotaShed(const std::string& name, uint64_t events,
+                     bool queue_share);
+
+  struct TenantStats {
+    uint64_t quota_shed_frames = 0;  ///< frames shed by the token bucket
+    uint64_t quota_shed_events = 0;
+    uint64_t queue_shed_frames = 0;  ///< frames shed by the queue share
+    uint64_t queue_shed_events = 0;
+    uint64_t queued_bytes = 0;       ///< currently in flight
+  };
+  TenantStats tenant_stats(const std::string& name) const;
+
+  // --- Federated per-tenant read surface -----------------------------------
+
+  /// Runs the tenant's Explain — over its own archive and match tables only,
+  /// so the result (including its DegradationReport) is exactly what the
+  /// tenant's single-node system would produce.
+  Result<ExplanationReport> Explain(const std::string& name,
+                                    const AnomalyAnnotation& annotation,
+                                    QueryId monitor_query,
+                                    const std::string& column);
+
+  Result<XStreamSystem::FaultStats> fault_stats(const std::string& name) const;
+
+  /// The tenant's partition keys for `query`, tenant-qualified
+  /// ("tenant/key") so cross-tenant listings can never collide.
+  Result<std::vector<std::string>> QualifiedPartitions(const std::string& name,
+                                                       QueryId query) const;
+
+  /// Filesystem-safe form of a wire-supplied tenant name for deriving
+  /// per-tenant state/WAL subdirectories: every byte outside [A-Za-z0-9._-]
+  /// becomes '_' (and an empty name becomes "_"), so no tenant string can
+  /// traverse outside its parent directory.
+  static std::string SanitizeTenantForPath(std::string_view tenant);
+
+ private:
+  struct Tenant {
+    XStreamSystem* system = nullptr;  // not owned
+    std::mutex apply_mu;
+    mutable std::mutex state_mu;  ///< quota/stat state below
+    TenantQuota quota;
+    double tokens = 0;            ///< current bucket level (bytes)
+    int64_t last_refill_ms = 0;
+    TenantStats stats;
+  };
+
+  Tenant* Find(const std::string& name) const;
+  int64_t NowMs() const;
+
+  ClockMillisFn clock_;
+  mutable std::mutex mu_;  ///< guards the registry map
+  std::map<std::string, std::unique_ptr<Tenant>> tenants_;
+};
+
+}  // namespace exstream

@@ -1,0 +1,205 @@
+// TenantHub unit tests: tenant-qualified partition-key namespaces (the
+// injective escaping that keeps two tenants' keys from ever colliding), the
+// filesystem-safe tenant name sanitizer, the tenant registry, and the
+// deterministic token-bucket / queue-share quota arithmetic the replication
+// receiver's admission path rides on.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cep/interner.h"
+#include "sim/hadoop_sim.h"
+#include "xstream/system.h"
+#include "xstream/tenant_hub.h"
+
+namespace exstream {
+namespace {
+
+TEST(TenantKeyTest, QualifyRoundTrips) {
+  const std::pair<std::string, std::string> cases[] = {
+      {"alpha", "job-x"},
+      {"a/b", "c"},            // separator in the tenant
+      {"a", "b/c"},            // separator in the key
+      {"a%2F", "b"},           // literal escape sequence must survive
+      {"%", "/"},
+      {"", "k"},               // empty tenant
+      {"t", ""},               // empty key
+      {"t\xc3\xa9nant", "k\xe2\x82\xac"},  // non-ASCII bytes pass through
+  };
+  for (const auto& [tenant, key] : cases) {
+    const std::string qualified = QualifyTenantKey(tenant, key);
+    std::string t, k;
+    ASSERT_TRUE(SplitTenantKey(qualified, &t, &k)) << qualified;
+    EXPECT_EQ(t, tenant) << qualified;
+    EXPECT_EQ(k, key) << qualified;
+  }
+}
+
+TEST(TenantKeyTest, QualificationIsInjective) {
+  // The classic ambiguity: ("a", "b/c") vs ("a/b", "c") must not collide.
+  EXPECT_NE(QualifyTenantKey("a", "b/c"), QualifyTenantKey("a/b", "c"));
+  EXPECT_NE(QualifyTenantKey("a%2Fb", "c"), QualifyTenantKey("a/b", "c"));
+  EXPECT_NE(QualifyTenantKey("a", "%2F"), QualifyTenantKey("a", "/"));
+}
+
+TEST(TenantKeyTest, SplitRejectsMalformed) {
+  std::string t, k;
+  EXPECT_FALSE(SplitTenantKey("no-separator", &t, &k));
+  EXPECT_FALSE(SplitTenantKey("bad%zz/k", &t, &k));
+  EXPECT_FALSE(SplitTenantKey("trailing%/k", &t, &k));
+  EXPECT_FALSE(SplitTenantKey("trailing%2/k", &t, &k));
+}
+
+TEST(TenantHubTest, SanitizeTenantForPath) {
+  EXPECT_EQ(TenantHub::SanitizeTenantForPath("alpha-1.prod_x"),
+            "alpha-1.prod_x");
+  EXPECT_EQ(TenantHub::SanitizeTenantForPath("a/b"), "a_b");
+  EXPECT_EQ(TenantHub::SanitizeTenantForPath("../../etc"), ".._.._etc");
+  EXPECT_EQ(TenantHub::SanitizeTenantForPath(".."), "_..");
+  EXPECT_EQ(TenantHub::SanitizeTenantForPath("."), "_.");
+  EXPECT_EQ(TenantHub::SanitizeTenantForPath(""), "_");
+  EXPECT_EQ(TenantHub::SanitizeTenantForPath("a b\tc"), "a_b_c");
+}
+
+std::unique_ptr<XStreamSystem> MakeBareSystem(EventTypeRegistry* registry) {
+  XStreamConfig cfg;
+  cfg.explain.feature_space.windows = {10};
+  return std::make_unique<XStreamSystem>(registry, cfg);
+}
+
+TEST(TenantHubTest, RegistryRejectsDuplicatesAndUnknowns) {
+  EventTypeRegistry registry;
+  ASSERT_TRUE(HadoopClusterSim::RegisterEventTypes(&registry).ok());
+  auto sys = MakeBareSystem(&registry);
+
+  TenantHub hub;
+  EXPECT_FALSE(hub.AddTenant("", sys.get()).ok());
+  EXPECT_FALSE(hub.AddTenant("t", nullptr).ok());
+  ASSERT_TRUE(hub.AddTenant("t", sys.get()).ok());
+  EXPECT_FALSE(hub.AddTenant("t", sys.get()).ok());
+
+  EXPECT_TRUE(hub.HasTenant("t"));
+  EXPECT_FALSE(hub.HasTenant("u"));
+  EXPECT_EQ(hub.system("t"), sys.get());
+  EXPECT_EQ(hub.system("u"), nullptr);
+  EXPECT_EQ(hub.tenants(), std::vector<std::string>{"t"});
+  EXPECT_FALSE(hub.SetQuota("u", TenantQuota{}).ok());
+  EXPECT_FALSE(hub.fault_stats("u").ok());
+  EXPECT_FALSE(hub.TryChargeQuota("u", 1));
+  EXPECT_FALSE(hub.TryEnterQueue("u", 1));
+  EXPECT_FALSE(hub.LockApply("u").owns_lock());
+  EXPECT_TRUE(hub.LockApply("t").owns_lock());
+}
+
+TEST(TenantHubTest, TokenBucketRefillsDeterministically) {
+  EventTypeRegistry registry;
+  ASSERT_TRUE(HadoopClusterSim::RegisterEventTypes(&registry).ok());
+  auto sys = MakeBareSystem(&registry);
+
+  int64_t now_ms = 0;
+  TenantHub hub([&now_ms] { return now_ms; });
+  TenantQuota quota;
+  quota.bytes_per_sec = 100;
+  quota.burst_bytes = 200;
+  ASSERT_TRUE(hub.AddTenant("t", sys.get(), quota).ok());
+
+  // Full bucket at start.
+  EXPECT_TRUE(hub.TryChargeQuota("t", 150));   // tokens: 200 -> 50
+  EXPECT_FALSE(hub.TryChargeQuota("t", 100));  // 50 < 100
+  now_ms += 1000;                              // +100 tokens -> 150
+  EXPECT_TRUE(hub.TryChargeQuota("t", 100));   // tokens: 150 -> 50
+  now_ms += 10000;                             // clamps at burst (200)
+  EXPECT_TRUE(hub.TryChargeQuota("t", 200));
+  EXPECT_FALSE(hub.TryChargeQuota("t", 1));
+
+  // A frame larger than the whole bucket is admitted when the bucket is
+  // full — otherwise it could never pass.
+  now_ms += 2000;  // bucket back to burst
+  EXPECT_TRUE(hub.TryChargeQuota("t", 100000));
+  EXPECT_FALSE(hub.TryChargeQuota("t", 1));  // drained to zero, not negative
+
+  // bytes_per_sec == 0 disables the limit entirely.
+  ASSERT_TRUE(hub.SetQuota("t", TenantQuota{}).ok());
+  EXPECT_TRUE(hub.TryChargeQuota("t", 1u << 30));
+  EXPECT_TRUE(hub.TryChargeQuota("t", 1u << 30));
+}
+
+TEST(TenantHubTest, QueueShareAdmitsIdleTenantAndTracksBytes) {
+  EventTypeRegistry registry;
+  ASSERT_TRUE(HadoopClusterSim::RegisterEventTypes(&registry).ok());
+  auto sys = MakeBareSystem(&registry);
+
+  TenantHub hub;
+  TenantQuota quota;
+  quota.queue_share_bytes = 100;
+  ASSERT_TRUE(hub.AddTenant("t", sys.get(), quota).ok());
+
+  // An idle tenant is always admitted, even past the share (no starvation).
+  EXPECT_TRUE(hub.TryEnterQueue("t", 500));
+  EXPECT_EQ(hub.tenant_stats("t").queued_bytes, 500u);
+  // With bytes in flight, the share gates strictly.
+  EXPECT_FALSE(hub.TryEnterQueue("t", 1));
+  hub.LeaveQueue("t", 500);
+  EXPECT_EQ(hub.tenant_stats("t").queued_bytes, 0u);
+  EXPECT_TRUE(hub.TryEnterQueue("t", 40));
+  EXPECT_TRUE(hub.TryEnterQueue("t", 40));   // 80 <= 100
+  EXPECT_FALSE(hub.TryEnterQueue("t", 40));  // 120 > 100
+  hub.LeaveQueue("t", 80);
+
+  // Shed bookkeeping lands on the right counters.
+  hub.NoteQuotaShed("t", 64, /*queue_share=*/false);
+  hub.NoteQuotaShed("t", 32, /*queue_share=*/true);
+  const auto stats = hub.tenant_stats("t");
+  EXPECT_EQ(stats.quota_shed_frames, 1u);
+  EXPECT_EQ(stats.quota_shed_events, 64u);
+  EXPECT_EQ(stats.queue_shed_frames, 1u);
+  EXPECT_EQ(stats.queue_shed_events, 32u);
+}
+
+TEST(TenantHubTest, QualifiedPartitionsAreTenantScoped) {
+  EventTypeRegistry registry;
+  ASSERT_TRUE(HadoopClusterSim::RegisterEventTypes(&registry).ok());
+  HadoopSimConfig cfg;
+  cfg.num_nodes = 2;
+  cfg.seed = 11;
+  HadoopClusterSim sim(cfg, &registry);
+  HadoopJobConfig job;
+  job.job_id = "job-x";
+  job.program = "p";
+  job.dataset = "d";
+  sim.AddJob(job);
+  VectorSink sink;
+  ASSERT_TRUE(sim.Run(&sink).ok());
+
+  auto sys = MakeBareSystem(&registry);
+  const auto qid = sys->AddQuery(
+      "PATTERN SEQ(JobStart a, DataIO+ b[], JobEnd c) WHERE [jobId] "
+      "RETURN (b[i].timestamp, a.jobId, sum(b[1..i].dataSize))",
+      "Q1");
+  ASSERT_TRUE(qid.ok()) << qid.status().ToString();
+  sys->OnEventBatch(sink.events());
+  sys->Flush();
+
+  TenantHub hub;
+  ASSERT_TRUE(hub.AddTenant("beta", sys.get()).ok());
+  const auto partitions = hub.QualifiedPartitions("beta", *qid);
+  ASSERT_TRUE(partitions.ok()) << partitions.status().ToString();
+  ASSERT_FALSE(partitions->empty());
+  bool found = false;
+  for (const std::string& qualified : *partitions) {
+    std::string tenant, key;
+    ASSERT_TRUE(SplitTenantKey(qualified, &tenant, &key)) << qualified;
+    EXPECT_EQ(tenant, "beta");
+    found |= key == "job-x";
+  }
+  EXPECT_TRUE(found) << "job-x partition missing from the qualified listing";
+
+  EXPECT_FALSE(hub.QualifiedPartitions("nope", *qid).ok());
+  EXPECT_FALSE(hub.QualifiedPartitions("beta", *qid + 17).ok());
+}
+
+}  // namespace
+}  // namespace exstream
